@@ -1,0 +1,16 @@
+//! E2 — the 6-of-7-crashes headline scenario.
+//!
+//! Times a reduced-scale regeneration of the experiment's table; the
+//! full-scale table is produced by the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_one_for_all");
+    g.sample_size(10);
+    g.bench_function("table", |b| b.iter(|| ofa_bench::experiments::e2::run(3)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

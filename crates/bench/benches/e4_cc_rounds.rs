@@ -1,0 +1,16 @@
+//! E4 — common-coin decision rounds.
+//!
+//! Times a reduced-scale regeneration of the experiment's table; the
+//! full-scale table is produced by the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_cc_rounds");
+    g.sample_size(10);
+    g.bench_function("table", |b| b.iter(|| ofa_bench::experiments::e4::run(6, &[4, 8, 16])));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

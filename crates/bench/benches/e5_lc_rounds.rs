@@ -1,0 +1,16 @@
+//! E5 — local-coin rounds vs clustering.
+//!
+//! Times a reduced-scale regeneration of the experiment's table; the
+//! full-scale table is produced by the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_lc_rounds");
+    g.sample_size(10);
+    g.bench_function("table", |b| b.iter(|| ofa_bench::experiments::e5::run(6, &[4, 6])));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

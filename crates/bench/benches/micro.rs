@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the substrates backing the paper's premise that
+//! intra-cluster shared-memory agreement is cheap: consensus-object
+//! proposes, cluster-memory slot access, bitset amplification, and one
+//! full simulated execution.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ofa_core::Algorithm;
+use ofa_sharedmem::{CasConsensus, ClusterMemory, Slot};
+use ofa_sim::SimBuilder;
+use ofa_topology::{Partition, ProcessId, ProcessSet};
+
+fn bench_cas_consensus(c: &mut Criterion) {
+    c.bench_function("cas_consensus_first_propose", |b| {
+        b.iter_batched(
+            CasConsensus::<u8>::new,
+            |cons| cons.propose(1),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("cas_consensus_late_propose", |b| {
+        let cons: CasConsensus<u8> = CasConsensus::new();
+        cons.propose(0);
+        b.iter(|| cons.propose(1))
+    });
+}
+
+fn bench_cluster_memory(c: &mut Criterion) {
+    c.bench_function("cluster_memory_new_slot_propose", |b| {
+        let mem = ClusterMemory::new();
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            mem.propose_raw(Slot::new(round, 1), 1)
+        })
+    });
+    c.bench_function("cluster_memory_hot_slot_propose", |b| {
+        let mem = ClusterMemory::new();
+        mem.propose_raw(Slot::new(1, 1), 0);
+        b.iter(|| mem.propose_raw(Slot::new(1, 1), 1))
+    });
+}
+
+fn bench_amplification(c: &mut Criterion) {
+    let part = Partition::even(64, 4);
+    c.bench_function("bitset_cluster_amplification_n64", |b| {
+        b.iter_batched(
+            || ProcessSet::empty(64),
+            |mut sup| {
+                sup.union_with(part.cluster_members_of(ProcessId(7)));
+                sup.is_majority_of(64)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_sim_run");
+    g.sample_size(10);
+    g.bench_function("fig1_right_common_coin", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            SimBuilder::new(Partition::fig1_right(), Algorithm::CommonCoin)
+                .proposals_split(3)
+                .seed(seed)
+                .run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cas_consensus,
+    bench_cluster_memory,
+    bench_amplification,
+    bench_full_run
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Regenerates every table of EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p ofa-bench --bin experiments            # all
+//! cargo run --release -p ofa-bench --bin experiments e4 e7     # subset
+//! cargo run --release -p ofa-bench --bin experiments --csv e6  # CSV out
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let tables = if ids.is_empty() {
+        ofa_bench::run_all()
+    } else {
+        let mut out = Vec::new();
+        for id in ids {
+            match ofa_bench::run_one(id) {
+                Some(t) => out.push(("", t)),
+                None => {
+                    eprintln!("unknown experiment id: {id} (expected e1..e10)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    };
+
+    for (id, table) in tables {
+        if !id.is_empty() {
+            println!("── {id} ──");
+        }
+        if csv {
+            println!("{}", table.to_csv());
+        } else if markdown {
+            println!("{}", table.to_markdown());
+        } else {
+            println!("{table}");
+        }
+    }
+}

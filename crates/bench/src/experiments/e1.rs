@@ -1,0 +1,86 @@
+//! E1 — Figure 1: both cluster decompositions of `n = 7`, both algorithms.
+//!
+//! The paper's only concrete system pictures are the two decompositions of
+//! Figure 1. E1 runs both algorithms on both, over many seeds and mixed
+//! proposals, and reports decision rate, decision rounds, messages, and
+//! virtual-time latency — the baseline numbers every other experiment
+//! refines.
+
+use ofa_core::Algorithm;
+use ofa_metrics::{fmt_f64, Summary, Table};
+use ofa_sim::SimBuilder;
+use ofa_topology::Partition;
+
+/// Number of seeds per configuration.
+pub const TRIALS: u64 = 25;
+
+/// Runs E1 and renders the table.
+pub fn run(trials: u64) -> Table {
+    let mut table = Table::new(
+        "E1: Figure 1 decompositions (n=7, m=3), mixed proposals (3x1, 4x0)",
+        &[
+            "partition",
+            "algorithm",
+            "decided",
+            "agreement",
+            "mean rounds",
+            "max rounds",
+            "mean msgs",
+            "mean latency",
+        ],
+    );
+    for (label, partition) in [
+        ("fig1-left {3,2,2}", Partition::fig1_left()),
+        ("fig1-right {1,4,2}", Partition::fig1_right()),
+    ] {
+        for algorithm in Algorithm::ALL {
+            let mut rounds = Vec::new();
+            let mut msgs = Vec::new();
+            let mut latency = Vec::new();
+            let mut decided = 0u64;
+            let mut agree = true;
+            for seed in 0..trials {
+                let out = SimBuilder::new(partition.clone(), algorithm)
+                    .proposals_split(3)
+                    .seed(seed)
+                    .run();
+                agree &= out.agreement_holds();
+                if out.all_correct_decided {
+                    decided += 1;
+                }
+                rounds.push(out.max_decision_round as f64);
+                msgs.push(out.counters.messages_sent as f64);
+                latency.push(out.latest_decision_time.ticks() as f64);
+            }
+            let r = Summary::of(rounds.iter().copied());
+            let m = Summary::of(msgs.iter().copied());
+            let l = Summary::of(latency.iter().copied());
+            table.row([
+                label.to_string(),
+                algorithm.to_string(),
+                format!("{decided}/{trials}"),
+                if agree { "yes" } else { "VIOLATED" }.to_string(),
+                fmt_f64(r.mean, 2),
+                fmt_f64(r.max, 0),
+                fmt_f64(m.mean, 0),
+                fmt_f64(l.mean, 0),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_configuration_decides_and_agrees() {
+        let t = run(6);
+        assert_eq!(t.len(), 4);
+        for row in t.rows() {
+            assert_eq!(row[2], "6/6", "all seeds must decide: {row:?}");
+            assert_eq!(row[3], "yes");
+        }
+    }
+}

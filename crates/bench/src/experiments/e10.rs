@@ -1,0 +1,58 @@
+//! E10 — Figure 2: the m&m uniform shared-memory domain example.
+//!
+//! The appendix lists, for the 5-vertex graph of Figure 2, the domain
+//! family `S1 = {p1,p2}`, `S2 = {p1,p2,p3}`, `S3 = {p2,p3,p4,p5}`,
+//! `S4 = S5 = {p3,p4,p5}`. E10 recomputes the family from the graph and
+//! checks it verbatim, alongside each vertex's degree `α_i` and m&m
+//! invocation count `α_i + 1`.
+
+use ofa_metrics::Table;
+use ofa_topology::{MmGraph, ProcessId};
+
+/// The paper's expected domain renderings, 1-based.
+pub const PAPER_DOMAINS: [&str; 5] = [
+    "{p1,p2}",
+    "{p1,p2,p3}",
+    "{p2,p3,p4,p5}",
+    "{p3,p4,p5}",
+    "{p3,p4,p5}",
+];
+
+/// Runs E10; returns whether all domains matched and the table.
+pub fn run() -> (bool, Table) {
+    let g = MmGraph::fig2();
+    let mut table = Table::new(
+        "E10: Figure 2 m&m domains recomputed from the graph",
+        &["memory", "computed S_i", "paper S_i", "match", "degree a_i", "inv/phase"],
+    );
+    let mut all_match = true;
+    for i in 0..g.n() {
+        let p = ProcessId(i);
+        let computed = g.domain(p).to_string();
+        let matches = computed == PAPER_DOMAINS[i];
+        all_match &= matches;
+        table.row([
+            format!("S{}", i + 1),
+            computed,
+            PAPER_DOMAINS[i].to_string(),
+            if matches { "yes" } else { "NO" }.to_string(),
+            g.degree(p).to_string(),
+            g.invocations_per_phase(p).to_string(),
+        ]);
+    }
+    (all_match, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_domains_match_the_paper() {
+        let (ok, t) = run();
+        assert!(ok, "{t}");
+        assert_eq!(t.len(), 5);
+        // The appendix's S4 = S5 coincidence.
+        assert_eq!(t.cell(3, 1), t.cell(4, 1));
+    }
+}

@@ -1,0 +1,100 @@
+//! E2 — "One for all": the majority-cluster headline scenario.
+//!
+//! Paper, §I and §V: on Figure 1 (right), where `P[2] = {p2..p5}` holds a
+//! majority, consensus survives **any** failure pattern that spares one
+//! process of `P[2]` — here, 6 of 7 processes crash. The pure
+//! message-passing baseline (same workload, clusters ignored) tolerates at
+//! most `⌊(n-1)/2⌋ = 3` crashes and must stall.
+
+use ofa_core::{Algorithm, ProtocolConfig};
+use ofa_metrics::Table;
+use ofa_sim::{CrashPlan, SimBuilder};
+use ofa_topology::{Partition, ProcessId};
+
+/// Number of seeds per configuration.
+pub const TRIALS: u64 = 10;
+
+/// Round cap for the (expected-to-stall) baseline runs.
+const STALL_CAP: u64 = 24;
+
+/// Runs E2 and renders the table.
+pub fn run(trials: u64) -> Table {
+    let mut table = Table::new(
+        "E2: 6-of-7 crashes, survivor p3 in majority cluster P[2] (fig1-right)",
+        &[
+            "protocol",
+            "crashes",
+            "survivor decides",
+            "stalls (safe)",
+            "wrong decisions",
+        ],
+    );
+    let partition = Partition::fig1_right();
+    let crash_all_but_p3 = || {
+        let mut plan = CrashPlan::new();
+        for i in [0usize, 1, 3, 4, 5, 6] {
+            plan = plan.crash_at_start(ProcessId(i));
+        }
+        plan
+    };
+    for (label, config) in [
+        ("hybrid Alg 2 (paper)", ProtocolConfig::paper()),
+        ("hybrid Alg 3 (paper)", ProtocolConfig::paper()),
+        (
+            "pure message-passing Ben-Or",
+            ProtocolConfig::pure_message_passing(),
+        ),
+    ] {
+        let algorithm = if label.contains("Alg 3") {
+            Algorithm::CommonCoin
+        } else {
+            Algorithm::LocalCoin
+        };
+        let mut survivor_decided = 0u64;
+        let mut stalled = 0u64;
+        let mut wrong = 0u64;
+        for seed in 0..trials {
+            let out = SimBuilder::new(partition.clone(), algorithm)
+                .config(config.with_max_rounds(STALL_CAP))
+                .proposals_split(3)
+                .crashes(crash_all_but_p3())
+                .seed(seed)
+                .run();
+            if !out.agreement_holds() {
+                wrong += 1;
+            }
+            if out.decisions[2].is_some() {
+                survivor_decided += 1;
+            } else {
+                stalled += 1;
+            }
+        }
+        table.row([
+            label.to_string(),
+            "6/7".to_string(),
+            format!("{survivor_decided}/{trials}"),
+            format!("{stalled}/{trials}"),
+            format!("{wrong}"),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_survives_baseline_stalls() {
+        let t = run(4);
+        // Hybrid rows decide everywhere.
+        assert_eq!(t.rows()[0][2], "4/4", "{:?}", t.rows()[0]);
+        assert_eq!(t.rows()[1][2], "4/4", "{:?}", t.rows()[1]);
+        // Baseline stalls everywhere — but never decides wrongly.
+        assert_eq!(t.rows()[2][2], "0/4", "{:?}", t.rows()[2]);
+        assert_eq!(t.rows()[2][3], "4/4");
+        for row in t.rows() {
+            assert_eq!(row[4], "0", "indulgence: no wrong decision ever");
+        }
+    }
+}

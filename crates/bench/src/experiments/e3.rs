@@ -1,0 +1,118 @@
+//! E3 — the §III-B termination predicate, validated empirically.
+//!
+//! The paper's main property: the algorithms terminate iff some set of
+//! clusters, each with at least one correct process, has total size
+//! `> n/2`. With crashes injected *at start* (the adversary's strongest
+//! move — crashed processes never send anything), the predicate is exact:
+//! every predicate-true pattern must decide, every predicate-false pattern
+//! must stall, and **no** pattern may decide wrongly (indulgence).
+
+use ofa_core::Algorithm;
+use ofa_metrics::Table;
+use ofa_sim::{CrashPlan, SimBuilder};
+use ofa_topology::{predicate, Partition, ProcessId, ProcessSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of random (partition, crash-set) trials.
+pub const TRIALS: u64 = 60;
+
+/// Round cap for expected-stall runs.
+const STALL_CAP: u64 = 16;
+
+/// Outcome counts, exposed for assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct E3Counts {
+    /// Trials where the predicate held.
+    pub predicate_true: u64,
+    /// … of which terminated (must equal `predicate_true`).
+    pub true_terminated: u64,
+    /// Trials where the predicate failed.
+    pub predicate_false: u64,
+    /// … of which terminated (must be 0 for at-start crashes).
+    pub false_terminated: u64,
+    /// Agreement/validity violations anywhere (must be 0).
+    pub violations: u64,
+}
+
+/// Runs E3 and returns counts plus the rendered table.
+pub fn run(trials: u64) -> (E3Counts, Table) {
+    let mut rng = StdRng::seed_from_u64(0xE3);
+    let mut counts = E3Counts::default();
+    for trial in 0..trials {
+        let n = rng.gen_range(3..=9);
+        let m = rng.gen_range(1..=n);
+        let partition = Partition::random(n, m, &mut rng);
+        // Random non-full crash set.
+        let crash_count = rng.gen_range(0..n);
+        let mut crashed = ProcessSet::empty(n);
+        while crashed.len() < crash_count {
+            crashed.insert(ProcessId(rng.gen_range(0..n)));
+        }
+        let holds = predicate::guarantees_termination(&partition, &crashed);
+        let algorithm = if trial % 2 == 0 {
+            Algorithm::LocalCoin
+        } else {
+            Algorithm::CommonCoin
+        };
+        let out = SimBuilder::new(partition, algorithm)
+            .proposals_split(n / 2)
+            .crashes(CrashPlan::new().crash_set_at_start(&crashed))
+            .max_rounds(if holds { 256 } else { STALL_CAP })
+            .seed(trial)
+            .run();
+        if !out.agreement_holds() {
+            counts.violations += 1;
+        }
+        if holds {
+            counts.predicate_true += 1;
+            if out.all_correct_decided {
+                counts.true_terminated += 1;
+            }
+        } else {
+            counts.predicate_false += 1;
+            if out.deciders() > 0 {
+                counts.false_terminated += 1;
+            }
+        }
+    }
+    let mut table = Table::new(
+        "E3: termination predicate vs observed termination (random partitions & at-start crashes)",
+        &["predicate", "trials", "terminated", "stalled", "violations"],
+    );
+    table.row([
+        "holds".to_string(),
+        counts.predicate_true.to_string(),
+        counts.true_terminated.to_string(),
+        (counts.predicate_true - counts.true_terminated).to_string(),
+        counts.violations.to_string(),
+    ]);
+    table.row([
+        "fails".to_string(),
+        counts.predicate_false.to_string(),
+        counts.false_terminated.to_string(),
+        (counts.predicate_false - counts.false_terminated).to_string(),
+        "0".to_string(),
+    ]);
+    (counts, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_is_exact_for_at_start_crashes() {
+        let (c, _) = run(24);
+        assert_eq!(
+            c.true_terminated, c.predicate_true,
+            "predicate-true patterns must all terminate: {c:?}"
+        );
+        assert_eq!(
+            c.false_terminated, 0,
+            "predicate-false at-start patterns must all stall: {c:?}"
+        );
+        assert_eq!(c.violations, 0, "indulgence: {c:?}");
+        assert!(c.predicate_true > 0 && c.predicate_false > 0, "{c:?}");
+    }
+}

@@ -1,0 +1,81 @@
+//! E4 — expected decision rounds of the common-coin algorithm.
+//!
+//! Paper §IV: "The consensus termination property is obtained in two
+//! stages … The expected number of rounds for this to happen during the
+//! second stage is 2." So decision rounds should concentrate on small
+//! values — independent of `n` — with a geometric tail (each extra round
+//! is a coin miss, probability 1/2).
+
+use ofa_core::Algorithm;
+use ofa_metrics::{fmt_f64, Histogram, Summary, Table};
+use ofa_sim::SimBuilder;
+use ofa_topology::Partition;
+
+/// Seeds per system size.
+pub const TRIALS: u64 = 40;
+
+/// System sizes exercised.
+pub const SIZES: [usize; 5] = [4, 8, 16, 32, 48];
+
+/// Runs E4; returns the per-size mean rounds (for assertions) and the
+/// table.
+pub fn run(trials: u64, sizes: &[usize]) -> (Vec<f64>, Table) {
+    let mut table = Table::new(
+        "E4: common-coin (Alg 3) decision rounds vs n — adversarial split proposals, m=4 clusters",
+        &["n", "mean", "median", "p99", "max", "P[r<=2]", "P[r<=4]"],
+    );
+    let mut means = Vec::new();
+    for &n in sizes {
+        let partition = Partition::even(n, 4.min(n));
+        let mut rounds = Histogram::new();
+        for trial in 0..trials {
+            // Distinct seed ranges per n, so coin sequences differ across
+            // system sizes too.
+            let seed = n as u64 * 10_000 + trial;
+            let out = SimBuilder::new(partition.clone(), Algorithm::CommonCoin)
+                .proposals_split(n / 2)
+                .seed(seed)
+                .run();
+            assert!(out.all_correct_decided, "n={n} trial={trial} must decide");
+            rounds.record(out.max_decision_round);
+        }
+        let s = Summary::of_ints(
+            rounds
+                .iter()
+                .flat_map(|(v, c)| std::iter::repeat(v).take(c as usize)),
+        );
+        means.push(s.mean);
+        table.row([
+            n.to_string(),
+            fmt_f64(s.mean, 2),
+            fmt_f64(s.median, 1),
+            fmt_f64(s.p99, 0),
+            fmt_f64(s.max, 0),
+            fmt_f64(rounds.cdf(2), 2),
+            fmt_f64(rounds.cdf(4), 2),
+        ]);
+    }
+    (means, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_stay_small_and_size_independent() {
+        let (means, t) = run(15, &[4, 8, 16]);
+        assert_eq!(t.len(), 3);
+        for (i, mean) in means.iter().enumerate() {
+            assert!(
+                *mean <= 4.0,
+                "mean decision round should be ~2, got {mean} (row {i})"
+            );
+        }
+        // No systematic growth with n: largest mean within 2 rounds of the
+        // smallest.
+        let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = means.iter().cloned().fold(0.0, f64::max);
+        assert!(hi - lo <= 2.0, "means = {means:?}");
+    }
+}

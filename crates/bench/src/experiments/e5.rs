@@ -1,0 +1,93 @@
+//! E5 — clustering collapses the local-coin algorithm's round count.
+//!
+//! §I claims clusters buy *efficiency*. For Algorithm 2 the mechanism is
+//! visible in the round counter: with `m = 1`, the single cluster's
+//! consensus object makes every estimate identical, so the algorithm
+//! decides in round 1; with `m = n` it degenerates to pure Ben-Or, whose
+//! local coins must align by luck — rounds grow with `n` under split
+//! inputs. Intermediate `m` interpolates: fewer clusters ⇒ fewer distinct
+//! estimates ⇒ faster convergence.
+
+use ofa_core::Algorithm;
+use ofa_metrics::{fmt_f64, Summary, Table};
+use ofa_sim::SimBuilder;
+use ofa_topology::Partition;
+
+/// Seeds per configuration.
+pub const TRIALS: u64 = 30;
+
+/// System sizes exercised.
+pub const SIZES: [usize; 4] = [4, 6, 8, 10];
+
+/// Round cap (runs that hit it count as `capped`).
+const CAP: u64 = 64;
+
+/// Runs E5; returns `(m=1 means, m=n means)` per size plus the table.
+pub fn run(trials: u64, sizes: &[usize]) -> (Vec<f64>, Vec<f64>, Table) {
+    let mut table = Table::new(
+        "E5: local-coin (Alg 2) mean decision rounds vs clustering — split proposals",
+        &["n", "m=1", "m=2", "m=n/2", "m=n (Ben-Or)", "capped@m=n"],
+    );
+    let mut m1 = Vec::new();
+    let mut mn = Vec::new();
+    for &n in sizes {
+        let mut cells = vec![n.to_string()];
+        let mut capped_at_mn = 0u64;
+        for m in [1, 2, n / 2, n] {
+            let partition = Partition::even(n, m.max(1));
+            let mut rounds = Vec::new();
+            for seed in 0..trials {
+                let out = SimBuilder::new(partition.clone(), Algorithm::LocalCoin)
+                    .proposals_split(n / 2)
+                    .max_rounds(CAP)
+                    .seed(seed)
+                    .run();
+                if out.all_correct_decided {
+                    rounds.push(out.max_decision_round as f64);
+                } else if m == n {
+                    capped_at_mn += 1;
+                }
+            }
+            let s = Summary::of(rounds.iter().copied());
+            cells.push(fmt_f64(s.mean, 2));
+            if m == 1 {
+                m1.push(s.mean);
+            }
+            if m == n {
+                mn.push(s.mean);
+            }
+        }
+        cells.push(format!("{capped_at_mn}/{trials}"));
+        table.row(cells);
+    }
+    (m1, mn, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cluster_decides_in_one_round() {
+        let (m1, _, _) = run(8, &[4, 6]);
+        for mean in m1 {
+            assert_eq!(mean, 1.0, "m=1: cluster pre-agreement forces round 1");
+        }
+    }
+
+    #[test]
+    fn pure_ben_or_needs_more_rounds_than_clustered() {
+        let (m1, mn, _) = run(10, &[6, 8]);
+        for (a, b) in m1.iter().zip(mn.iter()) {
+            assert!(
+                b >= a,
+                "m=n should never beat m=1 on rounds (m1={a}, mn={b})"
+            );
+        }
+        // And strictly worse somewhere.
+        assert!(
+            mn.iter().zip(m1.iter()).any(|(b, a)| b > a),
+            "Ben-Or should pay extra rounds under split inputs: {mn:?}"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! E6 — the §III-C comparison against the m&m model.
+//!
+//! Quantities compared: number of shared memories (`m` vs `n`) and
+//! consensus-object invocations per process per phase (`1` vs `α_i + 1`).
+//! The measured columns come from instrumented runs of both protocols
+//! under the simulator; they must reproduce the analytic values.
+
+use ofa_metrics::{fmt_f64, Table};
+use ofa_mm::{analytic, measured};
+use ofa_topology::{MmGraph, Partition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Scenario list: `(label, partition, graph)` with equal `n`.
+pub fn scenarios() -> Vec<(String, Partition, MmGraph)> {
+    let mut rng = StdRng::seed_from_u64(0xE6);
+    vec![
+        (
+            "fig2 (n=5) vs {3,2}".into(),
+            Partition::from_sizes(&[3, 2]).unwrap(),
+            MmGraph::fig2(),
+        ),
+        (
+            "ring(8) vs even(8,2)".into(),
+            Partition::even(8, 2),
+            MmGraph::ring(8),
+        ),
+        (
+            "star(8) vs even(8,2)".into(),
+            Partition::even(8, 2),
+            MmGraph::star(8),
+        ),
+        (
+            "grid(3x3) vs even(9,3)".into(),
+            Partition::even(9, 3),
+            MmGraph::grid(3, 3),
+        ),
+        (
+            "gnp(10,0.3) vs even(10,2)".into(),
+            Partition::even(10, 2),
+            MmGraph::random_gnp(10, 0.3, &mut rng),
+        ),
+        (
+            "complete(6) vs {6}".into(),
+            Partition::single_cluster(6),
+            MmGraph::complete(6),
+        ),
+    ]
+}
+
+/// Runs E6 and renders the table.
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "E6: hybrid vs m&m — memories and consensus-object invocations per process per phase",
+        &[
+            "scenario",
+            "mem hybrid (m)",
+            "mem m&m (n)",
+            "inv hybrid",
+            "inv m&m mean (a_i+1)",
+            "inv m&m max",
+            "measured hybrid",
+            "measured m&m",
+        ],
+    );
+    for (label, partition, graph) in scenarios() {
+        let row = analytic(&label, &partition, &graph);
+        let (hybrid_meas, mm_meas) = measured(&partition, &graph, 0xE6);
+        table.row([
+            row.label.clone(),
+            row.hybrid_memories.to_string(),
+            row.mm_memories.to_string(),
+            fmt_f64(row.hybrid_invocations_per_phase, 1),
+            fmt_f64(row.mm_invocations_mean, 2),
+            row.mm_invocations_max.to_string(),
+            fmt_f64(hybrid_meas, 2),
+            fmt_f64(mm_meas, 2),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_matches_analytic() {
+        for (label, partition, graph) in scenarios() {
+            let row = analytic(&label, &partition, &graph);
+            let (hybrid_meas, mm_meas) = measured(&partition, &graph, 1);
+            assert!(
+                (mm_meas - row.mm_invocations_mean).abs() < 1e-9,
+                "{label}: measured m&m {mm_meas} != analytic {}",
+                row.mm_invocations_mean
+            );
+            assert!(
+                hybrid_meas <= 1.0 + 1e-9 && hybrid_meas > 0.4,
+                "{label}: hybrid invocations/phase should be ~1, got {hybrid_meas}"
+            );
+            assert!(row.hybrid_memories <= row.mm_memories, "{label}");
+        }
+    }
+
+    #[test]
+    fn table_has_all_scenarios() {
+        assert_eq!(run().len(), scenarios().len());
+    }
+}

@@ -1,0 +1,100 @@
+//! E7 — the efficiency/scalability tradeoff (§I, §II extreme configurations).
+//!
+//! The paper's premise: intra-cluster shared memory is *efficient but does
+//! not scale* (hardware contention grows with the number of sharers),
+//! message passing *scales but is slow*. We model the non-scaling memory
+//! by charging each consensus-object invocation `beta × cluster_size`
+//! virtual ticks, against a network round-trip of ~1000 ticks, and sweep
+//! the cluster count `m` for fixed `n`:
+//!
+//! * few clusters ⇒ expensive memory ops but fewer, shorter rounds
+//!   (estimates pre-agreed);
+//! * many clusters ⇒ cheap memory ops but more message rounds (coin luck).
+//!
+//! The crossover location moves with `beta` — exactly the tradeoff the
+//! paper argues qualitatively.
+
+use ofa_core::Algorithm;
+use ofa_metrics::{fmt_f64, Summary, Table};
+use ofa_sim::{CostModel, DelayModel, SimBuilder};
+use ofa_topology::Partition;
+
+/// Seeds per configuration.
+pub const TRIALS: u64 = 15;
+
+/// The fixed system size.
+pub const N: usize = 12;
+
+/// Contention factors swept (virtual ticks per sharer per memory op).
+pub const BETAS: [u64; 3] = [1, 50, 400];
+
+/// Cluster counts swept.
+pub const MS: [usize; 5] = [1, 2, 3, 6, 12];
+
+/// Runs E7; returns the latency matrix `[beta][m]` and the table.
+pub fn run(trials: u64) -> (Vec<Vec<f64>>, Table) {
+    let mut table = Table::new(
+        "E7: mean decision latency (virtual ticks) vs cluster count m — n=12, Alg 2, sm cost = beta x cluster size, net delay ~1000",
+        &["beta \\ m", "m=1", "m=2", "m=3", "m=6", "m=12"],
+    );
+    let mut matrix = Vec::new();
+    for beta in BETAS {
+        let mut row = vec![format!("beta={beta}")];
+        let mut lats = Vec::new();
+        for m in MS {
+            let partition = Partition::even(N, m);
+            let cluster_size = (N / m) as u64;
+            let costs = CostModel::new().with_sm_op_cost(beta * cluster_size);
+            let mut latency = Vec::new();
+            for seed in 0..trials {
+                let out = SimBuilder::new(partition.clone(), Algorithm::LocalCoin)
+                    .proposals_split(N / 2)
+                    .costs(costs)
+                    .delay(DelayModel::Uniform { lo: 500, hi: 1500 })
+                    .seed(seed)
+                    .run();
+                if out.all_correct_decided {
+                    latency.push(out.latest_decision_time.ticks() as f64);
+                }
+            }
+            let s = Summary::of(latency.iter().copied());
+            row.push(fmt_f64(s.mean, 0));
+            lats.push(s.mean);
+        }
+        matrix.push(lats);
+        table.row(row);
+    }
+    (matrix, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cheap_memory_favors_one_big_cluster() {
+        let (matrix, _) = run(8);
+        // beta=1: m=1 should be the cheapest configuration (1 round, sm
+        // ops nearly free).
+        let beta1 = &matrix[0];
+        let min = beta1.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert_eq!(beta1[0], min, "beta=1: m=1 should win: {beta1:?}");
+        // And m=1 beats m=n clearly.
+        assert!(beta1[0] < beta1[4], "{beta1:?}");
+    }
+
+    #[test]
+    fn expensive_memory_erodes_the_big_cluster_advantage() {
+        let (matrix, _) = run(8);
+        // The m=1 latency must grow monotonically with beta...
+        let m1: Vec<f64> = matrix.iter().map(|row| row[0]).collect();
+        assert!(m1[0] <= m1[1] && m1[1] <= m1[2], "{m1:?}");
+        // ...while the m=n latency is essentially beta-independent
+        // (singleton clusters pay sm cost x1 only).
+        let mn: Vec<f64> = matrix.iter().map(|row| row[4]).collect();
+        let spread = (mn.iter().cloned().fold(0.0, f64::max)
+            - mn.iter().cloned().fold(f64::INFINITY, f64::min))
+            / mn[0];
+        assert!(spread < 0.6, "m=n latency should barely move: {mn:?}");
+    }
+}

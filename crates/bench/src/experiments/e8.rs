@@ -1,0 +1,141 @@
+//! E8 — the fault-tolerance frontier: "consensus despite a majority of
+//! crashes" (§I, §V).
+//!
+//! For several partition shapes, compute the analytic frontier (maximum
+//! crash count with a surviving-cover witness) and validate it
+//! empirically: the witness pattern decides; an equally-sized pattern
+//! violating the predicate stalls. The classical message-passing bound
+//! `⌊(n-1)/2⌋` is shown for contrast.
+
+use ofa_core::Algorithm;
+use ofa_metrics::Table;
+use ofa_sim::{CrashPlan, SimBuilder};
+use ofa_topology::{predicate, Partition, ProcessSet};
+
+/// Partition shapes exercised.
+pub fn shapes() -> Vec<(String, Partition)> {
+    vec![
+        ("fig1-left {3,2,2}".into(), Partition::fig1_left()),
+        ("fig1-right {1,4,2}".into(), Partition::fig1_right()),
+        ("{6,1,1,1,1} n=10".into(), Partition::from_sizes(&[6, 1, 1, 1, 1]).unwrap()),
+        ("even(8,4)".into(), Partition::even(8, 4)),
+        ("singletons(7)".into(), Partition::singletons(7)),
+        ("single(9)".into(), Partition::single_cluster(9)),
+    ]
+}
+
+/// Runs E8; returns `(analytic max crashes, witness decided, breaker
+/// stalled)` per shape and the table.
+pub fn run() -> (Vec<(usize, bool, bool)>, Table) {
+    let mut table = Table::new(
+        "E8: fault-tolerance frontier per partition shape (Alg 3)",
+        &[
+            "partition",
+            "n",
+            "MP bound",
+            "max crashes (hybrid)",
+            "witness decides",
+            "breaker stalls",
+        ],
+    );
+    let mut results = Vec::new();
+    for (label, partition) in shapes() {
+        let f = predicate::frontier(&partition);
+        let witness = predicate::witness_crash_set(&partition);
+        debug_assert_eq!(witness.len(), f.max_tolerated_crashes);
+
+        let witness_out = SimBuilder::new(partition.clone(), Algorithm::CommonCoin)
+            .proposals_split(partition.n() / 2)
+            .crashes(CrashPlan::new().crash_set_at_start(&witness))
+            .seed(8)
+            .run();
+        let witness_ok = witness_out.all_correct_decided && witness_out.agreement_holds();
+
+        // Breaker: same number of crashes arranged to break the predicate
+        // (kill the cover clusters first). Skip when no such arrangement
+        // exists (fewer crashes than needed to break anything).
+        let breaker = breaker_crash_set(&partition, f.max_tolerated_crashes);
+        let breaker_stalls = match &breaker {
+            Some(set) => {
+                let out = SimBuilder::new(partition.clone(), Algorithm::CommonCoin)
+                    .proposals_split(partition.n() / 2)
+                    .crashes(CrashPlan::new().crash_set_at_start(set))
+                    .max_rounds(16)
+                    .seed(9)
+                    .run();
+                out.deciders() == 0 && out.agreement_holds()
+            }
+            None => true, // vacuous
+        };
+
+        table.row([
+            label,
+            partition.n().to_string(),
+            f.message_passing_bound.to_string(),
+            f.max_tolerated_crashes.to_string(),
+            if witness_ok { "yes" } else { "NO" }.to_string(),
+            match &breaker {
+                Some(_) if breaker_stalls => "yes".to_string(),
+                Some(_) => "NO".to_string(),
+                None => "n/a".to_string(),
+            },
+        ]);
+        results.push((f.max_tolerated_crashes, witness_ok, breaker_stalls));
+    }
+    (results, table)
+}
+
+/// Builds a crash set of exactly `budget` processes that falsifies the
+/// predicate, if one exists: silence whole clusters greedily (largest
+/// first) until live weight drops to `<= n/2`, then pad with arbitrary
+/// further crashes.
+fn breaker_crash_set(partition: &Partition, budget: usize) -> Option<ProcessSet> {
+    let n = partition.n();
+    let mut crashed = ProcessSet::empty(n);
+    let mut order: Vec<_> = partition.clusters().collect();
+    order.sort_by_key(|(_, s)| std::cmp::Reverse(s.len()));
+    for (_, members) in order {
+        if crashed.len() + members.len() > budget {
+            continue;
+        }
+        crashed.union_with(members);
+        if !predicate::guarantees_termination(partition, &crashed) {
+            // Pad to exactly `budget` with any remaining processes.
+            for p in partition.processes() {
+                if crashed.len() >= budget {
+                    break;
+                }
+                crashed.insert(p);
+            }
+            if predicate::guarantees_termination(partition, &crashed) {
+                return None; // padding resurrected the predicate — give up
+            }
+            return Some(crashed);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_matches_theory_and_simulation() {
+        let (results, t) = run();
+        // Analytic values for the six shapes.
+        let expect = [5usize, 6, 9, 5, 3, 8];
+        for ((max, witness_ok, breaker_stalls), want) in results.iter().zip(expect) {
+            assert_eq!(*max, want);
+            assert!(*witness_ok, "witness pattern must decide");
+            assert!(*breaker_stalls, "breaker pattern must stall safely");
+        }
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn hybrid_beats_message_passing_bound_with_a_majority_cluster() {
+        let f = predicate::frontier(&Partition::fig1_right());
+        assert!(f.max_tolerated_crashes > f.message_passing_bound);
+    }
+}

@@ -1,0 +1,93 @@
+//! E9 — ablation: amplification without intra-cluster pre-agreement.
+//!
+//! The paper's soundness argument for "one for all" (§III-A) hinges on the
+//! cluster consensus objects: *because* `CONS_x[r, ph]` makes all members
+//! of `P[x]` broadcast the same value, crediting the whole cluster on one
+//! message is safe (WA1 holds). This ablation keeps the amplification but
+//! removes the pre-agreement — and the invariant checker duly reports WA1
+//! violations, which the faithful configuration never produces. The
+//! violations are real disagreement hazards: the same runs also show
+//! phase-2 `rec` sets containing both values.
+
+use ofa_core::{Algorithm, InvariantChecker, ProtocolConfig};
+use ofa_metrics::Table;
+use ofa_sim::SimBuilder;
+use ofa_topology::Partition;
+use std::sync::Arc;
+
+/// Seeds per configuration.
+pub const TRIALS: u64 = 40;
+
+/// Runs E9; returns `(paper violations, ablation violations)` and the
+/// table.
+pub fn run(trials: u64) -> ((u64, u64), Table) {
+    let partition = Partition::even(6, 2);
+    let mut table = Table::new(
+        "E9: WA1/WA2 violations with vs without cluster pre-agreement — even(6,2), split proposals",
+        &[
+            "configuration",
+            "runs",
+            "runs w/ violations",
+            "total violations",
+            "agreement failures",
+        ],
+    );
+    let mut totals = (0u64, 0u64);
+    for (label, config) in [
+        ("paper (pre-agree + amplify)", ProtocolConfig::paper()),
+        (
+            "ABLATION (amplify only)",
+            ProtocolConfig::ablation_no_preagree(),
+        ),
+    ] {
+        let mut runs_with = 0u64;
+        let mut violations = 0u64;
+        let mut agreement_failures = 0u64;
+        for seed in 0..trials {
+            let checker = Arc::new(InvariantChecker::new());
+            let out = SimBuilder::new(partition.clone(), Algorithm::LocalCoin)
+                .config(config.with_max_rounds(32))
+                .proposals_split(3)
+                .observer(checker.clone())
+                .seed(seed)
+                .run();
+            let v = checker.violations().len() as u64;
+            if v > 0 {
+                runs_with += 1;
+            }
+            violations += v;
+            if !out.agreement_holds() {
+                agreement_failures += 1;
+            }
+        }
+        if label.starts_with("paper") {
+            totals.0 = violations;
+        } else {
+            totals.1 = violations;
+        }
+        table.row([
+            label.to_string(),
+            trials.to_string(),
+            format!("{runs_with}/{trials}"),
+            violations.to_string(),
+            agreement_failures.to_string(),
+        ]);
+    }
+    (totals, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_clean_ablation_is_not() {
+        let ((paper, ablation), t) = run(25);
+        assert_eq!(paper, 0, "faithful algorithm must never violate WA1/WA2");
+        assert!(
+            ablation > 0,
+            "ablation should exhibit WA1 violations (got none in 25 seeds)"
+        );
+        assert_eq!(t.len(), 2);
+    }
+}

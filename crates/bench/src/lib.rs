@@ -1,0 +1,85 @@
+//! # `ofa-bench` — the experiment harness
+//!
+//! One module per experiment of the reproduction plan (see DESIGN.md §6);
+//! each exposes a `run(..)` function returning an [`ofa_metrics::Table`]
+//! (plus typed values where tests assert on them). The `experiments`
+//! binary prints every table; the Criterion benches in `benches/` time
+//! them; EXPERIMENTS.md records the paper-vs-measured comparison.
+//!
+//! | id | claim |
+//! |----|-------|
+//! | E1 | Figure 1 decompositions run both algorithms to agreement |
+//! | E2 | one-for-all: 6-of-7 crashes survived with a majority cluster |
+//! | E3 | §III-B termination predicate is empirically exact |
+//! | E4 | common-coin decision rounds ≈ 2, independent of n |
+//! | E5 | clustering collapses local-coin round counts |
+//! | E6 | §III-C hybrid-vs-m&m structural comparison |
+//! | E7 | efficiency/scalability tradeoff (sm cost vs net delay) |
+//! | E8 | fault-tolerance frontier beats the `⌊(n-1)/2⌋` MP bound |
+//! | E9 | ablation: amplification needs cluster pre-agreement |
+//! | E10 | Figure 2 m&m domains recomputed verbatim |
+
+#![warn(missing_docs)]
+
+/// The experiment modules, E1 through E10.
+pub mod experiments {
+    pub mod e1;
+    pub mod e10;
+    pub mod e2;
+    pub mod e3;
+    pub mod e4;
+    pub mod e5;
+    pub mod e6;
+    pub mod e7;
+    pub mod e8;
+    pub mod e9;
+}
+
+use ofa_metrics::Table;
+
+/// Runs every experiment at its default scale, returning `(id, table)`
+/// pairs in order.
+pub fn run_all() -> Vec<(&'static str, Table)> {
+    use experiments::*;
+    vec![
+        ("E1", e1::run(e1::TRIALS)),
+        ("E2", e2::run(e2::TRIALS)),
+        ("E3", e3::run(e3::TRIALS).1),
+        ("E4", e4::run(e4::TRIALS, &e4::SIZES).1),
+        ("E5", e5::run(e5::TRIALS, &e5::SIZES).2),
+        ("E6", e6::run()),
+        ("E7", e7::run(e7::TRIALS).1),
+        ("E8", e8::run().1),
+        ("E9", e9::run(e9::TRIALS).1),
+        ("E10", e10::run().1),
+    ]
+}
+
+/// Runs one experiment by id (case-insensitive), at default scale.
+pub fn run_one(id: &str) -> Option<Table> {
+    use experiments::*;
+    Some(match id.to_ascii_lowercase().as_str() {
+        "e1" => e1::run(e1::TRIALS),
+        "e2" => e2::run(e2::TRIALS),
+        "e3" => e3::run(e3::TRIALS).1,
+        "e4" => e4::run(e4::TRIALS, &e4::SIZES).1,
+        "e5" => e5::run(e5::TRIALS, &e5::SIZES).2,
+        "e6" => e6::run(),
+        "e7" => e7::run(e7::TRIALS).1,
+        "e8" => e8::run().1,
+        "e9" => e9::run(e9::TRIALS).1,
+        "e10" => e10::run().1,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_one_rejects_unknown_ids() {
+        assert!(run_one("e99").is_none());
+        assert!(run_one("E10").is_some());
+    }
+}

@@ -1,0 +1,124 @@
+//! Pure message-passing baselines.
+//!
+//! The paper's §III-B remark: "If each cluster contains a single process
+//! … the algorithm then boils down to Ben-Or's algorithm". The baselines
+//! below make that degeneration explicit: the same protocol skeletons with
+//! cluster pre-agreement and amplification switched off, so supporters
+//! reduce to a simple counting of individual senders. They serve as the
+//! comparison points for experiments E2, E5, and E7.
+//!
+//! Run them either on a [`ofa_topology::Partition::singletons`] partition
+//! (the honest `m = n` model) or on a clustered partition whose memories
+//! they simply never use (for apples-to-apples fault-tolerance
+//! comparisons).
+
+use crate::{ben_or_hybrid, common_coin_hybrid, Bit, Decision, Env, Halt, ProtocolConfig};
+
+/// Classic Ben-Or randomized binary consensus (PODC 1983) — the
+/// message-passing ancestor of Algorithm 2.
+///
+/// Requires a majority of correct processes to terminate; indulgent
+/// otherwise.
+///
+/// # Errors
+///
+/// Same contract as [`ben_or_hybrid`].
+pub fn ben_or_classic(
+    env: &mut dyn Env,
+    proposal: Bit,
+    max_rounds: Option<u64>,
+) -> Result<Decision, Halt> {
+    let cfg = ProtocolConfig {
+        max_rounds,
+        ..ProtocolConfig::pure_message_passing()
+    };
+    ben_or_hybrid(env, proposal, &cfg)
+}
+
+/// Classic common-coin randomized binary consensus (the crash-fault
+/// protocol of \[22\], itself adapted from Friedman–Mostéfaoui–Raynal \[10\])
+/// — the message-passing ancestor of Algorithm 3.
+///
+/// # Errors
+///
+/// Same contract as [`common_coin_hybrid`].
+pub fn common_coin_classic(
+    env: &mut dyn Env,
+    proposal: Bit,
+    max_rounds: Option<u64>,
+) -> Result<Decision, Halt> {
+    let cfg = ProtocolConfig {
+        max_rounds,
+        ..ProtocolConfig::pure_message_passing()
+    };
+    common_coin_hybrid(env, proposal, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Msg, MsgKind};
+    use ofa_sharedmem::Slot;
+    use ofa_topology::{Partition, ProcessId};
+    use std::collections::VecDeque;
+
+    struct Solo {
+        part: Partition,
+        queue: VecDeque<Msg>,
+        cluster_calls: u32,
+    }
+
+    impl Solo {
+        fn new() -> Self {
+            Solo {
+                part: Partition::singletons(1),
+                queue: VecDeque::new(),
+                cluster_calls: 0,
+            }
+        }
+    }
+
+    impl Env for Solo {
+        fn me(&self) -> ProcessId {
+            ProcessId(0)
+        }
+        fn partition(&self) -> &Partition {
+            &self.part
+        }
+        fn send(&mut self, to: ProcessId, msg: MsgKind) -> Result<(), Halt> {
+            if to == self.me() {
+                self.queue.push_back(Msg {
+                    from: self.me(),
+                    kind: msg,
+                });
+            }
+            Ok(())
+        }
+        fn recv(&mut self) -> Result<Msg, Halt> {
+            self.queue.pop_front().ok_or(Halt::Stopped)
+        }
+        fn cluster_propose(&mut self, _slot: Slot, enc: u64) -> Result<u64, Halt> {
+            self.cluster_calls += 1;
+            Ok(enc)
+        }
+        fn local_coin(&mut self) -> Result<Bit, Halt> {
+            Ok(Bit::Zero)
+        }
+        fn common_coin(&mut self, _round: u64) -> Result<Bit, Halt> {
+            Ok(Bit::Zero)
+        }
+    }
+
+    #[test]
+    fn baselines_never_touch_cluster_objects() {
+        let mut env = Solo::new();
+        let d = ben_or_classic(&mut env, Bit::One, Some(16)).unwrap();
+        assert_eq!(d.value, Bit::One);
+        assert_eq!(env.cluster_calls, 0, "baseline must not use shared memory");
+
+        let mut env = Solo::new();
+        let d = common_coin_classic(&mut env, Bit::Zero, Some(16)).unwrap();
+        assert_eq!(d.value, Bit::Zero);
+        assert_eq!(env.cluster_calls, 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Algorithm 3: common-coin binary consensus for the hybrid model.
+//!
+//! A single-phase-per-round extension of the crash-fault version of the
+//! oracle-based protocol of Friedman, Mostéfaoui & Raynal [10] (as
+//! simplified in Raynal's 2018 textbook [22]). Once every correct process
+//! holds the same estimate `v`, the expected number of extra rounds until
+//! the common coin equals `v` — and everyone decides — is 2.
+//!
+//! The code is a line-for-line transcription of the paper's Algorithm 3;
+//! comments cite its line numbers.
+
+use crate::local_coin_alg::relay_decide;
+use crate::pattern::{msg_exchange, Exchange};
+use crate::{Bit, Decision, Env, Halt, Mailbox, MsgKind, ObsEvent, Phase, ProtocolConfig};
+use ofa_sharedmem::{CodableValue, Slot};
+
+/// The slot-phase index used for Algorithm 3's single per-round consensus
+/// object `CONS_x[r]` (distinct from Algorithm 2's phases 1 and 2).
+const SINGLE_PHASE_SLOT: u8 = 0;
+
+/// Runs `propose(v_i)` of Algorithm 3 on behalf of the calling process
+/// (single-shot: protocol instance 0, fresh mailbox).
+///
+/// Returns the [`Decision`] or the [`Halt`] that interrupted the process.
+///
+/// # Errors
+///
+/// * `Halt::Crashed` — the substrate injected a crash,
+/// * `Halt::Stopped` — round budget exhausted or the process can never be
+///   unblocked (the §III-B termination predicate fails).
+pub fn common_coin_hybrid(
+    env: &mut dyn Env,
+    proposal: Bit,
+    cfg: &ProtocolConfig,
+) -> Result<Decision, Halt> {
+    let mut mailbox = Mailbox::new();
+    common_coin_hybrid_instance(env, &mut mailbox, 0, proposal, cfg)
+}
+
+/// Instance-aware form of [`common_coin_hybrid`]; see
+/// [`crate::ben_or_hybrid_instance`] for the multi-instance contract.
+///
+/// The common coin is queried at a per-instance offset of the round index
+/// so distinct instances read independent bits.
+///
+/// # Errors
+///
+/// Same contract as [`common_coin_hybrid`].
+pub fn common_coin_hybrid_instance(
+    env: &mut dyn Env,
+    mailbox: &mut Mailbox,
+    instance: u64,
+    proposal: Bit,
+    cfg: &ProtocolConfig,
+) -> Result<Decision, Halt> {
+    env.observe(ObsEvent::Propose {
+        instance,
+        value: proposal,
+    });
+    let partition = env.partition().clone();
+
+    // (1) est_i <- v_i; r_i <- 0
+    let mut est = proposal;
+    let mut round: u64 = 0;
+
+    // (2) loop forever
+    loop {
+        // (3) r_i <- r_i + 1
+        round += 1;
+        if let Some(max) = cfg.max_rounds {
+            if round > max {
+                return Err(Halt::Stopped);
+            }
+        }
+        env.observe(ObsEvent::RoundStart { instance, round });
+
+        // (4) est_i <- CONS_x[r].propose(est_i)
+        if cfg.cluster_preagree {
+            let slot = Slot::in_instance(instance, round, SINGLE_PHASE_SLOT);
+            let decided = env.cluster_propose(slot, est.encode())?;
+            env.observe(ObsEvent::ClusterAgreed { slot, decided });
+            est = Bit::decode(decided);
+        }
+
+        // (5) msg_exchange(r, est_i) — the pattern with (a, b) = (0, 1).
+        let sup = match msg_exchange(
+            env,
+            mailbox,
+            &partition,
+            instance,
+            round,
+            Phase::One,
+            Some(est),
+            cfg.amplify,
+        )? {
+            Exchange::DecideSeen(v) => return relay_decide(env, instance, round, v),
+            Exchange::Completed(sup) => sup,
+        };
+
+        // (6) s_i <- common_coin(); distinct instances read disjoint
+        // positions of the common bit sequence.
+        let coin_index = instance
+            .wrapping_mul(0x1_0000_0000)
+            .wrapping_add(round);
+        let coin = env.common_coin(coin_index)?;
+        env.observe(ObsEvent::Coin {
+            round,
+            common: true,
+            value: coin,
+        });
+
+        // (7) if some v is supported by > n/2 processes
+        if let Some(v) = sup.majority_value() {
+            // (8) est_i <- v
+            est = v;
+            // (9) if s_i = v: broadcast DECIDE(v); return v
+            if coin == v {
+                env.observe(ObsEvent::Deciding {
+                    instance,
+                    round,
+                    value: v,
+                    relayed: false,
+                });
+                env.broadcast(MsgKind::Decide { instance, value: v })?;
+                return Ok(Decision {
+                    value: v,
+                    round,
+                    relayed: false,
+                });
+            }
+        } else {
+            // (10) est_i <- s_i
+            est = coin;
+        }
+        // (11-12) end if; continue the loop.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Msg;
+    use ofa_topology::{Partition, ProcessId};
+    use std::collections::VecDeque;
+
+    /// n = 1 closed universe with a scripted common coin (instance 0 reads
+    /// rounds 1, 2, … directly).
+    struct Solo {
+        part: Partition,
+        queue: VecDeque<Msg>,
+        cluster: std::collections::HashMap<Slot, u64>,
+        coin_script: Vec<Bit>,
+    }
+
+    impl Solo {
+        fn new(coin_script: Vec<Bit>) -> Self {
+            Solo {
+                part: Partition::single_cluster(1),
+                queue: VecDeque::new(),
+                cluster: Default::default(),
+                coin_script,
+            }
+        }
+    }
+
+    impl Env for Solo {
+        fn me(&self) -> ProcessId {
+            ProcessId(0)
+        }
+        fn partition(&self) -> &Partition {
+            &self.part
+        }
+        fn send(&mut self, to: ProcessId, msg: MsgKind) -> Result<(), Halt> {
+            if to == self.me() {
+                self.queue.push_back(Msg {
+                    from: self.me(),
+                    kind: msg,
+                });
+            }
+            Ok(())
+        }
+        fn recv(&mut self) -> Result<Msg, Halt> {
+            self.queue.pop_front().ok_or(Halt::Stopped)
+        }
+        fn cluster_propose(&mut self, slot: Slot, enc: u64) -> Result<u64, Halt> {
+            Ok(*self.cluster.entry(slot).or_insert(enc))
+        }
+        fn local_coin(&mut self) -> Result<Bit, Halt> {
+            Ok(Bit::Zero)
+        }
+        fn common_coin(&mut self, round: u64) -> Result<Bit, Halt> {
+            // Instance 0 keeps round untouched; mask the offset trick.
+            let r = (round & 0xFFFF_FFFF).max(1);
+            Ok(self
+                .coin_script
+                .get((r - 1) as usize)
+                .copied()
+                .unwrap_or(*self.coin_script.last().unwrap_or(&Bit::Zero)))
+        }
+    }
+
+    #[test]
+    fn decides_in_round_one_when_coin_matches() {
+        let mut env = Solo::new(vec![Bit::One]);
+        let d = common_coin_hybrid(&mut env, Bit::One, &ProtocolConfig::paper()).unwrap();
+        assert_eq!(d.value, Bit::One);
+        assert_eq!(d.round, 1);
+        assert!(!d.relayed);
+    }
+
+    #[test]
+    fn waits_until_coin_matches_majority_value() {
+        // Proposal 1 is majority-supported every round (n = 1), but the
+        // coin reads 0, 0, 1 — decision must come in round 3 and the
+        // estimate must never drift from 1 (validity + the line-8 rule).
+        let mut env = Solo::new(vec![Bit::Zero, Bit::Zero, Bit::One]);
+        let d = common_coin_hybrid(&mut env, Bit::One, &ProtocolConfig::paper()).unwrap();
+        assert_eq!(d.value, Bit::One);
+        assert_eq!(d.round, 3);
+    }
+
+    #[test]
+    fn round_budget_stops_cleanly() {
+        // Coin perpetually opposite to the only proposal.
+        let mut env = Solo::new(vec![Bit::Zero]);
+        let cfg = ProtocolConfig::paper().with_max_rounds(5);
+        let out = common_coin_hybrid(&mut env, Bit::One, &cfg);
+        assert_eq!(out, Err(Halt::Stopped));
+    }
+
+    #[test]
+    fn pure_message_passing_preset_works_solo() {
+        let mut env = Solo::new(vec![Bit::Zero]);
+        let cfg = ProtocolConfig::pure_message_passing();
+        let d = common_coin_hybrid(&mut env, Bit::Zero, &cfg).unwrap();
+        assert_eq!(d.value, Bit::Zero);
+        assert_eq!(d.round, 1);
+    }
+
+    #[test]
+    fn sequential_instances_decide_independently() {
+        let mut env = Solo::new(vec![Bit::One, Bit::Zero]);
+        let mut mb = Mailbox::new();
+        let d0 =
+            common_coin_hybrid_instance(&mut env, &mut mb, 0, Bit::One, &ProtocolConfig::paper())
+                .unwrap();
+        assert_eq!(d0.value, Bit::One);
+        let d1 =
+            common_coin_hybrid_instance(&mut env, &mut mb, 1, Bit::Zero, &ProtocolConfig::paper())
+                .unwrap();
+        assert_eq!(d1.value, Bit::Zero);
+    }
+}

@@ -1,0 +1,131 @@
+//! Protocol configuration and decision records.
+
+use crate::Bit;
+use std::fmt;
+
+/// Switches selecting between the paper's algorithm, its pure
+/// message-passing degenerations, and the E9 ablation.
+///
+/// | preset | cluster pre-agreement | amplification | models |
+/// |---|---|---|---|
+/// | [`ProtocolConfig::paper`] | on | on | Algorithms 2/3 as published |
+/// | [`ProtocolConfig::pure_message_passing`] | off | off | Ben-Or \[4\] / the common-coin protocol of \[22\] (the paper's §III-B remark: with singleton clusters the consensus objects are useless and supporters reduce to counting) |
+/// | [`ProtocolConfig::ablation_no_preagree`] | off | **on** | E9: amplification without its soundness precondition — WA1 can break |
+///
+/// # Examples
+///
+/// ```
+/// use ofa_core::ProtocolConfig;
+///
+/// let cfg = ProtocolConfig::paper().with_max_rounds(64);
+/// assert!(cfg.cluster_preagree && cfg.amplify);
+/// assert_eq!(cfg.max_rounds, Some(64));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolConfig {
+    /// Run the intra-cluster consensus object before each exchange
+    /// (lines 4/8 of Algorithm 2, line 4 of Algorithm 3).
+    pub cluster_preagree: bool,
+    /// Apply "one for all" cluster amplification when counting supporters
+    /// (line 6 of Algorithm 1).
+    pub amplify: bool,
+    /// Abort with [`crate::Halt::Stopped`] after this many rounds
+    /// (`None` = unbounded, as in the paper).
+    pub max_rounds: Option<u64>,
+}
+
+impl ProtocolConfig {
+    /// The algorithms exactly as published.
+    pub fn paper() -> Self {
+        ProtocolConfig {
+            cluster_preagree: true,
+            amplify: true,
+            max_rounds: None,
+        }
+    }
+
+    /// The pure message-passing degeneration (classic Ben-Or / classic
+    /// common-coin consensus): ignores clusters entirely.
+    pub fn pure_message_passing() -> Self {
+        ProtocolConfig {
+            cluster_preagree: false,
+            amplify: false,
+            max_rounds: None,
+        }
+    }
+
+    /// E9 ablation: keep amplification but skip the cluster consensus that
+    /// makes it sound. **Unsafe by design** — used to demonstrate that the
+    /// paper's WA1 invariant genuinely depends on intra-cluster agreement.
+    pub fn ablation_no_preagree() -> Self {
+        ProtocolConfig {
+            cluster_preagree: false,
+            amplify: true,
+            max_rounds: None,
+        }
+    }
+
+    /// Bounds the number of rounds (returns a modified copy).
+    pub fn with_max_rounds(mut self, rounds: u64) -> Self {
+        self.max_rounds = Some(rounds);
+        self
+    }
+}
+
+impl Default for ProtocolConfig {
+    /// Defaults to the paper's algorithm.
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A successful consensus decision at one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decision {
+    /// The decided value.
+    pub value: Bit,
+    /// The round in which this process decided (its own round counter;
+    /// processes may decide in different rounds).
+    pub round: u64,
+    /// `true` if the decision was adopted from a received `DECIDE` message
+    /// (line 17), `false` if reached directly (line 12 / 9).
+    pub relayed: bool,
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "decided {} in round {}{}",
+            self.value,
+            self.round,
+            if self.relayed { " (relayed)" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let p = ProtocolConfig::paper();
+        assert!(p.cluster_preagree && p.amplify && p.max_rounds.is_none());
+        let mp = ProtocolConfig::pure_message_passing();
+        assert!(!mp.cluster_preagree && !mp.amplify);
+        let ab = ProtocolConfig::ablation_no_preagree();
+        assert!(!ab.cluster_preagree && ab.amplify);
+        assert_eq!(ProtocolConfig::default(), ProtocolConfig::paper());
+    }
+
+    #[test]
+    fn decision_display() {
+        let d = Decision {
+            value: Bit::One,
+            round: 2,
+            relayed: true,
+        };
+        assert_eq!(d.to_string(), "decided 1 in round 2 (relayed)");
+    }
+}

@@ -1,0 +1,56 @@
+//! Why a process stopped executing the protocol.
+
+use std::error::Error;
+use std::fmt;
+
+/// Reason a process left the protocol without deciding.
+///
+/// Environment calls return `Err(Halt)` and protocol code propagates it
+/// with `?`, which keeps the algorithm functions shaped like the paper's
+/// pseudocode while supporting crash injection and bounded runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Halt {
+    /// The process crashed (injected by the execution substrate). A crash
+    /// is a premature halt: the process executes no further step.
+    Crashed,
+    /// The run was stopped externally: round budget exhausted, simulator
+    /// quiescent (no event can ever unblock the process), or runtime
+    /// shutdown. Randomized consensus may legitimately not have terminated
+    /// yet — indulgence means this is *not* a safety violation.
+    Stopped,
+}
+
+impl fmt::Display for Halt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Halt::Crashed => write!(f, "process crashed"),
+            Halt::Stopped => write!(f, "run stopped before decision"),
+        }
+    }
+}
+
+impl Error for Halt {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_error() {
+        assert_eq!(Halt::Crashed.to_string(), "process crashed");
+        fn is_err<E: Error + Send + Sync + 'static>(_: E) {}
+        is_err(Halt::Stopped);
+    }
+
+    #[test]
+    fn question_mark_propagation() {
+        fn inner() -> Result<(), Halt> {
+            Err(Halt::Crashed)
+        }
+        fn outer() -> Result<u32, Halt> {
+            inner()?;
+            Ok(1)
+        }
+        assert_eq!(outer(), Err(Halt::Crashed));
+    }
+}

@@ -1,0 +1,134 @@
+//! # `ofa-core` — hybrid-model randomized binary consensus
+//!
+//! The primary contribution of *“One for All and All for One: Scalable
+//! Consensus in a Hybrid Communication Model”* (Raynal & Cao, ICDCS 2019),
+//! as a Rust library:
+//!
+//! * [`msg_exchange`] — Algorithm 1, the all-to-all communication pattern
+//!   with "one for all" cluster amplification,
+//! * [`ben_or_hybrid`] — Algorithm 2, local-coin consensus (a hybrid
+//!   extension of Ben-Or 1983),
+//! * [`common_coin_hybrid`] — Algorithm 3, common-coin consensus (a hybrid
+//!   extension of the Friedman–Mostéfaoui–Raynal protocol),
+//! * [`ben_or_classic`] / [`common_coin_classic`] — the pure
+//!   message-passing baselines the paper extends,
+//! * [`InvariantChecker`] — online verification of the paper's WA1/WA2
+//!   weak-agreement predicates plus agreement and validity.
+//!
+//! ## Architecture
+//!
+//! Algorithms are written once, in blocking pseudocode style, against the
+//! object-safe [`Env`] trait. Execution substrates implement `Env`:
+//!
+//! * `ofa-sim` — deterministic discrete-event simulator (virtual time,
+//!   seeded delays, crash injection, schedule exploration),
+//! * `ofa-runtime` — real threads + channels + shared memory.
+//!
+//! Crashes and stop signals surface as `Err(`[`Halt`]`)` from `Env`
+//! methods and propagate with `?`, so the protocol code stays shaped like
+//! the paper's pseudocode (line numbers are cited in comments).
+//!
+//! ## Quick taste
+//!
+//! ```
+//! use ofa_core::{Bit, ProtocolConfig};
+//!
+//! // Select the paper's algorithm, bounded to 64 rounds:
+//! let cfg = ProtocolConfig::paper().with_max_rounds(64);
+//! assert!(cfg.amplify);
+//! // `ben_or_hybrid(&mut env, Bit::One, &cfg)` runs it on any Env —
+//! // see ofa-sim's `SimBuilder` for one-line complete executions.
+//! let _ = (cfg, Bit::One);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod baselines;
+mod common_coin_alg;
+mod config;
+mod env;
+mod halt;
+mod local_coin_alg;
+mod mailbox;
+mod msg;
+mod observer;
+mod pattern;
+mod payload;
+mod value;
+
+pub use baselines::{ben_or_classic, common_coin_classic};
+pub use common_coin_alg::{common_coin_hybrid, common_coin_hybrid_instance};
+pub use config::{Decision, ProtocolConfig};
+pub use env::{Env, ObsEvent};
+pub use halt::Halt;
+pub use local_coin_alg::{ben_or_hybrid, ben_or_hybrid_instance};
+pub use mailbox::{AppMsg, Mailbox, MailboxItem};
+pub use msg::{Msg, MsgKind, Phase};
+pub use observer::{FanoutObserver, InvariantChecker, Observer};
+pub use pattern::{credited_set, msg_exchange, Exchange, RecClass, RecSet, Supporters};
+pub use payload::{Payload, MAX_PAYLOAD};
+pub use value::{fmt_est, Bit, Est};
+
+/// The kind of algorithm to run — used by substrates and the experiment
+/// harness to select a protocol uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Algorithm 2: local-coin consensus ([`ben_or_hybrid`]).
+    LocalCoin,
+    /// Algorithm 3: common-coin consensus ([`common_coin_hybrid`]).
+    CommonCoin,
+}
+
+impl Algorithm {
+    /// Both algorithms, for exhaustive experiment sweeps.
+    pub const ALL: [Algorithm; 2] = [Algorithm::LocalCoin, Algorithm::CommonCoin];
+
+    /// Runs the selected algorithm on `env`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the algorithm's [`Halt`].
+    pub fn run(
+        self,
+        env: &mut dyn Env,
+        proposal: Bit,
+        cfg: &ProtocolConfig,
+    ) -> Result<Decision, Halt> {
+        match self {
+            Algorithm::LocalCoin => ben_or_hybrid(env, proposal, cfg),
+            Algorithm::CommonCoin => common_coin_hybrid(env, proposal, cfg),
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Algorithm::LocalCoin => write!(f, "local-coin (Alg 2)"),
+            Algorithm::CommonCoin => write!(f, "common-coin (Alg 3)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_display() {
+        assert_eq!(Algorithm::LocalCoin.to_string(), "local-coin (Alg 2)");
+        assert_eq!(Algorithm::CommonCoin.to_string(), "common-coin (Alg 3)");
+    }
+
+    #[test]
+    fn public_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Bit>();
+        assert_send::<Decision>();
+        assert_send::<Halt>();
+        assert_send::<Msg>();
+        assert_send::<ProtocolConfig>();
+        assert_send::<Algorithm>();
+    }
+}

@@ -1,0 +1,464 @@
+//! Per-process message buffering, across rounds and protocol instances.
+//!
+//! Rounds are asynchronous: while `p_i` waits in `(instance, r, ph)` it
+//! can receive messages for **future** rounds/phases/instances from faster
+//! processes. Those must be retained (dropping them would lose the
+//! majority the pattern waits for later), while messages from **past**
+//! slots are stale and can be discarded — the pattern that needed them has
+//! already returned. `DECIDE` messages short-circuit their own instance
+//! (lines 12/17 of Algorithm 2) and are remembered per instance.
+//!
+//! Higher layers (multivalued consensus, replicated logs) run instances in
+//! increasing order at each process; the staleness rule relies on that
+//! monotonicity.
+
+use crate::{Bit, Env, Est, Halt, Msg, MsgKind, Payload, Phase};
+use ofa_topology::ProcessId;
+use std::collections::{HashMap, VecDeque};
+
+/// What the mailbox hands to the communication pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MailboxItem {
+    /// A phase message matching the requested `(instance, round, phase)`.
+    Phase {
+        /// The sender (needed for cluster amplification).
+        from: ofa_topology::ProcessId,
+        /// The carried estimate.
+        est: Est,
+    },
+    /// A `DECIDE(v)` for the requested instance was received (possibly
+    /// earlier, while buffered).
+    Decide {
+        /// The decided value.
+        value: Bit,
+    },
+}
+
+/// An application payload received via [`MsgKind::App`], stashed by the
+/// mailbox for the layer above binary consensus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppMsg {
+    /// The sending process.
+    pub from: ProcessId,
+    /// Protocol instance.
+    pub instance: u64,
+    /// Application-defined sequence/tag.
+    pub seq: u64,
+    /// The payload.
+    pub payload: Payload,
+}
+
+/// Buffers out-of-slot messages for one process.
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    future: HashMap<(u64, u64, Phase), VecDeque<Msg>>,
+    decides: HashMap<u64, Bit>,
+    apps: Vec<AppMsg>,
+    stale_dropped: u64,
+}
+
+/// Lexicographic position of a message within the instance/round/phase
+/// order.
+fn key(instance: u64, round: u64, phase: Phase) -> (u64, u64, u8) {
+    (instance, round, phase.slot_index())
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the next item relevant to `(instance, round, phase)`,
+    /// pulling from the buffer first and then from `env.recv()`.
+    ///
+    /// A `DECIDE` for the current instance is returned immediately and is
+    /// *sticky* (returned again on subsequent calls for that instance).
+    /// Messages for later slots are buffered; messages for earlier slots
+    /// are dropped as stale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `Halt` from `env.recv()`.
+    pub fn next_for(
+        &mut self,
+        env: &mut dyn Env,
+        instance: u64,
+        round: u64,
+        phase: Phase,
+    ) -> Result<MailboxItem, Halt> {
+        if let Some(&v) = self.decides.get(&instance) {
+            return Ok(MailboxItem::Decide { value: v });
+        }
+        if let Some(queue) = self.future.get_mut(&(instance, round, phase)) {
+            if let Some(msg) = queue.pop_front() {
+                let est = match msg.kind {
+                    MsgKind::Phase { est, .. } => est,
+                    MsgKind::Decide { .. } | MsgKind::App { .. } => {
+                        unreachable!("only phase messages are buffered by slot")
+                    }
+                };
+                return Ok(MailboxItem::Phase {
+                    from: msg.from,
+                    est,
+                });
+            }
+        }
+        loop {
+            let msg = env.recv()?;
+            match msg.kind {
+                MsgKind::Decide {
+                    instance: i,
+                    value,
+                } => {
+                    // Remember every decide; only the current instance's
+                    // short-circuits this call.
+                    self.decides.entry(i).or_insert(value);
+                    if i == instance {
+                        return Ok(MailboxItem::Decide { value });
+                    }
+                    if i < instance {
+                        self.stale_dropped += 1;
+                    }
+                }
+                MsgKind::Phase {
+                    instance: i,
+                    round: r,
+                    phase: ph,
+                    est,
+                } => {
+                    let incoming = key(i, r, ph);
+                    let current = key(instance, round, phase);
+                    if incoming == current {
+                        return Ok(MailboxItem::Phase {
+                            from: msg.from,
+                            est,
+                        });
+                    }
+                    if incoming > current {
+                        self.future.entry((i, r, ph)).or_default().push_back(msg);
+                    } else {
+                        self.stale_dropped += 1;
+                    }
+                }
+                MsgKind::App {
+                    instance: i,
+                    seq,
+                    payload,
+                } => self.apps.push(AppMsg {
+                    from: msg.from,
+                    instance: i,
+                    seq,
+                    payload,
+                }),
+            }
+        }
+    }
+
+    /// Blocks for one incoming message and routes it into the buffers
+    /// (phase messages by slot, decides into the sticky map, application
+    /// payloads into the app stash) without serving any slot. Layers above
+    /// binary consensus use this to wait for payloads between instances.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `Halt` from `env.recv()`.
+    pub fn pump(&mut self, env: &mut dyn Env) -> Result<(), Halt> {
+        let msg = env.recv()?;
+        match msg.kind {
+            MsgKind::Decide { instance, value } => {
+                self.decides.entry(instance).or_insert(value);
+            }
+            MsgKind::Phase {
+                instance,
+                round,
+                phase,
+                ..
+            } => {
+                self.future
+                    .entry((instance, round, phase))
+                    .or_default()
+                    .push_back(msg);
+            }
+            MsgKind::App {
+                instance,
+                seq,
+                payload,
+            } => self.apps.push(AppMsg {
+                from: msg.from,
+                instance,
+                seq,
+                payload,
+            }),
+        }
+        Ok(())
+    }
+
+    /// Drains the stashed application payloads.
+    pub fn take_apps(&mut self) -> Vec<AppMsg> {
+        std::mem::take(&mut self.apps)
+    }
+
+    /// Puts an application payload back into the stash (e.g. one drained
+    /// by [`Mailbox::take_apps`] but belonging to a later layer instance).
+    pub fn stash_app(&mut self, app: AppMsg) {
+        self.apps.push(app);
+    }
+
+    /// The sticky `DECIDE` value for `instance`, if one has been received.
+    pub fn seen_decide(&self, instance: u64) -> Option<Bit> {
+        self.decides.get(&instance).copied()
+    }
+
+    /// Number of stale (past-slot) messages dropped so far.
+    pub fn stale_dropped(&self) -> u64 {
+        self.stale_dropped
+    }
+
+    /// Number of messages currently buffered for future slots.
+    pub fn buffered(&self) -> usize {
+        self.future.values().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofa_topology::{Partition, ProcessId};
+
+    /// Env stub whose `recv` pops from a script.
+    struct Script {
+        part: Partition,
+        incoming: VecDeque<Msg>,
+    }
+
+    impl Script {
+        fn new(msgs: Vec<Msg>) -> Self {
+            Script {
+                part: Partition::singletons(3),
+                incoming: msgs.into(),
+            }
+        }
+    }
+
+    impl Env for Script {
+        fn me(&self) -> ProcessId {
+            ProcessId(0)
+        }
+        fn partition(&self) -> &Partition {
+            &self.part
+        }
+        fn send(&mut self, _to: ProcessId, _msg: MsgKind) -> Result<(), Halt> {
+            Ok(())
+        }
+        fn recv(&mut self) -> Result<Msg, Halt> {
+            self.incoming.pop_front().ok_or(Halt::Stopped)
+        }
+        fn cluster_propose(
+            &mut self,
+            _slot: ofa_sharedmem::Slot,
+            enc: u64,
+        ) -> Result<u64, Halt> {
+            Ok(enc)
+        }
+        fn local_coin(&mut self) -> Result<Bit, Halt> {
+            Ok(Bit::Zero)
+        }
+        fn common_coin(&mut self, _round: u64) -> Result<Bit, Halt> {
+            Ok(Bit::Zero)
+        }
+    }
+
+    fn phase_msg(from: usize, instance: u64, round: u64, phase: Phase, est: Est) -> Msg {
+        Msg {
+            from: ProcessId(from),
+            kind: MsgKind::Phase {
+                instance,
+                round,
+                phase,
+                est,
+            },
+        }
+    }
+
+    fn decide_msg(from: usize, instance: u64, value: Bit) -> Msg {
+        Msg {
+            from: ProcessId(from),
+            kind: MsgKind::Decide { instance, value },
+        }
+    }
+
+    #[test]
+    fn current_slot_message_is_delivered() {
+        let mut env = Script::new(vec![phase_msg(1, 0, 1, Phase::One, Some(Bit::One))]);
+        let mut mb = Mailbox::new();
+        let item = mb.next_for(&mut env, 0, 1, Phase::One).unwrap();
+        assert_eq!(
+            item,
+            MailboxItem::Phase {
+                from: ProcessId(1),
+                est: Some(Bit::One)
+            }
+        );
+    }
+
+    #[test]
+    fn future_messages_are_buffered_and_served_later() {
+        let mut env = Script::new(vec![
+            phase_msg(2, 0, 3, Phase::One, Some(Bit::Zero)), // future round
+            phase_msg(1, 0, 1, Phase::Two, None),            // future phase
+            phase_msg(0, 2, 1, Phase::One, Some(Bit::One)),  // future instance
+            phase_msg(1, 0, 1, Phase::One, Some(Bit::One)),  // current
+        ]);
+        let mut mb = Mailbox::new();
+        let item = mb.next_for(&mut env, 0, 1, Phase::One).unwrap();
+        assert_eq!(
+            item,
+            MailboxItem::Phase {
+                from: ProcessId(1),
+                est: Some(Bit::One)
+            }
+        );
+        assert_eq!(mb.buffered(), 3);
+        // Now in (0, 1, Two): buffered phase-2 message surfaces.
+        let item = mb.next_for(&mut env, 0, 1, Phase::Two).unwrap();
+        assert_eq!(
+            item,
+            MailboxItem::Phase {
+                from: ProcessId(1),
+                est: None
+            }
+        );
+        // Round 3, then instance 2, are all served from the buffer.
+        let item = mb.next_for(&mut env, 0, 3, Phase::One).unwrap();
+        assert!(matches!(item, MailboxItem::Phase { from, .. } if from == ProcessId(2)));
+        let item = mb.next_for(&mut env, 2, 1, Phase::One).unwrap();
+        assert!(matches!(item, MailboxItem::Phase { from, .. } if from == ProcessId(0)));
+        assert_eq!(mb.buffered(), 0);
+    }
+
+    #[test]
+    fn stale_messages_are_dropped() {
+        let mut env = Script::new(vec![
+            phase_msg(1, 0, 1, Phase::One, Some(Bit::Zero)), // stale round
+            phase_msg(1, 0, 2, Phase::One, Some(Bit::Zero)), // stale phase
+            decide_msg(2, 0, Bit::One),                      // stale instance decide
+            phase_msg(1, 1, 2, Phase::Two, Some(Bit::One)),  // current
+        ]);
+        let mut mb = Mailbox::new();
+        let item = mb.next_for(&mut env, 1, 2, Phase::Two).unwrap();
+        assert_eq!(
+            item,
+            MailboxItem::Phase {
+                from: ProcessId(1),
+                est: Some(Bit::One)
+            }
+        );
+        assert_eq!(mb.stale_dropped(), 3);
+    }
+
+    #[test]
+    fn decide_short_circuits_and_is_sticky_per_instance() {
+        let mut env = Script::new(vec![
+            phase_msg(1, 0, 5, Phase::One, Some(Bit::Zero)),
+            decide_msg(2, 0, Bit::One),
+        ]);
+        let mut mb = Mailbox::new();
+        let item = mb.next_for(&mut env, 0, 1, Phase::One).unwrap();
+        assert_eq!(item, MailboxItem::Decide { value: Bit::One });
+        assert_eq!(mb.seen_decide(0), Some(Bit::One));
+        assert_eq!(mb.seen_decide(1), None);
+        // Sticky within instance 0.
+        let again = mb.next_for(&mut env, 0, 9, Phase::Two).unwrap();
+        assert_eq!(again, MailboxItem::Decide { value: Bit::One });
+    }
+
+    #[test]
+    fn decide_for_future_instance_waits_its_turn() {
+        let mut env = Script::new(vec![
+            decide_msg(2, 3, Bit::One),
+            phase_msg(1, 0, 1, Phase::One, Some(Bit::Zero)),
+        ]);
+        let mut mb = Mailbox::new();
+        // Instance 0 work proceeds despite the instance-3 decide.
+        let item = mb.next_for(&mut env, 0, 1, Phase::One).unwrap();
+        assert!(matches!(item, MailboxItem::Phase { .. }));
+        // Reaching instance 3: the remembered decide fires immediately.
+        let item = mb.next_for(&mut env, 3, 1, Phase::One).unwrap();
+        assert_eq!(item, MailboxItem::Decide { value: Bit::One });
+    }
+
+    #[test]
+    fn halt_propagates() {
+        let mut env = Script::new(vec![]);
+        let mut mb = Mailbox::new();
+        assert_eq!(
+            mb.next_for(&mut env, 0, 1, Phase::One),
+            Err(Halt::Stopped)
+        );
+    }
+
+    fn app_msg(from: usize, instance: u64, seq: u64, text: &[u8]) -> Msg {
+        Msg {
+            from: ProcessId(from),
+            kind: MsgKind::App {
+                instance,
+                seq,
+                payload: Payload::from_bytes(text).unwrap(),
+            },
+        }
+    }
+
+    #[test]
+    fn app_messages_are_stashed_not_served() {
+        let mut env = Script::new(vec![
+            app_msg(1, 0, 1, b"proposal"),
+            phase_msg(2, 0, 1, Phase::One, Some(Bit::One)),
+        ]);
+        let mut mb = Mailbox::new();
+        // The APP message is absorbed silently; the phase message is served.
+        let item = mb.next_for(&mut env, 0, 1, Phase::One).unwrap();
+        assert!(matches!(item, MailboxItem::Phase { from, .. } if from == ProcessId(2)));
+        let apps = mb.take_apps();
+        assert_eq!(apps.len(), 1);
+        assert_eq!(apps[0].from, ProcessId(1));
+        assert_eq!(apps[0].seq, 1);
+        assert_eq!(apps[0].payload.as_bytes(), b"proposal");
+        // Draining empties the stash.
+        assert!(mb.take_apps().is_empty());
+    }
+
+    #[test]
+    fn stash_app_returns_a_message_to_the_stash() {
+        let mut env = Script::new(vec![app_msg(0, 7, 2, b"later")]);
+        let mut mb = Mailbox::new();
+        mb.pump(&mut env).unwrap();
+        let apps = mb.take_apps();
+        assert_eq!(apps.len(), 1);
+        mb.stash_app(apps[0]);
+        assert_eq!(mb.take_apps(), apps);
+    }
+
+    #[test]
+    fn pump_routes_every_message_kind() {
+        let mut env = Script::new(vec![
+            phase_msg(1, 0, 2, Phase::One, Some(Bit::Zero)),
+            decide_msg(2, 5, Bit::One),
+            app_msg(0, 3, 0, b"x"),
+        ]);
+        let mut mb = Mailbox::new();
+        for _ in 0..3 {
+            mb.pump(&mut env).unwrap();
+        }
+        // The phase message was buffered by slot and is served on demand.
+        assert_eq!(mb.buffered(), 1);
+        let item = mb.next_for(&mut env, 0, 2, Phase::One).unwrap();
+        assert!(matches!(item, MailboxItem::Phase { from, .. } if from == ProcessId(1)));
+        // The decide is sticky for its instance.
+        assert_eq!(mb.seen_decide(5), Some(Bit::One));
+        // The app payload is in the stash.
+        assert_eq!(mb.take_apps().len(), 1);
+        // And pumping an empty env propagates the halt.
+        assert_eq!(mb.pump(&mut env), Err(Halt::Stopped));
+    }
+}

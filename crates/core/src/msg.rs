@@ -1,0 +1,174 @@
+//! Messages of the hybrid consensus algorithms.
+//!
+//! Both algorithms exchange exactly two kinds of messages: phase messages
+//! `(r, ph, est)` broadcast by the `msg_exchange` pattern (Algorithm 1) and
+//! the `DECIDE(v)` messages that prevent the deadlock discussed at lines
+//! 12/17 of Algorithm 2.
+
+use crate::{fmt_est, Bit, Est, Payload};
+use ofa_topology::ProcessId;
+use std::fmt;
+
+/// The phase of a round. Algorithm 2 runs two phases per round; Algorithm 3
+/// runs a single phase (represented as [`Phase::One`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// First phase: champion a value.
+    One,
+    /// Second phase: try to decide.
+    Two,
+}
+
+impl Phase {
+    /// The slot index used to address `CONS_x[r, ph]` in the cluster memory.
+    #[inline]
+    pub fn slot_index(self) -> u8 {
+        match self {
+            Phase::One => 1,
+            Phase::Two => 2,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.slot_index())
+    }
+}
+
+/// Message payloads.
+///
+/// Every message carries a protocol `instance` so that higher layers
+/// (multivalued consensus, replicated logs) can run many binary consensus
+/// instances over one channel without collisions. Single-shot consensus
+/// uses instance 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// A phase message `(r, ph, est)` of the `msg_exchange` pattern.
+    ///
+    /// In phase 1 the estimate is always a value (`Some(bit)`); in phase 2
+    /// it may be `⊥` (`None`).
+    Phase {
+        /// Protocol instance (0 for single-shot consensus).
+        instance: u64,
+        /// Round number `r >= 1`.
+        round: u64,
+        /// Phase within the round.
+        phase: Phase,
+        /// The carried estimate.
+        est: Est,
+    },
+    /// `DECIDE(v)`: the sender is about to decide `v` in `instance` (or is
+    /// relaying a received `DECIDE`).
+    Decide {
+        /// Protocol instance (0 for single-shot consensus).
+        instance: u64,
+        /// The decided value.
+        value: Bit,
+    },
+    /// An application-level payload (used by layers above binary
+    /// consensus, e.g. proposal dissemination in multivalued consensus).
+    App {
+        /// Protocol instance the payload belongs to.
+        instance: u64,
+        /// Application-defined sequence/tag (e.g. the originating
+        /// proposer's index).
+        seq: u64,
+        /// The payload.
+        payload: Payload,
+    },
+}
+
+impl MsgKind {
+    /// The protocol instance this message belongs to.
+    pub fn instance(&self) -> u64 {
+        match *self {
+            MsgKind::Phase { instance, .. }
+            | MsgKind::Decide { instance, .. }
+            | MsgKind::App { instance, .. } => instance,
+        }
+    }
+}
+
+impl fmt::Display for MsgKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsgKind::Phase {
+                instance,
+                round,
+                phase,
+                est,
+            } => {
+                if *instance == 0 {
+                    write!(f, "PHASE{phase}({round},{})", fmt_est(*est))
+                } else {
+                    write!(f, "PHASE{phase}(i{instance}:{round},{})", fmt_est(*est))
+                }
+            }
+            MsgKind::Decide { instance, value } => {
+                if *instance == 0 {
+                    write!(f, "DECIDE({value})")
+                } else {
+                    write!(f, "DECIDE(i{instance}:{value})")
+                }
+            }
+            MsgKind::App {
+                instance,
+                seq,
+                payload,
+            } => write!(f, "APP(i{instance}:{seq},{payload})"),
+        }
+    }
+}
+
+/// A delivered message: payload plus sender identity (the receiver needs
+/// the sender to apply the "one for all" cluster amplification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Msg {
+    /// The sending process.
+    pub from: ProcessId,
+    /// The payload.
+    pub kind: MsgKind,
+}
+
+impl fmt::Display for Msg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} from {}", self.kind, self.from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_slot_indices_match_paper() {
+        assert_eq!(Phase::One.slot_index(), 1);
+        assert_eq!(Phase::Two.slot_index(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        let m = Msg {
+            from: ProcessId(2),
+            kind: MsgKind::Phase {
+                instance: 0,
+                round: 3,
+                phase: Phase::Two,
+                est: None,
+            },
+        };
+        assert_eq!(m.to_string(), "PHASE2(3,⊥) from p3");
+        let d = MsgKind::Decide {
+            instance: 0,
+            value: Bit::One,
+        };
+        assert_eq!(d.to_string(), "DECIDE(1)");
+        let tagged = MsgKind::Decide {
+            instance: 4,
+            value: Bit::Zero,
+        };
+        assert_eq!(tagged.to_string(), "DECIDE(i4:0)");
+        assert_eq!(tagged.instance(), 4);
+    }
+}

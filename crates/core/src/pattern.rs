@@ -1,0 +1,401 @@
+//! Algorithm 1: the `msg_exchange(r, ph, est)` communication pattern.
+//!
+//! An all-to-all exchange with **cluster amplification**: when `p_i`
+//! receives `(r, ph, v)` from `p_j ∈ P[y]`, it credits *all* of `P[y]` as
+//! supporters of `v` — sound because (thanks to the cluster consensus
+//! object invoked before the pattern) the non-crashed processes of `P[y]`
+//! cannot broadcast different values in the same `(r, ph)`. The pattern
+//! returns once the supporter sets jointly cover a strict majority of `Π`.
+//!
+//! The paper's exit condition `|supporters[a] ∪ supporters[b]| > n/2` is
+//! implemented as "the union of the supporter sets of *all* values
+//! received in this `(r, ph)` covers a majority", which is identical in
+//! conforming executions (only the two admissible values circulate) and
+//! stays well-defined in the E9 ablation where WA1 is deliberately broken.
+
+use crate::{Bit, Env, Est, Halt, Mailbox, MailboxItem, Phase};
+use ofa_topology::{Partition, ProcessId, ProcessSet};
+
+/// The supporter sets accumulated by one `msg_exchange` invocation:
+/// `supporters[v]` for `v ∈ {0, 1, ⊥}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Supporters {
+    n: usize,
+    sets: [ProcessSet; 3],
+}
+
+fn est_index(e: Est) -> usize {
+    match e {
+        Some(Bit::Zero) => 0,
+        Some(Bit::One) => 1,
+        None => 2,
+    }
+}
+
+impl Supporters {
+    /// Creates empty supporter sets over a universe of `n` processes.
+    pub fn empty(n: usize) -> Self {
+        Supporters {
+            n,
+            sets: [
+                ProcessSet::empty(n),
+                ProcessSet::empty(n),
+                ProcessSet::empty(n),
+            ],
+        }
+    }
+
+    /// Credits `who` as supporters of `value` (lines 5–6 of Algorithm 1;
+    /// `who` is the sender's whole cluster when amplification is on, or
+    /// just the sender otherwise).
+    pub fn credit(&mut self, value: Est, who: &ProcessSet) {
+        self.sets[est_index(value)].union_with(who);
+    }
+
+    /// The supporter set of `value`.
+    pub fn of(&self, value: Est) -> &ProcessSet {
+        &self.sets[est_index(value)]
+    }
+
+    /// Union of all supporter sets — the processes heard from, directly or
+    /// through amplification.
+    pub fn coverage(&self) -> ProcessSet {
+        let mut all = self.sets[0].clone();
+        all.union_with(&self.sets[1]);
+        all.union_with(&self.sets[2]);
+        all
+    }
+
+    /// The binary value supported by a strict majority, if any (line 6 of
+    /// Algorithm 2). At most one value can qualify because two majorities
+    /// intersect.
+    pub fn majority_value(&self) -> Option<Bit> {
+        for b in Bit::ALL {
+            if self.of(Some(b)).is_majority_of(self.n) {
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    /// Which estimate values have a non-empty supporter set — the paper's
+    /// `rec_i` (line 10 of Algorithm 2).
+    pub fn rec(&self) -> RecSet {
+        RecSet {
+            saw_zero: !self.sets[0].is_empty(),
+            saw_one: !self.sets[1].is_empty(),
+            saw_bot: !self.sets[2].is_empty(),
+        }
+    }
+}
+
+/// The set `rec_i` of estimate values received during phase 2
+/// (`{v}`, `{v, ⊥}`, or `{⊥}` in conforming executions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecSet {
+    /// `0` was received.
+    pub saw_zero: bool,
+    /// `1` was received.
+    pub saw_one: bool,
+    /// `⊥` was received.
+    pub saw_bot: bool,
+}
+
+/// Classification of `rec_i` driving lines 12–14 of Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecClass {
+    /// `rec = {v}`: decide `v`.
+    Single(Bit),
+    /// `rec = {v, ⊥}`: adopt `v` as the new estimate.
+    ValueAndBot(Bit),
+    /// `rec = {⊥}`: flip the coin.
+    BotOnly,
+    /// Both `0` and `1` received — impossible when WA1 holds; reachable
+    /// only in the E9 ablation (amplification without cluster
+    /// pre-agreement).
+    Conflict,
+}
+
+impl RecSet {
+    /// Classifies the set per the paper's case analysis.
+    pub fn classify(self) -> RecClass {
+        match (self.saw_zero, self.saw_one, self.saw_bot) {
+            (true, true, _) => RecClass::Conflict,
+            (true, false, false) => RecClass::Single(Bit::Zero),
+            (false, true, false) => RecClass::Single(Bit::One),
+            (true, false, true) => RecClass::ValueAndBot(Bit::Zero),
+            (false, true, true) => RecClass::ValueAndBot(Bit::One),
+            (false, false, true) => RecClass::BotOnly,
+            (false, false, false) => RecClass::BotOnly, // vacuous; pattern always sees >= 1 value
+        }
+    }
+}
+
+/// How one `msg_exchange` invocation ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Exchange {
+    /// The supporter coverage reached a majority (line 7 of Algorithm 1).
+    Completed(Supporters),
+    /// A `DECIDE(v)` arrived instead — the caller must relay and decide
+    /// (line 17 of Algorithm 2).
+    DecideSeen(Bit),
+}
+
+/// Runs the `msg_exchange (r, ph, est)` pattern of Algorithm 1.
+///
+/// Broadcasts `(round, phase, est)` to all processes (including self),
+/// then accumulates supporters — amplifying each sender to its whole
+/// cluster when `amplify` is true — until their union covers a strict
+/// majority of the system.
+///
+/// # Errors
+///
+/// Propagates `Halt` from the environment (crash or stop).
+pub fn msg_exchange(
+    env: &mut dyn Env,
+    mailbox: &mut Mailbox,
+    partition: &Partition,
+    instance: u64,
+    round: u64,
+    phase: Phase,
+    est: Est,
+    amplify: bool,
+) -> Result<Exchange, Halt> {
+    let n = partition.n();
+    env.broadcast(crate::MsgKind::Phase {
+        instance,
+        round,
+        phase,
+        est,
+    })?;
+    let mut sup = Supporters::empty(n);
+    loop {
+        match mailbox.next_for(env, instance, round, phase)? {
+            MailboxItem::Decide { value } => return Ok(Exchange::DecideSeen(value)),
+            MailboxItem::Phase { from, est: v } => {
+                if amplify {
+                    sup.credit(v, partition.cluster_members_of(from));
+                } else {
+                    sup.credit(v, &ProcessSet::singleton(n, from));
+                }
+                if sup.coverage().is_majority_of(n) {
+                    return Ok(Exchange::Completed(sup));
+                }
+            }
+        }
+    }
+}
+
+/// Picks the set `who` a sender is credited as, given the amplification
+/// switch — exposed for the m&m comparator, which must *not* amplify.
+pub fn credited_set(partition: &Partition, from: ProcessId, amplify: bool) -> ProcessSet {
+    if amplify {
+        partition.cluster_members_of(from).clone()
+    } else {
+        ProcessSet::singleton(partition.n(), from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Msg, MsgKind};
+    use ofa_sharedmem::Slot;
+    use std::collections::VecDeque;
+
+    struct Script {
+        part: Partition,
+        incoming: VecDeque<Msg>,
+        sent: Vec<(ProcessId, MsgKind)>,
+    }
+
+    impl Env for Script {
+        fn me(&self) -> ProcessId {
+            ProcessId(0)
+        }
+        fn partition(&self) -> &Partition {
+            &self.part
+        }
+        fn send(&mut self, to: ProcessId, msg: MsgKind) -> Result<(), Halt> {
+            self.sent.push((to, msg));
+            Ok(())
+        }
+        fn recv(&mut self) -> Result<Msg, Halt> {
+            self.incoming.pop_front().ok_or(Halt::Stopped)
+        }
+        fn cluster_propose(&mut self, _slot: Slot, enc: u64) -> Result<u64, Halt> {
+            Ok(enc)
+        }
+        fn local_coin(&mut self) -> Result<Bit, Halt> {
+            Ok(Bit::Zero)
+        }
+        fn common_coin(&mut self, _round: u64) -> Result<Bit, Halt> {
+            Ok(Bit::Zero)
+        }
+    }
+
+    fn phase1(from: usize, est: Est) -> Msg {
+        Msg {
+            from: ProcessId(from),
+            kind: MsgKind::Phase {
+                instance: 0,
+                round: 1,
+                phase: Phase::One,
+                est,
+            },
+        }
+    }
+
+    #[test]
+    fn supporters_majority_and_rec() {
+        let mut sup = Supporters::empty(7);
+        sup.credit(Some(Bit::One), &ProcessSet::from_indices(7, [1, 2, 3, 4]));
+        sup.credit(None, &ProcessSet::from_indices(7, [5]));
+        assert_eq!(sup.majority_value(), Some(Bit::One));
+        assert_eq!(sup.coverage().len(), 5);
+        let rec = sup.rec();
+        assert!(rec.saw_one && rec.saw_bot && !rec.saw_zero);
+        assert_eq!(rec.classify(), RecClass::ValueAndBot(Bit::One));
+    }
+
+    #[test]
+    fn rec_classification_table() {
+        use RecClass::*;
+        let mk = |z, o, b| RecSet {
+            saw_zero: z,
+            saw_one: o,
+            saw_bot: b,
+        };
+        assert_eq!(mk(true, false, false).classify(), Single(Bit::Zero));
+        assert_eq!(mk(false, true, false).classify(), Single(Bit::One));
+        assert_eq!(mk(true, false, true).classify(), ValueAndBot(Bit::Zero));
+        assert_eq!(mk(false, true, true).classify(), ValueAndBot(Bit::One));
+        assert_eq!(mk(false, false, true).classify(), BotOnly);
+        assert_eq!(mk(true, true, false).classify(), Conflict);
+        assert_eq!(mk(true, true, true).classify(), Conflict);
+    }
+
+    #[test]
+    fn one_for_all_a_single_sender_covers_its_cluster() {
+        // Fig 1 right: p2's message alone covers {p2..p5} — with one more
+        // singleton the pattern exits.
+        let part = Partition::fig1_right();
+        let mut env = Script {
+            part: part.clone(),
+            incoming: VecDeque::from(vec![phase1(1, Some(Bit::One))]),
+            sent: Vec::new(),
+        };
+        let mut mb = Mailbox::new();
+        let out = msg_exchange(
+            &mut env,
+            &mut mb,
+            &part,
+            0,
+            1,
+            Phase::One,
+            Some(Bit::One),
+            true,
+        )
+        .unwrap();
+        match out {
+            Exchange::Completed(sup) => {
+                // 4 of 7 is already a strict majority.
+                assert_eq!(sup.coverage().len(), 4);
+                assert_eq!(sup.majority_value(), Some(Bit::One));
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        // broadcast went to all 7 processes
+        assert_eq!(env.sent.len(), 7);
+    }
+
+    #[test]
+    fn without_amplification_each_sender_counts_once() {
+        let part = Partition::fig1_right();
+        let mut env = Script {
+            part: part.clone(),
+            incoming: VecDeque::from(vec![
+                phase1(1, Some(Bit::One)),
+                phase1(2, Some(Bit::One)),
+                phase1(3, Some(Bit::One)),
+                phase1(4, Some(Bit::One)),
+            ]),
+            sent: Vec::new(),
+        };
+        let mut mb = Mailbox::new();
+        let out = msg_exchange(
+            &mut env,
+            &mut mb,
+            &part,
+            0,
+            1,
+            Phase::One,
+            Some(Bit::One),
+            false,
+        )
+        .unwrap();
+        match out {
+            Exchange::Completed(sup) => assert_eq!(sup.coverage().len(), 4),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insufficient_coverage_blocks_until_halt() {
+        // Only p1's own cluster ({p1}, weight 1) ever answers: no majority.
+        let part = Partition::fig1_right();
+        let mut env = Script {
+            part: part.clone(),
+            incoming: VecDeque::from(vec![phase1(0, Some(Bit::Zero))]),
+            sent: Vec::new(),
+        };
+        let mut mb = Mailbox::new();
+        let out = msg_exchange(
+            &mut env,
+            &mut mb,
+            &part,
+            0,
+            1,
+            Phase::One,
+            Some(Bit::Zero),
+            true,
+        );
+        assert_eq!(out, Err(Halt::Stopped));
+    }
+
+    #[test]
+    fn decide_short_circuits_the_pattern() {
+        let part = Partition::fig1_right();
+        let mut env = Script {
+            part: part.clone(),
+            incoming: VecDeque::from(vec![Msg {
+                from: ProcessId(6),
+                kind: MsgKind::Decide {
+                    instance: 0,
+                    value: Bit::Zero,
+                },
+            }]),
+            sent: Vec::new(),
+        };
+        let mut mb = Mailbox::new();
+        let out = msg_exchange(
+            &mut env,
+            &mut mb,
+            &part,
+            0,
+            1,
+            Phase::One,
+            Some(Bit::One),
+            true,
+        )
+        .unwrap();
+        assert_eq!(out, Exchange::DecideSeen(Bit::Zero));
+    }
+
+    #[test]
+    fn credited_set_switch() {
+        let part = Partition::fig1_right();
+        assert_eq!(credited_set(&part, ProcessId(2), true).len(), 4);
+        assert_eq!(credited_set(&part, ProcessId(2), false).len(), 1);
+    }
+}

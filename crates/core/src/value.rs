@@ -1,0 +1,142 @@
+//! Binary consensus values.
+//!
+//! The paper's algorithms are *binary*: proposals are in `{0, 1}` and the
+//! second phase additionally circulates the default value `⊥` ("I champion
+//! no value"). [`Bit`] is the proposal domain; [`Est`] (`Option<Bit>`,
+//! `None` = `⊥`) is the phase-2 domain.
+
+use ofa_sharedmem::CodableValue;
+use std::fmt;
+
+/// A binary consensus value (`0` or `1`).
+///
+/// # Examples
+///
+/// ```
+/// use ofa_core::Bit;
+///
+/// let b = Bit::from(true);
+/// assert_eq!(b, Bit::One);
+/// assert_eq!(b.flip(), Bit::Zero);
+/// assert_eq!(b.to_string(), "1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Bit {
+    /// The value 0.
+    Zero,
+    /// The value 1.
+    One,
+}
+
+impl Bit {
+    /// Both values, in order — handy for exhaustive tests.
+    pub const ALL: [Bit; 2] = [Bit::Zero, Bit::One];
+
+    /// `true` for [`Bit::One`].
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        matches!(self, Bit::One)
+    }
+
+    /// The other value.
+    #[inline]
+    pub fn flip(self) -> Bit {
+        match self {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+        }
+    }
+}
+
+impl From<bool> for Bit {
+    fn from(b: bool) -> Bit {
+        if b {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+}
+
+impl From<Bit> for bool {
+    fn from(b: Bit) -> bool {
+        b.as_bool()
+    }
+}
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bit::Zero => write!(f, "0"),
+            Bit::One => write!(f, "1"),
+        }
+    }
+}
+
+impl CodableValue for Bit {
+    fn encode(self) -> u64 {
+        self.as_bool() as u64
+    }
+    fn decode(word: u64) -> Self {
+        Bit::from(word != 0)
+    }
+}
+
+/// An *estimate*: a binary value or the default `⊥` (`None`), the domain of
+/// the `est2` variables and phase-2 messages of Algorithm 2.
+pub type Est = Option<Bit>;
+
+/// Renders an estimate the way the paper writes it: `0`, `1`, or `⊥`.
+///
+/// # Examples
+///
+/// ```
+/// use ofa_core::{fmt_est, Bit};
+///
+/// assert_eq!(fmt_est(Some(Bit::One)), "1");
+/// assert_eq!(fmt_est(None), "⊥");
+/// ```
+pub fn fmt_est(e: Est) -> String {
+    match e {
+        Some(b) => b.to_string(),
+        None => "⊥".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Bit::from(false), Bit::Zero);
+        assert_eq!(bool::from(Bit::One), true);
+        assert_eq!(Bit::Zero.flip(), Bit::One);
+        assert_eq!(Bit::One.flip().flip(), Bit::One);
+    }
+
+    #[test]
+    fn codable_round_trip_including_bot() {
+        for b in Bit::ALL {
+            assert_eq!(Bit::decode(b.encode()), b);
+        }
+        // Est = Option<Bit> via the blanket Option impl: ⊥, 0, 1 all distinct.
+        let encs: Vec<u64> = [None, Some(Bit::Zero), Some(Bit::One)]
+            .into_iter()
+            .map(|e: Est| e.encode())
+            .collect();
+        assert_eq!(encs.len(), 3);
+        assert!(encs[0] != encs[1] && encs[1] != encs[2] && encs[0] != encs[2]);
+        for e in [None, Some(Bit::Zero), Some(Bit::One)] {
+            let e: Est = e;
+            assert_eq!(Est::decode(e.encode()), e);
+        }
+    }
+
+    #[test]
+    fn display_matches_paper() {
+        assert_eq!(Bit::Zero.to_string(), "0");
+        assert_eq!(fmt_est(None), "⊥");
+        assert_eq!(fmt_est(Some(Bit::Zero)), "0");
+    }
+}

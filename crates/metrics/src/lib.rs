@@ -1,0 +1,36 @@
+//! Counters, summary statistics, and table rendering for the `one-for-all`
+//! experiment harness.
+//!
+//! Three building blocks:
+//!
+//! * [`Counters`] / [`CounterSnapshot`] — lock-free per-process event
+//!   counters (messages, consensus-object invocations, coin flips, rounds)
+//!   backing the paper's structural comparisons,
+//! * [`Summary`] / [`Histogram`] — statistics over samples such as decision
+//!   rounds and virtual-time latencies,
+//! * [`Table`] — the uniform output format of every experiment: rendered as
+//!   text by the `experiments` binary, asserted on in tests, exported as
+//!   CSV/Markdown for EXPERIMENTS.md.
+//!
+//! # Examples
+//!
+//! ```
+//! use ofa_metrics::{Histogram, Summary, Table};
+//!
+//! let rounds: Histogram = [1u64, 2, 2, 3].into_iter().collect();
+//! let s = Summary::of_ints(rounds.iter().flat_map(|(v, c)| std::iter::repeat(v).take(c as usize)));
+//! let mut t = Table::new("rounds", &["mean", "max"]);
+//! t.row([format!("{:.2}", s.mean), format!("{}", s.max)]);
+//! assert!(t.render().contains("2.00"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod counters;
+mod stats;
+mod table;
+
+pub use counters::{CounterSnapshot, Counters};
+pub use stats::{Histogram, Summary};
+pub use table::{fmt_f64, fmt_ratio, Table};

@@ -1,0 +1,275 @@
+//! Summary statistics for experiment samples (decision rounds, latencies,
+//! message counts).
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample of `f64` observations.
+///
+/// # Examples
+///
+/// ```
+/// use ofa_metrics::Summary;
+///
+/// let s = Summary::of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert_eq!(s.count, 8);
+/// assert_eq!(s.mean, 5.0);
+/// assert_eq!(s.min, 2.0);
+/// assert_eq!(s.max, 9.0);
+/// assert!((s.std_dev - 2.138).abs() < 1e-3); // sample std dev
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than two observations).
+    pub std_dev: f64,
+    /// Smallest observation (0 for an empty sample).
+    pub min: f64,
+    /// Largest observation (0 for an empty sample).
+    pub max: f64,
+    /// Median (interpolated, 0 for an empty sample).
+    pub median: f64,
+    /// 99th percentile (nearest-rank, 0 for an empty sample).
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Computes the summary of an iterator of observations.
+    pub fn of<I>(samples: I) -> Summary
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut xs: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
+        if xs.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+                p99: 0.0,
+            };
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n >= 2 {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        Summary {
+            count: n,
+            mean,
+            std_dev: var.sqrt(),
+            min: xs[0],
+            max: xs[n - 1],
+            median: interpolated_median(&xs),
+            p99: nearest_rank(&xs, 0.99),
+        }
+    }
+
+    /// Computes the summary of integer observations.
+    pub fn of_ints<I>(samples: I) -> Summary
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        Summary::of(samples.into_iter().map(|x| x as f64))
+    }
+}
+
+fn interpolated_median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Nearest-rank percentile of a sorted, non-empty slice; `p` in `[0, 1]`.
+fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// A discrete histogram over `u64` observations (e.g. decision rounds).
+///
+/// # Examples
+///
+/// ```
+/// use ofa_metrics::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for r in [1u64, 1, 2, 2, 2, 5] {
+///     h.record(r);
+/// }
+/// assert_eq!(h.count(), 6);
+/// assert_eq!(h.frequency(2), 3);
+/// assert_eq!(h.mode(), Some(2));
+/// assert!((h.mean() - 13.0 / 6.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: std::collections::BTreeMap<u64, u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        *self.buckets.entry(value).or_insert(0) += 1;
+        self.count += 1;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of observations equal to `value`.
+    pub fn frequency(&self, value: u64) -> u64 {
+        self.buckets.get(&value).copied().unwrap_or(0)
+    }
+
+    /// The most frequent value (smallest on ties), if any.
+    pub fn mode(&self) -> Option<u64> {
+        self.buckets
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(v, _)| *v)
+    }
+
+    /// Mean of the observations (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.buckets.iter().map(|(v, c)| v * c).sum();
+        sum as f64 / self.count as f64
+    }
+
+    /// Largest observed value, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.buckets.keys().next_back().copied()
+    }
+
+    /// Iterates over `(value, frequency)` in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(v, c)| (*v, *c))
+    }
+
+    /// Fraction of observations `<= value` (0 for an empty histogram).
+    pub fn cdf(&self, value: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let below: u64 = self
+            .buckets
+            .range(..=value)
+            .map(|(_, c)| *c)
+            .sum();
+        below as f64 / self.count as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, c) in other.iter() {
+            *self.buckets.entry(v).or_insert(0) += c;
+            self.count += c;
+        }
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut h = Histogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::of(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p99, 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::of([42.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 42.0);
+        assert_eq!(s.p99, 42.0);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(Summary::of([1.0, 3.0, 2.0]).median, 2.0);
+        assert_eq!(Summary::of([1.0, 2.0, 3.0, 4.0]).median, 2.5);
+    }
+
+    #[test]
+    fn p99_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(Summary::of(xs).p99, 99.0);
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        assert_eq!(Summary::of(xs).p99, 10.0);
+    }
+
+    #[test]
+    fn non_finite_values_are_dropped() {
+        let s = Summary::of([1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn of_ints_matches_of() {
+        assert_eq!(Summary::of_ints([1, 2, 3]), Summary::of([1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn histogram_cdf_and_merge() {
+        let mut a: Histogram = [1u64, 2, 2].into_iter().collect();
+        let b: Histogram = [2u64, 3].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.frequency(2), 3);
+        assert_eq!(a.cdf(2), 0.8);
+        assert_eq!(a.cdf(0), 0.0);
+        assert_eq!(a.cdf(3), 1.0);
+        assert_eq!(a.max(), Some(3));
+    }
+
+    #[test]
+    fn histogram_mode_prefers_smallest_on_tie() {
+        let h: Histogram = [5u64, 5, 1, 1, 9].into_iter().collect();
+        assert_eq!(h.mode(), Some(1));
+    }
+}

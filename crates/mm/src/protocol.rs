@@ -1,0 +1,237 @@
+//! The m&m comparator protocol.
+//!
+//! **Reconstruction note (documented substitution).** The paper compares
+//! its Algorithm 2 against the consensus algorithm of Aguilera et al.
+//! (PODC 2018) only *structurally*: per phase of a round, an m&m process
+//! touches `α_i + 1` consensus objects (its own memory plus one per
+//! neighbor) out of `n` memories system-wide, and the model cannot
+//! support the "one for all" amplification. We reconstruct a Ben-Or-style
+//! protocol with exactly that structure:
+//!
+//! * each round has the two phases of Ben-Or;
+//! * at the start of each phase, `p_i` proposes its estimate to the
+//!   phase's consensus object in **every memory of its domain** `S_i`
+//!   (α_i + 1 invocations) and adopts the value decided by its *own*
+//!   memory's object — a neighborhood agreement attempt;
+//! * the message exchange counts senders **individually** (amplification
+//!   would be unsound: domains overlap, so "neighborhood agreement" does
+//!   not make all members of any fixed set broadcast equal values).
+//!
+//! Safety is inherited from Ben-Or: the memory step only substitutes one
+//! proposed estimate for another, and the phase logic is untouched. What
+//! the reconstruction reproduces faithfully are the §III-C quantities —
+//! which is exactly what experiment E6 measures.
+
+use crate::MmMemories;
+use ofa_core::{
+    msg_exchange, Bit, Decision, Env, Est, Exchange, Halt, Mailbox, MsgKind, ObsEvent, Phase,
+    ProtocolConfig, RecClass,
+};
+use ofa_sharedmem::{CodableValue, Slot};
+use ofa_sim::ProcessBody;
+use std::sync::Arc;
+
+/// Ben-Or over the m&m substrate (see module docs for the reconstruction
+/// rationale). Runs under the deterministic simulator via
+/// [`ofa_sim::SimBuilder::custom_body`].
+#[derive(Debug)]
+pub struct MmBenOr {
+    memories: Arc<MmMemories>,
+}
+
+impl MmBenOr {
+    /// Creates the comparator over the given memory family.
+    pub fn new(memories: Arc<MmMemories>) -> Self {
+        MmBenOr { memories }
+    }
+
+    /// The shared memory family (for post-run accounting).
+    pub fn memories(&self) -> &Arc<MmMemories> {
+        &self.memories
+    }
+
+    /// One phase's neighborhood memory step: propose to every memory of
+    /// the domain, adopt the own memory's decision.
+    fn memory_step(&self, me: ofa_topology::ProcessId, slot: Slot, enc: u64) -> u64 {
+        self.memories.note_phase_entry(me);
+        let mut domain: Vec<ofa_topology::ProcessId> =
+            self.memories.graph().domain(me).iter().collect();
+        domain.sort();
+        let mut own = enc;
+        for owner in domain {
+            let decided = self.memories.propose(me, owner, slot, enc);
+            if owner == me {
+                own = decided;
+            }
+        }
+        own
+    }
+}
+
+impl ProcessBody for MmBenOr {
+    fn run(
+        &self,
+        env: &mut dyn Env,
+        proposal: Bit,
+        cfg: &ProtocolConfig,
+    ) -> Result<Decision, Halt> {
+        env.observe(ObsEvent::Propose {
+            instance: 0,
+            value: proposal,
+        });
+        let partition = env.partition().clone();
+        let me = env.me();
+        let mut mailbox = Mailbox::new();
+        let mut est1 = proposal;
+        let mut round: u64 = 0;
+        loop {
+            round += 1;
+            if let Some(max) = cfg.max_rounds {
+                if round > max {
+                    return Err(Halt::Stopped);
+                }
+            }
+            env.observe(ObsEvent::RoundStart { instance: 0, round });
+
+            // Phase 1: neighborhood memory step, then individual exchange.
+            est1 = Bit::decode(self.memory_step(
+                me,
+                Slot::new(round, Phase::One.slot_index()),
+                est1.encode(),
+            ));
+            let sup1 = match msg_exchange(
+                env,
+                &mut mailbox,
+                &partition,
+                0,
+                round,
+                Phase::One,
+                Some(est1),
+                false, // no amplification in the m&m model
+            )? {
+                Exchange::DecideSeen(v) => return relay(env, round, v),
+                Exchange::Completed(s) => s,
+            };
+            let est2: Est = sup1.majority_value();
+
+            // Phase 2.
+            let est2 = Est::decode(self.memory_step(
+                me,
+                Slot::new(round, Phase::Two.slot_index()),
+                est2.encode(),
+            ));
+            let sup2 = match msg_exchange(
+                env,
+                &mut mailbox,
+                &partition,
+                0,
+                round,
+                Phase::Two,
+                est2,
+                false,
+            )? {
+                Exchange::DecideSeen(v) => return relay(env, round, v),
+                Exchange::Completed(s) => s,
+            };
+            match sup2.rec().classify() {
+                RecClass::Single(v) => {
+                    env.observe(ObsEvent::Deciding {
+                        instance: 0,
+                        round,
+                        value: v,
+                        relayed: false,
+                    });
+                    env.broadcast(MsgKind::Decide {
+                        instance: 0,
+                        value: v,
+                    })?;
+                    return Ok(Decision {
+                        value: v,
+                        round,
+                        relayed: false,
+                    });
+                }
+                RecClass::ValueAndBot(v) => est1 = v,
+                RecClass::BotOnly => est1 = env.local_coin()?,
+                RecClass::Conflict => est1 = Bit::Zero,
+            }
+        }
+    }
+}
+
+fn relay(env: &mut dyn Env, round: u64, v: Bit) -> Result<Decision, Halt> {
+    env.observe(ObsEvent::Deciding {
+        instance: 0,
+        round,
+        value: v,
+        relayed: true,
+    });
+    env.broadcast(MsgKind::Decide {
+        instance: 0,
+        value: v,
+    })?;
+    Ok(Decision {
+        value: v,
+        round,
+        relayed: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofa_core::Algorithm;
+    use ofa_sim::SimBuilder;
+    use ofa_topology::{MmGraph, Partition, ProcessId};
+
+    fn run_mm(graph: MmGraph, ones: usize, seed: u64) -> (ofa_sim::SimOutcome, Arc<MmMemories>) {
+        let n = graph.n();
+        let memories = Arc::new(MmMemories::new(graph));
+        let body = Arc::new(MmBenOr::new(Arc::clone(&memories)));
+        // The message layer of the m&m model is plain all-to-all: model it
+        // with singleton clusters (the partition's memories are unused —
+        // the comparator talks to MmMemories directly).
+        let out = SimBuilder::new(Partition::singletons(n), Algorithm::LocalCoin)
+            .custom_body(body)
+            .proposals_split(ones)
+            .seed(seed)
+            .run();
+        (out, memories)
+    }
+
+    #[test]
+    fn mm_ben_or_reaches_agreement() {
+        for seed in 0..4 {
+            let (out, _) = run_mm(MmGraph::fig2(), 2, seed);
+            assert!(out.all_correct_decided, "seed {seed}");
+            assert!(out.agreement_holds(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unanimous_validity() {
+        let (out, _) = run_mm(MmGraph::ring(5), 5, 1);
+        assert!(out.decided(Bit::One));
+        let (out, _) = run_mm(MmGraph::ring(5), 0, 1);
+        assert!(out.decided(Bit::Zero));
+    }
+
+    #[test]
+    fn invocations_per_phase_equal_degree_plus_one() {
+        let g = MmGraph::fig2();
+        let (out, mems) = run_mm(g.clone(), 2, 3);
+        assert!(out.all_correct_decided);
+        for i in 0..g.n() {
+            let me = ProcessId(i);
+            let got = mems.invocations_per_phase(me).expect("ran some phase");
+            let want = g.invocations_per_phase(me) as f64;
+            assert!(
+                (got - want).abs() < 1e-9,
+                "{me}: measured {got}, analytic {want}"
+            );
+        }
+        // n memories in use, vs m for the hybrid model.
+        assert_eq!(mems.memory_count(), 5);
+        assert_eq!(mems.touched_memories(), 5);
+    }
+}

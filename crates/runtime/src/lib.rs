@@ -1,0 +1,570 @@
+//! # `ofa-runtime` — real-concurrency runtime for hybrid-model consensus
+//!
+//! Runs the `ofa-core` algorithms with *genuine* parallelism: one OS
+//! thread per process, crossbeam channels as the reliable asynchronous
+//! network, and the real lock-free `ofa-sharedmem` consensus objects as
+//! each cluster's memory. This is the deployment the paper motivates —
+//! each cluster a multicore address space, message passing in between —
+//! collapsed onto one machine.
+//!
+//! Where `ofa-sim` gives determinism and virtual time, this runtime gives
+//! real races and wall-clock latency. Both execute the *same* protocol
+//! code.
+//!
+//! # Examples
+//!
+//! ```
+//! use ofa_core::{Algorithm, Bit};
+//! use ofa_runtime::RuntimeBuilder;
+//! use ofa_topology::Partition;
+//!
+//! let out = RuntimeBuilder::new(Partition::fig1_right(), Algorithm::CommonCoin)
+//!     .proposals_split(3)
+//!     .seed(7)
+//!     .run();
+//! assert!(out.all_correct_decided);
+//! assert!(out.agreement_holds());
+//! ```
+
+#![warn(missing_docs)]
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use ofa_coins::{CommonCoin, LocalCoin, SeededCommonCoin, SeededLocalCoin};
+use ofa_core::{
+    Algorithm, Bit, Decision, Env, Halt, Msg, MsgKind, ObsEvent, Observer, ProtocolConfig,
+};
+use ofa_metrics::{CounterSnapshot, Counters};
+use ofa_sharedmem::{MemoryBank, Slot};
+use ofa_topology::{Partition, ProcessId, ProcessSet};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long `recv` sleeps between checks of the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(2);
+
+/// The environment backing one process thread.
+struct ThreadEnv {
+    me: ProcessId,
+    partition: Partition,
+    senders: Vec<Sender<Msg>>,
+    receiver: Receiver<Msg>,
+    memory: MemoryBank,
+    counters: Arc<Counters>,
+    common_coin: Arc<dyn CommonCoin>,
+    local_coin: SeededLocalCoin,
+    observer: Option<Arc<dyn Observer>>,
+    stop: Arc<AtomicBool>,
+    crash_at_step: Option<u64>,
+    crash_at_round: Option<u64>,
+    steps: u64,
+    crashed: bool,
+}
+
+impl ThreadEnv {
+    fn step(&mut self) -> Result<(), Halt> {
+        self.steps += 1;
+        if let Some(k) = self.crash_at_step {
+            if self.steps > k {
+                self.crashed = true;
+            }
+        }
+        if self.crashed {
+            return Err(Halt::Crashed);
+        }
+        Ok(())
+    }
+}
+
+impl Env for ThreadEnv {
+    fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    fn send(&mut self, to: ProcessId, msg: MsgKind) -> Result<(), Halt> {
+        self.step()?;
+        self.counters.inc_messages_sent(1);
+        // A closed channel means the receiver finished — the message is
+        // simply dropped, like a message to a decided process.
+        let _ = self.senders[to.index()].send(Msg {
+            from: self.me,
+            kind: msg,
+        });
+        Ok(())
+    }
+
+    fn broadcast(&mut self, msg: MsgKind) -> Result<(), Halt> {
+        self.counters.inc_broadcasts(1);
+        let n = self.partition.n();
+        for j in 0..n {
+            self.send(ProcessId(j), msg)?;
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Msg, Halt> {
+        self.step()?;
+        loop {
+            match self.receiver.recv_timeout(POLL_INTERVAL) {
+                Ok(m) => {
+                    self.counters.inc_messages_delivered(1);
+                    return Ok(m);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return Err(Halt::Stopped);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(Halt::Stopped),
+            }
+        }
+    }
+
+    fn cluster_propose(&mut self, slot: Slot, enc: u64) -> Result<u64, Halt> {
+        self.step()?;
+        self.counters.inc_cluster_proposes(1);
+        Ok(self
+            .memory
+            .memory_of(&self.partition, self.me)
+            .propose_raw(slot, enc))
+    }
+
+    fn local_coin(&mut self) -> Result<Bit, Halt> {
+        self.step()?;
+        self.counters.inc_local_coin_flips(1);
+        Ok(Bit::from(self.local_coin.flip()))
+    }
+
+    fn common_coin(&mut self, round: u64) -> Result<Bit, Halt> {
+        self.step()?;
+        self.counters.inc_common_coin_queries(1);
+        Ok(Bit::from(self.common_coin.bit(round)))
+    }
+
+    fn observe(&mut self, event: ObsEvent) {
+        match event {
+            ObsEvent::RoundStart { instance, round } => {
+                self.counters.inc_rounds_started(1);
+                if let Some(r) = self.crash_at_round {
+                    if instance == 0 && round >= r {
+                        self.crashed = true;
+                    }
+                }
+            }
+            ObsEvent::Deciding { relayed, .. } => {
+                if relayed {
+                    self.counters.inc_decide_relays(1);
+                } else {
+                    self.counters.inc_decisions(1);
+                }
+            }
+            _ => {}
+        }
+        if let Some(obs) = &self.observer {
+            obs.on_event(self.me, &event);
+        }
+    }
+}
+
+/// Builder for one real-threaded consensus execution.
+pub struct RuntimeBuilder {
+    partition: Partition,
+    algorithm: Algorithm,
+    config: ProtocolConfig,
+    proposals: Vec<Bit>,
+    seed: u64,
+    crash_at_step: HashMap<ProcessId, u64>,
+    crash_at_round: HashMap<ProcessId, u64>,
+    observer: Option<Arc<dyn Observer>>,
+    timeout: Duration,
+}
+
+impl fmt::Debug for RuntimeBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RuntimeBuilder")
+            .field("partition", &self.partition)
+            .field("algorithm", &self.algorithm)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RuntimeBuilder {
+    /// Starts a builder with the paper's configuration, alternating
+    /// proposals, a 256-round cap, and a 10-second wall-clock timeout.
+    pub fn new(partition: Partition, algorithm: Algorithm) -> Self {
+        let n = partition.n();
+        RuntimeBuilder {
+            partition,
+            algorithm,
+            config: ProtocolConfig::paper().with_max_rounds(256),
+            proposals: (0..n).map(|i| Bit::from(i % 2 == 1)).collect(),
+            seed: 0,
+            crash_at_step: HashMap::new(),
+            crash_at_round: HashMap::new(),
+            observer: None,
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Sets the protocol configuration.
+    pub fn config(mut self, config: ProtocolConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets every process's proposal.
+    pub fn proposals(mut self, proposals: Vec<Bit>) -> Self {
+        self.proposals = proposals;
+        self
+    }
+
+    /// All processes propose `v`.
+    pub fn proposals_all(mut self, v: Bit) -> Self {
+        self.proposals = vec![v; self.partition.n()];
+        self
+    }
+
+    /// First `ones` processes propose 1, the rest 0.
+    pub fn proposals_split(mut self, ones: usize) -> Self {
+        let n = self.partition.n();
+        self.proposals = (0..n).map(|i| Bit::from(i < ones)).collect();
+        self
+    }
+
+    /// Seeds the coins.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Crashes `p` before its first step.
+    pub fn crash_at_start(mut self, p: ProcessId) -> Self {
+        self.crash_at_step.insert(p, 0);
+        self
+    }
+
+    /// Crashes `p` at its `k`-th environment call (mid-broadcast crashes
+    /// produce partial deliveries, as in the paper's broadcast macro).
+    pub fn crash_at_step(mut self, p: ProcessId, k: u64) -> Self {
+        self.crash_at_step.insert(p, k);
+        self
+    }
+
+    /// Crashes `p` when it enters round `r`.
+    pub fn crash_at_round(mut self, p: ProcessId, r: u64) -> Self {
+        self.crash_at_round.insert(p, r);
+        self
+    }
+
+    /// Crashes every member of `set` from the start.
+    pub fn crash_set_at_start(mut self, set: &ProcessSet) -> Self {
+        for p in set {
+            self.crash_at_step.insert(p, 0);
+        }
+        self
+    }
+
+    /// Attaches an observer (e.g. `ofa_core::InvariantChecker`).
+    pub fn observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Sets the wall-clock deadline after which undecided processes are
+    /// stopped (indulgence: they stop *without* deciding).
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Runs the execution and collects the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the proposal vector length differs from `n` or a process
+    /// thread panics (a bug, not a modeled fault).
+    pub fn run(self) -> RunOutcome {
+        let n = self.partition.n();
+        assert_eq!(
+            self.proposals.len(),
+            n,
+            "need one proposal per process (got {} for n={n})",
+            self.proposals.len()
+        );
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Msg>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let memory = MemoryBank::for_partition(&self.partition);
+        let counters: Vec<Arc<Counters>> = (0..n).map(|_| Arc::new(Counters::new())).collect();
+        let common_coin: Arc<dyn CommonCoin> =
+            Arc::new(SeededCommonCoin::new(self.seed ^ 0xC0_1D_5E_ED));
+        let stop = Arc::new(AtomicBool::new(false));
+        let started = Instant::now();
+
+        let (done_tx, done_rx) = unbounded::<(usize, Result<Decision, Halt>, Duration)>();
+        let mut handles = Vec::with_capacity(n);
+        for (i, receiver) in receivers.into_iter().enumerate() {
+            let mut env = ThreadEnv {
+                me: ProcessId(i),
+                partition: self.partition.clone(),
+                senders: senders.clone(),
+                receiver,
+                memory: memory.clone(),
+                counters: Arc::clone(&counters[i]),
+                common_coin: Arc::clone(&common_coin),
+                local_coin: SeededLocalCoin::for_process(self.seed, ProcessId(i)),
+                observer: self.observer.clone(),
+                stop: Arc::clone(&stop),
+                crash_at_step: self.crash_at_step.get(&ProcessId(i)).copied(),
+                crash_at_round: self.crash_at_round.get(&ProcessId(i)).copied(),
+                steps: 0,
+                crashed: false,
+            };
+            let algorithm = self.algorithm;
+            let config = self.config;
+            let proposal = self.proposals[i];
+            let done_tx = done_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ofa-p{}", i + 1))
+                    .spawn(move || {
+                        let result = algorithm.run(&mut env, proposal, &config);
+                        let _ = done_tx.send((i, result, started.elapsed()));
+                    })
+                    .expect("spawn process thread"),
+            );
+        }
+        drop(done_tx);
+        drop(senders);
+
+        // Collect results; on deadline, raise the stop flag so blocked
+        // processes bail out with Halt::Stopped.
+        let mut results: Vec<Option<(Result<Decision, Halt>, Duration)>> = vec![None; n];
+        let mut collected = 0;
+        let deadline = started + self.timeout;
+        while collected < n {
+            let now = Instant::now();
+            let wait = deadline.saturating_duration_since(now).max(POLL_INTERVAL);
+            match done_rx.recv_timeout(wait) {
+                Ok((i, res, at)) => {
+                    results[i] = Some((res, at));
+                    collected += 1;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    stop.store(true, Ordering::SeqCst);
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            if Instant::now() >= deadline {
+                stop.store(true, Ordering::SeqCst);
+            }
+        }
+        for h in handles {
+            h.join().expect("process thread panicked");
+        }
+
+        let mut decisions = Vec::with_capacity(n);
+        let mut halts = Vec::with_capacity(n);
+        let mut crashed = ProcessSet::empty(n);
+        let mut latest_decision = Duration::ZERO;
+        for (i, slot) in results.into_iter().enumerate() {
+            let (res, at) = slot.expect("every thread reports");
+            match res {
+                Ok(d) => {
+                    decisions.push(Some(d));
+                    halts.push(None);
+                    latest_decision = latest_decision.max(at);
+                }
+                Err(h) => {
+                    decisions.push(None);
+                    halts.push(Some(h));
+                    if h == Halt::Crashed {
+                        crashed.insert(ProcessId(i));
+                    }
+                }
+            }
+        }
+        let decided_value = decisions.iter().flatten().map(|d| d.value).next();
+        let all_correct_decided = decisions
+            .iter()
+            .zip(halts.iter())
+            .all(|(d, h)| d.is_some() || *h == Some(Halt::Crashed));
+        let per_process: Vec<CounterSnapshot> = counters.iter().map(|c| c.snapshot()).collect();
+        RunOutcome {
+            decisions,
+            halts,
+            crashed,
+            decided_value,
+            all_correct_decided,
+            latest_decision,
+            elapsed: started.elapsed(),
+            counters: CounterSnapshot::merge_all(per_process.iter().copied()),
+            per_process,
+            sm_proposes: memory.total_proposes(),
+            sm_objects: memory.total_objects(),
+        }
+    }
+}
+
+/// Outcome of one real-threaded execution.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Per-process decision (`None` for crashed/stopped processes).
+    pub decisions: Vec<Option<Decision>>,
+    /// Per-process halt reason (`None` for deciders).
+    pub halts: Vec<Option<Halt>>,
+    /// Processes that ended crashed.
+    pub crashed: ProcessSet,
+    /// The first decided value observed, if any.
+    pub decided_value: Option<Bit>,
+    /// `true` iff every non-crashed process decided.
+    pub all_correct_decided: bool,
+    /// Wall-clock time of the last decision.
+    pub latest_decision: Duration,
+    /// Total wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Merged counters.
+    pub counters: CounterSnapshot,
+    /// Per-process counters.
+    pub per_process: Vec<CounterSnapshot>,
+    /// Total consensus-object invocations across cluster memories.
+    pub sm_proposes: u64,
+    /// Consensus objects materialized across cluster memories.
+    pub sm_objects: usize,
+}
+
+impl RunOutcome {
+    /// `true` iff no two processes decided different values.
+    pub fn agreement_holds(&self) -> bool {
+        let mut seen: Option<Bit> = None;
+        for d in self.decisions.iter().flatten() {
+            match seen {
+                None => seen = Some(d.value),
+                Some(v) if v != d.value => return false,
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Number of processes that decided.
+    pub fn deciders(&self) -> usize {
+        self.decisions.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_processes_fig1_right_agree() {
+        for seed in 0..3 {
+            let out = RuntimeBuilder::new(Partition::fig1_right(), Algorithm::LocalCoin)
+                .proposals_split(3)
+                .seed(seed)
+                .run();
+            assert!(out.all_correct_decided, "seed {seed}");
+            assert!(out.agreement_holds(), "seed {seed}");
+            assert_eq!(out.deciders(), 7);
+        }
+    }
+
+    #[test]
+    fn unanimous_input_decides_that_value() {
+        for v in Bit::ALL {
+            let out = RuntimeBuilder::new(Partition::fig1_left(), Algorithm::CommonCoin)
+                .proposals_all(v)
+                .seed(1)
+                .run();
+            assert!(out.all_correct_decided);
+            assert_eq!(out.decided_value, Some(v), "validity");
+        }
+    }
+
+    #[test]
+    fn headline_crash_pattern_one_survivor_decides() {
+        let out = RuntimeBuilder::new(Partition::fig1_right(), Algorithm::CommonCoin)
+            .proposals_split(4)
+            .crash_at_start(ProcessId(0))
+            .crash_at_start(ProcessId(1))
+            .crash_at_start(ProcessId(3))
+            .crash_at_start(ProcessId(4))
+            .crash_at_start(ProcessId(5))
+            .crash_at_start(ProcessId(6))
+            .seed(2)
+            .run();
+        assert!(out.all_correct_decided);
+        assert_eq!(out.deciders(), 1);
+        assert_eq!(out.crashed.len(), 6);
+        assert!(out.decisions[2].is_some(), "p3 is the survivor");
+    }
+
+    #[test]
+    fn stalled_minority_is_stopped_safely() {
+        // Pure message-passing, majority crashed: never decides; the
+        // timeout stops it without a wrong decision.
+        let crashed = ProcessSet::from_indices(4, [0, 1]);
+        let out = RuntimeBuilder::new(Partition::singletons(4), Algorithm::LocalCoin)
+            .proposals_split(2)
+            .crash_set_at_start(&crashed)
+            .timeout(Duration::from_millis(300))
+            .seed(3)
+            .run();
+        assert!(!out.all_correct_decided);
+        assert_eq!(out.deciders(), 0);
+        assert!(out.agreement_holds());
+    }
+
+    #[test]
+    fn invariants_hold_under_real_races() {
+        use ofa_core::InvariantChecker;
+        for seed in 0..5 {
+            let checker = Arc::new(InvariantChecker::new());
+            let out = RuntimeBuilder::new(Partition::even(8, 3), Algorithm::LocalCoin)
+                .proposals_split(4)
+                .observer(checker.clone())
+                .seed(seed)
+                .run();
+            assert!(out.all_correct_decided, "seed {seed}");
+            checker.assert_clean();
+        }
+    }
+
+    #[test]
+    fn crash_mid_broadcast_is_safe() {
+        for step in [1u64, 3, 6] {
+            let out = RuntimeBuilder::new(Partition::fig1_left(), Algorithm::LocalCoin)
+                .proposals_split(4)
+                .crash_at_step(ProcessId(0), step)
+                .seed(step)
+                .run();
+            assert!(out.agreement_holds());
+            assert!(out.all_correct_decided, "step {step}");
+        }
+    }
+
+    #[test]
+    fn crash_at_round_two() {
+        let out = RuntimeBuilder::new(Partition::even(6, 2), Algorithm::LocalCoin)
+            .proposals_split(3)
+            .crash_at_round(ProcessId(5), 2)
+            .seed(9)
+            .run();
+        assert!(out.agreement_holds());
+        // p6 either decided in round 1 or crashed at round 2.
+        let p6 = &out.decisions[5];
+        assert!(p6.is_none() || p6.unwrap().round < 2);
+    }
+}

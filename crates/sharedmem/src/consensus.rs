@@ -1,0 +1,272 @@
+//! Wait-free consensus objects built from `compare&swap` (§II-A).
+//!
+//! Because `compare&swap` has consensus number ∞, a single CAS cell solves
+//! consensus for any number of processes despite any number of crashes:
+//! every process tries to install its proposal into an empty cell; exactly
+//! one CAS wins, and every proposer returns the installed value. This is
+//! the deterministic object the paper assumes *inside each cluster*
+//! (`CONS_x[r, 1]`, `CONS_x[r, 2]`).
+
+use crate::{CasCell, TestAndSet, WordRegister};
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Values storable in a [`CasConsensus`] object: encodable into a `u64`
+/// strictly below `u64::MAX` (the empty sentinel).
+///
+/// Implementations must round-trip: `decode(encode(v)) == v`.
+pub trait CodableValue: Copy + Eq {
+    /// Encodes into a `u64 < u64::MAX`.
+    fn encode(self) -> u64;
+    /// Decodes a value previously produced by [`CodableValue::encode`].
+    fn decode(word: u64) -> Self;
+}
+
+impl CodableValue for bool {
+    fn encode(self) -> u64 {
+        self as u64
+    }
+    fn decode(word: u64) -> Self {
+        word != 0
+    }
+}
+
+impl CodableValue for u8 {
+    fn encode(self) -> u64 {
+        self as u64
+    }
+    fn decode(word: u64) -> Self {
+        word as u8
+    }
+}
+
+impl CodableValue for u32 {
+    fn encode(self) -> u64 {
+        self as u64
+    }
+    fn decode(word: u64) -> Self {
+        word as u32
+    }
+}
+
+impl<T: CodableValue> CodableValue for Option<T> {
+    fn encode(self) -> u64 {
+        match self {
+            None => 0,
+            // Shift by one so None and Some(zero-encoding) stay distinct.
+            Some(v) => v.encode() + 1,
+        }
+    }
+    fn decode(word: u64) -> Self {
+        if word == 0 {
+            None
+        } else {
+            Some(T::decode(word - 1))
+        }
+    }
+}
+
+/// A wait-free, linearizable, first-proposal-wins consensus object.
+///
+/// Satisfies the three consensus properties for any number of concurrent
+/// proposers:
+///
+/// * **validity** — the decided value was proposed,
+/// * **agreement** — all proposers return the same value,
+/// * **wait-free termination** — `propose` returns in a bounded number of
+///   its own steps, regardless of crashes of other processes.
+///
+/// # Examples
+///
+/// ```
+/// use ofa_sharedmem::CasConsensus;
+///
+/// let cons: CasConsensus<u8> = CasConsensus::new();
+/// assert_eq!(cons.propose(4), 4);  // first proposal wins
+/// assert_eq!(cons.propose(9), 4);  // later proposals adopt it
+/// assert_eq!(cons.decided(), Some(4));
+/// ```
+pub struct CasConsensus<V> {
+    cell: CasCell,
+    proposals: AtomicU64,
+    _marker: PhantomData<V>,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+impl<V: CodableValue> CasConsensus<V> {
+    /// Creates an undecided consensus object.
+    pub fn new() -> Self {
+        CasConsensus {
+            cell: CasCell::new(EMPTY),
+            proposals: AtomicU64::new(0),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Proposes `v`; returns the decided value (the first proposal to
+    /// arrive). Wait-free: one CAS plus at most one load.
+    pub fn propose(&self, v: V) -> V {
+        self.proposals.fetch_add(1, Ordering::Relaxed);
+        let enc = v.encode();
+        debug_assert_ne!(enc, EMPTY, "encoding may not collide with sentinel");
+        match self.cell.compare_and_swap(EMPTY, enc) {
+            Ok(_) => v,
+            Err(actual) => V::decode(actual),
+        }
+    }
+
+    /// The decided value, if any proposal has arrived yet.
+    pub fn decided(&self) -> Option<V> {
+        match self.cell.load() {
+            EMPTY => None,
+            w => Some(V::decode(w)),
+        }
+    }
+
+    /// Number of `propose` invocations so far (statistics only).
+    pub fn proposal_count(&self) -> u64 {
+        self.proposals.load(Ordering::Relaxed)
+    }
+}
+
+impl<V: CodableValue> Default for CasConsensus<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: CodableValue + fmt::Debug> fmt::Debug for CasConsensus<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CasConsensus")
+            .field("decided", &self.decided())
+            .field("proposals", &self.proposal_count())
+            .finish()
+    }
+}
+
+/// Two-process consensus from `test&set` plus two registers — the classic
+/// construction showing `test&set` has consensus number **exactly 2**
+/// (Herlihy 1991), included as an executable piece of the hierarchy the
+/// paper's §I recalls.
+///
+/// Callers must identify as process 0 or process 1.
+///
+/// # Examples
+///
+/// ```
+/// use ofa_sharedmem::TasConsensus;
+///
+/// let cons = TasConsensus::new();
+/// let a = cons.propose(0, 10);
+/// let b = cons.propose(1, 20);
+/// assert_eq!(a, b);
+/// assert!(a == 10 || a == 20);
+/// ```
+#[derive(Debug, Default)]
+pub struct TasConsensus {
+    flag: TestAndSet,
+    prefs: [WordRegister; 2],
+}
+
+impl TasConsensus {
+    /// Creates an undecided object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Proposes `v` as process `who` (0 or 1); returns the agreed value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `who > 1` — `test&set` cannot serve three processes.
+    pub fn propose(&self, who: usize, v: u64) -> u64 {
+        assert!(who <= 1, "test&set consensus is limited to 2 processes");
+        self.prefs[who].write(v + 1); // +1 so 0 means "not yet written"
+        if self.flag.test_and_set() {
+            v
+        } else {
+            // The other process won; its preference is already visible
+            // because it wrote before its test&set.
+            let other = self.prefs[1 - who].read();
+            debug_assert_ne!(other, 0, "winner writes preference first");
+            other - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn first_proposal_wins_sequentially() {
+        let c: CasConsensus<u8> = CasConsensus::new();
+        assert_eq!(c.decided(), None);
+        assert_eq!(c.propose(3), 3);
+        assert_eq!(c.propose(5), 3);
+        assert_eq!(c.decided(), Some(3));
+        assert_eq!(c.proposal_count(), 2);
+    }
+
+    #[test]
+    fn option_encoding_distinguishes_none_from_some_zero() {
+        let c: CasConsensus<Option<bool>> = CasConsensus::new();
+        assert_eq!(c.propose(None), None);
+        assert_eq!(c.propose(Some(false)), None);
+        let d: CasConsensus<Option<bool>> = CasConsensus::new();
+        assert_eq!(d.propose(Some(false)), Some(false));
+        assert_eq!(d.propose(None), Some(false));
+    }
+
+    #[test]
+    fn codable_round_trips() {
+        for v in [0u8, 1, 2, 255] {
+            assert_eq!(u8::decode(v.encode()), v);
+        }
+        for v in [None, Some(true), Some(false)] {
+            assert_eq!(Option::<bool>::decode(v.encode()), v);
+        }
+        assert_eq!(u32::decode(u32::MAX.encode()), u32::MAX);
+    }
+
+    #[test]
+    fn agreement_validity_under_heavy_contention() {
+        for _ in 0..50 {
+            let c: Arc<CasConsensus<u8>> = Arc::new(CasConsensus::new());
+            let handles: Vec<_> = (0..8u8)
+                .map(|v| {
+                    let c = Arc::clone(&c);
+                    std::thread::spawn(move || c.propose(v))
+                })
+                .collect();
+            let outcomes: Vec<u8> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let first = outcomes[0];
+            assert!(outcomes.iter().all(|&o| o == first), "agreement violated");
+            assert!(first < 8, "validity violated");
+            assert_eq!(c.decided(), Some(first));
+        }
+    }
+
+    #[test]
+    fn tas_consensus_agreement_over_many_races() {
+        for round in 0..200u64 {
+            let c = Arc::new(TasConsensus::new());
+            let c0 = Arc::clone(&c);
+            let c1 = Arc::clone(&c);
+            let a = std::thread::spawn(move || c0.propose(0, round * 2));
+            let b = std::thread::spawn(move || c1.propose(1, round * 2 + 1));
+            let (ra, rb) = (a.join().unwrap(), b.join().unwrap());
+            assert_eq!(ra, rb, "two-process agreement violated");
+            assert!(ra == round * 2 || ra == round * 2 + 1, "validity violated");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 2")]
+    fn tas_consensus_rejects_third_process() {
+        TasConsensus::new().propose(2, 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Intra-cluster shared memory for the hybrid communication model
+//! (Raynal & Cao, ICDCS 2019, §II-A).
+//!
+//! Each cluster `P[x]` owns a memory `MEM_x` of atomic registers enriched
+//! with a synchronization operation of consensus number ∞, so deterministic
+//! wait-free consensus is solvable *inside* a cluster. This crate provides
+//! that substrate:
+//!
+//! * [`AtomicRegister`] / [`WordRegister`] — linearizable registers,
+//! * [`CasCell`], [`TestAndSet`], [`FetchAdd`], [`LlScCell`] — the
+//!   synchronization primitives the paper cites (Herlihy's hierarchy),
+//! * [`CasConsensus`] — the wait-free first-proposal-wins consensus object
+//!   used as `CONS_x[r, ph]`,
+//! * [`TasConsensus`] — the classic 2-process construction from `test&set`,
+//! * [`ClusterMemory`] / [`MemoryBank`] — the lazily-allocated unbounded
+//!   arrays of consensus objects, one memory per cluster.
+//!
+//! # Examples
+//!
+//! ```
+//! use ofa_sharedmem::{MemoryBank, Slot};
+//! use ofa_topology::{Partition, ProcessId};
+//!
+//! let part = Partition::fig1_right();
+//! let bank = MemoryBank::for_partition(&part);
+//! // All of P[2] agrees on the phase-1 estimate of round 1:
+//! let v = bank.memory_of(&part, ProcessId(1)).propose(Slot::new(1, 1), 1u8);
+//! assert_eq!(v, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cluster_memory;
+mod consensus;
+mod primitives;
+mod register;
+
+pub use cluster_memory::{ClusterMemory, MemoryBank, Slot};
+pub use consensus::{CasConsensus, CodableValue, TasConsensus};
+pub use primitives::{CasCell, FetchAdd, LlScCell, LlToken, TestAndSet};
+pub use register::{AtomicRegister, WordRegister};

@@ -1,0 +1,303 @@
+//! Synchronization primitives of Herlihy's hierarchy (§I and §II-A of the
+//! paper).
+//!
+//! The paper requires each cluster memory to offer an operation with
+//! consensus number ∞ — e.g. `compare&swap` — and mentions `fetch&add` and
+//! `LL/SC` as alternatives. This module implements all three plus
+//! `test&set`, both because the consensus objects of
+//! [`crate::CasConsensus`] are built from them and because the hierarchy
+//! itself is exercised by tests ([`TasConsensus`] solves consensus for
+//! exactly 2 processes, matching `test&set`'s consensus number of 2).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A `compare&swap` cell over a `u64` word (consensus number ∞).
+///
+/// # Examples
+///
+/// ```
+/// use ofa_sharedmem::CasCell;
+///
+/// let c = CasCell::new(0);
+/// assert_eq!(c.compare_and_swap(0, 7), Ok(0));
+/// assert_eq!(c.compare_and_swap(0, 9), Err(7)); // lost the race
+/// assert_eq!(c.load(), 7);
+/// ```
+#[derive(Debug, Default)]
+pub struct CasCell {
+    word: AtomicU64,
+}
+
+impl CasCell {
+    /// Creates a cell holding `initial`.
+    pub fn new(initial: u64) -> Self {
+        CasCell {
+            word: AtomicU64::new(initial),
+        }
+    }
+
+    /// Atomically replaces the value with `new` iff it currently equals
+    /// `expected`. Returns `Ok(expected)` on success and `Err(actual)` on
+    /// failure.
+    #[inline]
+    pub fn compare_and_swap(&self, expected: u64, new: u64) -> Result<u64, u64> {
+        self.word
+            .compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn load(&self) -> u64 {
+        self.word.load(Ordering::SeqCst)
+    }
+
+    /// Unconditional store (a plain register write).
+    #[inline]
+    pub fn store(&self, value: u64) {
+        self.word.store(value, Ordering::SeqCst);
+    }
+}
+
+/// A one-shot `test&set` bit (consensus number 2).
+///
+/// # Examples
+///
+/// ```
+/// use ofa_sharedmem::TestAndSet;
+///
+/// let t = TestAndSet::new();
+/// assert!(t.test_and_set());  // winner
+/// assert!(!t.test_and_set()); // everyone after loses
+/// ```
+#[derive(Debug, Default)]
+pub struct TestAndSet {
+    flag: AtomicBool,
+}
+
+impl TestAndSet {
+    /// Creates an unset flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Atomically sets the flag; returns `true` iff this call was the first.
+    #[inline]
+    pub fn test_and_set(&self) -> bool {
+        !self.flag.swap(true, Ordering::SeqCst)
+    }
+
+    /// `true` if some call already won.
+    pub fn is_set(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// A `fetch&add` counter (consensus number 2).
+///
+/// # Examples
+///
+/// ```
+/// use ofa_sharedmem::FetchAdd;
+///
+/// let f = FetchAdd::new(0);
+/// assert_eq!(f.fetch_add(5), 0);
+/// assert_eq!(f.fetch_add(1), 5);
+/// assert_eq!(f.load(), 6);
+/// ```
+#[derive(Debug, Default)]
+pub struct FetchAdd {
+    word: AtomicU64,
+}
+
+impl FetchAdd {
+    /// Creates a counter holding `initial`.
+    pub fn new(initial: u64) -> Self {
+        FetchAdd {
+            word: AtomicU64::new(initial),
+        }
+    }
+
+    /// Atomically adds `by`, returning the previous value.
+    #[inline]
+    pub fn fetch_add(&self, by: u64) -> u64 {
+        self.word.fetch_add(by, Ordering::SeqCst)
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn load(&self) -> u64 {
+        self.word.load(Ordering::SeqCst)
+    }
+}
+
+/// An LL/SC (load-linked / store-conditional) cell, emulated with a stamped
+/// CAS so that an SC fails iff any store happened since the matching LL
+/// (the emulation is consequently immune to the ABA problem, like real
+/// LL/SC; consensus number ∞).
+///
+/// # Examples
+///
+/// ```
+/// use ofa_sharedmem::LlScCell;
+///
+/// let c = LlScCell::new(10);
+/// let link = c.load_linked();
+/// assert_eq!(link.value(), 10);
+/// assert!(c.store_conditional(&link, 11));
+/// assert!(!c.store_conditional(&link, 12)); // link consumed by the store
+/// assert_eq!(c.load_linked().value(), 11);
+/// ```
+#[derive(Debug, Default)]
+pub struct LlScCell {
+    /// Packs `(stamp << 32) | value` — values must fit in 32 bits.
+    word: AtomicU64,
+}
+
+/// The token returned by [`LlScCell::load_linked`], consumed by
+/// [`LlScCell::store_conditional`].
+#[derive(Debug, Clone, Copy)]
+pub struct LlToken {
+    raw: u64,
+}
+
+impl LlToken {
+    /// The value observed by the `load_linked` that produced this token.
+    pub fn value(&self) -> u32 {
+        (self.raw & 0xFFFF_FFFF) as u32
+    }
+}
+
+impl LlScCell {
+    /// Creates a cell holding `initial`.
+    pub fn new(initial: u32) -> Self {
+        LlScCell {
+            word: AtomicU64::new(initial as u64),
+        }
+    }
+
+    /// Load-linked: reads the value and remembers the version stamp.
+    pub fn load_linked(&self) -> LlToken {
+        LlToken {
+            raw: self.word.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Store-conditional: writes `value` iff no store (conditional or not)
+    /// happened since `token` was obtained. Returns `true` on success.
+    pub fn store_conditional(&self, token: &LlToken, value: u32) -> bool {
+        let stamp = token.raw >> 32;
+        let new = ((stamp + 1) << 32) | value as u64;
+        self.word
+            .compare_exchange(token.raw, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn cas_single_winner_under_contention() {
+        let c = Arc::new(CasCell::new(0));
+        let handles: Vec<_> = (1..=16u64)
+            .map(|v| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || c.compare_and_swap(0, v).is_ok())
+            })
+            .collect();
+        let wins = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&w| w)
+            .count();
+        assert_eq!(wins, 1, "exactly one CAS(0, v) may succeed");
+        assert!((1..=16).contains(&c.load()));
+    }
+
+    #[test]
+    fn tas_exactly_one_winner() {
+        let t = Arc::new(TestAndSet::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || t.test_and_set())
+            })
+            .collect();
+        let wins = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&w| w)
+            .count();
+        assert_eq!(wins, 1);
+        assert!(t.is_set());
+    }
+
+    #[test]
+    fn fetch_add_no_lost_updates() {
+        let f = Arc::new(FetchAdd::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        f.fetch_add(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(f.load(), 8000);
+    }
+
+    #[test]
+    fn llsc_detects_intervening_store() {
+        let c = LlScCell::new(1);
+        let a = c.load_linked();
+        let b = c.load_linked();
+        assert!(c.store_conditional(&a, 2));
+        // b's link is broken by a's successful store.
+        assert!(!c.store_conditional(&b, 3));
+        assert_eq!(c.load_linked().value(), 2);
+    }
+
+    #[test]
+    fn llsc_is_aba_immune() {
+        let c = LlScCell::new(5);
+        let link = c.load_linked();
+        // Value goes 5 -> 7 -> 5: a raw CAS would succeed, LL/SC must not.
+        let l2 = c.load_linked();
+        assert!(c.store_conditional(&l2, 7));
+        let l3 = c.load_linked();
+        assert!(c.store_conditional(&l3, 5));
+        assert_eq!(c.load_linked().value(), 5);
+        assert!(!c.store_conditional(&link, 9), "ABA must be detected");
+    }
+
+    #[test]
+    fn llsc_concurrent_counter() {
+        let c = Arc::new(LlScCell::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        loop {
+                            let link = c.load_linked();
+                            if c.store_conditional(&link, link.value() + 1) {
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.load_linked().value(), 2000);
+    }
+}

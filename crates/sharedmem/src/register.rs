@@ -1,0 +1,154 @@
+//! Atomic (linearizable) read/write registers.
+//!
+//! The paper's cluster memory `MEM_x` is "made up of atomic registers"
+//! enriched with a consensus-number-∞ synchronization operation. The
+//! registers here are multi-writer multi-reader and linearizable; inside a
+//! cluster they are plain in-process shared memory, which is exactly the
+//! multicore deployment the paper motivates.
+
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A multi-writer multi-reader atomic register holding a `Clone` value.
+///
+/// Reads and writes are individually linearizable (guarded by a
+/// [`parking_lot::RwLock`], which never poisons). For machine-word values
+/// prefer [`WordRegister`], which is lock-free.
+///
+/// # Examples
+///
+/// ```
+/// use ofa_sharedmem::AtomicRegister;
+///
+/// let r = AtomicRegister::new(vec![1, 2]);
+/// r.write(vec![3]);
+/// assert_eq!(r.read(), vec![3]);
+/// ```
+pub struct AtomicRegister<T> {
+    cell: RwLock<T>,
+    ops: AtomicU64,
+}
+
+impl<T: Clone> AtomicRegister<T> {
+    /// Creates a register with an initial value.
+    pub fn new(initial: T) -> Self {
+        AtomicRegister {
+            cell: RwLock::new(initial),
+            ops: AtomicU64::new(0),
+        }
+    }
+
+    /// Linearizable read.
+    pub fn read(&self) -> T {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        self.cell.read().clone()
+    }
+
+    /// Linearizable write.
+    pub fn write(&self, value: T) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        *self.cell.write() = value;
+    }
+
+    /// Number of read/write operations performed so far (statistics only).
+    pub fn op_count(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+}
+
+impl<T: Clone + fmt::Debug> fmt::Debug for AtomicRegister<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AtomicRegister")
+            .field("value", &*self.cell.read())
+            .field("ops", &self.op_count())
+            .finish()
+    }
+}
+
+impl<T: Clone + Default> Default for AtomicRegister<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+/// A lock-free atomic register over a single machine word.
+///
+/// # Examples
+///
+/// ```
+/// use ofa_sharedmem::WordRegister;
+///
+/// let r = WordRegister::new(7);
+/// assert_eq!(r.read(), 7);
+/// r.write(9);
+/// assert_eq!(r.read(), 9);
+/// ```
+#[derive(Debug, Default)]
+pub struct WordRegister {
+    word: AtomicU64,
+}
+
+impl WordRegister {
+    /// Creates a register with an initial value.
+    pub fn new(initial: u64) -> Self {
+        WordRegister {
+            word: AtomicU64::new(initial),
+        }
+    }
+
+    /// Linearizable (sequentially consistent) read.
+    #[inline]
+    pub fn read(&self) -> u64 {
+        self.word.load(Ordering::SeqCst)
+    }
+
+    /// Linearizable (sequentially consistent) write.
+    #[inline]
+    pub fn write(&self, value: u64) {
+        self.word.store(value, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_write_round_trip() {
+        let r = AtomicRegister::new(0u32);
+        assert_eq!(r.read(), 0);
+        r.write(5);
+        assert_eq!(r.read(), 5);
+        assert_eq!(r.op_count(), 3);
+    }
+
+    #[test]
+    fn default_uses_t_default() {
+        let r: AtomicRegister<String> = AtomicRegister::default();
+        assert_eq!(r.read(), "");
+    }
+
+    #[test]
+    fn concurrent_reads_see_some_written_value() {
+        let r = Arc::new(AtomicRegister::new(0u64));
+        let writers: Vec<_> = (1..=4u64)
+            .map(|v| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || r.write(v))
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert!((1..=4).contains(&r.read()));
+    }
+
+    #[test]
+    fn word_register_round_trip() {
+        let r = WordRegister::new(1);
+        r.write(u64::MAX);
+        assert_eq!(r.read(), u64::MAX);
+    }
+}

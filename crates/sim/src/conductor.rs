@@ -1,0 +1,604 @@
+//! The deterministic conductor: real threads, one at a time.
+//!
+//! Each simulated process runs the *actual* protocol code (`ofa-core`
+//! algorithms are ordinary blocking functions) on its own OS thread, but a
+//! single-threaded conductor hands out an execution baton so that exactly
+//! one process thread runs at any moment. A process runs a **burst** —
+//! from wake-up until it blocks in `recv` or returns — then control goes
+//! back to the conductor, which picks the next event (message delivery or
+//! timed crash) from a [`Scheduler`].
+//!
+//! Because every shared-state mutation happens while holding the baton and
+//! every scheduling choice is a function of the seeded RNG, whole
+//! executions are bit-for-bit reproducible (asserted via trace hashes)
+//! while still exercising the real concurrent data structures
+//! (`ofa-sharedmem` consensus objects).
+
+use crate::{CostModel, CrashPlan, CrashTrigger, DelayModel, TraceEvent, TraceRecorder, VirtualTime};
+use ofa_coins::{CommonCoin, LocalCoin, SeededLocalCoin};
+use ofa_core::{
+    Algorithm, Bit, Decision, Env, Halt, Msg, MsgKind, ObsEvent, Observer, ProtocolConfig,
+};
+use ofa_metrics::Counters;
+use ofa_sharedmem::{MemoryBank, Slot};
+use ofa_topology::{Partition, ProcessId};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// An event the scheduler can release.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum SchedEvent {
+    /// Deliver a message.
+    Deliver {
+        /// Receiver.
+        to: ProcessId,
+        /// Original sender.
+        from: ProcessId,
+        /// Payload.
+        msg: MsgKind,
+        /// Delivery time (ticks).
+        at: u64,
+    },
+    /// Fire a timed crash.
+    Crash {
+        /// The victim.
+        pid: ProcessId,
+        /// Crash time (ticks).
+        at: u64,
+    },
+}
+
+/// Orders pending deliveries and timed crashes. The production scheduler
+/// is [`TimedScheduler`]; the explorer substitutes a choice-driven one.
+pub(crate) trait Scheduler {
+    /// Registers a sent message (called in send order while draining the
+    /// outbox — the only place delay randomness is consumed).
+    fn push_send(&mut self, from: ProcessId, to: ProcessId, msg: MsgKind, sent_at: u64);
+    /// Registers a timed crash.
+    fn push_crash(&mut self, pid: ProcessId, at: u64);
+    /// Releases the next event, or `None` when quiescent.
+    fn pop(&mut self) -> Option<SchedEvent>;
+}
+
+#[derive(Debug)]
+struct HeapEntry {
+    at: u64,
+    seq: u64,
+    ev: SchedEvent,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The production scheduler: delivery time = send time + sampled delay;
+/// ties broken by registration order (deterministic).
+pub(crate) struct TimedScheduler {
+    heap: BinaryHeap<HeapEntry>,
+    rng: StdRng,
+    delay: DelayModel,
+    seq: u64,
+}
+
+impl TimedScheduler {
+    pub(crate) fn new(seed: u64, delay: DelayModel) -> Self {
+        TimedScheduler {
+            heap: BinaryHeap::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0x5DEE_CE66_D1CE_5EED),
+            delay,
+            seq: 0,
+        }
+    }
+}
+
+impl Scheduler for TimedScheduler {
+    fn push_send(&mut self, from: ProcessId, to: ProcessId, msg: MsgKind, sent_at: u64) {
+        let d = self.delay.sample(&mut self.rng, from, to);
+        let at = sent_at + d;
+        self.seq += 1;
+        self.heap.push(HeapEntry {
+            at,
+            seq: self.seq,
+            ev: SchedEvent::Deliver { to, from, msg, at },
+        });
+    }
+
+    fn push_crash(&mut self, pid: ProcessId, at: u64) {
+        self.seq += 1;
+        self.heap.push(HeapEntry {
+            at,
+            seq: self.seq,
+            ev: SchedEvent::Crash { pid, at },
+        });
+    }
+
+    fn pop(&mut self) -> Option<SchedEvent> {
+        self.heap.pop().map(|e| e.ev)
+    }
+}
+
+/// A message queued for the conductor to turn into a scheduled delivery.
+struct OutMsg {
+    from: ProcessId,
+    to: ProcessId,
+    msg: MsgKind,
+    sent_at: u64,
+}
+
+/// State shared between the conductor and all process envs. Mutation only
+/// happens while holding the baton, so plain mutexes never contend.
+pub(crate) struct Shared {
+    partition: Partition,
+    costs: CostModel,
+    queues: Vec<Mutex<VecDeque<Msg>>>,
+    outbox: Mutex<Vec<OutMsg>>,
+    crashed: Vec<AtomicBool>,
+    stopped: AtomicBool,
+    wake_time: Vec<AtomicU64>,
+    memory: MemoryBank,
+    counters: Vec<Arc<Counters>>,
+    common_coin: Arc<dyn CommonCoin>,
+    observer: Option<Arc<dyn Observer>>,
+    trace: Mutex<TraceRecorder>,
+    crash_plan: CrashPlan,
+}
+
+/// What a process thread reports when it hands the baton back.
+enum YieldMsg {
+    /// Blocked in `recv` with an empty queue.
+    Blocked,
+    /// The protocol returned (decision or halt) at the given local clock.
+    Finished {
+        result: Result<Decision, Halt>,
+        clock: u64,
+    },
+}
+
+/// The per-process environment handed to the protocol code.
+struct SimEnv {
+    me: ProcessId,
+    shared: Arc<Shared>,
+    go_rx: mpsc::Receiver<()>,
+    yield_tx: mpsc::Sender<YieldMsg>,
+    clock: u64,
+    steps: u64,
+    crashed_self: bool,
+    local_coin: SeededLocalCoin,
+}
+
+impl SimEnv {
+    /// Counts an environment call and fires step-indexed crashes.
+    fn step(&mut self) -> Result<(), Halt> {
+        self.steps += 1;
+        if let Some(CrashTrigger::AtStep(k)) = self.shared.crash_plan.trigger(self.me) {
+            if self.steps > k {
+                self.crashed_self = true;
+            }
+        }
+        self.check_crash()
+    }
+
+    fn check_crash(&mut self) -> Result<(), Halt> {
+        if self.crashed_self || self.shared.crashed[self.me.index()].load(Ordering::SeqCst) {
+            self.crashed_self = true;
+            return Err(Halt::Crashed);
+        }
+        Ok(())
+    }
+
+    /// Hands the baton back as Blocked; waits for the next grant.
+    fn yield_blocked(&mut self) -> Result<(), Halt> {
+        if self.yield_tx.send(YieldMsg::Blocked).is_err() {
+            return Err(Halt::Stopped); // conductor is gone
+        }
+        if self.go_rx.recv().is_err() {
+            return Err(Halt::Stopped); // conductor is gone
+        }
+        let wake = self.shared.wake_time[self.me.index()].load(Ordering::SeqCst);
+        self.clock = self.clock.max(wake);
+        Ok(())
+    }
+
+    fn trace(&self, event: TraceEvent) {
+        self.shared
+            .trace
+            .lock()
+            .record(VirtualTime::from_ticks(self.clock), event);
+    }
+
+    fn counters(&self) -> &Counters {
+        &self.shared.counters[self.me.index()]
+    }
+}
+
+impl Env for SimEnv {
+    fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    fn partition(&self) -> &Partition {
+        &self.shared.partition
+    }
+
+    fn send(&mut self, to: ProcessId, msg: MsgKind) -> Result<(), Halt> {
+        self.step()?;
+        self.clock += self.shared.costs.send_cost;
+        self.counters().inc_messages_sent(1);
+        self.trace(TraceEvent::Send { who: self.me, to, msg });
+        self.shared.outbox.lock().push(OutMsg {
+            from: self.me,
+            to,
+            msg,
+            sent_at: self.clock,
+        });
+        Ok(())
+    }
+
+    fn broadcast(&mut self, msg: MsgKind) -> Result<(), Halt> {
+        self.counters().inc_broadcasts(1);
+        let n = self.shared.partition.n();
+        for j in 0..n {
+            self.send(ProcessId(j), msg)?;
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Msg, Halt> {
+        self.step()?;
+        loop {
+            let popped = self.shared.queues[self.me.index()].lock().pop_front();
+            if let Some(msg) = popped {
+                self.clock += self.shared.costs.recv_cost;
+                self.counters().inc_messages_delivered(1);
+                return Ok(msg);
+            }
+            if self.shared.stopped.load(Ordering::SeqCst) {
+                return Err(Halt::Stopped);
+            }
+            self.yield_blocked()?;
+            self.check_crash()?;
+        }
+    }
+
+    fn cluster_propose(&mut self, slot: Slot, enc: u64) -> Result<u64, Halt> {
+        self.step()?;
+        self.clock += self.shared.costs.sm_op_cost;
+        let mem = self.shared.memory.memory_of(&self.shared.partition, self.me);
+        let decided = mem.propose_raw(slot, enc);
+        self.counters().inc_cluster_proposes(1);
+        self.trace(TraceEvent::ClusterPropose {
+            who: self.me,
+            round: slot.round,
+            phase: slot.phase,
+            proposed: enc,
+            decided,
+        });
+        Ok(decided)
+    }
+
+    fn local_coin(&mut self) -> Result<Bit, Halt> {
+        self.step()?;
+        self.clock += self.shared.costs.coin_cost;
+        let bit = Bit::from(self.local_coin.flip());
+        self.counters().inc_local_coin_flips(1);
+        self.trace(TraceEvent::Coin {
+            who: self.me,
+            common: false,
+            value: bit.as_bool(),
+        });
+        Ok(bit)
+    }
+
+    fn common_coin(&mut self, round: u64) -> Result<Bit, Halt> {
+        self.step()?;
+        self.clock += self.shared.costs.coin_cost;
+        let bit = Bit::from(self.shared.common_coin.bit(round));
+        self.counters().inc_common_coin_queries(1);
+        self.trace(TraceEvent::Coin {
+            who: self.me,
+            common: true,
+            value: bit.as_bool(),
+        });
+        Ok(bit)
+    }
+
+    fn observe(&mut self, event: ObsEvent) {
+        match event {
+            ObsEvent::RoundStart { instance, round } => {
+                self.counters().inc_rounds_started(1);
+                self.trace(TraceEvent::RoundStart {
+                    who: self.me,
+                    round,
+                });
+                // Round-indexed crashes refer to instance-0 rounds.
+                if let Some(CrashTrigger::AtRound(r)) = self.shared.crash_plan.trigger(self.me) {
+                    if instance == 0 && round >= r {
+                        self.crashed_self = true;
+                    }
+                }
+            }
+            ObsEvent::Deciding { relayed, .. } => {
+                if relayed {
+                    self.counters().inc_decide_relays(1);
+                } else {
+                    self.counters().inc_decisions(1);
+                }
+            }
+            _ => {}
+        }
+        if let Some(obs) = &self.shared.observer {
+            obs.on_event(self.me, &event);
+        }
+    }
+}
+
+/// Per-process conductor-side handle.
+struct Seat {
+    go_tx: mpsc::SyncSender<()>,
+    yield_rx: mpsc::Receiver<YieldMsg>,
+    join: Option<std::thread::JoinHandle<()>>,
+    finished: Option<(Result<Decision, Halt>, u64)>,
+}
+
+/// What each simulated process executes.
+#[derive(Clone)]
+pub(crate) enum Body {
+    /// One of the paper's algorithms.
+    Algo(Algorithm),
+    /// A custom protocol (e.g. the m&m comparator or an SMR client).
+    Custom(Arc<dyn crate::ProcessBody>),
+}
+
+/// Everything needed to run one simulated execution.
+pub(crate) struct RunSpec {
+    pub partition: Partition,
+    pub body: Body,
+    pub config: ProtocolConfig,
+    pub proposals: Vec<Bit>,
+    pub seed: u64,
+    pub costs: CostModel,
+    pub crash_plan: CrashPlan,
+    pub common_coin: Arc<dyn CommonCoin>,
+    pub observer: Option<Arc<dyn Observer>>,
+    pub keep_trace: bool,
+    pub max_events: u64,
+}
+
+/// Raw result of a conducted run, before the builder shapes it into
+/// [`crate::SimOutcome`].
+pub(crate) struct RawOutcome {
+    pub results: Vec<(Result<Decision, Halt>, u64)>,
+    pub counters: Vec<ofa_metrics::CounterSnapshot>,
+    pub trace_hash: u64,
+    pub trace_events: Vec<crate::TimedEvent>,
+    pub events_processed: u64,
+    pub end_time: u64,
+    pub sm_objects: usize,
+    pub sm_proposes: u64,
+}
+
+/// Runs a spec under the given scheduler. The scheduler is borrowed so
+/// callers (the explorer) can read back what it recorded.
+pub(crate) fn conduct<S: Scheduler>(spec: RunSpec, scheduler: &mut S) -> RawOutcome {
+    let n = spec.partition.n();
+    assert_eq!(
+        spec.proposals.len(),
+        n,
+        "need one proposal per process (got {} for n={n})",
+        spec.proposals.len()
+    );
+
+    let shared = Arc::new(Shared {
+        partition: spec.partition.clone(),
+        costs: spec.costs,
+        queues: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+        outbox: Mutex::new(Vec::new()),
+        crashed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        stopped: AtomicBool::new(false),
+        wake_time: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        memory: MemoryBank::for_partition(&spec.partition),
+        counters: (0..n).map(|_| Arc::new(Counters::new())).collect(),
+        common_coin: Arc::clone(&spec.common_coin),
+        observer: spec.observer.clone(),
+        trace: Mutex::new(TraceRecorder::new(spec.keep_trace)),
+        crash_plan: spec.crash_plan.clone(),
+    });
+
+    // Schedule the timed crashes up front.
+    for (pid, trig) in spec.crash_plan.iter() {
+        if let CrashTrigger::AtTime(t) = trig {
+            scheduler.push_crash(pid, t.ticks());
+        }
+    }
+
+    // Spawn one thread per process; each waits for its first baton.
+    let mut seats: Vec<Seat> = Vec::with_capacity(n);
+    for i in 0..n {
+        let (go_tx, go_rx) = mpsc::sync_channel::<()>(0);
+        let (yield_tx, yield_rx) = mpsc::channel::<YieldMsg>();
+        let shared_cl = Arc::clone(&shared);
+        let body = spec.body.clone();
+        let config = spec.config;
+        let proposal = spec.proposals[i];
+        let seed = spec.seed;
+        let join = std::thread::Builder::new()
+            .name(format!("sim-p{}", i + 1))
+            .spawn(move || {
+                let mut env = SimEnv {
+                    me: ProcessId(i),
+                    shared: shared_cl,
+                    go_rx,
+                    yield_tx,
+                    clock: 0,
+                    steps: 0,
+                    crashed_self: false,
+                    local_coin: SeededLocalCoin::for_process(seed, ProcessId(i)),
+                };
+                // Wait for the first baton; if the conductor vanished, exit.
+                if env.go_rx.recv().is_err() {
+                    return;
+                }
+                let result = match &body {
+                    Body::Algo(a) => a.run(&mut env, proposal, &config),
+                    Body::Custom(b) => b.run(&mut env, proposal, &config),
+                };
+                let clock = env.clock;
+                let _ = env.yield_tx.send(YieldMsg::Finished { result, clock });
+            })
+            .expect("spawn simulated process thread");
+        seats.push(Seat {
+            go_tx,
+            yield_rx,
+            join: Some(join),
+            finished: None,
+        });
+    }
+
+    let run_burst = |seats: &mut Vec<Seat>, shared: &Arc<Shared>, pid: usize| {
+        if seats[pid].finished.is_some() {
+            return;
+        }
+        seats[pid]
+            .go_tx
+            .send(())
+            .expect("process thread exited without yielding");
+        match seats[pid].yield_rx.recv() {
+            Ok(YieldMsg::Blocked) => {}
+            Ok(YieldMsg::Finished { result, clock }) => {
+                let event = match &result {
+                    Ok(d) => TraceEvent::Decided {
+                        who: ProcessId(pid),
+                        decision: *d,
+                    },
+                    Err(h) => TraceEvent::Halted {
+                        who: ProcessId(pid),
+                        halt: *h,
+                    },
+                };
+                shared
+                    .trace
+                    .lock()
+                    .record(VirtualTime::from_ticks(clock), event);
+                seats[pid].finished = Some((result, clock));
+                if let Some(j) = seats[pid].join.take() {
+                    j.join().expect("simulated process panicked");
+                }
+            }
+            Err(_) => {
+                // Thread died without a final message: propagate its panic.
+                if let Some(j) = seats[pid].join.take() {
+                    if let Err(payload) = j.join() {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+                panic!("simulated process p{} exited abnormally", pid + 1);
+            }
+        }
+    };
+
+    let drain_outbox = |shared: &Arc<Shared>, scheduler: &mut S| {
+        let msgs: Vec<OutMsg> = std::mem::take(&mut *shared.outbox.lock());
+        for m in msgs {
+            scheduler.push_send(m.from, m.to, m.msg, m.sent_at);
+        }
+    };
+
+    // Initial bursts, in process order.
+    for pid in 0..n {
+        run_burst(&mut seats, &shared, pid);
+        drain_outbox(&shared, scheduler);
+    }
+
+    // Main event loop.
+    let mut events_processed: u64 = 0;
+    let mut end_time: u64 = 0;
+    while events_processed < spec.max_events {
+        let Some(ev) = scheduler.pop() else { break };
+        events_processed += 1;
+        match ev {
+            SchedEvent::Deliver { to, from, msg, at } => {
+                end_time = end_time.max(at);
+                let i = to.index();
+                if seats[i].finished.is_some() || shared.crashed[i].load(Ordering::SeqCst) {
+                    continue; // dropped on the floor
+                }
+                shared
+                    .trace
+                    .lock()
+                    .record(VirtualTime::from_ticks(at), TraceEvent::Deliver {
+                        who: to,
+                        from,
+                        msg,
+                    });
+                shared.queues[i].lock().push_back(Msg { from, kind: msg });
+                shared.wake_time[i].fetch_max(at, Ordering::SeqCst);
+                run_burst(&mut seats, &shared, i);
+                drain_outbox(&shared, scheduler);
+            }
+            SchedEvent::Crash { pid, at } => {
+                end_time = end_time.max(at);
+                let i = pid.index();
+                if seats[i].finished.is_some() {
+                    continue;
+                }
+                shared.crashed[i].store(true, Ordering::SeqCst);
+                shared
+                    .trace
+                    .lock()
+                    .record(VirtualTime::from_ticks(at), TraceEvent::Crash { who: pid });
+                shared.wake_time[i].fetch_max(at, Ordering::SeqCst);
+                run_burst(&mut seats, &shared, i);
+                drain_outbox(&shared, scheduler);
+            }
+        }
+    }
+
+    // Quiescent or budget exhausted: stop the stragglers.
+    shared.stopped.store(true, Ordering::SeqCst);
+    for pid in 0..n {
+        run_burst(&mut seats, &shared, pid);
+    }
+
+    let results: Vec<(Result<Decision, Halt>, u64)> = seats
+        .iter_mut()
+        .map(|s| s.finished.take().expect("all processes have yielded"))
+        .collect();
+    for s in seats.iter_mut() {
+        if let Some(j) = s.join.take() {
+            j.join().expect("simulated process panicked");
+        }
+    }
+
+    let counters = shared.counters.iter().map(|c| c.snapshot()).collect();
+    let trace = std::mem::replace(&mut *shared.trace.lock(), TraceRecorder::new(false));
+    let trace_hash = trace.hash();
+    let end_time = end_time.max(results.iter().map(|(_, c)| *c).max().unwrap_or(0));
+    RawOutcome {
+        results,
+        counters,
+        trace_hash,
+        trace_events: trace.into_events(),
+        events_processed,
+        end_time,
+        sm_objects: shared.memory.total_objects(),
+        sm_proposes: shared.memory.total_proposes(),
+    }
+}

@@ -1,0 +1,155 @@
+//! Crash injection (§II-A: "a crash is a premature halt").
+//!
+//! Three trigger kinds cover the failure patterns the paper reasons about:
+//!
+//! * [`CrashTrigger::AtStep`] — crash at the `k`-th environment call.
+//!   Because `broadcast` is a per-destination send loop, a step-indexed
+//!   crash lands *inside* a broadcast, delivering the message to an
+//!   arbitrary prefix of processes — exactly the paper's non-reliable
+//!   broadcast macro-operation.
+//! * [`CrashTrigger::AtTime`] — crash at a virtual time (scheduled as a
+//!   simulator event; fires even while the process is blocked).
+//! * [`CrashTrigger::AtRound`] — crash when the process *enters* round `r`,
+//!   for round-aligned failure patterns.
+
+use crate::VirtualTime;
+use ofa_topology::{ProcessId, ProcessSet};
+use std::collections::HashMap;
+
+/// When a process should crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashTrigger {
+    /// Crash at the `k`-th environment call (0 = before any step — the
+    /// process is crashed from the start).
+    AtStep(u64),
+    /// Crash at the given virtual time.
+    AtTime(VirtualTime),
+    /// Crash upon entering the given round.
+    AtRound(u64),
+}
+
+/// The failure pattern of one run: which processes crash, and when.
+///
+/// # Examples
+///
+/// ```
+/// use ofa_sim::{CrashPlan, CrashTrigger, VirtualTime};
+/// use ofa_topology::ProcessId;
+///
+/// let plan = CrashPlan::new()
+///     .crash_at_start(ProcessId(0))
+///     .crash_at_step(ProcessId(3), 12)
+///     .crash_at_time(ProcessId(5), VirtualTime::from_ticks(2_000));
+/// assert_eq!(plan.len(), 3);
+/// assert!(plan.trigger(ProcessId(3)).is_some());
+/// assert!(plan.trigger(ProcessId(1)).is_none());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CrashPlan {
+    triggers: HashMap<ProcessId, CrashTrigger>,
+}
+
+impl CrashPlan {
+    /// No crashes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Crashes `p` before it takes any step.
+    pub fn crash_at_start(mut self, p: ProcessId) -> Self {
+        self.triggers.insert(p, CrashTrigger::AtStep(0));
+        self
+    }
+
+    /// Crashes `p` at its `k`-th environment call.
+    pub fn crash_at_step(mut self, p: ProcessId, k: u64) -> Self {
+        self.triggers.insert(p, CrashTrigger::AtStep(k));
+        self
+    }
+
+    /// Crashes `p` at virtual time `t`.
+    pub fn crash_at_time(mut self, p: ProcessId, t: VirtualTime) -> Self {
+        self.triggers.insert(p, CrashTrigger::AtTime(t));
+        self
+    }
+
+    /// Crashes `p` when it enters round `r`.
+    pub fn crash_at_round(mut self, p: ProcessId, r: u64) -> Self {
+        self.triggers.insert(p, CrashTrigger::AtRound(r));
+        self
+    }
+
+    /// Crashes every member of `set` from the start.
+    pub fn crash_set_at_start(mut self, set: &ProcessSet) -> Self {
+        for p in set {
+            self.triggers.insert(p, CrashTrigger::AtStep(0));
+        }
+        self
+    }
+
+    /// The trigger for `p`, if any.
+    pub fn trigger(&self, p: ProcessId) -> Option<CrashTrigger> {
+        self.triggers.get(&p).copied()
+    }
+
+    /// Number of planned crashes.
+    pub fn len(&self) -> usize {
+        self.triggers.len()
+    }
+
+    /// `true` if no crash is planned.
+    pub fn is_empty(&self) -> bool {
+        self.triggers.is_empty()
+    }
+
+    /// The processes with a plan entry, as a set over universe `n`.
+    pub fn planned_set(&self, n: usize) -> ProcessSet {
+        ProcessSet::from_indices(n, self.triggers.keys().map(|p| p.index()))
+    }
+
+    /// Iterates over `(process, trigger)` pairs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, CrashTrigger)> + '_ {
+        self.triggers.iter().map(|(p, t)| (*p, *t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_accumulate() {
+        let plan = CrashPlan::new()
+            .crash_at_start(ProcessId(1))
+            .crash_at_round(ProcessId(2), 3);
+        assert_eq!(plan.trigger(ProcessId(1)), Some(CrashTrigger::AtStep(0)));
+        assert_eq!(plan.trigger(ProcessId(2)), Some(CrashTrigger::AtRound(3)));
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn later_entries_overwrite() {
+        let plan = CrashPlan::new()
+            .crash_at_start(ProcessId(0))
+            .crash_at_step(ProcessId(0), 9);
+        assert_eq!(plan.trigger(ProcessId(0)), Some(CrashTrigger::AtStep(9)));
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn set_crash_covers_all_members() {
+        let set = ProcessSet::from_indices(7, [0, 5, 6]);
+        let plan = CrashPlan::new().crash_set_at_start(&set);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.planned_set(7), set);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = CrashPlan::new();
+        assert!(plan.is_empty());
+        assert!(plan.planned_set(4).is_empty());
+        assert_eq!(plan.iter().count(), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Message-delay and operation-cost models.
+//!
+//! The paper's premise (§I): intra-cluster shared memory is *efficient*
+//! but does not scale; message passing *scales* but is slow due to
+//! asynchrony. The simulator makes that premise a tunable: every
+//! shared-memory consensus invocation costs [`CostModel::sm_op_cost`]
+//! ticks while every message takes a [`DelayModel`]-sampled transit time —
+//! experiment E7 sweeps their ratio.
+
+use ofa_topology::ProcessId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Per-operation virtual-time costs charged to the invoking process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cost of handing one message to the network (per destination).
+    pub send_cost: u64,
+    /// Cost of consuming one delivered message.
+    pub recv_cost: u64,
+    /// Cost of one intra-cluster consensus-object invocation
+    /// (`CONS_x[r, ph].propose`). The paper's "efficient" dimension.
+    pub sm_op_cost: u64,
+    /// Cost of drawing a coin.
+    pub coin_cost: u64,
+}
+
+impl CostModel {
+    /// Default calibration: shared-memory ops are ~100× cheaper than the
+    /// default constant network delay of [`DelayModel::default`].
+    pub fn new() -> Self {
+        CostModel {
+            send_cost: 1,
+            recv_cost: 1,
+            sm_op_cost: 10,
+            coin_cost: 1,
+        }
+    }
+
+    /// Sets the shared-memory operation cost (returns a modified copy).
+    pub fn with_sm_op_cost(mut self, ticks: u64) -> Self {
+        self.sm_op_cost = ticks;
+        self
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// How long a message takes from send to delivery.
+///
+/// All variants model the paper's *reliable asynchronous* channels: every
+/// sampled delay is finite, no message is lost or reordered within the
+/// model's own guarantees (delivery order is delay order, so reordering
+/// happens naturally under non-constant delays).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DelayModel {
+    /// Every message takes exactly this many ticks.
+    Constant(u64),
+    /// Uniformly random in `[lo, hi]` (inclusive).
+    Uniform {
+        /// Minimum delay.
+        lo: u64,
+        /// Maximum delay.
+        hi: u64,
+    },
+    /// Base model, but messages **from or to** the listed processes are
+    /// multiplied by `factor` — an adversarial laggard set (e.g. make an
+    /// entire cluster slow).
+    Laggard {
+        /// The slow processes.
+        slow: Vec<ProcessId>,
+        /// Multiplier applied to the base delay.
+        factor: u64,
+        /// The underlying model.
+        base: Box<DelayModel>,
+    },
+}
+
+impl DelayModel {
+    /// Samples the transit time of a message `from → to`.
+    pub fn sample(&self, rng: &mut StdRng, from: ProcessId, to: ProcessId) -> u64 {
+        match self {
+            DelayModel::Constant(d) => *d,
+            DelayModel::Uniform { lo, hi } => {
+                debug_assert!(lo <= hi, "uniform delay bounds inverted");
+                rng.gen_range(*lo..=*hi)
+            }
+            DelayModel::Laggard { slow, factor, base } => {
+                let d = base.sample(rng, from, to);
+                if slow.contains(&from) || slow.contains(&to) {
+                    d.saturating_mul(*factor)
+                } else {
+                    d
+                }
+            }
+        }
+    }
+
+    /// Default network: uniform in `[500, 1500]` ticks (mean 1000, i.e.
+    /// 100× the default `sm_op_cost`).
+    pub fn default_network() -> Self {
+        DelayModel::Uniform { lo: 500, hi: 1500 }
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        Self::default_network()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = DelayModel::Constant(7);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng, ProcessId(0), ProcessId(1)), 7);
+        }
+    }
+
+    #[test]
+    fn uniform_within_bounds_and_varies() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = DelayModel::Uniform { lo: 10, hi: 20 };
+        let samples: Vec<u64> = (0..200)
+            .map(|_| d.sample(&mut rng, ProcessId(0), ProcessId(1)))
+            .collect();
+        assert!(samples.iter().all(|&s| (10..=20).contains(&s)));
+        assert!(samples.iter().any(|&s| s != samples[0]), "should vary");
+    }
+
+    #[test]
+    fn laggard_multiplies_only_slow_links() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = DelayModel::Laggard {
+            slow: vec![ProcessId(2)],
+            factor: 10,
+            base: Box::new(DelayModel::Constant(5)),
+        };
+        assert_eq!(d.sample(&mut rng, ProcessId(0), ProcessId(1)), 5);
+        assert_eq!(d.sample(&mut rng, ProcessId(2), ProcessId(1)), 50);
+        assert_eq!(d.sample(&mut rng, ProcessId(0), ProcessId(2)), 50);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = DelayModel::default_network();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            assert_eq!(
+                d.sample(&mut a, ProcessId(0), ProcessId(1)),
+                d.sample(&mut b, ProcessId(0), ProcessId(1))
+            );
+        }
+    }
+
+    #[test]
+    fn cost_model_builder() {
+        let c = CostModel::new().with_sm_op_cost(42);
+        assert_eq!(c.sm_op_cost, 42);
+        assert_eq!(CostModel::default(), CostModel::new());
+    }
+}

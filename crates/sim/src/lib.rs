@@ -1,0 +1,80 @@
+//! # `ofa-sim` — deterministic simulator for hybrid-model consensus
+//!
+//! Runs the *actual* protocol code of `ofa-core` (ordinary blocking
+//! functions over the `Env` trait) under a deterministic discrete-event
+//! conductor:
+//!
+//! * **virtual time** — tunable per-operation costs ([`CostModel`]) and
+//!   message delays ([`DelayModel`]), so the paper's efficiency/scalability
+//!   tradeoff (cheap intra-cluster memory vs slow asynchronous messages)
+//!   becomes measurable (experiment E7);
+//! * **crash injection** — [`CrashPlan`] supports crashes at a step index
+//!   (which lands *inside* a broadcast, reproducing the paper's
+//!   non-reliable broadcast macro-operation), at a virtual time, or at
+//!   round entry;
+//! * **reproducibility** — every run folds its event stream into a
+//!   [`SimOutcome::trace_hash`]; the same seed replays bit-for-bit;
+//! * **schedule exploration** — [`Explorer`] enumerates message-delivery
+//!   orders exhaustively (within a budget) for small configurations and
+//!   checks agreement/validity plus the WA1/WA2 predicates on every
+//!   schedule.
+//!
+//! # Examples
+//!
+//! ```
+//! use ofa_core::{Algorithm, Bit};
+//! use ofa_sim::{CrashPlan, SimBuilder};
+//! use ofa_topology::{Partition, ProcessId};
+//!
+//! // The paper's headline scenario: Figure 1 (right), all processes
+//! // crash except p3 in the majority cluster — consensus still terminates.
+//! let mut plan = CrashPlan::new();
+//! for i in [0, 1, 3, 4, 5, 6] {
+//!     plan = plan.crash_at_start(ProcessId(i));
+//! }
+//! let out = SimBuilder::new(Partition::fig1_right(), Algorithm::CommonCoin)
+//!     .proposals_split(4)
+//!     .crashes(plan)
+//!     .seed(1)
+//!     .run();
+//! assert!(out.all_correct_decided);
+//! assert_eq!(out.deciders(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+mod conductor;
+mod crash;
+mod delay;
+mod explorer;
+mod time;
+mod trace;
+
+pub use builder::{SimBuilder, SimOutcome};
+pub use crash::{CrashPlan, CrashTrigger};
+pub use delay::{CostModel, DelayModel};
+pub use explorer::{ExploreReport, Explorer};
+pub use time::VirtualTime;
+pub use trace::{TimedEvent, TraceEvent, TraceRecorder};
+
+/// A custom protocol body, run once per simulated process in place of one
+/// of the paper's algorithms (see [`SimBuilder::custom_body`]).
+///
+/// Implementors receive the process's [`ofa_core::Env`] plus its binary
+/// proposal and return a decision or halt like the built-in algorithms.
+/// `ofa-mm` uses this to run the m&m comparator under the deterministic
+/// conductor; `ofa-smr` uses it for multivalued/replicated protocols.
+pub trait ProcessBody: Send + Sync {
+    /// Executes the protocol on behalf of `env.me()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ofa_core::Halt`] that interrupted the process.
+    fn run(
+        &self,
+        env: &mut dyn ofa_core::Env,
+        proposal: ofa_core::Bit,
+        config: &ofa_core::ProtocolConfig,
+    ) -> Result<ofa_core::Decision, ofa_core::Halt>;
+}

@@ -1,0 +1,107 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or duration of) virtual time, in abstract ticks.
+///
+/// The simulator charges configurable tick costs per operation
+/// ([`crate::CostModel`]) and per message ([`crate::DelayModel`]); the
+/// resulting decision latencies are meaningful *relative to each other*
+/// (e.g. shared-memory-op cost vs message delay — experiment E7), not as
+/// wall-clock predictions.
+///
+/// # Examples
+///
+/// ```
+/// use ofa_sim::VirtualTime;
+///
+/// let t = VirtualTime::ZERO + VirtualTime::from_ticks(5);
+/// assert_eq!(t.ticks(), 5);
+/// assert!(t > VirtualTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualTime(u64);
+
+impl VirtualTime {
+    /// The origin of virtual time.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// Creates a time from raw ticks.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        VirtualTime(ticks)
+    }
+
+    /// The raw tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.max(other.0))
+    }
+
+    /// Saturating difference.
+    pub fn saturating_sub(self, other: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0 + rhs.0)
+    }
+}
+
+impl Add<u64> for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, rhs: u64) -> VirtualTime {
+        VirtualTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for VirtualTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for VirtualTime {
+    type Output = VirtualTime;
+    fn sub(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = VirtualTime::from_ticks(10);
+        let b = VirtualTime::from_ticks(4);
+        assert_eq!((a + b).ticks(), 14);
+        assert_eq!((a - b).ticks(), 6);
+        assert_eq!((a + 5u64).ticks(), 15);
+        let mut c = a;
+        c += 2;
+        assert_eq!(c.ticks(), 12);
+        assert_eq!(b.saturating_sub(a), VirtualTime::ZERO);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(VirtualTime::ZERO < VirtualTime::from_ticks(1));
+        assert_eq!(VirtualTime::from_ticks(9).to_string(), "t=9");
+    }
+}

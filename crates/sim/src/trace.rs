@@ -1,0 +1,353 @@
+//! Execution traces and replay hashes.
+//!
+//! Every simulator run folds its full event stream into a 64-bit
+//! [`TraceRecorder::hash`] (always on, O(1) memory), so tests can assert
+//! *bit-for-bit deterministic replay*: same seed ⇒ same hash. Optionally,
+//! the recorder also retains the events themselves for inspection and
+//! pretty-printing (the `trace_walkthrough` example).
+
+use crate::VirtualTime;
+use ofa_core::{Decision, Halt, MsgKind};
+use ofa_topology::ProcessId;
+use std::fmt;
+
+/// One step of an execution, as recorded by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `who` handed a message to the network.
+    Send {
+        /// Sending process.
+        who: ProcessId,
+        /// Destination process.
+        to: ProcessId,
+        /// Payload.
+        msg: MsgKind,
+    },
+    /// A message was delivered into `who`'s input queue.
+    Deliver {
+        /// Receiving process.
+        who: ProcessId,
+        /// Original sender.
+        from: ProcessId,
+        /// Payload.
+        msg: MsgKind,
+    },
+    /// `who` invoked its cluster's consensus object.
+    ClusterPropose {
+        /// Invoking process.
+        who: ProcessId,
+        /// Round of the object's slot.
+        round: u64,
+        /// Phase of the object's slot.
+        phase: u8,
+        /// Proposed encoding.
+        proposed: u64,
+        /// Decided encoding.
+        decided: u64,
+    },
+    /// `who` entered a round.
+    RoundStart {
+        /// The process.
+        who: ProcessId,
+        /// The round.
+        round: u64,
+    },
+    /// `who` drew a coin.
+    Coin {
+        /// The process.
+        who: ProcessId,
+        /// `true` for the common coin.
+        common: bool,
+        /// The bit drawn (as bool).
+        value: bool,
+    },
+    /// `who` finished with a decision.
+    Decided {
+        /// The process.
+        who: ProcessId,
+        /// Its decision.
+        decision: Decision,
+    },
+    /// `who` halted without deciding.
+    Halted {
+        /// The process.
+        who: ProcessId,
+        /// Why.
+        halt: Halt,
+    },
+    /// `who` crashed (trigger fired).
+    Crash {
+        /// The process.
+        who: ProcessId,
+    },
+}
+
+/// A recorded event with its virtual timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// When it happened (the acting process's local clock).
+    pub at: VirtualTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+impl fmt::Display for TimedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>8}] ", self.at.ticks())?;
+        match self.event {
+            TraceEvent::Send { who, to, msg } => write!(f, "{who} → {to}: {msg}"),
+            TraceEvent::Deliver { who, from, msg } => write!(f, "{who} ⇐ {from}: {msg}"),
+            TraceEvent::ClusterPropose {
+                who,
+                round,
+                phase,
+                proposed,
+                decided,
+            } => write!(
+                f,
+                "{who} CONS[{round},{phase}].propose({proposed}) = {decided}"
+            ),
+            TraceEvent::RoundStart { who, round } => write!(f, "{who} enters round {round}"),
+            TraceEvent::Coin { who, common, value } => write!(
+                f,
+                "{who} {} coin = {}",
+                if common { "common" } else { "local" },
+                value as u8
+            ),
+            TraceEvent::Decided { who, decision } => write!(f, "{who} {decision}"),
+            TraceEvent::Halted { who, halt } => write!(f, "{who} halted: {halt}"),
+            TraceEvent::Crash { who } => write!(f, "{who} CRASHES"),
+        }
+    }
+}
+
+/// Folds events into a replay hash; optionally retains them.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    hash: u64,
+    count: u64,
+    keep: bool,
+    events: Vec<TimedEvent>,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder. With `keep_events` the full trace is retained
+    /// in memory; the hash is always computed.
+    pub fn new(keep_events: bool) -> Self {
+        TraceRecorder {
+            hash: 0xcbf2_9ce4_8422_2325, // FNV offset basis
+            count: 0,
+            keep: keep_events,
+            events: Vec::new(),
+        }
+    }
+
+    /// Records one event.
+    pub fn record(&mut self, at: VirtualTime, event: TraceEvent) {
+        self.fold(at.ticks());
+        self.fold(discriminant_code(&event));
+        for w in encode_words(&event) {
+            self.fold(w);
+        }
+        self.count += 1;
+        if self.keep {
+            self.events.push(TimedEvent { at, event });
+        }
+    }
+
+    fn fold(&mut self, word: u64) {
+        // FNV-1a over the 8 bytes of each word.
+        for b in word.to_le_bytes() {
+            self.hash ^= b as u64;
+            self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// The replay hash of everything recorded so far.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Number of events recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The retained events (empty unless `keep_events` was set).
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// Consumes the recorder, returning the retained events.
+    pub fn into_events(self) -> Vec<TimedEvent> {
+        self.events
+    }
+}
+
+fn discriminant_code(e: &TraceEvent) -> u64 {
+    match e {
+        TraceEvent::Send { .. } => 1,
+        TraceEvent::Deliver { .. } => 2,
+        TraceEvent::ClusterPropose { .. } => 3,
+        TraceEvent::RoundStart { .. } => 4,
+        TraceEvent::Coin { .. } => 5,
+        TraceEvent::Decided { .. } => 6,
+        TraceEvent::Halted { .. } => 7,
+        TraceEvent::Crash { .. } => 8,
+    }
+}
+
+fn encode_msg(m: &MsgKind) -> u64 {
+    match *m {
+        MsgKind::Phase {
+            instance,
+            round,
+            phase,
+            est,
+        } => {
+            let e = match est {
+                None => 2u64,
+                Some(b) => b.as_bool() as u64,
+            };
+            (instance << 32) ^ ((round << 8) | ((phase.slot_index() as u64) << 4) | e)
+        }
+        MsgKind::Decide { instance, value } => {
+            0x8000_0000_0000_0000 | (instance << 8) | value.as_bool() as u64
+        }
+        MsgKind::App {
+            instance,
+            seq,
+            payload,
+        } => {
+            let mut h = instance.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seq;
+            for &b in payload.as_bytes() {
+                h = h.wrapping_mul(31).wrapping_add(b as u64);
+            }
+            0x4000_0000_0000_0000 | (h >> 2)
+        }
+    }
+}
+
+fn encode_words(e: &TraceEvent) -> Vec<u64> {
+    match *e {
+        TraceEvent::Send { who, to, msg } => {
+            vec![who.index() as u64, to.index() as u64, encode_msg(&msg)]
+        }
+        TraceEvent::Deliver { who, from, msg } => {
+            vec![who.index() as u64, from.index() as u64, encode_msg(&msg)]
+        }
+        TraceEvent::ClusterPropose {
+            who,
+            round,
+            phase,
+            proposed,
+            decided,
+        } => vec![
+            who.index() as u64,
+            round,
+            phase as u64,
+            proposed,
+            decided,
+        ],
+        TraceEvent::RoundStart { who, round } => vec![who.index() as u64, round],
+        TraceEvent::Coin { who, common, value } => {
+            vec![who.index() as u64, common as u64, value as u64]
+        }
+        TraceEvent::Decided { who, decision } => vec![
+            who.index() as u64,
+            decision.value.as_bool() as u64,
+            decision.round,
+            decision.relayed as u64,
+        ],
+        TraceEvent::Halted { who, halt } => {
+            vec![who.index() as u64, matches!(halt, Halt::Crashed) as u64]
+        }
+        TraceEvent::Crash { who } => vec![who.index() as u64],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofa_core::Bit;
+
+    fn sample_events() -> Vec<(VirtualTime, TraceEvent)> {
+        vec![
+            (
+                VirtualTime::from_ticks(1),
+                TraceEvent::RoundStart {
+                    who: ProcessId(0),
+                    round: 1,
+                },
+            ),
+            (
+                VirtualTime::from_ticks(2),
+                TraceEvent::Send {
+                    who: ProcessId(0),
+                    to: ProcessId(1),
+                    msg: MsgKind::Decide {
+                        instance: 0,
+                        value: Bit::One,
+                    },
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn same_events_same_hash() {
+        let mut a = TraceRecorder::new(false);
+        let mut b = TraceRecorder::new(true);
+        for (t, e) in sample_events() {
+            a.record(t, e);
+            b.record(t, e);
+        }
+        assert_eq!(a.hash(), b.hash());
+        assert_eq!(a.count(), 2);
+        assert_eq!(b.events().len(), 2);
+        assert!(a.events().is_empty(), "hash-only recorder keeps nothing");
+    }
+
+    #[test]
+    fn different_events_different_hash() {
+        let mut a = TraceRecorder::new(false);
+        let mut b = TraceRecorder::new(false);
+        for (t, e) in sample_events() {
+            a.record(t, e);
+        }
+        for (t, e) in sample_events().into_iter().rev() {
+            b.record(t, e);
+        }
+        assert_ne!(a.hash(), b.hash(), "order must matter");
+    }
+
+    #[test]
+    fn timestamp_affects_hash() {
+        let mut a = TraceRecorder::new(false);
+        let mut b = TraceRecorder::new(false);
+        let e = TraceEvent::Crash { who: ProcessId(0) };
+        a.record(VirtualTime::from_ticks(5), e);
+        b.record(VirtualTime::from_ticks(6), e);
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let te = TimedEvent {
+            at: VirtualTime::from_ticks(12),
+            event: TraceEvent::Deliver {
+                who: ProcessId(1),
+                from: ProcessId(0),
+                msg: MsgKind::Phase {
+                    instance: 0,
+                    round: 1,
+                    phase: ofa_core::Phase::One,
+                    est: Some(Bit::Zero),
+                },
+            },
+        };
+        let s = te.to_string();
+        assert!(s.contains("p2 ⇐ p1"), "{s}");
+        assert!(s.contains("PHASE1(1,0)"), "{s}");
+    }
+}

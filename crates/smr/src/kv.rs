@@ -1,0 +1,290 @@
+//! A replicated key-value state machine.
+//!
+//! Commands are the unit of agreement: every replica applies the *decided*
+//! command sequence to its local [`KvState`], so identical logs yield
+//! identical states (the standard state-machine-replication argument).
+
+use ofa_core::Payload;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A key-value command.
+///
+/// # Examples
+///
+/// ```
+/// use ofa_smr::Command;
+///
+/// let cmd = Command::put("user", "ada");
+/// let payload = cmd.encode().unwrap();
+/// assert_eq!(Command::decode(&payload).unwrap(), cmd);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Command {
+    /// Bind `key` to `value`.
+    Put {
+        /// The key.
+        key: String,
+        /// The value.
+        value: String,
+    },
+    /// Remove `key`.
+    Del {
+        /// The key.
+        key: String,
+    },
+    /// Do nothing (useful as a heartbeat / filler proposal).
+    Noop,
+}
+
+impl Command {
+    /// Convenience constructor for [`Command::Put`].
+    pub fn put(key: &str, value: &str) -> Self {
+        Command::Put {
+            key: key.to_string(),
+            value: value.to_string(),
+        }
+    }
+
+    /// Convenience constructor for [`Command::Del`].
+    pub fn del(key: &str) -> Self {
+        Command::Del {
+            key: key.to_string(),
+        }
+    }
+
+    /// Encodes into a consensus [`Payload`] (compact, non-JSON framing to
+    /// fit the 31-byte inline limit).
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError::TooLong`] if the framed command exceeds the payload
+    /// capacity, [`EncodeError::BadChar`] if a key/value contains the `\x1f`
+    /// separator.
+    pub fn encode(&self) -> Result<Payload, EncodeError> {
+        const SEP: char = '\x1f';
+        let framed = match self {
+            Command::Put { key, value } => {
+                if key.contains(SEP) || value.contains(SEP) {
+                    return Err(EncodeError::BadChar);
+                }
+                format!("P{SEP}{key}{SEP}{value}")
+            }
+            Command::Del { key } => {
+                if key.contains(SEP) {
+                    return Err(EncodeError::BadChar);
+                }
+                format!("D{SEP}{key}")
+            }
+            Command::Noop => "N".to_string(),
+        };
+        Payload::from_bytes(framed.as_bytes()).ok_or(EncodeError::TooLong)
+    }
+
+    /// Decodes a payload produced by [`Command::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError::Malformed`] if the payload does not parse.
+    pub fn decode(payload: &Payload) -> Result<Command, EncodeError> {
+        let text = std::str::from_utf8(payload.as_bytes()).map_err(|_| EncodeError::Malformed)?;
+        let mut parts = text.split('\x1f');
+        match parts.next() {
+            Some("P") => {
+                let key = parts.next().ok_or(EncodeError::Malformed)?;
+                let value = parts.next().ok_or(EncodeError::Malformed)?;
+                Ok(Command::put(key, value))
+            }
+            Some("D") => {
+                let key = parts.next().ok_or(EncodeError::Malformed)?;
+                Ok(Command::del(key))
+            }
+            Some("N") => Ok(Command::Noop),
+            _ => Err(EncodeError::Malformed),
+        }
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::Put { key, value } => write!(f, "put {key}={value}"),
+            Command::Del { key } => write!(f, "del {key}"),
+            Command::Noop => write!(f, "noop"),
+        }
+    }
+}
+
+/// Command encoding errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The framed command exceeds the 31-byte payload capacity.
+    TooLong,
+    /// A key or value contains the reserved separator byte.
+    BadChar,
+    /// The payload does not decode to a command.
+    Malformed,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::TooLong => write!(f, "command exceeds payload capacity"),
+            EncodeError::BadChar => write!(f, "command contains a reserved separator"),
+            EncodeError::Malformed => write!(f, "payload is not a valid command"),
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+/// The deterministic key-value state machine.
+///
+/// # Examples
+///
+/// ```
+/// use ofa_smr::{Command, KvState};
+///
+/// let mut kv = KvState::new();
+/// kv.apply(&Command::put("a", "1"));
+/// kv.apply(&Command::put("a", "2"));
+/// assert_eq!(kv.get("a"), Some("2"));
+/// kv.apply(&Command::del("a"));
+/// assert_eq!(kv.get("a"), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvState {
+    entries: BTreeMap<String, String>,
+    applied: u64,
+}
+
+impl KvState {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies one command.
+    pub fn apply(&mut self, cmd: &Command) {
+        self.applied += 1;
+        match cmd {
+            Command::Put { key, value } => {
+                self.entries.insert(key.clone(), value.clone());
+            }
+            Command::Del { key } => {
+                self.entries.remove(key);
+            }
+            Command::Noop => {}
+        }
+    }
+
+    /// Reads a key.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no key is bound.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of commands applied.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// A deterministic digest of the state (for cross-replica comparison).
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for (k, v) in &self.entries {
+            fold(k.as_bytes());
+            fold(&[0xFF]);
+            fold(v.as_bytes());
+            fold(&[0xFE]);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_round_trips() {
+        for cmd in [
+            Command::put("k", "v"),
+            Command::put("", ""),
+            Command::del("key-9"),
+            Command::Noop,
+        ] {
+            let p = cmd.encode().unwrap();
+            assert_eq!(Command::decode(&p).unwrap(), cmd);
+        }
+    }
+
+    #[test]
+    fn oversized_command_rejected() {
+        let cmd = Command::put("a-rather-long-key", "a-rather-long-value");
+        assert_eq!(cmd.encode(), Err(EncodeError::TooLong));
+    }
+
+    #[test]
+    fn reserved_separator_rejected() {
+        let cmd = Command::put("a\x1fb", "v");
+        assert_eq!(cmd.encode(), Err(EncodeError::BadChar));
+    }
+
+    #[test]
+    fn malformed_payload_rejected() {
+        let p = Payload::from_bytes(b"garbage").unwrap();
+        assert_eq!(Command::decode(&p), Err(EncodeError::Malformed));
+        let p = Payload::from_bytes(b"P\x1fonly-key").unwrap();
+        assert_eq!(Command::decode(&p), Err(EncodeError::Malformed));
+    }
+
+    #[test]
+    fn state_machine_is_deterministic() {
+        let script = [
+            Command::put("x", "1"),
+            Command::put("y", "2"),
+            Command::del("x"),
+            Command::Noop,
+            Command::put("y", "3"),
+        ];
+        let mut a = KvState::new();
+        let mut b = KvState::new();
+        for c in &script {
+            a.apply(c);
+            b.apply(c);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.get("y"), Some("3"));
+        assert_eq!(a.get("x"), None);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.applied(), 5);
+    }
+
+    #[test]
+    fn digest_differs_on_different_states() {
+        let mut a = KvState::new();
+        a.apply(&Command::put("k", "1"));
+        let mut b = KvState::new();
+        b.apply(&Command::put("k", "2"));
+        assert_ne!(a.digest(), b.digest());
+    }
+}

@@ -1,0 +1,174 @@
+//! Multivalued consensus from binary consensus.
+//!
+//! The paper's algorithms decide a *bit*. Replicated services need to
+//! agree on arbitrary values, so we implement the classic reduction from
+//! multivalued to binary consensus (in the style of Mostéfaoui–Raynal),
+//! adapted to the hybrid model's primitives:
+//!
+//! 1. **Dissemination with eager relay.** Every process broadcasts its
+//!    proposal as an `APP` message. On *first* receipt of a proposal, a
+//!    process re-broadcasts it before using it — so if any process ever
+//!    *uses* the fact "I hold `p_k`'s proposal" (by voting 1 below), that
+//!    process has already completed a relay broadcast, and reliable
+//!    channels deliver the proposal everywhere.
+//! 2. **Stage loop.** Stages `s = 1, 2, …` consider proposer
+//!    `k = (s-1) mod n` and run one *binary* hybrid consensus instance on
+//!    the question "shall we adopt `p_k`'s proposal?", each process voting
+//!    1 iff it holds that proposal. The first stage that decides 1 fixes
+//!    the outcome: everyone waits (if needed) for the relayed proposal and
+//!    decides it.
+//!
+//! Termination: eventually all correct processes hold all correct
+//! proposals (eager relay), so a stage naming a correct proposer gets
+//! unanimous 1-votes, and binary validity decides 1. Agreement and
+//! validity follow from binary agreement plus the relay argument above.
+//! The binary instances inherit the hybrid model's fault tolerance — with
+//! a majority cluster, multivalued consensus also survives `n - 1`
+//! crashes.
+
+use ofa_core::{
+    ben_or_hybrid_instance, common_coin_hybrid_instance, Algorithm, Bit, Env, Halt, Mailbox,
+    MsgKind, Payload, ProtocolConfig,
+};
+use ofa_topology::ProcessId;
+use std::collections::HashMap;
+
+/// Binary-instance ids used by one multivalued instance `j`:
+/// `j * INSTANCE_STRIDE + s` for stage `s >= 1`; the `APP` dissemination
+/// uses instance `j * INSTANCE_STRIDE` itself.
+pub const INSTANCE_STRIDE: u64 = 1 << 20;
+
+/// Outcome of a multivalued consensus instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MvDecision {
+    /// The decided proposal.
+    pub payload: Payload,
+    /// The proposer whose value was adopted.
+    pub proposer: ProcessId,
+    /// How many binary stages were needed.
+    pub stages: u64,
+}
+
+/// Runs multivalued consensus instance `mv_index` proposing `proposal`.
+///
+/// All processes of the run must use the same `mv_index` and `algorithm`,
+/// execute their multivalued instances in increasing `mv_index` order, and
+/// share `mailbox` across them.
+///
+/// # Errors
+///
+/// Propagates the binary layer's [`Halt`] (crash, round/stage budget).
+pub fn multivalued_propose(
+    env: &mut dyn Env,
+    mailbox: &mut Mailbox,
+    mv_index: u64,
+    proposal: Payload,
+    algorithm: Algorithm,
+    cfg: &ProtocolConfig,
+) -> Result<MvDecision, Halt> {
+    let n = env.partition().n();
+    let me = env.me();
+    let base = mv_index * INSTANCE_STRIDE;
+
+    // Known proposals, by proposer. Own proposal is known immediately;
+    // everything known has already been (re)broadcast — the eager-relay
+    // invariant.
+    let mut have: HashMap<ProcessId, Payload> = HashMap::new();
+    env.broadcast(MsgKind::App {
+        instance: base,
+        seq: me.index() as u64,
+        payload: proposal,
+    })?;
+    have.insert(me, proposal);
+
+    let mut stage: u64 = 0;
+    loop {
+        stage += 1;
+        if let Some(max) = cfg.max_rounds {
+            // Interpret the round budget also as a stage budget so a
+            // doomed run terminates.
+            if stage > max.max(4 * n as u64) {
+                return Err(Halt::Stopped);
+            }
+        }
+        // Absorb any proposals that arrived during earlier stages,
+        // relaying each new one (eager relay) before it can influence a
+        // vote.
+        absorb_apps(env, mailbox, base, &mut have)?;
+
+        let k = ProcessId(((stage - 1) as usize) % n);
+        let vote = Bit::from(have.contains_key(&k));
+        let instance = base + stage;
+        let decision = match algorithm {
+            Algorithm::LocalCoin => {
+                ben_or_hybrid_instance(env, mailbox, instance, vote, cfg)?
+            }
+            Algorithm::CommonCoin => {
+                common_coin_hybrid_instance(env, mailbox, instance, vote, cfg)?
+            }
+        };
+        if decision.value == Bit::One {
+            // Someone voted 1, so they completed a relay of p_k's proposal
+            // before voting: it is on the wire to us. Wait for it.
+            while !have.contains_key(&k) {
+                mailbox.pump(env)?;
+                absorb_apps(env, mailbox, base, &mut have)?;
+            }
+            return Ok(MvDecision {
+                payload: have[&k],
+                proposer: k,
+                stages: stage,
+            });
+        }
+    }
+}
+
+/// Moves stashed APP messages of this multivalued instance into `have`,
+/// re-broadcasting first-seen proposals (the eager relay).
+fn absorb_apps(
+    env: &mut dyn Env,
+    mailbox: &mut Mailbox,
+    base: u64,
+    have: &mut HashMap<ProcessId, Payload>,
+) -> Result<(), Halt> {
+    let apps = mailbox.take_apps();
+    for app in apps {
+        if app.instance != base {
+            // A proposal of another multivalued instance: re-stash it by
+            // pretending it was never taken (instances are processed in
+            // order, so it belongs to a future instance).
+            // Note: take_apps drained the stash, so push it back through
+            // the public surface by keeping it in `leftover`.
+            // (handled below)
+            continue_later(mailbox, app);
+            continue;
+        }
+        let proposer = ProcessId(app.seq as usize);
+        if !have.contains_key(&proposer) {
+            // Relay before recording: the eager-relay invariant.
+            env.broadcast(MsgKind::App {
+                instance: app.instance,
+                seq: app.seq,
+                payload: app.payload,
+            })?;
+            have.insert(proposer, app.payload);
+        }
+    }
+    Ok(())
+}
+
+/// Puts an APP message of a different multivalued instance back into the
+/// mailbox stash.
+fn continue_later(mailbox: &mut Mailbox, app: ofa_core::AppMsg) {
+    mailbox.stash_app(app);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_leaves_room_for_a_million_stages() {
+        assert!(INSTANCE_STRIDE >= 1 << 20);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for topology construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error building a [`crate::Partition`] or [`crate::MmGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A cluster was empty; the paper requires non-empty clusters.
+    EmptyCluster {
+        /// 0-based index of the offending cluster.
+        cluster: usize,
+    },
+    /// A process appears in two clusters.
+    Overlap {
+        /// 0-based index of the duplicated process.
+        process: usize,
+    },
+    /// Some process in `0..n` belongs to no cluster.
+    Uncovered {
+        /// 0-based index of the missing process.
+        process: usize,
+    },
+    /// A process index is `>= n`.
+    OutOfRange {
+        /// The offending index.
+        process: usize,
+        /// The universe size.
+        n: usize,
+    },
+    /// The system must contain at least one process.
+    NoProcesses,
+    /// An edge endpoint is out of range or a self-loop was supplied.
+    BadEdge {
+        /// Edge endpoints as supplied.
+        a: usize,
+        /// Edge endpoints as supplied.
+        b: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::EmptyCluster { cluster } => {
+                write!(f, "cluster P[{}] is empty", cluster + 1)
+            }
+            TopologyError::Overlap { process } => {
+                write!(f, "process p{} belongs to two clusters", process + 1)
+            }
+            TopologyError::Uncovered { process } => {
+                write!(f, "process p{} belongs to no cluster", process + 1)
+            }
+            TopologyError::OutOfRange { process, n } => {
+                write!(f, "process index {process} out of range for n={n}")
+            }
+            TopologyError::NoProcesses => write!(f, "system has no processes"),
+            TopologyError::BadEdge { a, b } => {
+                write!(f, "invalid edge ({a}, {b})")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_paper_one_based() {
+        assert_eq!(
+            TopologyError::EmptyCluster { cluster: 0 }.to_string(),
+            "cluster P[1] is empty"
+        );
+        assert_eq!(
+            TopologyError::Overlap { process: 2 }.to_string(),
+            "process p3 belongs to two clusters"
+        );
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_err(TopologyError::NoProcesses);
+    }
+}

@@ -1,0 +1,134 @@
+//! Strongly-typed identifiers for processes and clusters.
+//!
+//! The paper names processes `p1 … pn` (1-based). This crate uses 0-based
+//! indices internally; the [`std::fmt::Display`] impls render the paper's
+//! 1-based names so traces and tables read like the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a process (`p_i` in the paper), 0-based.
+///
+/// # Examples
+///
+/// ```
+/// use ofa_topology::ProcessId;
+/// let p = ProcessId(0);
+/// assert_eq!(p.to_string(), "p1"); // paper-style 1-based rendering
+/// assert_eq!(p.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// The underlying 0-based index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Builds a `ProcessId` from the paper's 1-based numbering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `one_based == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ofa_topology::ProcessId;
+    /// assert_eq!(ProcessId::from_paper(1), ProcessId(0));
+    /// ```
+    pub fn from_paper(one_based: usize) -> Self {
+        assert!(one_based >= 1, "paper process numbering starts at 1");
+        ProcessId(one_based - 1)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0 + 1)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(i: usize) -> Self {
+        ProcessId(i)
+    }
+}
+
+/// Index of a cluster (`P[x]` in the paper), 0-based.
+///
+/// # Examples
+///
+/// ```
+/// use ofa_topology::ClusterId;
+/// assert_eq!(ClusterId(1).to_string(), "P[2]");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClusterId(pub usize);
+
+impl ClusterId {
+    /// The underlying 0-based index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Builds a `ClusterId` from the paper's 1-based numbering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `one_based == 0`.
+    pub fn from_paper(one_based: usize) -> Self {
+        assert!(one_based >= 1, "paper cluster numbering starts at 1");
+        ClusterId(one_based - 1)
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P[{}]", self.0 + 1)
+    }
+}
+
+impl From<usize> for ClusterId {
+    fn from(i: usize) -> Self {
+        ClusterId(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_display_is_one_based() {
+        assert_eq!(ProcessId(0).to_string(), "p1");
+        assert_eq!(ProcessId(6).to_string(), "p7");
+    }
+
+    #[test]
+    fn cluster_display_is_one_based() {
+        assert_eq!(ClusterId(0).to_string(), "P[1]");
+        assert_eq!(ClusterId(2).to_string(), "P[3]");
+    }
+
+    #[test]
+    fn paper_numbering_round_trips() {
+        assert_eq!(ProcessId::from_paper(3).index(), 2);
+        assert_eq!(ClusterId::from_paper(1).index(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "starts at 1")]
+    fn paper_numbering_rejects_zero() {
+        let _ = ProcessId::from_paper(0);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProcessId(1) < ProcessId(2));
+        assert!(ClusterId(0) < ClusterId(1));
+    }
+}

@@ -1,0 +1,66 @@
+//! Topology of the hybrid communication model (Raynal & Cao, ICDCS 2019).
+//!
+//! The paper partitions `n` asynchronous crash-prone processes into `m`
+//! non-empty clusters. Inside a cluster, processes share a memory enriched
+//! with `compare&swap`; across the whole system, any pair of processes can
+//! exchange messages. This crate provides:
+//!
+//! * [`ProcessId`] / [`ClusterId`] — strongly-typed indices rendered in the
+//!   paper's 1-based style (`p3`, `P[2]`),
+//! * [`ProcessSet`] — a bitset tuned for the "one for all" cluster
+//!   amplification of the `msg_exchange` pattern,
+//! * [`Partition`] — validated cluster decompositions, including both
+//!   decompositions of the paper's Figure 1,
+//! * [`predicate`] — the main scalability/fault-tolerance property of
+//!   §III-B (when does a failure pattern guarantee termination?), the
+//!   fault-tolerance frontier, and witness crash sets,
+//! * [`MmGraph`] — the uniform shared-memory domains of the m&m comparison
+//!   model (§III-C and the appendix, including Figure 2).
+//!
+//! # Quick example
+//!
+//! ```
+//! use ofa_topology::{predicate, Partition, ProcessSet};
+//!
+//! // Figure 1 (right): {p1} {p2,p3,p4,p5} {p6,p7}.
+//! let part = Partition::fig1_right();
+//!
+//! // Crash 6 of the 7 processes, keeping only p4 in the majority cluster.
+//! let mut crashed = ProcessSet::full(part.n());
+//! crashed.remove(ofa_topology::ProcessId(3));
+//!
+//! // The predicate says consensus still terminates — "one for all".
+//! assert!(predicate::guarantees_termination(&part, &crashed));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod ids;
+mod mm_graph;
+mod partition;
+pub mod predicate;
+mod set;
+
+pub use error::TopologyError;
+pub use ids::{ClusterId, ProcessId};
+pub use mm_graph::MmGraph;
+pub use partition::Partition;
+pub use set::{Iter, ProcessSet};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProcessId>();
+        assert_send_sync::<ClusterId>();
+        assert_send_sync::<ProcessSet>();
+        assert_send_sync::<Partition>();
+        assert_send_sync::<MmGraph>();
+        assert_send_sync::<TopologyError>();
+    }
+}

@@ -1,0 +1,367 @@
+//! Uniform shared-memory domains of the m&m model (paper §III-C and
+//! appendix; Aguilera et al., PODC 2018).
+//!
+//! In the *uniform* m&m model the shared-memory domain is induced by an
+//! undirected graph `G = (V, E)`: process `p_i` shares registers with its
+//! neighbors, giving one "`p_i`-centered" memory per process, accessible by
+//! the closed neighborhood `N[i] = {i} ∪ N(i)`. This module builds such
+//! graphs, computes the domain family `S = {S_i}`, and provides the graph
+//! families used by experiment E6 plus the paper's Figure 2 example.
+
+use crate::{ProcessId, ProcessSet, TopologyError};
+use rand::Rng;
+use std::fmt;
+
+/// An undirected graph over process indices, defining a uniform m&m
+/// shared-memory domain.
+///
+/// # Examples
+///
+/// ```
+/// use ofa_topology::{MmGraph, ProcessId};
+///
+/// let g = MmGraph::fig2();
+/// assert_eq!(g.n(), 5);
+/// // S3 = {p2, p3, p4, p5} in the paper's 1-based naming:
+/// let s3 = g.domain(ProcessId(2));
+/// assert_eq!(s3.to_string(), "{p2,p3,p4,p5}");
+/// // p3 has degree 3, so in the m&m model it would touch 4 consensus
+/// // objects per phase; a hybrid-model process always touches 1.
+/// assert_eq!(g.degree(ProcessId(2)), 3);
+/// assert_eq!(g.invocations_per_phase(ProcessId(2)), 4);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct MmGraph {
+    n: usize,
+    adj: Vec<ProcessSet>,
+    edges: Vec<(ProcessId, ProcessId)>,
+}
+
+impl MmGraph {
+    /// Builds a graph from an edge list (0-based endpoints, no self-loops).
+    ///
+    /// Duplicate edges are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::BadEdge`] on a self-loop or out-of-range
+    /// endpoint, [`TopologyError::NoProcesses`] if `n == 0`.
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<Self, TopologyError> {
+        if n == 0 {
+            return Err(TopologyError::NoProcesses);
+        }
+        let mut adj = vec![ProcessSet::empty(n); n];
+        let mut kept = Vec::new();
+        for (a, b) in edges {
+            if a == b || a >= n || b >= n {
+                return Err(TopologyError::BadEdge { a, b });
+            }
+            let (lo, hi) = (a.min(b), a.max(b));
+            if !adj[lo].contains(ProcessId(hi)) {
+                adj[lo].insert(ProcessId(hi));
+                adj[hi].insert(ProcessId(lo));
+                kept.push((ProcessId(lo), ProcessId(hi)));
+            }
+        }
+        Ok(MmGraph {
+            n,
+            adj,
+            edges: kept,
+        })
+    }
+
+    /// The example of the paper's Figure 2 (`n = 5`):
+    /// edges `p1–p2, p2–p3, p3–p4, p3–p5, p4–p5`, giving domains
+    /// `S1={p1,p2} S2={p1,p2,p3} S3={p2,p3,p4,p5} S4=S5={p3,p4,p5}`.
+    pub fn fig2() -> Self {
+        Self::from_edges(5, [(0, 1), (1, 2), (2, 3), (2, 4), (3, 4)])
+            .expect("static edge list")
+    }
+
+    /// A cycle `p1–p2–…–pn–p1` (each process shares memory with two
+    /// neighbors). Requires `n >= 3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 vertices");
+        Self::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).expect("ring edges valid")
+    }
+
+    /// A star centered at `p1`. Requires `n >= 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn star(n: usize) -> Self {
+        assert!(n >= 2, "a star needs at least 2 vertices");
+        Self::from_edges(n, (1..n).map(|i| (0, i))).expect("star edges valid")
+    }
+
+    /// A simple path `p1–p2–…–pn`. Requires `n >= 1`.
+    pub fn path(n: usize) -> Self {
+        Self::from_edges(n, (1..n).map(|i| (i - 1, i))).expect("path edges valid")
+    }
+
+    /// The complete graph (everyone shares memory with everyone — the m&m
+    /// counterpart of a single cluster, but with `n` distinct memories).
+    pub fn complete(n: usize) -> Self {
+        Self::from_edges(
+            n,
+            (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))),
+        )
+        .expect("complete edges valid")
+    }
+
+    /// A `rows × cols` grid with 4-neighborhoods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols == 0`.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        assert!(rows * cols > 0, "grid must be non-empty");
+        let idx = |r: usize, c: usize| r * cols + c;
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    edges.push((idx(r, c), idx(r, c + 1)));
+                }
+                if r + 1 < rows {
+                    edges.push((idx(r, c), idx(r + 1, c)));
+                }
+            }
+        }
+        Self::from_edges(rows * cols, edges).expect("grid edges valid")
+    }
+
+    /// Erdős–Rényi `G(n, p)` with a spanning path added so the graph is
+    /// connected (disconnected memories would make the comparison vacuous).
+    pub fn random_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Self {
+        let mut edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    edges.push((i, j));
+                }
+            }
+        }
+        Self::from_edges(n.max(1), edges).expect("gnp edges valid")
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The open neighborhood `N(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i.index() >= n`.
+    #[inline]
+    pub fn neighbors(&self, i: ProcessId) -> &ProcessSet {
+        &self.adj[i.index()]
+    }
+
+    /// Degree `α_i = |N(i)|` — the paper's neighbor count in §III-C.
+    #[inline]
+    pub fn degree(&self, i: ProcessId) -> usize {
+        self.adj[i.index()].len()
+    }
+
+    /// The shared-memory domain `S_i = {i} ∪ N(i)` (closed neighborhood):
+    /// the set of processes that can access the `p_i`-centered memory.
+    pub fn domain(&self, i: ProcessId) -> ProcessSet {
+        let mut s = self.adj[i.index()].clone();
+        s.insert(i);
+        s
+    }
+
+    /// The whole uniform domain family `S = {S_1, …, S_n}`.
+    pub fn domains(&self) -> Vec<ProcessSet> {
+        (0..self.n).map(|i| self.domain(ProcessId(i))).collect()
+    }
+
+    /// Number of consensus objects `p_i` invokes **per phase of a round**
+    /// in the m&m consensus algorithm: `α_i + 1` (its own memory plus one
+    /// per neighbor). The hybrid-model count is 1 (paper §III-C).
+    #[inline]
+    pub fn invocations_per_phase(&self, i: ProcessId) -> usize {
+        self.degree(i) + 1
+    }
+
+    /// Total shared memories in the system: `n` in the m&m model
+    /// (vs `m` clusters in the hybrid model).
+    #[inline]
+    pub fn memory_count(&self) -> usize {
+        self.n
+    }
+
+    /// Iterates over edges as `(ProcessId, ProcessId)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (ProcessId, ProcessId)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// `(min, mean, max)` of the vertex degrees.
+    pub fn degree_stats(&self) -> (usize, f64, usize) {
+        let degs: Vec<usize> = (0..self.n).map(|i| self.degree(ProcessId(i))).collect();
+        let min = degs.iter().copied().min().unwrap_or(0);
+        let max = degs.iter().copied().max().unwrap_or(0);
+        let mean = if self.n == 0 {
+            0.0
+        } else {
+            degs.iter().sum::<usize>() as f64 / self.n as f64
+        };
+        (min, mean, max)
+    }
+
+    /// `true` if the graph is connected (trivially true for `n <= 1`).
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        let mut seen = ProcessSet::singleton(self.n, ProcessId(0));
+        let mut stack = vec![ProcessId(0)];
+        while let Some(v) = stack.pop() {
+            for w in self.neighbors(v) {
+                if seen.insert(w) {
+                    stack.push(w);
+                }
+            }
+        }
+        seen.len() == self.n
+    }
+}
+
+impl fmt::Debug for MmGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MmGraph(n={}, edges=[", self.n)?;
+        for (k, (a, b)) in self.edges().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}-{b}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_domains_match_paper() {
+        let g = MmGraph::fig2();
+        let expect = [
+            vec![0usize, 1],
+            vec![0, 1, 2],
+            vec![1, 2, 3, 4],
+            vec![2, 3, 4],
+            vec![2, 3, 4],
+        ];
+        for (i, want) in expect.iter().enumerate() {
+            assert_eq!(
+                g.domain(ProcessId(i)),
+                ProcessSet::from_indices(5, want.iter().copied()),
+                "S{} mismatch",
+                i + 1
+            );
+        }
+        // S4 and S5 coincide, exactly as the appendix notes (the family has
+        // four distinct domains).
+        assert_eq!(g.domain(ProcessId(3)), g.domain(ProcessId(4)));
+    }
+
+    #[test]
+    fn fig2_invocation_counts() {
+        let g = MmGraph::fig2();
+        // α = (1, 2, 3, 2, 2) → invocations per phase α_i + 1.
+        let want = [2usize, 3, 4, 3, 3];
+        for (i, w) in want.iter().enumerate() {
+            assert_eq!(g.invocations_per_phase(ProcessId(i)), *w);
+        }
+        assert_eq!(g.memory_count(), 5);
+    }
+
+    #[test]
+    fn families_have_expected_shape() {
+        let ring = MmGraph::ring(6);
+        assert!(ring.is_connected());
+        assert_eq!(ring.degree_stats(), (2, 2.0, 2));
+        assert_eq!(ring.edge_count(), 6);
+
+        let star = MmGraph::star(6);
+        assert_eq!(star.degree(ProcessId(0)), 5);
+        assert_eq!(star.degree(ProcessId(3)), 1);
+        assert_eq!(star.edge_count(), 5);
+
+        let path = MmGraph::path(4);
+        assert_eq!(path.edge_count(), 3);
+        assert!(path.is_connected());
+
+        let k5 = MmGraph::complete(5);
+        assert_eq!(k5.edge_count(), 10);
+        assert_eq!(k5.degree_stats(), (4, 4.0, 4));
+
+        let grid = MmGraph::grid(3, 4);
+        assert_eq!(grid.n(), 12);
+        assert_eq!(grid.edge_count(), 3 * 3 + 2 * 4); // 17
+        assert!(grid.is_connected());
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = MmGraph::from_edges(3, [(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(ProcessId(0)), 1);
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        assert_eq!(
+            MmGraph::from_edges(3, [(0, 0)]),
+            Err(TopologyError::BadEdge { a: 0, b: 0 })
+        );
+        assert_eq!(
+            MmGraph::from_edges(3, [(0, 3)]),
+            Err(TopologyError::BadEdge { a: 0, b: 3 })
+        );
+        assert_eq!(
+            MmGraph::from_edges(0, std::iter::empty()),
+            Err(TopologyError::NoProcesses)
+        );
+    }
+
+    #[test]
+    fn random_gnp_is_connected() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [2usize, 5, 12, 30] {
+            let g = MmGraph::random_gnp(n, 0.1, &mut rng);
+            assert!(g.is_connected(), "spanning path keeps G(n,p) connected");
+            assert_eq!(g.n(), n);
+        }
+    }
+
+    #[test]
+    fn domain_always_contains_self() {
+        let g = MmGraph::grid(2, 3);
+        for i in 0..g.n() {
+            assert!(g.domain(ProcessId(i)).contains(ProcessId(i)));
+        }
+    }
+}

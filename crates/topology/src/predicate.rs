@@ -1,0 +1,346 @@
+//! The paper's "main scalability and fault-tolerance property" (§III-B).
+//!
+//! Algorithm 2 (and Algorithm 3, which inherits the property through the
+//! same lines 4–5) terminates in every execution in which there is a set of
+//! clusters `P[x1] … P[xk]` such that
+//!
+//! * `|P[x1]| + … + |P[xk]| > n/2`, and
+//! * each `P[xj]` contains at least one process that does not crash.
+//!
+//! This module evaluates the predicate for a concrete crash set, computes
+//! the *fault-tolerance frontier* (the maximum number of crashes any
+//! failure pattern can contain while still guaranteeing termination for
+//! some / all patterns of that size), and produces witness crash sets used
+//! by the experiment harness.
+
+use crate::{ClusterId, Partition, ProcessSet};
+
+/// Evaluation of the termination predicate for one failure pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredicateReport {
+    /// Total size of the clusters that still contain a correct process
+    /// (their full sizes count — "one for all").
+    pub live_weight: usize,
+    /// Clusters with at least one correct process.
+    pub live_clusters: Vec<ClusterId>,
+    /// `true` iff `2 * live_weight > n`, i.e. the pattern guarantees
+    /// termination.
+    pub holds: bool,
+}
+
+/// Evaluates the termination predicate for `crashed` under `partition`.
+///
+/// A cluster contributes its **entire size** to the live weight as soon as
+/// one member is correct: the surviving process "acts as if all the
+/// processes of its cluster were alive".
+///
+/// # Examples
+///
+/// ```
+/// use ofa_topology::{predicate, Partition, ProcessSet};
+///
+/// let part = Partition::fig1_right(); // {p1} {p2..p5} {p6,p7}
+/// // Crash everything except p3 (a member of the majority cluster P[2]).
+/// let crashed = ProcessSet::from_indices(7, [0, 1, 3, 4, 5, 6]);
+/// let report = predicate::evaluate(&part, &crashed);
+/// assert!(report.holds); // 4 > 7/2 — consensus survives 6 of 7 crashes
+/// assert_eq!(report.live_weight, 4);
+/// ```
+pub fn evaluate(partition: &Partition, crashed: &ProcessSet) -> PredicateReport {
+    let mut live_weight = 0usize;
+    let mut live_clusters = Vec::new();
+    for (x, members) in partition.clusters() {
+        let all_crashed = members.is_subset(crashed);
+        if !all_crashed {
+            live_weight += members.len();
+            live_clusters.push(x);
+        }
+    }
+    PredicateReport {
+        live_weight,
+        live_clusters,
+        holds: 2 * live_weight > partition.n(),
+    }
+}
+
+/// Shorthand for [`evaluate`]`(..).holds`.
+pub fn guarantees_termination(partition: &Partition, crashed: &ProcessSet) -> bool {
+    evaluate(partition, crashed).holds
+}
+
+/// Fault-tolerance frontier of a partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frontier {
+    /// Minimum number of surviving processes over all terminating failure
+    /// patterns (one survivor per cluster of a minimum majority cover).
+    pub min_survivors: usize,
+    /// `n - min_survivors`: the largest crash count for which **some**
+    /// failure pattern of that size still guarantees termination.
+    pub max_tolerated_crashes: usize,
+    /// The clusters of a minimum-cardinality cover whose total size exceeds
+    /// `n/2` (largest clusters first).
+    pub cover: Vec<ClusterId>,
+    /// The classical pure message-passing bound `⌊(n-1)/2⌋` for comparison
+    /// (the majority-of-correct-processes requirement).
+    pub message_passing_bound: usize,
+}
+
+/// Computes the fault-tolerance frontier of `partition`.
+///
+/// The best failure pattern keeps exactly one process in each cluster of a
+/// minimum set of clusters whose sizes sum past `n/2` — picking clusters in
+/// decreasing size order minimizes how many survivors are needed.
+///
+/// # Examples
+///
+/// ```
+/// use ofa_topology::{predicate, Partition};
+///
+/// let f = predicate::frontier(&Partition::fig1_right());
+/// // Keeping one survivor in the majority cluster P[2] tolerates 6 crashes.
+/// assert_eq!(f.min_survivors, 1);
+/// assert_eq!(f.max_tolerated_crashes, 6);
+/// assert_eq!(f.message_passing_bound, 3);
+/// ```
+pub fn frontier(partition: &Partition) -> Frontier {
+    let n = partition.n();
+    let mut by_size: Vec<(ClusterId, usize)> = partition
+        .clusters()
+        .map(|(x, s)| (x, s.len()))
+        .collect();
+    // Largest first; tie-break on id for determinism.
+    by_size.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.index().cmp(&b.0.index())));
+    let mut cover = Vec::new();
+    let mut weight = 0usize;
+    for (x, sz) in by_size {
+        if 2 * weight > n {
+            break;
+        }
+        cover.push(x);
+        weight += sz;
+    }
+    debug_assert!(2 * weight > n, "whole system always exceeds n/2");
+    let min_survivors = cover.len();
+    Frontier {
+        min_survivors,
+        max_tolerated_crashes: n - min_survivors,
+        cover,
+        message_passing_bound: (n - 1) / 2,
+    }
+}
+
+/// Builds the frontier's witness crash set: everyone crashes except one
+/// (the smallest-index) member of each cover cluster.
+///
+/// [`evaluate`] holds on the result, and the result has exactly
+/// [`Frontier::max_tolerated_crashes`] members.
+pub fn witness_crash_set(partition: &Partition) -> ProcessSet {
+    let f = frontier(partition);
+    let mut survivors = ProcessSet::empty(partition.n());
+    for x in &f.cover {
+        let keeper = partition
+            .cluster(*x)
+            .first()
+            .expect("clusters are non-empty");
+        survivors.insert(keeper);
+    }
+    survivors.complement()
+}
+
+/// Enumerates, for each crash-count `c` in `0..=n-1`, whether **every**
+/// pattern of `c` crashes guarantees termination (`all`) and whether
+/// **some** pattern does (`some`).
+///
+/// `some` flips to `false` exactly above [`Frontier::max_tolerated_crashes`].
+/// `all` holds up to the worst-case bound: the largest `c` such that no
+/// `c`-subset can silence clusters covering `n/2` or more.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToleranceRow {
+    /// Number of crashes.
+    pub crashes: usize,
+    /// Every pattern with this many crashes terminates.
+    pub all_patterns: bool,
+    /// At least one pattern with this many crashes terminates.
+    pub some_pattern: bool,
+}
+
+/// Computes [`ToleranceRow`]s for every crash count.
+///
+/// The "all patterns" column uses the adversary's best strategy: with a
+/// budget of `c` crashes, silence a set of whole clusters whose total size
+/// is as large as possible but at most `c` (crashes inside a cluster that
+/// keeps one survivor remove no weight). That is a subset-sum maximization
+/// over the cluster sizes, solved here with a bitset DP.
+pub fn tolerance_table(partition: &Partition) -> Vec<ToleranceRow> {
+    let n = partition.n();
+    let f = frontier(partition);
+    // reachable[s] = true iff some subset of clusters has total size s.
+    let mut reachable = vec![false; n + 1];
+    reachable[0] = true;
+    for s in partition.sizes() {
+        for t in (s..=n).rev() {
+            if reachable[t - s] {
+                reachable[t] = true;
+            }
+        }
+    }
+    (0..n)
+        .map(|c| {
+            let dead_weight = (0..=c).rev().find(|&t| reachable[t]).unwrap_or(0);
+            let live_weight = n - dead_weight;
+            ToleranceRow {
+                crashes: c,
+                all_patterns: 2 * live_weight > n,
+                some_pattern: c <= f.max_tolerated_crashes,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProcessId;
+
+    #[test]
+    fn headline_example_survives_six_of_seven_crashes() {
+        // Paper §I / §V: majority cluster P[2] of Fig. 1 (right); any number
+        // of crashes except one process of P[2].
+        let part = Partition::fig1_right();
+        for survivor in [1usize, 2, 3, 4] {
+            let mut crashed = ProcessSet::full(7);
+            crashed.remove(ProcessId(survivor));
+            let rep = evaluate(&part, &crashed);
+            assert!(rep.holds, "one survivor in P[2] must suffice");
+            assert_eq!(rep.live_weight, 4);
+            assert_eq!(rep.live_clusters, vec![ClusterId(1)]);
+        }
+    }
+
+    #[test]
+    fn survivor_outside_majority_cluster_is_not_enough() {
+        let part = Partition::fig1_right();
+        // keep only p1 ({p1} cluster, weight 1): 1 <= 7/2.
+        let mut crashed = ProcessSet::full(7);
+        crashed.remove(ProcessId(0));
+        assert!(!evaluate(&part, &crashed).holds);
+        // keep p1 and p6: weight 1 + 2 = 3 <= 7/2.
+        crashed.remove(ProcessId(5));
+        assert!(!evaluate(&part, &crashed).holds);
+        // additionally keep p2: weight 1 + 2 + 4 = 7 > 7/2.
+        crashed.remove(ProcessId(1));
+        assert!(evaluate(&part, &crashed).holds);
+    }
+
+    #[test]
+    fn no_crashes_always_holds() {
+        for part in [
+            Partition::fig1_left(),
+            Partition::fig1_right(),
+            Partition::singletons(4),
+            Partition::single_cluster(9),
+        ] {
+            let none = ProcessSet::empty(part.n());
+            assert!(evaluate(&part, &none).holds);
+        }
+    }
+
+    #[test]
+    fn singleton_partition_matches_classical_majority() {
+        // m = n: live weight = number of correct processes, so the predicate
+        // degenerates to "a majority of processes is correct".
+        let part = Partition::singletons(7);
+        let crashed3 = ProcessSet::from_indices(7, [0, 1, 2]);
+        assert!(evaluate(&part, &crashed3).holds);
+        let crashed4 = ProcessSet::from_indices(7, [0, 1, 2, 3]);
+        assert!(!evaluate(&part, &crashed4).holds);
+    }
+
+    #[test]
+    fn single_cluster_tolerates_all_but_one() {
+        let part = Partition::single_cluster(9);
+        let mut crashed = ProcessSet::full(9);
+        crashed.remove(ProcessId(8));
+        assert!(evaluate(&part, &crashed).holds);
+        assert_eq!(frontier(&part).max_tolerated_crashes, 8);
+    }
+
+    #[test]
+    fn frontier_fig1() {
+        let right = frontier(&Partition::fig1_right());
+        assert_eq!(right.min_survivors, 1);
+        assert_eq!(right.max_tolerated_crashes, 6);
+        assert_eq!(right.cover, vec![ClusterId(1)]);
+        assert_eq!(right.message_passing_bound, 3);
+
+        // Left: sizes 3,2,2 — need 3 + 2 = 5 > 3.5, i.e. two clusters.
+        let left = frontier(&Partition::fig1_left());
+        assert_eq!(left.min_survivors, 2);
+        assert_eq!(left.max_tolerated_crashes, 5);
+        assert_eq!(left.cover, vec![ClusterId(0), ClusterId(1)]);
+    }
+
+    #[test]
+    fn witness_crash_set_is_maximal_and_terminating() {
+        for part in [
+            Partition::fig1_left(),
+            Partition::fig1_right(),
+            Partition::even(12, 4),
+            Partition::singletons(5),
+        ] {
+            let f = frontier(&part);
+            let crashed = witness_crash_set(&part);
+            assert_eq!(crashed.len(), f.max_tolerated_crashes);
+            assert!(evaluate(&part, &crashed).holds);
+        }
+    }
+
+    #[test]
+    fn tolerance_table_monotone_and_consistent() {
+        for part in [
+            Partition::fig1_left(),
+            Partition::fig1_right(),
+            Partition::even(10, 5),
+            Partition::from_sizes(&[6, 1, 1, 1, 1]).unwrap(),
+        ] {
+            let rows = tolerance_table(&part);
+            assert_eq!(rows.len(), part.n());
+            // all ⇒ some, and both columns are monotone (true then false)
+            let mut prev_all = true;
+            let mut prev_some = true;
+            for row in &rows {
+                assert!(!row.all_patterns || row.some_pattern);
+                assert!(prev_all || !row.all_patterns, "all must be monotone");
+                assert!(prev_some || !row.some_pattern, "some must be monotone");
+                prev_all = row.all_patterns;
+                prev_some = row.some_pattern;
+            }
+            // zero crashes is always fine
+            assert!(rows[0].all_patterns && rows[0].some_pattern);
+        }
+    }
+
+    #[test]
+    fn tolerance_table_pure_mp_matches_theory() {
+        // m = n = 7: both columns should flip exactly past floor((n-1)/2) = 3.
+        let rows = tolerance_table(&Partition::singletons(7));
+        for row in &rows {
+            assert_eq!(row.all_patterns, row.crashes <= 3);
+            assert_eq!(row.some_pattern, row.crashes <= 3);
+        }
+    }
+
+    #[test]
+    fn majority_cluster_all_vs_some_gap() {
+        // Sizes [4,1,1,1] (n = 7): SOME pattern tolerates 6 crashes (survivor
+        // in the big cluster) but ALL patterns only survive 0 crashes is
+        // false — killing the three singletons (3 crashes) leaves weight 4 > 3.5,
+        // while 4 crashes can kill the big cluster entirely (weight 3 < 3.5).
+        let part = Partition::from_sizes(&[4, 1, 1, 1]).unwrap();
+        let rows = tolerance_table(&part);
+        assert_eq!(frontier(&part).max_tolerated_crashes, 6);
+        assert!(rows[3].all_patterns);
+        assert!(!rows[4].all_patterns);
+        assert!(rows[6].some_pattern);
+    }
+}

@@ -1,0 +1,80 @@
+//! A geo-replicated key-value store on hybrid-model consensus.
+//!
+//! Deployment story (the one the paper's introduction motivates): three
+//! datacenters, each a multicore box whose cores share memory — a cluster
+//! — connected by an asynchronous WAN. Commands are totally ordered by
+//! repeated multivalued consensus (built from the paper's binary
+//! algorithms) and applied to a deterministic KV state machine. Then one
+//! whole datacenter plus part of another crashes — and the log keeps
+//! committing.
+//!
+//! ```text
+//! cargo run --example geo_replicated_kv
+//! ```
+
+use one_for_all::prelude::*;
+use one_for_all::smr::{run_replicated_kv, Command};
+
+fn main() {
+    // 9 replicas in 3 "datacenters" of 3 cores each; DC-1 holds no
+    // majority, so we use even thirds and rely on two surviving DCs.
+    let partition = Partition::even(9, 3);
+    println!("datacenters: {partition}\n");
+
+    // Each replica wants to commit its own stream of commands.
+    let commands: Vec<Vec<Command>> = (0..9)
+        .map(|i| {
+            vec![
+                Command::put(&format!("sensor-{i}"), &format!("{}", 20 + i)),
+                Command::put("leader", &format!("replica-{i}")),
+                Command::del(&format!("sensor-{}", (i + 1) % 9)),
+            ]
+        })
+        .collect();
+
+    // Crash all of DC-3 (p7..p9) and one core of DC-2 mid-run.
+    let crashes = CrashPlan::new()
+        .crash_at_start(ProcessId(6))
+        .crash_at_start(ProcessId(7))
+        .crash_at_start(ProcessId(8))
+        .crash_at_step(ProcessId(5), 200);
+
+    let slots = 5;
+    let (reports, outcome) = run_replicated_kv(
+        partition,
+        commands,
+        slots,
+        Algorithm::CommonCoin,
+        2024,
+        crashes,
+    );
+
+    println!("simulator processed {} events", outcome.events_processed);
+    let mut reference: Option<&one_for_all::smr::ReplicaReport> = None;
+    for (i, report) in reports.iter().enumerate() {
+        match report {
+            Some(r) => {
+                println!("replica p{}: digest {:016x}", i + 1, r.digest);
+                if let Some(first) = reference {
+                    assert_eq!(first.log, r.log, "logs must be identical");
+                    assert_eq!(first.digest, r.digest);
+                } else {
+                    reference = Some(r);
+                }
+            }
+            None => println!("replica p{}: crashed / did not finish", i + 1),
+        }
+    }
+
+    let r = reference.expect("survivors completed");
+    println!("\ncommitted log ({} slots):", slots);
+    for (j, (cmd, proposer)) in r.log.iter().zip(r.proposers.iter()).enumerate() {
+        println!("  slot {j}: {cmd}   (proposed by {proposer})");
+    }
+    println!("\nfinal state ({} keys):", r.state.len());
+    if let Some(v) = r.state.get("leader") {
+        println!("  leader = {v}");
+    }
+    println!("\nall surviving replicas hold identical logs and states — SMR on");
+    println!("hybrid consensus survived a full datacenter outage plus one more crash.");
+}

@@ -1,0 +1,59 @@
+//! The paper's headline fault-tolerance scenario, on **real threads**.
+//!
+//! Figure 1 (right) gives cluster `P[2] = {p2, p3, p4, p5}` a strict
+//! majority of the 7 processes. The paper (§I, §V): consensus is solvable
+//! in every failure pattern that spares *one* process of `P[2]` — here we
+//! crash 6 of 7 processes and watch the lone survivor decide, something no
+//! pure message-passing protocol can do (it would need 4 correct
+//! processes).
+//!
+//! ```text
+//! cargo run --example majority_cluster_survivor
+//! ```
+
+use one_for_all::prelude::*;
+use one_for_all::topology::predicate;
+
+fn main() {
+    let partition = Partition::fig1_right();
+    println!("partition: {partition}");
+    println!(
+        "fault-tolerance frontier: {:?}\n",
+        predicate::frontier(&partition)
+    );
+
+    // Crash everyone except p3 (index 2) — 6 of 7 processes.
+    let survivor = ProcessId(2);
+    let mut builder = RuntimeBuilder::new(partition.clone(), Algorithm::CommonCoin)
+        .proposals_split(4)
+        .seed(7);
+    for i in 0..7 {
+        if ProcessId(i) != survivor {
+            builder = builder.crash_at_start(ProcessId(i));
+        }
+    }
+    let outcome = builder.run();
+
+    println!("crashed: {} processes", outcome.crashed.len());
+    for (i, decision) in outcome.decisions.iter().enumerate() {
+        match decision {
+            Some(d) => println!("  p{}: {d}", i + 1),
+            None => println!("  p{}: crashed", i + 1),
+        }
+    }
+    assert!(outcome.all_correct_decided, "the survivor must decide");
+    assert_eq!(outcome.deciders(), 1);
+    println!(
+        "\np3 decided alone in {:?} — \"one for all and all for one\":",
+        outcome.latest_decision
+    );
+    println!("its single message counts for the whole majority cluster P[2].");
+
+    // Contrast: the classical message-passing bound for n=7 is 3 crashes.
+    let f = predicate::frontier(&partition);
+    println!(
+        "\npure message passing tolerates {} crashes; the hybrid model here tolerated {}.",
+        f.message_passing_bound,
+        outcome.crashed.len()
+    );
+}

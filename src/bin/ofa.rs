@@ -1,0 +1,209 @@
+//! `ofa` — run one hybrid-model consensus execution from the command line.
+//!
+//! ```text
+//! ofa --sizes 1,4,2 --algorithm cc --ones 3 --seed 42
+//! ofa --sizes 3,2,2 --algorithm lc --crash p1@0 --crash p6@12 --trace
+//! ofa --sizes 2,2 --runtime            # real threads instead of the simulator
+//! ofa --help
+//! ```
+
+use one_for_all::prelude::*;
+use std::process::exit;
+
+const HELP: &str = "\
+ofa — run one hybrid-model consensus execution
+
+USAGE:
+    ofa [OPTIONS]
+
+OPTIONS:
+    --sizes a,b,c      cluster sizes, e.g. 1,4,2 (default: 1,4,2 = Fig.1 right)
+    --algorithm lc|cc  local-coin (Alg 2) or common-coin (Alg 3) [default: cc]
+    --ones K           first K processes propose 1, the rest 0 [default: n/2]
+    --seed S           randomness seed [default: 0]
+    --crash pI@K       crash process I (1-based) at env-call K (repeatable;
+                       K=0 crashes before any step)
+    --max-rounds R     round budget [default: 512]
+    --trace            print the full event trace (simulator only)
+    --runtime          execute on real threads instead of the simulator
+    --help             show this message
+";
+
+struct Options {
+    sizes: Vec<usize>,
+    algorithm: Algorithm,
+    ones: Option<usize>,
+    seed: u64,
+    crashes: Vec<(usize, u64)>,
+    max_rounds: u64,
+    trace: bool,
+    runtime: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        sizes: vec![1, 4, 2],
+        algorithm: Algorithm::CommonCoin,
+        ones: None,
+        seed: 0,
+        crashes: Vec::new(),
+        max_rounds: 512,
+        trace: false,
+        runtime: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                print!("{HELP}");
+                exit(0);
+            }
+            "--sizes" => {
+                opts.sizes = value(&mut i)?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().map_err(|e| e.to_string()))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--algorithm" => {
+                opts.algorithm = match value(&mut i)?.as_str() {
+                    "lc" | "local" => Algorithm::LocalCoin,
+                    "cc" | "common" => Algorithm::CommonCoin,
+                    other => return Err(format!("unknown algorithm {other:?} (use lc|cc)")),
+                };
+            }
+            "--ones" => opts.ones = Some(value(&mut i)?.parse().map_err(|e: std::num::ParseIntError| e.to_string())?),
+            "--seed" => opts.seed = value(&mut i)?.parse().map_err(|e: std::num::ParseIntError| e.to_string())?,
+            "--max-rounds" => {
+                opts.max_rounds = value(&mut i)?.parse().map_err(|e: std::num::ParseIntError| e.to_string())?
+            }
+            "--crash" => {
+                let spec = value(&mut i)?;
+                let (proc_part, step_part) = spec
+                    .split_once('@')
+                    .ok_or_else(|| format!("bad crash spec {spec:?}, expected pI@K"))?;
+                let pid: usize = proc_part
+                    .trim_start_matches('p')
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?;
+                if pid == 0 {
+                    return Err("process numbering is 1-based".into());
+                }
+                let step: u64 = step_part.parse().map_err(|e: std::num::ParseIntError| e.to_string())?;
+                opts.crashes.push((pid - 1, step));
+            }
+            "--trace" => opts.trace = true,
+            "--runtime" => opts.runtime = true,
+            other => return Err(format!("unknown option {other:?} (try --help)")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{HELP}");
+            exit(2);
+        }
+    };
+    let partition = match Partition::from_sizes(&opts.sizes) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: invalid --sizes: {e}");
+            exit(2);
+        }
+    };
+    let n = partition.n();
+    let ones = opts.ones.unwrap_or(n / 2).min(n);
+    println!("partition: {partition}");
+    println!(
+        "algorithm: {} | proposals: {ones}x1 + {}x0 | seed {}",
+        opts.algorithm,
+        n - ones,
+        opts.seed
+    );
+    for (p, k) in &opts.crashes {
+        println!("crash: p{} at step {k}", p + 1);
+    }
+
+    if opts.runtime {
+        let mut b = RuntimeBuilder::new(partition, opts.algorithm)
+            .proposals_split(ones)
+            .config(ProtocolConfig::paper().with_max_rounds(opts.max_rounds))
+            .seed(opts.seed);
+        for (p, k) in &opts.crashes {
+            b = b.crash_at_step(ProcessId(*p), *k);
+        }
+        let out = b.run();
+        println!("\n— real-thread run: {:?} —", out.elapsed);
+        for (i, d) in out.decisions.iter().enumerate() {
+            match d {
+                Some(d) => println!("  p{}: {d}", i + 1),
+                None => println!("  p{}: {}", i + 1, halt_text(out.halts[i])),
+            }
+        }
+        summarize(out.agreement_holds(), out.deciders(), n);
+    } else {
+        let mut plan = CrashPlan::new();
+        for (p, k) in &opts.crashes {
+            plan = plan.crash_at_step(ProcessId(*p), *k);
+        }
+        let mut b = SimBuilder::new(partition, opts.algorithm)
+            .proposals_split(ones)
+            .config(ProtocolConfig::paper().with_max_rounds(opts.max_rounds))
+            .crashes(plan)
+            .seed(opts.seed);
+        if opts.trace {
+            b = b.keep_trace();
+        }
+        let out = b.run();
+        if let Some(events) = &out.events {
+            for e in events {
+                println!("{e}");
+            }
+            println!();
+        }
+        println!(
+            "— simulated run: {} events, end {} —",
+            out.events_processed, out.end_time
+        );
+        for (i, d) in out.decisions.iter().enumerate() {
+            match d {
+                Some(d) => println!("  p{}: {d}", i + 1),
+                None => println!("  p{}: {}", i + 1, halt_text(out.halts[i])),
+            }
+        }
+        println!(
+            "  messages {} | cluster proposes {} | trace hash {:016x}",
+            out.counters.messages_sent, out.counters.cluster_proposes, out.trace_hash
+        );
+        summarize(out.agreement_holds(), out.deciders(), n);
+    }
+}
+
+fn halt_text(h: Option<Halt>) -> &'static str {
+    match h {
+        Some(Halt::Crashed) => "crashed",
+        Some(Halt::Stopped) => "stopped (undecided)",
+        None => "unknown",
+    }
+}
+
+fn summarize(agreement: bool, deciders: usize, n: usize) {
+    println!(
+        "\nagreement: {} | deciders: {deciders}/{n}",
+        if agreement { "holds" } else { "VIOLATED" }
+    );
+    if !agreement {
+        exit(1);
+    }
+}

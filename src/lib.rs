@@ -1,0 +1,62 @@
+//! # `one-for-all` — scalable consensus in a hybrid communication model
+//!
+//! A complete Rust reproduction of Raynal & Cao, *"One for All and All for
+//! One: Scalable Consensus in a Hybrid Communication Model"* (ICDCS 2019):
+//! randomized binary consensus for systems whose processes are partitioned
+//! into clusters — shared memory (with `compare&swap`) inside each
+//! cluster, asynchronous reliable messages between everyone.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`consensus`] | `ofa-core` | Algorithms 1–3, baselines, invariants |
+//! | [`topology`] | `ofa-topology` | partitions, predicate, m&m graphs |
+//! | [`sharedmem`] | `ofa-sharedmem` | registers, CAS consensus objects |
+//! | [`coins`] | `ofa-coins` | local/common/adversarial coins |
+//! | [`sim`] | `ofa-sim` | deterministic simulator + explorer |
+//! | [`runtime`] | `ofa-runtime` | real threads + channels runtime |
+//! | [`mm`] | `ofa-mm` | the m&m comparison model |
+//! | [`smr`] | `ofa-smr` | multivalued consensus, replicated KV |
+//! | [`metrics`] | `ofa-metrics` | counters, statistics, tables |
+//!
+//! # Sixty seconds to a decision
+//!
+//! ```
+//! use one_for_all::consensus::Algorithm;
+//! use one_for_all::sim::SimBuilder;
+//! use one_for_all::topology::Partition;
+//!
+//! // Figure 1 (right): {p1} {p2,p3,p4,p5} {p6,p7}.
+//! let outcome = SimBuilder::new(Partition::fig1_right(), Algorithm::CommonCoin)
+//!     .proposals_split(3) // p1..p3 propose 1, the rest 0
+//!     .seed(42)
+//!     .run();
+//! assert!(outcome.all_correct_decided);
+//! assert!(outcome.agreement_holds());
+//! println!("decided {:?} in <= {} rounds", outcome.decided_value, outcome.max_decision_round);
+//! ```
+//!
+//! See the `examples/` directory for the headline fault-tolerance
+//! scenario, a geo-replicated key-value store, the efficiency/scalability
+//! tradeoff sweep, and an annotated execution trace.
+
+#![warn(missing_docs)]
+
+pub use ofa_coins as coins;
+pub use ofa_core as consensus;
+pub use ofa_metrics as metrics;
+pub use ofa_mm as mm;
+pub use ofa_runtime as runtime;
+pub use ofa_sharedmem as sharedmem;
+pub use ofa_sim as sim;
+pub use ofa_smr as smr;
+pub use ofa_topology as topology;
+
+/// Most-used items in one import.
+pub mod prelude {
+    pub use ofa_core::{Algorithm, Bit, Decision, Halt, ProtocolConfig};
+    pub use ofa_runtime::RuntimeBuilder;
+    pub use ofa_sim::{CrashPlan, SimBuilder};
+    pub use ofa_topology::{ClusterId, Partition, ProcessId, ProcessSet};
+}

@@ -1,0 +1,105 @@
+//! Integration: randomized crash storms — safety always, liveness exactly
+//! when the §III-B predicate says so.
+
+use one_for_all::consensus::{Algorithm, InvariantChecker};
+use one_for_all::sim::{CrashPlan, SimBuilder};
+use one_for_all::topology::{predicate, Partition, ProcessId, ProcessSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+#[test]
+fn storm_of_random_at_start_crashes() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    for trial in 0..40u64 {
+        let n = rng.gen_range(3..=8);
+        let m = rng.gen_range(1..=n);
+        let partition = Partition::random(n, m, &mut rng);
+        let crash_count = rng.gen_range(0..n);
+        let mut crashed = ProcessSet::empty(n);
+        while crashed.len() < crash_count {
+            crashed.insert(ProcessId(rng.gen_range(0..n)));
+        }
+        let holds = predicate::guarantees_termination(&partition, &crashed);
+        let checker = Arc::new(InvariantChecker::new());
+        let out = SimBuilder::new(partition.clone(), Algorithm::CommonCoin)
+            .proposals_split(n / 2)
+            .crashes(CrashPlan::new().crash_set_at_start(&crashed))
+            .observer(checker.clone())
+            .max_rounds(if holds { 256 } else { 12 })
+            .seed(trial)
+            .run();
+        checker.assert_clean();
+        assert!(out.agreement_holds(), "trial {trial}: {partition}");
+        assert_eq!(
+            out.all_correct_decided, holds,
+            "trial {trial}: predicate {holds} but termination {} ({partition}, crashed {crashed})",
+            out.all_correct_decided
+        );
+    }
+}
+
+#[test]
+fn storm_of_mid_run_crashes_stays_safe() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for trial in 0..25u64 {
+        let n = rng.gen_range(4..=8);
+        let partition = Partition::even(n, rng.gen_range(1..=n / 2).max(1));
+        let mut plan = CrashPlan::new();
+        // Crash up to half the processes at random step indices (so
+        // mid-broadcast partial deliveries occur).
+        for i in 0..n / 2 {
+            if rng.gen_bool(0.7) {
+                plan = plan.crash_at_step(ProcessId(i), rng.gen_range(1..40));
+            }
+        }
+        let checker = Arc::new(InvariantChecker::new());
+        let out = SimBuilder::new(partition.clone(), Algorithm::LocalCoin)
+            .proposals_split(n / 2)
+            .crashes(plan)
+            .observer(checker.clone())
+            .max_rounds(64)
+            .seed(trial)
+            .run();
+        checker.assert_clean();
+        assert!(out.agreement_holds(), "trial {trial}");
+        // Liveness depends on which clusters survive — only safety is
+        // universal here; deciding processes all agree on a proposed value.
+        if let Some(v) = out.decided_value {
+            assert!(out.decided(v));
+        }
+    }
+}
+
+#[test]
+fn crash_at_round_boundaries() {
+    for round in 1..=3u64 {
+        let out = SimBuilder::new(Partition::fig1_right(), Algorithm::LocalCoin)
+            .proposals_split(3)
+            .crashes(
+                CrashPlan::new()
+                    .crash_at_round(ProcessId(0), round)
+                    .crash_at_round(ProcessId(6), round),
+            )
+            .seed(round)
+            .run();
+        assert!(out.agreement_holds());
+        assert!(out.all_correct_decided, "P[2] alone has a majority");
+    }
+}
+
+#[test]
+fn runtime_crash_storm_is_safe() {
+    use one_for_all::runtime::RuntimeBuilder;
+    for seed in 0..5u64 {
+        let out = RuntimeBuilder::new(Partition::fig1_right(), Algorithm::CommonCoin)
+            .proposals_split(4)
+            .crash_at_step(ProcessId(1), 5 + seed)
+            .crash_at_step(ProcessId(5), 11 + seed)
+            .crash_at_start(ProcessId(0))
+            .seed(seed)
+            .run();
+        assert!(out.agreement_holds(), "seed {seed}");
+        assert!(out.all_correct_decided, "seed {seed}: P[2] retains members");
+    }
+}

@@ -1,0 +1,131 @@
+//! Integration: the same protocol code satisfies consensus on both
+//! execution substrates (deterministic simulator and real threads).
+
+use one_for_all::consensus::{Algorithm, Bit, InvariantChecker};
+use one_for_all::runtime::RuntimeBuilder;
+use one_for_all::sim::SimBuilder;
+use one_for_all::topology::Partition;
+use std::sync::Arc;
+
+fn partitions() -> Vec<Partition> {
+    vec![
+        Partition::fig1_left(),
+        Partition::fig1_right(),
+        Partition::single_cluster(5),
+        Partition::singletons(5),
+        Partition::even(9, 3),
+    ]
+}
+
+#[test]
+fn simulator_satisfies_consensus_everywhere() {
+    for partition in partitions() {
+        for algorithm in Algorithm::ALL {
+            for seed in 0..3 {
+                let checker = Arc::new(InvariantChecker::new());
+                let n = partition.n();
+                let out = SimBuilder::new(partition.clone(), algorithm)
+                    .proposals_split(n / 2)
+                    .observer(checker.clone())
+                    .seed(seed)
+                    .run();
+                assert!(
+                    out.all_correct_decided,
+                    "{partition} {algorithm} seed {seed}"
+                );
+                assert!(out.agreement_holds());
+                checker.assert_clean();
+            }
+        }
+    }
+}
+
+#[test]
+fn runtime_satisfies_consensus_everywhere() {
+    for partition in partitions() {
+        for algorithm in Algorithm::ALL {
+            let checker = Arc::new(InvariantChecker::new());
+            let n = partition.n();
+            let out = RuntimeBuilder::new(partition.clone(), algorithm)
+                .proposals_split(n / 2)
+                .observer(checker.clone())
+                .seed(99)
+                .run();
+            assert!(out.all_correct_decided, "{partition} {algorithm}");
+            assert!(out.agreement_holds());
+            checker.assert_clean();
+        }
+    }
+}
+
+#[test]
+fn unanimous_proposals_decide_that_value_on_both_substrates() {
+    let partition = Partition::even(6, 2);
+    for v in Bit::ALL {
+        // Local coin: unanimity forces rec = {v} and a round-1 decision.
+        let sim = SimBuilder::new(partition.clone(), Algorithm::LocalCoin)
+            .proposals_all(v)
+            .seed(1)
+            .run();
+        assert_eq!(sim.decided_value, Some(v));
+        assert_eq!(sim.max_decision_round, 1, "unanimity decides in round 1");
+
+        // Common coin: the value is forced (validity) but the deciding
+        // round is geometric — it waits for a matching coin.
+        let cc = SimBuilder::new(partition.clone(), Algorithm::CommonCoin)
+            .proposals_all(v)
+            .seed(1)
+            .run();
+        assert_eq!(cc.decided_value, Some(v));
+
+        let rt = RuntimeBuilder::new(partition.clone(), Algorithm::LocalCoin)
+            .proposals_all(v)
+            .seed(1)
+            .run();
+        assert_eq!(rt.decided_value, Some(v));
+    }
+}
+
+#[test]
+fn message_counts_are_consistent_across_substrates() {
+    // Same partition, unanimous input, both substrates: one round, so the
+    // phase-message count is deterministic (n broadcasts of n messages per
+    // phase + decide broadcasts).
+    let partition = Partition::even(4, 2);
+    let sim = SimBuilder::new(partition.clone(), Algorithm::LocalCoin)
+        .proposals_all(Bit::One)
+        .seed(3)
+        .run();
+    let rt = RuntimeBuilder::new(partition, Algorithm::LocalCoin)
+        .proposals_all(Bit::One)
+        .seed(3)
+        .run();
+    // Unanimous input, local coin: everyone decides in round 1 — two
+    // phase broadcasts plus one decide broadcast per process,
+    // 3 * 4 * 4 = 48 messages, and 2 cluster proposes per process.
+    assert_eq!(sim.counters.messages_sent, 48);
+    assert_eq!(rt.counters.messages_sent, 48);
+    assert_eq!(sim.counters.cluster_proposes, 8);
+    assert_eq!(rt.counters.cluster_proposes, 8);
+}
+
+#[test]
+fn baselines_run_on_both_substrates() {
+    use one_for_all::consensus::ProtocolConfig;
+    let partition = Partition::singletons(5);
+    let sim = SimBuilder::new(partition.clone(), Algorithm::LocalCoin)
+        .config(ProtocolConfig::pure_message_passing().with_max_rounds(128))
+        .proposals_split(2)
+        .seed(4)
+        .run();
+    assert!(sim.all_correct_decided);
+    assert_eq!(sim.counters.cluster_proposes, 0, "baseline avoids memory");
+
+    let rt = RuntimeBuilder::new(partition, Algorithm::CommonCoin)
+        .config(ProtocolConfig::pure_message_passing().with_max_rounds(128))
+        .proposals_split(2)
+        .seed(4)
+        .run();
+    assert!(rt.all_correct_decided);
+    assert_eq!(rt.counters.cluster_proposes, 0);
+}

@@ -1,0 +1,157 @@
+//! Integration: multivalued consensus exercised directly (below the KV
+//! layer), including proposer attribution and crashed-proposer handling.
+
+use one_for_all::consensus::{
+    Algorithm, Bit, Decision, Env, Halt, Mailbox, Payload, ProtocolConfig,
+};
+use one_for_all::sim::{CrashPlan, ProcessBody, SimBuilder};
+use one_for_all::smr::multivalued_propose;
+use one_for_all::topology::{Partition, ProcessId};
+use collector::Collector;
+use std::sync::Arc;
+
+/// A minimal shared result collector (std Mutex; no extra test deps).
+mod collector {
+    use std::sync::Mutex;
+
+    #[derive(Debug, Default)]
+    pub struct Collector<T> {
+        slots: Mutex<Vec<Option<T>>>,
+    }
+
+    impl<T: Clone> Collector<T> {
+        pub fn with_len(n: usize) -> Self {
+            Collector {
+                slots: Mutex::new(vec![None; n]),
+            }
+        }
+        pub fn put(&self, i: usize, value: T) {
+            self.slots.lock().unwrap()[i] = Some(value);
+        }
+        pub fn all(&self) -> Vec<Option<T>> {
+            self.slots.lock().unwrap().clone()
+        }
+    }
+}
+
+/// Runs exactly one multivalued instance per process, proposing
+/// `"from-pI"`, and records each process's decision.
+#[derive(Debug)]
+struct OneShotMv {
+    algorithm: Algorithm,
+    decided: Arc<Collector<(Payload, ProcessId, u64)>>,
+}
+
+impl ProcessBody for OneShotMv {
+    fn run(
+        &self,
+        env: &mut dyn Env,
+        _proposal: Bit,
+        cfg: &ProtocolConfig,
+    ) -> Result<Decision, Halt> {
+        let me = env.me();
+        let mut mailbox = Mailbox::new();
+        let mine = Payload::from_bytes(format!("from-p{}", me.index() + 1).as_bytes())
+            .expect("fits payload");
+        let mv = multivalued_propose(env, &mut mailbox, 0, mine, self.algorithm, cfg)?;
+        self.decided
+            .put(me.index(), (mv.payload, mv.proposer, mv.stages));
+        Ok(Decision {
+            value: Bit::Zero,
+            round: mv.stages,
+            relayed: false,
+        })
+    }
+}
+
+fn run_mv(
+    partition: Partition,
+    algorithm: Algorithm,
+    crashes: CrashPlan,
+    seed: u64,
+) -> Vec<Option<(Payload, ProcessId, u64)>> {
+    let collector = Arc::new(Collector::with_len(partition.n()));
+    let body = Arc::new(OneShotMv {
+        algorithm,
+        decided: Arc::clone(&collector),
+    });
+    let out = SimBuilder::new(partition, algorithm)
+        .custom_body(body)
+        .crashes(crashes)
+        .seed(seed)
+        .run();
+    assert!(out.agreement_holds());
+    collector.all()
+}
+
+#[test]
+fn all_processes_decide_the_same_proposal() {
+    for algorithm in Algorithm::ALL {
+        for seed in 0..4 {
+            let decided = run_mv(
+                Partition::fig1_left(),
+                algorithm,
+                CrashPlan::new(),
+                seed,
+            );
+            let first = decided[0].clone().expect("p1 decided");
+            for (i, d) in decided.iter().enumerate() {
+                let d = d.clone().unwrap_or_else(|| panic!("p{} undecided", i + 1));
+                assert_eq!(d.0, first.0, "payload agreement");
+                assert_eq!(d.1, first.1, "proposer agreement");
+            }
+            // Validity: the decided payload is really that proposer's.
+            let expect = format!("from-p{}", first.1.index() + 1);
+            assert_eq!(first.0.as_bytes(), expect.as_bytes());
+        }
+    }
+}
+
+#[test]
+fn crashed_proposers_are_skipped() {
+    // Crash p1 and p2 at start (fig1-right leaves the majority cluster
+    // P[2] = {p2..p5} with three live members — predicate holds).
+    let crashes = CrashPlan::new()
+        .crash_at_start(ProcessId(0))
+        .crash_at_start(ProcessId(1));
+    let decided = run_mv(
+        Partition::fig1_right(),
+        Algorithm::CommonCoin,
+        crashes,
+        3,
+    );
+    let survivors: Vec<(Payload, ProcessId, u64)> = decided
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| ![0usize, 1].contains(i))
+        .map(|(i, d)| d.clone().unwrap_or_else(|| panic!("p{} undecided", i + 1)))
+        .collect();
+    let first = &survivors[0];
+    for d in &survivors {
+        assert_eq!(d.0, first.0);
+    }
+    // The adopted proposer must be a live process — crashed-at-start
+    // processes never disseminated a proposal.
+    assert!(
+        first.1.index() >= 2,
+        "proposer {} crashed at start",
+        first.1
+    );
+}
+
+#[test]
+fn stage_counts_are_small_when_everyone_is_alive() {
+    let decided = run_mv(
+        Partition::even(5, 2),
+        Algorithm::CommonCoin,
+        CrashPlan::new(),
+        11,
+    );
+    for d in decided.iter().flatten() {
+        assert!(
+            d.2 <= 5,
+            "an early stage should adopt a live proposer (stages = {})",
+            d.2
+        );
+    }
+}

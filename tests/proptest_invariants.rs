@@ -1,0 +1,146 @@
+//! Property-based tests over the whole stack.
+
+use one_for_all::consensus::{Algorithm, Bit, InvariantChecker, Payload};
+use one_for_all::sim::{CrashPlan, SimBuilder};
+use one_for_all::topology::{predicate, Partition, ProcessId, ProcessSet};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Strategy: a valid partition of up to 8 processes.
+fn partition_strategy() -> impl Strategy<Value = Partition> {
+    (1usize..=8)
+        .prop_flat_map(|n| (Just(n), proptest::collection::vec(0usize..n.min(4), n)))
+        .prop_map(|(n, raw)| {
+            // Compact cluster ids into a contiguous range.
+            let mut ids: Vec<usize> = raw.clone();
+            let distinct: Vec<usize> = {
+                let mut seen = Vec::new();
+                for &x in &ids {
+                    if !seen.contains(&x) {
+                        seen.push(x);
+                    }
+                }
+                seen
+            };
+            for x in &mut ids {
+                *x = distinct.iter().position(|d| d == x).unwrap();
+            }
+            let _ = n;
+            Partition::from_assignment(&ids).expect("compacted assignment is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Consensus properties hold for random partitions, proposal vectors,
+    /// and seeds (no crashes).
+    #[test]
+    fn consensus_holds_on_random_systems(
+        partition in partition_strategy(),
+        proposal_bits in proptest::collection::vec(any::<bool>(), 8),
+        seed in 0u64..1_000,
+        common in any::<bool>(),
+    ) {
+        let n = partition.n();
+        let proposals: Vec<Bit> = (0..n).map(|i| Bit::from(proposal_bits[i])).collect();
+        let algorithm = if common { Algorithm::CommonCoin } else { Algorithm::LocalCoin };
+        let checker = Arc::new(InvariantChecker::new());
+        let out = SimBuilder::new(partition, algorithm)
+            .proposals(proposals.clone())
+            .observer(checker.clone())
+            .seed(seed)
+            .run();
+        prop_assert!(out.all_correct_decided);
+        prop_assert!(out.agreement_holds());
+        let v = out.decided_value.unwrap();
+        prop_assert!(proposals.contains(&v), "validity");
+        checker.assert_clean();
+    }
+
+    /// With random at-start crashes, safety always holds and termination
+    /// equals the §III-B predicate.
+    #[test]
+    fn predicate_matches_termination(
+        partition in partition_strategy(),
+        crash_bits in proptest::collection::vec(any::<bool>(), 8),
+        seed in 0u64..1_000,
+    ) {
+        let n = partition.n();
+        let mut crashed = ProcessSet::empty(n);
+        for i in 0..n {
+            if crash_bits[i] {
+                crashed.insert(ProcessId(i));
+            }
+        }
+        if crashed.len() == n {
+            crashed.remove(ProcessId(0)); // keep one process alive
+        }
+        let holds = predicate::guarantees_termination(&partition, &crashed);
+        let out = SimBuilder::new(partition, Algorithm::CommonCoin)
+            .proposals_split(n / 2)
+            .crashes(CrashPlan::new().crash_set_at_start(&crashed))
+            .max_rounds(if holds { 256 } else { 10 })
+            .seed(seed)
+            .run();
+        prop_assert!(out.agreement_holds());
+        prop_assert_eq!(out.all_correct_decided, holds);
+    }
+
+    /// `ProcessSet` behaves like `BTreeSet<usize>`.
+    #[test]
+    fn process_set_is_a_set(
+        ops in proptest::collection::vec((0usize..64, any::<bool>()), 0..60),
+    ) {
+        let mut subject = ProcessSet::empty(64);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for (i, insert) in ops {
+            if insert {
+                prop_assert_eq!(subject.insert(ProcessId(i)), model.insert(i));
+            } else {
+                prop_assert_eq!(subject.remove(ProcessId(i)), model.remove(&i));
+            }
+        }
+        prop_assert_eq!(subject.len(), model.len());
+        let got: Vec<usize> = subject.iter().map(|p| p.index()).collect();
+        let want: Vec<usize> = model.iter().copied().collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(subject.is_majority_of(64), model.len() * 2 > 64);
+    }
+
+    /// The fault-tolerance frontier's witness crash set always satisfies
+    /// the predicate and has exactly the advertised size.
+    #[test]
+    fn frontier_witness_is_consistent(partition in partition_strategy()) {
+        let f = predicate::frontier(&partition);
+        let witness = predicate::witness_crash_set(&partition);
+        prop_assert_eq!(witness.len(), f.max_tolerated_crashes);
+        prop_assert!(predicate::guarantees_termination(&partition, &witness));
+        prop_assert!(f.max_tolerated_crashes >= f.message_passing_bound);
+    }
+
+    /// Payload round-trips arbitrary byte strings up to the limit.
+    #[test]
+    fn payload_round_trips(data in proptest::collection::vec(any::<u8>(), 0..=31)) {
+        let p = Payload::from_bytes(&data).expect("within limit");
+        prop_assert_eq!(p.as_bytes(), &data[..]);
+        prop_assert_eq!(p.len(), data.len());
+    }
+
+    /// The tolerance table's two columns are monotone and consistent.
+    #[test]
+    fn tolerance_table_is_monotone(partition in partition_strategy()) {
+        let rows = predicate::tolerance_table(&partition);
+        prop_assert_eq!(rows.len(), partition.n());
+        let mut prev_all = true;
+        let mut prev_some = true;
+        for row in &rows {
+            prop_assert!(!row.all_patterns || row.some_pattern);
+            prop_assert!(prev_all || !row.all_patterns);
+            prop_assert!(prev_some || !row.some_pattern);
+            prev_all = row.all_patterns;
+            prev_some = row.some_pattern;
+        }
+    }
+}
