@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e10_fig2");
     g.sample_size(10);
-    g.bench_function("table", |b| b.iter(|| ofa_bench::experiments::e10::run()));
+    g.bench_function("table", |b| b.iter(ofa_bench::experiments::e10::run));
     g.finish();
 }
 

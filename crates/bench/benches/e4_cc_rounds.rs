@@ -8,7 +8,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e4_cc_rounds");
     g.sample_size(10);
-    g.bench_function("table", |b| b.iter(|| ofa_bench::experiments::e4::run(6, &[4, 8, 16])));
+    g.bench_function("table", |b| {
+        b.iter(|| ofa_bench::experiments::e4::run(6, &[4, 8, 16]))
+    });
     g.finish();
 }
 

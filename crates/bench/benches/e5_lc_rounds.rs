@@ -8,7 +8,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e5_lc_rounds");
     g.sample_size(10);
-    g.bench_function("table", |b| b.iter(|| ofa_bench::experiments::e5::run(6, &[4, 6])));
+    g.bench_function("table", |b| {
+        b.iter(|| ofa_bench::experiments::e5::run(6, &[4, 6]))
+    });
     g.finish();
 }
 

@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e6_mm_compare");
     g.sample_size(10);
-    g.bench_function("table", |b| b.iter(|| ofa_bench::experiments::e6::run()));
+    g.bench_function("table", |b| b.iter(ofa_bench::experiments::e6::run));
     g.finish();
 }
 

@@ -1,23 +1,49 @@
 //! Regenerates every table of EXPERIMENTS.md.
 //!
 //! ```text
-//! cargo run --release -p ofa-bench --bin experiments            # all
-//! cargo run --release -p ofa-bench --bin experiments e4 e7     # subset
-//! cargo run --release -p ofa-bench --bin experiments --csv e6  # CSV out
+//! cargo run --release -p ofa-bench --bin experiments             # all
+//! cargo run --release -p ofa-bench --bin experiments e4 e7      # subset
+//! cargo run --release -p ofa-bench --bin experiments --csv e6   # CSV out
+//! cargo run --release -p ofa-bench --bin experiments e1 --quick # 1 trial/cell
 //! ```
+//!
+//! `--quick` runs each requested experiment with a single trial per
+//! cell — the CI bench-smoke uses it to prove the harness end-to-end in
+//! seconds.
+
+use ofa_bench::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
     let markdown = args.iter().any(|a| a == "--markdown");
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| a.starts_with("--") && !matches!(a.as_str(), "--csv" | "--markdown" | "--quick"))
+    {
+        eprintln!("unknown flag: {unknown} (expected --csv, --markdown, --quick)");
+        std::process::exit(2);
+    }
     let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
     let tables = if ids.is_empty() {
-        ofa_bench::run_all()
+        ofa_bench::ALL_IDS
+            .iter()
+            .map(|id| {
+                let t = ofa_bench::run_one_scaled(id, scale)
+                    .expect("built-in experiment ids are valid");
+                (*id, t)
+            })
+            .collect()
     } else {
         let mut out = Vec::new();
         for id in ids {
-            match ofa_bench::run_one(id) {
+            match ofa_bench::run_one_scaled(id, scale) {
                 Some(t) => out.push(("", t)),
                 None => {
                     eprintln!("unknown experiment id: {id} (expected e1..e10)");

@@ -21,20 +21,30 @@ pub const PAPER_DOMAINS: [&str; 5] = [
 /// Runs E10; returns whether all domains matched and the table.
 pub fn run() -> (bool, Table) {
     let g = MmGraph::fig2();
+    // The verbatim check below must cover every vertex: a size mismatch
+    // would silently shrink the zip and vacuously report all_match.
+    assert_eq!(PAPER_DOMAINS.len(), g.n(), "one expected domain per vertex");
     let mut table = Table::new(
         "E10: Figure 2 m&m domains recomputed from the graph",
-        &["memory", "computed S_i", "paper S_i", "match", "degree a_i", "inv/phase"],
+        &[
+            "memory",
+            "computed S_i",
+            "paper S_i",
+            "match",
+            "degree a_i",
+            "inv/phase",
+        ],
     );
     let mut all_match = true;
-    for i in 0..g.n() {
+    for (i, paper_domain) in PAPER_DOMAINS.iter().enumerate() {
         let p = ProcessId(i);
         let computed = g.domain(p).to_string();
-        let matches = computed == PAPER_DOMAINS[i];
+        let matches = computed == *paper_domain;
         all_match &= matches;
         table.row([
             format!("S{}", i + 1),
             computed,
-            PAPER_DOMAINS[i].to_string(),
+            paper_domain.to_string(),
             if matches { "yes" } else { "NO" }.to_string(),
             g.degree(p).to_string(),
             g.invocations_per_phase(p).to_string(),

@@ -42,7 +42,7 @@ pub fn run(trials: u64, sizes: &[usize]) -> (Vec<f64>, Table) {
         let s = Summary::of_ints(
             rounds
                 .iter()
-                .flat_map(|(v, c)| std::iter::repeat(v).take(c as usize)),
+                .flat_map(|(v, c)| std::iter::repeat_n(v, c as usize)),
         );
         means.push(s.mean);
         table.row([

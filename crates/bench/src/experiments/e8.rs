@@ -17,7 +17,10 @@ pub fn shapes() -> Vec<(String, Partition)> {
     vec![
         ("fig1-left {3,2,2}".into(), Partition::fig1_left()),
         ("fig1-right {1,4,2}".into(), Partition::fig1_right()),
-        ("{6,1,1,1,1} n=10".into(), Partition::from_sizes(&[6, 1, 1, 1, 1]).unwrap()),
+        (
+            "{6,1,1,1,1} n=10".into(),
+            Partition::from_sizes(&[6, 1, 1, 1, 1]).unwrap(),
+        ),
         ("even(8,4)".into(), Partition::even(8, 4)),
         ("singletons(7)".into(), Partition::singletons(7)),
         ("single(9)".into(), Partition::single_cluster(9)),

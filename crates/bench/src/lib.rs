@@ -37,37 +37,56 @@ pub mod experiments {
 
 use ofa_metrics::Table;
 
+/// Every experiment id, in presentation order. The single source of
+/// truth for "all experiments" — `run_all`, the `experiments` binary's
+/// `--quick` path, and CI smoke loops all iterate this.
+pub const ALL_IDS: [&str; 10] = ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"];
+
 /// Runs every experiment at its default scale, returning `(id, table)`
 /// pairs in order.
 pub fn run_all() -> Vec<(&'static str, Table)> {
-    use experiments::*;
-    vec![
-        ("E1", e1::run(e1::TRIALS)),
-        ("E2", e2::run(e2::TRIALS)),
-        ("E3", e3::run(e3::TRIALS).1),
-        ("E4", e4::run(e4::TRIALS, &e4::SIZES).1),
-        ("E5", e5::run(e5::TRIALS, &e5::SIZES).2),
-        ("E6", e6::run()),
-        ("E7", e7::run(e7::TRIALS).1),
-        ("E8", e8::run().1),
-        ("E9", e9::run(e9::TRIALS).1),
-        ("E10", e10::run().1),
-    ]
+    ALL_IDS
+        .iter()
+        .map(|id| {
+            let t = run_one_scaled(id, Scale::Full).expect("ALL_IDS entries are valid");
+            (*id, t)
+        })
+        .collect()
 }
 
 /// Runs one experiment by id (case-insensitive), at default scale.
 pub fn run_one(id: &str) -> Option<Table> {
+    run_one_scaled(id, Scale::Full)
+}
+
+/// How much work [`run_one_scaled`] does per experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The default trial counts used for EXPERIMENTS.md tables.
+    Full,
+    /// A single trial per cell — seconds, not minutes; used by the CI
+    /// bench-smoke job (`experiments <id> --quick`) to prove the harness
+    /// end-to-end without paying for statistical quality.
+    Quick,
+}
+
+/// Runs one experiment by id (case-insensitive) at the given [`Scale`].
+pub fn run_one_scaled(id: &str, scale: Scale) -> Option<Table> {
     use experiments::*;
+    let t = |full: u64| match scale {
+        Scale::Full => full,
+        Scale::Quick => 1,
+    };
     Some(match id.to_ascii_lowercase().as_str() {
-        "e1" => e1::run(e1::TRIALS),
-        "e2" => e2::run(e2::TRIALS),
-        "e3" => e3::run(e3::TRIALS).1,
-        "e4" => e4::run(e4::TRIALS, &e4::SIZES).1,
-        "e5" => e5::run(e5::TRIALS, &e5::SIZES).2,
+        "e1" => e1::run(t(e1::TRIALS)),
+        "e2" => e2::run(t(e2::TRIALS)),
+        "e3" => e3::run(t(e3::TRIALS)).1,
+        "e4" => e4::run(t(e4::TRIALS), &e4::SIZES).1,
+        "e5" => e5::run(t(e5::TRIALS), &e5::SIZES).2,
         "e6" => e6::run(),
-        "e7" => e7::run(e7::TRIALS).1,
+        "e7" => e7::run(t(e7::TRIALS)).1,
         "e8" => e8::run().1,
-        "e9" => e9::run(e9::TRIALS).1,
+        "e9" => e9::run(t(e9::TRIALS)).1,
         "e10" => e10::run().1,
         _ => return None,
     })

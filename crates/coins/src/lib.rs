@@ -285,7 +285,10 @@ mod tests {
         let mut b = SeededLocalCoin::for_process(5, ProcessId(1));
         let sa: Vec<bool> = (0..64).map(|_| a.flip()).collect();
         let sb: Vec<bool> = (0..64).map(|_| b.flip()).collect();
-        assert_ne!(sa, sb, "streams should differ with overwhelming probability");
+        assert_ne!(
+            sa, sb,
+            "streams should differ with overwhelming probability"
+        );
     }
 
     #[test]

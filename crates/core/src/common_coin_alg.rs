@@ -99,9 +99,7 @@ pub fn common_coin_hybrid_instance(
 
         // (6) s_i <- common_coin(); distinct instances read disjoint
         // positions of the common bit sequence.
-        let coin_index = instance
-            .wrapping_mul(0x1_0000_0000)
-            .wrapping_add(round);
+        let coin_index = instance.wrapping_mul(0x1_0000_0000).wrapping_add(round);
         let coin = env.common_coin(coin_index)?;
         env.observe(ObsEvent::Coin {
             round,

@@ -1,6 +1,7 @@
 //! Protocol configuration and decision records.
 
 use crate::Bit;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Switches selecting between the paper's algorithm, its pure
@@ -21,7 +22,7 @@ use std::fmt;
 /// assert!(cfg.cluster_preagree && cfg.amplify);
 /// assert_eq!(cfg.max_rounds, Some(64));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProtocolConfig {
     /// Run the intra-cluster consensus object before each exchange
     /// (lines 4/8 of Algorithm 2, line 4 of Algorithm 3).

@@ -9,9 +9,7 @@
 //! Algorithm 2; comments cite the paper's line numbers.
 
 use crate::pattern::{msg_exchange, Exchange, RecClass};
-use crate::{
-    Bit, Decision, Env, Est, Halt, Mailbox, MsgKind, ObsEvent, Phase, ProtocolConfig,
-};
+use crate::{Bit, Decision, Env, Est, Halt, Mailbox, MsgKind, ObsEvent, Phase, ProtocolConfig};
 use ofa_sharedmem::{CodableValue, Slot};
 
 /// Runs `propose(v_i)` of Algorithm 2 on behalf of the calling process
@@ -278,8 +276,9 @@ mod tests {
         let mut mb = Mailbox::new();
         for instance in 0..4u64 {
             let v = Bit::from(instance % 2 == 0);
-            let d = ben_or_hybrid_instance(&mut env, &mut mb, instance, v, &ProtocolConfig::paper())
-                .unwrap();
+            let d =
+                ben_or_hybrid_instance(&mut env, &mut mb, instance, v, &ProtocolConfig::paper())
+                    .unwrap();
             assert_eq!(d.value, v, "instance {instance}");
             assert_eq!(d.round, 1);
         }

@@ -107,10 +107,7 @@ impl Mailbox {
         loop {
             let msg = env.recv()?;
             match msg.kind {
-                MsgKind::Decide {
-                    instance: i,
-                    value,
-                } => {
+                MsgKind::Decide { instance: i, value } => {
                     // Remember every decide; only the current instance's
                     // short-circuits this call.
                     self.decides.entry(i).or_insert(value);
@@ -254,11 +251,7 @@ mod tests {
         fn recv(&mut self) -> Result<Msg, Halt> {
             self.incoming.pop_front().ok_or(Halt::Stopped)
         }
-        fn cluster_propose(
-            &mut self,
-            _slot: ofa_sharedmem::Slot,
-            enc: u64,
-        ) -> Result<u64, Halt> {
+        fn cluster_propose(&mut self, _slot: ofa_sharedmem::Slot, enc: u64) -> Result<u64, Halt> {
             Ok(enc)
         }
         fn local_coin(&mut self) -> Result<Bit, Halt> {
@@ -392,10 +385,7 @@ mod tests {
     fn halt_propagates() {
         let mut env = Script::new(vec![]);
         let mut mb = Mailbox::new();
-        assert_eq!(
-            mb.next_for(&mut env, 0, 1, Phase::One),
-            Err(Halt::Stopped)
-        );
+        assert_eq!(mb.next_for(&mut env, 0, 1, Phase::One), Err(Halt::Stopped));
     }
 
     fn app_msg(from: usize, instance: u64, seq: u64, text: &[u8]) -> Msg {

@@ -191,7 +191,10 @@ impl Observer for InvariantChecker {
                     })
                     .collect();
                 st.violations.extend(clashes);
-                st.recs.entry((instance, round)).or_default().push((who, kind));
+                st.recs
+                    .entry((instance, round))
+                    .or_default()
+                    .push((who, kind));
             }
             ObsEvent::Deciding {
                 instance,

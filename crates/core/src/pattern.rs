@@ -70,12 +70,9 @@ impl Supporters {
     /// Algorithm 2). At most one value can qualify because two majorities
     /// intersect.
     pub fn majority_value(&self) -> Option<Bit> {
-        for b in Bit::ALL {
-            if self.of(Some(b)).is_majority_of(self.n) {
-                return Some(b);
-            }
-        }
-        None
+        Bit::ALL
+            .into_iter()
+            .find(|&b| self.of(Some(b)).is_majority_of(self.n))
     }
 
     /// Which estimate values have a non-empty supporter set — the paper's
@@ -151,6 +148,7 @@ pub enum Exchange {
 /// # Errors
 ///
 /// Propagates `Halt` from the environment (crash or stop).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's msg_exchange(r, ph, est) plus explicit wiring
 pub fn msg_exchange(
     env: &mut dyn Env,
     mailbox: &mut Mailbox,

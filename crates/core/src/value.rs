@@ -110,7 +110,7 @@ mod tests {
     #[test]
     fn conversions_round_trip() {
         assert_eq!(Bit::from(false), Bit::Zero);
-        assert_eq!(bool::from(Bit::One), true);
+        assert!(bool::from(Bit::One));
         assert_eq!(Bit::Zero.flip(), Bit::One);
         assert_eq!(Bit::One.flip().flip(), Bit::One);
     }

@@ -173,11 +173,7 @@ impl Histogram {
         if self.count == 0 {
             return 0.0;
         }
-        let below: u64 = self
-            .buckets
-            .range(..=value)
-            .map(|(_, c)| *c)
-            .sum();
+        let below: u64 = self.buckets.range(..=value).map(|(_, c)| *c).sum();
         below as f64 / self.count as f64
     }
 

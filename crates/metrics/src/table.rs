@@ -210,10 +210,7 @@ impl Table {
         let mut out = String::new();
         out.push_str(&format!("**{}**\n\n", self.title));
         out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.columns.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.columns.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }

@@ -114,7 +114,10 @@ impl MmMemories {
 
     /// Number of memories that materialized at least one consensus object.
     pub fn touched_memories(&self) -> usize {
-        self.memories.iter().filter(|m| m.object_count() > 0).count()
+        self.memories
+            .iter()
+            .filter(|m| m.object_count() > 0)
+            .count()
     }
 }
 
@@ -131,7 +134,10 @@ mod tests {
         }));
         assert!(result.is_err(), "out-of-domain access must panic");
         // p2 may.
-        assert_eq!(mems.propose(ProcessId(1), ProcessId(0), Slot::new(1, 1), 3), 3);
+        assert_eq!(
+            mems.propose(ProcessId(1), ProcessId(0), Slot::new(1, 1), 3),
+            3
+        );
     }
 
     #[test]

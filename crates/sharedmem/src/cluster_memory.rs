@@ -221,7 +221,11 @@ impl MemoryBank {
     }
 
     /// The memory of the cluster process `i` belongs to.
-    pub fn memory_of(&self, partition: &Partition, i: ofa_topology::ProcessId) -> &Arc<ClusterMemory> {
+    pub fn memory_of(
+        &self,
+        partition: &Partition,
+        i: ofa_topology::ProcessId,
+    ) -> &Arc<ClusterMemory> {
         self.memory(partition.cluster_of(i))
     }
 
@@ -288,7 +292,10 @@ mod tests {
                 })
                 .collect();
             let got: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-            assert!(got.windows(2).all(|w| w[0] == w[1]), "round {round} disagreed");
+            assert!(
+                got.windows(2).all(|w| w[0] == w[1]),
+                "round {round} disagreed"
+            );
             assert!(got[0] < 6);
         }
     }

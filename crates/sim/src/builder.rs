@@ -335,7 +335,10 @@ mod tests {
             .seed(1)
             .run();
         assert!(out.all_correct_decided);
-        assert!(out.decided(Bit::One), "validity: unanimous input decides it");
+        assert!(
+            out.decided(Bit::One),
+            "validity: unanimous input decides it"
+        );
         assert_eq!(out.deciders(), 4);
         assert_eq!(out.max_decision_round, 1, "unanimous input: one round");
     }

@@ -14,7 +14,9 @@
 //! while still exercising the real concurrent data structures
 //! (`ofa-sharedmem` consensus objects).
 
-use crate::{CostModel, CrashPlan, CrashTrigger, DelayModel, TraceEvent, TraceRecorder, VirtualTime};
+use crate::{
+    CostModel, CrashPlan, CrashTrigger, DelayModel, TraceEvent, TraceRecorder, VirtualTime,
+};
 use ofa_coins::{CommonCoin, LocalCoin, SeededLocalCoin};
 use ofa_core::{
     Algorithm, Bit, Decision, Env, Halt, Msg, MsgKind, ObsEvent, Observer, ProtocolConfig,
@@ -242,7 +244,11 @@ impl Env for SimEnv {
         self.step()?;
         self.clock += self.shared.costs.send_cost;
         self.counters().inc_messages_sent(1);
-        self.trace(TraceEvent::Send { who: self.me, to, msg });
+        self.trace(TraceEvent::Send {
+            who: self.me,
+            to,
+            msg,
+        });
         self.shared.outbox.lock().push(OutMsg {
             from: self.me,
             to,
@@ -281,7 +287,10 @@ impl Env for SimEnv {
     fn cluster_propose(&mut self, slot: Slot, enc: u64) -> Result<u64, Halt> {
         self.step()?;
         self.clock += self.shared.costs.sm_op_cost;
-        let mem = self.shared.memory.memory_of(&self.shared.partition, self.me);
+        let mem = self
+            .shared
+            .memory
+            .memory_of(&self.shared.partition, self.me);
         let decided = mem.propose_raw(slot, enc);
         self.counters().inc_cluster_proposes(1);
         self.trace(TraceEvent::ClusterPropose {
@@ -540,14 +549,10 @@ pub(crate) fn conduct<S: Scheduler>(spec: RunSpec, scheduler: &mut S) -> RawOutc
                 if seats[i].finished.is_some() || shared.crashed[i].load(Ordering::SeqCst) {
                     continue; // dropped on the floor
                 }
-                shared
-                    .trace
-                    .lock()
-                    .record(VirtualTime::from_ticks(at), TraceEvent::Deliver {
-                        who: to,
-                        from,
-                        msg,
-                    });
+                shared.trace.lock().record(
+                    VirtualTime::from_ticks(at),
+                    TraceEvent::Deliver { who: to, from, msg },
+                );
                 shared.queues[i].lock().push_back(Msg { from, kind: msg });
                 shared.wake_time[i].fetch_max(at, Ordering::SeqCst);
                 run_burst(&mut seats, &shared, i);

@@ -64,7 +64,12 @@ impl Scheduler for ChoiceScheduler {
             return None;
         }
         let k = self.pending.len();
-        let choice = self.script.get(self.cursor).copied().unwrap_or(0).min(k - 1);
+        let choice = self
+            .script
+            .get(self.cursor)
+            .copied()
+            .unwrap_or(0)
+            .min(k - 1);
         self.cursor += 1;
         self.log.push((choice, k));
         self.clock += 1;
@@ -238,8 +243,7 @@ impl Explorer {
                 let (chosen, branching) = log[i];
                 debug_assert_eq!(chosen, 0, "beyond the prefix all choices default to 0");
                 for alt in (1..branching).rev() {
-                    let mut sibling: Vec<usize> =
-                        log[..i].iter().map(|&(c, _)| c).collect();
+                    let mut sibling: Vec<usize> = log[..i].iter().map(|&(c, _)| c).collect();
                     sibling.push(alt);
                     stack.push(sibling);
                 }
@@ -299,7 +303,11 @@ impl ExploreReport {
         for v in &r.decided_values {
             self.values_decided[v.as_bool() as usize] = true;
         }
-        for v in r.violations.iter().take(10 - self.sample_violations.len().min(10)) {
+        for v in r
+            .violations
+            .iter()
+            .take(10 - self.sample_violations.len().min(10))
+        {
             if self.sample_violations.len() < 10 {
                 self.sample_violations.push(v.clone());
             }
@@ -320,14 +328,11 @@ mod tests {
 
     #[test]
     fn tiny_unanimous_system_is_safe_on_all_schedules() {
-        let report = Explorer::new(
-            Partition::from_sizes(&[2]).unwrap(),
-            Algorithm::CommonCoin,
-        )
-        .proposals(vec![Bit::One, Bit::One])
-        .max_rounds(1)
-        .max_schedules(60_000)
-        .run();
+        let report = Explorer::new(Partition::from_sizes(&[2]).unwrap(), Algorithm::CommonCoin)
+            .proposals(vec![Bit::One, Bit::One])
+            .max_rounds(1)
+            .max_schedules(60_000)
+            .run();
         assert!(report.is_safe());
         assert!(report.schedules_run >= 1);
         assert!(report.values_decided[1]);
@@ -381,8 +386,7 @@ mod tests {
     fn at_time_crash_rejected() {
         let _ = Explorer::new(Partition::from_sizes(&[2]).unwrap(), Algorithm::LocalCoin)
             .crashes(
-                CrashPlan::new()
-                    .crash_at_time(ProcessId(0), crate::VirtualTime::from_ticks(5)),
+                CrashPlan::new().crash_at_time(ProcessId(0), crate::VirtualTime::from_ticks(5)),
             )
             .max_schedules(10)
             .run();
@@ -395,4 +399,3 @@ mod tests {
         assert_eq!(format!("{t:?}"), "AtStep(0)");
     }
 }
-

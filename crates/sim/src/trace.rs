@@ -242,13 +242,7 @@ fn encode_words(e: &TraceEvent) -> Vec<u64> {
             phase,
             proposed,
             decided,
-        } => vec![
-            who.index() as u64,
-            round,
-            phase as u64,
-            proposed,
-            decided,
-        ],
+        } => vec![who.index() as u64, round, phase as u64, proposed, decided],
         TraceEvent::RoundStart { who, round } => vec![who.index() as u64, round],
         TraceEvent::Coin { who, common, value } => {
             vec![who.index() as u64, common as u64, value as u64]

@@ -100,9 +100,7 @@ pub fn multivalued_propose(
         let vote = Bit::from(have.contains_key(&k));
         let instance = base + stage;
         let decision = match algorithm {
-            Algorithm::LocalCoin => {
-                ben_or_hybrid_instance(env, mailbox, instance, vote, cfg)?
-            }
+            Algorithm::LocalCoin => ben_or_hybrid_instance(env, mailbox, instance, vote, cfg)?,
             Algorithm::CommonCoin => {
                 common_coin_hybrid_instance(env, mailbox, instance, vote, cfg)?
             }
@@ -144,14 +142,14 @@ fn absorb_apps(
             continue;
         }
         let proposer = ProcessId(app.seq as usize);
-        if !have.contains_key(&proposer) {
+        if let std::collections::hash_map::Entry::Vacant(slot) = have.entry(proposer) {
             // Relay before recording: the eager-relay invariant.
             env.broadcast(MsgKind::App {
                 instance: app.instance,
                 seq: app.seq,
                 payload: app.payload,
             })?;
-            have.insert(proposer, app.payload);
+            slot.insert(app.payload);
         }
     }
     Ok(())
@@ -169,6 +167,6 @@ mod tests {
 
     #[test]
     fn stride_leaves_room_for_a_million_stages() {
-        assert!(INSTANCE_STRIDE >= 1 << 20);
+        const { assert!(INSTANCE_STRIDE >= 1 << 20) }
     }
 }

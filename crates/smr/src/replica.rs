@@ -103,14 +103,7 @@ impl ProcessBody for ReplicaGroup {
                 payload: decided,
                 proposer,
                 stages: used,
-            } = multivalued_propose(
-                env,
-                &mut mailbox,
-                slot as u64,
-                payload,
-                self.algorithm,
-                cfg,
-            )?;
+            } = multivalued_propose(env, &mut mailbox, slot as u64, payload, self.algorithm, cfg)?;
             let decided_cmd =
                 Command::decode(&decided).expect("decided payload is a valid command");
             state.apply(&decided_cmd);
@@ -193,7 +186,9 @@ mod tests {
         let first = reports[0].as_ref().expect("p1 completed");
         assert_eq!(first.log.len(), 4);
         for (i, r) in reports.iter().enumerate() {
-            let r = r.as_ref().unwrap_or_else(|| panic!("p{} incomplete", i + 1));
+            let r = r
+                .as_ref()
+                .unwrap_or_else(|| panic!("p{} incomplete", i + 1));
             assert_eq!(r.log, first.log, "p{} log diverged", i + 1);
             assert_eq!(r.digest, first.digest, "p{} state diverged", i + 1);
             assert_eq!(r.proposers, first.proposers);

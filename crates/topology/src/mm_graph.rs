@@ -77,8 +77,7 @@ impl MmGraph {
     /// edges `p1–p2, p2–p3, p3–p4, p3–p5, p4–p5`, giving domains
     /// `S1={p1,p2} S2={p1,p2,p3} S3={p2,p3,p4,p5} S4=S5={p3,p4,p5}`.
     pub fn fig2() -> Self {
-        Self::from_edges(5, [(0, 1), (1, 2), (2, 3), (2, 4), (3, 4)])
-            .expect("static edge list")
+        Self::from_edges(5, [(0, 1), (1, 2), (2, 3), (2, 4), (3, 4)]).expect("static edge list")
     }
 
     /// A cycle `p1–p2–…–pn–p1` (each process shares memory with two
@@ -110,11 +109,8 @@ impl MmGraph {
     /// The complete graph (everyone shares memory with everyone — the m&m
     /// counterpart of a single cluster, but with `n` distinct memories).
     pub fn complete(n: usize) -> Self {
-        Self::from_edges(
-            n,
-            (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))),
-        )
-        .expect("complete edges valid")
+        Self::from_edges(n, (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))))
+            .expect("complete edges valid")
     }
 
     /// A `rows × cols` grid with 4-neighborhoods.

@@ -360,7 +360,10 @@ mod tests {
     fn from_assignment_round_trip() {
         let p = Partition::from_assignment(&[0, 1, 1, 2, 0]).unwrap();
         assert_eq!(p.m(), 3);
-        assert_eq!(p.cluster(ClusterId(0)), &ProcessSet::from_indices(5, [0, 4]));
+        assert_eq!(
+            p.cluster(ClusterId(0)),
+            &ProcessSet::from_indices(5, [0, 4])
+        );
     }
 
     #[test]

@@ -104,10 +104,8 @@ pub struct Frontier {
 /// ```
 pub fn frontier(partition: &Partition) -> Frontier {
     let n = partition.n();
-    let mut by_size: Vec<(ClusterId, usize)> = partition
-        .clusters()
-        .map(|(x, s)| (x, s.len()))
-        .collect();
+    let mut by_size: Vec<(ClusterId, usize)> =
+        partition.clusters().map(|(x, s)| (x, s.len())).collect();
     // Largest first; tie-break on id for determinism.
     by_size.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.index().cmp(&b.0.index())));
     let mut cover = Vec::new();

@@ -85,11 +85,7 @@ impl ProcessSet {
     ///
     /// Panics if `p.index() >= universe()`.
     pub fn insert(&mut self, p: ProcessId) -> bool {
-        assert!(
-            p.index() < self.n,
-            "{p} out of universe of size {}",
-            self.n
-        );
+        assert!(p.index() < self.n, "{p} out of universe of size {}", self.n);
         let (w, b) = (p.index() / WORD_BITS, p.index() % WORD_BITS);
         let fresh = self.words[w] & (1 << b) == 0;
         self.words[w] |= 1 << b;
@@ -388,7 +384,9 @@ mod tests {
                 // deterministic pseudo-random subsets via a simple LCG
                 let mut x = (n as u64) * 2654435761 + 12345;
                 let mut nxt = || {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     x
                 };
                 let mut a = ProcessSet::empty(n);

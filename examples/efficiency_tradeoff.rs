@@ -10,16 +10,19 @@
 //! cargo run --release --example efficiency_tradeoff
 //! ```
 
+use one_for_all::metrics::Summary;
 use one_for_all::prelude::*;
 use one_for_all::sim::{CostModel, DelayModel};
-use one_for_all::metrics::Summary;
 
 fn main() {
     const N: usize = 12;
     const TRIALS: u64 = 12;
     println!("n = {N}, Alg 2 (local coin), split proposals, delay U[500,1500] ticks");
     println!("sm-op cost = beta x cluster size\n");
-    println!("{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}", "beta", "m=1", "m=2", "m=3", "m=6", "m=12");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "beta", "m=1", "m=2", "m=3", "m=6", "m=12"
+    );
     for beta in [1u64, 20, 100, 400, 1600] {
         print!("{beta:>8}");
         for m in [1usize, 2, 3, 6, 12] {

@@ -21,9 +21,7 @@ fn main() {
                 .proposals_split(3)
                 .seed(42)
                 .run();
-            let value = outcome
-                .decided_value
-                .expect("all correct processes decide");
+            let value = outcome.decided_value.expect("all correct processes decide");
             println!(
                 "  {algorithm:<22} decided {} | max round {} | {} messages | {} virtual ticks",
                 value,

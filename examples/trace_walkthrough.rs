@@ -32,14 +32,24 @@ fn main() {
 
     println!("\ndecisions:");
     for (i, d) in outcome.decisions.iter().enumerate() {
-        println!("  p{}: {}", i + 1, d.map(|d| d.to_string()).unwrap_or_default());
+        println!(
+            "  p{}: {}",
+            i + 1,
+            d.map(|d| d.to_string()).unwrap_or_default()
+        );
     }
 
     // Determinism: same seed, same trace hash; different seed, different.
     let again = run(5, false);
     assert_eq!(outcome.trace_hash, again.trace_hash);
     let other = run(6, false);
-    println!("\ntrace hash seed=5: {:016x} (replayed identically)", outcome.trace_hash);
-    println!("trace hash seed=6: {:016x} (a different schedule)", other.trace_hash);
+    println!(
+        "\ntrace hash seed=5: {:016x} (replayed identically)",
+        outcome.trace_hash
+    );
+    println!(
+        "trace hash seed=6: {:016x} (a different schedule)",
+        other.trace_hash
+    );
     assert_ne!(outcome.trace_hash, other.trace_hash);
 }

@@ -78,10 +78,22 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("unknown algorithm {other:?} (use lc|cc)")),
                 };
             }
-            "--ones" => opts.ones = Some(value(&mut i)?.parse().map_err(|e: std::num::ParseIntError| e.to_string())?),
-            "--seed" => opts.seed = value(&mut i)?.parse().map_err(|e: std::num::ParseIntError| e.to_string())?,
+            "--ones" => {
+                opts.ones = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| e.to_string())?,
+                )
+            }
+            "--seed" => {
+                opts.seed = value(&mut i)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?
+            }
             "--max-rounds" => {
-                opts.max_rounds = value(&mut i)?.parse().map_err(|e: std::num::ParseIntError| e.to_string())?
+                opts.max_rounds = value(&mut i)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?
             }
             "--crash" => {
                 let spec = value(&mut i)?;
@@ -95,7 +107,9 @@ fn parse_args() -> Result<Options, String> {
                 if pid == 0 {
                     return Err("process numbering is 1-based".into());
                 }
-                let step: u64 = step_part.parse().map_err(|e: std::num::ParseIntError| e.to_string())?;
+                let step: u64 = step_part
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?;
                 opts.crashes.push((pid - 1, step));
             }
             "--trace" => opts.trace = true,

@@ -68,14 +68,11 @@ fn ablation_violations_are_reachable_by_exploration() {
 fn unanimous_input_decides_it_on_every_schedule() {
     // Local coin: unanimity decides in round 1 on *every* schedule (the
     // common-coin variant would additionally need a matching coin).
-    let report = Explorer::new(
-        Partition::from_sizes(&[3]).unwrap(),
-        Algorithm::LocalCoin,
-    )
-    .proposals(vec![Bit::Zero; 3])
-    .max_rounds(1)
-    .max_schedules(3_000)
-    .run();
+    let report = Explorer::new(Partition::from_sizes(&[3]).unwrap(), Algorithm::LocalCoin)
+        .proposals(vec![Bit::Zero; 3])
+        .max_rounds(1)
+        .max_schedules(3_000)
+        .run();
     assert!(report.is_safe());
     assert!(report.values_decided[0]);
     assert!(!report.values_decided[1], "validity on all schedules");

@@ -1,13 +1,13 @@
 //! Integration: multivalued consensus exercised directly (below the KV
 //! layer), including proposer attribution and crashed-proposer handling.
 
+use collector::Collector;
 use one_for_all::consensus::{
     Algorithm, Bit, Decision, Env, Halt, Mailbox, Payload, ProtocolConfig,
 };
 use one_for_all::sim::{CrashPlan, ProcessBody, SimBuilder};
 use one_for_all::smr::multivalued_propose;
 use one_for_all::topology::{Partition, ProcessId};
-use collector::Collector;
 use std::sync::Arc;
 
 /// A minimal shared result collector (std Mutex; no extra test deps).
@@ -88,15 +88,10 @@ fn run_mv(
 fn all_processes_decide_the_same_proposal() {
     for algorithm in Algorithm::ALL {
         for seed in 0..4 {
-            let decided = run_mv(
-                Partition::fig1_left(),
-                algorithm,
-                CrashPlan::new(),
-                seed,
-            );
-            let first = decided[0].clone().expect("p1 decided");
+            let decided = run_mv(Partition::fig1_left(), algorithm, CrashPlan::new(), seed);
+            let first = decided[0].expect("p1 decided");
             for (i, d) in decided.iter().enumerate() {
-                let d = d.clone().unwrap_or_else(|| panic!("p{} undecided", i + 1));
+                let d = (*d).unwrap_or_else(|| panic!("p{} undecided", i + 1));
                 assert_eq!(d.0, first.0, "payload agreement");
                 assert_eq!(d.1, first.1, "proposer agreement");
             }
@@ -114,17 +109,12 @@ fn crashed_proposers_are_skipped() {
     let crashes = CrashPlan::new()
         .crash_at_start(ProcessId(0))
         .crash_at_start(ProcessId(1));
-    let decided = run_mv(
-        Partition::fig1_right(),
-        Algorithm::CommonCoin,
-        crashes,
-        3,
-    );
+    let decided = run_mv(Partition::fig1_right(), Algorithm::CommonCoin, crashes, 3);
     let survivors: Vec<(Payload, ProcessId, u64)> = decided
         .iter()
         .enumerate()
         .filter(|(i, _)| ![0usize, 1].contains(i))
-        .map(|(i, d)| d.clone().unwrap_or_else(|| panic!("p{} undecided", i + 1)))
+        .map(|(i, d)| (*d).unwrap_or_else(|| panic!("p{} undecided", i + 1)))
         .collect();
     let first = &survivors[0];
     for d in &survivors {

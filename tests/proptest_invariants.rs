@@ -69,8 +69,8 @@ proptest! {
     ) {
         let n = partition.n();
         let mut crashed = ProcessSet::empty(n);
-        for i in 0..n {
-            if crash_bits[i] {
+        for (i, &crash) in crash_bits.iter().enumerate().take(n) {
+            if crash {
                 crashed.insert(ProcessId(i));
             }
         }

@@ -79,7 +79,10 @@ fn kv_survives_heavy_crashes_with_majority_cluster() {
     // Only members of P[2] can have proposed the decided commands (the
     // others never ran).
     for p in &survivors[0].proposers {
-        assert!((1..=4).contains(&p.index()), "proposer {p} crashed at start");
+        assert!(
+            (1..=4).contains(&p.index()),
+            "proposer {p} crashed at start"
+        );
     }
 }
 

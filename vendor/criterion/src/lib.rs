@@ -1,0 +1,291 @@
+//! Offline, API-compatible shim for the subset of [`criterion` 0.5] used
+//! by this workspace: `criterion_group!` / `criterion_main!`,
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and
+//! [`black_box`].
+//!
+//! Measurement is deliberately simple — median of per-sample mean
+//! iteration times, printed as text. Two modes, matching how cargo
+//! invokes bench binaries:
+//!
+//! - `--bench` present (as `cargo bench` passes): timed runs;
+//! - otherwise (e.g. `cargo test --benches`): each benchmark body runs
+//!   once as a smoke test, keeping test runs fast.
+//!
+//! A positional argument acts as a substring filter on benchmark names,
+//! like the real CLI. See `vendor/` in the repository root for why these
+//! shims exist (the build environment cannot reach crates.io).
+//!
+//! [`criterion` 0.5]: https://docs.rs/criterion/0.5
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (accepted for API parity; the
+/// shim always runs setup per iteration, outside the timed region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Drives one benchmark's timing loop.
+pub struct Bencher<'a> {
+    mode: Mode,
+    samples: usize,
+    result: &'a mut Option<Duration>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Timed,
+    Smoke,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+            }
+            Mode::Timed => {
+                // Calibrate: grow the iteration count until one sample
+                // takes ≥ ~1ms, then take `samples` samples.
+                let mut iters: u64 = 1;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                        break;
+                    }
+                    iters *= 2;
+                }
+                let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+                for _ in 0..self.samples {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    per_iter.push(start.elapsed() / iters as u32);
+                }
+                per_iter.sort();
+                *self.result = Some(per_iter[per_iter.len() / 2]);
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Smoke => {
+                let input = setup();
+                black_box(routine(input));
+            }
+            Mode::Timed => {
+                let mut iters: u64 = 1;
+                loop {
+                    let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+                    let start = Instant::now();
+                    for input in inputs {
+                        black_box(routine(input));
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                        break;
+                    }
+                    iters *= 2;
+                }
+                let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+                for _ in 0..self.samples {
+                    let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+                    let start = Instant::now();
+                    for input in inputs {
+                        black_box(routine(input));
+                    }
+                    per_iter.push(start.elapsed() / iters as u32);
+                }
+                per_iter.sort();
+                *self.result = Some(per_iter[per_iter.len() / 2]);
+            }
+        }
+    }
+}
+
+/// The benchmark registry/driver (a far smaller cousin of the real one).
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let timed = args.iter().any(|a| a == "--bench");
+        // First non-flag argument = substring filter (cargo bench <filter>).
+        let filter = args.iter().find(|a| !a.starts_with("--")).cloned();
+        Criterion {
+            mode: if timed { Mode::Timed } else { Mode::Smoke },
+            filter,
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    fn runs(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, samples: usize, mut f: F) {
+        if !self.runs(name) {
+            return;
+        }
+        let mut result = None;
+        let mut b = Bencher {
+            mode: self.mode,
+            samples,
+            result: &mut result,
+        };
+        f(&mut b);
+        match (self.mode, result) {
+            (Mode::Smoke, _) => println!("bench {name}: ok (smoke)"),
+            (Mode::Timed, Some(t)) => println!("bench {name}: {t:?}/iter (median)"),
+            (Mode::Timed, None) => println!("bench {name}: no measurement recorded"),
+        }
+    }
+
+    /// Registers and runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let samples = self.default_samples;
+        self.run_one(name, samples, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            samples: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample-count override.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n);
+        self
+    }
+
+    /// Registers and runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{name}", self.name);
+        let samples = self.samples.unwrap_or(self.criterion.default_samples);
+        self.criterion.run_one(&full, samples, f);
+        self
+    }
+
+    /// Ends the group (accepted for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_body_once() {
+        let mut c = Criterion {
+            mode: Mode::Smoke,
+            filter: None,
+            default_samples: 10,
+        };
+        let mut runs = 0;
+        c.bench_function("t", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            mode: Mode::Smoke,
+            filter: Some("yes".to_string()),
+            default_samples: 10,
+        };
+        let mut runs = 0;
+        c.bench_function("no_match", |b| b.iter(|| runs += 1));
+        c.benchmark_group("group_yes")
+            .bench_function("inner", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut c = Criterion {
+            mode: Mode::Smoke,
+            filter: None,
+            default_samples: 10,
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                Vec::<u8>::new,
+                |v| assert!(v.is_empty()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

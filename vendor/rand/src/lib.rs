@@ -1,0 +1,263 @@
+//! Offline, API-compatible shim for the subset of [`rand` 0.8] used by this
+//! workspace: [`SeedableRng::seed_from_u64`], [`rngs::StdRng`],
+//! [`Rng::gen_bool`], [`Rng::gen_range`], and [`Rng::gen`].
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the handful of external APIs it needs as small local crates
+//! (see `vendor/` in the repository root). The generator here is
+//! xoshiro256++ seeded through SplitMix64 — deterministic for a given
+//! seed, statistically solid for simulation workloads, and *not*
+//! cryptographically secure (neither is the real `StdRng` contractually).
+//!
+//! [`rand` 0.8]: https://docs.rs/rand/0.8
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers layered over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of [0,1]");
+        // 53 random mantissa bits, the same construction rand 0.8 uses.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples a value of a [`Standard`]-distributed type.
+    ///
+    /// [`Standard`]: distributions::Standard
+    fn gen<T>(&mut self) -> T
+    where
+        T: distributions::Generable,
+    {
+        T::generate(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for `rand`'s
+    /// `StdRng`. Same seed ⇒ same stream, on every platform.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+/// Uniform sampling over ranges (the subset of `rand::distributions` the
+/// workspace touches).
+pub mod distributions {
+    use super::Rng;
+
+    /// Types producible by [`Rng::gen`].
+    pub trait Generable {
+        /// Samples one value.
+        fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Generable for bool {
+        fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Generable for u64 {
+        fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Generable for u8 {
+        fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 56) as u8
+        }
+    }
+
+    impl Generable for f64 {
+        fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Range-based uniform sampling.
+    pub mod uniform {
+        use crate::Rng;
+        use std::ops::{Range, RangeInclusive};
+
+        /// A range from which a single `T` can be drawn uniformly.
+        pub trait SampleRange<T> {
+            /// Draws one sample.
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        /// Maps a random word into `[0, span)` by fixed-point multiply
+        /// (Lemire); bias is < span/2^64, irrelevant at simulation scales.
+        fn scale(word: u64, span: u64) -> u64 {
+            ((u128::from(word) * u128::from(span)) >> 64) as u64
+        }
+
+        macro_rules! impl_int_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let span = (self.end as u64).wrapping_sub(self.start as u64);
+                        self.start + scale(rng.next_u64(), span) as $t
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "gen_range: empty range");
+                        let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                        if span == 0 {
+                            // Full-width inclusive range: every word is valid.
+                            return rng.next_u64() as $t;
+                        }
+                        lo + scale(rng.next_u64(), span) as $t
+                    }
+                }
+            )*};
+        }
+
+        impl_int_range!(u8, u16, u32, u64, usize);
+
+        impl SampleRange<f64> for Range<f64> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+
+        impl SampleRange<f64> for RangeInclusive<f64> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                lo + unit * (hi - lo)
+            }
+        }
+    }
+
+    /// Marker kept for signature compatibility with `rand::distributions`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: usize = rng.gen_range(3..=3);
+            assert_eq!(y, 3);
+            let f: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1_000 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let heads = (0..100_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((45_000..55_000).contains(&heads), "heads={heads}");
+    }
+}

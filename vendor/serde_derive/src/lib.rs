@@ -1,0 +1,420 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable; this macro parses the item's `TokenStream` by hand. It
+//! supports exactly the shapes this workspace derives on:
+//!
+//! - structs with named fields,
+//! - tuple structs (newtypes serialize as their inner value),
+//! - enums whose variants are unit, named-field, or tuple.
+//!
+//! Generics, type parameters, and serde attributes are intentionally
+//! unsupported and panic at expansion time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    /// `struct Name { f1, f2, .. }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Name(T1, T2, ..);` with the number of fields.
+    TupleStruct { name: String, arity: usize },
+    /// `enum Name { .. }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum Variant {
+    Unit(String),
+    Named(String, Vec<String>),
+    Tuple(String, usize),
+}
+
+/// Derives the shim's `Serialize` (conversion to `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::NamedStruct { name, fields } => {
+            let entries = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        ::serde::Value::Map(vec![{entries}])
+                    }}
+                }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::serde::Value::Seq(vec![{items}])")
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{ {body} }}
+                }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) => format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                    ),
+                    Variant::Named(vn, fields) => {
+                        let binds = fields.join(", ");
+                        let entries = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(vec![{entries}]))]),"
+                        )
+                    }
+                    Variant::Tuple(vn, arity) => {
+                        let binds = (0..*arity)
+                            .map(|i| format!("x{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            let items = (0..*arity)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!("::serde::Value::Seq(vec![{items}])")
+                        };
+                        format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),"
+                        )
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+    };
+    src.parse()
+        .expect("serde shim derive: generated Serialize impl must parse")
+}
+
+/// Derives the shim's `Deserialize` (conversion from `serde::Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\").unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                        if !matches!(v, ::serde::Value::Map(_)) {{
+                            return Err(::serde::Error::msg(\"expected map for struct {name}\"));
+                        }}
+                        Ok({name} {{ {inits} }})
+                    }}
+                }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+            } else {
+                let inits = (0..*arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| ::serde::Error::msg(\"tuple struct too short\"))?)?"
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "match v {{
+                        ::serde::Value::Seq(items) => Ok({name}({inits})),
+                        _ => Err(::serde::Error::msg(\"expected sequence for {name}\")),
+                    }}"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}
+                }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(vn) => Some(format!("\"{vn}\" => return Ok({name}::{vn}),")),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            let keyed_arms = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Named(vn, fields) => {
+                        let inits = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(inner.get(\"{f}\").unwrap_or(&::serde::Value::Null))?"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        Some(format!(
+                            "if let Some(inner) = v.get(\"{vn}\") {{
+                                return Ok({name}::{vn} {{ {inits} }});
+                            }}"
+                        ))
+                    }
+                    Variant::Tuple(vn, arity) => {
+                        let body = if *arity == 1 {
+                            format!("return Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?));")
+                        } else {
+                            let inits = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| ::serde::Error::msg(\"variant tuple too short\"))?)?"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "return match inner {{
+                                    ::serde::Value::Seq(items) => Ok({name}::{vn}({inits})),
+                                    _ => Err(::serde::Error::msg(\"expected sequence variant\")),
+                                }};"
+                            )
+                        };
+                        Some(format!(
+                            "if let Some(inner) = v.get(\"{vn}\") {{ {body} }}"
+                        ))
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                        if let ::serde::Value::Str(s) = v {{
+                            match s.as_str() {{
+                                {unit_arms}
+                                _ => {{}}
+                            }}
+                        }}
+                        {keyed_arms}
+                        Err(::serde::Error::msg(\"no matching variant of {name}\"))
+                    }}
+                }}"
+            )
+        }
+    };
+    src.parse()
+        .expect("serde shim derive: generated Deserialize impl must parse")
+}
+
+// ---- hand-rolled parsing ------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (derive on `{name}`)");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_top_level_fields(g.stream()),
+                }
+            }
+            other => panic!("serde shim derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde shim derive: unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Advances past any `#[...]` attributes and `pub` / `pub(...)` markers.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` plus the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Collects the field names of a named-field body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("serde shim derive: expected field name, got {other}"),
+        }
+        i += 1;
+        // Expect `:`, then skip the type up to the next top-level comma.
+        // Commas inside `<...>` generics are at this token level, so track
+        // angle-bracket depth explicitly.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after field, got {other}"),
+        }
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated fields of a tuple body (commas inside generics
+/// excluded via angle-depth tracking).
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                variants.push(Variant::Named(name, parse_named_fields(g.stream())));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                variants.push(Variant::Tuple(name, count_top_level_fields(g.stream())));
+                i += 1;
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        // Optional separator (also skips `= discriminant` forms defensively).
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
