@@ -5,8 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ofa_core::Algorithm;
+use ofa_scenario::{Backend, Scenario};
 use ofa_sharedmem::{CasConsensus, ClusterMemory, Slot};
-use ofa_sim::SimBuilder;
+use ofa_sim::Sim;
 use ofa_topology::{Partition, ProcessId, ProcessSet};
 
 fn bench_cas_consensus(c: &mut Criterion) {
@@ -61,10 +62,11 @@ fn bench_full_run(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            SimBuilder::new(Partition::fig1_right(), Algorithm::CommonCoin)
-                .proposals_split(3)
-                .seed(seed)
-                .run()
+            Sim.run(
+                &Scenario::new(Partition::fig1_right(), Algorithm::CommonCoin)
+                    .proposals_split(3)
+                    .seed(seed),
+            )
         })
     });
     g.finish();

@@ -5,10 +5,14 @@
 //! proposals, and reports decision rate, decision rounds, messages, and
 //! virtual-time latency — the baseline numbers every other experiment
 //! refines.
+//!
+//! Implemented as one [`Sweep`] per `(partition, algorithm)` cell: the
+//! scenario is described once, the sweep handles seeds and aggregation.
 
 use ofa_core::Algorithm;
-use ofa_metrics::{fmt_f64, Summary, Table};
-use ofa_sim::SimBuilder;
+use ofa_metrics::{fmt_f64, Table};
+use ofa_scenario::{Scenario, Sweep};
+use ofa_sim::Sim;
 use ofa_topology::Partition;
 
 /// Number of seeds per configuration.
@@ -34,36 +38,25 @@ pub fn run(trials: u64) -> Table {
         ("fig1-right {1,4,2}", Partition::fig1_right()),
     ] {
         for algorithm in Algorithm::ALL {
-            let mut rounds = Vec::new();
-            let mut msgs = Vec::new();
-            let mut latency = Vec::new();
-            let mut decided = 0u64;
-            let mut agree = true;
-            for seed in 0..trials {
-                let out = SimBuilder::new(partition.clone(), algorithm)
-                    .proposals_split(3)
-                    .seed(seed)
-                    .run();
-                agree &= out.agreement_holds();
-                if out.all_correct_decided {
-                    decided += 1;
-                }
-                rounds.push(out.max_decision_round as f64);
-                msgs.push(out.counters.messages_sent as f64);
-                latency.push(out.latest_decision_time.ticks() as f64);
-            }
-            let r = Summary::of(rounds.iter().copied());
-            let m = Summary::of(msgs.iter().copied());
-            let l = Summary::of(latency.iter().copied());
+            let report = Sweep::new(Scenario::new(partition.clone(), algorithm).proposals_split(3))
+                .seeds(0..trials)
+                .run(&Sim);
+            let decided = report.outcomes().filter(|o| o.all_correct_decided).count() as u64;
+            let rounds = report.rounds();
             table.row([
                 label.to_string(),
                 algorithm.to_string(),
                 format!("{decided}/{trials}"),
-                if agree { "yes" } else { "VIOLATED" }.to_string(),
-                fmt_f64(r.mean, 2),
-                fmt_f64(r.max, 0),
-                fmt_f64(m.mean, 0),
-                fmt_f64(l.mean, 0),
+                if report.all_agree() {
+                    "yes"
+                } else {
+                    "VIOLATED"
+                }
+                .to_string(),
+                fmt_f64(rounds.mean, 2),
+                fmt_f64(rounds.max, 0),
+                fmt_f64(report.messages().mean, 0),
+                fmt_f64(report.latency_ticks().mean, 0),
             ]);
         }
     }

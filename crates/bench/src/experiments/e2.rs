@@ -5,10 +5,15 @@
 //! process of `P[2]` — here, 6 of 7 processes crash. The pure
 //! message-passing baseline (same workload, clusters ignored) tolerates at
 //! most `⌊(n-1)/2⌋ = 3` crashes and must stall.
+//!
+//! Implemented as one [`Sweep`]: a single base scenario (partition, crash
+//! pattern, proposals) with one parameter-grid variant per protocol
+//! configuration.
 
 use ofa_core::{Algorithm, ProtocolConfig};
 use ofa_metrics::Table;
-use ofa_sim::{CrashPlan, SimBuilder};
+use ofa_scenario::{Body, CrashPlan, Scenario, Sweep};
+use ofa_sim::Sim;
 use ofa_topology::{Partition, ProcessId};
 
 /// Number of seeds per configuration.
@@ -16,6 +21,13 @@ pub const TRIALS: u64 = 10;
 
 /// Round cap for the (expected-to-stall) baseline runs.
 const STALL_CAP: u64 = 24;
+
+/// The three protocol rows of the table.
+const ROWS: [&str; 3] = [
+    "hybrid Alg 2 (paper)",
+    "hybrid Alg 3 (paper)",
+    "pure message-passing Ben-Or",
+];
 
 /// Runs E2 and renders the table.
 pub fn run(trials: u64) -> Table {
@@ -29,51 +41,42 @@ pub fn run(trials: u64) -> Table {
             "wrong decisions",
         ],
     );
-    let partition = Partition::fig1_right();
-    let crash_all_but_p3 = || {
-        let mut plan = CrashPlan::new();
-        for i in [0usize, 1, 3, 4, 5, 6] {
-            plan = plan.crash_at_start(ProcessId(i));
-        }
-        plan
-    };
-    for (label, config) in [
-        ("hybrid Alg 2 (paper)", ProtocolConfig::paper()),
-        ("hybrid Alg 3 (paper)", ProtocolConfig::paper()),
-        (
-            "pure message-passing Ben-Or",
-            ProtocolConfig::pure_message_passing(),
-        ),
-    ] {
-        let algorithm = if label.contains("Alg 3") {
-            Algorithm::CommonCoin
-        } else {
-            Algorithm::LocalCoin
-        };
-        let mut survivor_decided = 0u64;
-        let mut stalled = 0u64;
-        let mut wrong = 0u64;
-        for seed in 0..trials {
-            let out = SimBuilder::new(partition.clone(), algorithm)
-                .config(config.with_max_rounds(STALL_CAP))
-                .proposals_split(3)
-                .crashes(crash_all_but_p3())
-                .seed(seed)
-                .run();
-            if !out.agreement_holds() {
-                wrong += 1;
+    let mut crash_all_but_p3 = CrashPlan::new();
+    for i in [0usize, 1, 3, 4, 5, 6] {
+        crash_all_but_p3 = crash_all_but_p3.crash_at_start(ProcessId(i));
+    }
+    // The round cap is part of each variant's ProtocolConfig below; the
+    // base only fixes partition, crash pattern, and proposals.
+    let base = Scenario::new(Partition::fig1_right(), Algorithm::LocalCoin)
+        .proposals_split(3)
+        .crashes(crash_all_but_p3);
+    let report = Sweep::new(base)
+        .seeds(0..trials)
+        .vary(ROWS[0], |sc| {
+            sc.config(ProtocolConfig::paper().with_max_rounds(STALL_CAP))
+        })
+        .vary(ROWS[1], |sc| {
+            Scenario {
+                body: Body::Algo(Algorithm::CommonCoin),
+                ..sc
             }
-            if out.decisions[2].is_some() {
-                survivor_decided += 1;
-            } else {
-                stalled += 1;
-            }
-        }
+            .config(ProtocolConfig::paper().with_max_rounds(STALL_CAP))
+        })
+        .vary(ROWS[2], |sc| {
+            sc.config(ProtocolConfig::pure_message_passing().with_max_rounds(STALL_CAP))
+        })
+        .run(&Sim);
+
+    for label in ROWS {
+        let rows = report.variant(label);
+        let survivor_decided = rows.outcomes().filter(|o| o.decisions[2].is_some()).count() as u64;
+        let wrong =
+            rows.len() as u64 - rows.outcomes().filter(|o| o.agreement_holds()).count() as u64;
         table.row([
             label.to_string(),
             "6/7".to_string(),
             format!("{survivor_decided}/{trials}"),
-            format!("{stalled}/{trials}"),
+            format!("{}/{trials}", trials - survivor_decided),
             format!("{wrong}"),
         ]);
     }

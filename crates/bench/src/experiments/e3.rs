@@ -9,7 +9,8 @@
 
 use ofa_core::Algorithm;
 use ofa_metrics::Table;
-use ofa_sim::{CrashPlan, SimBuilder};
+use ofa_scenario::{Backend, CrashPlan, Scenario};
+use ofa_sim::Sim;
 use ofa_topology::{predicate, Partition, ProcessId, ProcessSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -55,12 +56,13 @@ pub fn run(trials: u64) -> (E3Counts, Table) {
         } else {
             Algorithm::CommonCoin
         };
-        let out = SimBuilder::new(partition, algorithm)
-            .proposals_split(n / 2)
-            .crashes(CrashPlan::new().crash_set_at_start(&crashed))
-            .max_rounds(if holds { 256 } else { STALL_CAP })
-            .seed(trial)
-            .run();
+        let out = Sim.run(
+            &Scenario::new(partition, algorithm)
+                .proposals_split(n / 2)
+                .crashes(CrashPlan::new().crash_set_at_start(&crashed))
+                .max_rounds(if holds { 256 } else { STALL_CAP })
+                .seed(trial),
+        );
         if !out.agreement_holds() {
             counts.violations += 1;
         }

@@ -5,10 +5,15 @@
 //! second stage is 2." So decision rounds should concentrate on small
 //! values — independent of `n` — with a geometric tail (each extra round
 //! is a coin miss, probability 1/2).
+//!
+//! Implemented as one [`Sweep`] per system size, fanned out over worker
+//! threads (the simulator is single-threaded, so the sweep parallelizes
+//! across seeds for free).
 
 use ofa_core::Algorithm;
 use ofa_metrics::{fmt_f64, Histogram, Summary, Table};
-use ofa_sim::SimBuilder;
+use ofa_scenario::{Scenario, Sweep};
+use ofa_sim::Sim;
 use ofa_topology::Partition;
 
 /// Seeds per system size.
@@ -16,6 +21,9 @@ pub const TRIALS: u64 = 40;
 
 /// System sizes exercised.
 pub const SIZES: [usize; 5] = [4, 8, 16, 32, 48];
+
+/// Worker threads for the per-size sweeps.
+const WORKERS: usize = 4;
 
 /// Runs E4; returns the per-size mean rounds (for assertions) and the
 /// table.
@@ -27,17 +35,22 @@ pub fn run(trials: u64, sizes: &[usize]) -> (Vec<f64>, Table) {
     let mut means = Vec::new();
     for &n in sizes {
         let partition = Partition::even(n, 4.min(n));
+        // Distinct seed ranges per n, so coin sequences differ across
+        // system sizes too.
+        let base_seed = n as u64 * 10_000;
+        let report =
+            Sweep::new(Scenario::new(partition, Algorithm::CommonCoin).proposals_split(n / 2))
+                .seeds(base_seed..base_seed + trials)
+                .workers(WORKERS)
+                .run(&Sim);
         let mut rounds = Histogram::new();
-        for trial in 0..trials {
-            // Distinct seed ranges per n, so coin sequences differ across
-            // system sizes too.
-            let seed = n as u64 * 10_000 + trial;
-            let out = SimBuilder::new(partition.clone(), Algorithm::CommonCoin)
-                .proposals_split(n / 2)
-                .seed(seed)
-                .run();
-            assert!(out.all_correct_decided, "n={n} trial={trial} must decide");
-            rounds.record(out.max_decision_round);
+        for run in &report.runs {
+            assert!(
+                run.outcome.all_correct_decided,
+                "n={n} seed={} must decide",
+                run.seed
+            );
+            rounds.record(run.outcome.max_decision_round);
         }
         let s = Summary::of_ints(
             rounds

@@ -7,10 +7,14 @@
 //! local coins must align by luck — rounds grow with `n` under split
 //! inputs. Intermediate `m` interpolates: fewer clusters ⇒ fewer distinct
 //! estimates ⇒ faster convergence.
+//!
+//! Implemented as one [`Sweep`] per system size with one parameter-grid
+//! variant per cluster count `m` — the clustering axis *is* the grid.
 
 use ofa_core::Algorithm;
 use ofa_metrics::{fmt_f64, Summary, Table};
-use ofa_sim::SimBuilder;
+use ofa_scenario::{Scenario, Sweep};
+use ofa_sim::Sim;
 use ofa_topology::Partition;
 
 /// Seeds per configuration.
@@ -31,22 +35,38 @@ pub fn run(trials: u64, sizes: &[usize]) -> (Vec<f64>, Vec<f64>, Table) {
     let mut m1 = Vec::new();
     let mut mn = Vec::new();
     for &n in sizes {
+        let ms = [1, 2, n / 2, n];
+        let mut sweep = Sweep::new(
+            Scenario::new(Partition::even(n, 1), Algorithm::LocalCoin)
+                .proposals_split(n / 2)
+                .max_rounds(CAP),
+        )
+        .seeds(0..trials);
+        // Column values can coincide for small n (e.g. n=4 has m=2 twice);
+        // register each distinct m once so every label maps to exactly
+        // `trials` runs.
+        let mut distinct = ms.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        for m in distinct {
+            sweep = sweep.vary(format!("m={m}"), move |sc| Scenario {
+                partition: Partition::even(n, m.max(1)),
+                ..sc
+            });
+        }
+        let report = sweep.run(&Sim);
+
         let mut cells = vec![n.to_string()];
         let mut capped_at_mn = 0u64;
-        for m in [1, 2, n / 2, n] {
-            let partition = Partition::even(n, m.max(1));
-            let mut rounds = Vec::new();
-            for seed in 0..trials {
-                let out = SimBuilder::new(partition.clone(), Algorithm::LocalCoin)
-                    .proposals_split(n / 2)
-                    .max_rounds(CAP)
-                    .seed(seed)
-                    .run();
-                if out.all_correct_decided {
-                    rounds.push(out.max_decision_round as f64);
-                } else if m == n {
-                    capped_at_mn += 1;
-                }
+        for m in ms {
+            let rows = report.variant(&format!("m={m}"));
+            let rounds: Vec<f64> = rows
+                .outcomes()
+                .filter(|o| o.all_correct_decided)
+                .map(|o| o.max_decision_round as f64)
+                .collect();
+            if m == n {
+                capped_at_mn = rows.outcomes().filter(|o| !o.all_correct_decided).count() as u64;
             }
             let s = Summary::of(rounds.iter().copied());
             cells.push(fmt_f64(s.mean, 2));

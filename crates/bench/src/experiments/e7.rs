@@ -16,7 +16,8 @@
 
 use ofa_core::Algorithm;
 use ofa_metrics::{fmt_f64, Summary, Table};
-use ofa_sim::{CostModel, DelayModel, SimBuilder};
+use ofa_scenario::{Backend, CostModel, DelayModel, Scenario};
+use ofa_sim::Sim;
 use ofa_topology::Partition;
 
 /// Seeds per configuration.
@@ -47,12 +48,13 @@ pub fn run(trials: u64) -> (Vec<Vec<f64>>, Table) {
             let costs = CostModel::new().with_sm_op_cost(beta * cluster_size);
             let mut latency = Vec::new();
             for seed in 0..trials {
-                let out = SimBuilder::new(partition.clone(), Algorithm::LocalCoin)
-                    .proposals_split(N / 2)
-                    .costs(costs)
-                    .delay(DelayModel::Uniform { lo: 500, hi: 1500 })
-                    .seed(seed)
-                    .run();
+                let out = Sim.run(
+                    &Scenario::new(partition.clone(), Algorithm::LocalCoin)
+                        .proposals_split(N / 2)
+                        .costs(costs)
+                        .delay(DelayModel::Uniform { lo: 500, hi: 1500 })
+                        .seed(seed),
+                );
                 if out.all_correct_decided {
                     latency.push(out.latest_decision_time.ticks() as f64);
                 }

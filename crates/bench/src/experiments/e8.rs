@@ -9,7 +9,8 @@
 
 use ofa_core::Algorithm;
 use ofa_metrics::Table;
-use ofa_sim::{CrashPlan, SimBuilder};
+use ofa_scenario::{Backend, CrashPlan, Scenario};
+use ofa_sim::Sim;
 use ofa_topology::{predicate, Partition, ProcessSet};
 
 /// Partition shapes exercised.
@@ -47,11 +48,12 @@ pub fn run() -> (Vec<(usize, bool, bool)>, Table) {
         let witness = predicate::witness_crash_set(&partition);
         debug_assert_eq!(witness.len(), f.max_tolerated_crashes);
 
-        let witness_out = SimBuilder::new(partition.clone(), Algorithm::CommonCoin)
-            .proposals_split(partition.n() / 2)
-            .crashes(CrashPlan::new().crash_set_at_start(&witness))
-            .seed(8)
-            .run();
+        let witness_out = Sim.run(
+            &Scenario::new(partition.clone(), Algorithm::CommonCoin)
+                .proposals_split(partition.n() / 2)
+                .crashes(CrashPlan::new().crash_set_at_start(&witness))
+                .seed(8),
+        );
         let witness_ok = witness_out.all_correct_decided && witness_out.agreement_holds();
 
         // Breaker: same number of crashes arranged to break the predicate
@@ -60,12 +62,13 @@ pub fn run() -> (Vec<(usize, bool, bool)>, Table) {
         let breaker = breaker_crash_set(&partition, f.max_tolerated_crashes);
         let breaker_stalls = match &breaker {
             Some(set) => {
-                let out = SimBuilder::new(partition.clone(), Algorithm::CommonCoin)
-                    .proposals_split(partition.n() / 2)
-                    .crashes(CrashPlan::new().crash_set_at_start(set))
-                    .max_rounds(16)
-                    .seed(9)
-                    .run();
+                let out = Sim.run(
+                    &Scenario::new(partition.clone(), Algorithm::CommonCoin)
+                        .proposals_split(partition.n() / 2)
+                        .crashes(CrashPlan::new().crash_set_at_start(set))
+                        .max_rounds(16)
+                        .seed(9),
+                );
                 out.deciders() == 0 && out.agreement_holds()
             }
             None => true, // vacuous

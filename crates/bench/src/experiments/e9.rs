@@ -11,7 +11,8 @@
 
 use ofa_core::{Algorithm, InvariantChecker, ProtocolConfig};
 use ofa_metrics::Table;
-use ofa_sim::SimBuilder;
+use ofa_scenario::{Backend, Scenario};
+use ofa_sim::Sim;
 use ofa_topology::Partition;
 use std::sync::Arc;
 
@@ -45,12 +46,13 @@ pub fn run(trials: u64) -> ((u64, u64), Table) {
         let mut agreement_failures = 0u64;
         for seed in 0..trials {
             let checker = Arc::new(InvariantChecker::new());
-            let out = SimBuilder::new(partition.clone(), Algorithm::LocalCoin)
-                .config(config.with_max_rounds(32))
-                .proposals_split(3)
-                .observer(checker.clone())
-                .seed(seed)
-                .run();
+            let out = Sim.run(
+                &Scenario::new(partition.clone(), Algorithm::LocalCoin)
+                    .config(config.with_max_rounds(32))
+                    .proposals_split(3)
+                    .observer(checker.clone())
+                    .seed(seed),
+            );
             let v = checker.violations().len() as u64;
             if v > 0 {
                 runs_with += 1;

@@ -36,6 +36,13 @@ use ofa_topology::ProcessId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Domain separator XORed into a run's master seed before deriving the
+/// default [`SeededCommonCoin`], so the common coin's bit stream differs
+/// from the delay and local-coin streams derived from the same seed. Both
+/// execution substrates (and any future backend) must use this constant so
+/// the same scenario description draws the same coins everywhere.
+pub const COIN_DOMAIN_SEP: u64 = 0xC0_1D_5E_ED;
+
 /// A private source of independent fair bits (`local_coin()` in the paper).
 pub trait LocalCoin {
     /// Returns 0 or 1, each with probability 1/2 (for fair implementations).

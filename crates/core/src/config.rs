@@ -81,7 +81,7 @@ impl Default for ProtocolConfig {
 }
 
 /// A successful consensus decision at one process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Decision {
     /// The decided value.
     pub value: Bit,

@@ -1,5 +1,6 @@
 //! Why a process stopped executing the protocol.
 
+use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -8,7 +9,7 @@ use std::fmt;
 /// Environment calls return `Err(Halt)` and protocol code propagates it
 /// with `?`, which keeps the algorithm functions shaped like the paper's
 /// pseudocode while supporting crash injection and bounded runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Halt {
     /// The process crashed (injected by the execution substrate). A crash
     /// is a premature halt: the process executes no further step.

@@ -72,7 +72,7 @@ pub use value::{fmt_est, Bit, Est};
 
 /// The kind of algorithm to run — used by substrates and the experiment
 /// harness to select a protocol uniformly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Algorithm {
     /// Algorithm 2: local-coin consensus ([`ben_or_hybrid`]).
     LocalCoin,

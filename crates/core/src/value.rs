@@ -6,6 +6,7 @@
 //! `None` = `⊥`) is the phase-2 domain.
 
 use ofa_sharedmem::CodableValue;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A binary consensus value (`0` or `1`).
@@ -20,7 +21,7 @@ use std::fmt;
 /// assert_eq!(b.flip(), Bit::Zero);
 /// assert_eq!(b.to_string(), "1");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Bit {
     /// The value 0.
     Zero,

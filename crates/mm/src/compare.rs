@@ -9,7 +9,8 @@
 
 use crate::{MmBenOr, MmMemories};
 use ofa_core::Algorithm;
-use ofa_sim::SimBuilder;
+use ofa_scenario::{Backend, Scenario};
+use ofa_sim::Sim;
 use ofa_topology::{MmGraph, Partition, ProcessId};
 use std::sync::Arc;
 
@@ -69,10 +70,11 @@ pub fn measured(partition: &Partition, graph: &MmGraph, seed: u64) -> (f64, f64)
     let n = partition.n();
 
     // Hybrid run: cluster_proposes per process divided by phases entered.
-    let hybrid = SimBuilder::new(partition.clone(), Algorithm::LocalCoin)
-        .proposals_split(n / 2)
-        .seed(seed)
-        .run();
+    let hybrid = Sim.run(
+        &Scenario::new(partition.clone(), Algorithm::LocalCoin)
+            .proposals_split(n / 2)
+            .seed(seed),
+    );
     // Every completed round performs exactly two phases, each with one
     // propose; a process that decides mid-round or relays may have a
     // partial final round, so aggregate over the whole system.
@@ -89,11 +91,12 @@ pub fn measured(partition: &Partition, graph: &MmGraph, seed: u64) -> (f64, f64)
     // m&m run.
     let memories = Arc::new(MmMemories::new(graph.clone()));
     let body = Arc::new(MmBenOr::new(Arc::clone(&memories)));
-    let _ = SimBuilder::new(Partition::singletons(n), Algorithm::LocalCoin)
-        .custom_body(body)
-        .proposals_split(n / 2)
-        .seed(seed)
-        .run();
+    let _ = Sim.run(
+        &Scenario::new(Partition::singletons(n), Algorithm::LocalCoin)
+            .custom_body(body)
+            .proposals_split(n / 2)
+            .seed(seed),
+    );
     let mm_mean = {
         let per: Vec<f64> = (0..n)
             .filter_map(|i| memories.invocations_per_phase(ProcessId(i)))

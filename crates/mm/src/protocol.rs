@@ -27,13 +27,14 @@ use ofa_core::{
     msg_exchange, Bit, Decision, Env, Est, Exchange, Halt, Mailbox, MsgKind, ObsEvent, Phase,
     ProtocolConfig, RecClass,
 };
+use ofa_scenario::ProcessBody;
 use ofa_sharedmem::{CodableValue, Slot};
-use ofa_sim::ProcessBody;
 use std::sync::Arc;
 
 /// Ben-Or over the m&m substrate (see module docs for the reconstruction
-/// rationale). Runs under the deterministic simulator via
-/// [`ofa_sim::SimBuilder::custom_body`].
+/// rationale). Runs on any backend via
+/// [`ofa_scenario::Scenario::custom_body`], typically the deterministic
+/// simulator.
 #[derive(Debug)]
 pub struct MmBenOr {
     memories: Arc<MmMemories>,
@@ -181,21 +182,23 @@ fn relay(env: &mut dyn Env, round: u64, v: Bit) -> Result<Decision, Halt> {
 mod tests {
     use super::*;
     use ofa_core::Algorithm;
-    use ofa_sim::SimBuilder;
+    use ofa_scenario::{Backend, Outcome, Scenario};
+    use ofa_sim::Sim;
     use ofa_topology::{MmGraph, Partition, ProcessId};
 
-    fn run_mm(graph: MmGraph, ones: usize, seed: u64) -> (ofa_sim::SimOutcome, Arc<MmMemories>) {
+    fn run_mm(graph: MmGraph, ones: usize, seed: u64) -> (Outcome, Arc<MmMemories>) {
         let n = graph.n();
         let memories = Arc::new(MmMemories::new(graph));
         let body = Arc::new(MmBenOr::new(Arc::clone(&memories)));
         // The message layer of the m&m model is plain all-to-all: model it
         // with singleton clusters (the partition's memories are unused —
         // the comparator talks to MmMemories directly).
-        let out = SimBuilder::new(Partition::singletons(n), Algorithm::LocalCoin)
-            .custom_body(body)
-            .proposals_split(ones)
-            .seed(seed)
-            .run();
+        let out = Sim.run(
+            &Scenario::new(Partition::singletons(n), Algorithm::LocalCoin)
+                .custom_body(body)
+                .proposals_split(ones)
+                .seed(seed),
+        );
         (out, memories)
     }
 

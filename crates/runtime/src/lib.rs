@@ -9,19 +9,26 @@
 //!
 //! Where `ofa-sim` gives determinism and virtual time, this runtime gives
 //! real races and wall-clock latency. Both execute the *same* protocol
-//! code.
+//! code, and both are backends of the unified
+//! [`ofa_scenario::Scenario`] API: the [`Threads`] backend here accepts
+//! exactly the scenario values the simulator accepts — failure patterns
+//! ([`ofa_scenario::CrashPlan`]), coin overrides
+//! ([`ofa_scenario::CoinSpec`]), custom protocol bodies
+//! ([`ofa_scenario::ProcessBody`]), observers — and returns the same
+//! [`ofa_scenario::Outcome`] type.
 //!
 //! # Examples
 //!
 //! ```
 //! use ofa_core::{Algorithm, Bit};
-//! use ofa_runtime::RuntimeBuilder;
+//! use ofa_runtime::Threads;
+//! use ofa_scenario::{Backend, Scenario};
 //! use ofa_topology::Partition;
 //!
-//! let out = RuntimeBuilder::new(Partition::fig1_right(), Algorithm::CommonCoin)
+//! let scenario = Scenario::new(Partition::fig1_right(), Algorithm::CommonCoin)
 //!     .proposals_split(3)
-//!     .seed(7)
-//!     .run();
+//!     .seed(7);
+//! let out = Threads.run(&scenario);
 //! assert!(out.all_correct_decided);
 //! assert!(out.agreement_holds());
 //! ```
@@ -29,14 +36,14 @@
 #![warn(missing_docs)]
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use ofa_coins::{CommonCoin, LocalCoin, SeededCommonCoin, SeededLocalCoin};
+use ofa_coins::{CommonCoin, LocalCoin, SeededLocalCoin};
 use ofa_core::{
     Algorithm, Bit, Decision, Env, Halt, Msg, MsgKind, ObsEvent, Observer, ProtocolConfig,
 };
 use ofa_metrics::{CounterSnapshot, Counters};
+use ofa_scenario::{Backend, BackendKind, CrashPlan, CrashTrigger, Outcome, ProcessBody, Scenario};
 use ofa_sharedmem::{MemoryBank, Slot};
 use ofa_topology::{Partition, ProcessId, ProcessSet};
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -59,6 +66,9 @@ struct ThreadEnv {
     stop: Arc<AtomicBool>,
     crash_at_step: Option<u64>,
     crash_at_round: Option<u64>,
+    /// Wall-clock instant at which an `AtTime` trigger fires (virtual
+    /// ticks read as microseconds from run start — see [`Threads`]).
+    crash_at_instant: Option<Instant>,
     steps: u64,
     crashed: bool,
 }
@@ -71,10 +81,19 @@ impl ThreadEnv {
                 self.crashed = true;
             }
         }
+        self.check_timed_crash();
         if self.crashed {
             return Err(Halt::Crashed);
         }
         Ok(())
+    }
+
+    fn check_timed_crash(&mut self) {
+        if let Some(at) = self.crash_at_instant {
+            if Instant::now() >= at {
+                self.crashed = true;
+            }
+        }
     }
 }
 
@@ -117,6 +136,12 @@ impl Env for ThreadEnv {
                     return Ok(m);
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    // Timed crashes fire even while blocked, like the
+                    // simulator's scheduled crash events.
+                    self.check_timed_crash();
+                    if self.crashed {
+                        return Err(Halt::Crashed);
+                    }
                     if self.stop.load(Ordering::SeqCst) {
                         return Err(Halt::Stopped);
                     }
@@ -172,116 +197,292 @@ impl Env for ThreadEnv {
     }
 }
 
-/// Builder for one real-threaded consensus execution.
-pub struct RuntimeBuilder {
-    partition: Partition,
-    algorithm: Algorithm,
-    config: ProtocolConfig,
-    proposals: Vec<Bit>,
-    seed: u64,
-    crash_at_step: HashMap<ProcessId, u64>,
-    crash_at_round: HashMap<ProcessId, u64>,
-    observer: Option<Arc<dyn Observer>>,
-    timeout: Duration,
-}
+/// The real-thread backend: one OS thread per process.
+///
+/// Scenario semantics on this substrate:
+///
+/// * [`ofa_scenario::DelayModel`] / [`ofa_scenario::CostModel`] are
+///   ignored — transit time and operation cost are whatever the hardware
+///   does;
+/// * [`CrashTrigger::AtStep`] and [`CrashTrigger::AtRound`] behave exactly
+///   as in the simulator; [`CrashTrigger::AtTime`] reads the virtual
+///   ticks as **microseconds of wall-clock time** from run start (an
+///   approximation — real time is not virtual time);
+/// * [`Scenario::keep_trace`] / `max_events` are ignored (no global event
+///   order exists to record), so [`Outcome::trace_hash`] is `None`;
+/// * [`Scenario::timeout_ms`] bounds the run: undecided processes are
+///   stopped (indulgence — they stop *without* deciding).
+///
+/// # Examples
+///
+/// ```
+/// use ofa_core::Algorithm;
+/// use ofa_runtime::Threads;
+/// use ofa_scenario::{Backend, Scenario};
+/// use ofa_topology::Partition;
+///
+/// let out = Threads.run(
+///     &Scenario::new(Partition::even(6, 2), Algorithm::LocalCoin).proposals_split(3),
+/// );
+/// assert!(out.agreement_holds());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Threads;
 
-impl fmt::Debug for RuntimeBuilder {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("RuntimeBuilder")
-            .field("partition", &self.partition)
-            .field("algorithm", &self.algorithm)
-            .field("seed", &self.seed)
-            .finish_non_exhaustive()
+impl Backend for Threads {
+    fn name(&self) -> &'static str {
+        "threads"
+    }
+
+    fn run(&self, scenario: &Scenario) -> Outcome {
+        run_scenario(scenario)
     }
 }
 
+/// Executes `scenario` on real threads and assembles the unified outcome.
+fn run_scenario(scenario: &Scenario) -> Outcome {
+    scenario.assert_valid();
+    let n = scenario.partition.n();
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded::<Msg>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let memory = MemoryBank::for_partition(&scenario.partition);
+    let counters: Vec<Arc<Counters>> = (0..n).map(|_| Arc::new(Counters::new())).collect();
+    let common_coin = scenario.build_coin();
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+
+    let (done_tx, done_rx) = unbounded::<(usize, Result<Decision, Halt>, Duration)>();
+    let mut handles = Vec::with_capacity(n);
+    for (i, receiver) in receivers.into_iter().enumerate() {
+        let me = ProcessId(i);
+        let (crash_at_step, crash_at_round, crash_at_instant) = match scenario.crashes.trigger(me) {
+            Some(CrashTrigger::AtStep(k)) => (Some(k), None, None),
+            Some(CrashTrigger::AtRound(r)) => (None, Some(r), None),
+            Some(CrashTrigger::AtTime(t)) => {
+                (None, None, Some(started + Duration::from_micros(t.ticks())))
+            }
+            None => (None, None, None),
+        };
+        let mut env = ThreadEnv {
+            me,
+            partition: scenario.partition.clone(),
+            senders: senders.clone(),
+            receiver,
+            memory: memory.clone(),
+            counters: Arc::clone(&counters[i]),
+            common_coin: Arc::clone(&common_coin),
+            local_coin: SeededLocalCoin::for_process(scenario.seed, me),
+            observer: scenario.observer.clone(),
+            stop: Arc::clone(&stop),
+            crash_at_step,
+            crash_at_round,
+            crash_at_instant,
+            steps: 0,
+            crashed: false,
+        };
+        let body = scenario.body.clone();
+        let config = scenario.config;
+        let proposal = scenario.proposals[i];
+        let done_tx = done_tx.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("ofa-p{}", i + 1))
+                .spawn(move || {
+                    let result = body.run(&mut env, proposal, &config);
+                    let _ = done_tx.send((i, result, started.elapsed()));
+                })
+                .expect("spawn process thread"),
+        );
+    }
+    drop(done_tx);
+    drop(senders);
+
+    // Collect results; on deadline, raise the stop flag so blocked
+    // processes bail out with Halt::Stopped.
+    let mut results: Vec<Option<(Result<Decision, Halt>, Duration)>> = vec![None; n];
+    let mut collected = 0;
+    let deadline = started + scenario.timeout_duration();
+    while collected < n {
+        let now = Instant::now();
+        let wait = deadline.saturating_duration_since(now).max(POLL_INTERVAL);
+        match done_rx.recv_timeout(wait) {
+            Ok((i, res, at)) => {
+                results[i] = Some((res, at));
+                collected += 1;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                stop.store(true, Ordering::SeqCst);
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        if Instant::now() >= deadline {
+            stop.store(true, Ordering::SeqCst);
+        }
+    }
+    for h in handles {
+        h.join().expect("process thread panicked");
+    }
+
+    let mut latest_decision = None;
+    let mut flat = Vec::with_capacity(n);
+    for slot in results {
+        let (res, at) = slot.expect("every thread reports");
+        if res.is_ok() {
+            latest_decision = Some(latest_decision.unwrap_or(Duration::ZERO).max(at));
+        }
+        flat.push(res);
+    }
+    let per_process: Vec<CounterSnapshot> = counters.iter().map(|c| c.snapshot()).collect();
+    let mut out = Outcome::assemble(
+        BackendKind::Threads,
+        flat,
+        per_process,
+        memory.total_objects(),
+        memory.total_proposes(),
+    );
+    out.elapsed = started.elapsed();
+    out.latest_decision = latest_decision;
+    out
+}
+
+/// Deprecated alias: outcomes are now the backend-agnostic
+/// [`ofa_scenario::Outcome`], identical across substrates.
+#[deprecated(since = "0.2.0", note = "use ofa_scenario::Outcome")]
+pub type RunOutcome = Outcome;
+
+/// Deprecated builder for one real-threaded consensus execution.
+///
+/// Thin shim over [`Scenario`] + the [`Threads`] backend; kept one
+/// release. It now supports everything the simulator builder supported —
+/// [`CrashPlan`]s, custom coins, custom bodies — by construction, since
+/// every method maps onto a [`Scenario`] setter.
+///
+/// One semantic difference from the pre-scenario builder: a
+/// [`CrashPlan`] holds **one** trigger per process (later entries
+/// overwrite), so arming both `crash_at_step` and `crash_at_round` for
+/// the same process keeps only the last call, where the old builder kept
+/// both and fired whichever came first.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an ofa_scenario::Scenario and run it on the ofa_runtime::Threads backend"
+)]
+pub struct RuntimeBuilder {
+    scenario: Scenario,
+}
+
+#[allow(deprecated)]
+impl fmt::Debug for RuntimeBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RuntimeBuilder")
+            .field("scenario", &self.scenario)
+            .finish()
+    }
+}
+
+#[allow(deprecated)]
 impl RuntimeBuilder {
     /// Starts a builder with the paper's configuration, alternating
     /// proposals, a 256-round cap, and a 10-second wall-clock timeout.
     pub fn new(partition: Partition, algorithm: Algorithm) -> Self {
-        let n = partition.n();
         RuntimeBuilder {
-            partition,
-            algorithm,
-            config: ProtocolConfig::paper().with_max_rounds(256),
-            proposals: (0..n).map(|i| Bit::from(i % 2 == 1)).collect(),
-            seed: 0,
-            crash_at_step: HashMap::new(),
-            crash_at_round: HashMap::new(),
-            observer: None,
-            timeout: Duration::from_secs(10),
+            scenario: Scenario::new(partition, algorithm)
+                .config(ProtocolConfig::paper().with_max_rounds(256)),
         }
     }
 
     /// Sets the protocol configuration.
     pub fn config(mut self, config: ProtocolConfig) -> Self {
-        self.config = config;
+        self.scenario = self.scenario.config(config);
+        self
+    }
+
+    /// Replaces the algorithm with a custom protocol body.
+    pub fn custom_body(mut self, body: Arc<dyn ProcessBody>) -> Self {
+        self.scenario = self.scenario.custom_body(body);
         self
     }
 
     /// Sets every process's proposal.
     pub fn proposals(mut self, proposals: Vec<Bit>) -> Self {
-        self.proposals = proposals;
+        self.scenario = self.scenario.proposals(proposals);
         self
     }
 
     /// All processes propose `v`.
     pub fn proposals_all(mut self, v: Bit) -> Self {
-        self.proposals = vec![v; self.partition.n()];
+        self.scenario = self.scenario.proposals_all(v);
         self
     }
 
     /// First `ones` processes propose 1, the rest 0.
     pub fn proposals_split(mut self, ones: usize) -> Self {
-        let n = self.partition.n();
-        self.proposals = (0..n).map(|i| Bit::from(i < ones)).collect();
+        self.scenario = self.scenario.proposals_split(ones);
         self
     }
 
     /// Seeds the coins.
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.scenario = self.scenario.seed(seed);
+        self
+    }
+
+    /// Sets the complete failure pattern at once.
+    pub fn crashes(mut self, plan: CrashPlan) -> Self {
+        self.scenario = self.scenario.crashes(plan);
         self
     }
 
     /// Crashes `p` before its first step.
     pub fn crash_at_start(mut self, p: ProcessId) -> Self {
-        self.crash_at_step.insert(p, 0);
+        self.scenario.crashes = std::mem::take(&mut self.scenario.crashes).crash_at_start(p);
         self
     }
 
-    /// Crashes `p` at its `k`-th environment call (mid-broadcast crashes
-    /// produce partial deliveries, as in the paper's broadcast macro).
+    /// Crashes `p` at its `k`-th environment call.
     pub fn crash_at_step(mut self, p: ProcessId, k: u64) -> Self {
-        self.crash_at_step.insert(p, k);
+        self.scenario.crashes = std::mem::take(&mut self.scenario.crashes).crash_at_step(p, k);
         self
     }
 
     /// Crashes `p` when it enters round `r`.
     pub fn crash_at_round(mut self, p: ProcessId, r: u64) -> Self {
-        self.crash_at_round.insert(p, r);
+        self.scenario.crashes = std::mem::take(&mut self.scenario.crashes).crash_at_round(p, r);
         self
     }
 
     /// Crashes every member of `set` from the start.
     pub fn crash_set_at_start(mut self, set: &ProcessSet) -> Self {
-        for p in set {
-            self.crash_at_step.insert(p, 0);
-        }
+        self.scenario.crashes = std::mem::take(&mut self.scenario.crashes).crash_set_at_start(set);
+        self
+    }
+
+    /// Substitutes a custom common coin.
+    pub fn common_coin(mut self, coin: Arc<dyn CommonCoin>) -> Self {
+        self.scenario = self.scenario.common_coin(coin);
         self
     }
 
     /// Attaches an observer (e.g. `ofa_core::InvariantChecker`).
     pub fn observer(mut self, observer: Arc<dyn Observer>) -> Self {
-        self.observer = Some(observer);
+        self.scenario = self.scenario.observer(observer);
         self
     }
 
     /// Sets the wall-clock deadline after which undecided processes are
     /// stopped (indulgence: they stop *without* deciding).
     pub fn timeout(mut self, timeout: Duration) -> Self {
-        self.timeout = timeout;
+        self.scenario = self.scenario.timeout(timeout);
         self
+    }
+
+    /// The scenario this builder has accumulated (migration helper).
+    pub fn into_scenario(self) -> Scenario {
+        self.scenario
     }
 
     /// Runs the execution and collects the outcome.
@@ -290,204 +491,40 @@ impl RuntimeBuilder {
     ///
     /// Panics if the proposal vector length differs from `n` or a process
     /// thread panics (a bug, not a modeled fault).
-    pub fn run(self) -> RunOutcome {
-        let n = self.partition.n();
-        assert_eq!(
-            self.proposals.len(),
-            n,
-            "need one proposal per process (got {} for n={n})",
-            self.proposals.len()
-        );
-        let mut senders = Vec::with_capacity(n);
-        let mut receivers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded::<Msg>();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let memory = MemoryBank::for_partition(&self.partition);
-        let counters: Vec<Arc<Counters>> = (0..n).map(|_| Arc::new(Counters::new())).collect();
-        let common_coin: Arc<dyn CommonCoin> =
-            Arc::new(SeededCommonCoin::new(self.seed ^ 0xC0_1D_5E_ED));
-        let stop = Arc::new(AtomicBool::new(false));
-        let started = Instant::now();
-
-        let (done_tx, done_rx) = unbounded::<(usize, Result<Decision, Halt>, Duration)>();
-        let mut handles = Vec::with_capacity(n);
-        for (i, receiver) in receivers.into_iter().enumerate() {
-            let mut env = ThreadEnv {
-                me: ProcessId(i),
-                partition: self.partition.clone(),
-                senders: senders.clone(),
-                receiver,
-                memory: memory.clone(),
-                counters: Arc::clone(&counters[i]),
-                common_coin: Arc::clone(&common_coin),
-                local_coin: SeededLocalCoin::for_process(self.seed, ProcessId(i)),
-                observer: self.observer.clone(),
-                stop: Arc::clone(&stop),
-                crash_at_step: self.crash_at_step.get(&ProcessId(i)).copied(),
-                crash_at_round: self.crash_at_round.get(&ProcessId(i)).copied(),
-                steps: 0,
-                crashed: false,
-            };
-            let algorithm = self.algorithm;
-            let config = self.config;
-            let proposal = self.proposals[i];
-            let done_tx = done_tx.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("ofa-p{}", i + 1))
-                    .spawn(move || {
-                        let result = algorithm.run(&mut env, proposal, &config);
-                        let _ = done_tx.send((i, result, started.elapsed()));
-                    })
-                    .expect("spawn process thread"),
-            );
-        }
-        drop(done_tx);
-        drop(senders);
-
-        // Collect results; on deadline, raise the stop flag so blocked
-        // processes bail out with Halt::Stopped.
-        let mut results: Vec<Option<(Result<Decision, Halt>, Duration)>> = vec![None; n];
-        let mut collected = 0;
-        let deadline = started + self.timeout;
-        while collected < n {
-            let now = Instant::now();
-            let wait = deadline.saturating_duration_since(now).max(POLL_INTERVAL);
-            match done_rx.recv_timeout(wait) {
-                Ok((i, res, at)) => {
-                    results[i] = Some((res, at));
-                    collected += 1;
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    stop.store(true, Ordering::SeqCst);
-                }
-                Err(RecvTimeoutError::Disconnected) => break,
-            }
-            if Instant::now() >= deadline {
-                stop.store(true, Ordering::SeqCst);
-            }
-        }
-        for h in handles {
-            h.join().expect("process thread panicked");
-        }
-
-        let mut decisions = Vec::with_capacity(n);
-        let mut halts = Vec::with_capacity(n);
-        let mut crashed = ProcessSet::empty(n);
-        let mut latest_decision = Duration::ZERO;
-        for (i, slot) in results.into_iter().enumerate() {
-            let (res, at) = slot.expect("every thread reports");
-            match res {
-                Ok(d) => {
-                    decisions.push(Some(d));
-                    halts.push(None);
-                    latest_decision = latest_decision.max(at);
-                }
-                Err(h) => {
-                    decisions.push(None);
-                    halts.push(Some(h));
-                    if h == Halt::Crashed {
-                        crashed.insert(ProcessId(i));
-                    }
-                }
-            }
-        }
-        let decided_value = decisions.iter().flatten().map(|d| d.value).next();
-        let all_correct_decided = decisions
-            .iter()
-            .zip(halts.iter())
-            .all(|(d, h)| d.is_some() || *h == Some(Halt::Crashed));
-        let per_process: Vec<CounterSnapshot> = counters.iter().map(|c| c.snapshot()).collect();
-        RunOutcome {
-            decisions,
-            halts,
-            crashed,
-            decided_value,
-            all_correct_decided,
-            latest_decision,
-            elapsed: started.elapsed(),
-            counters: CounterSnapshot::merge_all(per_process.iter().copied()),
-            per_process,
-            sm_proposes: memory.total_proposes(),
-            sm_objects: memory.total_objects(),
-        }
-    }
-}
-
-/// Outcome of one real-threaded execution.
-#[derive(Debug, Clone)]
-pub struct RunOutcome {
-    /// Per-process decision (`None` for crashed/stopped processes).
-    pub decisions: Vec<Option<Decision>>,
-    /// Per-process halt reason (`None` for deciders).
-    pub halts: Vec<Option<Halt>>,
-    /// Processes that ended crashed.
-    pub crashed: ProcessSet,
-    /// The first decided value observed, if any.
-    pub decided_value: Option<Bit>,
-    /// `true` iff every non-crashed process decided.
-    pub all_correct_decided: bool,
-    /// Wall-clock time of the last decision.
-    pub latest_decision: Duration,
-    /// Total wall-clock duration of the run.
-    pub elapsed: Duration,
-    /// Merged counters.
-    pub counters: CounterSnapshot,
-    /// Per-process counters.
-    pub per_process: Vec<CounterSnapshot>,
-    /// Total consensus-object invocations across cluster memories.
-    pub sm_proposes: u64,
-    /// Consensus objects materialized across cluster memories.
-    pub sm_objects: usize,
-}
-
-impl RunOutcome {
-    /// `true` iff no two processes decided different values.
-    pub fn agreement_holds(&self) -> bool {
-        let mut seen: Option<Bit> = None;
-        for d in self.decisions.iter().flatten() {
-            match seen {
-                None => seen = Some(d.value),
-                Some(v) if v != d.value => return false,
-                _ => {}
-            }
-        }
-        true
-    }
-
-    /// Number of processes that decided.
-    pub fn deciders(&self) -> usize {
-        self.decisions.iter().flatten().count()
+    pub fn run(self) -> Outcome {
+        Threads.run(&self.scenario)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ofa_scenario::CoinSpec;
 
     #[test]
     fn seven_processes_fig1_right_agree() {
         for seed in 0..3 {
-            let out = RuntimeBuilder::new(Partition::fig1_right(), Algorithm::LocalCoin)
-                .proposals_split(3)
-                .seed(seed)
-                .run();
+            let out = Threads.run(
+                &Scenario::new(Partition::fig1_right(), Algorithm::LocalCoin)
+                    .proposals_split(3)
+                    .seed(seed),
+            );
             assert!(out.all_correct_decided, "seed {seed}");
             assert!(out.agreement_holds(), "seed {seed}");
             assert_eq!(out.deciders(), 7);
+            assert!(out.trace_hash.is_none(), "real threads have no trace");
+            assert!(out.latest_decision.is_some());
         }
     }
 
     #[test]
     fn unanimous_input_decides_that_value() {
         for v in Bit::ALL {
-            let out = RuntimeBuilder::new(Partition::fig1_left(), Algorithm::CommonCoin)
-                .proposals_all(v)
-                .seed(1)
-                .run();
+            let out = Threads.run(
+                &Scenario::new(Partition::fig1_left(), Algorithm::CommonCoin)
+                    .proposals_all(v)
+                    .seed(1),
+            );
             assert!(out.all_correct_decided);
             assert_eq!(out.decided_value, Some(v), "validity");
         }
@@ -495,16 +532,16 @@ mod tests {
 
     #[test]
     fn headline_crash_pattern_one_survivor_decides() {
-        let out = RuntimeBuilder::new(Partition::fig1_right(), Algorithm::CommonCoin)
-            .proposals_split(4)
-            .crash_at_start(ProcessId(0))
-            .crash_at_start(ProcessId(1))
-            .crash_at_start(ProcessId(3))
-            .crash_at_start(ProcessId(4))
-            .crash_at_start(ProcessId(5))
-            .crash_at_start(ProcessId(6))
-            .seed(2)
-            .run();
+        let mut plan = CrashPlan::new();
+        for i in [0usize, 1, 3, 4, 5, 6] {
+            plan = plan.crash_at_start(ProcessId(i));
+        }
+        let out = Threads.run(
+            &Scenario::new(Partition::fig1_right(), Algorithm::CommonCoin)
+                .proposals_split(4)
+                .crashes(plan)
+                .seed(2),
+        );
         assert!(out.all_correct_decided);
         assert_eq!(out.deciders(), 1);
         assert_eq!(out.crashed.len(), 6);
@@ -516,12 +553,13 @@ mod tests {
         // Pure message-passing, majority crashed: never decides; the
         // timeout stops it without a wrong decision.
         let crashed = ProcessSet::from_indices(4, [0, 1]);
-        let out = RuntimeBuilder::new(Partition::singletons(4), Algorithm::LocalCoin)
-            .proposals_split(2)
-            .crash_set_at_start(&crashed)
-            .timeout(Duration::from_millis(300))
-            .seed(3)
-            .run();
+        let out = Threads.run(
+            &Scenario::new(Partition::singletons(4), Algorithm::LocalCoin)
+                .proposals_split(2)
+                .crashes(CrashPlan::new().crash_set_at_start(&crashed))
+                .timeout(Duration::from_millis(300))
+                .seed(3),
+        );
         assert!(!out.all_correct_decided);
         assert_eq!(out.deciders(), 0);
         assert!(out.agreement_holds());
@@ -532,11 +570,12 @@ mod tests {
         use ofa_core::InvariantChecker;
         for seed in 0..5 {
             let checker = Arc::new(InvariantChecker::new());
-            let out = RuntimeBuilder::new(Partition::even(8, 3), Algorithm::LocalCoin)
-                .proposals_split(4)
-                .observer(checker.clone())
-                .seed(seed)
-                .run();
+            let out = Threads.run(
+                &Scenario::new(Partition::even(8, 3), Algorithm::LocalCoin)
+                    .proposals_split(4)
+                    .observer(checker.clone())
+                    .seed(seed),
+            );
             assert!(out.all_correct_decided, "seed {seed}");
             checker.assert_clean();
         }
@@ -545,11 +584,12 @@ mod tests {
     #[test]
     fn crash_mid_broadcast_is_safe() {
         for step in [1u64, 3, 6] {
-            let out = RuntimeBuilder::new(Partition::fig1_left(), Algorithm::LocalCoin)
-                .proposals_split(4)
-                .crash_at_step(ProcessId(0), step)
-                .seed(step)
-                .run();
+            let out = Threads.run(
+                &Scenario::new(Partition::fig1_left(), Algorithm::LocalCoin)
+                    .proposals_split(4)
+                    .crashes(CrashPlan::new().crash_at_step(ProcessId(0), step))
+                    .seed(step),
+            );
             assert!(out.agreement_holds());
             assert!(out.all_correct_decided, "step {step}");
         }
@@ -557,14 +597,70 @@ mod tests {
 
     #[test]
     fn crash_at_round_two() {
-        let out = RuntimeBuilder::new(Partition::even(6, 2), Algorithm::LocalCoin)
-            .proposals_split(3)
-            .crash_at_round(ProcessId(5), 2)
-            .seed(9)
-            .run();
+        let out = Threads.run(
+            &Scenario::new(Partition::even(6, 2), Algorithm::LocalCoin)
+                .proposals_split(3)
+                .crashes(CrashPlan::new().crash_at_round(ProcessId(5), 2))
+                .seed(9),
+        );
         assert!(out.agreement_holds());
         // p6 either decided in round 1 or crashed at round 2.
         let p6 = &out.decisions[5];
         assert!(p6.is_none() || p6.unwrap().round < 2);
+    }
+
+    #[test]
+    fn scripted_coin_override_applies() {
+        // A constant-1 common coin plus unanimous-1 proposals: decided
+        // value must be 1 (validity would force it anyway; this checks
+        // the CoinSpec plumbing end to end).
+        let out = Threads.run(
+            &Scenario::new(Partition::even(4, 2), Algorithm::CommonCoin)
+                .proposals_all(Bit::One)
+                .coin(CoinSpec::Constant(Bit::One))
+                .seed(4),
+        );
+        assert!(out.all_correct_decided);
+        assert_eq!(out.decided_value, Some(Bit::One));
+    }
+
+    #[test]
+    fn timed_crash_fires_even_while_blocked() {
+        use ofa_scenario::VirtualTime;
+        // Crash p1 1ms (1000 ticks-as-µs) in; a stalled singleton system
+        // keeps it blocked in recv, so only the timed trigger can fire.
+        let crashed = ProcessSet::from_indices(3, [1, 2]);
+        let out = Threads.run(
+            &Scenario::new(Partition::singletons(3), Algorithm::LocalCoin)
+                .proposals_split(1)
+                .crashes(
+                    CrashPlan::new()
+                        .crash_at_time(ProcessId(0), VirtualTime::from_ticks(1_000))
+                        .crash_set_at_start(&crashed),
+                )
+                .timeout(Duration::from_millis(400))
+                .seed(8),
+        );
+        assert!(out.crashed.contains(ProcessId(0)), "timed crash must fire");
+        assert_eq!(out.deciders(), 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn builder_shim_still_works() {
+        let out = RuntimeBuilder::new(Partition::even(4, 2), Algorithm::LocalCoin)
+            .proposals_all(Bit::One)
+            .seed(3)
+            .run();
+        assert!(out.all_correct_decided);
+        assert!(out.decided(Bit::One));
+        let sc = RuntimeBuilder::new(Partition::even(4, 2), Algorithm::LocalCoin)
+            .crash_at_round(ProcessId(1), 2)
+            .into_scenario();
+        assert_eq!(
+            sc.crashes.trigger(ProcessId(1)),
+            Some(CrashTrigger::AtRound(2))
+        );
+        assert_eq!(sc.config.max_rounds, Some(256));
     }
 }

@@ -1,0 +1,27 @@
+//! The execution-substrate abstraction.
+
+use crate::{Outcome, Scenario};
+
+/// An execution substrate that can run any [`Scenario`] to completion.
+///
+/// This is the paper's "one protocol, any decomposition" claim as a trait:
+/// `ofa-sim` implements it with a deterministic discrete-event conductor
+/// (`Sim`), `ofa-runtime` with one OS thread per process (`Threads`), and
+/// both return the same [`Outcome`] shape, so every test, experiment, and
+/// tool is written once against this surface.
+///
+/// The trait is object-safe: heterogeneous backend lists
+/// (`[&dyn Backend]`) let a single scenario value be executed on every
+/// substrate in a loop.
+pub trait Backend {
+    /// A short human-readable backend name (e.g. `"sim"`, `"threads"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs `scenario` to completion and summarizes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is internally inconsistent (e.g. proposal
+    /// count ≠ `n`) or protocol code panics (a bug, not a modeled fault).
+    fn run(&self, scenario: &Scenario) -> Outcome;
+}

@@ -1,0 +1,134 @@
+//! What each process executes: a paper algorithm or a custom protocol.
+
+use ofa_core::{Algorithm, Bit, Decision, Env, Halt, ProtocolConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A custom protocol body, run once per process in place of one of the
+/// paper's algorithms (see [`crate::Scenario::custom_body`]).
+///
+/// Implementors receive the process's [`ofa_core::Env`] plus its binary
+/// proposal and return a decision or halt like the built-in algorithms.
+/// `ofa-mm` uses this to run the m&m comparator; `ofa-smr` uses it for
+/// multivalued/replicated protocols. Any [`crate::Backend`] — the
+/// deterministic simulator as well as the real-thread runtime — can
+/// execute a custom body, since bodies only ever talk to the abstract
+/// environment.
+pub trait ProcessBody: Send + Sync {
+    /// Executes the protocol on behalf of `env.me()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ofa_core::Halt`] that interrupted the process.
+    fn run(
+        &self,
+        env: &mut dyn Env,
+        proposal: Bit,
+        config: &ProtocolConfig,
+    ) -> Result<Decision, Halt>;
+}
+
+/// What each process executes.
+#[derive(Clone)]
+pub enum Body {
+    /// One of the paper's algorithms.
+    Algo(Algorithm),
+    /// A custom protocol (e.g. the m&m comparator or an SMR client).
+    Custom(Arc<dyn ProcessBody>),
+}
+
+impl Body {
+    /// Runs the body on `env`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the body's [`Halt`].
+    pub fn run(
+        &self,
+        env: &mut dyn Env,
+        proposal: Bit,
+        config: &ProtocolConfig,
+    ) -> Result<Decision, Halt> {
+        match self {
+            Body::Algo(a) => a.run(env, proposal, config),
+            Body::Custom(b) => b.run(env, proposal, config),
+        }
+    }
+}
+
+impl fmt::Debug for Body {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Body::Algo(a) => f.debug_tuple("Algo").field(a).finish(),
+            Body::Custom(_) => f.debug_tuple("Custom").field(&"..").finish(),
+        }
+    }
+}
+
+impl PartialEq for Body {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Body::Algo(a), Body::Algo(b)) => a == b,
+            (Body::Custom(a), Body::Custom(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+/// [`Body::Algo`] serializes as the algorithm; [`Body::Custom`] — an
+/// opaque function value — serializes as the marker string `"custom"`,
+/// which deliberately fails to deserialize: only declarative scenarios
+/// round-trip.
+impl Serialize for Body {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Body::Algo(a) => serde::Value::Map(vec![("Algo".to_string(), a.to_value())]),
+            Body::Custom(_) => serde::Value::Str("custom".to_string()),
+        }
+    }
+}
+
+impl Deserialize for Body {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if let Some(a) = v.get("Algo") {
+            return Deserialize::from_value(a).map(Body::Algo);
+        }
+        Err(serde::Error::msg(
+            "only Body::Algo deserializes; custom bodies are code, not data",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algo_round_trips_custom_does_not() {
+        let b = Body::Algo(Algorithm::CommonCoin);
+        let v = b.to_value();
+        assert_eq!(Body::from_value(&v).unwrap(), b);
+
+        struct Nop;
+        impl ProcessBody for Nop {
+            fn run(
+                &self,
+                _env: &mut dyn Env,
+                _proposal: Bit,
+                _config: &ProtocolConfig,
+            ) -> Result<Decision, Halt> {
+                Err(Halt::Stopped)
+            }
+        }
+        let c = Body::Custom(Arc::new(Nop));
+        assert!(Body::from_value(&c.to_value()).is_err());
+    }
+
+    #[test]
+    fn equality_semantics() {
+        let a = Body::Algo(Algorithm::LocalCoin);
+        assert_eq!(a.clone(), a);
+        assert_ne!(a, Body::Algo(Algorithm::CommonCoin));
+    }
+}

@@ -14,10 +14,11 @@
 
 use crate::VirtualTime;
 use ofa_topology::{ProcessId, ProcessSet};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// When a process should crash.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CrashTrigger {
     /// Crash at the `k`-th environment call (0 = before any step — the
     /// process is crashed from the start).
@@ -33,7 +34,7 @@ pub enum CrashTrigger {
 /// # Examples
 ///
 /// ```
-/// use ofa_sim::{CrashPlan, CrashTrigger, VirtualTime};
+/// use ofa_scenario::{CrashPlan, CrashTrigger, VirtualTime};
 /// use ofa_topology::ProcessId;
 ///
 /// let plan = CrashPlan::new()
@@ -110,6 +111,34 @@ impl CrashPlan {
     /// Iterates over `(process, trigger)` pairs (unordered).
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, CrashTrigger)> + '_ {
         self.triggers.iter().map(|(p, t)| (*p, *t))
+    }
+}
+
+/// Serialized as a process-index-sorted list of `[index, trigger]` pairs,
+/// so the encoding is canonical regardless of hash-map iteration order.
+impl Serialize for CrashPlan {
+    fn to_value(&self) -> serde::Value {
+        let mut entries: Vec<(ProcessId, CrashTrigger)> = self.iter().collect();
+        entries.sort_by_key(|(p, _)| *p);
+        serde::Value::Seq(
+            entries
+                .into_iter()
+                .map(|(p, t)| {
+                    serde::Value::Seq(vec![serde::Value::U64(p.index() as u64), t.to_value()])
+                })
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for CrashPlan {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let entries: Vec<(usize, CrashTrigger)> = Deserialize::from_value(v)?;
+        let mut plan = CrashPlan::new();
+        for (i, t) in entries {
+            plan.triggers.insert(ProcessId(i), t);
+        }
+        Ok(plan)
     }
 }
 

@@ -10,9 +10,10 @@
 use ofa_topology::ProcessId;
 use rand::rngs::StdRng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Per-operation virtual-time costs charged to the invoking process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CostModel {
     /// Cost of handing one message to the network (per destination).
     pub send_cost: u64,
@@ -56,7 +57,7 @@ impl Default for CostModel {
 /// sampled delay is finite, no message is lost or reordered within the
 /// model's own guarantees (delivery order is delay order, so reordering
 /// happens naturally under non-constant delays).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum DelayModel {
     /// Every message takes exactly this many ticks.
     Constant(u64),

@@ -1,0 +1,321 @@
+//! The unified result of running a [`crate::Scenario`] on any backend.
+
+use crate::{TimedEvent, VirtualTime};
+use ofa_core::{Bit, Decision, Halt};
+use ofa_metrics::CounterSnapshot;
+use ofa_topology::{ProcessId, ProcessSet};
+use serde::Serialize;
+use std::time::Duration;
+
+/// Which execution substrate produced an [`Outcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, serde::Deserialize)]
+pub enum BackendKind {
+    /// The deterministic discrete-event simulator (`ofa-sim`).
+    Sim,
+    /// The real-thread runtime (`ofa-runtime`).
+    Threads,
+}
+
+/// Summary of one execution, identical in shape across all backends.
+///
+/// The safety predicates ([`Outcome::agreement_holds`],
+/// [`Outcome::deciders`], [`Outcome::decided`]) are defined here — once —
+/// for every substrate.
+///
+/// Timing is reported in both notions where available: virtual-time fields
+/// ([`Outcome::latest_decision_time`], [`Outcome::end_time`],
+/// [`Outcome::events_processed`], [`Outcome::trace_hash`]) are meaningful
+/// only for virtual-time backends and are zero/`None` elsewhere;
+/// [`Outcome::elapsed`] is measured wall-clock for every backend, and
+/// [`Outcome::latest_decision`] only where decisions have wall-clock
+/// timestamps (real-time backends).
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Which backend produced this outcome.
+    pub backend: BackendKind,
+    /// Per-process decision (`None` for crashed/stopped processes).
+    pub decisions: Vec<Option<Decision>>,
+    /// Per-process halt reason (`None` for deciders).
+    pub halts: Vec<Option<Halt>>,
+    /// Processes that ended crashed.
+    pub crashed: ProcessSet,
+    /// The first decided value observed, if any.
+    pub decided_value: Option<Bit>,
+    /// `true` iff every non-crashed process decided (termination).
+    pub all_correct_decided: bool,
+    /// Mean deciding round over deciders (0 if nobody decided).
+    pub mean_decision_round: f64,
+    /// Max deciding round over deciders.
+    pub max_decision_round: u64,
+    /// Merged counters over all processes.
+    pub counters: CounterSnapshot,
+    /// Per-process counters.
+    pub per_process: Vec<CounterSnapshot>,
+    /// Consensus objects materialized across all cluster memories.
+    pub sm_objects: usize,
+    /// Total propose invocations across all cluster memories.
+    pub sm_proposes: u64,
+    /// Virtual clock of the last process to decide (virtual-time backends).
+    pub latest_decision_time: VirtualTime,
+    /// Largest virtual timestamp seen (virtual-time backends).
+    pub end_time: VirtualTime,
+    /// Number of scheduler events processed (virtual-time backends).
+    pub events_processed: u64,
+    /// Replay hash of the full event stream (virtual-time backends).
+    pub trace_hash: Option<u64>,
+    /// Full trace (only with [`crate::Scenario::keep_trace`], on backends
+    /// that record one).
+    pub events: Option<Vec<TimedEvent>>,
+    /// Total wall-clock duration of the run (all backends).
+    pub elapsed: Duration,
+    /// Wall-clock time of the last decision (real-time backends).
+    pub latest_decision: Option<Duration>,
+}
+
+impl Outcome {
+    /// Builds an outcome from per-process protocol results, computing
+    /// every derived field (decisions/halts split, crash set, termination,
+    /// round statistics, merged counters). Timing fields start zeroed /
+    /// `None`; the backend fills in the notions it has.
+    pub fn assemble(
+        backend: BackendKind,
+        results: Vec<Result<Decision, Halt>>,
+        per_process: Vec<CounterSnapshot>,
+        sm_objects: usize,
+        sm_proposes: u64,
+    ) -> Outcome {
+        let n = results.len();
+        let mut decisions: Vec<Option<Decision>> = Vec::with_capacity(n);
+        let mut halts: Vec<Option<Halt>> = Vec::with_capacity(n);
+        let mut crashed = ProcessSet::empty(n);
+        for (i, res) in results.into_iter().enumerate() {
+            match res {
+                Ok(d) => {
+                    decisions.push(Some(d));
+                    halts.push(None);
+                }
+                Err(h) => {
+                    decisions.push(None);
+                    halts.push(Some(h));
+                    if h == Halt::Crashed {
+                        crashed.insert(ProcessId(i));
+                    }
+                }
+            }
+        }
+        let decided_value = decisions.iter().flatten().map(|d| d.value).next();
+        let all_correct_decided = decisions
+            .iter()
+            .zip(halts.iter())
+            .all(|(d, h)| d.is_some() || *h == Some(Halt::Crashed));
+        let rounds: Vec<u64> = decisions.iter().flatten().map(|d| d.round).collect();
+        let mean_decision_round = if rounds.is_empty() {
+            0.0
+        } else {
+            rounds.iter().sum::<u64>() as f64 / rounds.len() as f64
+        };
+        let max_decision_round = rounds.iter().copied().max().unwrap_or(0);
+        Outcome {
+            backend,
+            decisions,
+            halts,
+            crashed,
+            decided_value,
+            all_correct_decided,
+            mean_decision_round,
+            max_decision_round,
+            counters: CounterSnapshot::merge_all(per_process.iter().copied()),
+            per_process,
+            sm_objects,
+            sm_proposes,
+            latest_decision_time: VirtualTime::ZERO,
+            end_time: VirtualTime::ZERO,
+            events_processed: 0,
+            trace_hash: None,
+            events: None,
+            elapsed: Duration::ZERO,
+            latest_decision: None,
+        }
+    }
+
+    /// `true` iff no two processes decided different values — the
+    /// agreement property, checked identically on every backend.
+    pub fn agreement_holds(&self) -> bool {
+        let mut seen: Option<Bit> = None;
+        for d in self.decisions.iter().flatten() {
+            match seen {
+                None => seen = Some(d.value),
+                Some(v) if v != d.value => return false,
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Number of processes that decided.
+    pub fn deciders(&self) -> usize {
+        self.decisions.iter().flatten().count()
+    }
+
+    /// `true` iff `v` was decided by someone and it equals every decision.
+    pub fn decided(&self, v: Bit) -> bool {
+        self.decided_value == Some(v) && self.agreement_holds()
+    }
+}
+
+/// Serializes every field; durations appear as `elapsed_us` /
+/// `latest_decision_us` (microseconds) and retained trace events as their
+/// human-readable display strings.
+impl Serialize for Outcome {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("backend".to_string(), self.backend.to_value()),
+            ("decisions".to_string(), self.decisions.to_value()),
+            ("halts".to_string(), self.halts.to_value()),
+            ("crashed".to_string(), self.crashed.to_value()),
+            ("decided_value".to_string(), self.decided_value.to_value()),
+            (
+                "all_correct_decided".to_string(),
+                serde::Value::Bool(self.all_correct_decided),
+            ),
+            (
+                "agreement_holds".to_string(),
+                serde::Value::Bool(self.agreement_holds()),
+            ),
+            (
+                "deciders".to_string(),
+                serde::Value::U64(self.deciders() as u64),
+            ),
+            (
+                "mean_decision_round".to_string(),
+                serde::Value::F64(self.mean_decision_round),
+            ),
+            (
+                "max_decision_round".to_string(),
+                serde::Value::U64(self.max_decision_round),
+            ),
+            ("counters".to_string(), self.counters.to_value()),
+            ("per_process".to_string(), self.per_process.to_value()),
+            (
+                "sm_objects".to_string(),
+                serde::Value::U64(self.sm_objects as u64),
+            ),
+            (
+                "sm_proposes".to_string(),
+                serde::Value::U64(self.sm_proposes),
+            ),
+            (
+                "latest_decision_time".to_string(),
+                self.latest_decision_time.to_value(),
+            ),
+            ("end_time".to_string(), self.end_time.to_value()),
+            (
+                "events_processed".to_string(),
+                serde::Value::U64(self.events_processed),
+            ),
+            ("trace_hash".to_string(), self.trace_hash.to_value()),
+            (
+                "events".to_string(),
+                match &self.events {
+                    None => serde::Value::Null,
+                    Some(events) => serde::Value::Seq(
+                        events
+                            .iter()
+                            .map(|e| serde::Value::Str(e.to_string()))
+                            .collect(),
+                    ),
+                },
+            ),
+            (
+                "elapsed_us".to_string(),
+                serde::Value::U64(self.elapsed.as_micros() as u64),
+            ),
+            (
+                "latest_decision_us".to_string(),
+                self.latest_decision
+                    .map(|d| d.as_micros() as u64)
+                    .to_value(),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(value: Bit, round: u64) -> Result<Decision, Halt> {
+        Ok(Decision {
+            value,
+            round,
+            relayed: false,
+        })
+    }
+
+    #[test]
+    fn assemble_derives_everything_once() {
+        let out = Outcome::assemble(
+            BackendKind::Sim,
+            vec![
+                decision(Bit::One, 1),
+                Err(Halt::Crashed),
+                decision(Bit::One, 3),
+            ],
+            vec![CounterSnapshot::default(); 3],
+            2,
+            6,
+        );
+        assert!(out.all_correct_decided);
+        assert!(out.agreement_holds());
+        assert_eq!(out.deciders(), 2);
+        assert!(out.decided(Bit::One));
+        assert!(!out.decided(Bit::Zero));
+        assert_eq!(out.max_decision_round, 3);
+        assert_eq!(out.mean_decision_round, 2.0);
+        assert_eq!(out.crashed.len(), 1);
+        assert!(out.crashed.contains(ProcessId(1)));
+    }
+
+    #[test]
+    fn disagreement_is_detected() {
+        let out = Outcome::assemble(
+            BackendKind::Threads,
+            vec![decision(Bit::One, 1), decision(Bit::Zero, 1)],
+            vec![CounterSnapshot::default(); 2],
+            0,
+            0,
+        );
+        assert!(!out.agreement_holds());
+        assert!(!out.decided(Bit::One));
+    }
+
+    #[test]
+    fn stopped_process_blocks_termination() {
+        let out = Outcome::assemble(
+            BackendKind::Sim,
+            vec![decision(Bit::Zero, 2), Err(Halt::Stopped)],
+            vec![CounterSnapshot::default(); 2],
+            0,
+            0,
+        );
+        assert!(!out.all_correct_decided);
+        assert!(out.agreement_holds());
+        assert!(out.crashed.is_empty());
+    }
+
+    #[test]
+    fn outcome_serializes_to_json() {
+        let mut out = Outcome::assemble(
+            BackendKind::Sim,
+            vec![decision(Bit::One, 1)],
+            vec![CounterSnapshot::default()],
+            1,
+            1,
+        );
+        out.trace_hash = Some(0xABCD);
+        let json = serde_json::to_string(&out).unwrap();
+        assert!(json.contains("\"backend\":\"Sim\""), "{json}");
+        assert!(json.contains("\"agreement_holds\":true"), "{json}");
+        assert!(json.contains("\"trace_hash\":43981"), "{json}");
+    }
+}

@@ -1,0 +1,493 @@
+//! The declarative description of one consensus execution.
+
+use crate::{Body, CostModel, CrashPlan, DelayModel, ProcessBody};
+use ofa_coins::{
+    AlternatingCoin, CommonCoin, ConstantCoin, ScriptedCoin, SeededCommonCoin, COIN_DOMAIN_SEP,
+};
+use ofa_core::{Algorithm, Bit, Observer, ProtocolConfig};
+use ofa_topology::Partition;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which common coin a scenario uses (paper §II-B).
+///
+/// All variants except [`CoinSpec::Custom`] are plain data and serialize
+/// with the scenario; `Custom` wraps an arbitrary [`CommonCoin`] object
+/// and serializes as the marker string `"custom"`, which deliberately
+/// fails to deserialize.
+#[derive(Clone)]
+pub enum CoinSpec {
+    /// The default: a fair seeded coin derived from the scenario seed via
+    /// [`COIN_DOMAIN_SEP`] — identical across all backends.
+    Seeded,
+    /// An adversarial coin that always returns the same bit.
+    Constant(Bit),
+    /// A coin that alternates by round parity.
+    Alternating,
+    /// A coin replaying a fixed script (then repeating its last bit).
+    Scripted(Vec<bool>),
+    /// An arbitrary coin object (not serializable).
+    Custom(Arc<dyn CommonCoin>),
+}
+
+impl CoinSpec {
+    /// Materializes the coin for a run with the given master seed.
+    pub fn build(&self, seed: u64) -> Arc<dyn CommonCoin> {
+        match self {
+            CoinSpec::Seeded => Arc::new(SeededCommonCoin::new(seed ^ COIN_DOMAIN_SEP)),
+            CoinSpec::Constant(b) => Arc::new(ConstantCoin(b.as_bool())),
+            CoinSpec::Alternating => Arc::new(AlternatingCoin::new()),
+            CoinSpec::Scripted(script) => Arc::new(ScriptedCoin::new(script.clone())),
+            CoinSpec::Custom(coin) => Arc::clone(coin),
+        }
+    }
+}
+
+impl fmt::Debug for CoinSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoinSpec::Seeded => write!(f, "Seeded"),
+            CoinSpec::Constant(b) => f.debug_tuple("Constant").field(b).finish(),
+            CoinSpec::Alternating => write!(f, "Alternating"),
+            CoinSpec::Scripted(s) => f.debug_tuple("Scripted").field(s).finish(),
+            CoinSpec::Custom(_) => f.debug_tuple("Custom").field(&"..").finish(),
+        }
+    }
+}
+
+impl PartialEq for CoinSpec {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (CoinSpec::Seeded, CoinSpec::Seeded) => true,
+            (CoinSpec::Constant(a), CoinSpec::Constant(b)) => a == b,
+            (CoinSpec::Alternating, CoinSpec::Alternating) => true,
+            (CoinSpec::Scripted(a), CoinSpec::Scripted(b)) => a == b,
+            (CoinSpec::Custom(a), CoinSpec::Custom(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Serialize for CoinSpec {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            CoinSpec::Seeded => serde::Value::Str("Seeded".to_string()),
+            CoinSpec::Constant(b) => {
+                serde::Value::Map(vec![("Constant".to_string(), b.to_value())])
+            }
+            CoinSpec::Alternating => serde::Value::Str("Alternating".to_string()),
+            CoinSpec::Scripted(s) => {
+                serde::Value::Map(vec![("Scripted".to_string(), s.to_value())])
+            }
+            CoinSpec::Custom(_) => serde::Value::Str("custom".to_string()),
+        }
+    }
+}
+
+impl Deserialize for CoinSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) if s == "Seeded" => Ok(CoinSpec::Seeded),
+            serde::Value::Str(s) if s == "Alternating" => Ok(CoinSpec::Alternating),
+            _ => {
+                if let Some(b) = v.get("Constant") {
+                    return Deserialize::from_value(b).map(CoinSpec::Constant);
+                }
+                if let Some(s) = v.get("Scripted") {
+                    return Deserialize::from_value(s).map(CoinSpec::Scripted);
+                }
+                Err(serde::Error::msg(
+                    "CoinSpec: expected Seeded | Alternating | {Constant} | {Scripted} \
+                     (custom coins are code, not data)",
+                ))
+            }
+        }
+    }
+}
+
+/// A complete, backend-agnostic description of one consensus execution:
+/// *what* to run (partition, body, configuration, proposals) and *under
+/// which conditions* (seed, failure pattern, network/cost models, coin).
+///
+/// The same `Scenario` value executes on any [`crate::Backend`] — the
+/// deterministic simulator, the real-thread runtime, or any future
+/// substrate — which is the paper's central claim made into an API: the
+/// protocol (and now its whole workload description) is independent of the
+/// communication substrate underneath.
+///
+/// Fields that are plain data serialize via serde and round-trip
+/// losslessly, so scenarios can be stored, shipped, and replayed
+/// bit-for-bit on the simulator. The three hook fields that carry code
+/// rather than data — a [`Body::Custom`] body, a [`CoinSpec::Custom`]
+/// coin, and the [`Scenario::observer`] — do not survive serialization
+/// (the observer is silently dropped; custom bodies/coins fail to
+/// deserialize).
+///
+/// # Examples
+///
+/// ```
+/// use ofa_core::Algorithm;
+/// use ofa_scenario::Scenario;
+/// use ofa_topology::Partition;
+///
+/// let scenario = Scenario::new(Partition::fig1_right(), Algorithm::CommonCoin)
+///     .proposals_split(3)
+///     .seed(42);
+/// // The description is a value: serialize, ship, replay.
+/// let json = serde_json::to_string(&scenario).unwrap();
+/// let copy: Scenario = serde_json::from_str(&json).unwrap();
+/// assert_eq!(copy.seed, 42);
+/// assert_eq!(copy.partition, scenario.partition);
+/// ```
+#[derive(Clone)]
+pub struct Scenario {
+    /// The cluster decomposition.
+    pub partition: Partition,
+    /// What every process executes.
+    pub body: Body,
+    /// Protocol switches (pre-agreement, amplification, round budget).
+    pub config: ProtocolConfig,
+    /// One proposal per process.
+    pub proposals: Vec<Bit>,
+    /// Master seed for all randomness (delays, local coins, common coin).
+    pub seed: u64,
+    /// Message transit-time model (virtual-time backends only).
+    pub delay: DelayModel,
+    /// Per-operation cost model (virtual-time backends only).
+    pub costs: CostModel,
+    /// The failure pattern.
+    pub crashes: CrashPlan,
+    /// The common-coin source.
+    pub coin: CoinSpec,
+    /// Retain the full event trace (backends that record one).
+    pub keep_trace: bool,
+    /// Cap on simulator events (safety net against non-termination).
+    pub max_events: u64,
+    /// Wall-clock budget in milliseconds (real-time backends only).
+    pub timeout_ms: u64,
+    /// Observer hook (e.g. [`ofa_core::InvariantChecker`]); not serialized.
+    pub observer: Option<Arc<dyn Observer>>,
+}
+
+impl Scenario {
+    /// Starts a scenario for `partition` running `algorithm` with the
+    /// paper's configuration, alternating proposals (`0, 1, 0, 1, …`),
+    /// seed 0, default delays/costs, no crashes, the seeded fair coin, a
+    /// round budget of 512, and a 10-second wall-clock budget.
+    pub fn new(partition: Partition, algorithm: Algorithm) -> Self {
+        let n = partition.n();
+        Scenario {
+            partition,
+            body: Body::Algo(algorithm),
+            config: ProtocolConfig::paper().with_max_rounds(512),
+            proposals: (0..n).map(|i| Bit::from(i % 2 == 1)).collect(),
+            seed: 0,
+            delay: DelayModel::default_network(),
+            costs: CostModel::default(),
+            crashes: CrashPlan::new(),
+            coin: CoinSpec::Seeded,
+            keep_trace: false,
+            max_events: 5_000_000,
+            timeout_ms: 10_000,
+            observer: None,
+        }
+    }
+
+    /// Replaces the algorithm with a custom protocol body (e.g. the m&m
+    /// comparator of `ofa-mm` or an SMR replica of `ofa-smr`).
+    pub fn custom_body(mut self, body: Arc<dyn ProcessBody>) -> Self {
+        self.body = Body::Custom(body);
+        self
+    }
+
+    /// Sets the protocol configuration.
+    pub fn config(mut self, config: ProtocolConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Bounds the number of protocol rounds per process.
+    pub fn max_rounds(mut self, rounds: u64) -> Self {
+        self.config = self.config.with_max_rounds(rounds);
+        self
+    }
+
+    /// Sets every process's proposal explicitly.
+    ///
+    /// Backends panic on `run` if the length differs from `n`.
+    pub fn proposals(mut self, proposals: Vec<Bit>) -> Self {
+        self.proposals = proposals;
+        self
+    }
+
+    /// All processes propose the same value.
+    pub fn proposals_all(mut self, v: Bit) -> Self {
+        self.proposals = vec![v; self.partition.n()];
+        self
+    }
+
+    /// The first `ones` processes propose 1, the rest 0 — a convenient
+    /// mixed-input workload.
+    pub fn proposals_split(mut self, ones: usize) -> Self {
+        let n = self.partition.n();
+        self.proposals = (0..n).map(|i| Bit::from(i < ones)).collect();
+        self
+    }
+
+    /// Seeds all randomness (delays, local coins, common coin).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the message delay model.
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Sets the per-operation cost model.
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Sets the failure pattern.
+    pub fn crashes(mut self, plan: CrashPlan) -> Self {
+        self.crashes = plan;
+        self
+    }
+
+    /// Selects the common-coin source.
+    pub fn coin(mut self, coin: CoinSpec) -> Self {
+        self.coin = coin;
+        self
+    }
+
+    /// Substitutes an arbitrary common-coin object (shorthand for
+    /// [`CoinSpec::Custom`]).
+    pub fn common_coin(mut self, coin: Arc<dyn CommonCoin>) -> Self {
+        self.coin = CoinSpec::Custom(coin);
+        self
+    }
+
+    /// Attaches an observer (e.g. [`ofa_core::InvariantChecker`]).
+    pub fn observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Retains the full event trace in the outcome (on backends that
+    /// record one; the replay hash is always on).
+    pub fn keep_trace(mut self) -> Self {
+        self.keep_trace = true;
+        self
+    }
+
+    /// Caps the number of simulator events.
+    pub fn max_events(mut self, max: u64) -> Self {
+        self.max_events = max;
+        self
+    }
+
+    /// Sets the wall-clock budget for real-time backends, after which
+    /// undecided processes are stopped (indulgence: they stop *without*
+    /// deciding). Sub-millisecond durations round **up** to 1 ms so a
+    /// positive budget never truncates to zero.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout_ms = timeout.as_micros().div_ceil(1_000) as u64;
+        self
+    }
+
+    /// The wall-clock budget as a [`Duration`].
+    pub fn timeout_duration(&self) -> Duration {
+        Duration::from_millis(self.timeout_ms)
+    }
+
+    /// Materializes the common coin for this scenario's seed.
+    pub fn build_coin(&self) -> Arc<dyn CommonCoin> {
+        self.coin.build(self.seed)
+    }
+
+    /// Runs this scenario on `backend` (sugar for `backend.run(self)`).
+    pub fn run_on<B: crate::Backend + ?Sized>(&self, backend: &B) -> crate::Outcome {
+        backend.run(self)
+    }
+
+    /// Checks internal consistency (used by backends before running).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the proposal vector length differs from `n`, or if the
+    /// crash plan or delay model names a process index `>= n` — the
+    /// latter matters for deserialized scenarios, where a silently
+    /// ignored out-of-range trigger would report a fault-free run as if
+    /// the failure pattern had been exercised.
+    pub fn assert_valid(&self) {
+        let n = self.partition.n();
+        assert_eq!(
+            self.proposals.len(),
+            n,
+            "need one proposal per process (got {} for n={n})",
+            self.proposals.len()
+        );
+        for (p, trigger) in self.crashes.iter() {
+            assert!(
+                p.index() < n,
+                "crash trigger {trigger:?} names process index {} but n={n}",
+                p.index()
+            );
+        }
+        fn check_delay(model: &DelayModel, n: usize) {
+            if let DelayModel::Laggard { slow, base, .. } = model {
+                for p in slow {
+                    assert!(
+                        p.index() < n,
+                        "laggard set names process index {} but n={n}",
+                        p.index()
+                    );
+                }
+                check_delay(base, n);
+            }
+        }
+        check_delay(&self.delay, n);
+    }
+}
+
+impl fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scenario")
+            .field("partition", &self.partition)
+            .field("body", &self.body)
+            .field("seed", &self.seed)
+            .field("crashes", &self.crashes.len())
+            .field("coin", &self.coin)
+            .field("observer", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Serialize for Scenario {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("partition".to_string(), self.partition.to_value()),
+            ("body".to_string(), self.body.to_value()),
+            ("config".to_string(), self.config.to_value()),
+            ("proposals".to_string(), self.proposals.to_value()),
+            ("seed".to_string(), serde::Value::U64(self.seed)),
+            ("delay".to_string(), self.delay.to_value()),
+            ("costs".to_string(), self.costs.to_value()),
+            ("crashes".to_string(), self.crashes.to_value()),
+            ("coin".to_string(), self.coin.to_value()),
+            (
+                "keep_trace".to_string(),
+                serde::Value::Bool(self.keep_trace),
+            ),
+            ("max_events".to_string(), serde::Value::U64(self.max_events)),
+            ("timeout_ms".to_string(), serde::Value::U64(self.timeout_ms)),
+        ])
+    }
+}
+
+impl Deserialize for Scenario {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::msg(format!("Scenario: missing field {name:?}")))
+        };
+        Ok(Scenario {
+            partition: Deserialize::from_value(field("partition")?)?,
+            body: Deserialize::from_value(field("body")?)?,
+            config: Deserialize::from_value(field("config")?)?,
+            proposals: Deserialize::from_value(field("proposals")?)?,
+            seed: Deserialize::from_value(field("seed")?)?,
+            delay: Deserialize::from_value(field("delay")?)?,
+            costs: Deserialize::from_value(field("costs")?)?,
+            crashes: Deserialize::from_value(field("crashes")?)?,
+            coin: Deserialize::from_value(field("coin")?)?,
+            keep_trace: Deserialize::from_value(field("keep_trace")?)?,
+            max_events: Deserialize::from_value(field("max_events")?)?,
+            timeout_ms: Deserialize::from_value(field("timeout_ms")?)?,
+            observer: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofa_topology::ProcessId;
+
+    #[test]
+    fn defaults_match_documented_contract() {
+        let sc = Scenario::new(Partition::fig1_right(), Algorithm::LocalCoin);
+        assert_eq!(sc.proposals.len(), 7);
+        assert_eq!(sc.config.max_rounds, Some(512));
+        assert_eq!(sc.seed, 0);
+        assert!(sc.crashes.is_empty());
+        assert_eq!(sc.timeout_duration(), Duration::from_secs(10));
+        sc.assert_valid();
+    }
+
+    #[test]
+    fn serde_round_trip_is_lossless() {
+        let sc = Scenario::new(
+            Partition::from_sizes(&[2, 3]).unwrap(),
+            Algorithm::CommonCoin,
+        )
+        .proposals_split(2)
+        .seed(99)
+        .delay(DelayModel::Uniform { lo: 10, hi: 40 })
+        .crashes(CrashPlan::new().crash_at_step(ProcessId(1), 7))
+        .coin(CoinSpec::Scripted(vec![true, false]))
+        .max_rounds(16);
+        let json = serde_json::to_string(&sc).unwrap();
+        let copy: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&copy).unwrap(), json);
+        assert_eq!(copy.partition, sc.partition);
+        assert_eq!(copy.proposals, sc.proposals);
+        assert_eq!(copy.crashes, sc.crashes);
+        assert_eq!(copy.coin, sc.coin);
+    }
+
+    #[test]
+    fn seeded_coin_uses_domain_separator() {
+        let sc = Scenario::new(Partition::single_cluster(2), Algorithm::CommonCoin).seed(5);
+        let direct = SeededCommonCoin::new(5 ^ COIN_DOMAIN_SEP);
+        let built = sc.build_coin();
+        for r in 1..=32 {
+            assert_eq!(built.bit(r), direct.bit(r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one proposal per process")]
+    fn wrong_proposal_count_is_rejected() {
+        Scenario::new(Partition::single_cluster(3), Algorithm::LocalCoin)
+            .proposals(vec![Bit::One])
+            .assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "names process index 7 but n=3")]
+    fn out_of_range_crash_trigger_is_rejected() {
+        // e.g. a hand-written JSON crash plan using 1-based ids.
+        Scenario::new(Partition::single_cluster(3), Algorithm::LocalCoin)
+            .crashes(CrashPlan::new().crash_at_start(ProcessId(7)))
+            .assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "laggard set names process index 9")]
+    fn out_of_range_laggard_is_rejected() {
+        Scenario::new(Partition::single_cluster(4), Algorithm::LocalCoin)
+            .delay(DelayModel::Laggard {
+                slow: vec![ProcessId(9)],
+                factor: 3,
+                base: Box::new(DelayModel::Constant(5)),
+            })
+            .assert_valid();
+    }
+}

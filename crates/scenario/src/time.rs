@@ -1,5 +1,6 @@
 //! Virtual time.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -14,13 +15,15 @@ use std::ops::{Add, AddAssign, Sub};
 /// # Examples
 ///
 /// ```
-/// use ofa_sim::VirtualTime;
+/// use ofa_scenario::VirtualTime;
 ///
 /// let t = VirtualTime::ZERO + VirtualTime::from_ticks(5);
 /// assert_eq!(t.ticks(), 5);
 /// assert!(t > VirtualTime::ZERO);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct VirtualTime(u64);
 
 impl VirtualTime {

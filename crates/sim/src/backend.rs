@@ -1,0 +1,267 @@
+//! The [`Sim`] backend: deterministic execution of any
+//! [`ofa_scenario::Scenario`].
+
+use crate::conductor::{conduct, RunSpec, TimedScheduler};
+use ofa_scenario::{Backend, BackendKind, Outcome, Scenario, VirtualTime};
+use std::time::Instant;
+
+/// The deterministic discrete-event backend.
+///
+/// Every run is a pure function of the scenario value: the same
+/// [`Scenario`] — including one deserialized from JSON — reproduces the
+/// same [`Outcome::trace_hash`] bit-for-bit.
+///
+/// # Examples
+///
+/// ```
+/// use ofa_core::{Algorithm, Bit};
+/// use ofa_scenario::{Backend, Scenario};
+/// use ofa_sim::Sim;
+/// use ofa_topology::Partition;
+///
+/// // Figure 1 (right), mixed proposals, common-coin algorithm:
+/// let scenario = Scenario::new(Partition::fig1_right(), Algorithm::CommonCoin)
+///     .proposals_split(3) // p1..p3 propose 1, the rest propose 0
+///     .seed(7);
+/// let outcome = Sim.run(&scenario);
+/// assert!(outcome.all_correct_decided);
+/// assert!(outcome.agreement_holds());
+/// outcome.decided_value.expect("someone decided");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sim;
+
+impl Backend for Sim {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run(&self, scenario: &Scenario) -> Outcome {
+        run_scenario(scenario)
+    }
+}
+
+/// Executes `scenario` under the timed scheduler and shapes the raw
+/// conductor result into the unified [`Outcome`].
+pub(crate) fn run_scenario(scenario: &Scenario) -> Outcome {
+    scenario.assert_valid();
+    let started = Instant::now();
+    let mut scheduler = TimedScheduler::new(scenario.seed, scenario.delay.clone());
+    let spec = RunSpec {
+        partition: scenario.partition.clone(),
+        body: scenario.body.clone(),
+        config: scenario.config,
+        proposals: scenario.proposals.clone(),
+        seed: scenario.seed,
+        costs: scenario.costs,
+        crash_plan: scenario.crashes.clone(),
+        common_coin: scenario.build_coin(),
+        observer: scenario.observer.clone(),
+        keep_trace: scenario.keep_trace,
+        max_events: scenario.max_events,
+    };
+    let raw = conduct(spec, &mut scheduler);
+
+    let latest_decision_ticks = raw
+        .results
+        .iter()
+        .filter(|(res, _)| res.is_ok())
+        .map(|(_, clock)| *clock)
+        .max()
+        .unwrap_or(0);
+    let results: Vec<_> = raw.results.iter().map(|(res, _)| *res).collect();
+    let mut out = Outcome::assemble(
+        BackendKind::Sim,
+        results,
+        raw.counters,
+        raw.sm_objects,
+        raw.sm_proposes,
+    );
+    out.latest_decision_time = VirtualTime::from_ticks(latest_decision_ticks);
+    out.end_time = VirtualTime::from_ticks(raw.end_time);
+    out.events_processed = raw.events_processed;
+    out.trace_hash = Some(raw.trace_hash);
+    out.events = if raw.trace_events.is_empty() {
+        None
+    } else {
+        Some(raw.trace_events)
+    };
+    out.elapsed = started.elapsed();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofa_core::{Algorithm, Bit};
+    use ofa_scenario::CrashPlan;
+    use ofa_topology::{Partition, ProcessId, ProcessSet};
+    use std::sync::Arc;
+
+    #[test]
+    fn unanimous_one_cluster_decides_fast() {
+        let out = Sim.run(
+            &Scenario::new(Partition::single_cluster(4), Algorithm::LocalCoin)
+                .proposals_all(Bit::One)
+                .seed(1),
+        );
+        assert!(out.all_correct_decided);
+        assert!(
+            out.decided(Bit::One),
+            "validity: unanimous input decides it"
+        );
+        assert_eq!(out.deciders(), 4);
+        assert_eq!(out.max_decision_round, 1, "unanimous input: one round");
+    }
+
+    #[test]
+    fn fig1_right_mixed_proposals_agree() {
+        for seed in 0..5 {
+            let out = Sim.run(
+                &Scenario::new(Partition::fig1_right(), Algorithm::LocalCoin)
+                    .proposals_split(3)
+                    .seed(seed),
+            );
+            assert!(out.all_correct_decided, "seed {seed}");
+            assert!(out.agreement_holds(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn common_coin_variant_agrees() {
+        for seed in 0..5 {
+            let out = Sim.run(
+                &Scenario::new(Partition::fig1_left(), Algorithm::CommonCoin)
+                    .proposals_split(4)
+                    .seed(seed),
+            );
+            assert!(out.all_correct_decided, "seed {seed}");
+            assert!(out.agreement_holds(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn same_scenario_same_trace_hash() {
+        let scenario = |seed| {
+            Scenario::new(Partition::fig1_right(), Algorithm::LocalCoin)
+                .proposals_split(4)
+                .seed(seed)
+        };
+        let a = Sim.run(&scenario(42));
+        let b = Sim.run(&scenario(42));
+        assert_eq!(a.trace_hash, b.trace_hash, "replay must be exact");
+        assert!(a.trace_hash.is_some());
+        assert_eq!(a.decided_value, b.decided_value);
+        assert_eq!(a.latest_decision_time, b.latest_decision_time);
+        let c = Sim.run(&scenario(43));
+        // Different seed: almost surely a different schedule.
+        assert_ne!(a.trace_hash, c.trace_hash);
+    }
+
+    #[test]
+    fn crash_all_but_one_in_majority_cluster_still_decides() {
+        // The paper's headline: Fig 1 right, crash everything except p3.
+        let mut plan = CrashPlan::new();
+        for i in [0usize, 1, 3, 4, 5, 6] {
+            plan = plan.crash_at_start(ProcessId(i));
+        }
+        let out = Sim.run(
+            &Scenario::new(Partition::fig1_right(), Algorithm::LocalCoin)
+                .proposals_split(2)
+                .crashes(plan)
+                .seed(3),
+        );
+        assert!(out.all_correct_decided, "p3 alone must decide");
+        assert_eq!(out.deciders(), 1);
+        assert_eq!(out.crashed.len(), 6);
+    }
+
+    #[test]
+    fn minority_survivors_stall_but_stay_safe() {
+        // Pure message passing (singletons), crash a majority: no decision,
+        // but also no wrong decision (indulgence).
+        let part = Partition::singletons(5);
+        let crashed = ProcessSet::from_indices(5, [0, 1, 2]);
+        let out = Sim.run(
+            &Scenario::new(part, Algorithm::LocalCoin)
+                .proposals_split(2)
+                .crashes(CrashPlan::new().crash_set_at_start(&crashed))
+                .max_rounds(20)
+                .seed(5),
+        );
+        assert!(!out.all_correct_decided);
+        assert_eq!(out.deciders(), 0);
+        assert!(out.agreement_holds());
+    }
+
+    #[test]
+    fn trace_is_kept_on_request() {
+        let out = Sim.run(
+            &Scenario::new(Partition::single_cluster(2), Algorithm::CommonCoin)
+                .proposals_all(Bit::Zero)
+                .keep_trace(),
+        );
+        let events = out.events.expect("trace kept");
+        assert!(!events.is_empty());
+        // The trace must contain decisions for both processes.
+        let decided = events
+            .iter()
+            .filter(|e| matches!(e.event, ofa_scenario::TraceEvent::Decided { .. }))
+            .count();
+        assert_eq!(decided, 2);
+    }
+
+    #[test]
+    fn observer_sees_invariants_hold() {
+        use ofa_core::InvariantChecker;
+        let checker = Arc::new(InvariantChecker::new());
+        let out = Sim.run(
+            &Scenario::new(Partition::fig1_right(), Algorithm::LocalCoin)
+                .proposals_split(3)
+                .observer(checker.clone())
+                .seed(11),
+        );
+        assert!(out.all_correct_decided);
+        checker.assert_clean();
+        assert_eq!(checker.decisions().len(), 7);
+    }
+
+    #[test]
+    fn mid_broadcast_crash_partial_delivery_is_safe() {
+        // Crash p2 a few env-calls in: its first broadcast is cut short.
+        for step in [1u64, 2, 3, 5, 8] {
+            let out = Sim.run(
+                &Scenario::new(Partition::fig1_left(), Algorithm::LocalCoin)
+                    .proposals_split(4)
+                    .crashes(CrashPlan::new().crash_at_step(ProcessId(1), step))
+                    .seed(step),
+            );
+            assert!(out.agreement_holds(), "step {step}");
+            assert!(out.all_correct_decided, "step {step}");
+            assert!(out.crashed.contains(ProcessId(1)));
+        }
+    }
+
+    #[test]
+    fn deserialized_scenario_reproduces_trace_hash() {
+        let scenario = Scenario::new(Partition::fig1_right(), Algorithm::CommonCoin)
+            .proposals_split(3)
+            .crashes(CrashPlan::new().crash_at_step(ProcessId(5), 9))
+            .seed(1234);
+        let json = serde_json::to_string(&scenario).unwrap();
+        let replay: Scenario = serde_json::from_str(&json).unwrap();
+        let a = Sim.run(&scenario);
+        let b = Sim.run(&replay);
+        assert_eq!(a.trace_hash, b.trace_hash, "serde round-trip must replay");
+        assert_eq!(a.decided_value, b.decided_value);
+    }
+
+    #[test]
+    #[should_panic(expected = "one proposal per process")]
+    fn wrong_proposal_count_panics() {
+        let _ = Sim.run(
+            &Scenario::new(Partition::single_cluster(3), Algorithm::LocalCoin)
+                .proposals(vec![Bit::One]),
+        );
+    }
+}

@@ -1,171 +1,140 @@
-//! High-level entry point: configure and run one simulated execution.
+//! Deprecated builder shim over the unified scenario API.
+//!
+//! [`SimBuilder`] predates [`ofa_scenario::Scenario`]; it survives one
+//! release as a thin wrapper so downstream code migrates at its own pace.
+//! New code should build a [`Scenario`] and run it on the [`Sim`] backend
+//! (or any other [`ofa_scenario::Backend`]).
 
-use crate::conductor::{conduct, Body, RunSpec, TimedScheduler};
-use crate::{CostModel, CrashPlan, DelayModel, TimedEvent, VirtualTime};
-use ofa_coins::{CommonCoin, SeededCommonCoin};
-use ofa_core::{Algorithm, Bit, Decision, Halt, Observer, ProtocolConfig};
-use ofa_metrics::CounterSnapshot;
-use ofa_topology::{Partition, ProcessId, ProcessSet};
+#![allow(deprecated)]
+
+use crate::Sim;
+use ofa_coins::CommonCoin;
+use ofa_core::{Algorithm, Bit, Observer, ProtocolConfig};
+use ofa_scenario::{Backend, CostModel, CrashPlan, DelayModel, Outcome, ProcessBody, Scenario};
+use ofa_topology::Partition;
 use std::fmt;
 use std::sync::Arc;
 
-/// Builder for one simulated consensus execution.
+/// Deprecated alias: outcomes are now the backend-agnostic
+/// [`ofa_scenario::Outcome`], identical across substrates.
+#[deprecated(since = "0.2.0", note = "use ofa_scenario::Outcome")]
+pub type SimOutcome = Outcome;
+
+/// Deprecated builder for one simulated consensus execution.
 ///
-/// # Examples
-///
-/// ```
-/// use ofa_core::{Algorithm, Bit};
-/// use ofa_sim::SimBuilder;
-/// use ofa_topology::Partition;
-///
-/// // Figure 1 (right), mixed proposals, common-coin algorithm:
-/// let outcome = SimBuilder::new(Partition::fig1_right(), Algorithm::CommonCoin)
-///     .proposals_split(3) // p1..p3 propose 1, the rest propose 0
-///     .seed(7)
-///     .run();
-/// assert!(outcome.all_correct_decided);
-/// assert!(outcome.agreement_holds());
-/// outcome.decided_value.expect("someone decided");
-/// ```
+/// Thin shim over [`Scenario`] + the [`Sim`] backend; every method maps
+/// 1:1 onto a [`Scenario`] setter.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an ofa_scenario::Scenario and run it on the ofa_sim::Sim backend"
+)]
 pub struct SimBuilder {
-    partition: Partition,
-    body: Body,
-    config: ProtocolConfig,
-    proposals: Vec<Bit>,
-    seed: u64,
-    delay: DelayModel,
-    costs: CostModel,
-    crash_plan: CrashPlan,
-    common_coin: Option<Arc<dyn CommonCoin>>,
-    observer: Option<Arc<dyn Observer>>,
-    keep_trace: bool,
-    max_events: u64,
+    scenario: Scenario,
 }
 
 impl fmt::Debug for SimBuilder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SimBuilder")
-            .field("partition", &self.partition)
-            .field("seed", &self.seed)
-            .field("crashes", &self.crash_plan.len())
-            .finish_non_exhaustive()
+            .field("scenario", &self.scenario)
+            .finish()
     }
 }
 
 impl SimBuilder {
-    /// Starts a builder for `partition` running `algorithm` with the
-    /// paper's configuration, alternating proposals (`0, 1, 0, 1, …`),
-    /// seed 0, default delays/costs, no crashes, and a round budget of 512
-    /// (safety net; conforming runs finish in a handful of rounds).
+    /// Starts a builder with [`Scenario::new`]'s defaults.
     pub fn new(partition: Partition, algorithm: Algorithm) -> Self {
-        let n = partition.n();
         SimBuilder {
-            partition,
-            body: Body::Algo(algorithm),
-            config: ProtocolConfig::paper().with_max_rounds(512),
-            proposals: (0..n).map(|i| Bit::from(i % 2 == 1)).collect(),
-            seed: 0,
-            delay: DelayModel::default_network(),
-            costs: CostModel::default(),
-            crash_plan: CrashPlan::new(),
-            common_coin: None,
-            observer: None,
-            keep_trace: false,
-            max_events: 5_000_000,
+            scenario: Scenario::new(partition, algorithm),
         }
     }
 
-    /// Sets the protocol configuration (preserves its `max_rounds`).
+    /// Sets the protocol configuration.
     pub fn config(mut self, config: ProtocolConfig) -> Self {
-        self.config = config;
+        self.scenario = self.scenario.config(config);
         self
     }
 
-    /// Replaces the algorithm with a custom protocol body (e.g. the m&m
-    /// comparator of `ofa-mm` or an SMR replica of `ofa-smr`). The body
-    /// runs once per process under the same deterministic conductor.
-    pub fn custom_body(mut self, body: Arc<dyn crate::ProcessBody>) -> Self {
-        self.body = Body::Custom(body);
+    /// Replaces the algorithm with a custom protocol body.
+    pub fn custom_body(mut self, body: Arc<dyn ProcessBody>) -> Self {
+        self.scenario = self.scenario.custom_body(body);
         self
     }
 
     /// Bounds the number of protocol rounds per process.
     pub fn max_rounds(mut self, rounds: u64) -> Self {
-        self.config = self.config.with_max_rounds(rounds);
+        self.scenario = self.scenario.max_rounds(rounds);
         self
     }
 
     /// Sets every process's proposal explicitly.
-    ///
-    /// # Panics
-    ///
-    /// Panics (on `run`) if the length differs from `n`.
     pub fn proposals(mut self, proposals: Vec<Bit>) -> Self {
-        self.proposals = proposals;
+        self.scenario = self.scenario.proposals(proposals);
         self
     }
 
     /// All processes propose the same value.
     pub fn proposals_all(mut self, v: Bit) -> Self {
-        self.proposals = vec![v; self.partition.n()];
+        self.scenario = self.scenario.proposals_all(v);
         self
     }
 
-    /// The first `ones` processes propose 1, the rest 0 — a convenient
-    /// mixed-input workload.
+    /// The first `ones` processes propose 1, the rest 0.
     pub fn proposals_split(mut self, ones: usize) -> Self {
-        let n = self.partition.n();
-        self.proposals = (0..n).map(|i| Bit::from(i < ones)).collect();
+        self.scenario = self.scenario.proposals_split(ones);
         self
     }
 
-    /// Seeds all randomness (delays, local coins, common coin).
+    /// Seeds all randomness.
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.scenario = self.scenario.seed(seed);
         self
     }
 
     /// Sets the message delay model.
     pub fn delay(mut self, delay: DelayModel) -> Self {
-        self.delay = delay;
+        self.scenario = self.scenario.delay(delay);
         self
     }
 
     /// Sets the per-operation cost model.
     pub fn costs(mut self, costs: CostModel) -> Self {
-        self.costs = costs;
+        self.scenario = self.scenario.costs(costs);
         self
     }
 
     /// Sets the failure pattern.
     pub fn crashes(mut self, plan: CrashPlan) -> Self {
-        self.crash_plan = plan;
+        self.scenario = self.scenario.crashes(plan);
         self
     }
 
-    /// Substitutes a custom common coin (default: seeded fair coin).
+    /// Substitutes a custom common coin.
     pub fn common_coin(mut self, coin: Arc<dyn CommonCoin>) -> Self {
-        self.common_coin = Some(coin);
+        self.scenario = self.scenario.common_coin(coin);
         self
     }
 
-    /// Attaches an observer (e.g. [`ofa_core::InvariantChecker`]).
+    /// Attaches an observer.
     pub fn observer(mut self, observer: Arc<dyn Observer>) -> Self {
-        self.observer = Some(observer);
+        self.scenario = self.scenario.observer(observer);
         self
     }
 
-    /// Retains the full event trace in the outcome (hash is always on).
+    /// Retains the full event trace in the outcome.
     pub fn keep_trace(mut self) -> Self {
-        self.keep_trace = true;
+        self.scenario = self.scenario.keep_trace();
         self
     }
 
-    /// Caps the number of simulator events (safety net against unbounded
-    /// non-terminating runs).
+    /// Caps the number of simulator events.
     pub fn max_events(mut self, max: u64) -> Self {
-        self.max_events = max;
+        self.scenario = self.scenario.max_events(max);
         self
+    }
+
+    /// The scenario this builder has accumulated (migration helper).
+    pub fn into_scenario(self) -> Scenario {
+        self.scenario
     }
 
     /// Runs the execution to completion and summarizes it.
@@ -174,153 +143,8 @@ impl SimBuilder {
     ///
     /// Panics if the proposal vector length differs from `n`, or if
     /// protocol code panics (a bug, not a modeled fault).
-    pub fn run(self) -> SimOutcome {
-        let mut scheduler = TimedScheduler::new(self.seed, self.delay.clone());
-        let common_coin: Arc<dyn CommonCoin> = self
-            .common_coin
-            .unwrap_or_else(|| Arc::new(SeededCommonCoin::new(self.seed ^ COIN_SEED_MARKER)));
-        let n = self.partition.n();
-        let spec = RunSpec {
-            partition: self.partition,
-            body: self.body,
-            config: self.config,
-            proposals: self.proposals,
-            seed: self.seed,
-            costs: self.costs,
-            crash_plan: self.crash_plan,
-            common_coin,
-            observer: self.observer,
-            keep_trace: self.keep_trace,
-            max_events: self.max_events,
-        };
-        let raw = conduct(spec, &mut scheduler);
-
-        let mut decisions: Vec<Option<Decision>> = Vec::with_capacity(n);
-        let mut halts: Vec<Option<Halt>> = Vec::with_capacity(n);
-        let mut crashed = ProcessSet::empty(n);
-        let mut decide_times = Vec::new();
-        for (i, (res, clock)) in raw.results.iter().enumerate() {
-            match res {
-                Ok(d) => {
-                    decisions.push(Some(*d));
-                    halts.push(None);
-                    decide_times.push(VirtualTime::from_ticks(*clock));
-                }
-                Err(h) => {
-                    decisions.push(None);
-                    halts.push(Some(*h));
-                    if *h == Halt::Crashed {
-                        crashed.insert(ProcessId(i));
-                    }
-                }
-            }
-        }
-        let decided_value = decisions.iter().flatten().map(|d| d.value).next();
-        let all_correct_decided = decisions
-            .iter()
-            .zip(halts.iter())
-            .all(|(d, h)| d.is_some() || *h == Some(Halt::Crashed));
-        let latest_decision_time = decide_times
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(VirtualTime::ZERO);
-        let rounds: Vec<u64> = decisions.iter().flatten().map(|d| d.round).collect();
-        let mean_decision_round = if rounds.is_empty() {
-            0.0
-        } else {
-            rounds.iter().sum::<u64>() as f64 / rounds.len() as f64
-        };
-        let max_decision_round = rounds.iter().copied().max().unwrap_or(0);
-
-        SimOutcome {
-            decisions,
-            halts,
-            crashed,
-            decided_value,
-            all_correct_decided,
-            latest_decision_time,
-            mean_decision_round,
-            max_decision_round,
-            end_time: VirtualTime::from_ticks(raw.end_time),
-            per_process: raw.counters.clone(),
-            counters: CounterSnapshot::merge_all(raw.counters),
-            trace_hash: raw.trace_hash,
-            events: if raw.trace_events.is_empty() {
-                None
-            } else {
-                Some(raw.trace_events)
-            },
-            events_processed: raw.events_processed,
-            sm_objects: raw.sm_objects,
-            sm_proposes: raw.sm_proposes,
-        }
-    }
-}
-
-/// Domain separator so the common coin's stream differs from the delay and
-/// local-coin streams derived from the same master seed.
-const COIN_SEED_MARKER: u64 = 0xC0_1D_5E_ED;
-
-/// Summary of one simulated execution.
-#[derive(Debug, Clone)]
-pub struct SimOutcome {
-    /// Per-process decision (`None` for crashed/stopped processes).
-    pub decisions: Vec<Option<Decision>>,
-    /// Per-process halt reason (`None` for deciders).
-    pub halts: Vec<Option<Halt>>,
-    /// Processes that ended crashed.
-    pub crashed: ProcessSet,
-    /// The first decided value observed, if any.
-    pub decided_value: Option<Bit>,
-    /// `true` iff every non-crashed process decided (termination).
-    pub all_correct_decided: bool,
-    /// Local clock of the last process to decide.
-    pub latest_decision_time: VirtualTime,
-    /// Mean deciding round over deciders.
-    pub mean_decision_round: f64,
-    /// Max deciding round over deciders.
-    pub max_decision_round: u64,
-    /// Largest virtual timestamp seen.
-    pub end_time: VirtualTime,
-    /// Merged counters over all processes.
-    pub counters: CounterSnapshot,
-    /// Per-process counters.
-    pub per_process: Vec<CounterSnapshot>,
-    /// Replay hash of the full event stream.
-    pub trace_hash: u64,
-    /// Full trace (only with [`SimBuilder::keep_trace`]).
-    pub events: Option<Vec<TimedEvent>>,
-    /// Number of scheduler events processed.
-    pub events_processed: u64,
-    /// Consensus objects materialized across all cluster memories.
-    pub sm_objects: usize,
-    /// Total propose invocations across all cluster memories.
-    pub sm_proposes: u64,
-}
-
-impl SimOutcome {
-    /// `true` iff no two processes decided different values.
-    pub fn agreement_holds(&self) -> bool {
-        let mut seen: Option<Bit> = None;
-        for d in self.decisions.iter().flatten() {
-            match seen {
-                None => seen = Some(d.value),
-                Some(v) if v != d.value => return false,
-                _ => {}
-            }
-        }
-        true
-    }
-
-    /// Number of processes that decided.
-    pub fn deciders(&self) -> usize {
-        self.decisions.iter().flatten().count()
-    }
-
-    /// `true` iff `v` was decided by someone and it equals every decision.
-    pub fn decided(&self, v: Bit) -> bool {
-        self.decided_value == Some(v) && self.agreement_holds()
+    pub fn run(self) -> Outcome {
+        Sim.run(&self.scenario)
     }
 }
 
@@ -329,146 +153,31 @@ mod tests {
     use super::*;
 
     #[test]
-    fn unanimous_one_cluster_decides_fast() {
-        let out = SimBuilder::new(Partition::single_cluster(4), Algorithm::LocalCoin)
-            .proposals_all(Bit::One)
-            .seed(1)
-            .run();
-        assert!(out.all_correct_decided);
-        assert!(
-            out.decided(Bit::One),
-            "validity: unanimous input decides it"
-        );
-        assert_eq!(out.deciders(), 4);
-        assert_eq!(out.max_decision_round, 1, "unanimous input: one round");
-    }
-
-    #[test]
-    fn fig1_right_mixed_proposals_agree() {
-        for seed in 0..5 {
-            let out = SimBuilder::new(Partition::fig1_right(), Algorithm::LocalCoin)
-                .proposals_split(3)
-                .seed(seed)
-                .run();
-            assert!(out.all_correct_decided, "seed {seed}");
-            assert!(out.agreement_holds(), "seed {seed}");
-        }
-    }
-
-    #[test]
-    fn common_coin_variant_agrees() {
-        for seed in 0..5 {
-            let out = SimBuilder::new(Partition::fig1_left(), Algorithm::CommonCoin)
-                .proposals_split(4)
-                .seed(seed)
-                .run();
-            assert!(out.all_correct_decided, "seed {seed}");
-            assert!(out.agreement_holds(), "seed {seed}");
-        }
-    }
-
-    #[test]
-    fn same_seed_same_trace_hash() {
-        let run = |seed| {
-            SimBuilder::new(Partition::fig1_right(), Algorithm::LocalCoin)
-                .proposals_split(4)
-                .seed(seed)
-                .run()
-        };
-        let a = run(42);
-        let b = run(42);
-        assert_eq!(a.trace_hash, b.trace_hash, "replay must be exact");
-        assert_eq!(a.decided_value, b.decided_value);
-        assert_eq!(a.latest_decision_time, b.latest_decision_time);
-        let c = run(43);
-        // Different seed: almost surely a different schedule.
-        assert_ne!(a.trace_hash, c.trace_hash);
-    }
-
-    #[test]
-    fn crash_all_but_one_in_majority_cluster_still_decides() {
-        // The paper's headline: Fig 1 right, crash everything except p3.
-        let mut plan = CrashPlan::new();
-        for i in [0usize, 1, 3, 4, 5, 6] {
-            plan = plan.crash_at_start(ProcessId(i));
-        }
-        let out = SimBuilder::new(Partition::fig1_right(), Algorithm::LocalCoin)
-            .proposals_split(2)
-            .crashes(plan)
-            .seed(3)
-            .run();
-        assert!(out.all_correct_decided, "p3 alone must decide");
-        assert_eq!(out.deciders(), 1);
-        assert_eq!(out.crashed.len(), 6);
-    }
-
-    #[test]
-    fn minority_survivors_stall_but_stay_safe() {
-        // Pure message passing (singletons), crash a majority: no decision,
-        // but also no wrong decision (indulgence).
-        let part = Partition::singletons(5);
-        let crashed = ProcessSet::from_indices(5, [0, 1, 2]);
-        let out = SimBuilder::new(part, Algorithm::LocalCoin)
-            .proposals_split(2)
-            .crashes(CrashPlan::new().crash_set_at_start(&crashed))
-            .max_rounds(20)
-            .seed(5)
-            .run();
-        assert!(!out.all_correct_decided);
-        assert_eq!(out.deciders(), 0);
-        assert!(out.agreement_holds());
-    }
-
-    #[test]
-    fn trace_is_kept_on_request() {
-        let out = SimBuilder::new(Partition::single_cluster(2), Algorithm::CommonCoin)
-            .proposals_all(Bit::Zero)
-            .keep_trace()
-            .run();
-        let events = out.events.expect("trace kept");
-        assert!(!events.is_empty());
-        // The trace must contain decisions for both processes.
-        let decided = events
-            .iter()
-            .filter(|e| matches!(e.event, crate::TraceEvent::Decided { .. }))
-            .count();
-        assert_eq!(decided, 2);
-    }
-
-    #[test]
-    fn observer_sees_invariants_hold() {
-        use ofa_core::InvariantChecker;
-        let checker = Arc::new(InvariantChecker::new());
-        let out = SimBuilder::new(Partition::fig1_right(), Algorithm::LocalCoin)
+    fn shim_matches_direct_scenario_run() {
+        let via_shim = SimBuilder::new(Partition::fig1_right(), Algorithm::CommonCoin)
             .proposals_split(3)
-            .observer(checker.clone())
-            .seed(11)
+            .seed(7)
             .run();
-        assert!(out.all_correct_decided);
-        checker.assert_clean();
-        assert_eq!(checker.decisions().len(), 7);
+        let direct = Sim.run(
+            &Scenario::new(Partition::fig1_right(), Algorithm::CommonCoin)
+                .proposals_split(3)
+                .seed(7),
+        );
+        assert_eq!(via_shim.trace_hash, direct.trace_hash);
+        assert_eq!(via_shim.decided_value, direct.decided_value);
+        assert_eq!(
+            via_shim.counters.messages_sent,
+            direct.counters.messages_sent
+        );
     }
 
     #[test]
-    fn mid_broadcast_crash_partial_delivery_is_safe() {
-        // Crash p2 a few env-calls in: its first broadcast is cut short.
-        for step in [1u64, 2, 3, 5, 8] {
-            let out = SimBuilder::new(Partition::fig1_left(), Algorithm::LocalCoin)
-                .proposals_split(4)
-                .crashes(CrashPlan::new().crash_at_step(ProcessId(1), step))
-                .seed(step)
-                .run();
-            assert!(out.agreement_holds(), "step {step}");
-            assert!(out.all_correct_decided, "step {step}");
-            assert!(out.crashed.contains(ProcessId(1)));
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "one proposal per process")]
-    fn wrong_proposal_count_panics() {
-        let _ = SimBuilder::new(Partition::single_cluster(3), Algorithm::LocalCoin)
-            .proposals(vec![Bit::One])
-            .run();
+    fn into_scenario_preserves_settings() {
+        let sc = SimBuilder::new(Partition::single_cluster(4), Algorithm::LocalCoin)
+            .proposals_all(Bit::One)
+            .seed(5)
+            .into_scenario();
+        assert_eq!(sc.seed, 5);
+        assert_eq!(sc.proposals, vec![Bit::One; 4]);
     }
 }

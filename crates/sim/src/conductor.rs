@@ -15,12 +15,10 @@
 //! (`ofa-sharedmem` consensus objects).
 
 use crate::{
-    CostModel, CrashPlan, CrashTrigger, DelayModel, TraceEvent, TraceRecorder, VirtualTime,
+    Body, CostModel, CrashPlan, CrashTrigger, DelayModel, TraceEvent, TraceRecorder, VirtualTime,
 };
 use ofa_coins::{CommonCoin, LocalCoin, SeededLocalCoin};
-use ofa_core::{
-    Algorithm, Bit, Decision, Env, Halt, Msg, MsgKind, ObsEvent, Observer, ProtocolConfig,
-};
+use ofa_core::{Bit, Decision, Env, Halt, Msg, MsgKind, ObsEvent, Observer, ProtocolConfig};
 use ofa_metrics::Counters;
 use ofa_sharedmem::{MemoryBank, Slot};
 use ofa_topology::{Partition, ProcessId};
@@ -367,15 +365,6 @@ struct Seat {
     finished: Option<(Result<Decision, Halt>, u64)>,
 }
 
-/// What each simulated process executes.
-#[derive(Clone)]
-pub(crate) enum Body {
-    /// One of the paper's algorithms.
-    Algo(Algorithm),
-    /// A custom protocol (e.g. the m&m comparator or an SMR client).
-    Custom(Arc<dyn crate::ProcessBody>),
-}
-
 /// Everything needed to run one simulated execution.
 pub(crate) struct RunSpec {
     pub partition: Partition,
@@ -391,8 +380,8 @@ pub(crate) struct RunSpec {
     pub max_events: u64,
 }
 
-/// Raw result of a conducted run, before the builder shapes it into
-/// [`crate::SimOutcome`].
+/// Raw result of a conducted run, before the backend shapes it into the
+/// unified [`ofa_scenario::Outcome`].
 pub(crate) struct RawOutcome {
     pub results: Vec<(Result<Decision, Halt>, u64)>,
     pub counters: Vec<ofa_metrics::CounterSnapshot>,
@@ -465,10 +454,7 @@ pub(crate) fn conduct<S: Scheduler>(spec: RunSpec, scheduler: &mut S) -> RawOutc
                 if env.go_rx.recv().is_err() {
                     return;
                 }
-                let result = match &body {
-                    Body::Algo(a) => a.run(&mut env, proposal, &config),
-                    Body::Custom(b) => b.run(&mut env, proposal, &config),
-                };
+                let result = body.run(&mut env, proposal, &config);
                 let clock = env.clock;
                 let _ = env.yield_tx.send(YieldMsg::Finished { result, clock });
             })

@@ -183,7 +183,7 @@ impl Explorer {
         let checker = Arc::new(InvariantChecker::new());
         let spec = RunSpec {
             partition: self.partition.clone(),
-            body: crate::conductor::Body::Algo(self.algorithm),
+            body: crate::Body::Algo(self.algorithm),
             config: self.config,
             proposals: self.proposals.clone(),
             seed: self.seed,

@@ -2,18 +2,25 @@
 //!
 //! Runs the *actual* protocol code of `ofa-core` (ordinary blocking
 //! functions over the `Env` trait) under a deterministic discrete-event
-//! conductor:
+//! conductor. It is one of the execution substrates behind the unified
+//! [`ofa_scenario::Scenario`] API: describe a run once, execute it here
+//! via the [`Sim`] backend (or on real threads via `ofa_runtime::Threads`)
+//! and get back the same [`ofa_scenario::Outcome`] shape either way.
 //!
-//! * **virtual time** — tunable per-operation costs ([`CostModel`]) and
-//!   message delays ([`DelayModel`]), so the paper's efficiency/scalability
-//!   tradeoff (cheap intra-cluster memory vs slow asynchronous messages)
-//!   becomes measurable (experiment E7);
-//! * **crash injection** — [`CrashPlan`] supports crashes at a step index
-//!   (which lands *inside* a broadcast, reproducing the paper's
-//!   non-reliable broadcast macro-operation), at a virtual time, or at
-//!   round entry;
-//! * **reproducibility** — every run folds its event stream into a
-//!   [`SimOutcome::trace_hash`]; the same seed replays bit-for-bit;
+//! What this backend adds over the shared scenario vocabulary:
+//!
+//! * **virtual time** — tunable per-operation costs
+//!   ([`ofa_scenario::CostModel`]) and message delays
+//!   ([`ofa_scenario::DelayModel`]), so the paper's
+//!   efficiency/scalability tradeoff (cheap intra-cluster memory vs slow
+//!   asynchronous messages) becomes measurable (experiment E7);
+//! * **crash injection** — [`ofa_scenario::CrashPlan`] supports crashes at
+//!   a step index (which lands *inside* a broadcast, reproducing the
+//!   paper's non-reliable broadcast macro-operation), at a virtual time,
+//!   or at round entry;
+//! * **reproducibility** — every run folds its event stream into
+//!   [`ofa_scenario::Outcome::trace_hash`]; the same scenario replays
+//!   bit-for-bit, even after a serde round-trip;
 //! * **schedule exploration** — [`Explorer`] enumerates message-delivery
 //!   orders exhaustively (within a budget) for small configurations and
 //!   checks agreement/validity plus the WA1/WA2 predicates on every
@@ -23,7 +30,8 @@
 //!
 //! ```
 //! use ofa_core::{Algorithm, Bit};
-//! use ofa_sim::{CrashPlan, SimBuilder};
+//! use ofa_scenario::{Backend, CrashPlan, Scenario};
+//! use ofa_sim::Sim;
 //! use ofa_topology::{Partition, ProcessId};
 //!
 //! // The paper's headline scenario: Figure 1 (right), all processes
@@ -32,49 +40,32 @@
 //! for i in [0, 1, 3, 4, 5, 6] {
 //!     plan = plan.crash_at_start(ProcessId(i));
 //! }
-//! let out = SimBuilder::new(Partition::fig1_right(), Algorithm::CommonCoin)
+//! let scenario = Scenario::new(Partition::fig1_right(), Algorithm::CommonCoin)
 //!     .proposals_split(4)
 //!     .crashes(plan)
-//!     .seed(1)
-//!     .run();
+//!     .seed(1);
+//! let out = Sim.run(&scenario);
 //! assert!(out.all_correct_decided);
 //! assert_eq!(out.deciders(), 1);
 //! ```
 
 #![warn(missing_docs)]
 
+mod backend;
 mod builder;
 mod conductor;
-mod crash;
-mod delay;
 mod explorer;
-mod time;
-mod trace;
 
+pub use backend::Sim;
+#[allow(deprecated)]
 pub use builder::{SimBuilder, SimOutcome};
-pub use crash::{CrashPlan, CrashTrigger};
-pub use delay::{CostModel, DelayModel};
 pub use explorer::{ExploreReport, Explorer};
-pub use time::VirtualTime;
-pub use trace::{TimedEvent, TraceEvent, TraceRecorder};
 
-/// A custom protocol body, run once per simulated process in place of one
-/// of the paper's algorithms (see [`SimBuilder::custom_body`]).
-///
-/// Implementors receive the process's [`ofa_core::Env`] plus its binary
-/// proposal and return a decision or halt like the built-in algorithms.
-/// `ofa-mm` uses this to run the m&m comparator under the deterministic
-/// conductor; `ofa-smr` uses it for multivalued/replicated protocols.
-pub trait ProcessBody: Send + Sync {
-    /// Executes the protocol on behalf of `env.me()`.
-    ///
-    /// # Errors
-    ///
-    /// Returns the [`ofa_core::Halt`] that interrupted the process.
-    fn run(
-        &self,
-        env: &mut dyn ofa_core::Env,
-        proposal: ofa_core::Bit,
-        config: &ofa_core::ProtocolConfig,
-    ) -> Result<ofa_core::Decision, ofa_core::Halt>;
-}
+// The substrate-neutral scenario vocabulary used to live in this crate;
+// it now lives in `ofa-scenario` and is re-exported here so existing
+// `ofa_sim::{CrashPlan, …}` imports keep working.
+pub use ofa_scenario::{
+    Backend, Body, CoinSpec, CostModel, CrashPlan, CrashTrigger, DelayModel, Outcome, ProcessBody,
+    Scenario, Sweep, SweepReport, SweepRun, SweepView, TimedEvent, TraceEvent, TraceRecorder,
+    VirtualTime,
+};

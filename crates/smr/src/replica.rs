@@ -6,13 +6,13 @@
 //! (some replica's proposal) is appended and applied. Identical logs ⇒
 //! identical states.
 //!
-//! The replica runs as an [`ofa_sim::ProcessBody`], so full replicated-log
-//! executions enjoy the simulator's determinism, crash injection, and
-//! trace hashing.
+//! The replica runs as an [`ofa_scenario::ProcessBody`], so full
+//! replicated-log executions run on any backend — and enjoy the
+//! simulator's determinism, crash injection, and trace hashing there.
 
 use crate::{multivalued_propose, Command, KvState, MvDecision};
 use ofa_core::{Algorithm, Bit, Decision, Env, Halt, Mailbox, Payload, ProtocolConfig};
-use ofa_sim::ProcessBody;
+use ofa_scenario::ProcessBody;
 use ofa_topology::ProcessId;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -138,19 +138,21 @@ pub fn run_replicated_kv(
     slots: usize,
     algorithm: Algorithm,
     seed: u64,
-    crashes: ofa_sim::CrashPlan,
-) -> (Vec<Option<ReplicaReport>>, ofa_sim::SimOutcome) {
+    crashes: ofa_scenario::CrashPlan,
+) -> (Vec<Option<ReplicaReport>>, ofa_scenario::Outcome) {
+    use ofa_scenario::Backend;
     assert_eq!(
         partition.n(),
         commands.len(),
         "one command queue per process"
     );
     let group = Arc::new(ReplicaGroup::new(commands, slots, algorithm));
-    let outcome = ofa_sim::SimBuilder::new(partition, algorithm)
-        .custom_body(Arc::clone(&group) as Arc<dyn ProcessBody>)
-        .crashes(crashes)
-        .seed(seed)
-        .run();
+    let outcome = ofa_sim::Sim.run(
+        &ofa_scenario::Scenario::new(partition, algorithm)
+            .custom_body(Arc::clone(&group) as Arc<dyn ProcessBody>)
+            .crashes(crashes)
+            .seed(seed),
+    );
     (group.reports(), outcome)
 }
 

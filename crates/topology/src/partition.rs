@@ -7,6 +7,7 @@
 
 use crate::{ClusterId, ProcessId, ProcessSet, TopologyError};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A validated partition of `{p_1, …, p_n}` into `m` non-empty clusters.
@@ -278,6 +279,27 @@ impl Partition {
     /// `true` for the `m = 1` extreme (pure shared-memory model).
     pub fn is_pure_shared_memory(&self) -> bool {
         self.m() == 1
+    }
+}
+
+/// Serialized as the per-process cluster assignment `[c_1, …, c_n]`
+/// (0-based cluster ids), the most compact lossless encoding.
+impl Serialize for Partition {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Seq(
+            self.cluster_of
+                .iter()
+                .map(|c| serde::Value::U64(c.index() as u64))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for Partition {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let assignment: Vec<usize> = Deserialize::from_value(v)?;
+        Partition::from_assignment(&assignment)
+            .map_err(|e| serde::Error::msg(format!("invalid partition: {e}")))
     }
 }
 

@@ -269,6 +269,42 @@ impl Extend<ProcessId> for ProcessSet {
     }
 }
 
+/// Serialized as `{"n": universe, "members": [indices…]}`.
+impl serde::Serialize for ProcessSet {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("n".to_string(), serde::Value::U64(self.n as u64)),
+            (
+                "members".to_string(),
+                serde::Value::Seq(
+                    self.iter()
+                        .map(|p| serde::Value::U64(p.index() as u64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for ProcessSet {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let n: usize = serde::Deserialize::from_value(
+            v.get("n")
+                .ok_or_else(|| serde::Error::msg("ProcessSet: missing \"n\""))?,
+        )?;
+        let members: Vec<usize> = serde::Deserialize::from_value(
+            v.get("members")
+                .ok_or_else(|| serde::Error::msg("ProcessSet: missing \"members\""))?,
+        )?;
+        if let Some(&i) = members.iter().find(|&&i| i >= n) {
+            return Err(serde::Error::msg(format!(
+                "ProcessSet: member {i} out of universe {n}"
+            )));
+        }
+        Ok(ProcessSet::from_indices(n, members))
+    }
+}
+
 impl fmt::Debug for ProcessSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_set().entries(self.iter()).finish()

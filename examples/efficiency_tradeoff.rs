@@ -4,7 +4,9 @@
 //! message passing scales but is slow. We model the non-scaling memory by
 //! charging each consensus-object invocation `beta × cluster_size`
 //! virtual ticks against a ~1000-tick network delay, and sweep the number
-//! of clusters `m` for a fixed `n = 12`.
+//! of clusters `m` for a fixed `n = 12` — one [`Sweep`] per `beta`, with
+//! the cluster count as the parameter grid, fanned out over worker
+//! threads.
 //!
 //! ```text
 //! cargo run --release --example efficiency_tradeoff
@@ -12,7 +14,7 @@
 
 use one_for_all::metrics::Summary;
 use one_for_all::prelude::*;
-use one_for_all::sim::{CostModel, DelayModel};
+use one_for_all::scenario::{CostModel, DelayModel};
 
 fn main() {
     const N: usize = 12;
@@ -23,24 +25,36 @@ fn main() {
         "{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "beta", "m=1", "m=2", "m=3", "m=6", "m=12"
     );
+    let ms = [1usize, 2, 3, 6, 12];
     for beta in [1u64, 20, 100, 400, 1600] {
-        print!("{beta:>8}");
-        for m in [1usize, 2, 3, 6, 12] {
-            let partition = Partition::even(N, m);
+        let mut sweep = Sweep::new(
+            Scenario::new(Partition::even(N, 1), Algorithm::LocalCoin)
+                .proposals_split(N / 2)
+                .delay(DelayModel::Uniform { lo: 500, hi: 1500 }),
+        )
+        .seeds(0..TRIALS)
+        .workers(4);
+        for m in ms {
             let sm_cost = beta * (N / m) as u64;
-            let mut latencies = Vec::new();
-            for seed in 0..TRIALS {
-                let out = SimBuilder::new(partition.clone(), Algorithm::LocalCoin)
-                    .proposals_split(N / 2)
-                    .costs(CostModel::new().with_sm_op_cost(sm_cost))
-                    .delay(DelayModel::Uniform { lo: 500, hi: 1500 })
-                    .seed(seed)
-                    .run();
-                if out.all_correct_decided {
-                    latencies.push(out.latest_decision_time.ticks() as f64);
-                }
-            }
-            print!(" {:>10.0}", Summary::of(latencies).mean);
+            sweep = sweep.vary(format!("m={m}"), move |sc| Scenario {
+                partition: Partition::even(N, m),
+                ..sc.costs(CostModel::new().with_sm_op_cost(sm_cost))
+            });
+        }
+        let report = sweep.run(&Sim);
+        print!("{beta:>8}");
+        for m in ms {
+            // Mean over terminating runs only — a capped run's partial
+            // clock is not a decision latency.
+            let mean = Summary::of(
+                report
+                    .variant(&format!("m={m}"))
+                    .outcomes()
+                    .filter(|o| o.all_correct_decided)
+                    .map(|o| o.latest_decision_time.ticks() as f64),
+            )
+            .mean;
+            print!(" {mean:>10.0}");
         }
         println!();
     }

@@ -24,15 +24,19 @@ fn main() {
 
     // Crash everyone except p3 (index 2) — 6 of 7 processes.
     let survivor = ProcessId(2);
-    let mut builder = RuntimeBuilder::new(partition.clone(), Algorithm::CommonCoin)
-        .proposals_split(4)
-        .seed(7);
+    let mut plan = CrashPlan::new();
     for i in 0..7 {
         if ProcessId(i) != survivor {
-            builder = builder.crash_at_start(ProcessId(i));
+            plan = plan.crash_at_start(ProcessId(i));
         }
     }
-    let outcome = builder.run();
+    // One scenario value, executed on the real-thread backend.
+    let outcome = Threads.run(
+        &Scenario::new(partition.clone(), Algorithm::CommonCoin)
+            .proposals_split(4)
+            .crashes(plan)
+            .seed(7),
+    );
 
     println!("crashed: {} processes", outcome.crashed.len());
     for (i, decision) in outcome.decisions.iter().enumerate() {

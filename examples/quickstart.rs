@@ -17,10 +17,11 @@ fn main() {
         println!("{name}: {partition}");
         for algorithm in Algorithm::ALL {
             // p1..p3 propose 1, p4..p7 propose 0 — a contested input.
-            let outcome = SimBuilder::new(partition.clone(), algorithm)
-                .proposals_split(3)
-                .seed(42)
-                .run();
+            let outcome = Sim.run(
+                &Scenario::new(partition.clone(), algorithm)
+                    .proposals_split(3)
+                    .seed(42),
+            );
             let value = outcome.decided_value.expect("all correct processes decide");
             println!(
                 "  {algorithm:<22} decided {} | max round {} | {} messages | {} virtual ticks",

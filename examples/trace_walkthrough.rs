@@ -16,13 +16,13 @@ fn main() {
     println!("partition: {partition}  (P[1] shares memory; p3 is alone)\n");
 
     let run = |seed: u64, keep: bool| {
-        let mut b = SimBuilder::new(partition.clone(), Algorithm::CommonCoin)
+        let mut sc = Scenario::new(partition.clone(), Algorithm::CommonCoin)
             .proposals_split(1) // p1 proposes 1, p2 & p3 propose 0
             .seed(seed);
         if keep {
-            b = b.keep_trace();
+            sc = sc.keep_trace();
         }
-        b.run()
+        Sim.run(&sc)
     };
 
     let outcome = run(5, true);
@@ -45,11 +45,11 @@ fn main() {
     let other = run(6, false);
     println!(
         "\ntrace hash seed=5: {:016x} (replayed identically)",
-        outcome.trace_hash
+        outcome.trace_hash.unwrap()
     );
     println!(
         "trace hash seed=6: {:016x} (a different schedule)",
-        other.trace_hash
+        other.trace_hash.unwrap()
     );
     assert_ne!(outcome.trace_hash, other.trace_hash);
 }

@@ -3,9 +3,14 @@
 //! ```text
 //! ofa --sizes 1,4,2 --algorithm cc --ones 3 --seed 42
 //! ofa --sizes 3,2,2 --algorithm lc --crash p1@0 --crash p6@12 --trace
+//! ofa --sizes 2,2 --crash p3@r2        # crash p3 when it enters round 2
 //! ofa --sizes 2,2 --runtime            # real threads instead of the simulator
+//! ofa --sizes 1,4,2 --json             # unified Outcome as JSON
 //! ofa --help
 //! ```
+//!
+//! The CLI builds one [`Scenario`] value and executes it on the selected
+//! [`Backend`] — the same description runs on either substrate.
 
 use one_for_all::prelude::*;
 use std::process::exit;
@@ -23,9 +28,12 @@ OPTIONS:
     --seed S           randomness seed [default: 0]
     --crash pI@K       crash process I (1-based) at env-call K (repeatable;
                        K=0 crashes before any step)
+    --crash pI@rR      crash process I when it enters round R
     --max-rounds R     round budget [default: 512]
     --trace            print the full event trace (simulator only)
     --runtime          execute on real threads instead of the simulator
+    --json             print the unified Outcome as JSON (suppresses the
+                       human-readable report)
     --help             show this message
 ";
 
@@ -34,10 +42,17 @@ struct Options {
     algorithm: Algorithm,
     ones: Option<usize>,
     seed: u64,
-    crashes: Vec<(usize, u64)>,
+    crashes: Vec<(usize, CrashWhen)>,
     max_rounds: u64,
     trace: bool,
     runtime: bool,
+    json: bool,
+}
+
+/// A parsed `--crash` trigger.
+enum CrashWhen {
+    Step(u64),
+    Round(u64),
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -50,6 +65,7 @@ fn parse_args() -> Result<Options, String> {
         max_rounds: 512,
         trace: false,
         runtime: false,
+        json: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -97,28 +113,43 @@ fn parse_args() -> Result<Options, String> {
             }
             "--crash" => {
                 let spec = value(&mut i)?;
-                let (proc_part, step_part) = spec
-                    .split_once('@')
-                    .ok_or_else(|| format!("bad crash spec {spec:?}, expected pI@K"))?;
-                let pid: usize = proc_part
-                    .trim_start_matches('p')
-                    .parse()
-                    .map_err(|e: std::num::ParseIntError| e.to_string())?;
-                if pid == 0 {
-                    return Err("process numbering is 1-based".into());
-                }
-                let step: u64 = step_part
-                    .parse()
-                    .map_err(|e: std::num::ParseIntError| e.to_string())?;
-                opts.crashes.push((pid - 1, step));
+                opts.crashes.push(parse_crash(&spec)?);
             }
             "--trace" => opts.trace = true,
             "--runtime" => opts.runtime = true,
+            "--json" => opts.json = true,
             other => return Err(format!("unknown option {other:?} (try --help)")),
         }
         i += 1;
     }
     Ok(opts)
+}
+
+/// Parses `pI@K` (step trigger) or `pI@rR` (round trigger) into a 0-based
+/// process index plus trigger.
+fn parse_crash(spec: &str) -> Result<(usize, CrashWhen), String> {
+    let (proc_part, when_part) = spec
+        .split_once('@')
+        .ok_or_else(|| format!("bad crash spec {spec:?}, expected pI@K or pI@rR"))?;
+    let pid: usize = proc_part
+        .trim_start_matches('p')
+        .parse()
+        .map_err(|e: std::num::ParseIntError| e.to_string())?;
+    if pid == 0 {
+        return Err("process numbering is 1-based".into());
+    }
+    let when = if let Some(round_part) = when_part.strip_prefix('r') {
+        let round: u64 = round_part
+            .parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string())?;
+        CrashWhen::Round(round)
+    } else {
+        let step: u64 = when_part
+            .parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string())?;
+        CrashWhen::Step(step)
+    };
+    Ok((pid - 1, when))
 }
 
 fn main() {
@@ -138,70 +169,88 @@ fn main() {
     };
     let n = partition.n();
     let ones = opts.ones.unwrap_or(n / 2).min(n);
-    println!("partition: {partition}");
-    println!(
-        "algorithm: {} | proposals: {ones}x1 + {}x0 | seed {}",
-        opts.algorithm,
-        n - ones,
-        opts.seed
-    );
-    for (p, k) in &opts.crashes {
-        println!("crash: p{} at step {k}", p + 1);
+
+    let mut plan = CrashPlan::new();
+    for (p, when) in &opts.crashes {
+        plan = match when {
+            CrashWhen::Step(k) => plan.crash_at_step(ProcessId(*p), *k),
+            CrashWhen::Round(r) => plan.crash_at_round(ProcessId(*p), *r),
+        };
+    }
+    let mut scenario = Scenario::new(partition.clone(), opts.algorithm)
+        .proposals_split(ones)
+        .config(ProtocolConfig::paper().with_max_rounds(opts.max_rounds))
+        .crashes(plan)
+        .seed(opts.seed);
+    if opts.trace && !opts.runtime {
+        scenario = scenario.keep_trace();
     }
 
+    if !opts.json {
+        println!("partition: {partition}");
+        println!(
+            "algorithm: {} | proposals: {ones}x1 + {}x0 | seed {}",
+            opts.algorithm,
+            n - ones,
+            opts.seed
+        );
+        for (p, when) in &opts.crashes {
+            match when {
+                CrashWhen::Step(k) => println!("crash: p{} at step {k}", p + 1),
+                CrashWhen::Round(r) => println!("crash: p{} at round {r}", p + 1),
+            }
+        }
+    }
+
+    let backend: &dyn Backend = if opts.runtime { &Threads } else { &Sim };
+    let out = backend.run(&scenario);
+
+    if opts.json {
+        match serde_json::to_string(&out) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("error: serializing outcome: {e}");
+                exit(2);
+            }
+        }
+        if !out.agreement_holds() {
+            exit(1);
+        }
+        return;
+    }
+
+    if let Some(events) = &out.events {
+        for e in events {
+            println!("{e}");
+        }
+        println!();
+    }
     if opts.runtime {
-        let mut b = RuntimeBuilder::new(partition, opts.algorithm)
-            .proposals_split(ones)
-            .config(ProtocolConfig::paper().with_max_rounds(opts.max_rounds))
-            .seed(opts.seed);
-        for (p, k) in &opts.crashes {
-            b = b.crash_at_step(ProcessId(*p), *k);
-        }
-        let out = b.run();
-        println!("\n— real-thread run: {:?} —", out.elapsed);
-        for (i, d) in out.decisions.iter().enumerate() {
-            match d {
-                Some(d) => println!("  p{}: {d}", i + 1),
-                None => println!("  p{}: {}", i + 1, halt_text(out.halts[i])),
-            }
-        }
-        summarize(out.agreement_holds(), out.deciders(), n);
+        println!("— real-thread run: {:?} —", out.elapsed);
     } else {
-        let mut plan = CrashPlan::new();
-        for (p, k) in &opts.crashes {
-            plan = plan.crash_at_step(ProcessId(*p), *k);
-        }
-        let mut b = SimBuilder::new(partition, opts.algorithm)
-            .proposals_split(ones)
-            .config(ProtocolConfig::paper().with_max_rounds(opts.max_rounds))
-            .crashes(plan)
-            .seed(opts.seed);
-        if opts.trace {
-            b = b.keep_trace();
-        }
-        let out = b.run();
-        if let Some(events) = &out.events {
-            for e in events {
-                println!("{e}");
-            }
-            println!();
-        }
         println!(
             "— simulated run: {} events, end {} —",
             out.events_processed, out.end_time
         );
-        for (i, d) in out.decisions.iter().enumerate() {
-            match d {
-                Some(d) => println!("  p{}: {d}", i + 1),
-                None => println!("  p{}: {}", i + 1, halt_text(out.halts[i])),
-            }
-        }
-        println!(
-            "  messages {} | cluster proposes {} | trace hash {:016x}",
-            out.counters.messages_sent, out.counters.cluster_proposes, out.trace_hash
-        );
-        summarize(out.agreement_holds(), out.deciders(), n);
     }
+    for (i, d) in out.decisions.iter().enumerate() {
+        match d {
+            Some(d) => println!("  p{}: {d}", i + 1),
+            None => println!("  p{}: {}", i + 1, halt_text(out.halts[i])),
+        }
+    }
+    if let Some(hash) = out.trace_hash {
+        println!(
+            "  messages {} | cluster proposes {} | trace hash {hash:016x}",
+            out.counters.messages_sent, out.counters.cluster_proposes
+        );
+    } else {
+        println!(
+            "  messages {} | cluster proposes {}",
+            out.counters.messages_sent, out.counters.cluster_proposes
+        );
+    }
+    summarize(out.agreement_holds(), out.deciders(), n);
 }
 
 fn halt_text(h: Option<Halt>) -> &'static str {

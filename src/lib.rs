@@ -14,32 +14,42 @@
 //! | [`topology`] | `ofa-topology` | partitions, predicate, m&m graphs |
 //! | [`sharedmem`] | `ofa-sharedmem` | registers, CAS consensus objects |
 //! | [`coins`] | `ofa-coins` | local/common/adversarial coins |
-//! | [`sim`] | `ofa-sim` | deterministic simulator + explorer |
-//! | [`runtime`] | `ofa-runtime` | real threads + channels runtime |
+//! | [`scenario`] | `ofa-scenario` | `Scenario` values, `Backend` trait, unified `Outcome`, `Sweep` |
+//! | [`sim`] | `ofa-sim` | deterministic backend (`Sim`) + explorer |
+//! | [`runtime`] | `ofa-runtime` | real-thread backend (`Threads`) |
 //! | [`mm`] | `ofa-mm` | the m&m comparison model |
 //! | [`smr`] | `ofa-smr` | multivalued consensus, replicated KV |
 //! | [`metrics`] | `ofa-metrics` | counters, statistics, tables |
 //!
 //! # Sixty seconds to a decision
 //!
+//! A [`scenario::Scenario`] describes one execution — partition,
+//! algorithm, proposals, seed, failure pattern — as a plain (serializable)
+//! value; any [`scenario::Backend`] runs it and returns the same
+//! [`scenario::Outcome`] shape:
+//!
 //! ```
-//! use one_for_all::consensus::Algorithm;
-//! use one_for_all::sim::SimBuilder;
-//! use one_for_all::topology::Partition;
+//! use one_for_all::prelude::*;
 //!
 //! // Figure 1 (right): {p1} {p2,p3,p4,p5} {p6,p7}.
-//! let outcome = SimBuilder::new(Partition::fig1_right(), Algorithm::CommonCoin)
+//! let scenario = Scenario::new(Partition::fig1_right(), Algorithm::CommonCoin)
 //!     .proposals_split(3) // p1..p3 propose 1, the rest 0
-//!     .seed(42)
-//!     .run();
+//!     .seed(42);
+//! // Deterministic virtual-time simulation…
+//! let outcome = Sim.run(&scenario);
 //! assert!(outcome.all_correct_decided);
 //! assert!(outcome.agreement_holds());
+//! // …and the *same value* on real threads.
+//! let real = Threads.run(&scenario);
+//! assert!(real.agreement_holds());
 //! println!("decided {:?} in <= {} rounds", outcome.decided_value, outcome.max_decision_round);
 //! ```
 //!
-//! See the `examples/` directory for the headline fault-tolerance
-//! scenario, a geo-replicated key-value store, the efficiency/scalability
-//! tradeoff sweep, and an annotated execution trace.
+//! Parameter studies go through [`scenario::Sweep`]
+//! (`Scenario × seeds × grid → outcomes + aggregate stats`). See the
+//! `examples/` directory for the headline fault-tolerance scenario, a
+//! geo-replicated key-value store, the efficiency/scalability tradeoff
+//! sweep, and an annotated execution trace.
 
 #![warn(missing_docs)]
 
@@ -48,6 +58,7 @@ pub use ofa_core as consensus;
 pub use ofa_metrics as metrics;
 pub use ofa_mm as mm;
 pub use ofa_runtime as runtime;
+pub use ofa_scenario as scenario;
 pub use ofa_sharedmem as sharedmem;
 pub use ofa_sim as sim;
 pub use ofa_smr as smr;
@@ -56,7 +67,15 @@ pub use ofa_topology as topology;
 /// Most-used items in one import.
 pub mod prelude {
     pub use ofa_core::{Algorithm, Bit, Decision, Halt, ProtocolConfig};
-    pub use ofa_runtime::RuntimeBuilder;
-    pub use ofa_sim::{CrashPlan, SimBuilder};
+    pub use ofa_runtime::Threads;
+    pub use ofa_scenario::{Backend, CoinSpec, CrashPlan, CrashTrigger, Outcome, Scenario, Sweep};
+    pub use ofa_sim::Sim;
     pub use ofa_topology::{ClusterId, Partition, ProcessId, ProcessSet};
+
+    // Deprecated builder shims, re-exported one more release for
+    // downstream migration.
+    #[allow(deprecated)]
+    pub use ofa_runtime::RuntimeBuilder;
+    #[allow(deprecated)]
+    pub use ofa_sim::SimBuilder;
 }

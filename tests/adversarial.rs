@@ -8,7 +8,8 @@
 
 use one_for_all::coins::{ConstantCoin, ScriptedCoin};
 use one_for_all::consensus::{Algorithm, Bit, InvariantChecker};
-use one_for_all::sim::{DelayModel, SimBuilder};
+use one_for_all::prelude::{Backend, Scenario, Sim};
+use one_for_all::scenario::DelayModel;
 use one_for_all::topology::{Partition, ProcessId};
 use std::sync::Arc;
 
@@ -20,16 +21,17 @@ fn laggard_cluster_does_not_block_the_rest() {
     let slow = vec![ProcessId(5), ProcessId(6)];
     for seed in 0..5 {
         let checker = Arc::new(InvariantChecker::new());
-        let out = SimBuilder::new(partition.clone(), Algorithm::CommonCoin)
-            .proposals_split(3)
-            .delay(DelayModel::Laggard {
-                slow: slow.clone(),
-                factor: 50,
-                base: Box::new(DelayModel::Uniform { lo: 500, hi: 1500 }),
-            })
-            .observer(checker.clone())
-            .seed(seed)
-            .run();
+        let out = Sim.run(
+            &Scenario::new(partition.clone(), Algorithm::CommonCoin)
+                .proposals_split(3)
+                .delay(DelayModel::Laggard {
+                    slow: slow.clone(),
+                    factor: 50,
+                    base: Box::new(DelayModel::Uniform { lo: 500, hi: 1500 }),
+                })
+                .observer(checker.clone())
+                .seed(seed),
+        );
         assert!(out.all_correct_decided, "seed {seed}");
         assert!(out.agreement_holds());
         checker.assert_clean();
@@ -46,12 +48,13 @@ fn adversarial_common_coin_stalls_safely() {
     // Everyone proposes 1 but the "common coin" always returns 0: Algorithm 3
     // can never pass its line-9 test. Indulgence: no termination, no
     // wrong decision — and the estimate never drifts off 1.
-    let out = SimBuilder::new(Partition::even(4, 2), Algorithm::CommonCoin)
-        .proposals_all(Bit::One)
-        .common_coin(Arc::new(ConstantCoin(false)))
-        .max_rounds(12)
-        .seed(1)
-        .run();
+    let out = Sim.run(
+        &Scenario::new(Partition::even(4, 2), Algorithm::CommonCoin)
+            .proposals_all(Bit::One)
+            .common_coin(Arc::new(ConstantCoin(false)))
+            .max_rounds(12)
+            .seed(1),
+    );
     assert_eq!(out.deciders(), 0, "coin never matches: no decision");
     assert!(out.agreement_holds());
     // All processes ran out the round budget rather than crashing.
@@ -63,11 +66,12 @@ fn adversarial_common_coin_stalls_safely() {
 
 #[test]
 fn matching_coin_decides_immediately() {
-    let out = SimBuilder::new(Partition::even(4, 2), Algorithm::CommonCoin)
-        .proposals_all(Bit::One)
-        .common_coin(Arc::new(ConstantCoin(true)))
-        .seed(1)
-        .run();
+    let out = Sim.run(
+        &Scenario::new(Partition::even(4, 2), Algorithm::CommonCoin)
+            .proposals_all(Bit::One)
+            .common_coin(Arc::new(ConstantCoin(true)))
+            .seed(1),
+    );
     assert!(out.all_correct_decided);
     assert_eq!(out.decided_value, Some(Bit::One));
     assert_eq!(out.max_decision_round, 1);
@@ -77,11 +81,12 @@ fn matching_coin_decides_immediately() {
 fn scripted_coin_pins_the_deciding_round() {
     // Unanimous 1s; coin reads 0, 0, 1, ... — every process must decide in
     // exactly round 3.
-    let out = SimBuilder::new(Partition::single_cluster(3), Algorithm::CommonCoin)
-        .proposals_all(Bit::One)
-        .common_coin(Arc::new(ScriptedCoin::new(vec![false, false, true])))
-        .seed(9)
-        .run();
+    let out = Sim.run(
+        &Scenario::new(Partition::single_cluster(3), Algorithm::CommonCoin)
+            .proposals_all(Bit::One)
+            .common_coin(Arc::new(ScriptedCoin::new(vec![false, false, true])))
+            .seed(9),
+    );
     assert!(out.all_correct_decided);
     for d in out.decisions.iter().flatten() {
         assert_eq!(d.value, Bit::One);
@@ -93,11 +98,12 @@ fn scripted_coin_pins_the_deciding_round() {
 fn extreme_delay_variance_is_survivable() {
     // Delays spanning three orders of magnitude.
     for seed in 0..4 {
-        let out = SimBuilder::new(Partition::even(6, 3), Algorithm::LocalCoin)
-            .proposals_split(3)
-            .delay(DelayModel::Uniform { lo: 10, hi: 20_000 })
-            .seed(seed)
-            .run();
+        let out = Sim.run(
+            &Scenario::new(Partition::even(6, 3), Algorithm::LocalCoin)
+                .proposals_split(3)
+                .delay(DelayModel::Uniform { lo: 10, hi: 20_000 })
+                .seed(seed),
+        );
         assert!(out.all_correct_decided, "seed {seed}");
         assert!(out.agreement_holds());
     }

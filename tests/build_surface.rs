@@ -8,7 +8,6 @@
 
 use one_for_all::consensus::{Algorithm, ProtocolConfig};
 use one_for_all::prelude::*;
-use one_for_all::sim::SimBuilder;
 use one_for_all::topology::Partition;
 
 /// Every facade module path named in the crate-level table resolves and
@@ -37,17 +36,26 @@ fn facade_reexports_resolve() {
     let s = one_for_all::metrics::Summary::of([1.0, 2.0, 3.0]);
     assert_eq!(s.count, 3);
 
-    // sim (ofa-sim), via the prelude names
-    let outcome = SimBuilder::new(Partition::fig1_right(), Algorithm::CommonCoin)
+    // scenario (ofa-scenario) + sim (ofa-sim), via the prelude names:
+    // one Scenario, run on the Sim backend through the Backend trait.
+    let scenario = Scenario::new(Partition::fig1_right(), Algorithm::CommonCoin)
         .proposals_split(3)
-        .seed(42)
-        .run();
+        .seed(42);
+    let outcome: Outcome = Sim.run(&scenario);
     assert!(outcome.all_correct_decided);
     assert!(outcome.agreement_holds());
+    let _ = std::any::type_name::<Sweep>();
 
-    // runtime (ofa-runtime): the builder type is reachable through the
+    // runtime (ofa-runtime): the Threads backend is reachable through the
     // prelude (constructing real threads is exercised in cross_substrate).
-    let _ = std::any::type_name::<RuntimeBuilder>();
+    let _ = std::any::type_name::<Threads>();
+
+    // The deprecated builder shims stay reachable for one release.
+    #[allow(deprecated)]
+    {
+        let _ = std::any::type_name::<SimBuilder>();
+        let _ = std::any::type_name::<RuntimeBuilder>();
+    }
 
     // smr (ofa-smr)
     let cmd = one_for_all::smr::Command::put("k", "v");

@@ -2,7 +2,7 @@
 //! when the §III-B predicate says so.
 
 use one_for_all::consensus::{Algorithm, InvariantChecker};
-use one_for_all::sim::{CrashPlan, SimBuilder};
+use one_for_all::prelude::{Backend, CrashPlan, Scenario, Sim};
 use one_for_all::topology::{predicate, Partition, ProcessId, ProcessSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -22,13 +22,14 @@ fn storm_of_random_at_start_crashes() {
         }
         let holds = predicate::guarantees_termination(&partition, &crashed);
         let checker = Arc::new(InvariantChecker::new());
-        let out = SimBuilder::new(partition.clone(), Algorithm::CommonCoin)
-            .proposals_split(n / 2)
-            .crashes(CrashPlan::new().crash_set_at_start(&crashed))
-            .observer(checker.clone())
-            .max_rounds(if holds { 256 } else { 12 })
-            .seed(trial)
-            .run();
+        let out = Sim.run(
+            &Scenario::new(partition.clone(), Algorithm::CommonCoin)
+                .proposals_split(n / 2)
+                .crashes(CrashPlan::new().crash_set_at_start(&crashed))
+                .observer(checker.clone())
+                .max_rounds(if holds { 256 } else { 12 })
+                .seed(trial),
+        );
         checker.assert_clean();
         assert!(out.agreement_holds(), "trial {trial}: {partition}");
         assert_eq!(
@@ -54,13 +55,14 @@ fn storm_of_mid_run_crashes_stays_safe() {
             }
         }
         let checker = Arc::new(InvariantChecker::new());
-        let out = SimBuilder::new(partition.clone(), Algorithm::LocalCoin)
-            .proposals_split(n / 2)
-            .crashes(plan)
-            .observer(checker.clone())
-            .max_rounds(64)
-            .seed(trial)
-            .run();
+        let out = Sim.run(
+            &Scenario::new(partition.clone(), Algorithm::LocalCoin)
+                .proposals_split(n / 2)
+                .crashes(plan)
+                .observer(checker.clone())
+                .max_rounds(64)
+                .seed(trial),
+        );
         checker.assert_clean();
         assert!(out.agreement_holds(), "trial {trial}");
         // Liveness depends on which clusters survive — only safety is
@@ -74,15 +76,16 @@ fn storm_of_mid_run_crashes_stays_safe() {
 #[test]
 fn crash_at_round_boundaries() {
     for round in 1..=3u64 {
-        let out = SimBuilder::new(Partition::fig1_right(), Algorithm::LocalCoin)
-            .proposals_split(3)
-            .crashes(
-                CrashPlan::new()
-                    .crash_at_round(ProcessId(0), round)
-                    .crash_at_round(ProcessId(6), round),
-            )
-            .seed(round)
-            .run();
+        let out = Sim.run(
+            &Scenario::new(Partition::fig1_right(), Algorithm::LocalCoin)
+                .proposals_split(3)
+                .crashes(
+                    CrashPlan::new()
+                        .crash_at_round(ProcessId(0), round)
+                        .crash_at_round(ProcessId(6), round),
+                )
+                .seed(round),
+        );
         assert!(out.agreement_holds());
         assert!(out.all_correct_decided, "P[2] alone has a majority");
     }
@@ -90,15 +93,19 @@ fn crash_at_round_boundaries() {
 
 #[test]
 fn runtime_crash_storm_is_safe() {
-    use one_for_all::runtime::RuntimeBuilder;
+    use one_for_all::prelude::Threads;
     for seed in 0..5u64 {
-        let out = RuntimeBuilder::new(Partition::fig1_right(), Algorithm::CommonCoin)
-            .proposals_split(4)
-            .crash_at_step(ProcessId(1), 5 + seed)
-            .crash_at_step(ProcessId(5), 11 + seed)
-            .crash_at_start(ProcessId(0))
-            .seed(seed)
-            .run();
+        let out = Threads.run(
+            &Scenario::new(Partition::fig1_right(), Algorithm::CommonCoin)
+                .proposals_split(4)
+                .crashes(
+                    CrashPlan::new()
+                        .crash_at_step(ProcessId(1), 5 + seed)
+                        .crash_at_step(ProcessId(5), 11 + seed)
+                        .crash_at_start(ProcessId(0)),
+                )
+                .seed(seed),
+        );
         assert!(out.agreement_holds(), "seed {seed}");
         assert!(out.all_correct_decided, "seed {seed}: P[2] retains members");
     }

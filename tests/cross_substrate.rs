@@ -1,11 +1,19 @@
-//! Integration: the same protocol code satisfies consensus on both
-//! execution substrates (deterministic simulator and real threads).
+//! Integration: the *same* [`Scenario`] value satisfies consensus on both
+//! execution substrates, driven through the backend-agnostic
+//! [`Backend`] trait — the paper's "one protocol, any decomposition"
+//! claim at the API level.
 
 use one_for_all::consensus::{Algorithm, Bit, InvariantChecker};
-use one_for_all::runtime::RuntimeBuilder;
-use one_for_all::sim::SimBuilder;
+use one_for_all::prelude::{Backend, Outcome, Scenario, Sim, Threads};
 use one_for_all::topology::Partition;
 use std::sync::Arc;
+
+/// Both backends, behind the trait object the rest of this file loops
+/// over — adding a third substrate would extend this list and nothing
+/// else.
+fn backends() -> [&'static dyn Backend; 2] {
+    [&Sim, &Threads]
+}
 
 fn partitions() -> Vec<Partition> {
     vec![
@@ -18,22 +26,25 @@ fn partitions() -> Vec<Partition> {
 }
 
 #[test]
-fn simulator_satisfies_consensus_everywhere() {
+fn one_scenario_value_satisfies_consensus_on_every_backend() {
     for partition in partitions() {
         for algorithm in Algorithm::ALL {
-            for seed in 0..3 {
+            let n = partition.n();
+            // ONE scenario value per case…
+            let scenario = Scenario::new(partition.clone(), algorithm)
+                .proposals_split(n / 2)
+                .seed(99);
+            // …executed on every substrate through the Backend trait.
+            for backend in backends() {
                 let checker = Arc::new(InvariantChecker::new());
-                let n = partition.n();
-                let out = SimBuilder::new(partition.clone(), algorithm)
-                    .proposals_split(n / 2)
-                    .observer(checker.clone())
-                    .seed(seed)
-                    .run();
+                let out: Outcome = backend.run(&scenario.clone().observer(checker.clone()));
                 assert!(
                     out.all_correct_decided,
-                    "{partition} {algorithm} seed {seed}"
+                    "{} {partition} {algorithm}",
+                    backend.name()
                 );
-                assert!(out.agreement_holds());
+                assert!(out.agreement_holds(), "{}", backend.name());
+                assert_eq!(out.deciders(), n, "{}", backend.name());
                 checker.assert_clean();
             }
         }
@@ -41,19 +52,23 @@ fn simulator_satisfies_consensus_everywhere() {
 }
 
 #[test]
-fn runtime_satisfies_consensus_everywhere() {
+fn simulator_satisfies_consensus_across_seeds() {
+    // Seed coverage is cheap on the deterministic substrate; run more of
+    // it there only.
     for partition in partitions() {
         for algorithm in Algorithm::ALL {
-            let checker = Arc::new(InvariantChecker::new());
-            let n = partition.n();
-            let out = RuntimeBuilder::new(partition.clone(), algorithm)
-                .proposals_split(n / 2)
-                .observer(checker.clone())
-                .seed(99)
-                .run();
-            assert!(out.all_correct_decided, "{partition} {algorithm}");
-            assert!(out.agreement_holds());
-            checker.assert_clean();
+            for seed in 0..3 {
+                let n = partition.n();
+                let scenario = Scenario::new(partition.clone(), algorithm)
+                    .proposals_split(n / 2)
+                    .seed(seed);
+                let out = Sim.run(&scenario);
+                assert!(
+                    out.all_correct_decided,
+                    "{partition} {algorithm} seed {seed}"
+                );
+                assert!(out.agreement_holds());
+            }
         }
     }
 }
@@ -63,69 +78,78 @@ fn unanimous_proposals_decide_that_value_on_both_substrates() {
     let partition = Partition::even(6, 2);
     for v in Bit::ALL {
         // Local coin: unanimity forces rec = {v} and a round-1 decision.
-        let sim = SimBuilder::new(partition.clone(), Algorithm::LocalCoin)
+        let unanimous_lc = Scenario::new(partition.clone(), Algorithm::LocalCoin)
             .proposals_all(v)
-            .seed(1)
-            .run();
-        assert_eq!(sim.decided_value, Some(v));
+            .seed(1);
+        for backend in backends() {
+            let out = backend.run(&unanimous_lc);
+            assert_eq!(out.decided_value, Some(v), "{}", backend.name());
+        }
+        let sim = Sim.run(&unanimous_lc);
         assert_eq!(sim.max_decision_round, 1, "unanimity decides in round 1");
 
         // Common coin: the value is forced (validity) but the deciding
         // round is geometric — it waits for a matching coin.
-        let cc = SimBuilder::new(partition.clone(), Algorithm::CommonCoin)
-            .proposals_all(v)
-            .seed(1)
-            .run();
+        let cc = Sim.run(
+            &Scenario::new(partition.clone(), Algorithm::CommonCoin)
+                .proposals_all(v)
+                .seed(1),
+        );
         assert_eq!(cc.decided_value, Some(v));
-
-        let rt = RuntimeBuilder::new(partition.clone(), Algorithm::LocalCoin)
-            .proposals_all(v)
-            .seed(1)
-            .run();
-        assert_eq!(rt.decided_value, Some(v));
     }
 }
 
 #[test]
 fn message_counts_are_consistent_across_substrates() {
-    // Same partition, unanimous input, both substrates: one round, so the
+    // Same scenario, unanimous input, both substrates: one round, so the
     // phase-message count is deterministic (n broadcasts of n messages per
     // phase + decide broadcasts).
-    let partition = Partition::even(4, 2);
-    let sim = SimBuilder::new(partition.clone(), Algorithm::LocalCoin)
+    let scenario = Scenario::new(Partition::even(4, 2), Algorithm::LocalCoin)
         .proposals_all(Bit::One)
-        .seed(3)
-        .run();
-    let rt = RuntimeBuilder::new(partition, Algorithm::LocalCoin)
-        .proposals_all(Bit::One)
-        .seed(3)
-        .run();
+        .seed(3);
     // Unanimous input, local coin: everyone decides in round 1 — two
     // phase broadcasts plus one decide broadcast per process,
     // 3 * 4 * 4 = 48 messages, and 2 cluster proposes per process.
-    assert_eq!(sim.counters.messages_sent, 48);
-    assert_eq!(rt.counters.messages_sent, 48);
-    assert_eq!(sim.counters.cluster_proposes, 8);
-    assert_eq!(rt.counters.cluster_proposes, 8);
+    for backend in backends() {
+        let out = backend.run(&scenario);
+        assert_eq!(out.counters.messages_sent, 48, "{}", backend.name());
+        assert_eq!(out.counters.cluster_proposes, 8, "{}", backend.name());
+    }
 }
 
 #[test]
 fn baselines_run_on_both_substrates() {
     use one_for_all::consensus::ProtocolConfig;
-    let partition = Partition::singletons(5);
-    let sim = SimBuilder::new(partition.clone(), Algorithm::LocalCoin)
+    let scenario = Scenario::new(Partition::singletons(5), Algorithm::LocalCoin)
         .config(ProtocolConfig::pure_message_passing().with_max_rounds(128))
         .proposals_split(2)
-        .seed(4)
-        .run();
-    assert!(sim.all_correct_decided);
-    assert_eq!(sim.counters.cluster_proposes, 0, "baseline avoids memory");
+        .seed(4);
+    for backend in backends() {
+        let out = backend.run(&scenario);
+        assert!(out.all_correct_decided, "{}", backend.name());
+        assert_eq!(
+            out.counters.cluster_proposes,
+            0,
+            "{}: baseline avoids memory",
+            backend.name()
+        );
+    }
+}
 
-    let rt = RuntimeBuilder::new(partition, Algorithm::CommonCoin)
-        .config(ProtocolConfig::pure_message_passing().with_max_rounds(128))
-        .proposals_split(2)
-        .seed(4)
-        .run();
-    assert!(rt.all_correct_decided);
-    assert_eq!(rt.counters.cluster_proposes, 0);
+#[test]
+fn outcome_timing_fields_match_their_backend() {
+    let scenario = Scenario::new(Partition::fig1_left(), Algorithm::CommonCoin)
+        .proposals_split(4)
+        .seed(6);
+    let sim = Sim.run(&scenario);
+    assert!(sim.trace_hash.is_some());
+    assert!(sim.events_processed > 0);
+    assert!(
+        sim.latest_decision.is_none(),
+        "sim has no wall-clock decisions"
+    );
+    let rt = Threads.run(&scenario);
+    assert!(rt.trace_hash.is_none(), "threads record no trace");
+    assert!(rt.latest_decision.is_some());
+    assert!(rt.elapsed >= rt.latest_decision.unwrap());
 }

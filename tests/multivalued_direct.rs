@@ -5,7 +5,8 @@ use collector::Collector;
 use one_for_all::consensus::{
     Algorithm, Bit, Decision, Env, Halt, Mailbox, Payload, ProtocolConfig,
 };
-use one_for_all::sim::{CrashPlan, ProcessBody, SimBuilder};
+use one_for_all::prelude::{Backend, CrashPlan, Scenario, Sim};
+use one_for_all::scenario::ProcessBody;
 use one_for_all::smr::multivalued_propose;
 use one_for_all::topology::{Partition, ProcessId};
 use std::sync::Arc;
@@ -75,11 +76,12 @@ fn run_mv(
         algorithm,
         decided: Arc::clone(&collector),
     });
-    let out = SimBuilder::new(partition, algorithm)
-        .custom_body(body)
-        .crashes(crashes)
-        .seed(seed)
-        .run();
+    let out = Sim.run(
+        &Scenario::new(partition, algorithm)
+            .custom_body(body)
+            .crashes(crashes)
+            .seed(seed),
+    );
     assert!(out.agreement_holds());
     collector.all()
 }

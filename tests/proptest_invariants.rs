@@ -1,7 +1,7 @@
 //! Property-based tests over the whole stack.
 
 use one_for_all::consensus::{Algorithm, Bit, InvariantChecker, Payload};
-use one_for_all::sim::{CrashPlan, SimBuilder};
+use one_for_all::prelude::{Backend, CrashPlan, Scenario, Sim};
 use one_for_all::topology::{predicate, Partition, ProcessId, ProcessSet};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -47,11 +47,10 @@ proptest! {
         let proposals: Vec<Bit> = (0..n).map(|i| Bit::from(proposal_bits[i])).collect();
         let algorithm = if common { Algorithm::CommonCoin } else { Algorithm::LocalCoin };
         let checker = Arc::new(InvariantChecker::new());
-        let out = SimBuilder::new(partition, algorithm)
+        let out = Sim.run(&Scenario::new(partition, algorithm)
             .proposals(proposals.clone())
             .observer(checker.clone())
-            .seed(seed)
-            .run();
+            .seed(seed));
         prop_assert!(out.all_correct_decided);
         prop_assert!(out.agreement_holds());
         let v = out.decided_value.unwrap();
@@ -78,12 +77,11 @@ proptest! {
             crashed.remove(ProcessId(0)); // keep one process alive
         }
         let holds = predicate::guarantees_termination(&partition, &crashed);
-        let out = SimBuilder::new(partition, Algorithm::CommonCoin)
+        let out = Sim.run(&Scenario::new(partition, Algorithm::CommonCoin)
             .proposals_split(n / 2)
             .crashes(CrashPlan::new().crash_set_at_start(&crashed))
             .max_rounds(if holds { 256 } else { 10 })
-            .seed(seed)
-            .run();
+            .seed(seed));
         prop_assert!(out.agreement_holds());
         prop_assert_eq!(out.all_correct_decided, holds);
     }

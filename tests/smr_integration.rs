@@ -2,7 +2,7 @@
 //! the paper's binary algorithms.
 
 use one_for_all::consensus::Algorithm;
-use one_for_all::sim::CrashPlan;
+use one_for_all::scenario::CrashPlan;
 use one_for_all::smr::{run_replicated_kv, Command};
 use one_for_all::topology::{Partition, ProcessId};
 

@@ -133,6 +133,9 @@ pub mod strategy {
         (A.0, B.1, C.2)
         (A.0, B.1, C.2, D.3)
         (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
     }
 
     /// Strategy produced by [`crate::arbitrary::any`].
@@ -214,7 +217,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// A length specification for [`vec`]: an exact size or a range.
+    /// A length specification for [`vec()`]: an exact size or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

@@ -240,6 +240,18 @@ impl<T: Serialize> Serialize for &T {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
 /// Types usable as map keys (serialized as JSON object keys, which must
 /// be strings).
 pub trait MapKey: Ord + Sized {
