@@ -1,0 +1,22 @@
+//! ESCALE — event-driven engine hot path.
+//!
+//! Times a reduced-scale cell of the engine scale sweep (`n = 512`); the
+//! full sweep up to `n = 50 000` is produced by the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofa_bench::experiments::escale;
+use ofa_scenario::Backend;
+use ofa_sim::Sim;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("escale_engine");
+    g.sample_size(10);
+    g.bench_function("n512", |b| {
+        let scenario = escale::scenario(512);
+        b.iter(|| Sim.run(&scenario))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -46,7 +46,7 @@ fn main() {
             match ofa_bench::run_one_scaled(id, scale) {
                 Some(t) => out.push(("", t)),
                 None => {
-                    eprintln!("unknown experiment id: {id} (expected e1..e10)");
+                    eprintln!("unknown experiment id: {id} (expected e1..e10 or escale)");
                     std::process::exit(2);
                 }
             }

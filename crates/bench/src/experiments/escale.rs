@@ -1,0 +1,121 @@
+//! ESCALE — event-driven engine scale sweep (`n` up to 50 000).
+//!
+//! The paper's headline is *scalability*, but a thread-per-process
+//! simulator cannot even represent the regime the claim is about: at
+//! `n = 10 000` the conductor would need ten thousand OS threads and two
+//! context switches per burst. This experiment runs the full
+//! `ben_or_hybrid` protocol — every process broadcasting to all `n`,
+//! cluster pre-agreement, real decide broadcasts — on the event-driven
+//! engine ([`ofa_scenario::Engine::EventDriven`]) and reports per-`n`
+//! wall-clock and scheduler-events-per-second, demonstrating cluster-scale
+//! executions in seconds on one core.
+//!
+//! Workload: `m = n/100` clusters, unanimous proposals (the protocol's
+//! deterministic one-round fast path, so work per cell is exactly
+//! `3n²` messages: two phase broadcasts plus one decide broadcast per
+//! process), constant network delay, zero per-send cost so broadcasts
+//! collapse into single heap entries.
+
+use ofa_core::{Algorithm, Bit};
+use ofa_metrics::{fmt_f64, Table};
+use ofa_scenario::{Backend, CostModel, DelayModel, Engine, Scenario};
+use ofa_sim::Sim;
+use ofa_topology::Partition;
+
+/// System sizes of the full sweep. The largest cells are minutes, not
+/// seconds — the sweep is quadratic in `n` by construction (`3n²`
+/// messages) — so CI uses [`QUICK_SIZES`].
+pub const SIZES: [usize; 6] = [1_000, 2_000, 5_000, 10_000, 20_000, 50_000];
+
+/// The CI smoke size: one `n = 5 000` run, a few seconds single-threaded.
+pub const QUICK_SIZES: [usize; 1] = [5_000];
+
+/// One row of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleRow {
+    /// System size.
+    pub n: usize,
+    /// Scheduler events processed.
+    pub events: u64,
+    /// Wall-clock seconds for the whole run (single thread).
+    pub wall_secs: f64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// The scenario one cell runs (exposed so the CI gate and the criterion
+/// bench time exactly what the table reports).
+pub fn scenario(n: usize) -> Scenario {
+    let m = (n / 100).max(1);
+    Scenario::new(Partition::even(n, m), Algorithm::LocalCoin)
+        .proposals_all(Bit::One)
+        .seed(42)
+        .delay(DelayModel::Constant(1_000))
+        .costs(CostModel {
+            send_cost: 0,
+            recv_cost: 1,
+            sm_op_cost: 10,
+            coin_cost: 1,
+        })
+        .max_rounds(16)
+        .max_events(u64::MAX)
+        .engine(Engine::EventDriven)
+}
+
+/// Runs the sweep over `sizes`; returns the rows (for assertions) and
+/// the table.
+///
+/// # Panics
+///
+/// Panics if any cell fails to decide unanimously in round 1 — the
+/// workload is deterministic, so anything else is an engine regression.
+pub fn run(sizes: &[usize]) -> (Vec<ScaleRow>, Table) {
+    let mut table = Table::new(
+        "ESCALE: event-driven engine scale sweep — full ben_or_hybrid, m=n/100 clusters, \
+         unanimous proposals, single thread",
+        &["n", "events", "virtual end", "wall [s]", "events/s"],
+    );
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let out = Sim.run(&scenario(n));
+        assert!(
+            out.all_correct_decided && out.agreement_holds(),
+            "escale n={n}: engine failed to decide"
+        );
+        assert_eq!(out.deciders(), n, "escale n={n}: missing deciders");
+        assert_eq!(
+            out.max_decision_round, 1,
+            "escale n={n}: unanimity must decide in round 1"
+        );
+        let wall_secs = out.elapsed.as_secs_f64();
+        let events_per_sec = out.events_processed as f64 / wall_secs.max(f64::EPSILON);
+        rows.push(ScaleRow {
+            n,
+            events: out.events_processed,
+            wall_secs,
+            events_per_sec,
+        });
+        table.row([
+            n.to_string(),
+            out.events_processed.to_string(),
+            out.end_time.to_string(),
+            fmt_f64(wall_secs, 2),
+            format!("{events_per_sec:.2e}"),
+        ]);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cells_complete_and_report_throughput() {
+        let (rows, table) = run(&[200, 400]);
+        assert_eq!(table.len(), 2);
+        assert_eq!(rows[0].events, 3 * 200 * 200);
+        assert_eq!(rows[1].events, 3 * 400 * 400);
+        assert!(rows.iter().all(|r| r.events_per_sec > 0.0));
+    }
+}

@@ -18,10 +18,11 @@
 //! | E8 | fault-tolerance frontier beats the `⌊(n-1)/2⌋` MP bound |
 //! | E9 | ablation: amplification needs cluster pre-agreement |
 //! | E10 | Figure 2 m&m domains recomputed verbatim |
+//! | ESCALE | event-driven engine runs full consensus at `n = 10⁴–5·10⁴` in seconds–minutes |
 
 #![warn(missing_docs)]
 
-/// The experiment modules, E1 through E10.
+/// The experiment modules, E1 through E10 plus the ESCALE engine sweep.
 pub mod experiments {
     pub mod e1;
     pub mod e10;
@@ -33,6 +34,7 @@ pub mod experiments {
     pub mod e7;
     pub mod e8;
     pub mod e9;
+    pub mod escale;
 }
 
 use ofa_metrics::Table;
@@ -40,7 +42,9 @@ use ofa_metrics::Table;
 /// Every experiment id, in presentation order. The single source of
 /// truth for "all experiments" — `run_all`, the `experiments` binary's
 /// `--quick` path, and CI smoke loops all iterate this.
-pub const ALL_IDS: [&str; 10] = ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"];
+pub const ALL_IDS: [&str; 11] = [
+    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "ESCALE",
+];
 
 /// Runs every experiment at its default scale, returning `(id, table)`
 /// pairs in order.
@@ -88,6 +92,12 @@ pub fn run_one_scaled(id: &str, scale: Scale) -> Option<Table> {
         "e8" => e8::run().1,
         "e9" => e9::run(t(e9::TRIALS)).1,
         "e10" => e10::run().1,
+        // Scaled by system size rather than trial count: the full sweep
+        // reaches n = 50 000 (minutes); quick is one n = 5 000 cell.
+        "escale" => match scale {
+            Scale::Full => escale::run(&escale::SIZES).1,
+            Scale::Quick => escale::run(&escale::QUICK_SIZES).1,
+        },
         _ => return None,
     })
 }

@@ -53,6 +53,22 @@ pub fn common_coin_hybrid_instance(
     proposal: Bit,
     cfg: &ProtocolConfig,
 ) -> Result<Decision, Halt> {
+    let result = common_coin_hybrid_inner(env, mailbox, instance, proposal, cfg);
+    // Mailbox hygiene report (how many stale buffered messages this
+    // instance discarded), folded into the substrate's counters.
+    env.observe(ObsEvent::MailboxStats {
+        stale_dropped: mailbox.take_stale_delta(),
+    });
+    result
+}
+
+fn common_coin_hybrid_inner(
+    env: &mut dyn Env,
+    mailbox: &mut Mailbox,
+    instance: u64,
+    proposal: Bit,
+    cfg: &ProtocolConfig,
+) -> Result<Decision, Halt> {
     env.observe(ObsEvent::Propose {
         instance,
         value: proposal,

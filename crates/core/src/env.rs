@@ -140,6 +140,17 @@ pub enum ObsEvent {
         /// `false` for a direct decision (line 12).
         relayed: bool,
     },
+    /// Mailbox hygiene report, emitted once when a consensus instance
+    /// finishes (decided or halted): how many stale messages the
+    /// process's [`crate::Mailbox`] discarded during the instance —
+    /// past-slot arrivals plus buffers pruned when the served slot
+    /// advanced. Substrates fold the delta into
+    /// `ofa_metrics::Counters::stale_dropped`.
+    MailboxStats {
+        /// Stale messages dropped since the previous report by the same
+        /// process (a delta, so multi-instance layers sum correctly).
+        stale_dropped: u64,
+    },
 }
 
 #[cfg(test)]

@@ -17,16 +17,19 @@
 //!
 //! ## Architecture
 //!
-//! Algorithms are written once, in blocking pseudocode style, against the
-//! object-safe [`Env`] trait. Execution substrates implement `Env`:
+//! The algorithms exist in two step-for-step equivalent forms:
 //!
-//! * `ofa-sim` — deterministic discrete-event simulator (virtual time,
-//!   seeded delays, crash injection, schedule exploration),
-//! * `ofa-runtime` — real threads + channels + shared memory.
-//!
-//! Crashes and stop signals surface as `Err(`[`Halt`]`)` from `Env`
-//! methods and propagate with `?`, so the protocol code stays shaped like
-//! the paper's pseudocode (line numbers are cited in comments).
+//! * **Blocking reference** — written in the paper's pseudocode style
+//!   against the object-safe [`Env`] trait, with crashes and stop
+//!   signals surfacing as `Err(`[`Halt`]`)` and propagating with `?`
+//!   (line numbers are cited in comments). Execution substrates
+//!   implement `Env`: `ofa-sim`'s thread-conductor engine and
+//!   `ofa-runtime`'s real threads.
+//! * **Resumable state machines** ([`sm`]) — the same protocols with the
+//!   control flow inverted: an [`sm::ConsensusSm`] consumes one
+//!   delivered message per step and never blocks, so a single-threaded
+//!   event-driven engine (in `ofa-sim`) can drive tens of thousands of
+//!   processes without one thread each.
 //!
 //! ## Quick taste
 //!
@@ -37,7 +40,7 @@
 //! let cfg = ProtocolConfig::paper().with_max_rounds(64);
 //! assert!(cfg.amplify);
 //! // `ben_or_hybrid(&mut env, Bit::One, &cfg)` runs it on any Env —
-//! // see ofa-sim's `SimBuilder` for one-line complete executions.
+//! // see `ofa_scenario::Scenario` for one-line complete executions.
 //! let _ = (cfg, Bit::One);
 //! ```
 
@@ -55,6 +58,7 @@ mod msg;
 mod observer;
 mod pattern;
 mod payload;
+pub mod sm;
 mod value;
 
 pub use baselines::{ben_or_classic, common_coin_classic};

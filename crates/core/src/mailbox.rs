@@ -10,11 +10,29 @@
 //!
 //! Higher layers (multivalued consensus, replicated logs) run instances in
 //! increasing order at each process; the staleness rule relies on that
-//! monotonicity.
+//! monotonicity. The same monotonicity powers *hygiene*: whenever the
+//! served slot advances, everything buffered below it — phase queues **and**
+//! remembered decides of completed instances — is pruned, so long SMR runs
+//! do not retain dead instances forever. Pruned entries count into
+//! [`Mailbox::stale_dropped`], which the algorithms report through
+//! [`crate::ObsEvent::MailboxStats`] so substrates can expose it via
+//! `ofa_metrics::Counters`.
+//!
+//! The routing itself is split into two non-blocking primitives so that
+//! both execution styles share one implementation:
+//!
+//! * [`Mailbox::take_buffered`] — serve the next already-buffered item for
+//!   a slot (sticky decide first, then the slot's queue);
+//! * [`Mailbox::accept`] — route one freshly delivered message relative to
+//!   a slot (serve / buffer / drop / stash).
+//!
+//! The blocking [`Mailbox::next_for`] used by the `Env`-trait algorithms
+//! is a thin loop over these; the resumable state machines of
+//! [`crate::sm`] call them directly.
 
 use crate::{Bit, Env, Est, Halt, Msg, MsgKind, Payload, Phase};
 use ofa_topology::ProcessId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// What the mailbox hands to the communication pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,13 +66,30 @@ pub struct AppMsg {
     pub payload: Payload,
 }
 
+/// A remembered `DECIDE(value)`; `served` tracks whether the instance
+/// ever consumed it, so pruning can tell a used entry from a stale one.
+#[derive(Debug, Clone, Copy)]
+struct DecideEntry {
+    value: Bit,
+    served: bool,
+}
+
 /// Buffers out-of-slot messages for one process.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Mailbox {
-    future: HashMap<(u64, u64, Phase), VecDeque<Msg>>,
-    decides: HashMap<u64, Bit>,
+    future: BTreeMap<(u64, u64, Phase), VecDeque<Msg>>,
+    decides: BTreeMap<u64, DecideEntry>,
     apps: Vec<AppMsg>,
+    /// The highest slot ever served; everything strictly below it is dead.
+    position: (u64, u64, Phase),
     stale_dropped: u64,
+    stale_reported: u64,
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Lexicographic position of a message within the instance/round/phase
@@ -66,7 +101,130 @@ fn key(instance: u64, round: u64, phase: Phase) -> (u64, u64, u8) {
 impl Mailbox {
     /// Creates an empty mailbox.
     pub fn new() -> Self {
-        Self::default()
+        Mailbox {
+            future: BTreeMap::new(),
+            decides: BTreeMap::new(),
+            apps: Vec::new(),
+            position: (0, 0, Phase::One),
+            stale_dropped: 0,
+            stale_reported: 0,
+        }
+    }
+
+    /// Advances the served position to `(instance, round, phase)` and
+    /// prunes everything the protocol has moved past: buffered phase
+    /// queues below the slot and remembered decides of earlier instances.
+    fn advance_to(&mut self, instance: u64, round: u64, phase: Phase) {
+        let new = (instance, round, phase);
+        if key(new.0, new.1, new.2) <= key(self.position.0, self.position.1, self.position.2) {
+            return;
+        }
+        self.position = new;
+        let kept = self.future.split_off(&new);
+        let dropped = std::mem::replace(&mut self.future, kept);
+        self.stale_dropped += dropped.values().map(|q| q.len() as u64).sum::<u64>();
+        let kept = self.decides.split_off(&instance);
+        let dropped = std::mem::replace(&mut self.decides, kept);
+        // A decide the instance actually consumed did its job — only
+        // never-served entries count as stale.
+        self.stale_dropped += dropped.values().filter(|e| !e.served).count() as u64;
+    }
+
+    /// Serves the next already-buffered item for `(instance, round,
+    /// phase)`: the sticky `DECIDE` of the instance if one was seen,
+    /// otherwise the slot's oldest buffered phase message. Advances the
+    /// hygiene position (pruning dead buffers) as a side effect.
+    pub fn take_buffered(
+        &mut self,
+        instance: u64,
+        round: u64,
+        phase: Phase,
+    ) -> Option<MailboxItem> {
+        self.advance_to(instance, round, phase);
+        if let Some(entry) = self.decides.get_mut(&instance) {
+            entry.served = true;
+            return Some(MailboxItem::Decide { value: entry.value });
+        }
+        let msg = self
+            .future
+            .get_mut(&(instance, round, phase))?
+            .pop_front()?;
+        let est = match msg.kind {
+            MsgKind::Phase { est, .. } => est,
+            MsgKind::Decide { .. } | MsgKind::App { .. } => {
+                unreachable!("only phase messages are buffered by slot")
+            }
+        };
+        Some(MailboxItem::Phase {
+            from: msg.from,
+            est,
+        })
+    }
+
+    /// Routes one freshly delivered message relative to the slot the
+    /// process is serving. Returns `Some` iff the message is immediately
+    /// relevant (a phase message of the slot, or a `DECIDE` of the
+    /// instance); otherwise the message is buffered (future slots),
+    /// dropped as stale (past slots), or stashed (application payloads).
+    pub fn accept(
+        &mut self,
+        msg: Msg,
+        instance: u64,
+        round: u64,
+        phase: Phase,
+    ) -> Option<MailboxItem> {
+        match msg.kind {
+            MsgKind::Decide { instance: i, value } => {
+                if i < instance {
+                    self.stale_dropped += 1;
+                    return None;
+                }
+                // Remember every current-or-future decide; only the
+                // current instance's short-circuits this call.
+                let entry = self.decides.entry(i).or_insert(DecideEntry {
+                    value,
+                    served: false,
+                });
+                entry.served |= i == instance;
+                (i == instance).then_some(MailboxItem::Decide { value })
+            }
+            MsgKind::Phase {
+                instance: i,
+                round: r,
+                phase: ph,
+                est,
+            } => {
+                let incoming = key(i, r, ph);
+                let current = key(instance, round, phase);
+                match incoming.cmp(&current) {
+                    std::cmp::Ordering::Equal => Some(MailboxItem::Phase {
+                        from: msg.from,
+                        est,
+                    }),
+                    std::cmp::Ordering::Greater => {
+                        self.future.entry((i, r, ph)).or_default().push_back(msg);
+                        None
+                    }
+                    std::cmp::Ordering::Less => {
+                        self.stale_dropped += 1;
+                        None
+                    }
+                }
+            }
+            MsgKind::App {
+                instance: i,
+                seq,
+                payload,
+            } => {
+                self.apps.push(AppMsg {
+                    from: msg.from,
+                    instance: i,
+                    seq,
+                    payload,
+                });
+                None
+            }
+        }
     }
 
     /// Returns the next item relevant to `(instance, round, phase)`,
@@ -87,67 +245,13 @@ impl Mailbox {
         round: u64,
         phase: Phase,
     ) -> Result<MailboxItem, Halt> {
-        if let Some(&v) = self.decides.get(&instance) {
-            return Ok(MailboxItem::Decide { value: v });
-        }
-        if let Some(queue) = self.future.get_mut(&(instance, round, phase)) {
-            if let Some(msg) = queue.pop_front() {
-                let est = match msg.kind {
-                    MsgKind::Phase { est, .. } => est,
-                    MsgKind::Decide { .. } | MsgKind::App { .. } => {
-                        unreachable!("only phase messages are buffered by slot")
-                    }
-                };
-                return Ok(MailboxItem::Phase {
-                    from: msg.from,
-                    est,
-                });
-            }
-        }
         loop {
+            if let Some(item) = self.take_buffered(instance, round, phase) {
+                return Ok(item);
+            }
             let msg = env.recv()?;
-            match msg.kind {
-                MsgKind::Decide { instance: i, value } => {
-                    // Remember every decide; only the current instance's
-                    // short-circuits this call.
-                    self.decides.entry(i).or_insert(value);
-                    if i == instance {
-                        return Ok(MailboxItem::Decide { value });
-                    }
-                    if i < instance {
-                        self.stale_dropped += 1;
-                    }
-                }
-                MsgKind::Phase {
-                    instance: i,
-                    round: r,
-                    phase: ph,
-                    est,
-                } => {
-                    let incoming = key(i, r, ph);
-                    let current = key(instance, round, phase);
-                    if incoming == current {
-                        return Ok(MailboxItem::Phase {
-                            from: msg.from,
-                            est,
-                        });
-                    }
-                    if incoming > current {
-                        self.future.entry((i, r, ph)).or_default().push_back(msg);
-                    } else {
-                        self.stale_dropped += 1;
-                    }
-                }
-                MsgKind::App {
-                    instance: i,
-                    seq,
-                    payload,
-                } => self.apps.push(AppMsg {
-                    from: msg.from,
-                    instance: i,
-                    seq,
-                    payload,
-                }),
+            if let Some(item) = self.accept(msg, instance, round, phase) {
+                return Ok(item);
             }
         }
     }
@@ -164,7 +268,10 @@ impl Mailbox {
         let msg = env.recv()?;
         match msg.kind {
             MsgKind::Decide { instance, value } => {
-                self.decides.entry(instance).or_insert(value);
+                self.decides.entry(instance).or_insert(DecideEntry {
+                    value,
+                    served: false,
+                });
             }
             MsgKind::Phase {
                 instance,
@@ -202,14 +309,26 @@ impl Mailbox {
         self.apps.push(app);
     }
 
-    /// The sticky `DECIDE` value for `instance`, if one has been received.
+    /// The sticky `DECIDE` value for `instance`, if one has been received
+    /// and the instance has not been pruned yet (decides of instances the
+    /// process has moved past are discarded).
     pub fn seen_decide(&self, instance: u64) -> Option<Bit> {
-        self.decides.get(&instance).copied()
+        self.decides.get(&instance).map(|e| e.value)
     }
 
-    /// Number of stale (past-slot) messages dropped so far.
+    /// Number of stale messages discarded so far: past-slot arrivals plus
+    /// buffered entries pruned when the served slot advanced.
     pub fn stale_dropped(&self) -> u64 {
         self.stale_dropped
+    }
+
+    /// Drops since the previous call — the delta the algorithms report via
+    /// [`crate::ObsEvent::MailboxStats`] at the end of each instance, so
+    /// multi-instance layers account each run exactly once.
+    pub fn take_stale_delta(&mut self) -> u64 {
+        let delta = self.stale_dropped - self.stale_reported;
+        self.stale_reported = self.stale_dropped;
+        delta
     }
 
     /// Number of messages currently buffered for future slots.
@@ -348,6 +467,62 @@ mod tests {
             }
         );
         assert_eq!(mb.stale_dropped(), 3);
+    }
+
+    #[test]
+    fn moving_past_a_slot_prunes_its_buffers() {
+        let mut env = Script::new(vec![
+            phase_msg(1, 0, 2, Phase::One, Some(Bit::Zero)), // buffered, then skipped
+            phase_msg(2, 0, 2, Phase::One, Some(Bit::One)),  // buffered, then skipped
+            decide_msg(1, 1, Bit::One),                      // decide for instance 1
+            phase_msg(1, 0, 1, Phase::One, Some(Bit::One)),  // current
+            phase_msg(1, 2, 1, Phase::One, Some(Bit::One)),  // for the last slot
+        ]);
+        let mut mb = Mailbox::new();
+        let item = mb.next_for(&mut env, 0, 1, Phase::One).unwrap();
+        assert!(matches!(item, MailboxItem::Phase { .. }));
+        assert_eq!(mb.buffered(), 2);
+        assert_eq!(mb.seen_decide(1), Some(Bit::One));
+        // Jump straight past round 2 (e.g. a relayed decide ended the
+        // instance): the round-2 buffer is pruned and counted.
+        let item = mb.next_for(&mut env, 1, 1, Phase::One).unwrap();
+        assert_eq!(item, MailboxItem::Decide { value: Bit::One });
+        assert_eq!(mb.buffered(), 0, "dead round-2 queue was pruned");
+        assert_eq!(mb.stale_dropped(), 2);
+        // Moving to instance 2 prunes the remembered instance-1 decide;
+        // it was *served* (it ended instance 1), so it is not stale.
+        let item = mb.next_for(&mut env, 2, 1, Phase::One).unwrap();
+        assert!(matches!(item, MailboxItem::Phase { .. }));
+        assert_eq!(mb.seen_decide(1), None, "dead decide was pruned");
+        assert_eq!(mb.stale_dropped(), 2, "served decides are not stale");
+    }
+
+    #[test]
+    fn pruned_unserved_decides_count_as_stale() {
+        let mut env = Script::new(vec![
+            decide_msg(2, 1, Bit::One),                     // never served
+            phase_msg(1, 0, 1, Phase::One, Some(Bit::One)), // current
+            phase_msg(1, 3, 1, Phase::One, Some(Bit::One)), // jump target
+        ]);
+        let mut mb = Mailbox::new();
+        let _ = mb.next_for(&mut env, 0, 1, Phase::One).unwrap();
+        // Jump straight to instance 3: the instance-1 decide was buffered
+        // but never consumed — that is a genuinely wasted message.
+        let _ = mb.next_for(&mut env, 3, 1, Phase::One).unwrap();
+        assert_eq!(mb.stale_dropped(), 1);
+    }
+
+    #[test]
+    fn stale_delta_is_reported_once() {
+        let mut env = Script::new(vec![
+            phase_msg(1, 0, 1, Phase::One, Some(Bit::Zero)), // stale after advance
+            phase_msg(1, 0, 3, Phase::One, Some(Bit::One)),  // current
+        ]);
+        let mut mb = Mailbox::new();
+        let _ = mb.next_for(&mut env, 0, 3, Phase::One).unwrap();
+        assert_eq!(mb.take_stale_delta(), 1);
+        assert_eq!(mb.take_stale_delta(), 0, "delta resets");
+        assert_eq!(mb.stale_dropped(), 1, "cumulative count is unchanged");
     }
 
     #[test]

@@ -229,7 +229,8 @@ impl Observer for InvariantChecker {
             }
             ObsEvent::RoundStart { .. }
             | ObsEvent::ClusterAgreed { .. }
-            | ObsEvent::Coin { .. } => {}
+            | ObsEvent::Coin { .. }
+            | ObsEvent::MailboxStats { .. } => {}
         }
     }
 }

@@ -24,7 +24,7 @@ pub struct Supporters {
     sets: [ProcessSet; 3],
 }
 
-fn est_index(e: Est) -> usize {
+pub(crate) fn est_index(e: Est) -> usize {
     match e {
         Some(Bit::Zero) => 0,
         Some(Bit::One) => 1,

@@ -1,0 +1,1121 @@
+//! Resumable state machines: the paper's algorithms without threads.
+//!
+//! The `Env`-trait algorithms ([`crate::ben_or_hybrid`],
+//! [`crate::common_coin_hybrid`]) are written in blocking pseudocode
+//! style: `recv` suspends the caller, so every process needs its own call
+//! stack — one OS thread per simulated process. That reference shape is
+//! faithful to the paper but caps simulations at a few thousand processes.
+//!
+//! This module is the same protocol turned inside out: a
+//! [`ConsensusSm`] is a plain struct that consumes one delivered
+//! [`Msg`] per step and reports `Poll`-style [`Progress`] — it never
+//! blocks, so a single-threaded engine can drive hundreds of thousands of
+//! processes straight off an event heap (see `ofa-sim`'s event-driven
+//! engine). The wait-free operations of the hybrid model — intra-cluster
+//! consensus and coins — stay synchronous, provided by the engine through
+//! [`SmCtx`]; only message reception suspends the machine.
+//!
+//! The machines are **step-for-step equivalent** to the blocking
+//! algorithms: every environment interaction (send, receive, cluster
+//! propose, coin, observation) happens in the same order with the same
+//! arguments, so an engine that accounts steps and virtual time like the
+//! thread conductor reproduces the conductor's executions bit for bit
+//! (`tests/engine_equivalence.rs` asserts exactly that, trace hash
+//! included).
+//!
+//! # Anatomy of a step
+//!
+//! ```text
+//!        deliver Msg                 ┌────────────────────────────┐
+//!  ───────────────────▶  on_msg ───▶│ mailbox route → tally →    │
+//!                                   │ cluster consensus / coins  │──▶ Progress
+//!  engine pops event                │ (via SmCtx) → broadcasts   │    NeedMsg / Sent /
+//!                                   └────────────────────────────┘    Decided / Halted
+//! ```
+//!
+//! One delivery can carry the machine arbitrarily far — completing an
+//! exchange, pre-agreeing in the cluster, broadcasting the next phase and
+//! draining buffered future messages — until it genuinely needs a fresh
+//! message (or terminates). Outgoing messages accumulate in the step's
+//! outbox and are returned inside the [`Progress`] value.
+
+use crate::pattern::est_index;
+use crate::{
+    Algorithm, Bit, Decision, Est, Halt, Mailbox, MailboxItem, Msg, MsgKind, ObsEvent, Phase,
+    ProtocolConfig,
+};
+use ofa_sharedmem::{CodableValue, Slot};
+use ofa_topology::{Partition, ProcessId};
+use std::sync::Arc;
+
+/// The synchronous services a state machine needs while stepping: the
+/// wait-free operations of the hybrid model plus bookkeeping hooks.
+///
+/// This is [`crate::Env`] minus the blocking `recv` — message input is
+/// *pushed* via [`ConsensusSm::on_msg`] instead of pulled. Engines
+/// implement it once per process and are free to charge virtual time,
+/// count steps, record traces, and inject crashes by returning
+/// `Err(Halt)` from the fallible methods, exactly like an `Env`.
+pub trait SmCtx {
+    /// Hands one message to the network; returns the virtual send time
+    /// the engine assigns (0 where time is not modeled). The machine
+    /// records that timestamp in its outbox entry.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Halt)` if the process crashes at this step; like the paper's
+    /// non-reliable broadcast, any prefix already sent stays sent.
+    fn send(&mut self, to: ProcessId, msg: MsgKind) -> Result<u64, Halt>;
+
+    /// Charged when the machine is about to suspend for a message — the
+    /// equivalent of entering the blocking `recv` call.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Halt)` if the process crashes at this step.
+    fn begin_recv(&mut self) -> Result<(), Halt>;
+
+    /// Proposes to the cluster's consensus object (wait-free).
+    ///
+    /// # Errors
+    ///
+    /// `Err(Halt)` if the process crashes at this step.
+    fn cluster_propose(&mut self, slot: Slot, enc: u64) -> Result<u64, Halt>;
+
+    /// Draws this process's local coin.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Halt)` if the process crashes at this step.
+    fn local_coin(&mut self) -> Result<Bit, Halt>;
+
+    /// Reads the common coin at `index`.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Halt)` if the process crashes at this step.
+    fn common_coin(&mut self, index: u64) -> Result<Bit, Halt>;
+
+    /// Reports a protocol-level event (tracing, invariants). Default:
+    /// ignored.
+    fn observe(&mut self, _event: ObsEvent) {}
+
+    /// Notes one invocation of the `broadcast` macro-operation (the sends
+    /// themselves still go through [`SmCtx::send`]). Default: ignored.
+    fn note_broadcast(&mut self) {}
+}
+
+/// One outgoing message produced by a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outgoing {
+    /// Destination process.
+    pub to: ProcessId,
+    /// Payload.
+    pub msg: MsgKind,
+    /// Virtual send time reported by [`SmCtx::send`].
+    pub sent_at: u64,
+}
+
+/// An outbox entry: a single send, or a whole uniform broadcast.
+///
+/// A broadcast whose sends all carry the same timestamp (the engine
+/// charges no per-send cost) collapses into one [`OutItem::Broadcast`]
+/// entry, letting schedulers enqueue it as a single event instead of `n`
+/// — the difference between O(n²) and O(n) heap residency per round at
+/// cluster scale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutItem {
+    /// One point-to-point send.
+    One(Outgoing),
+    /// `msg` sent to every process `p_0 … p_{n-1}` in index order, all at
+    /// the same virtual send time.
+    Broadcast {
+        /// Payload (identical for every destination).
+        msg: MsgKind,
+        /// Virtual send time shared by all destinations.
+        sent_at: u64,
+    },
+}
+
+/// The sends produced by one step, in send order.
+pub type Outbox = Vec<OutItem>;
+
+/// `Poll`-style progress reported by every step of a [`ConsensusSm`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Progress {
+    /// The machine is suspended waiting for the next delivered message;
+    /// this step produced no sends.
+    NeedMsg,
+    /// The machine produced sends (drain them into the network) and is
+    /// again suspended waiting for the next delivered message.
+    Sent(Outbox),
+    /// Terminal: the machine decided. The final `DECIDE` broadcast is in
+    /// the outbox. The machine must not be stepped again.
+    Decided(Decision, Outbox),
+    /// Terminal: the machine halted without deciding (crash or stop).
+    /// Sends already performed before the halt are in the outbox — a
+    /// crash mid-broadcast delivers to an arbitrary prefix, like the
+    /// paper's non-reliable broadcast macro-operation.
+    Halted(Halt, Outbox),
+}
+
+impl Progress {
+    /// `true` for the terminal variants.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, Progress::Decided(..) | Progress::Halted(..))
+    }
+}
+
+/// Immutable per-run topology shared by all machines of one execution:
+/// the partition plus precomputed cluster sizes, so a machine's
+/// per-message supporter accounting is O(1) instead of O(n/64).
+#[derive(Debug)]
+pub struct SmTopology {
+    partition: Partition,
+    cluster_sizes: Vec<usize>,
+}
+
+impl SmTopology {
+    /// Precomputes the shared topology of a run.
+    pub fn new(partition: Partition) -> Self {
+        let cluster_sizes = partition.sizes();
+        SmTopology {
+            partition,
+            cluster_sizes,
+        }
+    }
+
+    /// The underlying partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    fn n(&self) -> usize {
+        self.partition.n()
+    }
+
+    /// The credit unit a sender maps to: its cluster index under "one for
+    /// all" amplification, its own index otherwise.
+    fn unit_of(&self, from: ProcessId, amplify: bool) -> (usize, usize) {
+        if amplify {
+            let x = self.partition.cluster_of(from).index();
+            (x, self.cluster_sizes[x])
+        } else {
+            (from.index(), 1)
+        }
+    }
+
+    fn units(&self, amplify: bool) -> usize {
+        if amplify {
+            self.partition.m()
+        } else {
+            self.partition.n()
+        }
+    }
+}
+
+/// A set over credit units (clusters or single processes) with an
+/// incrementally maintained total weight.
+#[derive(Debug, Clone, Default)]
+struct UnitSet {
+    words: Vec<u64>,
+    weight: usize,
+}
+
+impl UnitSet {
+    fn with_units(units: usize) -> Self {
+        UnitSet {
+            words: vec![0; units.div_ceil(64)],
+            weight: 0,
+        }
+    }
+
+    /// Inserts `unit` with `weight`; no-op if already present.
+    fn credit(&mut self, unit: usize, weight: usize) {
+        let (w, b) = (unit / 64, unit % 64);
+        if self.words[w] & (1 << b) == 0 {
+            self.words[w] |= 1 << b;
+            self.weight += weight;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.words.fill(0);
+        self.weight = 0;
+    }
+}
+
+/// Incremental supporter accounting for one `msg_exchange` invocation —
+/// semantically identical to [`crate::Supporters`] (same majority, `rec`,
+/// and coverage answers on the same credit sequence) but O(1) per
+/// message: because every process belongs to exactly one cluster, each
+/// per-value supporter set is a disjoint union of whole credit units, so
+/// set cardinalities reduce to weight counters.
+#[derive(Debug)]
+struct Tally {
+    n: usize,
+    /// Supporter weights for `0`, `1`, `⊥` (indexed by `est_index`).
+    sets: [UnitSet; 3],
+    /// Union of all supporter sets.
+    cover: UnitSet,
+}
+
+impl Tally {
+    fn new(n: usize, units: usize) -> Self {
+        Tally {
+            n,
+            sets: [
+                UnitSet::with_units(units),
+                UnitSet::with_units(units),
+                UnitSet::with_units(units),
+            ],
+            cover: UnitSet::with_units(units),
+        }
+    }
+
+    fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.cover.clear();
+    }
+
+    /// Credits `unit` (with `weight` processes) as a supporter of `est`.
+    fn credit(&mut self, est: Est, unit: usize, weight: usize) {
+        self.sets[est_index(est)].credit(unit, weight);
+        self.cover.credit(unit, weight);
+    }
+
+    /// Line 7 of Algorithm 1: supporters jointly cover a strict majority.
+    fn coverage_is_majority(&self) -> bool {
+        2 * self.cover.weight > self.n
+    }
+
+    /// Line 6 of Algorithm 2: the value supported by a strict majority.
+    fn majority_value(&self) -> Option<Bit> {
+        Bit::ALL
+            .into_iter()
+            .find(|&b| 2 * self.sets[est_index(Some(b))].weight > self.n)
+    }
+
+    /// The paper's `rec_i` as `(saw_zero, saw_one, saw_bot)`.
+    fn rec(&self) -> crate::RecSet {
+        crate::RecSet {
+            saw_zero: self.sets[est_index(Some(Bit::Zero))].weight > 0,
+            saw_one: self.sets[est_index(Some(Bit::One))].weight > 0,
+            saw_bot: self.sets[est_index(None)].weight > 0,
+        }
+    }
+}
+
+/// The slot-phase index Algorithm 3 uses for its single per-round object
+/// (kept identical to the blocking implementation).
+const CC_SLOT: u8 = 0;
+
+/// One consensus process as a resumable state machine — Algorithm 2
+/// (local coin) or Algorithm 3 (common coin), selected at construction.
+///
+/// Lifecycle: create, [`ConsensusSm::start`] once, then feed every
+/// delivered message through [`ConsensusSm::on_msg`] until a terminal
+/// [`Progress`] is returned (or the engine ends the run with
+/// [`ConsensusSm::halt`]). Outgoing messages ride inside each `Progress`.
+///
+/// # Examples
+///
+/// A one-process universe decides as soon as its own broadcasts loop
+/// back:
+///
+/// ```
+/// use ofa_core::sm::{ConsensusSm, NullCtx, OutItem, Progress, SmTopology};
+/// use ofa_core::{Algorithm, Bit, Msg, ProtocolConfig};
+/// use ofa_topology::{Partition, ProcessId};
+/// use std::sync::Arc;
+///
+/// let topo = Arc::new(SmTopology::new(Partition::single_cluster(1)));
+/// let mut sm = ConsensusSm::new(
+///     Algorithm::LocalCoin,
+///     ProcessId(0),
+///     topo,
+///     0,
+///     Bit::One,
+///     ProtocolConfig::paper(),
+/// );
+/// let mut ctx = NullCtx;
+/// // start() broadcasts PHASE1 and suspends:
+/// let Progress::Sent(outbox) = sm.start(&mut ctx) else { panic!() };
+/// // deliver the machine its own messages until it decides:
+/// let mut pending: Vec<Msg> = flatten(&outbox, 1);
+/// loop {
+///     let msg = pending.remove(0);
+///     match sm.on_msg(msg, &mut ctx) {
+///         Progress::Sent(out) => pending.extend(flatten(&out, 1)),
+///         Progress::Decided(d, _) => {
+///             assert_eq!(d.value, Bit::One);
+///             break;
+///         }
+///         Progress::NeedMsg => {}
+///         Progress::Halted(h, _) => panic!("{h}"),
+///     }
+/// }
+///
+/// fn flatten(outbox: &[OutItem], n: usize) -> Vec<Msg> {
+///     let mut msgs = Vec::new();
+///     for item in outbox {
+///         match *item {
+///             OutItem::One(o) => msgs.push(Msg { from: ProcessId(0), kind: o.msg }),
+///             OutItem::Broadcast { msg, .. } => {
+///                 msgs.extend((0..n).map(|_| Msg { from: ProcessId(0), kind: msg }));
+///             }
+///         }
+///     }
+///     msgs
+/// }
+/// ```
+#[derive(Debug)]
+pub struct ConsensusSm {
+    algorithm: Algorithm,
+    me: ProcessId,
+    topo: Arc<SmTopology>,
+    cfg: ProtocolConfig,
+    instance: u64,
+    /// `est1` of Algorithm 2 / `est` of Algorithm 3.
+    est: Bit,
+    round: u64,
+    phase: Phase,
+    tally: Tally,
+    mailbox: Mailbox,
+    outbox: Outbox,
+    done: bool,
+}
+
+impl ConsensusSm {
+    /// Creates a machine for `me` proposing `proposal` in `instance`
+    /// (single-shot consensus uses instance 0).
+    pub fn new(
+        algorithm: Algorithm,
+        me: ProcessId,
+        topo: Arc<SmTopology>,
+        instance: u64,
+        proposal: Bit,
+        cfg: ProtocolConfig,
+    ) -> Self {
+        let n = topo.n();
+        let units = topo.units(cfg.amplify);
+        ConsensusSm {
+            algorithm,
+            me,
+            topo,
+            cfg,
+            instance,
+            est: proposal,
+            round: 0,
+            phase: Phase::One,
+            tally: Tally::new(n, units),
+            mailbox: Mailbox::new(),
+            outbox: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// This machine's process identity.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// `true` once a terminal [`Progress`] has been returned.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Runs the machine up to its first suspension: proposes, enters
+    /// round 1 (cluster pre-agreement + `PHASE1` broadcast) and pumps any
+    /// buffered input. Call exactly once, before any [`ConsensusSm::on_msg`].
+    pub fn start<C: SmCtx + ?Sized>(&mut self, ctx: &mut C) -> Progress {
+        assert!(
+            self.round == 0 && !self.done,
+            "start() must be the first step"
+        );
+        ctx.observe(ObsEvent::Propose {
+            instance: self.instance,
+            value: self.est,
+        });
+        let res = self.next_round(ctx).and_then(|d| match d {
+            Some(d) => Ok(Some(d)),
+            None => self.pump(ctx),
+        });
+        self.finish_step(res, ctx)
+    }
+
+    /// Consumes one delivered message and advances as far as possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after a terminal `Progress` (the engine must stop
+    /// stepping a finished machine).
+    pub fn on_msg<C: SmCtx + ?Sized>(&mut self, msg: Msg, ctx: &mut C) -> Progress {
+        assert!(!self.done, "on_msg() on a finished machine");
+        let res = match self
+            .mailbox
+            .accept(msg, self.instance, self.round, self.phase)
+        {
+            Some(item) => self.apply(item, ctx).and_then(|d| match d {
+                Some(d) => Ok(Some(d)),
+                None => self.pump(ctx),
+            }),
+            // Buffered, stale, or an app payload: the blocking code would
+            // loop straight back into `recv`.
+            None => ctx.begin_recv().map(|()| None),
+        };
+        self.finish_step(res, ctx)
+    }
+
+    /// Ends the machine externally — a crash event or run shutdown while
+    /// the machine is suspended. Mirrors the blocking `recv` returning
+    /// `Err(halt)`.
+    pub fn halt<C: SmCtx + ?Sized>(&mut self, halt: Halt, ctx: &mut C) -> Progress {
+        self.finish_step(Err(halt), ctx)
+    }
+
+    /// Converts a step result into [`Progress`], draining the outbox and
+    /// emitting the end-of-instance mailbox report on terminal steps.
+    fn finish_step<C: SmCtx + ?Sized>(
+        &mut self,
+        res: Result<Option<Decision>, Halt>,
+        ctx: &mut C,
+    ) -> Progress {
+        let report = |mailbox: &mut Mailbox, ctx: &mut C| {
+            ctx.observe(ObsEvent::MailboxStats {
+                stale_dropped: mailbox.take_stale_delta(),
+            });
+        };
+        let outbox = std::mem::take(&mut self.outbox);
+        match res {
+            Ok(None) => {
+                if outbox.is_empty() {
+                    Progress::NeedMsg
+                } else {
+                    Progress::Sent(outbox)
+                }
+            }
+            Ok(Some(decision)) => {
+                self.done = true;
+                report(&mut self.mailbox, ctx);
+                Progress::Decided(decision, outbox)
+            }
+            Err(halt) => {
+                self.done = true;
+                report(&mut self.mailbox, ctx);
+                Progress::Halted(halt, outbox)
+            }
+        }
+    }
+
+    /// Serves buffered input for the current slot until the machine
+    /// genuinely needs a fresh message (charging the `recv` entry) or
+    /// terminates.
+    fn pump<C: SmCtx + ?Sized>(&mut self, ctx: &mut C) -> Result<Option<Decision>, Halt> {
+        loop {
+            match self
+                .mailbox
+                .take_buffered(self.instance, self.round, self.phase)
+            {
+                Some(item) => {
+                    if let Some(d) = self.apply(item, ctx)? {
+                        return Ok(Some(d));
+                    }
+                }
+                None => {
+                    ctx.begin_recv()?;
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    /// Processes one mailbox item for the current exchange.
+    fn apply<C: SmCtx + ?Sized>(
+        &mut self,
+        item: MailboxItem,
+        ctx: &mut C,
+    ) -> Result<Option<Decision>, Halt> {
+        match item {
+            MailboxItem::Decide { value } => self.decide(value, true, ctx).map(Some),
+            MailboxItem::Phase { from, est } => {
+                // Lines 5-6 of Algorithm 1: credit the sender (amplified
+                // to its whole cluster when the switch is on)…
+                let (unit, weight) = self.topo.unit_of(from, self.cfg.amplify);
+                self.tally.credit(est, unit, weight);
+                // …and exit once the supporters cover a strict majority.
+                if self.tally.coverage_is_majority() {
+                    self.complete_exchange(ctx)
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// The code after `msg_exchange` returns `Completed` — phase
+    /// transition, decision, or next round.
+    fn complete_exchange<C: SmCtx + ?Sized>(
+        &mut self,
+        ctx: &mut C,
+    ) -> Result<Option<Decision>, Halt> {
+        match (self.algorithm, self.phase) {
+            (Algorithm::LocalCoin, Phase::One) => {
+                // (6-7) est2 <- majority value or ⊥.
+                let mut est2: Est = self.tally.majority_value();
+                ctx.observe(ObsEvent::Est2 {
+                    instance: self.instance,
+                    round: self.round,
+                    est2,
+                });
+                // (8) est2 <- CONS_x[r, 2].propose(est2)
+                if self.cfg.cluster_preagree {
+                    let decided = self.preagree(ctx, Phase::Two.slot_index(), est2.encode())?;
+                    est2 = Est::decode(decided);
+                }
+                // (9) msg_exchange(r, 2, est2)
+                self.begin_exchange(Phase::Two, est2, ctx)?;
+                Ok(None)
+            }
+            (Algorithm::LocalCoin, Phase::Two) => {
+                // (10-11) classify rec.
+                let rec = self.tally.rec();
+                ctx.observe(ObsEvent::Rec {
+                    instance: self.instance,
+                    round: self.round,
+                    saw_zero: rec.saw_zero,
+                    saw_one: rec.saw_one,
+                    saw_bot: rec.saw_bot,
+                });
+                match rec.classify() {
+                    // (12) rec = {v}: decide v.
+                    crate::RecClass::Single(v) => self.decide(v, false, ctx).map(Some),
+                    // (13) rec = {v, ⊥}: adopt v.
+                    crate::RecClass::ValueAndBot(v) => {
+                        self.est = v;
+                        self.next_round(ctx)
+                    }
+                    // (14) rec = {⊥}: flip the local coin.
+                    crate::RecClass::BotOnly => {
+                        let c = ctx.local_coin()?;
+                        ctx.observe(ObsEvent::Coin {
+                            round: self.round,
+                            common: false,
+                            value: c,
+                        });
+                        self.est = c;
+                        self.next_round(ctx)
+                    }
+                    // Unreachable when WA1 holds (see the blocking
+                    // implementation for the E9 ablation rationale).
+                    crate::RecClass::Conflict => {
+                        self.est = Bit::Zero;
+                        self.next_round(ctx)
+                    }
+                }
+            }
+            (Algorithm::CommonCoin, _) => {
+                // (6) s <- common_coin(), at a per-instance offset.
+                let coin_index = self
+                    .instance
+                    .wrapping_mul(0x1_0000_0000)
+                    .wrapping_add(self.round);
+                let coin = ctx.common_coin(coin_index)?;
+                ctx.observe(ObsEvent::Coin {
+                    round: self.round,
+                    common: true,
+                    value: coin,
+                });
+                // (7-10) decide when the coin matches the majority value.
+                if let Some(v) = self.tally.majority_value() {
+                    self.est = v;
+                    if coin == v {
+                        return self.decide(v, false, ctx).map(Some);
+                    }
+                } else {
+                    self.est = coin;
+                }
+                self.next_round(ctx)
+            }
+        }
+    }
+
+    /// Lines 2-5: enter the next round — budget check, cluster
+    /// pre-agreement, first (or only) exchange of the round.
+    fn next_round<C: SmCtx + ?Sized>(&mut self, ctx: &mut C) -> Result<Option<Decision>, Halt> {
+        self.round += 1;
+        if let Some(max) = self.cfg.max_rounds {
+            if self.round > max {
+                return Err(Halt::Stopped);
+            }
+        }
+        ctx.observe(ObsEvent::RoundStart {
+            instance: self.instance,
+            round: self.round,
+        });
+        let slot_phase = match self.algorithm {
+            Algorithm::LocalCoin => Phase::One.slot_index(),
+            Algorithm::CommonCoin => CC_SLOT,
+        };
+        if self.cfg.cluster_preagree {
+            let decided = self.preagree(ctx, slot_phase, self.est.encode())?;
+            self.est = Bit::decode(decided);
+        }
+        self.begin_exchange(Phase::One, Some(self.est), ctx)?;
+        Ok(None)
+    }
+
+    /// One intra-cluster consensus invocation plus its observation.
+    fn preagree<C: SmCtx + ?Sized>(
+        &mut self,
+        ctx: &mut C,
+        slot_phase: u8,
+        enc: u64,
+    ) -> Result<u64, Halt> {
+        let slot = Slot::in_instance(self.instance, self.round, slot_phase);
+        let decided = ctx.cluster_propose(slot, enc)?;
+        ctx.observe(ObsEvent::ClusterAgreed { slot, decided });
+        Ok(decided)
+    }
+
+    /// Starts `msg_exchange(r, ph, est)`: broadcast, fresh supporter
+    /// tally.
+    fn begin_exchange<C: SmCtx + ?Sized>(
+        &mut self,
+        phase: Phase,
+        est: Est,
+        ctx: &mut C,
+    ) -> Result<(), Halt> {
+        self.phase = phase;
+        self.tally.reset();
+        self.broadcast(
+            MsgKind::Phase {
+                instance: self.instance,
+                round: self.round,
+                phase,
+                est,
+            },
+            ctx,
+        )
+    }
+
+    /// Decides `value` (line 12 direct / line 17 relayed): observe,
+    /// broadcast `DECIDE`, return the decision.
+    fn decide<C: SmCtx + ?Sized>(
+        &mut self,
+        value: Bit,
+        relayed: bool,
+        ctx: &mut C,
+    ) -> Result<Decision, Halt> {
+        ctx.observe(ObsEvent::Deciding {
+            instance: self.instance,
+            round: self.round,
+            value,
+            relayed,
+        });
+        self.broadcast(
+            MsgKind::Decide {
+                instance: self.instance,
+                value,
+            },
+            ctx,
+        )?;
+        Ok(Decision {
+            value,
+            round: self.round,
+            relayed,
+        })
+    }
+
+    /// The `broadcast(msg)` macro-operation: send to every process
+    /// (including self) in index order, collapsing into one
+    /// [`OutItem::Broadcast`] when all sends share a timestamp.
+    fn broadcast<C: SmCtx + ?Sized>(&mut self, msg: MsgKind, ctx: &mut C) -> Result<(), Halt> {
+        ctx.note_broadcast();
+        let n = self.topo.n();
+        let start = self.outbox.len();
+        let mut uniform = true;
+        let mut first_at = 0;
+        for j in 0..n {
+            let sent_at = ctx.send(ProcessId(j), msg)?;
+            if j == 0 {
+                first_at = sent_at;
+            } else if sent_at != first_at {
+                uniform = false;
+            }
+            self.outbox.push(OutItem::One(Outgoing {
+                to: ProcessId(j),
+                msg,
+                sent_at,
+            }));
+        }
+        if uniform && n > 1 {
+            self.outbox.truncate(start);
+            self.outbox.push(OutItem::Broadcast {
+                msg,
+                sent_at: first_at,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// An [`SmCtx`] that models nothing: sends cost no time, the cluster
+/// object echoes the proposal, coins are constant 0. Useful for doc
+/// examples and tests of machines whose behavior does not depend on the
+/// services (e.g. single-process universes).
+#[derive(Debug, Default)]
+pub struct NullCtx;
+
+impl SmCtx for NullCtx {
+    fn send(&mut self, _to: ProcessId, _msg: MsgKind) -> Result<u64, Halt> {
+        Ok(0)
+    }
+    fn begin_recv(&mut self) -> Result<(), Halt> {
+        Ok(())
+    }
+    fn cluster_propose(&mut self, _slot: Slot, enc: u64) -> Result<u64, Halt> {
+        Ok(enc)
+    }
+    fn local_coin(&mut self) -> Result<Bit, Halt> {
+        Ok(Bit::Zero)
+    }
+    fn common_coin(&mut self, _index: u64) -> Result<Bit, Halt> {
+        Ok(Bit::Zero)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Deterministic test ctx: first-wins cluster objects, scripted
+    /// coins, counted ops, optional crash at the k-th fallible call.
+    struct TestCtx {
+        cluster: HashMap<Slot, u64>,
+        coin: Bit,
+        calls: u64,
+        crash_after: Option<u64>,
+        events: Vec<ObsEvent>,
+    }
+
+    impl TestCtx {
+        fn new(coin: Bit) -> Self {
+            TestCtx {
+                cluster: HashMap::new(),
+                coin,
+                calls: 0,
+                crash_after: None,
+                events: Vec::new(),
+            }
+        }
+
+        fn step(&mut self) -> Result<(), Halt> {
+            self.calls += 1;
+            if let Some(k) = self.crash_after {
+                if self.calls > k {
+                    return Err(Halt::Crashed);
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl SmCtx for TestCtx {
+        fn send(&mut self, _to: ProcessId, _msg: MsgKind) -> Result<u64, Halt> {
+            self.step()?;
+            Ok(0)
+        }
+        fn begin_recv(&mut self) -> Result<(), Halt> {
+            self.step()
+        }
+        fn cluster_propose(&mut self, slot: Slot, enc: u64) -> Result<u64, Halt> {
+            self.step()?;
+            Ok(*self.cluster.entry(slot).or_insert(enc))
+        }
+        fn local_coin(&mut self) -> Result<Bit, Halt> {
+            self.step()?;
+            Ok(self.coin)
+        }
+        fn common_coin(&mut self, _index: u64) -> Result<Bit, Halt> {
+            self.step()?;
+            Ok(self.coin)
+        }
+        fn observe(&mut self, event: ObsEvent) {
+            self.events.push(event);
+        }
+    }
+
+    fn solo(algorithm: Algorithm, proposal: Bit) -> ConsensusSm {
+        let topo = Arc::new(SmTopology::new(Partition::single_cluster(1)));
+        ConsensusSm::new(
+            algorithm,
+            ProcessId(0),
+            topo,
+            0,
+            proposal,
+            ProtocolConfig::paper(),
+        )
+    }
+
+    /// Feeds a solo machine its own outbox until a terminal progress.
+    fn run_solo(mut sm: ConsensusSm, ctx: &mut TestCtx) -> Progress {
+        let mut queue: Vec<Msg> = Vec::new();
+        let absorb = |queue: &mut Vec<Msg>, outbox: Outbox| {
+            for item in outbox {
+                match item {
+                    OutItem::One(o) => queue.push(Msg {
+                        from: ProcessId(0),
+                        kind: o.msg,
+                    }),
+                    OutItem::Broadcast { msg, .. } => queue.push(Msg {
+                        from: ProcessId(0),
+                        kind: msg,
+                    }),
+                }
+            }
+        };
+        match sm.start(ctx) {
+            Progress::Sent(out) => absorb(&mut queue, out),
+            Progress::NeedMsg => {}
+            terminal => return terminal,
+        }
+        while !queue.is_empty() {
+            let msg = queue.remove(0);
+            match sm.on_msg(msg, ctx) {
+                Progress::Sent(out) => absorb(&mut queue, out),
+                Progress::NeedMsg => {}
+                terminal => return terminal,
+            }
+        }
+        panic!("solo machine starved without deciding");
+    }
+
+    #[test]
+    fn solo_local_coin_decides_own_proposal_in_round_one() {
+        for v in Bit::ALL {
+            let mut ctx = TestCtx::new(Bit::Zero);
+            let progress = run_solo(solo(Algorithm::LocalCoin, v), &mut ctx);
+            let Progress::Decided(d, _) = progress else {
+                panic!("expected decision, got {progress:?}");
+            };
+            assert_eq!(d.value, v, "validity");
+            assert_eq!(d.round, 1);
+            assert!(!d.relayed);
+        }
+    }
+
+    #[test]
+    fn solo_common_coin_waits_for_matching_coin() {
+        // Coin constantly 0, proposal 1: the machine must keep the
+        // estimate at 1 (line 8) and never decide within the budget.
+        let topo = Arc::new(SmTopology::new(Partition::single_cluster(1)));
+        let sm = ConsensusSm::new(
+            Algorithm::CommonCoin,
+            ProcessId(0),
+            topo,
+            0,
+            Bit::One,
+            ProtocolConfig::paper().with_max_rounds(5),
+        );
+        let mut ctx = TestCtx::new(Bit::Zero);
+        let progress = run_solo(sm, &mut ctx);
+        assert_eq!(progress, Progress::Halted(Halt::Stopped, Vec::new()));
+
+        // Coin 1: decides immediately.
+        let mut ctx = TestCtx::new(Bit::One);
+        let progress = run_solo(solo(Algorithm::CommonCoin, Bit::One), &mut ctx);
+        let Progress::Decided(d, _) = progress else {
+            panic!("expected decision, got {progress:?}");
+        };
+        assert_eq!(d.value, Bit::One);
+        assert_eq!(d.round, 1);
+    }
+
+    #[test]
+    fn zero_round_budget_stops_before_any_exchange() {
+        let topo = Arc::new(SmTopology::new(Partition::single_cluster(1)));
+        let mut sm = ConsensusSm::new(
+            Algorithm::LocalCoin,
+            ProcessId(0),
+            topo,
+            0,
+            Bit::One,
+            ProtocolConfig::paper().with_max_rounds(0),
+        );
+        let mut ctx = TestCtx::new(Bit::Zero);
+        assert_eq!(sm.start(&mut ctx), Progress::Halted(Halt::Stopped, vec![]));
+        assert!(sm.is_done());
+    }
+
+    #[test]
+    fn relayed_decide_is_adopted_and_rebroadcast() {
+        let topo = Arc::new(SmTopology::new(Partition::single_cluster(2)));
+        let mut sm = ConsensusSm::new(
+            Algorithm::LocalCoin,
+            ProcessId(0),
+            Arc::clone(&topo),
+            0,
+            Bit::Zero,
+            ProtocolConfig::paper(),
+        );
+        let mut ctx = TestCtx::new(Bit::Zero);
+        assert!(matches!(sm.start(&mut ctx), Progress::Sent(_)));
+        let progress = sm.on_msg(
+            Msg {
+                from: ProcessId(1),
+                kind: MsgKind::Decide {
+                    instance: 0,
+                    value: Bit::One,
+                },
+            },
+            &mut ctx,
+        );
+        let Progress::Decided(d, outbox) = progress else {
+            panic!("expected relayed decision, got {progress:?}");
+        };
+        assert_eq!(d.value, Bit::One);
+        assert!(d.relayed);
+        // The DECIDE must be relayed exactly once, as one broadcast.
+        assert_eq!(
+            outbox,
+            vec![OutItem::Broadcast {
+                msg: MsgKind::Decide {
+                    instance: 0,
+                    value: Bit::One
+                },
+                sent_at: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn crash_mid_broadcast_keeps_the_sent_prefix() {
+        // n = 3, crash at the 3rd fallible call: cluster_propose, then
+        // one successful send, then the second send crashes.
+        let topo = Arc::new(SmTopology::new(Partition::single_cluster(3)));
+        let mut sm = ConsensusSm::new(
+            Algorithm::LocalCoin,
+            ProcessId(0),
+            topo,
+            0,
+            Bit::One,
+            ProtocolConfig::paper(),
+        );
+        let mut ctx = TestCtx::new(Bit::Zero);
+        ctx.crash_after = Some(2);
+        let progress = sm.start(&mut ctx);
+        let Progress::Halted(Halt::Crashed, outbox) = progress else {
+            panic!("expected crash, got {progress:?}");
+        };
+        assert_eq!(outbox.len(), 1, "exactly the pre-crash send survives");
+        assert!(matches!(outbox[0], OutItem::One(o) if o.to == ProcessId(0)));
+        assert!(sm.is_done());
+    }
+
+    #[test]
+    fn irrelevant_message_costs_one_recv_entry() {
+        let topo = Arc::new(SmTopology::new(Partition::single_cluster(2)));
+        let mut sm = ConsensusSm::new(
+            Algorithm::LocalCoin,
+            ProcessId(0),
+            topo,
+            0,
+            Bit::One,
+            ProtocolConfig::paper(),
+        );
+        let mut ctx = TestCtx::new(Bit::Zero);
+        assert!(matches!(sm.start(&mut ctx), Progress::Sent(_)));
+        let calls_before = ctx.calls;
+        // A stale message (round 0 does not exist; use a future-instance
+        // app-free phase of a *past* slot: round 1 phase 1 is current, so
+        // deliver a message for a past instance).
+        let progress = sm.on_msg(
+            Msg {
+                from: ProcessId(1),
+                kind: MsgKind::Phase {
+                    instance: 0,
+                    round: 9,
+                    phase: Phase::One,
+                    est: Some(Bit::Zero),
+                },
+            },
+            &mut ctx,
+        );
+        // Future-slot message: buffered, machine re-enters recv (1 call).
+        assert_eq!(progress, Progress::NeedMsg);
+        assert_eq!(ctx.calls, calls_before + 1);
+    }
+
+    #[test]
+    fn tally_matches_supporters_semantics() {
+        use crate::{RecClass, Supporters};
+        use ofa_topology::ProcessSet;
+        // Fig 1 right: {p1} {p2..p5} {p6,p7} — compare the incremental
+        // tally against the reference Supporters on the same credits.
+        let part = Partition::fig1_right();
+        let topo = SmTopology::new(part.clone());
+        let n = part.n();
+        let mut tally = Tally::new(n, topo.units(true));
+        let mut sup = Supporters::empty(n);
+        let credits: [(usize, Est); 4] = [
+            (1, Some(Bit::One)),  // p2 → cluster {p2..p5}
+            (4, Some(Bit::One)),  // p5 → same cluster (dedup)
+            (0, None),            // p1 → singleton
+            (5, Some(Bit::Zero)), // p6 → {p6,p7}
+        ];
+        for (from, est) in credits {
+            let from = ProcessId(from);
+            let (unit, weight) = topo.unit_of(from, true);
+            tally.credit(est, unit, weight);
+            sup.credit(est, part.cluster_members_of(from));
+            assert_eq!(
+                tally.coverage_is_majority(),
+                sup.coverage().is_majority_of(n)
+            );
+            assert_eq!(tally.majority_value(), sup.majority_value());
+            assert_eq!(tally.rec(), sup.rec());
+        }
+        assert_eq!(tally.rec().classify(), RecClass::Conflict);
+        // Reset empties everything.
+        tally.reset();
+        assert!(!tally.coverage_is_majority());
+        assert_eq!(tally.rec(), Supporters::empty(n).rec());
+        // Non-amplified: units are processes.
+        let mut tally = Tally::new(n, topo.units(false));
+        let mut sup = Supporters::empty(n);
+        for (from, est) in credits {
+            let from = ProcessId(from);
+            let (unit, weight) = topo.unit_of(from, false);
+            tally.credit(est, unit, weight);
+            sup.credit(est, &ProcessSet::singleton(n, from));
+            assert_eq!(tally.majority_value(), sup.majority_value());
+            assert_eq!(
+                tally.coverage_is_majority(),
+                sup.coverage().is_majority_of(n)
+            );
+        }
+    }
+
+    #[test]
+    fn mailbox_stats_are_reported_on_termination() {
+        let topo = Arc::new(SmTopology::new(Partition::single_cluster(1)));
+        let mut sm = ConsensusSm::new(
+            Algorithm::LocalCoin,
+            ProcessId(0),
+            topo,
+            0,
+            Bit::One,
+            ProtocolConfig::paper().with_max_rounds(0),
+        );
+        let mut ctx = TestCtx::new(Bit::Zero);
+        let _ = sm.start(&mut ctx);
+        assert!(ctx
+            .events
+            .iter()
+            .any(|e| matches!(e, ObsEvent::MailboxStats { .. })));
+    }
+}

@@ -39,6 +39,7 @@ pub struct Counters {
     rounds_started: AtomicU64,
     decisions: AtomicU64,
     decide_relays: AtomicU64,
+    stale_dropped: AtomicU64,
 }
 
 macro_rules! counter_methods {
@@ -87,6 +88,9 @@ impl Counters {
         decisions => inc_decisions, decisions;
         /// Decisions adopted from a relayed `DECIDE` message (line 17 / 13).
         decide_relays => inc_decide_relays, decide_relays;
+        /// Stale mailbox entries discarded (past-slot arrivals plus
+        /// buffers pruned when the served slot advanced).
+        stale_dropped => inc_stale_dropped, stale_dropped;
     }
 
     /// Takes a plain-data copy of all counters.
@@ -102,6 +106,7 @@ impl Counters {
             rounds_started: self.rounds_started(),
             decisions: self.decisions(),
             decide_relays: self.decide_relays(),
+            stale_dropped: self.stale_dropped(),
         }
     }
 }
@@ -121,6 +126,7 @@ pub struct CounterSnapshot {
     pub rounds_started: u64,
     pub decisions: u64,
     pub decide_relays: u64,
+    pub stale_dropped: u64,
 }
 
 impl CounterSnapshot {
@@ -138,6 +144,7 @@ impl CounterSnapshot {
             rounds_started: self.rounds_started + other.rounds_started,
             decisions: self.decisions + other.decisions,
             decide_relays: self.decide_relays + other.decide_relays,
+            stale_dropped: self.stale_dropped + other.stale_dropped,
         }
     }
 

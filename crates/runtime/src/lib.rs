@@ -37,14 +37,11 @@
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use ofa_coins::{CommonCoin, LocalCoin, SeededLocalCoin};
-use ofa_core::{
-    Algorithm, Bit, Decision, Env, Halt, Msg, MsgKind, ObsEvent, Observer, ProtocolConfig,
-};
+use ofa_core::{Bit, Decision, Env, Halt, Msg, MsgKind, ObsEvent, Observer};
 use ofa_metrics::{CounterSnapshot, Counters};
-use ofa_scenario::{Backend, BackendKind, CrashPlan, CrashTrigger, Outcome, ProcessBody, Scenario};
+use ofa_scenario::{Backend, BackendKind, CrashTrigger, Outcome, Scenario};
 use ofa_sharedmem::{MemoryBank, Slot};
-use ofa_topology::{Partition, ProcessId, ProcessSet};
-use std::fmt;
+use ofa_topology::{Partition, ProcessId};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -188,6 +185,9 @@ impl Env for ThreadEnv {
                 } else {
                     self.counters.inc_decisions(1);
                 }
+            }
+            ObsEvent::MailboxStats { stale_dropped } => {
+                self.counters.inc_stale_dropped(stale_dropped);
             }
             _ => {}
         }
@@ -350,156 +350,12 @@ fn run_scenario(scenario: &Scenario) -> Outcome {
     out
 }
 
-/// Deprecated alias: outcomes are now the backend-agnostic
-/// [`ofa_scenario::Outcome`], identical across substrates.
-#[deprecated(since = "0.2.0", note = "use ofa_scenario::Outcome")]
-pub type RunOutcome = Outcome;
-
-/// Deprecated builder for one real-threaded consensus execution.
-///
-/// Thin shim over [`Scenario`] + the [`Threads`] backend; kept one
-/// release. It now supports everything the simulator builder supported —
-/// [`CrashPlan`]s, custom coins, custom bodies — by construction, since
-/// every method maps onto a [`Scenario`] setter.
-///
-/// One semantic difference from the pre-scenario builder: a
-/// [`CrashPlan`] holds **one** trigger per process (later entries
-/// overwrite), so arming both `crash_at_step` and `crash_at_round` for
-/// the same process keeps only the last call, where the old builder kept
-/// both and fired whichever came first.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an ofa_scenario::Scenario and run it on the ofa_runtime::Threads backend"
-)]
-pub struct RuntimeBuilder {
-    scenario: Scenario,
-}
-
-#[allow(deprecated)]
-impl fmt::Debug for RuntimeBuilder {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("RuntimeBuilder")
-            .field("scenario", &self.scenario)
-            .finish()
-    }
-}
-
-#[allow(deprecated)]
-impl RuntimeBuilder {
-    /// Starts a builder with the paper's configuration, alternating
-    /// proposals, a 256-round cap, and a 10-second wall-clock timeout.
-    pub fn new(partition: Partition, algorithm: Algorithm) -> Self {
-        RuntimeBuilder {
-            scenario: Scenario::new(partition, algorithm)
-                .config(ProtocolConfig::paper().with_max_rounds(256)),
-        }
-    }
-
-    /// Sets the protocol configuration.
-    pub fn config(mut self, config: ProtocolConfig) -> Self {
-        self.scenario = self.scenario.config(config);
-        self
-    }
-
-    /// Replaces the algorithm with a custom protocol body.
-    pub fn custom_body(mut self, body: Arc<dyn ProcessBody>) -> Self {
-        self.scenario = self.scenario.custom_body(body);
-        self
-    }
-
-    /// Sets every process's proposal.
-    pub fn proposals(mut self, proposals: Vec<Bit>) -> Self {
-        self.scenario = self.scenario.proposals(proposals);
-        self
-    }
-
-    /// All processes propose `v`.
-    pub fn proposals_all(mut self, v: Bit) -> Self {
-        self.scenario = self.scenario.proposals_all(v);
-        self
-    }
-
-    /// First `ones` processes propose 1, the rest 0.
-    pub fn proposals_split(mut self, ones: usize) -> Self {
-        self.scenario = self.scenario.proposals_split(ones);
-        self
-    }
-
-    /// Seeds the coins.
-    pub fn seed(mut self, seed: u64) -> Self {
-        self.scenario = self.scenario.seed(seed);
-        self
-    }
-
-    /// Sets the complete failure pattern at once.
-    pub fn crashes(mut self, plan: CrashPlan) -> Self {
-        self.scenario = self.scenario.crashes(plan);
-        self
-    }
-
-    /// Crashes `p` before its first step.
-    pub fn crash_at_start(mut self, p: ProcessId) -> Self {
-        self.scenario.crashes = std::mem::take(&mut self.scenario.crashes).crash_at_start(p);
-        self
-    }
-
-    /// Crashes `p` at its `k`-th environment call.
-    pub fn crash_at_step(mut self, p: ProcessId, k: u64) -> Self {
-        self.scenario.crashes = std::mem::take(&mut self.scenario.crashes).crash_at_step(p, k);
-        self
-    }
-
-    /// Crashes `p` when it enters round `r`.
-    pub fn crash_at_round(mut self, p: ProcessId, r: u64) -> Self {
-        self.scenario.crashes = std::mem::take(&mut self.scenario.crashes).crash_at_round(p, r);
-        self
-    }
-
-    /// Crashes every member of `set` from the start.
-    pub fn crash_set_at_start(mut self, set: &ProcessSet) -> Self {
-        self.scenario.crashes = std::mem::take(&mut self.scenario.crashes).crash_set_at_start(set);
-        self
-    }
-
-    /// Substitutes a custom common coin.
-    pub fn common_coin(mut self, coin: Arc<dyn CommonCoin>) -> Self {
-        self.scenario = self.scenario.common_coin(coin);
-        self
-    }
-
-    /// Attaches an observer (e.g. `ofa_core::InvariantChecker`).
-    pub fn observer(mut self, observer: Arc<dyn Observer>) -> Self {
-        self.scenario = self.scenario.observer(observer);
-        self
-    }
-
-    /// Sets the wall-clock deadline after which undecided processes are
-    /// stopped (indulgence: they stop *without* deciding).
-    pub fn timeout(mut self, timeout: Duration) -> Self {
-        self.scenario = self.scenario.timeout(timeout);
-        self
-    }
-
-    /// The scenario this builder has accumulated (migration helper).
-    pub fn into_scenario(self) -> Scenario {
-        self.scenario
-    }
-
-    /// Runs the execution and collects the outcome.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the proposal vector length differs from `n` or a process
-    /// thread panics (a bug, not a modeled fault).
-    pub fn run(self) -> Outcome {
-        Threads.run(&self.scenario)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ofa_scenario::CoinSpec;
+    use ofa_core::Algorithm;
+    use ofa_scenario::{CoinSpec, CrashPlan};
+    use ofa_topology::ProcessSet;
 
     #[test]
     fn seven_processes_fig1_right_agree() {
@@ -643,24 +499,5 @@ mod tests {
         );
         assert!(out.crashed.contains(ProcessId(0)), "timed crash must fire");
         assert_eq!(out.deciders(), 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn builder_shim_still_works() {
-        let out = RuntimeBuilder::new(Partition::even(4, 2), Algorithm::LocalCoin)
-            .proposals_all(Bit::One)
-            .seed(3)
-            .run();
-        assert!(out.all_correct_decided);
-        assert!(out.decided(Bit::One));
-        let sc = RuntimeBuilder::new(Partition::even(4, 2), Algorithm::LocalCoin)
-            .crash_at_round(ProcessId(1), 2)
-            .into_scenario();
-        assert_eq!(
-            sc.crashes.trigger(ProcessId(1)),
-            Some(CrashTrigger::AtRound(2))
-        );
-        assert_eq!(sc.config.max_rounds, Some(256));
     }
 }

@@ -56,7 +56,7 @@ pub use body::{Body, ProcessBody};
 pub use crash::{CrashPlan, CrashTrigger};
 pub use delay::{CostModel, DelayModel};
 pub use outcome::{BackendKind, Outcome};
-pub use scenario::{CoinSpec, Scenario};
+pub use scenario::{CoinSpec, Engine, Scenario};
 pub use sweep::{Sweep, SweepReport, SweepRun, SweepView};
 pub use time::VirtualTime;
 pub use trace::{TimedEvent, TraceEvent, TraceRecorder};

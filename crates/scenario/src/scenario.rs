@@ -107,6 +107,34 @@ impl Deserialize for CoinSpec {
     }
 }
 
+/// Which execution engine a virtual-time backend uses to drive the
+/// processes of a scenario (real-time backends ignore the knob).
+///
+/// Both engines consume the same scheduler event stream and produce
+/// identical [`crate::Outcome`]s — decisions, agreement, decider sets,
+/// even trace hashes — for any declarative scenario
+/// (`tests/engine_equivalence.rs` asserts this on a seeded corpus). They
+/// differ only in *how* a process is represented:
+///
+/// * [`Engine::Threads`] — the reference engine: each process runs the
+///   blocking `Env`-trait algorithm on its own OS thread, with a
+///   conductor baton serializing execution. Faithful to the paper's
+///   pseudocode, but two context switches per burst cap it at a few
+///   thousand processes.
+/// * [`Engine::EventDriven`] — each process is a resumable
+///   `ofa_core::sm::ConsensusSm` state machine stepped directly off the
+///   event heap on a single thread: no spawned threads, no baton, no
+///   channels. Scales to tens of thousands of processes (the `escale`
+///   experiment). Custom protocol bodies ([`crate::Body::Custom`]) are
+///   blocking code and silently fall back to [`Engine::Threads`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Engine {
+    /// One OS thread per process + conductor baton (the reference).
+    Threads,
+    /// Single-threaded resumable-state-machine engine.
+    EventDriven,
+}
+
 /// A complete, backend-agnostic description of one consensus execution:
 /// *what* to run (partition, body, configuration, proposals) and *under
 /// which conditions* (seed, failure pattern, network/cost models, coin).
@@ -167,6 +195,8 @@ pub struct Scenario {
     pub max_events: u64,
     /// Wall-clock budget in milliseconds (real-time backends only).
     pub timeout_ms: u64,
+    /// Process-execution engine for virtual-time backends.
+    pub engine: Engine,
     /// Observer hook (e.g. [`ofa_core::InvariantChecker`]); not serialized.
     pub observer: Option<Arc<dyn Observer>>,
 }
@@ -191,6 +221,7 @@ impl Scenario {
             keep_trace: false,
             max_events: 5_000_000,
             timeout_ms: 10_000,
+            engine: Engine::Threads,
             observer: None,
         }
     }
@@ -292,6 +323,17 @@ impl Scenario {
         self
     }
 
+    /// Selects the process-execution engine for virtual-time backends.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Shorthand for selecting [`Engine::EventDriven`].
+    pub fn event_driven(self) -> Self {
+        self.engine(Engine::EventDriven)
+    }
+
     /// Sets the wall-clock budget for real-time backends, after which
     /// undecided processes are stopped (indulgence: they stop *without*
     /// deciding). Sub-millisecond durations round **up** to 1 ms so a
@@ -387,6 +429,7 @@ impl Serialize for Scenario {
             ),
             ("max_events".to_string(), serde::Value::U64(self.max_events)),
             ("timeout_ms".to_string(), serde::Value::U64(self.timeout_ms)),
+            ("engine".to_string(), self.engine.to_value()),
         ])
     }
 }
@@ -410,6 +453,11 @@ impl Deserialize for Scenario {
             keep_trace: Deserialize::from_value(field("keep_trace")?)?,
             max_events: Deserialize::from_value(field("max_events")?)?,
             timeout_ms: Deserialize::from_value(field("timeout_ms")?)?,
+            // Absent in scenarios stored before the knob existed.
+            engine: match v.get("engine") {
+                Some(e) => Deserialize::from_value(e)?,
+                None => Engine::Threads,
+            },
             observer: None,
         })
     }
@@ -428,6 +476,7 @@ mod tests {
         assert_eq!(sc.seed, 0);
         assert!(sc.crashes.is_empty());
         assert_eq!(sc.timeout_duration(), Duration::from_secs(10));
+        assert_eq!(sc.engine, Engine::Threads, "reference engine by default");
         sc.assert_valid();
     }
 
@@ -450,6 +499,23 @@ mod tests {
         assert_eq!(copy.proposals, sc.proposals);
         assert_eq!(copy.crashes, sc.crashes);
         assert_eq!(copy.coin, sc.coin);
+    }
+
+    #[test]
+    fn scenarios_stored_before_the_engine_knob_still_deserialize() {
+        // Simulate a pre-knob corpus entry: serialize, strip the field.
+        let sc = Scenario::new(Partition::single_cluster(2), Algorithm::LocalCoin)
+            .engine(Engine::EventDriven);
+        let json = serde_json::to_string(&sc).unwrap();
+        assert!(json.contains("\"engine\":\"EventDriven\""), "{json}");
+        let stripped = json.replace(",\"engine\":\"EventDriven\"", "");
+        assert_ne!(stripped, json, "field must have been removed");
+        let old: Scenario = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(
+            old.engine,
+            Engine::Threads,
+            "absent knob = reference engine"
+        );
     }
 
     #[test]

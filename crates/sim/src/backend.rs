@@ -2,14 +2,20 @@
 //! [`ofa_scenario::Scenario`].
 
 use crate::conductor::{conduct, RunSpec, TimedScheduler};
-use ofa_scenario::{Backend, BackendKind, Outcome, Scenario, VirtualTime};
+use crate::engine::conduct_event_driven;
+use ofa_scenario::{Backend, BackendKind, Body, Engine, Outcome, Scenario, VirtualTime};
 use std::time::Instant;
 
 /// The deterministic discrete-event backend.
 ///
 /// Every run is a pure function of the scenario value: the same
 /// [`Scenario`] — including one deserialized from JSON — reproduces the
-/// same [`Outcome::trace_hash`] bit-for-bit.
+/// same [`Outcome::trace_hash`] bit-for-bit. The scenario's
+/// [`Engine`] knob selects *how* processes execute — blocking algorithms
+/// on conducted threads ([`Engine::Threads`], the reference) or resumable
+/// state machines on a single thread ([`Engine::EventDriven`], the
+/// scalable engine) — with identical outcomes either way; custom
+/// protocol bodies always run on the thread conductor.
 ///
 /// # Examples
 ///
@@ -60,7 +66,15 @@ pub(crate) fn run_scenario(scenario: &Scenario) -> Outcome {
         keep_trace: scenario.keep_trace,
         max_events: scenario.max_events,
     };
-    let raw = conduct(spec, &mut scheduler);
+    // Custom bodies are blocking code and need the thread conductor; the
+    // built-in algorithms run on whichever engine the scenario selects.
+    let event_driven =
+        scenario.engine == Engine::EventDriven && matches!(scenario.body, Body::Algo(_));
+    let raw = if event_driven {
+        conduct_event_driven(spec, &mut scheduler)
+    } else {
+        conduct(spec, &mut scheduler)
+    };
 
     let latest_decision_ticks = raw
         .results
@@ -254,6 +268,37 @@ mod tests {
         let b = Sim.run(&replay);
         assert_eq!(a.trace_hash, b.trace_hash, "serde round-trip must replay");
         assert_eq!(a.decided_value, b.decided_value);
+    }
+
+    #[test]
+    fn custom_bodies_fall_back_to_the_thread_conductor() {
+        use ofa_core::{Decision, Env, Halt, ProtocolConfig};
+        use ofa_scenario::ProcessBody;
+
+        // A custom body is blocking code, so an EventDriven request must
+        // silently run it on the conductor — same outcome either way.
+        struct Delegate;
+        impl ProcessBody for Delegate {
+            fn run(
+                &self,
+                env: &mut dyn Env,
+                proposal: Bit,
+                config: &ProtocolConfig,
+            ) -> Result<Decision, Halt> {
+                Algorithm::LocalCoin.run(env, proposal, config)
+            }
+        }
+        let base = Scenario::new(Partition::even(6, 2), Algorithm::LocalCoin)
+            .proposals_split(3)
+            .seed(5);
+        let direct = Sim.run(&base.clone().engine(ofa_scenario::Engine::EventDriven));
+        let custom = Sim.run(
+            &base
+                .custom_body(Arc::new(Delegate))
+                .engine(ofa_scenario::Engine::EventDriven),
+        );
+        assert_eq!(direct.trace_hash, custom.trace_hash);
+        assert_eq!(direct.decisions, custom.decisions);
     }
 
     #[test]

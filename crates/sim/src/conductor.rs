@@ -58,17 +58,47 @@ pub(crate) trait Scheduler {
     /// Registers a sent message (called in send order while draining the
     /// outbox — the only place delay randomness is consumed).
     fn push_send(&mut self, from: ProcessId, to: ProcessId, msg: MsgKind, sent_at: u64);
+    /// Registers one broadcast: `msg` to every process `p_0 … p_{n-1}` in
+    /// index order, all handed to the network at `sent_at`. Semantically
+    /// identical to `n` [`Scheduler::push_send`] calls (the default does
+    /// exactly that); schedulers may store it more compactly.
+    fn push_broadcast(&mut self, from: ProcessId, msg: MsgKind, sent_at: u64, n: usize) {
+        for j in 0..n {
+            self.push_send(from, ProcessId(j), msg, sent_at);
+        }
+    }
     /// Registers a timed crash.
     fn push_crash(&mut self, pid: ProcessId, at: u64);
     /// Releases the next event, or `None` when quiescent.
     fn pop(&mut self) -> Option<SchedEvent>;
 }
 
+/// What a heap slot holds: one event, or a whole uniform broadcast kept
+/// as a single entry (constant-delay fast path for the event-driven
+/// engine — O(n) instead of O(n²) heap residency per all-to-all round).
+#[derive(Debug)]
+enum Pending {
+    One(SchedEvent),
+    /// `msg` from `from` delivered to `p_0 … p_{n-1}`, all at `at`. The
+    /// entry carries the *first* of `n` consecutive sequence numbers, so
+    /// expanding it destination-by-destination reproduces exactly the
+    /// order `n` individual entries would have had: ties at `at` resolve
+    /// by seq, the batch's seqs are contiguous, and any entry pushed
+    /// later necessarily has a larger seq (and `at' >= at`, since delays
+    /// and costs are non-negative) — nothing can interleave.
+    Broadcast {
+        from: ProcessId,
+        msg: MsgKind,
+        at: u64,
+        n: u32,
+    },
+}
+
 #[derive(Debug)]
 struct HeapEntry {
     at: u64,
     seq: u64,
-    ev: SchedEvent,
+    ev: Pending,
 }
 
 impl PartialEq for HeapEntry {
@@ -89,6 +119,17 @@ impl Ord for HeapEntry {
     }
 }
 
+/// A popped [`Pending::Broadcast`] being expanded destination by
+/// destination.
+#[derive(Debug)]
+struct Draining {
+    from: ProcessId,
+    msg: MsgKind,
+    at: u64,
+    next: u32,
+    n: u32,
+}
+
 /// The production scheduler: delivery time = send time + sampled delay;
 /// ties broken by registration order (deterministic).
 pub(crate) struct TimedScheduler {
@@ -96,6 +137,7 @@ pub(crate) struct TimedScheduler {
     rng: StdRng,
     delay: DelayModel,
     seq: u64,
+    draining: Option<Draining>,
 }
 
 impl TimedScheduler {
@@ -105,6 +147,7 @@ impl TimedScheduler {
             rng: StdRng::seed_from_u64(seed ^ 0x5DEE_CE66_D1CE_5EED),
             delay,
             seq: 0,
+            draining: None,
         }
     }
 }
@@ -117,8 +160,40 @@ impl Scheduler for TimedScheduler {
         self.heap.push(HeapEntry {
             at,
             seq: self.seq,
-            ev: SchedEvent::Deliver { to, from, msg, at },
+            ev: Pending::One(SchedEvent::Deliver { to, from, msg, at }),
         });
+    }
+
+    fn push_broadcast(&mut self, from: ProcessId, msg: MsgKind, sent_at: u64, n: usize) {
+        if n == 0 {
+            return;
+        }
+        if let DelayModel::Constant(d) = &self.delay {
+            // Every destination shares one delivery time, so the whole
+            // broadcast is a single heap entry occupying `n` consecutive
+            // sequence numbers (see `Pending::Broadcast` for why the
+            // expansion order is exact).
+            let at = sent_at + d;
+            let seq = self.seq + 1;
+            self.seq += n as u64;
+            self.heap.push(HeapEntry {
+                at,
+                seq,
+                ev: Pending::Broadcast {
+                    from,
+                    msg,
+                    at,
+                    n: n as u32,
+                },
+            });
+        } else {
+            // Varying delays: fall back to per-destination entries, which
+            // also consumes delay randomness in exactly the same order as
+            // a conducted burst draining its outbox.
+            for j in 0..n {
+                self.push_send(from, ProcessId(j), msg, sent_at);
+            }
+        }
     }
 
     fn push_crash(&mut self, pid: ProcessId, at: u64) {
@@ -126,12 +201,45 @@ impl Scheduler for TimedScheduler {
         self.heap.push(HeapEntry {
             at,
             seq: self.seq,
-            ev: SchedEvent::Crash { pid, at },
+            ev: Pending::One(SchedEvent::Crash { pid, at }),
         });
     }
 
     fn pop(&mut self) -> Option<SchedEvent> {
-        self.heap.pop().map(|e| e.ev)
+        if let Some(b) = &mut self.draining {
+            let to = ProcessId(b.next as usize);
+            b.next += 1;
+            let ev = SchedEvent::Deliver {
+                to,
+                from: b.from,
+                msg: b.msg,
+                at: b.at,
+            };
+            if b.next == b.n {
+                self.draining = None;
+            }
+            return Some(ev);
+        }
+        match self.heap.pop()?.ev {
+            Pending::One(ev) => Some(ev),
+            Pending::Broadcast { from, msg, at, n } => {
+                if n > 1 {
+                    self.draining = Some(Draining {
+                        from,
+                        msg,
+                        at,
+                        next: 1,
+                        n,
+                    });
+                }
+                Some(SchedEvent::Deliver {
+                    to: ProcessId(0),
+                    from,
+                    msg,
+                    at,
+                })
+            }
+        }
     }
 }
 
@@ -348,6 +456,9 @@ impl Env for SimEnv {
                 } else {
                     self.counters().inc_decisions(1);
                 }
+            }
+            ObsEvent::MailboxStats { stale_dropped } => {
+                self.counters().inc_stale_dropped(stale_dropped);
             }
             _ => {}
         }

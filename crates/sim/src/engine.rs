@@ -1,0 +1,567 @@
+//! The event-driven engine: resumable state machines, no threads.
+//!
+//! The thread conductor (`conductor.rs`) runs the blocking `Env`-trait
+//! algorithms by giving every simulated process its own OS thread and
+//! serializing them with a rendezvous baton — two context switches per
+//! burst, a few thousand processes at most. This engine replaces the
+//! thread per process with an `ofa_core::sm::ConsensusSm` state machine
+//! and dispatches steps straight off the scheduler heap on a single
+//! thread: no spawned threads, no baton, no channels.
+//!
+//! It is **observationally identical** to the conductor: the per-process
+//! [`EventCtx`] charges the same steps and virtual-time costs in the same
+//! order as the conductor's `SimEnv`, and the machines mirror the
+//! blocking algorithms operation for operation, so the same scenario
+//! produces the same decisions, counters, event counts — and the same
+//! trace hash, bit for bit (`tests/engine_equivalence.rs`). What changes
+//! is the constant factor and the ceiling: a burst is a function call,
+//! and with a constant-delay model whole broadcasts stay single heap
+//! entries, so `n = 10 000`-process executions finish in seconds on one
+//! core (the `escale` experiment).
+
+use crate::conductor::{RawOutcome, RunSpec, SchedEvent, Scheduler};
+use ofa_coins::{CommonCoin, LocalCoin, SeededLocalCoin};
+use ofa_core::sm::{ConsensusSm, OutItem, Progress, SmCtx, SmTopology};
+use ofa_core::{Bit, Decision, Halt, Msg, MsgKind, ObsEvent, Observer, ProtocolConfig};
+use ofa_metrics::CounterSnapshot;
+use ofa_scenario::{
+    Body, CostModel, CrashPlan, CrashTrigger, TraceEvent, TraceRecorder, VirtualTime,
+};
+use ofa_sharedmem::{ClusterMemory, MemoryBank, Slot};
+use ofa_topology::{Partition, ProcessId};
+use std::sync::Arc;
+
+/// Mutable per-process execution state (the conductor keeps the same
+/// quantities on each process thread's stack).
+struct ProcState {
+    clock: u64,
+    steps: u64,
+    /// An `AtStep`/`AtRound` trigger fired (checked at every step).
+    crashed_self: bool,
+    local_coin: SeededLocalCoin,
+    /// Plain (non-atomic) counters: the engine is single-threaded, so the
+    /// snapshot type doubles as the accumulator on the hot path.
+    counters: CounterSnapshot,
+    crash_at_step: Option<u64>,
+    crash_at_round: Option<u64>,
+    finished: Option<(Result<Decision, Halt>, u64)>,
+}
+
+/// What to feed a machine on dispatch.
+enum Input {
+    Start,
+    Deliver(Msg),
+    End(Halt),
+}
+
+/// The [`SmCtx`] the engine hands a machine for one step: charges steps
+/// and virtual-time costs, fires step/round-indexed crashes, counts, and
+/// records trace events — mirroring the conductor's `SimEnv` exactly.
+struct EventCtx<'a> {
+    me: ProcessId,
+    costs: CostModel,
+    crash_at_step: Option<u64>,
+    crash_at_round: Option<u64>,
+    clock: &'a mut u64,
+    steps: &'a mut u64,
+    crashed_self: &'a mut bool,
+    local_coin: &'a mut SeededLocalCoin,
+    counters: &'a mut CounterSnapshot,
+    memory: &'a ClusterMemory,
+    common_coin: &'a dyn CommonCoin,
+    observer: Option<&'a dyn Observer>,
+    trace: &'a mut TraceRecorder,
+}
+
+impl EventCtx<'_> {
+    /// Counts an environment call and fires step-indexed crashes — the
+    /// conductor's `SimEnv::step`.
+    fn step(&mut self) -> Result<(), Halt> {
+        *self.steps += 1;
+        if let Some(k) = self.crash_at_step {
+            if *self.steps > k {
+                *self.crashed_self = true;
+            }
+        }
+        if *self.crashed_self {
+            return Err(Halt::Crashed);
+        }
+        Ok(())
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        self.trace
+            .record(VirtualTime::from_ticks(*self.clock), event);
+    }
+}
+
+impl SmCtx for EventCtx<'_> {
+    fn send(&mut self, to: ProcessId, msg: MsgKind) -> Result<u64, Halt> {
+        self.step()?;
+        *self.clock += self.costs.send_cost;
+        self.counters.messages_sent += 1;
+        self.record(TraceEvent::Send {
+            who: self.me,
+            to,
+            msg,
+        });
+        Ok(*self.clock)
+    }
+
+    fn begin_recv(&mut self) -> Result<(), Halt> {
+        // The step the blocking code charges on entering `recv`; the
+        // receive cost itself is charged at delivery time by the engine.
+        self.step()
+    }
+
+    fn cluster_propose(&mut self, slot: Slot, enc: u64) -> Result<u64, Halt> {
+        self.step()?;
+        *self.clock += self.costs.sm_op_cost;
+        let decided = self.memory.propose_raw(slot, enc);
+        self.counters.cluster_proposes += 1;
+        self.record(TraceEvent::ClusterPropose {
+            who: self.me,
+            round: slot.round,
+            phase: slot.phase,
+            proposed: enc,
+            decided,
+        });
+        Ok(decided)
+    }
+
+    fn local_coin(&mut self) -> Result<Bit, Halt> {
+        self.step()?;
+        *self.clock += self.costs.coin_cost;
+        let bit = Bit::from(self.local_coin.flip());
+        self.counters.local_coin_flips += 1;
+        self.record(TraceEvent::Coin {
+            who: self.me,
+            common: false,
+            value: bit.as_bool(),
+        });
+        Ok(bit)
+    }
+
+    fn common_coin(&mut self, index: u64) -> Result<Bit, Halt> {
+        self.step()?;
+        *self.clock += self.costs.coin_cost;
+        let bit = Bit::from(self.common_coin.bit(index));
+        self.counters.common_coin_queries += 1;
+        self.record(TraceEvent::Coin {
+            who: self.me,
+            common: true,
+            value: bit.as_bool(),
+        });
+        Ok(bit)
+    }
+
+    fn observe(&mut self, event: ObsEvent) {
+        match event {
+            ObsEvent::RoundStart { instance, round } => {
+                self.counters.rounds_started += 1;
+                self.record(TraceEvent::RoundStart {
+                    who: self.me,
+                    round,
+                });
+                // Round-indexed crashes refer to instance-0 rounds.
+                if let Some(r) = self.crash_at_round {
+                    if instance == 0 && round >= r {
+                        *self.crashed_self = true;
+                    }
+                }
+            }
+            ObsEvent::Deciding { relayed, .. } => {
+                if relayed {
+                    self.counters.decide_relays += 1;
+                } else {
+                    self.counters.decisions += 1;
+                }
+            }
+            ObsEvent::MailboxStats { stale_dropped } => {
+                self.counters.stale_dropped += stale_dropped;
+            }
+            _ => {}
+        }
+        if let Some(obs) = self.observer {
+            obs.on_event(self.me, &event);
+        }
+    }
+
+    fn note_broadcast(&mut self) {
+        self.counters.broadcasts += 1;
+    }
+}
+
+/// Everything one event-driven execution owns.
+struct Engine<'a, S: Scheduler> {
+    machines: Vec<ConsensusSm>,
+    procs: Vec<ProcState>,
+    partition: Partition,
+    memory: MemoryBank,
+    costs: CostModel,
+    crash_plan: CrashPlan,
+    common_coin: Arc<dyn CommonCoin>,
+    observer: Option<Arc<dyn Observer>>,
+    trace: TraceRecorder,
+    scheduler: &'a mut S,
+    n: usize,
+}
+
+impl<S: Scheduler> Engine<'_, S> {
+    /// Runs one machine step with a freshly assembled context, then
+    /// routes the resulting progress (sends, termination records).
+    fn dispatch(&mut self, i: usize, input: Input) {
+        let me = ProcessId(i);
+        let st = &mut self.procs[i];
+        let mut ctx = EventCtx {
+            me,
+            costs: self.costs,
+            crash_at_step: st.crash_at_step,
+            crash_at_round: st.crash_at_round,
+            clock: &mut st.clock,
+            steps: &mut st.steps,
+            crashed_self: &mut st.crashed_self,
+            local_coin: &mut st.local_coin,
+            counters: &mut st.counters,
+            memory: self.memory.memory_of(&self.partition, me),
+            common_coin: self.common_coin.as_ref(),
+            observer: self.observer.as_deref(),
+            trace: &mut self.trace,
+        };
+        let sm = &mut self.machines[i];
+        let progress = match input {
+            Input::Start => sm.start(&mut ctx),
+            Input::Deliver(msg) => sm.on_msg(msg, &mut ctx),
+            Input::End(halt) => sm.halt(halt, &mut ctx),
+        };
+        match progress {
+            Progress::NeedMsg => {}
+            Progress::Sent(outbox) => self.drain(i, outbox),
+            Progress::Decided(decision, outbox) => {
+                self.drain(i, outbox);
+                self.finish(i, Ok(decision));
+            }
+            Progress::Halted(halt, outbox) => {
+                self.drain(i, outbox);
+                self.finish(i, Err(halt));
+            }
+        }
+    }
+
+    /// Hands a step's sends to the scheduler, in send order (the only
+    /// place delay randomness is consumed — same order as a conducted
+    /// burst draining its outbox).
+    fn drain(&mut self, i: usize, outbox: Vec<OutItem>) {
+        let from = ProcessId(i);
+        for item in outbox {
+            match item {
+                OutItem::One(o) => self.scheduler.push_send(from, o.to, o.msg, o.sent_at),
+                OutItem::Broadcast { msg, sent_at } => {
+                    self.scheduler.push_broadcast(from, msg, sent_at, self.n)
+                }
+            }
+        }
+    }
+
+    /// Records a terminal result, like the conductor does when a process
+    /// thread reports `Finished`.
+    fn finish(&mut self, i: usize, result: Result<Decision, Halt>) {
+        let clock = self.procs[i].clock;
+        let event = match &result {
+            Ok(d) => TraceEvent::Decided {
+                who: ProcessId(i),
+                decision: *d,
+            },
+            Err(h) => TraceEvent::Halted {
+                who: ProcessId(i),
+                halt: *h,
+            },
+        };
+        self.trace.record(VirtualTime::from_ticks(clock), event);
+        self.procs[i].finished = Some((result, clock));
+    }
+}
+
+/// Runs a spec on the event-driven engine under the given scheduler.
+///
+/// # Panics
+///
+/// Panics if the spec's body is not a built-in algorithm
+/// ([`Body::Custom`] is blocking code — route it to the thread
+/// conductor).
+pub(crate) fn conduct_event_driven<S: Scheduler>(spec: RunSpec, scheduler: &mut S) -> RawOutcome {
+    let n = spec.partition.n();
+    assert_eq!(
+        spec.proposals.len(),
+        n,
+        "need one proposal per process (got {} for n={n})",
+        spec.proposals.len()
+    );
+    let Body::Algo(algorithm) = spec.body else {
+        panic!("the event-driven engine runs built-in algorithm bodies only")
+    };
+
+    let topo = Arc::new(SmTopology::new(spec.partition.clone()));
+    let config: ProtocolConfig = spec.config;
+    let mut engine = Engine {
+        machines: (0..n)
+            .map(|i| {
+                ConsensusSm::new(
+                    algorithm,
+                    ProcessId(i),
+                    Arc::clone(&topo),
+                    0,
+                    spec.proposals[i],
+                    config,
+                )
+            })
+            .collect(),
+        procs: (0..n)
+            .map(|i| {
+                let (crash_at_step, crash_at_round) = match spec.crash_plan.trigger(ProcessId(i)) {
+                    Some(CrashTrigger::AtStep(k)) => (Some(k), None),
+                    Some(CrashTrigger::AtRound(r)) => (None, Some(r)),
+                    _ => (None, None),
+                };
+                ProcState {
+                    clock: 0,
+                    steps: 0,
+                    crashed_self: false,
+                    local_coin: SeededLocalCoin::for_process(spec.seed, ProcessId(i)),
+                    counters: CounterSnapshot::default(),
+                    crash_at_step,
+                    crash_at_round,
+                    finished: None,
+                }
+            })
+            .collect(),
+        partition: spec.partition,
+        memory: MemoryBank::for_partition(topo.partition()),
+        costs: spec.costs,
+        crash_plan: spec.crash_plan,
+        common_coin: spec.common_coin,
+        observer: spec.observer,
+        trace: TraceRecorder::new(spec.keep_trace),
+        scheduler,
+        n,
+    };
+
+    // Schedule the timed crashes up front.
+    for (pid, trig) in engine.crash_plan.iter() {
+        if let CrashTrigger::AtTime(t) = trig {
+            engine.scheduler.push_crash(pid, t.ticks());
+        }
+    }
+
+    // Initial steps, in process order (each drains its sends before the
+    // next process starts, like the conductor's initial bursts).
+    for i in 0..n {
+        engine.dispatch(i, Input::Start);
+    }
+
+    // Main event loop.
+    let mut events_processed: u64 = 0;
+    let mut end_time: u64 = 0;
+    while events_processed < spec.max_events {
+        let Some(ev) = engine.scheduler.pop() else {
+            break;
+        };
+        events_processed += 1;
+        match ev {
+            SchedEvent::Deliver { to, from, msg, at } => {
+                end_time = end_time.max(at);
+                let i = to.index();
+                // Crashed processes are finished too (a Crash event halts
+                // the machine in the same dispatch), so one check covers
+                // the conductor's `finished || crashed[]` pair.
+                if engine.procs[i].finished.is_some() {
+                    continue; // dropped on the floor
+                }
+                engine.trace.record(
+                    VirtualTime::from_ticks(at),
+                    TraceEvent::Deliver { who: to, from, msg },
+                );
+                // Wake-up + receive accounting (the conductor charges
+                // these inside the blocked `recv` when the baton returns).
+                let st = &mut engine.procs[i];
+                st.clock = st.clock.max(at);
+                st.clock += engine.costs.recv_cost;
+                st.counters.messages_delivered += 1;
+                engine.dispatch(i, Input::Deliver(Msg { from, kind: msg }));
+            }
+            SchedEvent::Crash { pid, at } => {
+                end_time = end_time.max(at);
+                let i = pid.index();
+                if engine.procs[i].finished.is_some() {
+                    continue;
+                }
+                engine
+                    .trace
+                    .record(VirtualTime::from_ticks(at), TraceEvent::Crash { who: pid });
+                engine.procs[i].clock = engine.procs[i].clock.max(at);
+                engine.dispatch(i, Input::End(Halt::Crashed));
+            }
+        }
+    }
+
+    // Quiescent or budget exhausted: stop the stragglers, in process
+    // order (the conductor's final baton round).
+    for i in 0..n {
+        if engine.procs[i].finished.is_none() {
+            engine.dispatch(i, Input::End(Halt::Stopped));
+        }
+    }
+
+    let results: Vec<(Result<Decision, Halt>, u64)> = engine
+        .procs
+        .iter_mut()
+        .map(|s| s.finished.take().expect("all machines have terminated"))
+        .collect();
+    let counters = engine.procs.iter().map(|s| s.counters).collect();
+    let trace_hash = engine.trace.hash();
+    let end_time = end_time.max(results.iter().map(|(_, c)| *c).max().unwrap_or(0));
+    RawOutcome {
+        results,
+        counters,
+        trace_hash,
+        trace_events: engine.trace.into_events(),
+        events_processed,
+        end_time,
+        sm_objects: engine.memory.total_objects(),
+        sm_proposes: engine.memory.total_proposes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use ofa_core::{Algorithm, Bit, InvariantChecker};
+    use ofa_scenario::{Backend, CrashPlan, DelayModel, Engine, Scenario};
+    use ofa_topology::{Partition, ProcessId};
+    use std::sync::Arc;
+
+    use crate::Sim;
+
+    /// Both engines, same scenario: every observable field must match,
+    /// including the replay hash.
+    fn assert_engines_identical(scenario: Scenario) {
+        let threads = Sim.run(&scenario.clone().engine(Engine::Threads));
+        let event = Sim.run(&scenario.engine(Engine::EventDriven));
+        assert_eq!(threads.decisions, event.decisions);
+        assert_eq!(threads.halts, event.halts);
+        assert_eq!(threads.crashed, event.crashed);
+        assert_eq!(threads.counters, event.counters);
+        assert_eq!(threads.per_process, event.per_process);
+        assert_eq!(threads.trace_hash, event.trace_hash);
+        assert_eq!(threads.events_processed, event.events_processed);
+        assert_eq!(threads.end_time, event.end_time);
+        assert_eq!(threads.latest_decision_time, event.latest_decision_time);
+        assert_eq!(threads.sm_proposes, event.sm_proposes);
+    }
+
+    #[test]
+    fn engines_match_with_sampled_delays() {
+        for seed in 0..4 {
+            assert_engines_identical(
+                Scenario::new(Partition::fig1_right(), Algorithm::LocalCoin)
+                    .proposals_split(3)
+                    .seed(seed),
+            );
+        }
+    }
+
+    #[test]
+    fn engines_match_on_the_broadcast_batch_path() {
+        // Constant delay exercises the single-heap-entry broadcast fast
+        // path in the event engine only — outcomes must still be
+        // bit-identical to the conductor's per-send entries.
+        for seed in 0..4 {
+            assert_engines_identical(
+                Scenario::new(Partition::even(12, 3), Algorithm::CommonCoin)
+                    .proposals_split(5)
+                    .delay(DelayModel::Constant(800))
+                    .seed(seed),
+            );
+        }
+    }
+
+    #[test]
+    fn engines_match_under_crashes() {
+        use ofa_scenario::VirtualTime;
+        let plan = CrashPlan::new()
+            .crash_at_step(ProcessId(1), 6)
+            .crash_at_round(ProcessId(4), 2)
+            .crash_at_time(ProcessId(2), VirtualTime::from_ticks(1_500));
+        assert_engines_identical(
+            Scenario::new(Partition::fig1_left(), Algorithm::LocalCoin)
+                .proposals_split(4)
+                .crashes(plan)
+                .seed(9),
+        );
+    }
+
+    #[test]
+    fn headline_crash_pattern_on_the_event_engine() {
+        // Fig 1 right, 6 of 7 crashed: the lone majority-cluster survivor
+        // still decides.
+        let mut plan = CrashPlan::new();
+        for i in [0usize, 1, 3, 4, 5, 6] {
+            plan = plan.crash_at_start(ProcessId(i));
+        }
+        let out = Sim.run(
+            &Scenario::new(Partition::fig1_right(), Algorithm::LocalCoin)
+                .proposals_split(2)
+                .crashes(plan)
+                .seed(3)
+                .event_driven(),
+        );
+        assert!(out.all_correct_decided);
+        assert_eq!(out.deciders(), 1);
+        assert_eq!(out.crashed.len(), 6);
+    }
+
+    #[test]
+    fn observer_and_invariants_run_on_the_event_engine() {
+        let checker = Arc::new(InvariantChecker::new());
+        let out = Sim.run(
+            &Scenario::new(Partition::even(10, 2), Algorithm::LocalCoin)
+                .proposals_split(5)
+                .observer(checker.clone())
+                .seed(11)
+                .event_driven(),
+        );
+        assert!(out.all_correct_decided);
+        checker.assert_clean();
+        assert_eq!(checker.decisions().len(), 10);
+    }
+
+    #[test]
+    fn quick_scale_run_decides_in_round_one() {
+        // A miniature of the escale workload: unanimous proposals,
+        // constant delay, zero send cost (so broadcasts batch), hundreds
+        // of processes in one fast single-threaded run.
+        use ofa_scenario::CostModel;
+        let n = 400;
+        let out = Sim.run(
+            &Scenario::new(Partition::even(n, 8), Algorithm::LocalCoin)
+                .proposals_all(Bit::One)
+                .delay(DelayModel::Constant(1_000))
+                .costs(CostModel {
+                    send_cost: 0,
+                    recv_cost: 1,
+                    sm_op_cost: 10,
+                    coin_cost: 1,
+                })
+                .max_events(u64::MAX)
+                .seed(7)
+                .event_driven(),
+        );
+        assert!(out.all_correct_decided);
+        assert_eq!(out.deciders(), n);
+        assert_eq!(out.max_decision_round, 1, "unanimity decides in round 1");
+        assert_eq!(
+            out.counters.messages_sent,
+            3 * (n as u64) * (n as u64),
+            "two phase broadcasts plus one decide broadcast per process"
+        );
+    }
+}

@@ -1,11 +1,26 @@
 //! # `ofa-sim` — deterministic simulator for hybrid-model consensus
 //!
-//! Runs the *actual* protocol code of `ofa-core` (ordinary blocking
-//! functions over the `Env` trait) under a deterministic discrete-event
-//! conductor. It is one of the execution substrates behind the unified
+//! Runs the protocol under a deterministic discrete-event scheduler. It
+//! is one of the execution substrates behind the unified
 //! [`ofa_scenario::Scenario`] API: describe a run once, execute it here
 //! via the [`Sim`] backend (or on real threads via `ofa_runtime::Threads`)
 //! and get back the same [`ofa_scenario::Outcome`] shape either way.
+//!
+//! The simulator itself has **two interchangeable engines**, selected by
+//! [`ofa_scenario::Scenario::engine`]:
+//!
+//! * [`Engine::Threads`] — the reference: each process runs the *actual*
+//!   blocking `ofa-core` algorithm on its own OS thread, serialized by a
+//!   conductor baton (exercises the real concurrent `ofa-sharedmem`
+//!   objects);
+//! * [`Engine::EventDriven`] — each process is a resumable
+//!   `ofa_core::sm::ConsensusSm` state machine stepped on a single
+//!   thread straight off the event heap — no threads, no baton — which
+//!   lifts the process-count ceiling from thousands to tens of
+//!   thousands (the `escale` experiment runs `n = 10 000+`).
+//!
+//! Both engines produce identical outcomes — decisions, counters, event
+//! counts, trace hashes — for any declarative scenario.
 //!
 //! What this backend adds over the shared scenario vocabulary:
 //!
@@ -52,20 +67,18 @@
 #![warn(missing_docs)]
 
 mod backend;
-mod builder;
 mod conductor;
+mod engine;
 mod explorer;
 
 pub use backend::Sim;
-#[allow(deprecated)]
-pub use builder::{SimBuilder, SimOutcome};
 pub use explorer::{ExploreReport, Explorer};
 
 // The substrate-neutral scenario vocabulary used to live in this crate;
 // it now lives in `ofa-scenario` and is re-exported here so existing
 // `ofa_sim::{CrashPlan, …}` imports keep working.
 pub use ofa_scenario::{
-    Backend, Body, CoinSpec, CostModel, CrashPlan, CrashTrigger, DelayModel, Outcome, ProcessBody,
-    Scenario, Sweep, SweepReport, SweepRun, SweepView, TimedEvent, TraceEvent, TraceRecorder,
-    VirtualTime,
+    Backend, Body, CoinSpec, CostModel, CrashPlan, CrashTrigger, DelayModel, Engine, Outcome,
+    ProcessBody, Scenario, Sweep, SweepReport, SweepRun, SweepView, TimedEvent, TraceEvent,
+    TraceRecorder, VirtualTime,
 };

@@ -5,6 +5,7 @@
 //! ofa --sizes 3,2,2 --algorithm lc --crash p1@0 --crash p6@12 --trace
 //! ofa --sizes 2,2 --crash p3@r2        # crash p3 when it enters round 2
 //! ofa --sizes 2,2 --runtime            # real threads instead of the simulator
+//! ofa --sizes 100,100 --engine event    # single-threaded event-driven engine
 //! ofa --sizes 1,4,2 --json             # unified Outcome as JSON
 //! ofa --help
 //! ```
@@ -31,7 +32,11 @@ OPTIONS:
     --crash pI@rR      crash process I when it enters round R
     --max-rounds R     round budget [default: 512]
     --trace            print the full event trace (simulator only)
+    --engine E         simulator process engine: threads (reference
+                       conductor) or event (single-threaded event-driven
+                       state machines; scales to n >> 10^4) [default: threads]
     --runtime          execute on real threads instead of the simulator
+                       (--engine does not apply)
     --json             print the unified Outcome as JSON (suppresses the
                        human-readable report)
     --help             show this message
@@ -45,6 +50,7 @@ struct Options {
     crashes: Vec<(usize, CrashWhen)>,
     max_rounds: u64,
     trace: bool,
+    engine: Engine,
     runtime: bool,
     json: bool,
 }
@@ -64,6 +70,7 @@ fn parse_args() -> Result<Options, String> {
         crashes: Vec::new(),
         max_rounds: 512,
         trace: false,
+        engine: Engine::Threads,
         runtime: false,
         json: false,
     };
@@ -116,6 +123,13 @@ fn parse_args() -> Result<Options, String> {
                 opts.crashes.push(parse_crash(&spec)?);
             }
             "--trace" => opts.trace = true,
+            "--engine" => {
+                opts.engine = match value(&mut i)?.as_str() {
+                    "threads" => Engine::Threads,
+                    "event" | "event-driven" => Engine::EventDriven,
+                    other => return Err(format!("unknown engine {other:?} (use threads|event)")),
+                };
+            }
             "--runtime" => opts.runtime = true,
             "--json" => opts.json = true,
             other => return Err(format!("unknown option {other:?} (try --help)")),
@@ -181,6 +195,7 @@ fn main() {
         .proposals_split(ones)
         .config(ProtocolConfig::paper().with_max_rounds(opts.max_rounds))
         .crashes(plan)
+        .engine(opts.engine)
         .seed(opts.seed);
     if opts.trace && !opts.runtime {
         scenario = scenario.keep_trace();

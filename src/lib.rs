@@ -10,12 +10,12 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
-//! | [`consensus`] | `ofa-core` | Algorithms 1–3, baselines, invariants |
+//! | [`consensus`] | `ofa-core` | Algorithms 1–3 (blocking + resumable [`consensus::sm`] machines), baselines, invariants |
 //! | [`topology`] | `ofa-topology` | partitions, predicate, m&m graphs |
 //! | [`sharedmem`] | `ofa-sharedmem` | registers, CAS consensus objects |
 //! | [`coins`] | `ofa-coins` | local/common/adversarial coins |
-//! | [`scenario`] | `ofa-scenario` | `Scenario` values, `Backend` trait, unified `Outcome`, `Sweep` |
-//! | [`sim`] | `ofa-sim` | deterministic backend (`Sim`) + explorer |
+//! | [`scenario`] | `ofa-scenario` | `Scenario` values, `Backend` trait, unified `Outcome`, `Sweep`, [`scenario::Engine`] knob |
+//! | [`sim`] | `ofa-sim` | deterministic backend (`Sim`): thread-conductor + event-driven engines, explorer |
 //! | [`runtime`] | `ofa-runtime` | real-thread backend (`Threads`) |
 //! | [`mm`] | `ofa-mm` | the m&m comparison model |
 //! | [`smr`] | `ofa-smr` | multivalued consensus, replicated KV |
@@ -68,14 +68,9 @@ pub use ofa_topology as topology;
 pub mod prelude {
     pub use ofa_core::{Algorithm, Bit, Decision, Halt, ProtocolConfig};
     pub use ofa_runtime::Threads;
-    pub use ofa_scenario::{Backend, CoinSpec, CrashPlan, CrashTrigger, Outcome, Scenario, Sweep};
+    pub use ofa_scenario::{
+        Backend, CoinSpec, CrashPlan, CrashTrigger, Engine, Outcome, Scenario, Sweep,
+    };
     pub use ofa_sim::Sim;
     pub use ofa_topology::{ClusterId, Partition, ProcessId, ProcessSet};
-
-    // Deprecated builder shims, re-exported one more release for
-    // downstream migration.
-    #[allow(deprecated)]
-    pub use ofa_runtime::RuntimeBuilder;
-    #[allow(deprecated)]
-    pub use ofa_sim::SimBuilder;
 }

@@ -50,12 +50,8 @@ fn facade_reexports_resolve() {
     // prelude (constructing real threads is exercised in cross_substrate).
     let _ = std::any::type_name::<Threads>();
 
-    // The deprecated builder shims stay reachable for one release.
-    #[allow(deprecated)]
-    {
-        let _ = std::any::type_name::<SimBuilder>();
-        let _ = std::any::type_name::<RuntimeBuilder>();
-    }
+    // The simulator's engine knob is part of the prelude surface.
+    let _: Engine = Engine::EventDriven;
 
     // smr (ofa-smr)
     let cmd = one_for_all::smr::Command::put("k", "v");

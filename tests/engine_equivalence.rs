@@ -1,0 +1,170 @@
+//! The event-driven engine is a drop-in replacement for the thread
+//! conductor: for any declarative [`Scenario`] — random partition ×
+//! failure pattern × delay model × cost model × coin × seed — both
+//! engines must produce the **same** [`Outcome`]: per-process decisions,
+//! halts, crash sets, agreement, counters, event counts, and the replay
+//! trace hash, bit for bit.
+//!
+//! This is the contract that lets every existing test, experiment, and
+//! scenario corpus move to the scalable engine without re-validation.
+
+use one_for_all::consensus::{Algorithm, Bit, ProtocolConfig};
+use one_for_all::prelude::{Backend, CoinSpec, CrashPlan, Engine, Scenario, Sim};
+use one_for_all::scenario::{CostModel, DelayModel, VirtualTime};
+use one_for_all::topology::{Partition, ProcessId};
+use proptest::prelude::*;
+
+/// Strategy: a valid partition of up to 7 processes (compacted ids).
+fn partition_strategy() -> impl Strategy<Value = Partition> {
+    (1usize..=7)
+        .prop_flat_map(|n| proptest::collection::vec(0usize..n.min(3), n))
+        .prop_map(|raw| {
+            let mut ids = raw;
+            let mut seen = Vec::new();
+            for &x in &ids {
+                if !seen.contains(&x) {
+                    seen.push(x);
+                }
+            }
+            for x in &mut ids {
+                *x = seen.iter().position(|d| d == x).unwrap();
+            }
+            Partition::from_assignment(&ids).expect("compacted assignment is valid")
+        })
+}
+
+/// Strategy: a crash plan over `n` processes mixing all trigger kinds.
+fn crash_plan_strategy(n: usize) -> impl Strategy<Value = CrashPlan> {
+    proptest::collection::vec((0usize..n, 0u8..3, 0u64..40), 0..n.max(1)).prop_map(move |entries| {
+        let mut plan = CrashPlan::new();
+        for (p, kind, x) in entries {
+            let p = ProcessId(p);
+            plan = match kind {
+                0 => plan.crash_at_step(p, x),
+                1 => plan.crash_at_round(p, 1 + x % 8),
+                _ => plan.crash_at_time(p, VirtualTime::from_ticks(x * 250)),
+            };
+        }
+        plan
+    })
+}
+
+/// Strategy: a declarative scenario spanning both algorithms, every
+/// delay-model shape (constant delay exercises the event engine's
+/// broadcast batching), every protocol-config preset (paper,
+/// pure message passing, and the WA1-breaking E9 ablation — the
+/// machines' non-amplified and no-preagree paths must match too), zero
+/// and non-zero send costs, coin overrides, and mixed proposals.
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    partition_strategy()
+        .prop_flat_map(|partition| {
+            let n = partition.n();
+            (
+                Just(partition),
+                proptest::collection::vec(any::<bool>(), n),
+                0u64..10_000,
+                any::<bool>(),
+                crash_plan_strategy(n),
+                0u8..3,  // delay model choice
+                0u8..3,  // coin spec choice
+                0u8..3,  // protocol config preset
+                0u64..3, // send cost (0 => broadcasts batch)
+                1u64..6, // sm op cost
+            )
+        })
+        .prop_map(
+            |(partition, bits, seed, common, crashes, delay_kind, coin_kind, cfg, send, sm)| {
+                let proposals: Vec<Bit> = bits.into_iter().map(Bit::from).collect();
+                let algorithm = if common {
+                    Algorithm::CommonCoin
+                } else {
+                    Algorithm::LocalCoin
+                };
+                let delay = match delay_kind {
+                    0 => DelayModel::Constant(700),
+                    1 => DelayModel::Uniform { lo: 200, hi: 900 },
+                    _ => DelayModel::Laggard {
+                        slow: vec![ProcessId(0)],
+                        factor: 7,
+                        base: Box::new(DelayModel::Uniform { lo: 300, hi: 800 }),
+                    },
+                };
+                let coin = match coin_kind {
+                    0 => CoinSpec::Seeded,
+                    1 => CoinSpec::Alternating,
+                    _ => CoinSpec::Scripted(vec![false, true, true]),
+                };
+                let config = match cfg {
+                    0 => ProtocolConfig::paper(),
+                    1 => ProtocolConfig::pure_message_passing(),
+                    _ => ProtocolConfig::ablation_no_preagree(),
+                };
+                Scenario::new(partition, algorithm)
+                    .config(config)
+                    .proposals(proposals)
+                    .seed(seed)
+                    .delay(delay)
+                    .crashes(crashes)
+                    .coin(coin)
+                    .costs(CostModel {
+                        send_cost: send,
+                        recv_cost: 1,
+                        sm_op_cost: sm,
+                        coin_cost: 1,
+                    })
+                    .max_rounds(24)
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The acceptance corpus: >= 50 random seeded scenarios, each run on
+    /// both engines, must match on every observable — not just the
+    /// safety predicates but the entire outcome including the replay
+    /// hash, which pins the two executions to the same event sequence.
+    #[test]
+    fn both_engines_produce_identical_outcomes(scenario in scenario_strategy()) {
+        let threads = Sim.run(&scenario.clone().engine(Engine::Threads));
+        let event = Sim.run(&scenario.engine(Engine::EventDriven));
+        // The acceptance predicates…
+        prop_assert_eq!(
+            threads.decisions.iter().map(|d| d.map(|d| d.value)).collect::<Vec<_>>(),
+            event.decisions.iter().map(|d| d.map(|d| d.value)).collect::<Vec<_>>(),
+            "decided values diverged"
+        );
+        prop_assert_eq!(threads.agreement_holds(), event.agreement_holds());
+        prop_assert_eq!(threads.deciders(), event.deciders());
+        // …and the full execution fingerprint.
+        prop_assert_eq!(&threads.decisions, &event.decisions);
+        prop_assert_eq!(&threads.halts, &event.halts);
+        prop_assert_eq!(&threads.crashed, &event.crashed);
+        prop_assert_eq!(threads.all_correct_decided, event.all_correct_decided);
+        prop_assert_eq!(threads.counters, event.counters);
+        prop_assert_eq!(&threads.per_process, &event.per_process);
+        prop_assert_eq!(threads.trace_hash, event.trace_hash);
+        prop_assert!(threads.trace_hash.is_some());
+        prop_assert_eq!(threads.events_processed, event.events_processed);
+        prop_assert_eq!(threads.end_time, event.end_time);
+        prop_assert_eq!(threads.latest_decision_time, event.latest_decision_time);
+        prop_assert_eq!(threads.sm_proposes, event.sm_proposes);
+        prop_assert_eq!(threads.sm_objects, event.sm_objects);
+        // Whatever happened, it happened safely.
+        prop_assert!(threads.agreement_holds());
+    }
+
+    /// The engine knob survives serde, and a deserialized event-driven
+    /// scenario replays the original execution bit for bit.
+    #[test]
+    fn event_driven_scenarios_serde_round_trip_and_replay(scenario in scenario_strategy()) {
+        let scenario = scenario.engine(Engine::EventDriven);
+        let json = serde_json::to_string(&scenario).expect("scenario serializes");
+        let copy: Scenario = serde_json::from_str(&json).expect("scenario deserializes");
+        prop_assert_eq!(copy.engine, Engine::EventDriven);
+        let original = Sim.run(&scenario);
+        let replayed = Sim.run(&copy);
+        prop_assert_eq!(original.trace_hash, replayed.trace_hash);
+        prop_assert_eq!(original.decisions, replayed.decisions);
+    }
+}
