@@ -1,17 +1,21 @@
 //! Regenerates every table of EXPERIMENTS.md.
 //!
 //! ```text
-//! cargo run --release -p ofa-bench --bin experiments             # all
-//! cargo run --release -p ofa-bench --bin experiments e4 e7      # subset
-//! cargo run --release -p ofa-bench --bin experiments --csv e6   # CSV out
-//! cargo run --release -p ofa-bench --bin experiments e1 --quick # 1 trial/cell
+//! cargo run --release -p ofa-bench --bin experiments                  # all
+//! cargo run --release -p ofa-bench --bin experiments e4 e7           # subset
+//! cargo run --release -p ofa-bench --bin experiments --csv e6        # CSV out
+//! cargo run --release -p ofa-bench --bin experiments e1 --quick      # 1 trial/cell
+//! cargo run --release -p ofa-bench --bin experiments smrscale --quick --out BENCH_smr.json
 //! ```
 //!
 //! `--quick` runs each requested experiment with a single trial per
 //! cell — the CI bench-smoke uses it to prove the harness end-to-end in
-//! seconds.
+//! seconds. `--out <path>` additionally writes the tables as
+//! machine-readable JSON (`{"experiments": [{id, title, columns, rows}]}`)
+//! — the CI scale gates archive these as per-run build artifacts.
 
 use ofa_bench::Scale;
+use ofa_metrics::Table;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,31 +26,49 @@ fn main() {
     } else {
         Scale::Full
     };
-    if let Some(unknown) = args
-        .iter()
-        .find(|a| a.starts_with("--") && !matches!(a.as_str(), "--csv" | "--markdown" | "--quick"))
-    {
-        eprintln!("unknown flag: {unknown} (expected --csv, --markdown, --quick)");
-        std::process::exit(2);
+    let mut out_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--csv" | "--markdown" | "--quick" => {}
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => out_path = Some(path.clone()),
+                    None => {
+                        eprintln!("--out requires a file path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag: {flag} (expected --csv, --markdown, --quick, --out)");
+                std::process::exit(2);
+            }
+            id => ids.push(id.to_string()),
+        }
+        i += 1;
     }
-    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
-    let tables = if ids.is_empty() {
+    let tables: Vec<(String, Table)> = if ids.is_empty() {
         ofa_bench::ALL_IDS
             .iter()
             .map(|id| {
                 let t = ofa_bench::run_one_scaled(id, scale)
                     .expect("built-in experiment ids are valid");
-                (*id, t)
+                (id.to_string(), t)
             })
             .collect()
     } else {
         let mut out = Vec::new();
-        for id in ids {
+        for id in &ids {
             match ofa_bench::run_one_scaled(id, scale) {
-                Some(t) => out.push(("", t)),
+                Some(t) => out.push((id.to_ascii_uppercase(), t)),
                 None => {
-                    eprintln!("unknown experiment id: {id} (expected e1..e10 or escale)");
+                    eprintln!(
+                        "unknown experiment id: {id} (expected e1..e10, escale, or smrscale)"
+                    );
                     std::process::exit(2);
                 }
             }
@@ -54,8 +76,8 @@ fn main() {
         out
     };
 
-    for (id, table) in tables {
-        if !id.is_empty() {
+    for (id, table) in &tables {
+        if ids.is_empty() {
             println!("── {id} ──");
         }
         if csv {
@@ -65,5 +87,32 @@ fn main() {
         } else {
             println!("{table}");
         }
+    }
+
+    if let Some(path) = out_path {
+        let entries: Vec<serde::Value> = tables
+            .iter()
+            .map(|(id, table)| {
+                let mut map = match serde::Serialize::to_value(table) {
+                    serde::Value::Map(m) => m,
+                    other => unreachable!("tables serialize as maps, got {other:?}"),
+                };
+                map.insert(0, ("id".to_string(), serde::Value::Str(id.clone())));
+                serde::Value::Map(map)
+            })
+            .collect();
+        let doc = serde::Value::Map(vec![
+            (
+                "quick".to_string(),
+                serde::Value::Bool(scale == Scale::Quick),
+            ),
+            ("experiments".to_string(), serde::Value::Seq(entries)),
+        ]);
+        let json = serde_json::to_string(&doc).expect("tables contain no non-finite floats");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
     }
 }

@@ -1,0 +1,162 @@
+//! SMRSCALE — replicated-KV scale sweep on the event-driven engine.
+//!
+//! PR 3's `ESCALE` proved single-shot binary consensus scales to
+//! `n = 50 000` on the event-driven engine; this experiment proves the
+//! *full stack* does: repeated multivalued consensus (the
+//! [`ofa_scenario::Body::ReplicatedLog`] workload, i.e. `ofa-smr`'s
+//! replicated key-value store) committing real command logs at
+//! `n >= 5 000` replicas — a regime the thread-per-process conductor
+//! cannot even represent, and that the old eager-relay dissemination
+//! (`Θ(n³)` messages) made unreachable at any engine speed.
+//!
+//! Workload: `m = n/100` clusters, one distinct `PUT` per replica,
+//! `SLOTS` log slots, constant network delay, zero per-send cost so
+//! broadcasts collapse into single heap entries. Every cell verifies the
+//! replicas' committed logs and KV states byte-for-byte (via the
+//! [`LogCollector`] digests), not just the binary outcome.
+
+use ofa_core::{Algorithm, Observer};
+use ofa_metrics::{fmt_f64, Table};
+use ofa_scenario::{Backend, CostModel, DelayModel, Engine, Scenario};
+use ofa_sim::Sim;
+use ofa_smr::{encode_queues, Command, LogCollector};
+use ofa_topology::{Partition, ProcessId};
+use std::sync::Arc;
+
+/// System sizes of the full sweep. Quadratic work per cell (each stage
+/// is an all-to-all exchange), so the biggest cells are minutes; CI uses
+/// [`QUICK_SIZES`].
+pub const SIZES: [usize; 4] = [1_000, 2_000, 5_000, 10_000];
+
+/// The CI smoke size: one `n = 5 000` replicated-KV run.
+pub const QUICK_SIZES: [usize; 1] = [5_000];
+
+/// Log slots committed per cell.
+pub const SLOTS: u64 = 2;
+
+/// One row of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SmrScaleRow {
+    /// System size (replica count).
+    pub n: usize,
+    /// Scheduler events processed.
+    pub events: u64,
+    /// Binary stages the whole run needed (summed over slots, from p1).
+    pub stages: u64,
+    /// Wall-clock seconds for the whole run (single thread).
+    pub wall_secs: f64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// The scenario one cell runs (exposed so the CI gate and tests time
+/// exactly what the table reports).
+pub fn scenario(n: usize) -> Scenario {
+    let m = (n / 100).max(1);
+    let commands: Vec<Vec<Command>> = (0..n)
+        .map(|i| vec![Command::put(&format!("k{}", i % 509), &format!("v{i}"))])
+        .collect();
+    // Common coin: stage votes are inherently mixed (the proposer's
+    // cluster votes 1, the rest 0), and with m equal clusters the local
+    // coin needs rounds growing with m to converge — the common coin
+    // decides in O(1) expected rounds regardless of the split.
+    Scenario::new(Partition::even(n, m), Algorithm::CommonCoin)
+        .replicated_log(Algorithm::CommonCoin, SLOTS, encode_queues(&commands))
+        .seed(42)
+        .delay(DelayModel::Constant(1_000))
+        .costs(CostModel {
+            send_cost: 0,
+            recv_cost: 1,
+            sm_op_cost: 10,
+            coin_cost: 1,
+        })
+        .max_rounds(64)
+        .max_events(u64::MAX)
+        .engine(Engine::EventDriven)
+}
+
+/// Runs the sweep over `sizes`; returns the rows (for assertions) and
+/// the table.
+///
+/// # Panics
+///
+/// Panics if any cell fails to commit identical logs/states at every
+/// replica — the workload is deterministic, so anything else is an
+/// engine or reduction regression.
+pub fn run(sizes: &[usize]) -> (Vec<SmrScaleRow>, Table) {
+    let mut table = Table::new(
+        "SMRSCALE: replicated-KV scale sweep — multivalued consensus over the event-driven \
+         engine, m=n/100 clusters, one PUT per replica, single thread",
+        &[
+            "n",
+            "slots",
+            "stages",
+            "events",
+            "virtual end",
+            "wall [s]",
+            "events/s",
+        ],
+    );
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let collector = Arc::new(LogCollector::new(n));
+        let out = Sim.run(&scenario(n).observer(Arc::clone(&collector) as Arc<dyn Observer>));
+        assert_eq!(
+            out.engine_used,
+            Some(Engine::EventDriven),
+            "smrscale n={n}: must run on the event-driven engine"
+        );
+        assert!(
+            out.all_correct_decided && out.agreement_holds(),
+            "smrscale n={n}: run failed to decide"
+        );
+        assert_eq!(out.deciders(), n, "smrscale n={n}: missing deciders");
+        // Full-stack check: every replica committed the same log and
+        // reached the same KV state (reports are O(slots) each, so
+        // checking all n is cheap next to the run itself).
+        let reference = collector
+            .report(ProcessId(0), SLOTS)
+            .expect("p1 committed all slots");
+        assert_eq!(reference.log.len(), SLOTS as usize);
+        for i in 1..n {
+            let r = collector
+                .report(ProcessId(i), SLOTS)
+                .unwrap_or_else(|| panic!("smrscale n={n}: p{} incomplete", i + 1));
+            assert_eq!(r.log, reference.log, "smrscale n={n}: log diverged");
+            assert_eq!(r.digest, reference.digest, "smrscale n={n}: state diverged");
+        }
+        let stages: u64 = reference.stages.iter().sum();
+        let wall_secs = out.elapsed.as_secs_f64();
+        let events_per_sec = out.events_processed as f64 / wall_secs.max(f64::EPSILON);
+        rows.push(SmrScaleRow {
+            n,
+            events: out.events_processed,
+            stages,
+            wall_secs,
+            events_per_sec,
+        });
+        table.row([
+            n.to_string(),
+            SLOTS.to_string(),
+            stages.to_string(),
+            out.events_processed.to_string(),
+            out.end_time.to_string(),
+            fmt_f64(wall_secs, 2),
+            format!("{events_per_sec:.2e}"),
+        ]);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cells_complete_and_agree() {
+        let (rows, table) = run(&[100, 200]);
+        assert_eq!(table.len(), 2);
+        assert!(rows.iter().all(|r| r.events > 0 && r.events_per_sec > 0.0));
+        assert!(rows.iter().all(|r| r.stages >= SLOTS));
+    }
+}

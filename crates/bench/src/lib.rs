@@ -19,6 +19,7 @@
 //! | E9 | ablation: amplification needs cluster pre-agreement |
 //! | E10 | Figure 2 m&m domains recomputed verbatim |
 //! | ESCALE | event-driven engine runs full consensus at `n = 10⁴–5·10⁴` in seconds–minutes |
+//! | SMRSCALE | replicated KV (multivalued/SMR stack) commits logs at `n >= 5 000` replicas |
 
 #![warn(missing_docs)]
 
@@ -35,6 +36,7 @@ pub mod experiments {
     pub mod e8;
     pub mod e9;
     pub mod escale;
+    pub mod smrscale;
 }
 
 use ofa_metrics::Table;
@@ -42,8 +44,8 @@ use ofa_metrics::Table;
 /// Every experiment id, in presentation order. The single source of
 /// truth for "all experiments" — `run_all`, the `experiments` binary's
 /// `--quick` path, and CI smoke loops all iterate this.
-pub const ALL_IDS: [&str; 11] = [
-    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "ESCALE",
+pub const ALL_IDS: [&str; 12] = [
+    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "ESCALE", "SMRSCALE",
 ];
 
 /// Runs every experiment at its default scale, returning `(id, table)`
@@ -92,11 +94,16 @@ pub fn run_one_scaled(id: &str, scale: Scale) -> Option<Table> {
         "e8" => e8::run().1,
         "e9" => e9::run(t(e9::TRIALS)).1,
         "e10" => e10::run().1,
-        // Scaled by system size rather than trial count: the full sweep
-        // reaches n = 50 000 (minutes); quick is one n = 5 000 cell.
+        // Scaled by system size rather than trial count: the full sweeps
+        // reach n = 50 000 / 10 000 (minutes); quick is one n = 5 000
+        // cell each.
         "escale" => match scale {
             Scale::Full => escale::run(&escale::SIZES).1,
             Scale::Quick => escale::run(&escale::QUICK_SIZES).1,
+        },
+        "smrscale" => match scale {
+            Scale::Full => smrscale::run(&smrscale::SIZES).1,
+            Scale::Quick => smrscale::run(&smrscale::QUICK_SIZES).1,
         },
         _ => return None,
     })

@@ -151,6 +151,21 @@ pub enum ObsEvent {
         /// process (a delta, so multi-instance layers sum correctly).
         stale_dropped: u64,
     },
+    /// A multivalued consensus instance decided (see
+    /// [`crate::multivalued_propose`]). Layers above binary consensus —
+    /// replicated logs, observers reconstructing decided command
+    /// sequences — key on this event; `mv_index` is the *multivalued*
+    /// instance (log slot), not a binary instance id.
+    MvDecided {
+        /// The multivalued instance (log slot for replicated logs).
+        mv_index: u64,
+        /// The proposer whose value was adopted.
+        proposer: ofa_topology::ProcessId,
+        /// The decided payload.
+        payload: crate::Payload,
+        /// How many binary stages the reduction needed.
+        stages: u64,
+    },
 }
 
 #[cfg(test)]

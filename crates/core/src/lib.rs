@@ -55,6 +55,7 @@ mod halt;
 mod local_coin_alg;
 mod mailbox;
 mod msg;
+mod multivalued;
 mod observer;
 mod pattern;
 mod payload;
@@ -69,6 +70,10 @@ pub use halt::Halt;
 pub use local_coin_alg::{ben_or_hybrid, ben_or_hybrid_instance};
 pub use mailbox::{AppMsg, Mailbox, MailboxItem};
 pub use msg::{Msg, MsgKind, Phase};
+pub use multivalued::{
+    log_body_decision, multivalued_propose, mv_body_decision, queue_proposal, run_multivalued_body,
+    run_replicated_log, LogDigest, MvDecision, INSTANCE_STRIDE,
+};
 pub use observer::{FanoutObserver, InvariantChecker, Observer};
 pub use pattern::{credited_set, msg_exchange, Exchange, RecClass, RecSet, Supporters};
 pub use payload::{Payload, MAX_PAYLOAD};

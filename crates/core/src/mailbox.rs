@@ -79,7 +79,11 @@ struct DecideEntry {
 pub struct Mailbox {
     future: BTreeMap<(u64, u64, Phase), VecDeque<Msg>>,
     decides: BTreeMap<u64, DecideEntry>,
-    apps: Vec<AppMsg>,
+    /// App stash keyed by `(instance, seq)`: duplicate deliveries (e.g.
+    /// the relay storms of multivalued dissemination, where every process
+    /// re-broadcasts the stage proposer's payload) collapse into one
+    /// entry instead of growing the stash linearly with the storm.
+    apps: BTreeMap<(u64, u64), AppMsg>,
     /// The highest slot ever served; everything strictly below it is dead.
     position: (u64, u64, Phase),
     stale_dropped: u64,
@@ -104,7 +108,7 @@ impl Mailbox {
         Mailbox {
             future: BTreeMap::new(),
             decides: BTreeMap::new(),
-            apps: Vec::new(),
+            apps: BTreeMap::new(),
             position: (0, 0, Phase::One),
             stale_dropped: 0,
             stale_reported: 0,
@@ -216,12 +220,15 @@ impl Mailbox {
                 seq,
                 payload,
             } => {
-                self.apps.push(AppMsg {
-                    from: msg.from,
-                    instance: i,
-                    seq,
-                    payload,
-                });
+                self.apps.insert(
+                    (i, seq),
+                    AppMsg {
+                        from: msg.from,
+                        instance: i,
+                        seq,
+                        payload,
+                    },
+                );
                 None
             }
         }
@@ -256,16 +263,24 @@ impl Mailbox {
         }
     }
 
-    /// Blocks for one incoming message and routes it into the buffers
-    /// (phase messages by slot, decides into the sticky map, application
-    /// payloads into the app stash) without serving any slot. Layers above
-    /// binary consensus use this to wait for payloads between instances.
+    /// Blocks for one incoming message and routes it into the buffers via
+    /// [`Mailbox::buffer`] without serving any slot. Layers above binary
+    /// consensus use this to wait for payloads between instances.
     ///
     /// # Errors
     ///
     /// Propagates `Halt` from `env.recv()`.
     pub fn pump(&mut self, env: &mut dyn Env) -> Result<(), Halt> {
         let msg = env.recv()?;
+        self.buffer(msg);
+        Ok(())
+    }
+
+    /// Routes one delivered message into the buffers (phase messages by
+    /// slot, decides into the sticky map, application payloads into the
+    /// app stash) without serving any slot — the non-blocking half of
+    /// [`Mailbox::pump`], used directly by the resumable state machines.
+    pub fn buffer(&mut self, msg: Msg) {
         match msg.kind {
             MsgKind::Decide { instance, value } => {
                 self.decides.entry(instance).or_insert(DecideEntry {
@@ -288,25 +303,30 @@ impl Mailbox {
                 instance,
                 seq,
                 payload,
-            } => self.apps.push(AppMsg {
-                from: msg.from,
-                instance,
-                seq,
-                payload,
-            }),
+            } => {
+                self.apps.insert(
+                    (instance, seq),
+                    AppMsg {
+                        from: msg.from,
+                        instance,
+                        seq,
+                        payload,
+                    },
+                );
+            }
         }
-        Ok(())
     }
 
-    /// Drains the stashed application payloads.
+    /// Drains the stashed application payloads, in `(instance, seq)`
+    /// order.
     pub fn take_apps(&mut self) -> Vec<AppMsg> {
-        std::mem::take(&mut self.apps)
+        std::mem::take(&mut self.apps).into_values().collect()
     }
 
     /// Puts an application payload back into the stash (e.g. one drained
     /// by [`Mailbox::take_apps`] but belonging to a later layer instance).
     pub fn stash_app(&mut self, app: AppMsg) {
-        self.apps.push(app);
+        self.apps.insert((app.instance, app.seq), app);
     }
 
     /// The sticky `DECIDE` value for `instance`, if one has been received
@@ -320,6 +340,13 @@ impl Mailbox {
     /// buffered entries pruned when the served slot advanced.
     pub fn stale_dropped(&self) -> u64 {
         self.stale_dropped
+    }
+
+    /// Counts `n` messages a layer above discarded as stale (e.g. APP
+    /// payloads of already-completed multivalued instances), folding them
+    /// into the same [`Mailbox::stale_dropped`] accounting.
+    pub(crate) fn note_stale(&mut self, n: u64) {
+        self.stale_dropped += n;
     }
 
     /// Drops since the previous call — the delta the algorithms report via

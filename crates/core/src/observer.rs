@@ -230,7 +230,8 @@ impl Observer for InvariantChecker {
             ObsEvent::RoundStart { .. }
             | ObsEvent::ClusterAgreed { .. }
             | ObsEvent::Coin { .. }
-            | ObsEvent::MailboxStats { .. } => {}
+            | ObsEvent::MailboxStats { .. }
+            | ObsEvent::MvDecided { .. } => {}
         }
     }
 }

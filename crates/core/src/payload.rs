@@ -74,6 +74,32 @@ impl Default for Payload {
     }
 }
 
+/// Payloads serialize as their meaningful bytes (a JSON array), so
+/// workloads carrying them — multivalued proposals, replicated-log
+/// command queues — round-trip losslessly through scenario corpora.
+impl serde::Serialize for Payload {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Seq(
+            self.as_bytes()
+                .iter()
+                .map(|b| serde::Value::U64(*b as u64))
+                .collect(),
+        )
+    }
+}
+
+impl serde::Deserialize for Payload {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let bytes: Vec<u8> = serde::Deserialize::from_value(v)?;
+        Payload::from_bytes(&bytes).ok_or_else(|| {
+            serde::Error::msg(format!(
+                "Payload: {} bytes exceed the {MAX_PAYLOAD}-byte limit",
+                bytes.len()
+            ))
+        })
+    }
+}
+
 impl fmt::Debug for Payload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match std::str::from_utf8(self.as_bytes()) {

@@ -1,312 +1,13 @@
-//! Resumable state machines: the paper's algorithms without threads.
-//!
-//! The `Env`-trait algorithms ([`crate::ben_or_hybrid`],
-//! [`crate::common_coin_hybrid`]) are written in blocking pseudocode
-//! style: `recv` suspends the caller, so every process needs its own call
-//! stack — one OS thread per simulated process. That reference shape is
-//! faithful to the paper but caps simulations at a few thousand processes.
-//!
-//! This module is the same protocol turned inside out: a
-//! [`ConsensusSm`] is a plain struct that consumes one delivered
-//! [`Msg`] per step and reports `Poll`-style [`Progress`] — it never
-//! blocks, so a single-threaded engine can drive hundreds of thousands of
-//! processes straight off an event heap (see `ofa-sim`'s event-driven
-//! engine). The wait-free operations of the hybrid model — intra-cluster
-//! consensus and coins — stay synchronous, provided by the engine through
-//! [`SmCtx`]; only message reception suspends the machine.
-//!
-//! The machines are **step-for-step equivalent** to the blocking
-//! algorithms: every environment interaction (send, receive, cluster
-//! propose, coin, observation) happens in the same order with the same
-//! arguments, so an engine that accounts steps and virtual time like the
-//! thread conductor reproduces the conductor's executions bit for bit
-//! (`tests/engine_equivalence.rs` asserts exactly that, trace hash
-//! included).
-//!
-//! # Anatomy of a step
-//!
-//! ```text
-//!        deliver Msg                 ┌────────────────────────────┐
-//!  ───────────────────▶  on_msg ───▶│ mailbox route → tally →    │
-//!                                   │ cluster consensus / coins  │──▶ Progress
-//!  engine pops event                │ (via SmCtx) → broadcasts   │    NeedMsg / Sent /
-//!                                   └────────────────────────────┘    Decided / Halted
-//! ```
-//!
-//! One delivery can carry the machine arbitrarily far — completing an
-//! exchange, pre-agreeing in the cluster, broadcasting the next phase and
-//! draining buffered future messages — until it genuinely needs a fresh
-//! message (or terminates). Outgoing messages accumulate in the step's
-//! outbox and are returned inside the [`Progress`] value.
+//! [`ConsensusSm`]: one binary consensus instance as a resumable machine.
 
-use crate::pattern::est_index;
+use super::{broadcast_into, Outbox, Progress, SmCtx, SmTopology, Tally};
 use crate::{
     Algorithm, Bit, Decision, Est, Halt, Mailbox, MailboxItem, Msg, MsgKind, ObsEvent, Phase,
     ProtocolConfig,
 };
 use ofa_sharedmem::{CodableValue, Slot};
-use ofa_topology::{Partition, ProcessId};
+use ofa_topology::ProcessId;
 use std::sync::Arc;
-
-/// The synchronous services a state machine needs while stepping: the
-/// wait-free operations of the hybrid model plus bookkeeping hooks.
-///
-/// This is [`crate::Env`] minus the blocking `recv` — message input is
-/// *pushed* via [`ConsensusSm::on_msg`] instead of pulled. Engines
-/// implement it once per process and are free to charge virtual time,
-/// count steps, record traces, and inject crashes by returning
-/// `Err(Halt)` from the fallible methods, exactly like an `Env`.
-pub trait SmCtx {
-    /// Hands one message to the network; returns the virtual send time
-    /// the engine assigns (0 where time is not modeled). The machine
-    /// records that timestamp in its outbox entry.
-    ///
-    /// # Errors
-    ///
-    /// `Err(Halt)` if the process crashes at this step; like the paper's
-    /// non-reliable broadcast, any prefix already sent stays sent.
-    fn send(&mut self, to: ProcessId, msg: MsgKind) -> Result<u64, Halt>;
-
-    /// Charged when the machine is about to suspend for a message — the
-    /// equivalent of entering the blocking `recv` call.
-    ///
-    /// # Errors
-    ///
-    /// `Err(Halt)` if the process crashes at this step.
-    fn begin_recv(&mut self) -> Result<(), Halt>;
-
-    /// Proposes to the cluster's consensus object (wait-free).
-    ///
-    /// # Errors
-    ///
-    /// `Err(Halt)` if the process crashes at this step.
-    fn cluster_propose(&mut self, slot: Slot, enc: u64) -> Result<u64, Halt>;
-
-    /// Draws this process's local coin.
-    ///
-    /// # Errors
-    ///
-    /// `Err(Halt)` if the process crashes at this step.
-    fn local_coin(&mut self) -> Result<Bit, Halt>;
-
-    /// Reads the common coin at `index`.
-    ///
-    /// # Errors
-    ///
-    /// `Err(Halt)` if the process crashes at this step.
-    fn common_coin(&mut self, index: u64) -> Result<Bit, Halt>;
-
-    /// Reports a protocol-level event (tracing, invariants). Default:
-    /// ignored.
-    fn observe(&mut self, _event: ObsEvent) {}
-
-    /// Notes one invocation of the `broadcast` macro-operation (the sends
-    /// themselves still go through [`SmCtx::send`]). Default: ignored.
-    fn note_broadcast(&mut self) {}
-}
-
-/// One outgoing message produced by a step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Outgoing {
-    /// Destination process.
-    pub to: ProcessId,
-    /// Payload.
-    pub msg: MsgKind,
-    /// Virtual send time reported by [`SmCtx::send`].
-    pub sent_at: u64,
-}
-
-/// An outbox entry: a single send, or a whole uniform broadcast.
-///
-/// A broadcast whose sends all carry the same timestamp (the engine
-/// charges no per-send cost) collapses into one [`OutItem::Broadcast`]
-/// entry, letting schedulers enqueue it as a single event instead of `n`
-/// — the difference between O(n²) and O(n) heap residency per round at
-/// cluster scale.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum OutItem {
-    /// One point-to-point send.
-    One(Outgoing),
-    /// `msg` sent to every process `p_0 … p_{n-1}` in index order, all at
-    /// the same virtual send time.
-    Broadcast {
-        /// Payload (identical for every destination).
-        msg: MsgKind,
-        /// Virtual send time shared by all destinations.
-        sent_at: u64,
-    },
-}
-
-/// The sends produced by one step, in send order.
-pub type Outbox = Vec<OutItem>;
-
-/// `Poll`-style progress reported by every step of a [`ConsensusSm`].
-#[derive(Debug, PartialEq, Eq)]
-pub enum Progress {
-    /// The machine is suspended waiting for the next delivered message;
-    /// this step produced no sends.
-    NeedMsg,
-    /// The machine produced sends (drain them into the network) and is
-    /// again suspended waiting for the next delivered message.
-    Sent(Outbox),
-    /// Terminal: the machine decided. The final `DECIDE` broadcast is in
-    /// the outbox. The machine must not be stepped again.
-    Decided(Decision, Outbox),
-    /// Terminal: the machine halted without deciding (crash or stop).
-    /// Sends already performed before the halt are in the outbox — a
-    /// crash mid-broadcast delivers to an arbitrary prefix, like the
-    /// paper's non-reliable broadcast macro-operation.
-    Halted(Halt, Outbox),
-}
-
-impl Progress {
-    /// `true` for the terminal variants.
-    pub fn is_terminal(&self) -> bool {
-        matches!(self, Progress::Decided(..) | Progress::Halted(..))
-    }
-}
-
-/// Immutable per-run topology shared by all machines of one execution:
-/// the partition plus precomputed cluster sizes, so a machine's
-/// per-message supporter accounting is O(1) instead of O(n/64).
-#[derive(Debug)]
-pub struct SmTopology {
-    partition: Partition,
-    cluster_sizes: Vec<usize>,
-}
-
-impl SmTopology {
-    /// Precomputes the shared topology of a run.
-    pub fn new(partition: Partition) -> Self {
-        let cluster_sizes = partition.sizes();
-        SmTopology {
-            partition,
-            cluster_sizes,
-        }
-    }
-
-    /// The underlying partition.
-    pub fn partition(&self) -> &Partition {
-        &self.partition
-    }
-
-    fn n(&self) -> usize {
-        self.partition.n()
-    }
-
-    /// The credit unit a sender maps to: its cluster index under "one for
-    /// all" amplification, its own index otherwise.
-    fn unit_of(&self, from: ProcessId, amplify: bool) -> (usize, usize) {
-        if amplify {
-            let x = self.partition.cluster_of(from).index();
-            (x, self.cluster_sizes[x])
-        } else {
-            (from.index(), 1)
-        }
-    }
-
-    fn units(&self, amplify: bool) -> usize {
-        if amplify {
-            self.partition.m()
-        } else {
-            self.partition.n()
-        }
-    }
-}
-
-/// A set over credit units (clusters or single processes) with an
-/// incrementally maintained total weight.
-#[derive(Debug, Clone, Default)]
-struct UnitSet {
-    words: Vec<u64>,
-    weight: usize,
-}
-
-impl UnitSet {
-    fn with_units(units: usize) -> Self {
-        UnitSet {
-            words: vec![0; units.div_ceil(64)],
-            weight: 0,
-        }
-    }
-
-    /// Inserts `unit` with `weight`; no-op if already present.
-    fn credit(&mut self, unit: usize, weight: usize) {
-        let (w, b) = (unit / 64, unit % 64);
-        if self.words[w] & (1 << b) == 0 {
-            self.words[w] |= 1 << b;
-            self.weight += weight;
-        }
-    }
-
-    fn clear(&mut self) {
-        self.words.fill(0);
-        self.weight = 0;
-    }
-}
-
-/// Incremental supporter accounting for one `msg_exchange` invocation —
-/// semantically identical to [`crate::Supporters`] (same majority, `rec`,
-/// and coverage answers on the same credit sequence) but O(1) per
-/// message: because every process belongs to exactly one cluster, each
-/// per-value supporter set is a disjoint union of whole credit units, so
-/// set cardinalities reduce to weight counters.
-#[derive(Debug)]
-struct Tally {
-    n: usize,
-    /// Supporter weights for `0`, `1`, `⊥` (indexed by `est_index`).
-    sets: [UnitSet; 3],
-    /// Union of all supporter sets.
-    cover: UnitSet,
-}
-
-impl Tally {
-    fn new(n: usize, units: usize) -> Self {
-        Tally {
-            n,
-            sets: [
-                UnitSet::with_units(units),
-                UnitSet::with_units(units),
-                UnitSet::with_units(units),
-            ],
-            cover: UnitSet::with_units(units),
-        }
-    }
-
-    fn reset(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
-        self.cover.clear();
-    }
-
-    /// Credits `unit` (with `weight` processes) as a supporter of `est`.
-    fn credit(&mut self, est: Est, unit: usize, weight: usize) {
-        self.sets[est_index(est)].credit(unit, weight);
-        self.cover.credit(unit, weight);
-    }
-
-    /// Line 7 of Algorithm 1: supporters jointly cover a strict majority.
-    fn coverage_is_majority(&self) -> bool {
-        2 * self.cover.weight > self.n
-    }
-
-    /// Line 6 of Algorithm 2: the value supported by a strict majority.
-    fn majority_value(&self) -> Option<Bit> {
-        Bit::ALL
-            .into_iter()
-            .find(|&b| 2 * self.sets[est_index(Some(b))].weight > self.n)
-    }
-
-    /// The paper's `rec_i` as `(saw_zero, saw_one, saw_bot)`.
-    fn rec(&self) -> crate::RecSet {
-        crate::RecSet {
-            saw_zero: self.sets[est_index(Some(Bit::Zero))].weight > 0,
-            saw_one: self.sets[est_index(Some(Bit::One))].weight > 0,
-            saw_bot: self.sets[est_index(None)].weight > 0,
-        }
-    }
-}
 
 /// The slot-phase index Algorithm 3 uses for its single per-round object
 /// (kept identical to the blocking implementation).
@@ -319,6 +20,13 @@ const CC_SLOT: u8 = 0;
 /// delivered message through [`ConsensusSm::on_msg`] until a terminal
 /// [`Progress`] is returned (or the engine ends the run with
 /// [`ConsensusSm::halt`]). Outgoing messages ride inside each `Progress`.
+///
+/// Multi-instance layers ([`super::MultivaluedSm`], [`super::LogSm`])
+/// construct consecutive instances with [`ConsensusSm::with_mailbox`],
+/// threading one [`Mailbox`] through the whole sequence exactly like the
+/// blocking [`crate::ben_or_hybrid_instance`] contract requires — future
+/// instances' messages buffered during instance `i` survive into
+/// instance `i + 1`.
 ///
 /// # Examples
 ///
@@ -390,7 +98,7 @@ pub struct ConsensusSm {
 
 impl ConsensusSm {
     /// Creates a machine for `me` proposing `proposal` in `instance`
-    /// (single-shot consensus uses instance 0).
+    /// (single-shot consensus uses instance 0) with a fresh mailbox.
     pub fn new(
         algorithm: Algorithm,
         me: ProcessId,
@@ -398,6 +106,22 @@ impl ConsensusSm {
         instance: u64,
         proposal: Bit,
         cfg: ProtocolConfig,
+    ) -> Self {
+        Self::with_mailbox(algorithm, me, topo, instance, proposal, cfg, Mailbox::new())
+    }
+
+    /// Like [`ConsensusSm::new`] but adopting an existing [`Mailbox`] —
+    /// the state-machine equivalent of the blocking instance functions'
+    /// shared-mailbox parameter. Retrieve it back with
+    /// [`ConsensusSm::into_mailbox`] once the machine terminates.
+    pub fn with_mailbox(
+        algorithm: Algorithm,
+        me: ProcessId,
+        topo: Arc<SmTopology>,
+        instance: u64,
+        proposal: Bit,
+        cfg: ProtocolConfig,
+        mailbox: Mailbox,
     ) -> Self {
         let n = topo.n();
         let units = topo.units(cfg.amplify);
@@ -411,10 +135,17 @@ impl ConsensusSm {
             round: 0,
             phase: Phase::One,
             tally: Tally::new(n, units),
-            mailbox: Mailbox::new(),
+            mailbox,
             outbox: Vec::new(),
             done: false,
         }
+    }
+
+    /// Releases the mailbox (with everything still buffered for future
+    /// instances) so the next instance of a multi-instance layer can
+    /// adopt it.
+    pub fn into_mailbox(self) -> Mailbox {
+        self.mailbox
     }
 
     /// This machine's process identity.
@@ -646,10 +377,8 @@ impl ConsensusSm {
     /// pre-agreement, first (or only) exchange of the round.
     fn next_round<C: SmCtx + ?Sized>(&mut self, ctx: &mut C) -> Result<Option<Decision>, Halt> {
         self.round += 1;
-        if let Some(max) = self.cfg.max_rounds {
-            if self.round > max {
-                return Err(Halt::Stopped);
-            }
+        if super::over_budget(&self.cfg, self.round) {
+            return Err(Halt::Stopped);
         }
         ctx.observe(ObsEvent::RoundStart {
             instance: self.instance,
@@ -690,7 +419,9 @@ impl ConsensusSm {
     ) -> Result<(), Halt> {
         self.phase = phase;
         self.tally.reset();
-        self.broadcast(
+        broadcast_into(
+            &mut self.outbox,
+            self.topo.n(),
             MsgKind::Phase {
                 instance: self.instance,
                 round: self.round,
@@ -715,7 +446,9 @@ impl ConsensusSm {
             value,
             relayed,
         });
-        self.broadcast(
+        broadcast_into(
+            &mut self.outbox,
+            self.topo.n(),
             MsgKind::Decide {
                 instance: self.instance,
                 value,
@@ -728,82 +461,27 @@ impl ConsensusSm {
             relayed,
         })
     }
-
-    /// The `broadcast(msg)` macro-operation: send to every process
-    /// (including self) in index order, collapsing into one
-    /// [`OutItem::Broadcast`] when all sends share a timestamp.
-    fn broadcast<C: SmCtx + ?Sized>(&mut self, msg: MsgKind, ctx: &mut C) -> Result<(), Halt> {
-        ctx.note_broadcast();
-        let n = self.topo.n();
-        let start = self.outbox.len();
-        let mut uniform = true;
-        let mut first_at = 0;
-        for j in 0..n {
-            let sent_at = ctx.send(ProcessId(j), msg)?;
-            if j == 0 {
-                first_at = sent_at;
-            } else if sent_at != first_at {
-                uniform = false;
-            }
-            self.outbox.push(OutItem::One(Outgoing {
-                to: ProcessId(j),
-                msg,
-                sent_at,
-            }));
-        }
-        if uniform && n > 1 {
-            self.outbox.truncate(start);
-            self.outbox.push(OutItem::Broadcast {
-                msg,
-                sent_at: first_at,
-            });
-        }
-        Ok(())
-    }
-}
-
-/// An [`SmCtx`] that models nothing: sends cost no time, the cluster
-/// object echoes the proposal, coins are constant 0. Useful for doc
-/// examples and tests of machines whose behavior does not depend on the
-/// services (e.g. single-process universes).
-#[derive(Debug, Default)]
-pub struct NullCtx;
-
-impl SmCtx for NullCtx {
-    fn send(&mut self, _to: ProcessId, _msg: MsgKind) -> Result<u64, Halt> {
-        Ok(0)
-    }
-    fn begin_recv(&mut self) -> Result<(), Halt> {
-        Ok(())
-    }
-    fn cluster_propose(&mut self, _slot: Slot, enc: u64) -> Result<u64, Halt> {
-        Ok(enc)
-    }
-    fn local_coin(&mut self) -> Result<Bit, Halt> {
-        Ok(Bit::Zero)
-    }
-    fn common_coin(&mut self, _index: u64) -> Result<Bit, Halt> {
-        Ok(Bit::Zero)
-    }
 }
 
 #[cfg(test)]
-mod tests {
+pub(super) mod tests {
+    use super::super::{OutItem, Outbox, Progress, SmTopology};
     use super::*;
+    use ofa_topology::Partition;
     use std::collections::HashMap;
 
     /// Deterministic test ctx: first-wins cluster objects, scripted
     /// coins, counted ops, optional crash at the k-th fallible call.
-    struct TestCtx {
+    pub(in crate::sm) struct TestCtx {
         cluster: HashMap<Slot, u64>,
         coin: Bit,
-        calls: u64,
-        crash_after: Option<u64>,
-        events: Vec<ObsEvent>,
+        pub(in crate::sm) calls: u64,
+        pub(in crate::sm) crash_after: Option<u64>,
+        pub(in crate::sm) events: Vec<ObsEvent>,
     }
 
     impl TestCtx {
-        fn new(coin: Bit) -> Self {
+        pub(in crate::sm) fn new(coin: Bit) -> Self {
             TestCtx {
                 cluster: HashMap::new(),
                 coin,
@@ -1030,9 +708,6 @@ mod tests {
         let mut ctx = TestCtx::new(Bit::Zero);
         assert!(matches!(sm.start(&mut ctx), Progress::Sent(_)));
         let calls_before = ctx.calls;
-        // A stale message (round 0 does not exist; use a future-instance
-        // app-free phase of a *past* slot: round 1 phase 1 is current, so
-        // deliver a message for a past instance).
         let progress = sm.on_msg(
             Msg {
                 from: ProcessId(1),
@@ -1051,53 +726,63 @@ mod tests {
     }
 
     #[test]
-    fn tally_matches_supporters_semantics() {
-        use crate::{RecClass, Supporters};
-        use ofa_topology::ProcessSet;
-        // Fig 1 right: {p1} {p2..p5} {p6,p7} — compare the incremental
-        // tally against the reference Supporters on the same credits.
-        let part = Partition::fig1_right();
-        let topo = SmTopology::new(part.clone());
-        let n = part.n();
-        let mut tally = Tally::new(n, topo.units(true));
-        let mut sup = Supporters::empty(n);
-        let credits: [(usize, Est); 4] = [
-            (1, Some(Bit::One)),  // p2 → cluster {p2..p5}
-            (4, Some(Bit::One)),  // p5 → same cluster (dedup)
-            (0, None),            // p1 → singleton
-            (5, Some(Bit::Zero)), // p6 → {p6,p7}
-        ];
-        for (from, est) in credits {
-            let from = ProcessId(from);
-            let (unit, weight) = topo.unit_of(from, true);
-            tally.credit(est, unit, weight);
-            sup.credit(est, part.cluster_members_of(from));
-            assert_eq!(
-                tally.coverage_is_majority(),
-                sup.coverage().is_majority_of(n)
-            );
-            assert_eq!(tally.majority_value(), sup.majority_value());
-            assert_eq!(tally.rec(), sup.rec());
-        }
-        assert_eq!(tally.rec().classify(), RecClass::Conflict);
-        // Reset empties everything.
-        tally.reset();
-        assert!(!tally.coverage_is_majority());
-        assert_eq!(tally.rec(), Supporters::empty(n).rec());
-        // Non-amplified: units are processes.
-        let mut tally = Tally::new(n, topo.units(false));
-        let mut sup = Supporters::empty(n);
-        for (from, est) in credits {
-            let from = ProcessId(from);
-            let (unit, weight) = topo.unit_of(from, false);
-            tally.credit(est, unit, weight);
-            sup.credit(est, &ProcessSet::singleton(n, from));
-            assert_eq!(tally.majority_value(), sup.majority_value());
-            assert_eq!(
-                tally.coverage_is_majority(),
-                sup.coverage().is_majority_of(n)
-            );
-        }
+    fn mailbox_hands_over_between_instances() {
+        // A message for instance 1 delivered during instance 0 must
+        // survive the handoff into the next machine.
+        let topo = Arc::new(SmTopology::new(Partition::single_cluster(2)));
+        let mut sm = ConsensusSm::new(
+            Algorithm::LocalCoin,
+            ProcessId(0),
+            Arc::clone(&topo),
+            0,
+            Bit::Zero,
+            ProtocolConfig::paper(),
+        );
+        let mut ctx = TestCtx::new(Bit::Zero);
+        assert!(matches!(sm.start(&mut ctx), Progress::Sent(_)));
+        // Deliver a future-instance decide: buffered, not served.
+        assert_eq!(
+            sm.on_msg(
+                Msg {
+                    from: ProcessId(1),
+                    kind: MsgKind::Decide {
+                        instance: 1,
+                        value: Bit::One,
+                    },
+                },
+                &mut ctx,
+            ),
+            Progress::NeedMsg
+        );
+        // End instance 0 via a same-instance decide.
+        let progress = sm.on_msg(
+            Msg {
+                from: ProcessId(1),
+                kind: MsgKind::Decide {
+                    instance: 0,
+                    value: Bit::Zero,
+                },
+            },
+            &mut ctx,
+        );
+        assert!(matches!(progress, Progress::Decided(..)));
+        // Instance 1 adopts the mailbox and is short-circuited by the
+        // remembered decide before any message arrives.
+        let mut next = ConsensusSm::with_mailbox(
+            Algorithm::LocalCoin,
+            ProcessId(0),
+            topo,
+            1,
+            Bit::Zero,
+            ProtocolConfig::paper(),
+            sm.into_mailbox(),
+        );
+        let progress = next.start(&mut ctx);
+        let Progress::Decided(d, _) = progress else {
+            panic!("expected relayed decision, got {progress:?}");
+        };
+        assert_eq!(d.value, Bit::One);
+        assert!(d.relayed);
     }
 
     #[test]

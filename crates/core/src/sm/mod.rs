@@ -1,0 +1,462 @@
+//! Resumable state machines: the paper's algorithms without threads.
+//!
+//! The `Env`-trait algorithms ([`crate::ben_or_hybrid`],
+//! [`crate::common_coin_hybrid`], [`crate::multivalued_propose`],
+//! [`crate::run_replicated_log`]) are written in blocking pseudocode
+//! style: `recv` suspends the caller, so every process needs its own call
+//! stack — one OS thread per simulated process. That reference shape is
+//! faithful to the paper but caps simulations at a few thousand processes.
+//!
+//! This module is the same protocol stack turned inside out, one machine
+//! per layer:
+//!
+//! * [`ConsensusSm`] — one *binary* consensus instance (Algorithm 2 or 3);
+//! * [`MultivaluedSm`] — the multivalued reduction, driving the binary
+//!   stages of one instance through embedded [`ConsensusSm`]s;
+//! * [`LogSm`] — a replicated-log replica, chaining one [`MultivaluedSm`]
+//!   per log slot over a single shared mailbox.
+//!
+//! Every machine is a plain struct that consumes one delivered
+//! [`crate::Msg`] per step and reports `Poll`-style [`Progress`] — it
+//! never blocks, so a
+//! single-threaded engine can drive hundreds of thousands of processes
+//! straight off an event heap (see `ofa-sim`'s event-driven engine). The
+//! wait-free operations of the hybrid model — intra-cluster consensus and
+//! coins — stay synchronous, provided by the engine through [`SmCtx`];
+//! only message reception suspends a machine.
+//!
+//! The machines are **step-for-step equivalent** to the blocking
+//! algorithms: every environment interaction (send, receive, cluster
+//! propose, coin, observation) happens in the same order with the same
+//! arguments, so an engine that accounts steps and virtual time like the
+//! thread conductor reproduces the conductor's executions bit for bit
+//! (`tests/engine_equivalence.rs` asserts exactly that, trace hash
+//! included, across all three body kinds).
+//!
+//! # Anatomy of a step
+//!
+//! ```text
+//!        deliver Msg                 ┌────────────────────────────┐
+//!  ───────────────────▶  on_msg ───▶│ mailbox route → tally →    │
+//!                                   │ cluster consensus / coins  │──▶ Progress
+//!  engine pops event                │ (via SmCtx) → broadcasts   │    NeedMsg / Sent /
+//!                                   └────────────────────────────┘    Decided / Halted
+//! ```
+//!
+//! One delivery can carry a machine arbitrarily far — completing an
+//! exchange, pre-agreeing in the cluster, broadcasting the next phase,
+//! finishing a binary stage and opening the next one, even committing a
+//! log slot and starting the next instance — until it genuinely needs a
+//! fresh message (or terminates). Outgoing messages accumulate in the
+//! step's outbox and are returned inside the [`Progress`] value.
+
+mod consensus;
+mod log;
+mod multivalued;
+
+pub use consensus::ConsensusSm;
+pub use log::LogSm;
+pub use multivalued::{MultivaluedSm, MvProgress};
+
+use crate::pattern::est_index;
+use crate::{Bit, Decision, Est, Halt, MsgKind, ObsEvent, ProtocolConfig};
+use ofa_sharedmem::Slot;
+use ofa_topology::{Partition, ProcessId};
+
+/// The synchronous services a state machine needs while stepping: the
+/// wait-free operations of the hybrid model plus bookkeeping hooks.
+///
+/// This is [`crate::Env`] minus the blocking `recv` — message input is
+/// *pushed* via the machines' `on_msg` instead of pulled. Engines
+/// implement it once per process and are free to charge virtual time,
+/// count steps, record traces, and inject crashes by returning
+/// `Err(Halt)` from the fallible methods, exactly like an `Env`.
+pub trait SmCtx {
+    /// Hands one message to the network; returns the virtual send time
+    /// the engine assigns (0 where time is not modeled). The machine
+    /// records that timestamp in its outbox entry.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Halt)` if the process crashes at this step; like the paper's
+    /// non-reliable broadcast, any prefix already sent stays sent.
+    fn send(&mut self, to: ProcessId, msg: MsgKind) -> Result<u64, Halt>;
+
+    /// Charged when the machine is about to suspend for a message — the
+    /// equivalent of entering the blocking `recv` call.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Halt)` if the process crashes at this step.
+    fn begin_recv(&mut self) -> Result<(), Halt>;
+
+    /// Proposes to the cluster's consensus object (wait-free).
+    ///
+    /// # Errors
+    ///
+    /// `Err(Halt)` if the process crashes at this step.
+    fn cluster_propose(&mut self, slot: Slot, enc: u64) -> Result<u64, Halt>;
+
+    /// Draws this process's local coin.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Halt)` if the process crashes at this step.
+    fn local_coin(&mut self) -> Result<Bit, Halt>;
+
+    /// Reads the common coin at `index`.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Halt)` if the process crashes at this step.
+    fn common_coin(&mut self, index: u64) -> Result<Bit, Halt>;
+
+    /// Reports a protocol-level event (tracing, invariants). Default:
+    /// ignored.
+    fn observe(&mut self, _event: ObsEvent) {}
+
+    /// Notes one invocation of the `broadcast` macro-operation (the sends
+    /// themselves still go through [`SmCtx::send`]). Default: ignored.
+    fn note_broadcast(&mut self) {}
+}
+
+/// One outgoing message produced by a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outgoing {
+    /// Destination process.
+    pub to: ProcessId,
+    /// Payload.
+    pub msg: MsgKind,
+    /// Virtual send time reported by [`SmCtx::send`].
+    pub sent_at: u64,
+}
+
+/// An outbox entry: a single send, or a whole uniform broadcast.
+///
+/// A broadcast whose sends all carry the same timestamp (the engine
+/// charges no per-send cost) collapses into one [`OutItem::Broadcast`]
+/// entry, letting schedulers enqueue it as a single event instead of `n`
+/// — the difference between O(n²) and O(n) heap residency per round at
+/// cluster scale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutItem {
+    /// One point-to-point send.
+    One(Outgoing),
+    /// `msg` sent to every process `p_0 … p_{n-1}` in index order, all at
+    /// the same virtual send time.
+    Broadcast {
+        /// Payload (identical for every destination).
+        msg: MsgKind,
+        /// Virtual send time shared by all destinations.
+        sent_at: u64,
+    },
+}
+
+/// The sends produced by one step, in send order.
+pub type Outbox = Vec<OutItem>;
+
+/// `Poll`-style progress reported by every step of a machine.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Progress {
+    /// The machine is suspended waiting for the next delivered message;
+    /// this step produced no sends.
+    NeedMsg,
+    /// The machine produced sends (drain them into the network) and is
+    /// again suspended waiting for the next delivered message.
+    Sent(Outbox),
+    /// Terminal: the machine decided. Any final broadcasts are in the
+    /// outbox. The machine must not be stepped again.
+    Decided(Decision, Outbox),
+    /// Terminal: the machine halted without deciding (crash or stop).
+    /// Sends already performed before the halt are in the outbox — a
+    /// crash mid-broadcast delivers to an arbitrary prefix, like the
+    /// paper's non-reliable broadcast macro-operation.
+    Halted(Halt, Outbox),
+}
+
+impl Progress {
+    /// `true` for the terminal variants.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, Progress::Decided(..) | Progress::Halted(..))
+    }
+}
+
+/// The `broadcast(msg)` macro-operation shared by all machines: send to
+/// every process (including self) in index order into `outbox`,
+/// collapsing into one [`OutItem::Broadcast`] when all sends share a
+/// timestamp. Counts one broadcast via [`SmCtx::note_broadcast`].
+pub(crate) fn broadcast_into<C: SmCtx + ?Sized>(
+    outbox: &mut Outbox,
+    n: usize,
+    msg: MsgKind,
+    ctx: &mut C,
+) -> Result<(), Halt> {
+    ctx.note_broadcast();
+    let start = outbox.len();
+    let mut uniform = true;
+    let mut first_at = 0;
+    for j in 0..n {
+        let sent_at = ctx.send(ProcessId(j), msg)?;
+        if j == 0 {
+            first_at = sent_at;
+        } else if sent_at != first_at {
+            uniform = false;
+        }
+        outbox.push(OutItem::One(Outgoing {
+            to: ProcessId(j),
+            msg,
+            sent_at,
+        }));
+    }
+    if uniform && n > 1 {
+        outbox.truncate(start);
+        outbox.push(OutItem::Broadcast {
+            msg,
+            sent_at: first_at,
+        });
+    }
+    Ok(())
+}
+
+/// Immutable per-run topology shared by all machines of one execution:
+/// the partition plus precomputed cluster sizes, so a machine's
+/// per-message supporter accounting is O(1) instead of O(n/64).
+#[derive(Debug)]
+pub struct SmTopology {
+    partition: Partition,
+    cluster_sizes: Vec<usize>,
+}
+
+impl SmTopology {
+    /// Precomputes the shared topology of a run.
+    pub fn new(partition: Partition) -> Self {
+        let cluster_sizes = partition.sizes();
+        SmTopology {
+            partition,
+            cluster_sizes,
+        }
+    }
+
+    /// The underlying partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    pub(crate) fn n(&self) -> usize {
+        self.partition.n()
+    }
+
+    /// The credit unit a sender maps to: its cluster index under "one for
+    /// all" amplification, its own index otherwise.
+    fn unit_of(&self, from: ProcessId, amplify: bool) -> (usize, usize) {
+        if amplify {
+            let x = self.partition.cluster_of(from).index();
+            (x, self.cluster_sizes[x])
+        } else {
+            (from.index(), 1)
+        }
+    }
+
+    fn units(&self, amplify: bool) -> usize {
+        if amplify {
+            self.partition.m()
+        } else {
+            self.partition.n()
+        }
+    }
+}
+
+/// A set over credit units (clusters or single processes) with an
+/// incrementally maintained total weight.
+#[derive(Debug, Clone, Default)]
+struct UnitSet {
+    words: Vec<u64>,
+    weight: usize,
+}
+
+impl UnitSet {
+    fn with_units(units: usize) -> Self {
+        UnitSet {
+            words: vec![0; units.div_ceil(64)],
+            weight: 0,
+        }
+    }
+
+    /// Inserts `unit` with `weight`; no-op if already present.
+    fn credit(&mut self, unit: usize, weight: usize) {
+        let (w, b) = (unit / 64, unit % 64);
+        if self.words[w] & (1 << b) == 0 {
+            self.words[w] |= 1 << b;
+            self.weight += weight;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.words.fill(0);
+        self.weight = 0;
+    }
+}
+
+/// Incremental supporter accounting for one `msg_exchange` invocation —
+/// semantically identical to [`crate::Supporters`] (same majority, `rec`,
+/// and coverage answers on the same credit sequence) but O(1) per
+/// message: because every process belongs to exactly one cluster, each
+/// per-value supporter set is a disjoint union of whole credit units, so
+/// set cardinalities reduce to weight counters.
+#[derive(Debug)]
+pub(crate) struct Tally {
+    n: usize,
+    /// Supporter weights for `0`, `1`, `⊥` (indexed by `est_index`).
+    sets: [UnitSet; 3],
+    /// Union of all supporter sets.
+    cover: UnitSet,
+}
+
+impl Tally {
+    pub(crate) fn new(n: usize, units: usize) -> Self {
+        Tally {
+            n,
+            sets: [
+                UnitSet::with_units(units),
+                UnitSet::with_units(units),
+                UnitSet::with_units(units),
+            ],
+            cover: UnitSet::with_units(units),
+        }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.cover.clear();
+    }
+
+    /// Credits `unit` (with `weight` processes) as a supporter of `est`.
+    pub(crate) fn credit(&mut self, est: Est, unit: usize, weight: usize) {
+        self.sets[est_index(est)].credit(unit, weight);
+        self.cover.credit(unit, weight);
+    }
+
+    /// Line 7 of Algorithm 1: supporters jointly cover a strict majority.
+    pub(crate) fn coverage_is_majority(&self) -> bool {
+        2 * self.cover.weight > self.n
+    }
+
+    /// Line 6 of Algorithm 2: the value supported by a strict majority.
+    pub(crate) fn majority_value(&self) -> Option<Bit> {
+        Bit::ALL
+            .into_iter()
+            .find(|&b| 2 * self.sets[est_index(Some(b))].weight > self.n)
+    }
+
+    /// The paper's `rec_i` as `(saw_zero, saw_one, saw_bot)`.
+    pub(crate) fn rec(&self) -> crate::RecSet {
+        crate::RecSet {
+            saw_zero: self.sets[est_index(Some(Bit::Zero))].weight > 0,
+            saw_one: self.sets[est_index(Some(Bit::One))].weight > 0,
+            saw_bot: self.sets[est_index(None)].weight > 0,
+        }
+    }
+}
+
+/// An [`SmCtx`] that models nothing: sends cost no time, the cluster
+/// object echoes the proposal, coins are constant 0. Useful for doc
+/// examples and tests of machines whose behavior does not depend on the
+/// services (e.g. single-process universes).
+#[derive(Debug, Default)]
+pub struct NullCtx;
+
+impl SmCtx for NullCtx {
+    fn send(&mut self, _to: ProcessId, _msg: MsgKind) -> Result<u64, Halt> {
+        Ok(0)
+    }
+    fn begin_recv(&mut self) -> Result<(), Halt> {
+        Ok(())
+    }
+    fn cluster_propose(&mut self, _slot: Slot, enc: u64) -> Result<u64, Halt> {
+        Ok(enc)
+    }
+    fn local_coin(&mut self) -> Result<Bit, Halt> {
+        Ok(Bit::Zero)
+    }
+    fn common_coin(&mut self, _index: u64) -> Result<Bit, Halt> {
+        Ok(Bit::Zero)
+    }
+}
+
+/// The stage/round budget every machine applies (kept here so the
+/// constructor signatures stay small).
+pub(crate) fn over_budget(cfg: &ProtocolConfig, round: u64) -> bool {
+    matches!(cfg.max_rounds, Some(max) if round > max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_matches_supporters_semantics() {
+        use crate::{RecClass, Supporters};
+        use ofa_topology::ProcessSet;
+        // Fig 1 right: {p1} {p2..p5} {p6,p7} — compare the incremental
+        // tally against the reference Supporters on the same credits.
+        let part = Partition::fig1_right();
+        let topo = SmTopology::new(part.clone());
+        let n = part.n();
+        let mut tally = Tally::new(n, topo.units(true));
+        let mut sup = Supporters::empty(n);
+        let credits: [(usize, Est); 4] = [
+            (1, Some(Bit::One)),  // p2 → cluster {p2..p5}
+            (4, Some(Bit::One)),  // p5 → same cluster (dedup)
+            (0, None),            // p1 → singleton
+            (5, Some(Bit::Zero)), // p6 → {p6,p7}
+        ];
+        for (from, est) in credits {
+            let from = ProcessId(from);
+            let (unit, weight) = topo.unit_of(from, true);
+            tally.credit(est, unit, weight);
+            sup.credit(est, part.cluster_members_of(from));
+            assert_eq!(
+                tally.coverage_is_majority(),
+                sup.coverage().is_majority_of(n)
+            );
+            assert_eq!(tally.majority_value(), sup.majority_value());
+            assert_eq!(tally.rec(), sup.rec());
+        }
+        assert_eq!(tally.rec().classify(), RecClass::Conflict);
+        // Reset empties everything.
+        tally.reset();
+        assert!(!tally.coverage_is_majority());
+        assert_eq!(tally.rec(), Supporters::empty(n).rec());
+        // Non-amplified: units are processes.
+        let mut tally = Tally::new(n, topo.units(false));
+        let mut sup = Supporters::empty(n);
+        for (from, est) in credits {
+            let from = ProcessId(from);
+            let (unit, weight) = topo.unit_of(from, false);
+            tally.credit(est, unit, weight);
+            sup.credit(est, &ProcessSet::singleton(n, from));
+            assert_eq!(tally.majority_value(), sup.majority_value());
+            assert_eq!(
+                tally.coverage_is_majority(),
+                sup.coverage().is_majority_of(n)
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_into_collapses_uniform_sends() {
+        let mut outbox = Outbox::new();
+        let msg = MsgKind::Decide {
+            instance: 0,
+            value: Bit::One,
+        };
+        broadcast_into(&mut outbox, 3, msg, &mut NullCtx).unwrap();
+        assert_eq!(outbox, vec![OutItem::Broadcast { msg, sent_at: 0 }]);
+        // A single-destination universe keeps the point-to-point form.
+        let mut outbox = Outbox::new();
+        broadcast_into(&mut outbox, 1, msg, &mut NullCtx).unwrap();
+        assert!(matches!(outbox[0], OutItem::One(_)));
+    }
+}

@@ -1,0 +1,472 @@
+//! [`MultivaluedSm`]: the multivalued reduction as a resumable machine.
+
+use super::{broadcast_into, ConsensusSm, Outbox, Progress, SmCtx, SmTopology};
+use crate::multivalued::{stage_budget, MvDecision, ProposalStore, INSTANCE_STRIDE};
+use crate::{Algorithm, Bit, Halt, Mailbox, Msg, MsgKind, ObsEvent, Payload, ProtocolConfig};
+use ofa_topology::ProcessId;
+use std::sync::Arc;
+
+/// `Poll`-style progress of a [`MultivaluedSm`] — like [`Progress`] but
+/// terminal decisions carry the full [`MvDecision`] (payload, proposer,
+/// stages), which log layers need; binary-body adapters convert via
+/// [`crate::mv_body_decision`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum MvProgress {
+    /// Suspended waiting for the next delivered message; no sends.
+    NeedMsg,
+    /// Sends produced; suspended again.
+    Sent(Outbox),
+    /// Terminal: the multivalued instance decided.
+    Decided(MvDecision, Outbox),
+    /// Terminal: halted without deciding (crash or stop).
+    Halted(Halt, Outbox),
+}
+
+impl MvProgress {
+    /// `true` for the terminal variants.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, MvProgress::Decided(..) | MvProgress::Halted(..))
+    }
+}
+
+/// What the machine is doing while suspended. The stage machine is
+/// boxed: one `MultivaluedSm` per process at `n` in the thousands makes
+/// the inline-variant size difference a real memory cost.
+#[derive(Debug)]
+enum MvState {
+    /// A binary stage machine is running (it owns the shared mailbox).
+    Stage(Box<ConsensusSm>),
+    /// A stage decided 1 but `p_k`'s proposal has not arrived yet:
+    /// pumping the mailbox (owned here again) until it shows up.
+    AwaitProposal(Mailbox, ProcessId),
+    /// Terminal: the machine finished and owns the mailbox for handoff.
+    Finished(Mailbox),
+}
+
+/// One multivalued consensus instance as a resumable state machine —
+/// the exact event-driven twin of [`crate::multivalued_propose`]: the
+/// same dissemination broadcast, the same stage loop over embedded
+/// binary instances (as [`ConsensusSm`]s sharing one [`Mailbox`]), the
+/// same relay-on-first-use, in the same environment-interaction order,
+/// so both engines produce bit-identical traces.
+///
+/// Lifecycle mirrors [`ConsensusSm`]: [`MultivaluedSm::start`] once, then
+/// [`MultivaluedSm::on_msg`] per delivered message until a terminal
+/// [`MvProgress`]. Replicated logs chain instances with
+/// [`MultivaluedSm::with_mailbox`] / [`MultivaluedSm::into_mailbox`].
+#[derive(Debug)]
+pub struct MultivaluedSm {
+    algorithm: Algorithm,
+    me: ProcessId,
+    topo: Arc<SmTopology>,
+    cfg: ProtocolConfig,
+    mv_index: u64,
+    base: u64,
+    budget: Option<u64>,
+    store: ProposalStore,
+    stage: u64,
+    state: MvState,
+    outbox: Outbox,
+    done: bool,
+}
+
+/// Where the stage driver goes after a binary stage reports progress.
+enum Drive {
+    /// Suspend (possibly with sends) — the stage machine waits.
+    Suspend,
+    /// The stage decided 0: open the next stage.
+    NextStage,
+    /// Terminal multivalued progress.
+    Terminal(MvProgress),
+}
+
+impl MultivaluedSm {
+    /// Creates a machine for `me` proposing `proposal` in multivalued
+    /// instance `mv_index`, with a fresh mailbox.
+    pub fn new(
+        algorithm: Algorithm,
+        me: ProcessId,
+        topo: Arc<SmTopology>,
+        mv_index: u64,
+        proposal: Payload,
+        cfg: ProtocolConfig,
+    ) -> Self {
+        Self::with_mailbox(algorithm, me, topo, mv_index, proposal, cfg, Mailbox::new())
+    }
+
+    /// Like [`MultivaluedSm::new`] but adopting an existing [`Mailbox`]
+    /// (the shared-mailbox contract of the blocking reduction: instances
+    /// run in increasing `mv_index` order over one mailbox).
+    pub fn with_mailbox(
+        algorithm: Algorithm,
+        me: ProcessId,
+        topo: Arc<SmTopology>,
+        mv_index: u64,
+        proposal: Payload,
+        cfg: ProtocolConfig,
+        mailbox: Mailbox,
+    ) -> Self {
+        let n = topo.n();
+        let base = mv_index * INSTANCE_STRIDE;
+        let budget = stage_budget(&cfg, n);
+        MultivaluedSm {
+            algorithm,
+            me,
+            topo,
+            cfg,
+            mv_index,
+            base,
+            budget,
+            store: ProposalStore::new(n, base, me, proposal),
+            stage: 0,
+            state: MvState::Finished(mailbox),
+            outbox: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Releases the mailbox (with everything still buffered for future
+    /// instances) so the next instance of a log can adopt it. Call after
+    /// a terminal [`MvProgress`].
+    pub fn into_mailbox(self) -> Mailbox {
+        match self.state {
+            MvState::Finished(mb) | MvState::AwaitProposal(mb, _) => mb,
+            MvState::Stage(sm) => sm.into_mailbox(),
+        }
+    }
+
+    /// `true` once a terminal [`MvProgress`] has been returned.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// This machine's process identity.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Runs the machine up to its first suspension: broadcasts the `APP`
+    /// dissemination and opens stage 1. Call exactly once.
+    pub fn start<C: SmCtx + ?Sized>(&mut self, ctx: &mut C) -> MvProgress {
+        assert!(
+            self.stage == 0 && !self.done,
+            "start() must be the first step"
+        );
+        if let Err(h) = broadcast_into(
+            &mut self.outbox,
+            self.topo.n(),
+            MsgKind::App {
+                instance: self.base,
+                seq: self.me.index() as u64,
+                payload: self.store.payload_of(self.me),
+            },
+            ctx,
+        ) {
+            return self.finish_halt(h);
+        }
+        let first = match self.open_next_stage(ctx) {
+            Ok(p) => p,
+            Err(terminal) => return terminal,
+        };
+        self.drive(first, ctx)
+    }
+
+    /// Consumes one delivered message and advances as far as possible —
+    /// through the current binary stage, across stage boundaries, into
+    /// the proposal wait, up to the decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after a terminal `MvProgress`.
+    pub fn on_msg<C: SmCtx + ?Sized>(&mut self, msg: Msg, ctx: &mut C) -> MvProgress {
+        assert!(!self.done, "on_msg() on a finished machine");
+        match &mut self.state {
+            MvState::Stage(sm) => {
+                let progress = sm.on_msg(msg, ctx);
+                self.drive(progress, ctx)
+            }
+            MvState::AwaitProposal(mailbox, k) => {
+                // The blocking wait loop: pump (routing only — the recv
+                // entry step was charged when the wait began), absorb,
+                // re-check, and either decide or re-enter recv.
+                let k = *k;
+                mailbox.buffer(msg);
+                self.store.absorb(mailbox);
+                if self.store.holds(k) {
+                    return self.finish_decided(k, ctx);
+                }
+                if let Err(h) = ctx.begin_recv() {
+                    return self.finish_halt(h);
+                }
+                self.suspend()
+            }
+            MvState::Finished(_) => unreachable!("on_msg() on a finished machine"),
+        }
+    }
+
+    /// Ends the machine externally (crash event or run shutdown) — the
+    /// blocking `recv` returning `Err(halt)` wherever it was waiting.
+    pub fn halt<C: SmCtx + ?Sized>(&mut self, halt: Halt, ctx: &mut C) -> MvProgress {
+        assert!(!self.done, "halt() on a finished machine");
+        if let MvState::Stage(sm) = &mut self.state {
+            // The active binary instance emits its mailbox report, like
+            // the blocking instance does when the halt propagates out.
+            match sm.halt(halt, ctx) {
+                Progress::Halted(h, out) => {
+                    self.outbox.extend(out);
+                    return self.finish_halt(h);
+                }
+                other => unreachable!("halt() is terminal, got {other:?}"),
+            }
+        }
+        self.finish_halt(halt)
+    }
+
+    /// Runs binary-stage progress through the stage loop until the
+    /// machine suspends or terminates — the state-machine form of the
+    /// blocking reduction's `loop { …; binary_instance(…)?; … }`.
+    fn drive<C: SmCtx + ?Sized>(&mut self, mut progress: Progress, ctx: &mut C) -> MvProgress {
+        loop {
+            match self.step_stage(progress, ctx) {
+                Drive::Suspend => return self.suspend(),
+                Drive::Terminal(p) => return p,
+                Drive::NextStage => match self.open_next_stage(ctx) {
+                    Ok(p) => progress = p,
+                    Err(terminal) => return terminal,
+                },
+            }
+        }
+    }
+
+    /// Routes one binary stage [`Progress`] report.
+    fn step_stage<C: SmCtx + ?Sized>(&mut self, progress: Progress, ctx: &mut C) -> Drive {
+        match progress {
+            Progress::NeedMsg => Drive::Suspend,
+            Progress::Sent(out) => {
+                self.outbox.extend(out);
+                Drive::Suspend
+            }
+            Progress::Halted(h, out) => {
+                self.outbox.extend(out);
+                Drive::Terminal(self.finish_halt(h))
+            }
+            Progress::Decided(d, out) => {
+                self.outbox.extend(out);
+                // Reclaim the shared mailbox from the finished stage.
+                let MvState::Stage(sm) =
+                    std::mem::replace(&mut self.state, MvState::Finished(Mailbox::new()))
+                else {
+                    unreachable!("a stage progress implies a running stage")
+                };
+                let mut mailbox = sm.into_mailbox();
+                if d.value == Bit::One {
+                    let k = self.proposer();
+                    // Absorb before the first check (the relay may
+                    // already be in the stash), like the blocking wait
+                    // loop.
+                    self.store.absorb(&mut mailbox);
+                    self.state = MvState::Finished(mailbox);
+                    if self.store.holds(k) {
+                        return Drive::Terminal(self.finish_decided(k, ctx));
+                    }
+                    // Enter the wait loop: charge the pump's recv entry.
+                    if let Err(h) = ctx.begin_recv() {
+                        return Drive::Terminal(self.finish_halt(h));
+                    }
+                    let MvState::Finished(mailbox) =
+                        std::mem::replace(&mut self.state, MvState::Finished(Mailbox::new()))
+                    else {
+                        unreachable!()
+                    };
+                    self.state = MvState::AwaitProposal(mailbox, k);
+                    Drive::Suspend
+                } else {
+                    self.state = MvState::Finished(mailbox);
+                    Drive::NextStage
+                }
+            }
+        }
+    }
+
+    /// Opens the next binary stage: budget check, absorb, vote, relay on
+    /// first use, construct and start the stage machine. Returns the
+    /// stage's first [`Progress`], or the terminal [`MvProgress`] if the
+    /// budget ran out / the relay crashed.
+    fn open_next_stage<C: SmCtx + ?Sized>(&mut self, ctx: &mut C) -> Result<Progress, MvProgress> {
+        self.stage += 1;
+        if let Some(max) = self.budget {
+            if self.stage > max {
+                return Err(self.finish_halt(Halt::Stopped));
+            }
+        }
+        let MvState::Finished(mailbox) =
+            std::mem::replace(&mut self.state, MvState::Finished(Mailbox::new()))
+        else {
+            unreachable!("the stage loop owns the mailbox between stages")
+        };
+        let mut mailbox = mailbox;
+        self.store.absorb(&mut mailbox);
+        let k = self.proposer();
+        let vote = Bit::from(self.store.holds(k));
+        if let Some(relay) = self.store.relay_due(k) {
+            if let Err(h) = broadcast_into(&mut self.outbox, self.topo.n(), relay, ctx) {
+                self.state = MvState::Finished(mailbox);
+                return Err(self.finish_halt(h));
+            }
+        }
+        let mut sm = Box::new(ConsensusSm::with_mailbox(
+            self.algorithm,
+            self.me,
+            Arc::clone(&self.topo),
+            self.base + self.stage,
+            vote,
+            self.cfg,
+            mailbox,
+        ));
+        let progress = sm.start(ctx);
+        self.state = MvState::Stage(sm);
+        Ok(progress)
+    }
+
+    /// The stage's proposer `p_k`, `k = (stage - 1) mod n`.
+    fn proposer(&self) -> ProcessId {
+        ProcessId(((self.stage - 1) as usize) % self.topo.n())
+    }
+
+    fn suspend(&mut self) -> MvProgress {
+        if self.outbox.is_empty() {
+            MvProgress::NeedMsg
+        } else {
+            MvProgress::Sent(std::mem::take(&mut self.outbox))
+        }
+    }
+
+    fn finish_decided<C: SmCtx + ?Sized>(&mut self, k: ProcessId, ctx: &mut C) -> MvProgress {
+        let mv = MvDecision {
+            payload: self.store.payload_of(k),
+            proposer: k,
+            stages: self.stage,
+        };
+        ctx.observe(ObsEvent::MvDecided {
+            mv_index: self.mv_index,
+            proposer: mv.proposer,
+            payload: mv.payload,
+            stages: mv.stages,
+        });
+        self.done = true;
+        MvProgress::Decided(mv, std::mem::take(&mut self.outbox))
+    }
+
+    fn finish_halt(&mut self, halt: Halt) -> MvProgress {
+        self.done = true;
+        MvProgress::Halted(halt, std::mem::take(&mut self.outbox))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::consensus::tests::TestCtx;
+    use super::*;
+    use ofa_topology::Partition;
+
+    fn payload(s: &str) -> Payload {
+        Payload::from_bytes(s.as_bytes()).expect("fits")
+    }
+
+    /// A solo machine decides its own proposal in one stage, feeding
+    /// itself its own broadcasts.
+    #[test]
+    fn solo_decides_own_proposal_in_stage_one() {
+        let topo = Arc::new(SmTopology::new(Partition::single_cluster(1)));
+        let mut sm = MultivaluedSm::new(
+            Algorithm::LocalCoin,
+            ProcessId(0),
+            topo,
+            0,
+            payload("solo-value"),
+            ProtocolConfig::paper(),
+        );
+        let mut ctx = TestCtx::new(Bit::Zero);
+        let mut queue: Vec<Msg> = Vec::new();
+        let absorb = |queue: &mut Vec<Msg>, outbox: Outbox| {
+            for item in outbox {
+                match item {
+                    super::super::OutItem::One(o) => queue.push(Msg {
+                        from: ProcessId(0),
+                        kind: o.msg,
+                    }),
+                    super::super::OutItem::Broadcast { msg, .. } => queue.push(Msg {
+                        from: ProcessId(0),
+                        kind: msg,
+                    }),
+                }
+            }
+        };
+        match sm.start(&mut ctx) {
+            MvProgress::Sent(out) => absorb(&mut queue, out),
+            other => panic!("expected sends, got {other:?}"),
+        }
+        loop {
+            assert!(!queue.is_empty(), "starved without deciding");
+            let msg = queue.remove(0);
+            match sm.on_msg(msg, &mut ctx) {
+                MvProgress::Sent(out) => absorb(&mut queue, out),
+                MvProgress::NeedMsg => {}
+                MvProgress::Decided(mv, _) => {
+                    assert_eq!(mv.payload, payload("solo-value"), "validity");
+                    assert_eq!(mv.proposer, ProcessId(0));
+                    assert_eq!(mv.stages, 1);
+                    break;
+                }
+                MvProgress::Halted(h, _) => panic!("{h}"),
+            }
+        }
+        assert!(sm.is_done());
+        // The decision was observed for log collectors.
+        assert!(ctx
+            .events
+            .iter()
+            .any(|e| matches!(e, ObsEvent::MvDecided { mv_index: 0, .. })));
+    }
+
+    #[test]
+    fn zero_budget_halts_before_any_stage() {
+        let topo = Arc::new(SmTopology::new(Partition::single_cluster(1)));
+        // max_rounds(0) still leaves the 4n stage floor, so drive the
+        // budget down via a 1-process partition: floor is 4. Instead use
+        // an external halt to check the pre-stage path.
+        let mut sm = MultivaluedSm::new(
+            Algorithm::LocalCoin,
+            ProcessId(0),
+            topo,
+            0,
+            payload("x"),
+            ProtocolConfig::paper().with_max_rounds(0),
+        );
+        let mut ctx = TestCtx::new(Bit::Zero);
+        // The binary stages inherit max_rounds(0) and stop immediately.
+        let progress = sm.start(&mut ctx);
+        assert!(
+            matches!(progress, MvProgress::Halted(Halt::Stopped, _)),
+            "got {progress:?}"
+        );
+    }
+
+    #[test]
+    fn external_halt_before_start_is_terminal() {
+        let topo = Arc::new(SmTopology::new(Partition::single_cluster(2)));
+        let mut sm = MultivaluedSm::new(
+            Algorithm::LocalCoin,
+            ProcessId(0),
+            topo,
+            0,
+            payload("y"),
+            ProtocolConfig::paper(),
+        );
+        let mut ctx = TestCtx::new(Bit::Zero);
+        assert!(matches!(sm.start(&mut ctx), MvProgress::Sent(_)));
+        let progress = sm.halt(Halt::Crashed, &mut ctx);
+        assert!(matches!(progress, MvProgress::Halted(Halt::Crashed, _)));
+        assert!(sm.is_done());
+    }
+}

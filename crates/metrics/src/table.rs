@@ -4,6 +4,7 @@
 //! asserted on by tests, printed by the `experiments` binary, and dumped to
 //! CSV for EXPERIMENTS.md.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Alignment of a rendered cell.
@@ -215,6 +216,33 @@ impl Table {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
         out
+    }
+}
+
+/// Tables serialize as `{title, columns, rows}` — the machine-readable
+/// form the `experiments --out <path>` flag writes, so CI can archive
+/// bench trajectories (`BENCH_*.json`) per run.
+impl Serialize for Table {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("title".to_string(), self.title.to_value()),
+            ("columns".to_string(), self.columns.to_value()),
+            ("rows".to_string(), self.rows.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Table {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::msg(format!("Table: missing field {name:?}")))
+        };
+        Ok(Table {
+            title: Deserialize::from_value(field("title")?)?,
+            columns: Deserialize::from_value(field("columns")?)?,
+            rows: Deserialize::from_value(field("rows")?)?,
+        })
     }
 }
 

@@ -171,10 +171,11 @@ impl Env for ThreadEnv {
 
     fn observe(&mut self, event: ObsEvent) {
         match event {
-            ObsEvent::RoundStart { instance, round } => {
+            ObsEvent::RoundStart { .. } => {
                 self.counters.inc_rounds_started(1);
+                // Cumulative across instances, like the simulator.
                 if let Some(r) = self.crash_at_round {
-                    if instance == 0 && round >= r {
+                    if self.counters.rounds_started() >= r {
                         self.crashed = true;
                     }
                 }

@@ -9,8 +9,11 @@
 //!   broadcast macro-operation.
 //! * [`CrashTrigger::AtTime`] — crash at a virtual time (scheduled as a
 //!   simulator event; fires even while the process is blocked).
-//! * [`CrashTrigger::AtRound`] — crash when the process *enters* round `r`,
-//!   for round-aligned failure patterns.
+//! * [`CrashTrigger::AtRound`] — crash when the process enters its
+//!   `r`-th protocol round, for round-aligned failure patterns. Rounds
+//!   are counted cumulatively across consensus instances, so the
+//!   trigger also fires inside multi-instance bodies (multivalued
+//!   stages, replicated-log slots).
 
 use crate::VirtualTime;
 use ofa_topology::{ProcessId, ProcessSet};
@@ -25,7 +28,8 @@ pub enum CrashTrigger {
     AtStep(u64),
     /// Crash at the given virtual time.
     AtTime(VirtualTime),
-    /// Crash upon entering the given round.
+    /// Crash upon entering the given round (cumulative across
+    /// instances: the `r`-th `RoundStart` the process observes).
     AtRound(u64),
 }
 
@@ -74,7 +78,8 @@ impl CrashPlan {
         self
     }
 
-    /// Crashes `p` when it enters round `r`.
+    /// Crashes `p` when it enters its `r`-th protocol round (counted
+    /// cumulatively across instances for multi-instance bodies).
     pub fn crash_at_round(mut self, p: ProcessId, r: u64) -> Self {
         self.triggers.insert(p, CrashTrigger::AtRound(r));
         self

@@ -52,7 +52,7 @@ mod time;
 mod trace;
 
 pub use backend::Backend;
-pub use body::{Body, ProcessBody};
+pub use body::{Body, MvWorkload, ProcessBody, SmrWorkload};
 pub use crash::{CrashPlan, CrashTrigger};
 pub use delay::{CostModel, DelayModel};
 pub use outcome::{BackendKind, Outcome};

@@ -1,6 +1,6 @@
 //! The unified result of running a [`crate::Scenario`] on any backend.
 
-use crate::{TimedEvent, VirtualTime};
+use crate::{Engine, TimedEvent, VirtualTime};
 use ofa_core::{Bit, Decision, Halt};
 use ofa_metrics::CounterSnapshot;
 use ofa_topology::{ProcessId, ProcessSet};
@@ -33,6 +33,12 @@ pub enum BackendKind {
 pub struct Outcome {
     /// Which backend produced this outcome.
     pub backend: BackendKind,
+    /// Which execution engine actually ran the processes, for backends
+    /// with an engine choice (`None` elsewhere). This is how the
+    /// otherwise-silent custom-body fallback from
+    /// [`Engine::EventDriven`] to [`Engine::Threads`] becomes observable
+    /// — assert on it instead of guessing.
+    pub engine_used: Option<Engine>,
     /// Per-process decision (`None` for crashed/stopped processes).
     pub decisions: Vec<Option<Decision>>,
     /// Per-process halt reason (`None` for deciders).
@@ -117,6 +123,7 @@ impl Outcome {
         let max_decision_round = rounds.iter().copied().max().unwrap_or(0);
         Outcome {
             backend,
+            engine_used: None,
             decisions,
             halts,
             crashed,
@@ -170,6 +177,7 @@ impl Serialize for Outcome {
     fn to_value(&self) -> serde::Value {
         serde::Value::Map(vec![
             ("backend".to_string(), self.backend.to_value()),
+            ("engine_used".to_string(), self.engine_used.to_value()),
             ("decisions".to_string(), self.decisions.to_value()),
             ("halts".to_string(), self.halts.to_value()),
             ("crashed".to_string(), self.crashed.to_value()),

@@ -113,26 +113,40 @@ impl Deserialize for CoinSpec {
 /// Both engines consume the same scheduler event stream and produce
 /// identical [`crate::Outcome`]s — decisions, agreement, decider sets,
 /// even trace hashes — for any declarative scenario
-/// (`tests/engine_equivalence.rs` asserts this on a seeded corpus). They
-/// differ only in *how* a process is represented:
+/// (`tests/engine_equivalence.rs` asserts this on a seeded corpus
+/// covering binary, multivalued, and replicated-log bodies). They differ
+/// only in *how* a process is represented:
 ///
 /// * [`Engine::Threads`] — the reference engine: each process runs the
 ///   blocking `Env`-trait algorithm on its own OS thread, with a
 ///   conductor baton serializing execution. Faithful to the paper's
 ///   pseudocode, but two context switches per burst cap it at a few
 ///   thousand processes.
-/// * [`Engine::EventDriven`] — each process is a resumable
-///   `ofa_core::sm::ConsensusSm` state machine stepped directly off the
-///   event heap on a single thread: no spawned threads, no baton, no
-///   channels. Scales to tens of thousands of processes (the `escale`
-///   experiment). Custom protocol bodies ([`crate::Body::Custom`]) are
-///   blocking code and silently fall back to [`Engine::Threads`].
+/// * [`Engine::EventDriven`] — the default: each process is a resumable
+///   `ofa_core::sm` state machine ([`ofa_core::sm::ConsensusSm`],
+///   [`ofa_core::sm::MultivaluedSm`], [`ofa_core::sm::LogSm`], matching
+///   the body) stepped directly off the event heap on a single thread:
+///   no spawned threads, no baton, no channels. Scales to tens of
+///   thousands of processes (the `escale` / `smrscale` experiments).
+///   Custom protocol bodies ([`crate::Body::Custom`]) are blocking code
+///   and fall back to [`Engine::Threads`] —
+///   [`crate::Outcome::engine_used`] records which engine actually ran.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Engine {
     /// One OS thread per process + conductor baton (the reference).
     Threads,
-    /// Single-threaded resumable-state-machine engine.
+    /// Single-threaded resumable-state-machine engine (the default).
     EventDriven,
+}
+
+impl Default for Engine {
+    /// The scalable engine: since the bit-for-bit equivalence corpus
+    /// covers every declarative body, new scenarios default to it. Pin
+    /// [`Engine::Threads`] (CLI: `--engine threads`) to run the
+    /// conductor reference instead.
+    fn default() -> Self {
+        Engine::EventDriven
+    }
 }
 
 /// A complete, backend-agnostic description of one consensus execution:
@@ -205,7 +219,8 @@ impl Scenario {
     /// Starts a scenario for `partition` running `algorithm` with the
     /// paper's configuration, alternating proposals (`0, 1, 0, 1, …`),
     /// seed 0, default delays/costs, no crashes, the seeded fair coin, a
-    /// round budget of 512, and a 10-second wall-clock budget.
+    /// round budget of 512, a 10-second wall-clock budget, and the
+    /// default ([`Engine::EventDriven`]) execution engine.
     pub fn new(partition: Partition, algorithm: Algorithm) -> Self {
         let n = partition.n();
         Scenario {
@@ -221,15 +236,46 @@ impl Scenario {
             keep_trace: false,
             max_events: 5_000_000,
             timeout_ms: 10_000,
-            engine: Engine::Threads,
+            engine: Engine::default(),
             observer: None,
         }
     }
 
     /// Replaces the algorithm with a custom protocol body (e.g. the m&m
-    /// comparator of `ofa-mm` or an SMR replica of `ofa-smr`).
+    /// comparator of `ofa-mm`). Custom bodies are blocking code: on
+    /// virtual-time backends they always run on the thread conductor
+    /// regardless of the [`Scenario::engine`] knob (see
+    /// [`crate::Outcome::engine_used`]).
     pub fn custom_body(mut self, body: Arc<dyn ProcessBody>) -> Self {
         self.body = Body::Custom(body);
+        self
+    }
+
+    /// Replaces the body with a serializable multivalued-consensus
+    /// workload: process `i` proposes `proposals[i]`, reduced to this
+    /// scenario's binary `algorithm`.
+    pub fn multivalued(mut self, algorithm: Algorithm, proposals: Vec<ofa_core::Payload>) -> Self {
+        self.body = Body::Multivalued(crate::MvWorkload {
+            algorithm,
+            proposals,
+        });
+        self
+    }
+
+    /// Replaces the body with a serializable replicated-log workload:
+    /// `slots` multivalued instances, process `i` proposing from
+    /// `queues[i]` (cycled).
+    pub fn replicated_log(
+        mut self,
+        algorithm: Algorithm,
+        slots: u64,
+        queues: Vec<Vec<ofa_core::Payload>>,
+    ) -> Self {
+        self.body = Body::ReplicatedLog(crate::SmrWorkload {
+            algorithm,
+            slots,
+            queues,
+        });
         self
     }
 
@@ -375,6 +421,21 @@ impl Scenario {
             "need one proposal per process (got {} for n={n})",
             self.proposals.len()
         );
+        match &self.body {
+            Body::Multivalued(mv) => assert_eq!(
+                mv.proposals.len(),
+                n,
+                "need one multivalued proposal per process (got {} for n={n})",
+                mv.proposals.len()
+            ),
+            Body::ReplicatedLog(smr) => assert_eq!(
+                smr.queues.len(),
+                n,
+                "need one command queue per process (got {} for n={n})",
+                smr.queues.len()
+            ),
+            Body::Algo(_) | Body::Custom(_) => {}
+        }
         for (p, trigger) in self.crashes.iter() {
             assert!(
                 p.index() < n,
@@ -453,7 +514,10 @@ impl Deserialize for Scenario {
             keep_trace: Deserialize::from_value(field("keep_trace")?)?,
             max_events: Deserialize::from_value(field("max_events")?)?,
             timeout_ms: Deserialize::from_value(field("timeout_ms")?)?,
-            // Absent in scenarios stored before the knob existed.
+            // Absent in scenarios stored before the knob existed — those
+            // corpora ran on the conductor, so replay them there (the
+            // engines are equivalent, but fidelity-by-construction is
+            // free here).
             engine: match v.get("engine") {
                 Some(e) => Deserialize::from_value(e)?,
                 None => Engine::Threads,
@@ -476,7 +540,7 @@ mod tests {
         assert_eq!(sc.seed, 0);
         assert!(sc.crashes.is_empty());
         assert_eq!(sc.timeout_duration(), Duration::from_secs(10));
-        assert_eq!(sc.engine, Engine::Threads, "reference engine by default");
+        assert_eq!(sc.engine, Engine::EventDriven, "scalable engine by default");
         sc.assert_valid();
     }
 

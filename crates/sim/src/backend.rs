@@ -3,7 +3,7 @@
 
 use crate::conductor::{conduct, RunSpec, TimedScheduler};
 use crate::engine::conduct_event_driven;
-use ofa_scenario::{Backend, BackendKind, Body, Engine, Outcome, Scenario, VirtualTime};
+use ofa_scenario::{Backend, BackendKind, Engine, Outcome, Scenario, VirtualTime};
 use std::time::Instant;
 
 /// The deterministic discrete-event backend.
@@ -66,10 +66,10 @@ pub(crate) fn run_scenario(scenario: &Scenario) -> Outcome {
         keep_trace: scenario.keep_trace,
         max_events: scenario.max_events,
     };
-    // Custom bodies are blocking code and need the thread conductor; the
-    // built-in algorithms run on whichever engine the scenario selects.
-    let event_driven =
-        scenario.engine == Engine::EventDriven && matches!(scenario.body, Body::Algo(_));
+    // Custom bodies are blocking code and need the thread conductor;
+    // every declarative body (binary algorithms, multivalued workloads,
+    // replicated logs) runs on whichever engine the scenario selects.
+    let event_driven = scenario.engine == Engine::EventDriven && scenario.body.has_state_machine();
     let raw = if event_driven {
         conduct_event_driven(spec, &mut scheduler)
     } else {
@@ -91,6 +91,13 @@ pub(crate) fn run_scenario(scenario: &Scenario) -> Outcome {
         raw.sm_objects,
         raw.sm_proposes,
     );
+    // Record which engine actually ran — the custom-body fallback to the
+    // conductor is observable here, not silent.
+    out.engine_used = Some(if event_driven {
+        Engine::EventDriven
+    } else {
+        Engine::Threads
+    });
     out.latest_decision_time = VirtualTime::from_ticks(latest_decision_ticks);
     out.end_time = VirtualTime::from_ticks(raw.end_time);
     out.events_processed = raw.events_processed;
@@ -276,7 +283,8 @@ mod tests {
         use ofa_scenario::ProcessBody;
 
         // A custom body is blocking code, so an EventDriven request must
-        // silently run it on the conductor — same outcome either way.
+        // run it on the conductor — same outcome either way, and the
+        // fallback is recorded in `engine_used` rather than guessed.
         struct Delegate;
         impl ProcessBody for Delegate {
             fn run(
@@ -292,10 +300,20 @@ mod tests {
             .proposals_split(3)
             .seed(5);
         let direct = Sim.run(&base.clone().engine(ofa_scenario::Engine::EventDriven));
+        assert_eq!(
+            direct.engine_used,
+            Some(ofa_scenario::Engine::EventDriven),
+            "declarative bodies run on the requested engine"
+        );
         let custom = Sim.run(
             &base
                 .custom_body(Arc::new(Delegate))
                 .engine(ofa_scenario::Engine::EventDriven),
+        );
+        assert_eq!(
+            custom.engine_used,
+            Some(ofa_scenario::Engine::Threads),
+            "custom bodies fall back to the conductor, observably"
         );
         assert_eq!(direct.trace_hash, custom.trace_hash);
         assert_eq!(direct.decisions, custom.decisions);

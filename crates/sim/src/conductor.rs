@@ -437,15 +437,17 @@ impl Env for SimEnv {
 
     fn observe(&mut self, event: ObsEvent) {
         match event {
-            ObsEvent::RoundStart { instance, round } => {
+            ObsEvent::RoundStart { round, .. } => {
                 self.counters().inc_rounds_started(1);
                 self.trace(TraceEvent::RoundStart {
                     who: self.me,
                     round,
                 });
-                // Round-indexed crashes refer to instance-0 rounds.
+                // Round-indexed crashes count rounds cumulatively across
+                // instances (multivalued stages, log slots), so they
+                // fire inside multi-instance bodies too.
                 if let Some(CrashTrigger::AtRound(r)) = self.shared.crash_plan.trigger(self.me) {
-                    if instance == 0 && round >= r {
+                    if self.counters().rounds_started() >= r {
                         self.crashed_self = true;
                     }
                 }

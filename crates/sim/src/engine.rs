@@ -4,25 +4,33 @@
 //! algorithms by giving every simulated process its own OS thread and
 //! serializing them with a rendezvous baton — two context switches per
 //! burst, a few thousand processes at most. This engine replaces the
-//! thread per process with an `ofa_core::sm::ConsensusSm` state machine
-//! and dispatches steps straight off the scheduler heap on a single
-//! thread: no spawned threads, no baton, no channels.
+//! thread per process with an `ofa_core::sm` state machine — a
+//! [`ConsensusSm`] for binary bodies, a [`MultivaluedSm`] for
+//! multivalued workloads, a [`LogSm`] for replicated logs — and
+//! dispatches steps straight off the scheduler heap on a single thread:
+//! no spawned threads, no baton, no channels.
 //!
 //! It is **observationally identical** to the conductor: the per-process
 //! [`EventCtx`] charges the same steps and virtual-time costs in the same
 //! order as the conductor's `SimEnv`, and the machines mirror the
 //! blocking algorithms operation for operation, so the same scenario
 //! produces the same decisions, counters, event counts — and the same
-//! trace hash, bit for bit (`tests/engine_equivalence.rs`). What changes
-//! is the constant factor and the ceiling: a burst is a function call,
-//! and with a constant-delay model whole broadcasts stay single heap
-//! entries, so `n = 10 000`-process executions finish in seconds on one
-//! core (the `escale` experiment).
+//! trace hash, bit for bit (`tests/engine_equivalence.rs`, across all
+//! three declarative body kinds). What changes is the constant factor and
+//! the ceiling: a burst is a function call, and with a constant-delay
+//! model whole broadcasts stay single heap entries, so
+//! `n = 10 000`-process executions finish in seconds on one core (the
+//! `escale` experiment) and replicated KV runs reach `n >= 5 000` (the
+//! `smrscale` experiment).
 
 use crate::conductor::{RawOutcome, RunSpec, SchedEvent, Scheduler};
 use ofa_coins::{CommonCoin, LocalCoin, SeededLocalCoin};
-use ofa_core::sm::{ConsensusSm, OutItem, Progress, SmCtx, SmTopology};
-use ofa_core::{Bit, Decision, Halt, Msg, MsgKind, ObsEvent, Observer, ProtocolConfig};
+use ofa_core::sm::{
+    ConsensusSm, LogSm, MultivaluedSm, MvProgress, OutItem, Progress, SmCtx, SmTopology,
+};
+use ofa_core::{
+    mv_body_decision, Bit, Decision, Halt, Msg, MsgKind, ObsEvent, Observer, ProtocolConfig,
+};
 use ofa_metrics::CounterSnapshot;
 use ofa_scenario::{
     Body, CostModel, CrashPlan, CrashTrigger, TraceEvent, TraceRecorder, VirtualTime,
@@ -30,6 +38,52 @@ use ofa_scenario::{
 use ofa_sharedmem::{ClusterMemory, MemoryBank, Slot};
 use ofa_topology::{Partition, ProcessId};
 use std::sync::Arc;
+
+/// One process's machine, shaped by the scenario body. The multivalued
+/// variant adapts [`MvProgress`] to [`Progress`] via
+/// [`mv_body_decision`], exactly like the blocking body wrapper.
+enum Machine {
+    Consensus(ConsensusSm),
+    Multivalued(MultivaluedSm),
+    Log(LogSm),
+}
+
+impl Machine {
+    fn start(&mut self, ctx: &mut EventCtx<'_>) -> Progress {
+        match self {
+            Machine::Consensus(sm) => sm.start(ctx),
+            Machine::Multivalued(sm) => adapt(sm.start(ctx)),
+            Machine::Log(sm) => sm.start(ctx),
+        }
+    }
+
+    fn on_msg(&mut self, msg: Msg, ctx: &mut EventCtx<'_>) -> Progress {
+        match self {
+            Machine::Consensus(sm) => sm.on_msg(msg, ctx),
+            Machine::Multivalued(sm) => adapt(sm.on_msg(msg, ctx)),
+            Machine::Log(sm) => sm.on_msg(msg, ctx),
+        }
+    }
+
+    fn halt(&mut self, halt: Halt, ctx: &mut EventCtx<'_>) -> Progress {
+        match self {
+            Machine::Consensus(sm) => sm.halt(halt, ctx),
+            Machine::Multivalued(sm) => adapt(sm.halt(halt, ctx)),
+            Machine::Log(sm) => sm.halt(halt, ctx),
+        }
+    }
+}
+
+/// [`MvProgress`] → [`Progress`] for a multivalued *body*: terminal
+/// decisions reduce to the digest-parity binary decision.
+fn adapt(progress: MvProgress) -> Progress {
+    match progress {
+        MvProgress::NeedMsg => Progress::NeedMsg,
+        MvProgress::Sent(out) => Progress::Sent(out),
+        MvProgress::Decided(mv, out) => Progress::Decided(mv_body_decision(&mv), out),
+        MvProgress::Halted(h, out) => Progress::Halted(h, out),
+    }
+}
 
 /// Mutable per-process execution state (the conductor keeps the same
 /// quantities on each process thread's stack).
@@ -157,15 +211,17 @@ impl SmCtx for EventCtx<'_> {
 
     fn observe(&mut self, event: ObsEvent) {
         match event {
-            ObsEvent::RoundStart { instance, round } => {
+            ObsEvent::RoundStart { round, .. } => {
                 self.counters.rounds_started += 1;
                 self.record(TraceEvent::RoundStart {
                     who: self.me,
                     round,
                 });
-                // Round-indexed crashes refer to instance-0 rounds.
+                // Round-indexed crashes count rounds cumulatively across
+                // instances (multivalued stages, log slots), so they
+                // fire inside multi-instance bodies too.
                 if let Some(r) = self.crash_at_round {
-                    if instance == 0 && round >= r {
+                    if self.counters.rounds_started >= r {
                         *self.crashed_self = true;
                     }
                 }
@@ -194,7 +250,7 @@ impl SmCtx for EventCtx<'_> {
 
 /// Everything one event-driven execution owns.
 struct Engine<'a, S: Scheduler> {
-    machines: Vec<ConsensusSm>,
+    machines: Vec<Machine>,
     procs: Vec<ProcState>,
     partition: Partition,
     memory: MemoryBank,
@@ -286,9 +342,8 @@ impl<S: Scheduler> Engine<'_, S> {
 ///
 /// # Panics
 ///
-/// Panics if the spec's body is not a built-in algorithm
-/// ([`Body::Custom`] is blocking code — route it to the thread
-/// conductor).
+/// Panics if the spec's body is [`Body::Custom`] — custom bodies are
+/// blocking code; route them to the thread conductor.
 pub(crate) fn conduct_event_driven<S: Scheduler>(spec: RunSpec, scheduler: &mut S) -> RawOutcome {
     let n = spec.partition.n();
     assert_eq!(
@@ -297,25 +352,42 @@ pub(crate) fn conduct_event_driven<S: Scheduler>(spec: RunSpec, scheduler: &mut 
         "need one proposal per process (got {} for n={n})",
         spec.proposals.len()
     );
-    let Body::Algo(algorithm) = spec.body else {
-        panic!("the event-driven engine runs built-in algorithm bodies only")
-    };
 
     let topo = Arc::new(SmTopology::new(spec.partition.clone()));
     let config: ProtocolConfig = spec.config;
+    let machines: Vec<Machine> = (0..n)
+        .map(|i| match &spec.body {
+            Body::Algo(algorithm) => Machine::Consensus(ConsensusSm::new(
+                *algorithm,
+                ProcessId(i),
+                Arc::clone(&topo),
+                0,
+                spec.proposals[i],
+                config,
+            )),
+            Body::Multivalued(mv) => Machine::Multivalued(MultivaluedSm::new(
+                mv.algorithm,
+                ProcessId(i),
+                Arc::clone(&topo),
+                0,
+                mv.proposals[i],
+                config,
+            )),
+            Body::ReplicatedLog(smr) => Machine::Log(LogSm::new(
+                smr.algorithm,
+                ProcessId(i),
+                Arc::clone(&topo),
+                smr.queues[i].clone(),
+                smr.slots,
+                config,
+            )),
+            Body::Custom(_) => {
+                panic!("the event-driven engine runs declarative bodies only")
+            }
+        })
+        .collect();
     let mut engine = Engine {
-        machines: (0..n)
-            .map(|i| {
-                ConsensusSm::new(
-                    algorithm,
-                    ProcessId(i),
-                    Arc::clone(&topo),
-                    0,
-                    spec.proposals[i],
-                    config,
-                )
-            })
-            .collect(),
+        machines,
         procs: (0..n)
             .map(|i| {
                 let (crash_at_step, crash_at_round) = match spec.crash_plan.trigger(ProcessId(i)) {
@@ -446,6 +518,8 @@ mod tests {
     fn assert_engines_identical(scenario: Scenario) {
         let threads = Sim.run(&scenario.clone().engine(Engine::Threads));
         let event = Sim.run(&scenario.engine(Engine::EventDriven));
+        assert_eq!(threads.engine_used, Some(Engine::Threads));
+        assert_eq!(event.engine_used, Some(Engine::EventDriven));
         assert_eq!(threads.decisions, event.decisions);
         assert_eq!(threads.halts, event.halts);
         assert_eq!(threads.crashed, event.crashed);
@@ -456,6 +530,10 @@ mod tests {
         assert_eq!(threads.end_time, event.end_time);
         assert_eq!(threads.latest_decision_time, event.latest_decision_time);
         assert_eq!(threads.sm_proposes, event.sm_proposes);
+    }
+
+    fn payload(s: &str) -> ofa_core::Payload {
+        ofa_core::Payload::from_bytes(s.as_bytes()).expect("fits")
     }
 
     #[test]
@@ -496,6 +574,73 @@ mod tests {
                 .proposals_split(4)
                 .crashes(plan)
                 .seed(9),
+        );
+    }
+
+    #[test]
+    fn engines_match_on_multivalued_bodies() {
+        for (seed, algorithm) in [(1u64, Algorithm::LocalCoin), (2, Algorithm::CommonCoin)] {
+            let part = Partition::fig1_right();
+            let proposals = (0..part.n())
+                .map(|i| payload(&format!("from-p{}", i + 1)))
+                .collect();
+            assert_engines_identical(
+                Scenario::new(part, algorithm)
+                    .multivalued(algorithm, proposals)
+                    .seed(seed),
+            );
+        }
+    }
+
+    #[test]
+    fn engines_match_on_replicated_log_bodies() {
+        let part = Partition::even(6, 2);
+        let queues = (0..6)
+            .map(|i| vec![payload(&format!("cmd-{i}a")), payload(&format!("cmd-{i}b"))])
+            .collect::<Vec<_>>();
+        assert_engines_identical(
+            Scenario::new(part, Algorithm::CommonCoin)
+                .replicated_log(Algorithm::CommonCoin, 3, queues)
+                .seed(7),
+        );
+    }
+
+    #[test]
+    fn round_crashes_fire_inside_replicated_log_bodies() {
+        // Rounds are counted cumulatively across instances, so an
+        // AtRound trigger is not a silent no-op for multivalued/SMR
+        // workloads (it used to be: the old check looked for instance-0
+        // rounds, which multi-instance bodies never run).
+        let part = Partition::even(6, 2);
+        let queues = (0..6)
+            .map(|i| vec![payload(&format!("c{i}"))])
+            .collect::<Vec<_>>();
+        let scenario = Scenario::new(part, Algorithm::CommonCoin)
+            .replicated_log(Algorithm::CommonCoin, 2, queues)
+            .crashes(CrashPlan::new().crash_at_round(ProcessId(3), 2))
+            .seed(5);
+        let out = Sim.run(&scenario.clone().event_driven());
+        assert!(
+            out.crashed.contains(ProcessId(3)),
+            "the round trigger must fire inside the log body"
+        );
+        assert!(out.all_correct_decided, "survivors keep committing");
+        // And identically on the conductor.
+        assert_engines_identical(scenario);
+    }
+
+    #[test]
+    fn engines_match_on_multivalued_bodies_under_crashes() {
+        let part = Partition::fig1_right();
+        let proposals = (0..part.n()).map(|i| payload(&format!("v{i}"))).collect();
+        let plan = CrashPlan::new()
+            .crash_at_start(ProcessId(0))
+            .crash_at_step(ProcessId(5), 25);
+        assert_engines_identical(
+            Scenario::new(part, Algorithm::CommonCoin)
+                .multivalued(Algorithm::CommonCoin, proposals)
+                .crashes(plan)
+                .seed(3),
         );
     }
 

@@ -5,14 +5,19 @@
 //! crate takes the invitation for the canonical one — state machine
 //! replication:
 //!
-//! * [`multivalued_propose`] — multivalued consensus from the paper's
-//!   *binary* algorithms (classic reduction with eager proposal relay; see
-//!   module docs for the liveness argument),
+//! * [`multivalued_propose`] (re-exported from `ofa-core`, which also
+//!   hosts the resumable [`ofa_core::sm::MultivaluedSm`] /
+//!   [`ofa_core::sm::LogSm`] machines) — multivalued consensus from the
+//!   paper's *binary* algorithms (reduction with relay-on-first-use; see
+//!   its module docs for the liveness argument),
 //! * [`Command`] / [`KvState`] — a deterministic key-value state machine
 //!   with compact payload encoding,
-//! * [`ReplicaGroup`] / [`run_replicated_kv`] — replicated logs: slot `j`
-//!   is multivalued instance `j`; identical logs yield identical states,
-//!   verified by state digests.
+//! * [`LogCollector`] / [`run_replicated_kv`] — replicated logs as
+//!   serializable [`ofa_scenario::Body::ReplicatedLog`] scenarios: slot
+//!   `j` is multivalued instance `j`; identical logs yield identical
+//!   states, verified by state digests. Runs on either execution engine;
+//!   the event-driven default scales to thousands of replicas (the
+//!   `smrscale` experiment).
 //!
 //! Everything inherits the hybrid model's fault tolerance: with a majority
 //! cluster, the replicated KV store keeps committing despite `n - 1`
@@ -48,9 +53,8 @@
 #![warn(missing_debug_implementations)]
 
 mod kv;
-mod multivalued;
 mod replica;
 
 pub use kv::{Command, EncodeError, KvState};
-pub use multivalued::{multivalued_propose, MvDecision, INSTANCE_STRIDE};
-pub use replica::{run_replicated_kv, ReplicaGroup, ReplicaReport};
+pub use ofa_core::{multivalued_propose, MvDecision, INSTANCE_STRIDE};
+pub use replica::{encode_queues, run_replicated_kv, LogCollector, ReplicaReport};

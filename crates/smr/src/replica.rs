@@ -1,4 +1,4 @@
-//! A replicated-log replica: repeated multivalued consensus driving the
+//! Replicated-log replicas: repeated multivalued consensus driving the
 //! key-value state machine.
 //!
 //! Slot `j` of the log is multivalued consensus instance `j`. Each replica
@@ -6,14 +6,21 @@
 //! (some replica's proposal) is appended and applied. Identical logs ⇒
 //! identical states.
 //!
-//! The replica runs as an [`ofa_scenario::ProcessBody`], so full
-//! replicated-log executions run on any backend — and enjoy the
-//! simulator's determinism, crash injection, and trace hashing there.
+//! The execution itself is the serializable
+//! [`ofa_scenario::Body::ReplicatedLog`] workload — the engine-agnostic
+//! replica loop lives in `ofa-core` ([`ofa_core::run_replicated_log`]
+//! blocking, [`ofa_core::sm::LogSm`] event-driven), so full replicated-KV
+//! runs execute on any backend and *scale on the event-driven engine*
+//! (`n >= 5 000`, the `smrscale` experiment). This module adds the KV
+//! interpretation: command encoding on the way in, and a
+//! [`LogCollector`] observer that reconstructs each replica's committed
+//! log, state, and digest from the [`ofa_core::ObsEvent::MvDecided`]
+//! stream on the way out.
 
-use crate::{multivalued_propose, Command, KvState, MvDecision};
-use ofa_core::{Algorithm, Bit, Decision, Env, Halt, Mailbox, Payload, ProtocolConfig};
-use ofa_scenario::ProcessBody;
-use ofa_topology::ProcessId;
+use crate::{Command, KvState};
+use ofa_core::{Algorithm, MvDecision, ObsEvent, Observer, Payload};
+use ofa_scenario::{Backend, Outcome, Scenario};
+use ofa_topology::{Partition, ProcessId};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -32,135 +39,154 @@ pub struct ReplicaReport {
     pub state: KvState,
 }
 
-/// A fleet of replicas for one simulated run: per-process command queues
-/// in, per-process reports out.
+/// An [`Observer`] that reconstructs per-replica committed logs from the
+/// [`ObsEvent::MvDecided`] stream — works identically on the simulator
+/// (either engine) and on the real-thread runtime, since all of them
+/// route protocol observations through the same hook.
 ///
 /// # Examples
 ///
-/// See `ofa-smr`'s integration tests and the `geo_replicated_kv` example;
-/// the replica needs a simulator run to do anything.
+/// See [`run_replicated_kv`], which wires a collector into a
+/// [`Body::ReplicatedLog`](ofa_scenario::Body::ReplicatedLog) scenario.
 #[derive(Debug)]
-pub struct ReplicaGroup {
-    commands: Vec<Vec<Command>>,
-    slots: usize,
-    algorithm: Algorithm,
-    reports: Mutex<Vec<Option<ReplicaReport>>>,
+pub struct LogCollector {
+    slots: Mutex<Vec<Vec<MvDecision>>>,
 }
 
-impl ReplicaGroup {
-    /// Creates a group where process `i` wants to commit `commands[i]`
-    /// (cycled if shorter than `slots`), agreeing on `slots` log slots.
-    pub fn new(commands: Vec<Vec<Command>>, slots: usize, algorithm: Algorithm) -> Self {
-        let n = commands.len();
-        ReplicaGroup {
-            commands,
-            slots,
-            algorithm,
-            reports: Mutex::new(vec![None; n]),
+impl LogCollector {
+    /// A collector for `n` replicas.
+    pub fn new(n: usize) -> Self {
+        LogCollector {
+            slots: Mutex::new(vec![Vec::new(); n]),
         }
     }
 
-    /// The report of process `i`, if it completed.
-    pub fn report(&self, i: ProcessId) -> Option<ReplicaReport> {
-        self.reports.lock()[i.index()].clone()
+    /// The committed slots observed for replica `i`, in slot order.
+    pub fn committed(&self, i: ProcessId) -> Vec<MvDecision> {
+        self.slots.lock()[i.index()].clone()
     }
 
-    /// All completed reports.
-    pub fn reports(&self) -> Vec<Option<ReplicaReport>> {
-        self.reports.lock().clone()
-    }
-
-    /// The command process `i` proposes for `slot`.
-    fn proposal_for(&self, i: ProcessId, slot: usize) -> Command {
-        let mine = &self.commands[i.index()];
-        if mine.is_empty() {
-            Command::Noop
-        } else {
-            mine[slot % mine.len()].clone()
+    /// Builds replica `i`'s report, provided it committed all `slots`
+    /// slots (crashed/stopped replicas yield `None`).
+    pub fn report(&self, i: ProcessId, slots: u64) -> Option<ReplicaReport> {
+        let committed = self.committed(i);
+        if committed.len() as u64 != slots {
+            return None;
         }
-    }
-}
-
-impl ProcessBody for ReplicaGroup {
-    fn run(
-        &self,
-        env: &mut dyn Env,
-        _proposal: Bit,
-        cfg: &ProtocolConfig,
-    ) -> Result<Decision, Halt> {
-        let me = env.me();
-        let mut mailbox = Mailbox::new();
         let mut state = KvState::new();
-        let mut log = Vec::with_capacity(self.slots);
-        let mut proposers = Vec::with_capacity(self.slots);
-        let mut stages = Vec::with_capacity(self.slots);
-        for slot in 0..self.slots {
-            let cmd = self.proposal_for(me, slot);
-            let payload: Payload = cmd
-                .encode()
-                .expect("replica commands must fit the payload limit");
-            let MvDecision {
-                payload: decided,
-                proposer,
-                stages: used,
-            } = multivalued_propose(env, &mut mailbox, slot as u64, payload, self.algorithm, cfg)?;
-            let decided_cmd =
-                Command::decode(&decided).expect("decided payload is a valid command");
-            state.apply(&decided_cmd);
-            log.push(decided_cmd);
-            proposers.push(proposer);
-            stages.push(used);
+        let mut log = Vec::with_capacity(committed.len());
+        let mut proposers = Vec::with_capacity(committed.len());
+        let mut stages = Vec::with_capacity(committed.len());
+        for mv in &committed {
+            let cmd = Command::decode(&mv.payload).expect("committed payload is a valid command");
+            state.apply(&cmd);
+            log.push(cmd);
+            proposers.push(mv.proposer);
+            stages.push(mv.stages);
         }
-        self.reports.lock()[me.index()] = Some(ReplicaReport {
+        Some(ReplicaReport {
             log,
             proposers,
             stages,
             digest: state.digest(),
             state,
-        });
-        // The ProcessBody contract wants a binary decision; report the
-        // digest's low bit so outcomes still carry a cross-checkable value.
-        Ok(Decision {
-            value: Bit::from(self.reports.lock()[me.index()].as_ref().unwrap().digest & 1 == 1),
-            round: self.slots as u64,
-            relayed: false,
         })
     }
 }
 
-/// Convenience: run a replicated KV fleet on the simulator.
+impl Observer for LogCollector {
+    fn on_event(&self, who: ProcessId, event: &ObsEvent) {
+        if let ObsEvent::MvDecided {
+            mv_index,
+            proposer,
+            payload,
+            stages,
+        } = *event
+        {
+            let mut slots = self.slots.lock();
+            let mine = &mut slots[who.index()];
+            debug_assert_eq!(
+                mine.len() as u64,
+                mv_index,
+                "slots commit in order at each replica"
+            );
+            mine.push(MvDecision {
+                payload,
+                proposer,
+                stages,
+            });
+        }
+    }
+}
+
+/// Encodes per-replica command queues into the payload queues of a
+/// [`Body::ReplicatedLog`](ofa_scenario::Body::ReplicatedLog) workload.
+/// Empty queues propose [`Command::Noop`] so decoded logs stay
+/// well-formed.
+///
+/// # Panics
+///
+/// Panics if a command exceeds the payload limit (see
+/// [`Command::encode`]).
+pub fn encode_queues(commands: &[Vec<Command>]) -> Vec<Vec<Payload>> {
+    commands
+        .iter()
+        .map(|queue| {
+            if queue.is_empty() {
+                vec![Command::Noop
+                    .encode()
+                    .expect("Noop always fits the payload limit")]
+            } else {
+                queue
+                    .iter()
+                    .map(|c| {
+                        c.encode()
+                            .expect("replica commands must fit the payload limit")
+                    })
+                    .collect()
+            }
+        })
+        .collect()
+}
+
+/// Convenience: run a replicated KV fleet on the simulator (on the
+/// scenario's default engine — event-driven) and collect the per-replica
+/// reports.
 ///
 /// Returns the per-process reports (crashed/stopped processes yield
-/// `None`) and the simulator outcome.
+/// `None`) and the unified outcome.
 pub fn run_replicated_kv(
-    partition: ofa_topology::Partition,
+    partition: Partition,
     commands: Vec<Vec<Command>>,
     slots: usize,
     algorithm: Algorithm,
     seed: u64,
     crashes: ofa_scenario::CrashPlan,
-) -> (Vec<Option<ReplicaReport>>, ofa_scenario::Outcome) {
-    use ofa_scenario::Backend;
+) -> (Vec<Option<ReplicaReport>>, Outcome) {
     assert_eq!(
         partition.n(),
         commands.len(),
         "one command queue per process"
     );
-    let group = Arc::new(ReplicaGroup::new(commands, slots, algorithm));
+    let n = partition.n();
+    let collector = Arc::new(LogCollector::new(n));
     let outcome = ofa_sim::Sim.run(
-        &ofa_scenario::Scenario::new(partition, algorithm)
-            .custom_body(Arc::clone(&group) as Arc<dyn ProcessBody>)
+        &Scenario::new(partition, algorithm)
+            .replicated_log(algorithm, slots as u64, encode_queues(&commands))
             .crashes(crashes)
-            .seed(seed),
+            .seed(seed)
+            .observer(Arc::clone(&collector) as Arc<dyn Observer>),
     );
-    (group.reports(), outcome)
+    let reports = (0..n)
+        .map(|i| collector.report(ProcessId(i), slots as u64))
+        .collect();
+    (reports, outcome)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ofa_sim::CrashPlan;
-    use ofa_topology::Partition;
+    use ofa_scenario::{CrashPlan, Engine};
 
     fn demo_commands(n: usize) -> Vec<Vec<Command>> {
         (0..n)
@@ -185,6 +211,11 @@ mod tests {
             CrashPlan::new(),
         );
         assert!(out.all_correct_decided);
+        assert_eq!(
+            out.engine_used,
+            Some(Engine::EventDriven),
+            "replicated KV runs on the scalable engine by default"
+        );
         let first = reports[0].as_ref().expect("p1 completed");
         assert_eq!(first.log.len(), 4);
         for (i, r) in reports.iter().enumerate() {
@@ -240,5 +271,35 @@ mod tests {
         let r = reports[0].as_ref().unwrap();
         assert!(r.log.iter().all(|c| *c == Command::Noop));
         assert!(r.state.is_empty());
+    }
+
+    #[test]
+    fn reports_match_on_both_engines() {
+        // The collector sees the same MvDecided stream from the blocking
+        // bodies (conductor) and the state machines (event engine).
+        let part = Partition::even(5, 2);
+        let queues = encode_queues(&demo_commands(5));
+        let base = Scenario::new(part, Algorithm::LocalCoin)
+            .replicated_log(Algorithm::LocalCoin, 3, queues)
+            .seed(21);
+        let mut outputs = Vec::new();
+        for engine in [Engine::Threads, Engine::EventDriven] {
+            let collector = Arc::new(LogCollector::new(5));
+            let out = ofa_sim::Sim.run(
+                &base
+                    .clone()
+                    .engine(engine)
+                    .observer(Arc::clone(&collector) as Arc<dyn Observer>),
+            );
+            assert!(out.all_correct_decided);
+            assert_eq!(out.engine_used, Some(engine));
+            outputs.push((
+                out.trace_hash,
+                (0..5)
+                    .map(|i| collector.report(ProcessId(i), 3))
+                    .collect::<Vec<_>>(),
+            ));
+        }
+        assert_eq!(outputs[0], outputs[1]);
     }
 }

@@ -5,7 +5,7 @@
 //! ofa --sizes 3,2,2 --algorithm lc --crash p1@0 --crash p6@12 --trace
 //! ofa --sizes 2,2 --crash p3@r2        # crash p3 when it enters round 2
 //! ofa --sizes 2,2 --runtime            # real threads instead of the simulator
-//! ofa --sizes 100,100 --engine event    # single-threaded event-driven engine
+//! ofa --sizes 1,4,2 --engine threads    # pin the reference thread conductor
 //! ofa --sizes 1,4,2 --json             # unified Outcome as JSON
 //! ofa --help
 //! ```
@@ -32,9 +32,10 @@ OPTIONS:
     --crash pI@rR      crash process I when it enters round R
     --max-rounds R     round budget [default: 512]
     --trace            print the full event trace (simulator only)
-    --engine E         simulator process engine: threads (reference
-                       conductor) or event (single-threaded event-driven
-                       state machines; scales to n >> 10^4) [default: threads]
+    --engine E         simulator process engine: event (single-threaded
+                       event-driven state machines; scales to n >> 10^4)
+                       or threads (the reference conductor — pin this to
+                       reproduce pre-flip runs) [default: event]
     --runtime          execute on real threads instead of the simulator
                        (--engine does not apply)
     --json             print the unified Outcome as JSON (suppresses the
@@ -70,7 +71,7 @@ fn parse_args() -> Result<Options, String> {
         crashes: Vec::new(),
         max_rounds: 512,
         trace: false,
-        engine: Engine::Threads,
+        engine: Engine::default(),
         runtime: false,
         json: false,
     };

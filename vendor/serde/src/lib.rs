@@ -81,6 +81,21 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, Error>;
 }
 
+/// A [`Value`] is already in the data model — serializing is identity.
+/// Lets callers hand-build trees (e.g. report documents) and feed them
+/// straight to `serde_json::to_string`.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 // ---- primitive impls ----------------------------------------------------
 
 macro_rules! impl_unsigned {
