@@ -1,0 +1,143 @@
+//! Micro-benchmarks of the mailbox hot path under a relay storm.
+//!
+//! The multivalued dissemination layer makes every process re-broadcast
+//! the stage proposer's payload, so at `n` replicas a mailbox absorbs
+//! `O(n)` duplicate APP messages per stage plus a wave of future-slot
+//! phase traffic. These benches pin the cost of exactly that traffic —
+//! `accept` (route one delivered message), `buffer` (route without
+//! serving), `take_buffered` (serve a buffered slot), and `absorb_apps`
+//! (drain one instance's stash in place) — so the allocation work on
+//! this path (pre-sized slot queues, `Vec`-free absorption, recycled
+//! outboxes upstream) is *measured*, not asserted.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ofa_core::{Bit, Mailbox, Msg, MsgKind, Payload, Phase};
+use ofa_topology::ProcessId;
+
+/// The storm size: one delivery per peer, like one `n = 256` exchange.
+const STORM: usize = 256;
+
+fn phase_msg(from: usize, instance: u64, round: u64) -> Msg {
+    Msg {
+        from: ProcessId(from),
+        kind: MsgKind::Phase {
+            instance,
+            round,
+            phase: Phase::One,
+            est: Some(Bit::from(from.is_multiple_of(2))),
+        },
+    }
+}
+
+fn app_msg(from: usize, instance: u64, seq: u64) -> Msg {
+    Msg {
+        from: ProcessId(from),
+        kind: MsgKind::App {
+            instance,
+            seq,
+            payload: Payload::from_bytes(b"relayed-proposal").expect("fits"),
+        },
+    }
+}
+
+/// A relay storm as delivered by the network: the stage proposer's
+/// payload re-broadcast by every peer (identical `(instance, seq)`, so
+/// the stash must collapse them), interleaved with next-round phase
+/// traffic that has to be buffered by slot.
+fn storm() -> Vec<Msg> {
+    (0..STORM)
+        .flat_map(|i| [app_msg(i, 0, 3), phase_msg(i, 0, 2)])
+        .collect()
+}
+
+fn bench_accept(c: &mut Criterion) {
+    let msgs = storm();
+    c.bench_function("mailbox_accept_relay_storm", |b| {
+        b.iter_batched(
+            Mailbox::new,
+            |mut mb| {
+                for msg in &msgs {
+                    let served = mb.accept(*msg, 0, 1, Phase::One);
+                    assert!(served.is_none(), "storm traffic is never current-slot");
+                }
+                mb
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    let msgs = storm();
+    c.bench_function("mailbox_buffer_relay_storm", |b| {
+        b.iter_batched(
+            Mailbox::new,
+            |mut mb| {
+                for msg in &msgs {
+                    mb.buffer(*msg);
+                }
+                mb
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_take_buffered(c: &mut Criterion) {
+    c.bench_function("mailbox_take_buffered_full_slot", |b| {
+        b.iter_batched(
+            || {
+                let mut mb = Mailbox::new();
+                for msg in storm() {
+                    mb.buffer(msg);
+                }
+                mb
+            },
+            |mut mb| {
+                // Serve the whole buffered round-2 queue.
+                let mut served = 0;
+                while mb.take_buffered(0, 2, Phase::One).is_some() {
+                    served += 1;
+                }
+                assert_eq!(served, STORM);
+                mb
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_absorb_apps(c: &mut Criterion) {
+    c.bench_function("mailbox_absorb_apps_in_place", |b| {
+        b.iter_batched(
+            || {
+                let mut mb = Mailbox::new();
+                // Current-instance relays (collapsed by key) plus a
+                // future instance's dissemination that must survive.
+                for msg in storm() {
+                    mb.buffer(msg);
+                }
+                for i in 0..8 {
+                    mb.buffer(app_msg(i, 1, i as u64));
+                }
+                mb
+            },
+            |mut mb| {
+                let mut seen = 0;
+                mb.absorb_apps(0, |_| seen += 1);
+                assert_eq!(seen, 1, "duplicates collapsed to one stash entry");
+                mb
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_accept,
+    bench_buffer,
+    bench_take_buffered,
+    bench_absorb_apps
+);
+criterion_main!(benches);

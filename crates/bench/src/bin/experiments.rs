@@ -67,7 +67,8 @@ fn main() {
                 Some(t) => out.push((id.to_ascii_uppercase(), t)),
                 None => {
                     eprintln!(
-                        "unknown experiment id: {id} (expected e1..e10, escale, or smrscale)"
+                        "unknown experiment id: {id} \
+                         (expected e1..e10, escale, smrscale, or parscale)"
                     );
                     std::process::exit(2);
                 }

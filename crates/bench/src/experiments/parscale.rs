@@ -1,0 +1,166 @@
+//! PARSCALE — single-threaded vs parallel engine on the SMR workload.
+//!
+//! `SMRSCALE` proved the full multivalued/SMR stack runs at
+//! `n >= 5 000` replicas on the single-threaded event engine; this
+//! experiment measures what the cluster-sharded
+//! [`ofa_scenario::Engine::ParallelEvent`] engine buys on top. Every
+//! cell runs the *same* replicated-KV scenario as `SMRSCALE`
+//! ([`super::smrscale::scenario`]) on both engines and cross-checks the
+//! outcomes bit-for-bit (decisions, counters, events, trace hash) —
+//! the speedup column is only meaningful because the work is provably
+//! identical.
+//!
+//! Cells above [`PAR_ONLY_ABOVE`] skip the single-threaded baseline (it
+//! would dominate the sweep's wall-clock) and report the parallel
+//! engine alone — that is the `n > 10⁴` regime this engine opens.
+//!
+//! Wall-clock numbers depend on the host's core count; the table
+//! records the worker count actually used (from
+//! [`ofa_scenario::Outcome::engine_used`]) so a `speedup` of ~1 on a
+//! single-core runner reads as what it is.
+
+use crate::experiments::smrscale;
+use ofa_metrics::{fmt_f64, Table};
+use ofa_scenario::{default_workers, Backend, Engine, Outcome, Scenario};
+use ofa_sim::Sim;
+
+/// System sizes of the full sweep (replica counts). Work per cell is
+/// quadratic; the largest cells are minutes per engine.
+pub const SIZES: [usize; 4] = [1_000, 5_000, 10_000, 20_000];
+
+/// Above this size only the parallel engine runs (the single-threaded
+/// baseline at `n = 2·10⁴` costs more than the rest of the sweep
+/// combined).
+pub const PAR_ONLY_ABOVE: usize = 10_000;
+
+/// The CI smoke size: one cell on both engines, cross-checked.
+pub const QUICK_SIZES: [usize; 1] = [2_000];
+
+/// One row of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ParScaleRow {
+    /// System size (replica count).
+    pub n: usize,
+    /// Worker shards the parallel engine used.
+    pub workers: u64,
+    /// Scheduler events processed (identical on both engines).
+    pub events: u64,
+    /// Single-threaded events/s (`None` above [`PAR_ONLY_ABOVE`]).
+    pub st_events_per_sec: Option<f64>,
+    /// Parallel events/s.
+    pub par_events_per_sec: f64,
+    /// `par / st` (`None` above [`PAR_ONLY_ABOVE`]).
+    pub speedup: Option<f64>,
+}
+
+/// The scenario one cell runs: exactly the `SMRSCALE` workload, with
+/// the engine overridden per run.
+pub fn scenario(n: usize) -> Scenario {
+    smrscale::scenario(n)
+}
+
+/// The worker count the sweep requests: every available core, floored
+/// at 2 so the parallel path is exercised (not silently degraded to the
+/// single-threaded engine) even on one-core runners.
+pub fn requested_workers() -> u64 {
+    default_workers().max(2) as u64
+}
+
+fn events_per_sec(out: &Outcome) -> f64 {
+    out.events_processed as f64 / out.elapsed.as_secs_f64().max(f64::EPSILON)
+}
+
+/// Runs the sweep over `sizes`; returns the rows (for assertions) and
+/// the table.
+///
+/// # Panics
+///
+/// Panics if a cell fails to commit, or if the two engines disagree on
+/// any observable (they are asserted bit-for-bit identical, trace hash
+/// included — a disagreement is an engine regression, not noise).
+pub fn run(sizes: &[usize]) -> (Vec<ParScaleRow>, Table) {
+    let workers = requested_workers();
+    let title = format!(
+        "PARSCALE: single-threaded vs parallel event engine on the SMRSCALE replicated-KV \
+             workload — m=n/100 clusters, {} slots, requesting {workers} workers \
+             ({} cores available)",
+        smrscale::SLOTS,
+        default_workers(),
+    );
+    let mut table = Table::new(
+        &title,
+        &[
+            "n", "workers", "events", "st [s]", "par [s]", "st ev/s", "par ev/s", "speedup",
+        ],
+    );
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let par = Sim.run(&scenario(n).parallel(workers));
+        let used = match par.engine_used {
+            Some(Engine::ParallelEvent { workers }) => workers,
+            other => panic!("parscale n={n}: expected the parallel engine, used {other:?}"),
+        };
+        assert!(
+            par.all_correct_decided && par.agreement_holds(),
+            "parscale n={n}: parallel run failed to decide"
+        );
+        let st = (n <= PAR_ONLY_ABOVE).then(|| Sim.run(&scenario(n).event_driven()));
+        if let Some(st) = &st {
+            // The speedup compares *identical* work: every observable
+            // must match across the engines, including the trace hash.
+            assert_eq!(st.decisions, par.decisions, "parscale n={n}: decisions");
+            assert_eq!(st.counters, par.counters, "parscale n={n}: counters");
+            assert_eq!(st.trace_hash, par.trace_hash, "parscale n={n}: trace");
+            assert_eq!(
+                st.events_processed, par.events_processed,
+                "parscale n={n}: events"
+            );
+            assert_eq!(st.end_time, par.end_time, "parscale n={n}: end time");
+        }
+        let par_eps = events_per_sec(&par);
+        let st_eps = st.as_ref().map(events_per_sec);
+        let speedup = st_eps.map(|s| par_eps / s.max(f64::EPSILON));
+        rows.push(ParScaleRow {
+            n,
+            workers: used,
+            events: par.events_processed,
+            st_events_per_sec: st_eps,
+            par_events_per_sec: par_eps,
+            speedup,
+        });
+        let dash = || "—".to_string();
+        table.row([
+            n.to_string(),
+            used.to_string(),
+            par.events_processed.to_string(),
+            st.as_ref()
+                .map(|o| fmt_f64(o.elapsed.as_secs_f64(), 2))
+                .unwrap_or_else(dash),
+            fmt_f64(par.elapsed.as_secs_f64(), 2),
+            st_eps.map(|e| format!("{e:.2e}")).unwrap_or_else(dash),
+            format!("{par_eps:.2e}"),
+            speedup.map(|s| fmt_f64(s, 2)).unwrap_or_else(dash),
+        ]);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cells_cross_check_both_engines() {
+        // `m = n/100` clusters, so stay at n >= 200 — a single-cluster
+        // cell has nothing to shard and would (observably) degrade to
+        // the single-threaded engine, which `run` treats as an error.
+        let (rows, table) = run(&[200, 400]);
+        assert_eq!(table.len(), 2);
+        for r in &rows {
+            assert!(r.workers >= 2, "parallel path must actually run");
+            assert!(r.events > 0 && r.par_events_per_sec > 0.0);
+            assert!(r.st_events_per_sec.is_some(), "baseline runs at small n");
+            assert!(r.speedup.is_some());
+        }
+    }
+}

@@ -20,10 +20,12 @@
 //! | E10 | Figure 2 m&m domains recomputed verbatim |
 //! | ESCALE | event-driven engine runs full consensus at `n = 10⁴–5·10⁴` in seconds–minutes |
 //! | SMRSCALE | replicated KV (multivalued/SMR stack) commits logs at `n >= 5 000` replicas |
+//! | PARSCALE | cluster-sharded parallel engine vs single-threaded: identical runs, measured speedup |
 
 #![warn(missing_docs)]
 
-/// The experiment modules, E1 through E10 plus the ESCALE engine sweep.
+/// The experiment modules, E1 through E10 plus the ESCALE / SMRSCALE /
+/// PARSCALE engine sweeps.
 pub mod experiments {
     pub mod e1;
     pub mod e10;
@@ -36,6 +38,7 @@ pub mod experiments {
     pub mod e8;
     pub mod e9;
     pub mod escale;
+    pub mod parscale;
     pub mod smrscale;
 }
 
@@ -44,8 +47,8 @@ use ofa_metrics::Table;
 /// Every experiment id, in presentation order. The single source of
 /// truth for "all experiments" — `run_all`, the `experiments` binary's
 /// `--quick` path, and CI smoke loops all iterate this.
-pub const ALL_IDS: [&str; 12] = [
-    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "ESCALE", "SMRSCALE",
+pub const ALL_IDS: [&str; 13] = [
+    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "ESCALE", "SMRSCALE", "PARSCALE",
 ];
 
 /// Runs every experiment at its default scale, returning `(id, table)`
@@ -104,6 +107,10 @@ pub fn run_one_scaled(id: &str, scale: Scale) -> Option<Table> {
         "smrscale" => match scale {
             Scale::Full => smrscale::run(&smrscale::SIZES).1,
             Scale::Quick => smrscale::run(&smrscale::QUICK_SIZES).1,
+        },
+        "parscale" => match scale {
+            Scale::Full => parscale::run(&parscale::SIZES).1,
+            Scale::Quick => parscale::run(&parscale::QUICK_SIZES).1,
         },
         _ => return None,
     })

@@ -102,6 +102,15 @@ fn key(instance: u64, round: u64, phase: Phase) -> (u64, u64, u8) {
     (instance, round, phase.slot_index())
 }
 
+/// A freshly materialized per-slot queue. Pre-sized for the common case —
+/// under an all-to-all exchange a future slot's queue fills with several
+/// messages within one delivery wave, so starting above `VecDeque`'s
+/// minimal capacity skips the first growth reallocations on the relay
+/// hot path.
+fn slot_queue() -> VecDeque<Msg> {
+    VecDeque::with_capacity(8)
+}
+
 impl Mailbox {
     /// Creates an empty mailbox.
     pub fn new() -> Self {
@@ -206,7 +215,10 @@ impl Mailbox {
                         est,
                     }),
                     std::cmp::Ordering::Greater => {
-                        self.future.entry((i, r, ph)).or_default().push_back(msg);
+                        self.future
+                            .entry((i, r, ph))
+                            .or_insert_with(slot_queue)
+                            .push_back(msg);
                         None
                     }
                     std::cmp::Ordering::Less => {
@@ -296,7 +308,7 @@ impl Mailbox {
             } => {
                 self.future
                     .entry((instance, round, phase))
-                    .or_default()
+                    .or_insert_with(slot_queue)
                     .push_back(msg);
             }
             MsgKind::App {
@@ -319,8 +331,36 @@ impl Mailbox {
 
     /// Drains the stashed application payloads, in `(instance, seq)`
     /// order.
+    ///
+    /// Layers that only want *one* instance's payloads should prefer
+    /// [`Mailbox::absorb_apps`], which serves them in place — this method
+    /// allocates a fresh `Vec` per call.
     pub fn take_apps(&mut self) -> Vec<AppMsg> {
         std::mem::take(&mut self.apps).into_values().collect()
+    }
+
+    /// Serves every stashed payload of instance `instance` to `f` (in
+    /// `seq` order), drops earlier instances' payloads as stale, and
+    /// leaves later instances' payloads stashed — without round-tripping
+    /// the whole stash through a temporary `Vec` and re-stashing the
+    /// survivors, which is what the multivalued layer's per-stage absorb
+    /// used to do on the hot path.
+    pub fn absorb_apps(&mut self, instance: u64, mut f: impl FnMut(AppMsg)) {
+        if self
+            .apps
+            .first_key_value()
+            .is_none_or(|((i, _), _)| *i > instance)
+        {
+            return; // nothing at or below the instance: common fast path
+        }
+        let future = self.apps.split_off(&(instance + 1, 0));
+        for ((i, _), app) in std::mem::replace(&mut self.apps, future) {
+            if i == instance {
+                f(app);
+            } else {
+                self.stale_dropped += 1;
+            }
+        }
     }
 
     /// Puts an application payload back into the stash (e.g. one drained
@@ -340,13 +380,6 @@ impl Mailbox {
     /// buffered entries pruned when the served slot advanced.
     pub fn stale_dropped(&self) -> u64 {
         self.stale_dropped
-    }
-
-    /// Counts `n` messages a layer above discarded as stale (e.g. APP
-    /// payloads of already-completed multivalued instances), folding them
-    /// into the same [`Mailbox::stale_dropped`] accounting.
-    pub(crate) fn note_stale(&mut self, n: u64) {
-        self.stale_dropped += n;
     }
 
     /// Drops since the previous call — the delta the algorithms report via
@@ -618,6 +651,32 @@ mod tests {
         assert_eq!(apps[0].payload.as_bytes(), b"proposal");
         // Draining empties the stash.
         assert!(mb.take_apps().is_empty());
+    }
+
+    #[test]
+    fn absorb_apps_serves_one_instance_in_place() {
+        let mut env = Script::new(vec![
+            app_msg(1, 2, 0, b"past"),   // earlier instance: stale
+            app_msg(2, 5, 1, b"now-a"),  // current instance
+            app_msg(0, 5, 0, b"now-b"),  // current instance, lower seq
+            app_msg(1, 9, 0, b"future"), // later instance: stays stashed
+        ]);
+        let mut mb = Mailbox::new();
+        for _ in 0..4 {
+            mb.pump(&mut env).unwrap();
+        }
+        let mut served = Vec::new();
+        mb.absorb_apps(5, |app| served.push((app.seq, app.payload)));
+        assert_eq!(served.len(), 2, "both instance-5 payloads served");
+        assert_eq!(served[0].0, 0, "seq order");
+        assert_eq!(served[1].0, 1);
+        assert_eq!(mb.stale_dropped(), 1, "the instance-2 payload was stale");
+        // The future payload survived in place.
+        let rest = mb.take_apps();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].instance, 9);
+        // Absorbing with an empty stash is a no-op.
+        mb.absorb_apps(9, |_| panic!("stash is empty"));
     }
 
     #[test]

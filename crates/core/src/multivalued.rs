@@ -99,32 +99,22 @@ impl ProposalStore {
         self.have[k.index()].expect("caller checked holds()")
     }
 
-    /// Moves this instance's stashed APP messages into the store,
-    /// re-stashing messages of later multivalued instances (instances
-    /// are processed in increasing order, so they belong to the future)
-    /// and dropping messages of earlier ones as stale — retaining them
-    /// would rescan and hold dead payloads for the rest of a log run. No
-    /// environment interaction.
+    /// Moves this instance's stashed APP messages into the store.
+    /// Messages of later multivalued instances stay stashed (instances
+    /// are processed in increasing order, so they belong to the future);
+    /// messages of earlier ones are dropped as stale — retaining them
+    /// would rescan and hold dead payloads for the rest of a log run.
+    /// Served in place via [`Mailbox::absorb_apps`], so a relay storm
+    /// never round-trips through a temporary `Vec`. No environment
+    /// interaction.
     pub(crate) fn absorb(&mut self, mailbox: &mut Mailbox) {
-        let apps = mailbox.take_apps();
-        let mut stale = 0;
-        for app in apps {
-            if app.instance > self.base {
-                mailbox.stash_app(app);
-                continue;
-            }
-            if app.instance < self.base {
-                stale += 1;
-                continue;
-            }
+        let have = &mut self.have;
+        mailbox.absorb_apps(self.base, |app| {
             let proposer = app.seq as usize;
-            if proposer < self.have.len() && self.have[proposer].is_none() {
-                self.have[proposer] = Some(app.payload);
+            if proposer < have.len() && have[proposer].is_none() {
+                have[proposer] = Some(app.payload);
             }
-        }
-        if stale > 0 {
-            mailbox.note_stale(stale);
-        }
+        });
     }
 
     /// The relay-on-first-use message for stage proposer `k`, if this

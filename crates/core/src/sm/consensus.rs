@@ -158,6 +158,17 @@ impl ConsensusSm {
         self.done
     }
 
+    /// Hands a drained outbox buffer back to the machine so the next
+    /// step's sends reuse its capacity instead of allocating. Engines
+    /// call this after draining a [`Progress`]'s outbox; the machine's
+    /// own buffer is empty at every suspension (it was `take`n into the
+    /// progress value), so the swap never discards pending sends.
+    /// Oversized buffers are dropped rather than retained (see
+    /// `sm::recycle_into`).
+    pub fn recycle_outbox(&mut self, buf: Outbox) {
+        super::recycle_into(&mut self.outbox, buf);
+    }
+
     /// Runs the machine up to its first suspension: proposes, enters
     /// round 1 (cluster pre-agreement + `PHASE1` broadcast) and pumps any
     /// buffered input. Call exactly once, before any [`ConsensusSm::on_msg`].

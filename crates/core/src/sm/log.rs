@@ -63,6 +63,21 @@ impl LogSm {
         self.done
     }
 
+    /// Hands a drained outbox buffer back for reuse, routing it to the
+    /// running slot machine when one is active (see
+    /// [`super::ConsensusSm::recycle_outbox`]).
+    pub fn recycle_outbox(&mut self, buf: Outbox) {
+        match self.inner.as_mut() {
+            Some(inner) => inner.recycle_outbox(buf),
+            None => super::recycle_into(&mut self.outbox, buf),
+        }
+    }
+
+    /// Accumulates a slot machine's sends (see [`super::absorb_out`]).
+    fn absorb_out(&mut self, out: Outbox) {
+        super::absorb_out(&mut self.outbox, out);
+    }
+
     /// Runs the replica up to its first suspension (or straight to the
     /// decision for a zero-slot log). Call exactly once.
     pub fn start<C: SmCtx + ?Sized>(&mut self, ctx: &mut C) -> Progress {
@@ -96,7 +111,7 @@ impl LogSm {
         if let Some(inner) = self.inner.as_mut() {
             match inner.halt(halt, ctx) {
                 MvProgress::Halted(h, out) => {
-                    self.outbox.extend(out);
+                    self.absorb_out(out);
                     return self.finish_halt(h);
                 }
                 other => unreachable!("halt() is terminal, got {other:?}"),
@@ -133,15 +148,15 @@ impl LogSm {
         match progress {
             MvProgress::NeedMsg => self.suspend(),
             MvProgress::Sent(out) => {
-                self.outbox.extend(out);
+                self.absorb_out(out);
                 self.suspend()
             }
             MvProgress::Halted(h, out) => {
-                self.outbox.extend(out);
+                self.absorb_out(out);
                 self.finish_halt(h)
             }
             MvProgress::Decided(mv, out) => {
-                self.outbox.extend(out);
+                self.absorb_out(out);
                 self.digest.absorb(&mv);
                 self.slot += 1;
                 let inner = self.inner.take().expect("slot machine present");

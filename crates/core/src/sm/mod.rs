@@ -185,6 +185,16 @@ impl Progress {
 /// every process (including self) in index order into `outbox`,
 /// collapsing into one [`OutItem::Broadcast`] when all sends share a
 /// timestamp. Counts one broadcast via [`SmCtx::note_broadcast`].
+///
+/// The uniform case never materializes per-destination entries — at
+/// cluster scale a broadcast is the common operation, and pushing `n`
+/// entries only to truncate them both costs the writes and leaves an
+/// `O(n)`-capacity buffer behind (with outbox recycling, one such
+/// buffer *per machine* — `O(n²)` resident memory). Per-destination
+/// entries are materialized lazily, only once timestamps actually
+/// diverge (the engine charges a per-send cost) or a send crashes
+/// mid-broadcast (the prefix already sent stays sent, like the paper's
+/// non-reliable broadcast).
 pub(crate) fn broadcast_into<C: SmCtx + ?Sized>(
     outbox: &mut Outbox,
     n: usize,
@@ -192,30 +202,89 @@ pub(crate) fn broadcast_into<C: SmCtx + ?Sized>(
     ctx: &mut C,
 ) -> Result<(), Halt> {
     ctx.note_broadcast();
-    let start = outbox.len();
     let mut uniform = true;
     let mut first_at = 0;
-    for j in 0..n {
-        let sent_at = ctx.send(ProcessId(j), msg)?;
-        if j == 0 {
-            first_at = sent_at;
-        } else if sent_at != first_at {
-            uniform = false;
-        }
-        outbox.push(OutItem::One(Outgoing {
-            to: ProcessId(j),
-            msg,
-            sent_at,
+    let materialize_prefix = |outbox: &mut Outbox, j: usize, first_at: u64| {
+        outbox.extend((0..j).map(|i| {
+            OutItem::One(Outgoing {
+                to: ProcessId(i),
+                msg,
+                sent_at: first_at,
+            })
         }));
+    };
+    for j in 0..n {
+        match ctx.send(ProcessId(j), msg) {
+            Ok(sent_at) => {
+                if j == 0 {
+                    first_at = sent_at;
+                } else if uniform && sent_at != first_at {
+                    materialize_prefix(outbox, j, first_at);
+                    uniform = false;
+                }
+                if !uniform {
+                    outbox.push(OutItem::One(Outgoing {
+                        to: ProcessId(j),
+                        msg,
+                        sent_at,
+                    }));
+                }
+            }
+            Err(halt) => {
+                if uniform {
+                    materialize_prefix(outbox, j, first_at);
+                }
+                return Err(halt);
+            }
+        }
     }
-    if uniform && n > 1 {
-        outbox.truncate(start);
-        outbox.push(OutItem::Broadcast {
-            msg,
-            sent_at: first_at,
-        });
+    if uniform {
+        match n {
+            0 => {}
+            1 => outbox.push(OutItem::One(Outgoing {
+                to: ProcessId(0),
+                msg,
+                sent_at: first_at,
+            })),
+            _ => outbox.push(OutItem::Broadcast {
+                msg,
+                sent_at: first_at,
+            }),
+        }
     }
     Ok(())
+}
+
+/// Upper bound on the capacity of a recycled outbox buffer. Recycling
+/// exists to spare the per-step allocation of *typical* outboxes (a
+/// broadcast entry or a handful of sends); holding onto an occasional
+/// `O(n)`-entry buffer per machine would instead pin `O(n²)` memory
+/// across a large run, so oversized buffers are dropped and return to
+/// the allocator.
+const MAX_RECYCLED_CAPACITY: usize = 64;
+
+/// Adopts a drained buffer into `slot` if it improves on the current
+/// capacity without exceeding [`MAX_RECYCLED_CAPACITY`] — the shared
+/// implementation behind every machine's `recycle_outbox`.
+pub(crate) fn recycle_into(slot: &mut Outbox, buf: Outbox) {
+    debug_assert!(buf.is_empty(), "recycled buffers must be drained");
+    if buf.capacity() <= MAX_RECYCLED_CAPACITY && slot.capacity() < buf.capacity() {
+        *slot = buf;
+    }
+}
+
+/// Accumulates an inner machine's sends into an outer layer's outbox,
+/// adopting the inner buffer wholesale when the outer one is empty (the
+/// common case, since outboxes are taken at every suspension — a move,
+/// no copy and no fresh allocation). Shared by the multi-instance
+/// machines so the outbox-propagation behavior cannot drift between
+/// layers.
+pub(crate) fn absorb_out(slot: &mut Outbox, out: Outbox) {
+    if slot.is_empty() {
+        *slot = out;
+    } else {
+        slot.extend(out);
+    }
 }
 
 /// Immutable per-run topology shared by all machines of one execution:

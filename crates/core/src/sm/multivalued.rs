@@ -145,6 +145,23 @@ impl MultivaluedSm {
         self.me
     }
 
+    /// Hands a drained outbox buffer back for reuse (see
+    /// [`ConsensusSm::recycle_outbox`]). Routed to the running binary
+    /// stage when one is active — that is where broadcasts originate,
+    /// and the stage's buffer moves wholesale up to this layer at every
+    /// suspension, so one buffer cycles through the whole machine stack.
+    pub fn recycle_outbox(&mut self, buf: Outbox) {
+        match &mut self.state {
+            MvState::Stage(sm) => sm.recycle_outbox(buf),
+            _ => super::recycle_into(&mut self.outbox, buf),
+        }
+    }
+
+    /// Accumulates a binary stage's sends (see [`super::absorb_out`]).
+    fn absorb_out(&mut self, out: Outbox) {
+        super::absorb_out(&mut self.outbox, out);
+    }
+
     /// Runs the machine up to its first suspension: broadcasts the `APP`
     /// dissemination and opens stage 1. Call exactly once.
     pub fn start<C: SmCtx + ?Sized>(&mut self, ctx: &mut C) -> MvProgress {
@@ -213,7 +230,7 @@ impl MultivaluedSm {
             // the blocking instance does when the halt propagates out.
             match sm.halt(halt, ctx) {
                 Progress::Halted(h, out) => {
-                    self.outbox.extend(out);
+                    self.absorb_out(out);
                     return self.finish_halt(h);
                 }
                 other => unreachable!("halt() is terminal, got {other:?}"),
@@ -243,15 +260,15 @@ impl MultivaluedSm {
         match progress {
             Progress::NeedMsg => Drive::Suspend,
             Progress::Sent(out) => {
-                self.outbox.extend(out);
+                self.absorb_out(out);
                 Drive::Suspend
             }
             Progress::Halted(h, out) => {
-                self.outbox.extend(out);
+                self.absorb_out(out);
                 Drive::Terminal(self.finish_halt(h))
             }
             Progress::Decided(d, out) => {
-                self.outbox.extend(out);
+                self.absorb_out(out);
                 // Reclaim the shared mailbox from the finished stage.
                 let MvState::Stage(sm) =
                     std::mem::replace(&mut self.state, MvState::Finished(Mailbox::new()))

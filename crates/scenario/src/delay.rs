@@ -81,6 +81,24 @@ pub enum DelayModel {
     },
 }
 
+/// Domain separator folded into the per-message delay PRF so delay
+/// randomness never collides with coin or local-coin streams derived
+/// from the same master seed.
+const DELAY_DOMAIN_SEP: u64 = 0x5DEE_CE66_D1CE_5EED;
+
+/// SplitMix64-style mix of the delay PRF inputs into one RNG seed.
+fn mix_delay_seed(seed: u64, from: ProcessId, to: ProcessId, k: u64) -> u64 {
+    let mut z = seed ^ DELAY_DOMAIN_SEP;
+    for w in [from.index() as u64, to.index() as u64, k] {
+        z = z
+            .wrapping_add(w)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 27;
+    }
+    z
+}
+
 impl DelayModel {
     /// Samples the transit time of a message `from → to`.
     pub fn sample(&self, rng: &mut StdRng, from: ProcessId, to: ProcessId) -> u64 {
@@ -96,6 +114,46 @@ impl DelayModel {
                     d.saturating_mul(*factor)
                 } else {
                     d
+                }
+            }
+        }
+    }
+
+    /// The transit time of the sender's `k`-th network handoff (counted
+    /// per sending process across the whole run) to `to`.
+    ///
+    /// Unlike [`DelayModel::sample`] over a shared sequential RNG stream,
+    /// this is a *pure function* of `(seed, from, to, k)`: the delay does
+    /// not depend on the order in which messages are registered with a
+    /// scheduler. That is what lets the sharded parallel engine assign
+    /// delays shard-locally and still agree bit-for-bit with the
+    /// single-threaded engines — every engine uses this derivation.
+    pub fn delay_of(&self, seed: u64, from: ProcessId, to: ProcessId, k: u64) -> u64 {
+        match self {
+            // The scale fast path: no RNG construction per message.
+            DelayModel::Constant(d) => *d,
+            _ => {
+                use rand::SeedableRng;
+                let mut rng = StdRng::seed_from_u64(mix_delay_seed(seed, from, to, k));
+                self.sample(&mut rng, from, to)
+            }
+        }
+    }
+
+    /// A lower bound on every delay this model can produce — the
+    /// conservative lookahead of the parallel engine: events scheduled
+    /// within one `min_delay` window cannot causally affect each other
+    /// across shards. A zero bound disables parallel execution.
+    pub fn min_delay(&self) -> u64 {
+        match self {
+            DelayModel::Constant(d) => *d,
+            DelayModel::Uniform { lo, .. } => *lo,
+            DelayModel::Laggard { slow, factor, base } => {
+                let b = base.min_delay();
+                if slow.is_empty() {
+                    b
+                } else {
+                    b.min(b.saturating_mul(*factor))
                 }
             }
         }
@@ -163,6 +221,49 @@ mod tests {
                 d.sample(&mut b, ProcessId(0), ProcessId(1))
             );
         }
+    }
+
+    #[test]
+    fn keyed_delay_is_a_pure_function_and_respects_bounds() {
+        let d = DelayModel::Uniform { lo: 10, hi: 20 };
+        let (p, q) = (ProcessId(3), ProcessId(7));
+        // Pure: same inputs, same delay, in any evaluation order.
+        let first = d.delay_of(9, p, q, 0);
+        let later = d.delay_of(9, p, q, 5);
+        assert_eq!(d.delay_of(9, p, q, 5), later);
+        assert_eq!(d.delay_of(9, p, q, 0), first);
+        assert!((10..=20).contains(&first));
+        // Distinct keys vary (statistically: over 64 keys at least one
+        // differs from the first for an 11-value range).
+        assert!((0..64).any(|k| d.delay_of(9, p, q, k) != first));
+        // Distinct seeds decorrelate the whole stream.
+        assert!((0..64).any(|k| d.delay_of(10, p, q, k) != d.delay_of(9, p, q, k)));
+    }
+
+    #[test]
+    fn min_delay_bounds_every_sample() {
+        assert_eq!(DelayModel::Constant(7).min_delay(), 7);
+        assert_eq!(DelayModel::Uniform { lo: 200, hi: 900 }.min_delay(), 200);
+        let lag = DelayModel::Laggard {
+            slow: vec![ProcessId(0)],
+            factor: 7,
+            base: Box::new(DelayModel::Uniform { lo: 300, hi: 800 }),
+        };
+        assert_eq!(lag.min_delay(), 300);
+        // A zero factor can *shrink* delays on slow links.
+        let shrink = DelayModel::Laggard {
+            slow: vec![ProcessId(1)],
+            factor: 0,
+            base: Box::new(DelayModel::Constant(50)),
+        };
+        assert_eq!(shrink.min_delay(), 0);
+        // No slow processes: the factor never applies.
+        let noop = DelayModel::Laggard {
+            slow: vec![],
+            factor: 0,
+            base: Box::new(DelayModel::Constant(50)),
+        };
+        assert_eq!(noop.min_delay(), 50);
     }
 
     #[test]

@@ -57,6 +57,6 @@ pub use crash::{CrashPlan, CrashTrigger};
 pub use delay::{CostModel, DelayModel};
 pub use outcome::{BackendKind, Outcome};
 pub use scenario::{CoinSpec, Engine, Scenario};
-pub use sweep::{Sweep, SweepReport, SweepRun, SweepView};
+pub use sweep::{default_workers, Sweep, SweepReport, SweepRun, SweepView};
 pub use time::VirtualTime;
 pub use trace::{TimedEvent, TraceEvent, TraceRecorder};

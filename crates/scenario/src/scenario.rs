@@ -110,12 +110,12 @@ impl Deserialize for CoinSpec {
 /// Which execution engine a virtual-time backend uses to drive the
 /// processes of a scenario (real-time backends ignore the knob).
 ///
-/// Both engines consume the same scheduler event stream and produce
+/// All engines consume the same scheduler event stream and produce
 /// identical [`crate::Outcome`]s — decisions, agreement, decider sets,
 /// even trace hashes — for any declarative scenario
 /// (`tests/engine_equivalence.rs` asserts this on a seeded corpus
 /// covering binary, multivalued, and replicated-log bodies). They differ
-/// only in *how* a process is represented:
+/// only in *how* a process is represented and scheduled:
 ///
 /// * [`Engine::Threads`] — the reference engine: each process runs the
 ///   blocking `Env`-trait algorithm on its own OS thread, with a
@@ -131,12 +131,84 @@ impl Deserialize for CoinSpec {
 ///   Custom protocol bodies ([`crate::Body::Custom`]) are blocking code
 ///   and fall back to [`Engine::Threads`] —
 ///   [`crate::Outcome::engine_used`] records which engine actually ran.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// * [`Engine::ParallelEvent`] — the event-driven engine sharded by
+///   cluster across a worker pool: each shard owns its clusters'
+///   machines, shared memories, and scheduler heap, and shards exchange
+///   cross-shard deliveries at deterministic virtual-time epoch barriers
+///   (conservative lookahead = [`crate::DelayModel::min_delay`]).
+///   Bit-for-bit identical to [`Engine::EventDriven`] for any seed *and
+///   any worker count* — the cluster partition is exactly the paper's
+///   communication structure, so shards only interact through the
+///   message schedule, which is a pure function of the scenario. Falls
+///   back (observably, via [`crate::Outcome::engine_used`]) to
+///   [`Engine::EventDriven`] when parallelism cannot help or cannot be
+///   exact: fewer than two shards, a delay model whose
+///   [`crate::DelayModel::min_delay`] is zero (no lookahead), or
+///   [`crate::Scenario::keep_trace`] (event *order* is reconstructed
+///   only by the sequential engines); and to [`Engine::Threads`] for
+///   custom bodies. One caveat survives on purpose: an attached
+///   [`crate::Scenario::observer`] is invoked from shard threads
+///   concurrently, so while every *per-process* event subsequence (and
+///   the whole [`crate::Outcome`]) is deterministic, the global
+///   interleaving of callbacks across processes is not — per-process
+///   collectors (e.g. `ofa-smr`'s `LogCollector`, which large SMR runs
+///   rely on) are unaffected; use a sequential engine for
+///   order-sensitive observers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Engine {
     /// One OS thread per process + conductor baton (the reference).
     Threads,
     /// Single-threaded resumable-state-machine engine (the default).
     EventDriven,
+    /// Cluster-sharded event engine on a worker pool.
+    ParallelEvent {
+        /// Worker threads to use; `0` = auto (one per available core,
+        /// capped by the number of clusters).
+        workers: u64,
+    },
+}
+
+impl Engine {
+    /// Shorthand for [`Engine::ParallelEvent`] with auto-detected workers.
+    pub fn parallel() -> Self {
+        Engine::ParallelEvent { workers: 0 }
+    }
+}
+
+impl Serialize for Engine {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Engine::Threads => serde::Value::Str("Threads".to_string()),
+            Engine::EventDriven => serde::Value::Str("EventDriven".to_string()),
+            Engine::ParallelEvent { workers } => serde::Value::Map(vec![(
+                "ParallelEvent".to_string(),
+                serde::Value::Map(vec![("workers".to_string(), serde::Value::U64(*workers))]),
+            )]),
+        }
+    }
+}
+
+impl Deserialize for Engine {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) if s == "Threads" => Ok(Engine::Threads),
+            serde::Value::Str(s) if s == "EventDriven" => Ok(Engine::EventDriven),
+            // Bare string form: auto worker count.
+            serde::Value::Str(s) if s == "ParallelEvent" => Ok(Engine::parallel()),
+            _ => match v.get("ParallelEvent") {
+                Some(inner) => {
+                    let workers = match inner.get("workers") {
+                        Some(w) => Deserialize::from_value(w)?,
+                        None => 0,
+                    };
+                    Ok(Engine::ParallelEvent { workers })
+                }
+                None => Err(serde::Error::msg(
+                    "Engine: expected Threads | EventDriven | {ParallelEvent: {workers}}",
+                )),
+            },
+        }
+    }
 }
 
 impl Default for Engine {
@@ -380,6 +452,14 @@ impl Scenario {
         self.engine(Engine::EventDriven)
     }
 
+    /// Shorthand for selecting [`Engine::ParallelEvent`] with
+    /// auto-detected workers (`workers` > 0 pins the pool size — useful
+    /// for benchmarking and for the determinism-across-worker-counts
+    /// tests).
+    pub fn parallel(self, workers: u64) -> Self {
+        self.engine(Engine::ParallelEvent { workers })
+    }
+
     /// Sets the wall-clock budget for real-time backends, after which
     /// undecided processes are stopped (indulgence: they stop *without*
     /// deciding). Sub-millisecond durations round **up** to 1 ms so a
@@ -580,6 +660,21 @@ mod tests {
             Engine::Threads,
             "absent knob = reference engine"
         );
+    }
+
+    #[test]
+    fn parallel_engine_knob_round_trips_and_accepts_the_bare_string() {
+        let sc = Scenario::new(Partition::even(6, 3), Algorithm::LocalCoin).parallel(4);
+        assert_eq!(sc.engine, Engine::ParallelEvent { workers: 4 });
+        let json = serde_json::to_string(&sc).unwrap();
+        assert!(json.contains("\"ParallelEvent\":{\"workers\":4}"), "{json}");
+        let copy: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(copy.engine, sc.engine);
+        // The bare string form means auto workers.
+        let bare = json.replace("{\"ParallelEvent\":{\"workers\":4}}", "\"ParallelEvent\"");
+        assert_ne!(bare, json);
+        let auto: Scenario = serde_json::from_str(&bare).unwrap();
+        assert_eq!(auto.engine, Engine::parallel());
     }
 
     #[test]

@@ -10,6 +10,20 @@ use crate::{Backend, Outcome, Scenario};
 use ofa_metrics::Summary;
 use std::sync::Arc;
 
+/// The natural worker-thread count for CPU-bound fan-out on this host:
+/// one per available core (1 if the parallelism cannot be queried).
+///
+/// This is the shared sizing heuristic for everything in the workspace
+/// that spreads deterministic work over a pool — [`Sweep::workers`]
+/// callers and the simulator's cluster-sharded
+/// `Engine::ParallelEvent { workers: 0 }` both resolve "auto" through
+/// it.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// A function that derives a variant scenario from the base scenario.
 type Patch = Arc<dyn Fn(Scenario) -> Scenario + Send + Sync>;
 

@@ -5,6 +5,15 @@
 //! *bit-for-bit deterministic replay*: same seed ⇒ same hash. Optionally,
 //! the recorder also retains the events themselves for inspection and
 //! pretty-printing (the `trace_walkthrough` example).
+//!
+//! The hash is a **multiset** hash: each `(timestamp, event)` pair is
+//! avalanched into an independent 64-bit fingerprint and the fingerprints
+//! are combined with wrapping addition, so the result is independent of
+//! recording *order* (but still sensitive to content, timestamps, and
+//! multiplicity). That is what lets the parallel event engine keep one
+//! recorder per shard and [`TraceRecorder::merge`] the partials into a
+//! value bit-identical to a single-threaded recorder of the same events —
+//! the "shard-merged trace hash" the engine-equivalence corpus asserts.
 
 use crate::VirtualTime;
 use ofa_core::{Decision, Halt, MsgKind};
@@ -135,7 +144,7 @@ impl TraceRecorder {
     /// in memory; the hash is always computed.
     pub fn new(keep_events: bool) -> Self {
         TraceRecorder {
-            hash: 0xcbf2_9ce4_8422_2325, // FNV offset basis
+            hash: 0,
             count: 0,
             keep: keep_events,
             events: Vec::new(),
@@ -144,27 +153,52 @@ impl TraceRecorder {
 
     /// Records one event.
     pub fn record(&mut self, at: VirtualTime, event: TraceEvent) {
-        self.fold(at.ticks());
-        self.fold(discriminant_code(&event));
+        // Per-event fingerprint: FNV-1a lifted from bytes to whole words
+        // (one xor-multiply per 64 bits, high bits fed back), then a
+        // splitmix-style finalizer so the commutative sum below still
+        // separates near-identical events. Billions of events are hashed
+        // per large run, so this is on the simulator's hottest path.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+        let mut fold = |w: u64| {
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            h ^= h >> 32;
+        };
+        fold(at.ticks());
+        fold(discriminant_code(&event));
         let (words, len) = encode_words(&event);
         for &w in &words[..len] {
-            self.fold(w);
+            fold(w);
         }
+        // Finalize, then combine order-independently (multiset hash).
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        self.hash = self.hash.wrapping_add(h);
         self.count += 1;
         if self.keep {
             self.events.push(TimedEvent { at, event });
         }
     }
 
-    #[inline]
-    fn fold(&mut self, word: u64) {
-        // FNV-1a lifted from bytes to whole words: same mixing structure,
-        // one xor-multiply per 64 bits (plus a final shift so high bits
-        // feed back). Billions of events are hashed per large run, so the
-        // fold is on the simulator's hottest path.
-        self.hash ^= word;
-        self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01B3);
-        self.hash ^= self.hash >> 32;
+    /// Folds another recorder's partial trace into this one. Because the
+    /// hash is a multiset hash, merging shard-local recorders in any
+    /// order yields the same hash a single recorder of all events would
+    /// have — the parallel engine's per-shard traces merge losslessly.
+    ///
+    /// Intended for recorders that observed *disjoint shares of one
+    /// run*. The hash and count are always exact; retained events are
+    /// simply concatenated, **not** re-sorted into timestamp order (the
+    /// parallel engine never retains events — scenarios that keep a
+    /// trace run on a sequential engine), and a `keep_events` mismatch
+    /// between the two recorders keeps only the self side's events
+    /// while the count still covers both.
+    pub fn merge(&mut self, other: TraceRecorder) {
+        self.hash = self.hash.wrapping_add(other.hash);
+        self.count += other.count;
+        if self.keep {
+            self.events.extend(other.events);
+        }
     }
 
     /// The replay hash of everything recorded so far.
@@ -337,10 +371,55 @@ mod tests {
         for (t, e) in sample_events() {
             a.record(t, e);
         }
-        for (t, e) in sample_events().into_iter().rev() {
-            b.record(t, e);
+        // Same count, different content.
+        b.record(
+            VirtualTime::from_ticks(1),
+            TraceEvent::RoundStart {
+                who: ProcessId(0),
+                round: 2,
+            },
+        );
+        b.record(
+            VirtualTime::from_ticks(2),
+            TraceEvent::Crash { who: ProcessId(1) },
+        );
+        assert_ne!(a.hash(), b.hash(), "content must matter");
+        // Multiplicity matters too (multiset, not set).
+        let mut c = TraceRecorder::new(false);
+        let (t, e) = sample_events()[0];
+        c.record(t, e);
+        c.record(t, e);
+        let mut d = TraceRecorder::new(false);
+        d.record(t, e);
+        assert_ne!(c.hash(), d.hash(), "multiplicity must matter");
+    }
+
+    #[test]
+    fn hash_is_order_independent_and_shard_partials_merge() {
+        // The multiset property: recording in any order — or recording
+        // disjoint shares on separate recorders and merging — produces
+        // the same hash as one sequential recorder.
+        let mut seq = TraceRecorder::new(false);
+        for (t, e) in sample_events() {
+            seq.record(t, e);
         }
-        assert_ne!(a.hash(), b.hash(), "order must matter");
+        let mut rev = TraceRecorder::new(false);
+        for (t, e) in sample_events().into_iter().rev() {
+            rev.record(t, e);
+        }
+        assert_eq!(seq.hash(), rev.hash(), "order must not matter");
+        let mut shard_a = TraceRecorder::new(false);
+        let mut shard_b = TraceRecorder::new(false);
+        for (i, (t, e)) in sample_events().into_iter().enumerate() {
+            if i % 2 == 0 {
+                shard_a.record(t, e);
+            } else {
+                shard_b.record(t, e);
+            }
+        }
+        shard_b.merge(shard_a);
+        assert_eq!(seq.hash(), shard_b.hash(), "shard partials must merge");
+        assert_eq!(seq.count(), shard_b.count());
     }
 
     #[test]

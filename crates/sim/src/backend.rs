@@ -3,7 +3,8 @@
 
 use crate::conductor::{conduct, RunSpec, TimedScheduler};
 use crate::engine::conduct_event_driven;
-use ofa_scenario::{Backend, BackendKind, Engine, Outcome, Scenario, VirtualTime};
+use crate::par::conduct_parallel;
+use ofa_scenario::{default_workers, Backend, BackendKind, Engine, Outcome, Scenario, VirtualTime};
 use std::time::Instant;
 
 /// The deterministic discrete-event backend.
@@ -47,12 +48,54 @@ impl Backend for Sim {
     }
 }
 
+/// Decides which engine will actually run `scenario` — the observable
+/// value recorded in [`Outcome::engine_used`]. The fallback ladder:
+///
+/// * [`Body::Custom`](ofa_scenario::Body::Custom) bodies are blocking
+///   code → [`Engine::Threads`], whatever was requested.
+/// * [`Engine::ParallelEvent`] degrades to [`Engine::EventDriven`] when
+///   parallelism cannot help or cannot be exact: fewer than two shards
+///   (auto workers resolve to the host parallelism, capped by the
+///   cluster count `m`), a zero [`ofa_scenario::DelayModel::min_delay`]
+///   (no conservative lookahead), or a retained trace
+///   ([`Scenario::keep_trace`] — only the sequential engines reproduce
+///   event *order*; the hash needs no order and is always computed).
+/// * Otherwise the requested engine runs, with `ParallelEvent` carrying
+///   the resolved shard count.
+fn resolve_engine(scenario: &Scenario) -> Engine {
+    if !scenario.body.has_state_machine() {
+        return Engine::Threads;
+    }
+    match scenario.engine {
+        Engine::Threads => Engine::Threads,
+        Engine::EventDriven => Engine::EventDriven,
+        Engine::ParallelEvent { workers } => {
+            let requested = if workers == 0 {
+                default_workers()
+            } else {
+                workers as usize
+            };
+            let shards = requested.min(scenario.partition.m());
+            if shards < 2 || scenario.delay.min_delay() == 0 || scenario.keep_trace {
+                Engine::EventDriven
+            } else {
+                Engine::ParallelEvent {
+                    workers: shards as u64,
+                }
+            }
+        }
+    }
+}
+
 /// Executes `scenario` under the timed scheduler and shapes the raw
 /// conductor result into the unified [`Outcome`].
 pub(crate) fn run_scenario(scenario: &Scenario) -> Outcome {
     scenario.assert_valid();
     let started = Instant::now();
-    let mut scheduler = TimedScheduler::new(scenario.seed, scenario.delay.clone());
+    // Resolve the engine first, then build the run spec exactly once —
+    // the fallback paths must not re-clone the scenario's body,
+    // proposals, and crash plan per attempted engine.
+    let engine = resolve_engine(scenario);
     let spec = RunSpec {
         partition: scenario.partition.clone(),
         body: scenario.body.clone(),
@@ -66,14 +109,18 @@ pub(crate) fn run_scenario(scenario: &Scenario) -> Outcome {
         keep_trace: scenario.keep_trace,
         max_events: scenario.max_events,
     };
-    // Custom bodies are blocking code and need the thread conductor;
-    // every declarative body (binary algorithms, multivalued workloads,
-    // replicated logs) runs on whichever engine the scenario selects.
-    let event_driven = scenario.engine == Engine::EventDriven && scenario.body.has_state_machine();
-    let raw = if event_driven {
-        conduct_event_driven(spec, &mut scheduler)
-    } else {
-        conduct(spec, &mut scheduler)
+    let raw = match engine {
+        Engine::Threads => {
+            let mut scheduler = TimedScheduler::new(scenario.seed, scenario.delay.clone());
+            conduct(spec, &mut scheduler)
+        }
+        Engine::EventDriven => {
+            let mut scheduler = TimedScheduler::new(scenario.seed, scenario.delay.clone());
+            conduct_event_driven(spec, &mut scheduler)
+        }
+        Engine::ParallelEvent { workers } => {
+            conduct_parallel(spec, &scenario.delay, workers as usize)
+        }
     };
 
     let latest_decision_ticks = raw
@@ -91,13 +138,11 @@ pub(crate) fn run_scenario(scenario: &Scenario) -> Outcome {
         raw.sm_objects,
         raw.sm_proposes,
     );
-    // Record which engine actually ran — the custom-body fallback to the
-    // conductor is observable here, not silent.
-    out.engine_used = Some(if event_driven {
-        Engine::EventDriven
-    } else {
-        Engine::Threads
-    });
+    // Record which engine actually ran — every fallback (custom body →
+    // conductor, unparallelizable scenario → single-threaded event
+    // engine) is observable here, not silent. `ParallelEvent` carries
+    // the resolved shard count.
+    out.engine_used = Some(engine);
     out.latest_decision_time = VirtualTime::from_ticks(latest_decision_ticks);
     out.end_time = VirtualTime::from_ticks(raw.end_time);
     out.events_processed = raw.events_processed;

@@ -23,8 +23,6 @@ use ofa_metrics::Counters;
 use ofa_sharedmem::{MemoryBank, Slot};
 use ofa_topology::{Partition, ProcessId};
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -73,19 +71,63 @@ pub(crate) trait Scheduler {
     fn pop(&mut self) -> Option<SchedEvent>;
 }
 
+/// Deterministic total-order tie-break for events that share a delivery
+/// time. The key is *locally computable by the sender* — `(class, sender,
+/// sender's send-op counter, destination)` — rather than a global
+/// registration sequence number, so every engine (and every shard of the
+/// parallel engine) derives the identical dispatch order for the same
+/// logical sends, no matter in which real-time order they were pushed.
+///
+/// Field order is the comparison order (derived lexicographic `Ord`):
+/// crashes (`class` 0) sort before deliveries (`class` 1) at equal times;
+/// a sender's messages sort by its own counter `k` (broadcasts occupy `n`
+/// consecutive counter values, one per destination in index order, so a
+/// batched entry expands in exactly the order `n` individual entries
+/// would have had — nothing from the same sender can interleave, and
+/// other senders order entirely before or after by `from`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct EventKey {
+    /// 0 = crash, 1 = delivery.
+    pub(crate) class: u8,
+    /// The sender (the victim, for crashes).
+    pub(crate) from: u32,
+    /// The sender's send-op counter value for this message.
+    pub(crate) k: u64,
+    /// The destination (the victim, for crashes).
+    pub(crate) to: u32,
+}
+
+impl EventKey {
+    pub(crate) fn deliver(from: ProcessId, k: u64, to: ProcessId) -> Self {
+        EventKey {
+            class: 1,
+            from: from.index() as u32,
+            k,
+            to: to.index() as u32,
+        }
+    }
+
+    pub(crate) fn crash(pid: ProcessId) -> Self {
+        EventKey {
+            class: 0,
+            from: pid.index() as u32,
+            k: 0,
+            to: pid.index() as u32,
+        }
+    }
+}
+
 /// What a heap slot holds: one event, or a whole uniform broadcast kept
 /// as a single entry (constant-delay fast path for the event-driven
-/// engine — O(n) instead of O(n²) heap residency per all-to-all round).
+/// engines — O(n) instead of O(n²) heap residency per all-to-all round).
 #[derive(Debug)]
 enum Pending {
     One(SchedEvent),
     /// `msg` from `from` delivered to `p_0 … p_{n-1}`, all at `at`. The
-    /// entry carries the *first* of `n` consecutive sequence numbers, so
-    /// expanding it destination-by-destination reproduces exactly the
-    /// order `n` individual entries would have had: ties at `at` resolve
-    /// by seq, the batch's seqs are contiguous, and any entry pushed
-    /// later necessarily has a larger seq (and `at' >= at`, since delays
-    /// and costs are non-negative) — nothing can interleave.
+    /// entry's key carries the *first* of `n` consecutive sender-counter
+    /// values (destination `j` conceptually holds `k + j`), so expanding
+    /// destination-by-destination reproduces exactly the order `n`
+    /// individual entries would have had (see [`EventKey`]).
     Broadcast {
         from: ProcessId,
         msg: MsgKind,
@@ -94,30 +136,35 @@ enum Pending {
     },
 }
 
+/// A heap slot ordered **earliest-first** by `(at, key)` — `BinaryHeap`
+/// is a max-heap, so the comparison is inverted. One definition shared
+/// by the sequential scheduler and the parallel engine's per-shard
+/// heaps, so their pop orders can never diverge.
 #[derive(Debug)]
-struct HeapEntry {
-    at: u64,
-    seq: u64,
-    ev: Pending,
+pub(crate) struct Keyed<E> {
+    pub(crate) at: u64,
+    pub(crate) key: EventKey,
+    pub(crate) ev: E,
 }
 
-impl PartialEq for HeapEntry {
+impl<E> PartialEq for Keyed<E> {
     fn eq(&self, other: &Self) -> bool {
-        (self.at, self.seq) == (other.at, other.seq)
+        (self.at, self.key) == (other.at, other.key)
     }
 }
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
+impl<E> Eq for Keyed<E> {}
+impl<E> PartialOrd for Keyed<E> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for HeapEntry {
+impl<E> Ord for Keyed<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        (other.at, other.key).cmp(&(self.at, self.key))
     }
 }
+
+type HeapEntry = Keyed<Pending>;
 
 /// A popped [`Pending::Broadcast`] being expanded destination by
 /// destination.
@@ -130,13 +177,35 @@ struct Draining {
     n: u32,
 }
 
-/// The production scheduler: delivery time = send time + sampled delay;
-/// ties broken by registration order (deterministic).
+/// Per-sender send-op counters: the `k` component of [`EventKey`] and the
+/// per-message input of [`DelayModel::delay_of`]. Kept as a lazily-grown
+/// vector so schedulers need no up-front `n`.
+#[derive(Debug, Default)]
+pub(crate) struct SendCounters(Vec<u64>);
+
+impl SendCounters {
+    /// Returns the sender's current counter and advances it by `by`.
+    pub(crate) fn take(&mut self, from: ProcessId, by: u64) -> u64 {
+        let i = from.index();
+        if i >= self.0.len() {
+            self.0.resize(i + 1, 0);
+        }
+        let k = self.0[i];
+        self.0[i] += by;
+        k
+    }
+}
+
+/// The production scheduler: delivery time = send time + the keyed delay
+/// of [`DelayModel::delay_of`]; ties broken by [`EventKey`]. Both are
+/// pure functions of the sender's local history, which is what makes the
+/// single-threaded engines and the sharded parallel engine agree on one
+/// global event order.
 pub(crate) struct TimedScheduler {
     heap: BinaryHeap<HeapEntry>,
-    rng: StdRng,
+    seed: u64,
     delay: DelayModel,
-    seq: u64,
+    counters: SendCounters,
     draining: Option<Draining>,
 }
 
@@ -144,9 +213,9 @@ impl TimedScheduler {
     pub(crate) fn new(seed: u64, delay: DelayModel) -> Self {
         TimedScheduler {
             heap: BinaryHeap::new(),
-            rng: StdRng::seed_from_u64(seed ^ 0x5DEE_CE66_D1CE_5EED),
+            seed,
             delay,
-            seq: 0,
+            counters: SendCounters::default(),
             draining: None,
         }
     }
@@ -154,12 +223,11 @@ impl TimedScheduler {
 
 impl Scheduler for TimedScheduler {
     fn push_send(&mut self, from: ProcessId, to: ProcessId, msg: MsgKind, sent_at: u64) {
-        let d = self.delay.sample(&mut self.rng, from, to);
-        let at = sent_at + d;
-        self.seq += 1;
+        let k = self.counters.take(from, 1);
+        let at = sent_at + self.delay.delay_of(self.seed, from, to, k);
         self.heap.push(HeapEntry {
             at,
-            seq: self.seq,
+            key: EventKey::deliver(from, k, to),
             ev: Pending::One(SchedEvent::Deliver { to, from, msg, at }),
         });
     }
@@ -171,14 +239,13 @@ impl Scheduler for TimedScheduler {
         if let DelayModel::Constant(d) = &self.delay {
             // Every destination shares one delivery time, so the whole
             // broadcast is a single heap entry occupying `n` consecutive
-            // sequence numbers (see `Pending::Broadcast` for why the
+            // sender-counter values (see `Pending::Broadcast` for why the
             // expansion order is exact).
             let at = sent_at + d;
-            let seq = self.seq + 1;
-            self.seq += n as u64;
+            let k = self.counters.take(from, n as u64);
             self.heap.push(HeapEntry {
                 at,
-                seq,
+                key: EventKey::deliver(from, k, ProcessId(0)),
                 ev: Pending::Broadcast {
                     from,
                     msg,
@@ -187,9 +254,9 @@ impl Scheduler for TimedScheduler {
                 },
             });
         } else {
-            // Varying delays: fall back to per-destination entries, which
-            // also consumes delay randomness in exactly the same order as
-            // a conducted burst draining its outbox.
+            // Varying delays: fall back to per-destination entries; the
+            // keyed delay derivation makes the order of these pushes
+            // irrelevant.
             for j in 0..n {
                 self.push_send(from, ProcessId(j), msg, sent_at);
             }
@@ -197,10 +264,9 @@ impl Scheduler for TimedScheduler {
     }
 
     fn push_crash(&mut self, pid: ProcessId, at: u64) {
-        self.seq += 1;
         self.heap.push(HeapEntry {
             at,
-            seq: self.seq,
+            key: EventKey::crash(pid),
             ev: Pending::One(SchedEvent::Crash { pid, at }),
         });
     }

@@ -42,14 +42,60 @@ use std::sync::Arc;
 /// One process's machine, shaped by the scenario body. The multivalued
 /// variant adapts [`MvProgress`] to [`Progress`] via
 /// [`mv_body_decision`], exactly like the blocking body wrapper.
-enum Machine {
+pub(crate) enum Machine {
     Consensus(ConsensusSm),
     Multivalued(MultivaluedSm),
     Log(LogSm),
 }
 
 impl Machine {
-    fn start(&mut self, ctx: &mut EventCtx<'_>) -> Progress {
+    /// Builds process `i`'s machine for a declarative body — shared by
+    /// the single-threaded engine and the per-shard construction of the
+    /// parallel engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Body::Custom`] — custom bodies are blocking code;
+    /// route them to the thread conductor.
+    pub(crate) fn build(
+        body: &Body,
+        i: usize,
+        topo: &Arc<SmTopology>,
+        proposals: &[Bit],
+        config: ProtocolConfig,
+    ) -> Machine {
+        match body {
+            Body::Algo(algorithm) => Machine::Consensus(ConsensusSm::new(
+                *algorithm,
+                ProcessId(i),
+                Arc::clone(topo),
+                0,
+                proposals[i],
+                config,
+            )),
+            Body::Multivalued(mv) => Machine::Multivalued(MultivaluedSm::new(
+                mv.algorithm,
+                ProcessId(i),
+                Arc::clone(topo),
+                0,
+                mv.proposals[i],
+                config,
+            )),
+            Body::ReplicatedLog(smr) => Machine::Log(LogSm::new(
+                smr.algorithm,
+                ProcessId(i),
+                Arc::clone(topo),
+                smr.queues[i].clone(),
+                smr.slots,
+                config,
+            )),
+            Body::Custom(_) => {
+                panic!("the event-driven engines run declarative bodies only")
+            }
+        }
+    }
+
+    pub(crate) fn start(&mut self, ctx: &mut EventCtx<'_>) -> Progress {
         match self {
             Machine::Consensus(sm) => sm.start(ctx),
             Machine::Multivalued(sm) => adapt(sm.start(ctx)),
@@ -57,7 +103,7 @@ impl Machine {
         }
     }
 
-    fn on_msg(&mut self, msg: Msg, ctx: &mut EventCtx<'_>) -> Progress {
+    pub(crate) fn on_msg(&mut self, msg: Msg, ctx: &mut EventCtx<'_>) -> Progress {
         match self {
             Machine::Consensus(sm) => sm.on_msg(msg, ctx),
             Machine::Multivalued(sm) => adapt(sm.on_msg(msg, ctx)),
@@ -65,11 +111,22 @@ impl Machine {
         }
     }
 
-    fn halt(&mut self, halt: Halt, ctx: &mut EventCtx<'_>) -> Progress {
+    pub(crate) fn halt(&mut self, halt: Halt, ctx: &mut EventCtx<'_>) -> Progress {
         match self {
             Machine::Consensus(sm) => sm.halt(halt, ctx),
             Machine::Multivalued(sm) => adapt(sm.halt(halt, ctx)),
             Machine::Log(sm) => sm.halt(halt, ctx),
+        }
+    }
+
+    /// Returns a drained outbox buffer to the machine for reuse by the
+    /// next step (allocation-free stepping — the buffer cycles
+    /// machine → scheduler drain → machine).
+    pub(crate) fn recycle_outbox(&mut self, buf: Vec<OutItem>) {
+        match self {
+            Machine::Consensus(sm) => sm.recycle_outbox(buf),
+            Machine::Multivalued(sm) => sm.recycle_outbox(buf),
+            Machine::Log(sm) => sm.recycle_outbox(buf),
         }
     }
 }
@@ -87,22 +144,106 @@ fn adapt(progress: MvProgress) -> Progress {
 
 /// Mutable per-process execution state (the conductor keeps the same
 /// quantities on each process thread's stack).
-struct ProcState {
-    clock: u64,
+pub(crate) struct ProcState {
+    pub(crate) clock: u64,
     steps: u64,
     /// An `AtStep`/`AtRound` trigger fired (checked at every step).
     crashed_self: bool,
     local_coin: SeededLocalCoin,
-    /// Plain (non-atomic) counters: the engine is single-threaded, so the
-    /// snapshot type doubles as the accumulator on the hot path.
-    counters: CounterSnapshot,
+    /// Plain (non-atomic) counters: each state is stepped by exactly one
+    /// thread, so the snapshot type doubles as the accumulator on the
+    /// hot path.
+    pub(crate) counters: CounterSnapshot,
     crash_at_step: Option<u64>,
     crash_at_round: Option<u64>,
-    finished: Option<(Result<Decision, Halt>, u64)>,
+    pub(crate) finished: Option<(Result<Decision, Halt>, u64)>,
+}
+
+impl ProcState {
+    /// Fresh state for process `pid` under the run's crash plan.
+    pub(crate) fn for_process(seed: u64, pid: ProcessId, crash_plan: &CrashPlan) -> Self {
+        let (crash_at_step, crash_at_round) = match crash_plan.trigger(pid) {
+            Some(CrashTrigger::AtStep(k)) => (Some(k), None),
+            Some(CrashTrigger::AtRound(r)) => (None, Some(r)),
+            _ => (None, None),
+        };
+        ProcState {
+            clock: 0,
+            steps: 0,
+            crashed_self: false,
+            local_coin: SeededLocalCoin::for_process(seed, pid),
+            counters: CounterSnapshot::default(),
+            crash_at_step,
+            crash_at_round,
+            finished: None,
+        }
+    }
+
+    /// Wake-up + receive accounting for one delivery — the conductor
+    /// charges these inside the blocked `recv` when the baton returns.
+    /// Shared by both event-driven engines so the charging can never
+    /// drift between them.
+    pub(crate) fn on_delivered(&mut self, at: u64, recv_cost: u64) {
+        self.clock = self.clock.max(at);
+        self.clock += recv_cost;
+        self.counters.messages_delivered += 1;
+    }
+
+    /// Wake-up accounting for a timed crash event.
+    pub(crate) fn on_crash_event(&mut self, at: u64) {
+        self.clock = self.clock.max(at);
+    }
+
+    /// Records the terminal trace event and stores the result — what the
+    /// conductor does when a process thread reports `Finished`. Shared by
+    /// both event-driven engines.
+    pub(crate) fn finish(
+        &mut self,
+        who: ProcessId,
+        result: Result<Decision, Halt>,
+        trace: &mut TraceRecorder,
+    ) {
+        let clock = self.clock;
+        let event = match &result {
+            Ok(d) => TraceEvent::Decided { who, decision: *d },
+            Err(h) => TraceEvent::Halted { who, halt: *h },
+        };
+        trace.record(VirtualTime::from_ticks(clock), event);
+        self.finished = Some((result, clock));
+    }
+
+    /// Assembles the per-step [`SmCtx`] over this state — the one place
+    /// the borrow split between process state and run-wide services is
+    /// spelled out, shared by both event-driven engines.
+    pub(crate) fn ctx<'a>(
+        &'a mut self,
+        me: ProcessId,
+        costs: CostModel,
+        memory: &'a ClusterMemory,
+        common_coin: &'a dyn CommonCoin,
+        observer: Option<&'a dyn Observer>,
+        trace: &'a mut TraceRecorder,
+    ) -> EventCtx<'a> {
+        EventCtx {
+            me,
+            costs,
+            crash_at_step: self.crash_at_step,
+            crash_at_round: self.crash_at_round,
+            clock: &mut self.clock,
+            steps: &mut self.steps,
+            crashed_self: &mut self.crashed_self,
+            local_coin: &mut self.local_coin,
+            counters: &mut self.counters,
+            memory,
+            common_coin,
+            observer,
+            trace,
+        }
+    }
 }
 
 /// What to feed a machine on dispatch.
-enum Input {
+pub(crate) enum Input {
     Start,
     Deliver(Msg),
     End(Halt),
@@ -111,7 +252,7 @@ enum Input {
 /// The [`SmCtx`] the engine hands a machine for one step: charges steps
 /// and virtual-time costs, fires step/round-indexed crashes, counts, and
 /// records trace events — mirroring the conductor's `SimEnv` exactly.
-struct EventCtx<'a> {
+pub(crate) struct EventCtx<'a> {
     me: ProcessId,
     costs: CostModel,
     crash_at_step: Option<u64>,
@@ -268,22 +409,14 @@ impl<S: Scheduler> Engine<'_, S> {
     /// routes the resulting progress (sends, termination records).
     fn dispatch(&mut self, i: usize, input: Input) {
         let me = ProcessId(i);
-        let st = &mut self.procs[i];
-        let mut ctx = EventCtx {
+        let mut ctx = self.procs[i].ctx(
             me,
-            costs: self.costs,
-            crash_at_step: st.crash_at_step,
-            crash_at_round: st.crash_at_round,
-            clock: &mut st.clock,
-            steps: &mut st.steps,
-            crashed_self: &mut st.crashed_self,
-            local_coin: &mut st.local_coin,
-            counters: &mut st.counters,
-            memory: self.memory.memory_of(&self.partition, me),
-            common_coin: self.common_coin.as_ref(),
-            observer: self.observer.as_deref(),
-            trace: &mut self.trace,
-        };
+            self.costs,
+            self.memory.memory_of(&self.partition, me),
+            self.common_coin.as_ref(),
+            self.observer.as_deref(),
+            &mut self.trace,
+        );
         let sm = &mut self.machines[i];
         let progress = match input {
             Input::Start => sm.start(&mut ctx),
@@ -292,24 +425,28 @@ impl<S: Scheduler> Engine<'_, S> {
         };
         match progress {
             Progress::NeedMsg => {}
-            Progress::Sent(outbox) => self.drain(i, outbox),
-            Progress::Decided(decision, outbox) => {
-                self.drain(i, outbox);
+            Progress::Sent(mut outbox) => {
+                self.drain(i, &mut outbox);
+                // Hand the drained buffer back: the next step's sends
+                // reuse its capacity instead of allocating.
+                self.machines[i].recycle_outbox(outbox);
+            }
+            Progress::Decided(decision, mut outbox) => {
+                self.drain(i, &mut outbox);
                 self.finish(i, Ok(decision));
             }
-            Progress::Halted(halt, outbox) => {
-                self.drain(i, outbox);
+            Progress::Halted(halt, mut outbox) => {
+                self.drain(i, &mut outbox);
                 self.finish(i, Err(halt));
             }
         }
     }
 
-    /// Hands a step's sends to the scheduler, in send order (the only
-    /// place delay randomness is consumed — same order as a conducted
-    /// burst draining its outbox).
-    fn drain(&mut self, i: usize, outbox: Vec<OutItem>) {
+    /// Hands a step's sends to the scheduler, in send order, leaving the
+    /// buffer empty for recycling.
+    fn drain(&mut self, i: usize, outbox: &mut Vec<OutItem>) {
         let from = ProcessId(i);
-        for item in outbox {
+        for item in outbox.drain(..) {
             match item {
                 OutItem::One(o) => self.scheduler.push_send(from, o.to, o.msg, o.sent_at),
                 OutItem::Broadcast { msg, sent_at } => {
@@ -319,22 +456,9 @@ impl<S: Scheduler> Engine<'_, S> {
         }
     }
 
-    /// Records a terminal result, like the conductor does when a process
-    /// thread reports `Finished`.
+    /// Records a terminal result via the shared [`ProcState::finish`].
     fn finish(&mut self, i: usize, result: Result<Decision, Halt>) {
-        let clock = self.procs[i].clock;
-        let event = match &result {
-            Ok(d) => TraceEvent::Decided {
-                who: ProcessId(i),
-                decision: *d,
-            },
-            Err(h) => TraceEvent::Halted {
-                who: ProcessId(i),
-                halt: *h,
-            },
-        };
-        self.trace.record(VirtualTime::from_ticks(clock), event);
-        self.procs[i].finished = Some((result, clock));
+        self.procs[i].finish(ProcessId(i), result, &mut self.trace);
     }
 }
 
@@ -356,56 +480,12 @@ pub(crate) fn conduct_event_driven<S: Scheduler>(spec: RunSpec, scheduler: &mut 
     let topo = Arc::new(SmTopology::new(spec.partition.clone()));
     let config: ProtocolConfig = spec.config;
     let machines: Vec<Machine> = (0..n)
-        .map(|i| match &spec.body {
-            Body::Algo(algorithm) => Machine::Consensus(ConsensusSm::new(
-                *algorithm,
-                ProcessId(i),
-                Arc::clone(&topo),
-                0,
-                spec.proposals[i],
-                config,
-            )),
-            Body::Multivalued(mv) => Machine::Multivalued(MultivaluedSm::new(
-                mv.algorithm,
-                ProcessId(i),
-                Arc::clone(&topo),
-                0,
-                mv.proposals[i],
-                config,
-            )),
-            Body::ReplicatedLog(smr) => Machine::Log(LogSm::new(
-                smr.algorithm,
-                ProcessId(i),
-                Arc::clone(&topo),
-                smr.queues[i].clone(),
-                smr.slots,
-                config,
-            )),
-            Body::Custom(_) => {
-                panic!("the event-driven engine runs declarative bodies only")
-            }
-        })
+        .map(|i| Machine::build(&spec.body, i, &topo, &spec.proposals, config))
         .collect();
     let mut engine = Engine {
         machines,
         procs: (0..n)
-            .map(|i| {
-                let (crash_at_step, crash_at_round) = match spec.crash_plan.trigger(ProcessId(i)) {
-                    Some(CrashTrigger::AtStep(k)) => (Some(k), None),
-                    Some(CrashTrigger::AtRound(r)) => (None, Some(r)),
-                    _ => (None, None),
-                };
-                ProcState {
-                    clock: 0,
-                    steps: 0,
-                    crashed_self: false,
-                    local_coin: SeededLocalCoin::for_process(spec.seed, ProcessId(i)),
-                    counters: CounterSnapshot::default(),
-                    crash_at_step,
-                    crash_at_round,
-                    finished: None,
-                }
-            })
+            .map(|i| ProcState::for_process(spec.seed, ProcessId(i), &spec.crash_plan))
             .collect(),
         partition: spec.partition,
         memory: MemoryBank::for_partition(topo.partition()),
@@ -453,12 +533,7 @@ pub(crate) fn conduct_event_driven<S: Scheduler>(spec: RunSpec, scheduler: &mut 
                     VirtualTime::from_ticks(at),
                     TraceEvent::Deliver { who: to, from, msg },
                 );
-                // Wake-up + receive accounting (the conductor charges
-                // these inside the blocked `recv` when the baton returns).
-                let st = &mut engine.procs[i];
-                st.clock = st.clock.max(at);
-                st.clock += engine.costs.recv_cost;
-                st.counters.messages_delivered += 1;
+                engine.procs[i].on_delivered(at, engine.costs.recv_cost);
                 engine.dispatch(i, Input::Deliver(Msg { from, kind: msg }));
             }
             SchedEvent::Crash { pid, at } => {
@@ -470,7 +545,7 @@ pub(crate) fn conduct_event_driven<S: Scheduler>(spec: RunSpec, scheduler: &mut 
                 engine
                     .trace
                     .record(VirtualTime::from_ticks(at), TraceEvent::Crash { who: pid });
-                engine.procs[i].clock = engine.procs[i].clock.max(at);
+                engine.procs[i].on_crash_event(at);
                 engine.dispatch(i, Input::End(Halt::Crashed));
             }
         }

@@ -6,8 +6,8 @@
 //! via the [`Sim`] backend (or on real threads via `ofa_runtime::Threads`)
 //! and get back the same [`ofa_scenario::Outcome`] shape either way.
 //!
-//! The simulator itself has **two interchangeable engines**, selected by
-//! [`ofa_scenario::Scenario::engine`]:
+//! The simulator itself has **three interchangeable engines**, selected
+//! by [`ofa_scenario::Scenario::engine`]:
 //!
 //! * [`Engine::Threads`] — the reference: each process runs the *actual*
 //!   blocking `ofa-core` algorithm on its own OS thread, serialized by a
@@ -17,10 +17,15 @@
 //!   `ofa_core::sm::ConsensusSm` state machine stepped on a single
 //!   thread straight off the event heap — no threads, no baton — which
 //!   lifts the process-count ceiling from thousands to tens of
-//!   thousands (the `escale` experiment runs `n = 10 000+`).
+//!   thousands (the `escale` experiment runs `n = 10 000+`);
+//! * [`Engine::ParallelEvent`] — the event engine sharded by *cluster*
+//!   over a worker pool, exchanging cross-shard deliveries at
+//!   deterministic virtual-time epoch barriers; pushes the replicated
+//!   SMR workload past `n = 10⁴` (the `parscale` experiment).
 //!
-//! Both engines produce identical outcomes — decisions, counters, event
-//! counts, trace hashes — for any declarative scenario.
+//! All engines produce identical outcomes — decisions, counters, event
+//! counts, trace hashes — for any declarative scenario, and the
+//! parallel engine additionally for any worker count.
 //!
 //! What this backend adds over the shared scenario vocabulary:
 //!
@@ -70,6 +75,7 @@ mod backend;
 mod conductor;
 mod engine;
 mod explorer;
+mod par;
 
 pub use backend::Sim;
 pub use explorer::{ExploreReport, Explorer};

@@ -1,0 +1,963 @@
+//! The parallel event engine: the event-driven engine sharded by cluster.
+//!
+//! The single-threaded engine (`engine.rs`) dispatches machine steps off
+//! one global heap; its ceiling is one core. This engine exploits the
+//! paper's own structure to go wider: **clusters are natural shards**.
+//! Intra-cluster traffic is shared memory (`MEM_x` never crosses a
+//! cluster boundary) and every remaining interaction is a scheduled
+//! message delivery — so each shard owns a subset of the clusters (their
+//! machines, their `ClusterMemory`, and a local scheduler heap) and
+//! shards only interact through cross-shard deliveries exchanged at
+//! deterministic virtual-time **epoch barriers**.
+//!
+//! # Why the runs are bit-for-bit reproducible
+//!
+//! Everything order-sensitive in a run was made a *pure function of the
+//! scenario* in this engine's companion refactor:
+//!
+//! * **Delays** come from [`ofa_scenario::DelayModel::delay_of`], keyed
+//!   by `(seed, sender, destination, sender-counter)` — no shared RNG
+//!   stream to race on.
+//! * **Tie-breaks** come from the deterministic
+//!   [`EventKey`](crate::conductor) total order — no registration
+//!   sequence numbers.
+//! * **The trace hash** is a multiset hash, so per-shard recorders merge
+//!   into exactly the value one global recorder would produce.
+//!
+//! Each shard pops its local events in `(time, key)` order, which equals
+//! the single-threaded engine's global dispatch order *restricted to the
+//! shard*; since same-epoch events on different shards touch disjoint
+//! state (machines and memories are shard-owned; the conservative
+//! lookahead below keeps their messages out of the current epoch), the
+//! parallel execution computes the identical run — same decisions,
+//! halts, counters, event counts, end time, and shard-merged trace hash
+//! — for any seed and **any worker count**. `tests/engine_equivalence.rs`
+//! asserts this across the whole corpus.
+//!
+//! # The epoch barrier
+//!
+//! Every message takes at least [`DelayModel::min_delay`] ticks, so an
+//! event processed at virtual time `t` can only schedule deliveries at
+//! `t + min_delay` or later (send timestamps never precede the event
+//! being dispatched). With the epoch `[T, T + min_delay)`, the event set
+//! of the epoch is therefore *closed* at the barrier: nothing processed
+//! inside it — on any shard — can add to it. The coordinator picks
+//! `T` = earliest pending event anywhere, shards process their slice of
+//! the epoch in parallel, cross-shard sends are routed at the barrier,
+//! and the cycle repeats. Uniform broadcasts stay batched end to end:
+//! one descriptor per *shard* (not per destination) crosses the barrier,
+//! and each shard expands it lazily over its own members, preserving the
+//! O(n)-heap-residency property of the single-threaded engine.
+//!
+//! The event budget (`Scenario::max_events`) keeps its exact sequential
+//! semantics: when an epoch would overrun the budget, the shards report
+//! their event keys and the coordinator cuts the epoch at the globally
+//! `remaining`-th event in `(time, key)` order — the same prefix the
+//! single-threaded engine would have processed.
+//!
+//! Observers are supported (they are `Send + Sync` by contract) and see
+//! a deterministic event subsequence *per process*, but the global
+//! interleaving of callbacks across shards is real-time concurrent —
+//! the one observable this engine does not linearize. Order-sensitive
+//! observers belong on a sequential engine; see the
+//! [`Engine`](ofa_scenario::Engine) docs.
+
+use crate::conductor::{EventKey, Keyed, RawOutcome, RunSpec, SendCounters};
+use crate::engine::{Input, Machine, ProcState};
+use ofa_core::sm::{OutItem, Progress, SmTopology};
+use ofa_core::{Decision, Halt, Msg, MsgKind};
+use ofa_metrics::CounterSnapshot;
+use ofa_scenario::{CrashTrigger, DelayModel, TraceEvent, TraceRecorder, VirtualTime};
+use ofa_sharedmem::MemoryBank;
+use ofa_topology::ProcessId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::{mpsc, Arc};
+
+/// A cross-shard delivery descriptor, shipped at an epoch barrier. The
+/// sending shard has already fixed the delivery time and ordering key
+/// (both are sender-local computations); the receiving shard just
+/// enqueues.
+enum Shipped {
+    /// One point-to-point delivery.
+    One {
+        from: u32,
+        to: u32,
+        k: u64,
+        at: u64,
+        msg: MsgKind,
+    },
+    /// A uniform broadcast: the receiving shard expands it over its own
+    /// members (destination `g` holds sender-counter `k0 + g`).
+    Broadcast {
+        from: u32,
+        k0: u64,
+        at: u64,
+        msg: MsgKind,
+    },
+}
+
+/// What a shard-heap slot holds.
+#[derive(Debug)]
+enum SPending {
+    Deliver { to: u32, from: u32, msg: MsgKind },
+    Broadcast { from: u32, k0: u64, msg: MsgKind },
+    Crash { pid: u32 },
+}
+
+/// A shard-heap slot: the sequential scheduler's earliest-first
+/// ordering ([`Keyed`]) over shard-local pending events.
+type SEntry = Keyed<SPending>;
+
+/// One empty barrier buffer per destination shard (`Shipped` is not
+/// `Clone`, so `vec![...; n]` is unavailable).
+fn fresh_buffers(shards: usize) -> Vec<Vec<Shipped>> {
+    let mut v = Vec::with_capacity(shards);
+    v.resize_with(shards, Vec::new);
+    v
+}
+
+/// Commands the coordinator sends a shard, one epoch phase each.
+enum Cmd {
+    /// Enqueue barrier-routed deliveries, then pop every local event
+    /// with `at < t_end` into the epoch batch; reply [`Reply::Prepared`].
+    Prepare { incoming: Vec<Shipped>, t_end: u64 },
+    /// Report the epoch batch's event keys (budget-cut epochs only).
+    Keys,
+    /// Process the first `limit` events of the epoch batch; reply
+    /// [`Reply::Ran`].
+    Run { limit: u64 },
+    /// Halt stragglers and report results; reply [`Reply::Finished`].
+    Finish,
+}
+
+/// One shard's post-step report: barrier-bound sends plus progress.
+struct StepReport {
+    shard: usize,
+    /// Outgoing deliveries, indexed by destination shard.
+    outgoing: Vec<Vec<Shipped>>,
+    processed: u64,
+    end_time: u64,
+    /// Earliest event still pending on the local heap.
+    next_at: Option<u64>,
+}
+
+/// A shard's final report.
+struct ShardResult {
+    /// `(global process index, result, final clock)` per member.
+    results: Vec<(u32, Result<Decision, Halt>, u64)>,
+    counters: Vec<(u32, CounterSnapshot)>,
+    trace: TraceRecorder,
+}
+
+enum Reply {
+    Started(StepReport),
+    Prepared {
+        batch: u64,
+    },
+    Keys {
+        shard: usize,
+        keys: Vec<(u64, EventKey)>,
+    },
+    Ran(StepReport),
+    Finished(Box<ShardResult>),
+}
+
+/// Everything one shard owns.
+struct ShardState {
+    id: usize,
+    n: usize,
+    /// This shard's processes, ascending global index.
+    members: Vec<u32>,
+    /// Global process index → owning shard.
+    owner: Arc<Vec<u32>>,
+    /// Global process index → local index within its owner.
+    local_of: Arc<Vec<u32>>,
+    machines: Vec<Machine>,
+    procs: Vec<ProcState>,
+    topo: Arc<SmTopology>,
+    memory: MemoryBank,
+    costs: ofa_scenario::CostModel,
+    common_coin: Arc<dyn ofa_coins::CommonCoin>,
+    observer: Option<Arc<dyn ofa_core::Observer>>,
+    trace: TraceRecorder,
+    heap: BinaryHeap<SEntry>,
+    counters: SendCounters,
+    delay: DelayModel,
+    seed: u64,
+    /// The current epoch's events, in `(time, key)` order.
+    epoch: Vec<SEntry>,
+    /// Barrier-bound sends, indexed by destination shard.
+    outgoing: Vec<Vec<Shipped>>,
+    end_time: u64,
+}
+
+impl ShardState {
+    /// Routes one outbox item: delays and keys are computed here, on the
+    /// sender's shard (they are functions of the sender's local history),
+    /// then the delivery goes to the local heap or a barrier buffer.
+    fn route(&mut self, from: ProcessId, item: OutItem) {
+        match item {
+            OutItem::One(o) => {
+                let k = self.counters.take(from, 1);
+                let at = o.sent_at + self.delay.delay_of(self.seed, from, o.to, k);
+                self.route_one(from, o.to, k, at, o.msg);
+            }
+            OutItem::Broadcast { msg, sent_at } => {
+                if let DelayModel::Constant(d) = &self.delay {
+                    // Batched end to end: one local heap entry plus one
+                    // descriptor per *other shard*.
+                    let at = sent_at + d;
+                    let k0 = self.counters.take(from, self.n as u64);
+                    let from_u = from.index() as u32;
+                    for (s, buf) in self.outgoing.iter_mut().enumerate() {
+                        if s != self.id {
+                            buf.push(Shipped::Broadcast {
+                                from: from_u,
+                                k0,
+                                at,
+                                msg,
+                            });
+                        }
+                    }
+                    self.heap.push(Keyed {
+                        at,
+                        key: EventKey::deliver(from, k0, ProcessId(0)),
+                        ev: SPending::Broadcast {
+                            from: from_u,
+                            k0,
+                            msg,
+                        },
+                    });
+                } else {
+                    for j in 0..self.n {
+                        let to = ProcessId(j);
+                        let k = self.counters.take(from, 1);
+                        let at = sent_at + self.delay.delay_of(self.seed, from, to, k);
+                        self.route_one(from, to, k, at, msg);
+                    }
+                }
+            }
+        }
+    }
+
+    fn route_one(&mut self, from: ProcessId, to: ProcessId, k: u64, at: u64, msg: MsgKind) {
+        let (from_u, to_u) = (from.index() as u32, to.index() as u32);
+        let dest = self.owner[to.index()] as usize;
+        if dest == self.id {
+            self.heap.push(Keyed {
+                at,
+                key: EventKey::deliver(from, k, to),
+                ev: SPending::Deliver {
+                    to: to_u,
+                    from: from_u,
+                    msg,
+                },
+            });
+        } else {
+            self.outgoing[dest].push(Shipped::One {
+                from: from_u,
+                to: to_u,
+                k,
+                at,
+                msg,
+            });
+        }
+    }
+
+    /// One machine step plus send routing — the shard-local version of
+    /// the single-threaded engine's `dispatch`.
+    fn dispatch(&mut self, li: usize, input: Input) {
+        let me = ProcessId(self.members[li] as usize);
+        let mut ctx = self.procs[li].ctx(
+            me,
+            self.costs,
+            self.memory.memory_of(self.topo.partition(), me),
+            self.common_coin.as_ref(),
+            self.observer.as_deref(),
+            &mut self.trace,
+        );
+        let sm = &mut self.machines[li];
+        let progress = match input {
+            Input::Start => sm.start(&mut ctx),
+            Input::Deliver(msg) => sm.on_msg(msg, &mut ctx),
+            Input::End(halt) => sm.halt(halt, &mut ctx),
+        };
+        match progress {
+            Progress::NeedMsg => {}
+            Progress::Sent(mut outbox) => {
+                self.drain(me, &mut outbox);
+                self.machines[li].recycle_outbox(outbox);
+            }
+            Progress::Decided(decision, mut outbox) => {
+                self.drain(me, &mut outbox);
+                self.finish(li, Ok(decision));
+            }
+            Progress::Halted(halt, mut outbox) => {
+                self.drain(me, &mut outbox);
+                self.finish(li, Err(halt));
+            }
+        }
+    }
+
+    fn drain(&mut self, from: ProcessId, outbox: &mut Vec<OutItem>) {
+        for item in outbox.drain(..) {
+            self.route(from, item);
+        }
+    }
+
+    fn finish(&mut self, li: usize, result: Result<Decision, Halt>) {
+        let who = ProcessId(self.members[li] as usize);
+        self.procs[li].finish(who, result, &mut self.trace);
+    }
+
+    /// Delivers one event to a local process — identical accounting to
+    /// the single-threaded engine's main loop.
+    fn deliver(&mut self, to: u32, from: u32, msg: MsgKind, at: u64) {
+        let li = self.local_of[to as usize] as usize;
+        if self.procs[li].finished.is_some() {
+            return; // dropped on the floor (still counted by the caller)
+        }
+        let (who, from) = (ProcessId(to as usize), ProcessId(from as usize));
+        self.trace.record(
+            VirtualTime::from_ticks(at),
+            TraceEvent::Deliver { who, from, msg },
+        );
+        self.procs[li].on_delivered(at, self.costs.recv_cost);
+        self.dispatch(li, Input::Deliver(Msg { from, kind: msg }));
+    }
+
+    fn crash(&mut self, pid: u32, at: u64) {
+        let li = self.local_of[pid as usize] as usize;
+        if self.procs[li].finished.is_some() {
+            return;
+        }
+        let who = ProcessId(pid as usize);
+        self.trace
+            .record(VirtualTime::from_ticks(at), TraceEvent::Crash { who });
+        self.procs[li].on_crash_event(at);
+        self.dispatch(li, Input::End(Halt::Crashed));
+    }
+
+    /// Initial steps for the shard's processes, ascending — the global
+    /// start order restricted to this shard.
+    fn start(&mut self) -> StepReport {
+        for li in 0..self.machines.len() {
+            self.dispatch(li, Input::Start);
+        }
+        self.report(0)
+    }
+
+    /// Pops every local event with `at < t_end` into the epoch batch;
+    /// returns the batch's event count (broadcast entries count one per
+    /// local member).
+    fn collect(&mut self, t_end: u64) -> u64 {
+        debug_assert!(self.epoch.is_empty(), "epoch batch must be consumed");
+        let mut count = 0;
+        while let Some(top) = self.heap.peek() {
+            if top.at >= t_end {
+                break;
+            }
+            let e = self.heap.pop().expect("peeked");
+            count += match e.ev {
+                SPending::Broadcast { .. } => self.members.len() as u64,
+                _ => 1,
+            };
+            self.epoch.push(e);
+        }
+        count
+    }
+
+    /// The epoch batch's `(time, key)` pairs, in processing order — only
+    /// materialized for the one epoch where the event budget binds.
+    fn keys(&self) -> Vec<(u64, EventKey)> {
+        let mut keys = Vec::new();
+        for e in &self.epoch {
+            match e.ev {
+                SPending::Broadcast { from, k0, .. } => {
+                    let from = ProcessId(from as usize);
+                    keys.extend(self.members.iter().map(|&g| {
+                        (
+                            e.at,
+                            EventKey::deliver(from, k0 + g as u64, ProcessId(g as usize)),
+                        )
+                    }));
+                }
+                _ => keys.push((e.at, e.key)),
+            }
+        }
+        keys
+    }
+
+    /// Processes the first `limit` events of the epoch batch (count and
+    /// `end_time` advance for every event, exactly like the sequential
+    /// main loop — including deliveries to already-finished processes).
+    fn run_epoch(&mut self, limit: u64) -> StepReport {
+        let mut processed: u64 = 0;
+        let epoch = std::mem::take(&mut self.epoch);
+        'events: for e in epoch {
+            match e.ev {
+                SPending::Deliver { to, from, msg } => {
+                    if processed == limit {
+                        break 'events;
+                    }
+                    processed += 1;
+                    self.end_time = self.end_time.max(e.at);
+                    self.deliver(to, from, msg, e.at);
+                }
+                SPending::Crash { pid } => {
+                    if processed == limit {
+                        break 'events;
+                    }
+                    processed += 1;
+                    self.end_time = self.end_time.max(e.at);
+                    self.crash(pid, e.at);
+                }
+                SPending::Broadcast { from, k0: _, msg } => {
+                    for mi in 0..self.members.len() {
+                        if processed == limit {
+                            break 'events;
+                        }
+                        processed += 1;
+                        self.end_time = self.end_time.max(e.at);
+                        self.deliver(self.members[mi], from, msg, e.at);
+                    }
+                }
+            }
+        }
+        self.report(processed)
+    }
+
+    fn report(&mut self, processed: u64) -> StepReport {
+        let shards = self.outgoing.len();
+        StepReport {
+            shard: self.id,
+            outgoing: std::mem::replace(&mut self.outgoing, fresh_buffers(shards)),
+            processed,
+            end_time: self.end_time,
+            next_at: self.heap.peek().map(|e| e.at),
+        }
+    }
+
+    fn accept(&mut self, incoming: Vec<Shipped>) {
+        for s in incoming {
+            match s {
+                Shipped::One {
+                    from,
+                    to,
+                    k,
+                    at,
+                    msg,
+                } => self.heap.push(Keyed {
+                    at,
+                    key: EventKey::deliver(ProcessId(from as usize), k, ProcessId(to as usize)),
+                    ev: SPending::Deliver { to, from, msg },
+                }),
+                Shipped::Broadcast { from, k0, at, msg } => self.heap.push(Keyed {
+                    at,
+                    key: EventKey::deliver(ProcessId(from as usize), k0, ProcessId(0)),
+                    ev: SPending::Broadcast { from, k0, msg },
+                }),
+            }
+        }
+    }
+
+    /// Stops the stragglers (ascending member order — the global final
+    /// baton round restricted to this shard) and packages the results.
+    fn finish_run(mut self) -> Box<ShardResult> {
+        for li in 0..self.machines.len() {
+            if self.procs[li].finished.is_none() {
+                self.dispatch(li, Input::End(Halt::Stopped));
+            }
+        }
+        let results = self
+            .members
+            .iter()
+            .zip(self.procs.iter_mut())
+            .map(|(&g, p)| {
+                let (res, clock) = p.finished.take().expect("all machines have terminated");
+                (g, res, clock)
+            })
+            .collect();
+        let counters = self
+            .members
+            .iter()
+            .zip(self.procs.iter())
+            .map(|(&g, p)| (g, p.counters))
+            .collect();
+        Box::new(ShardResult {
+            results,
+            counters,
+            trace: self.trace,
+        })
+    }
+}
+
+/// The shard worker loop: one reply per command, in lockstep with the
+/// coordinator's epoch phases.
+fn shard_main(mut st: ShardState, rx: mpsc::Receiver<Cmd>, tx: mpsc::Sender<Reply>) {
+    if tx.send(Reply::Started(st.start())).is_err() {
+        return;
+    }
+    for cmd in rx {
+        let reply = match cmd {
+            Cmd::Prepare { incoming, t_end } => {
+                st.accept(incoming);
+                Reply::Prepared {
+                    batch: st.collect(t_end),
+                }
+            }
+            Cmd::Keys => Reply::Keys {
+                shard: st.id,
+                keys: st.keys(),
+            },
+            Cmd::Run { limit } => Reply::Ran(st.run_epoch(limit)),
+            Cmd::Finish => {
+                let _ = tx.send(Reply::Finished(st.finish_run()));
+                return;
+            }
+        };
+        if tx.send(reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// Deterministic balanced cluster→shard assignment: clusters sorted by
+/// size (largest first, index as tie-break) go to the currently lightest
+/// shard. Any clustering-respecting assignment yields the same run — the
+/// balance only matters for wall-clock.
+fn assign_clusters(sizes: &[usize], shards: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_by_key(|&c| (Reverse(sizes[c]), c));
+    let mut shard_of = vec![0usize; sizes.len()];
+    let mut load = vec![0usize; shards];
+    for c in order {
+        let s = (0..shards)
+            .min_by_key(|&s| (load[s], s))
+            .expect(">0 shards");
+        shard_of[c] = s;
+        load[s] += sizes[c];
+    }
+    shard_of
+}
+
+/// Runs a spec on the parallel event engine with `workers` shards.
+///
+/// The caller (the backend's engine resolution) guarantees a declarative
+/// body, `workers >= 2` after capping by the cluster count, a non-zero
+/// [`DelayModel::min_delay`] lookahead, and no trace retention.
+pub(crate) fn conduct_parallel(spec: RunSpec, delay: &DelayModel, workers: usize) -> RawOutcome {
+    let n = spec.partition.n();
+    assert_eq!(
+        spec.proposals.len(),
+        n,
+        "need one proposal per process (got {} for n={n})",
+        spec.proposals.len()
+    );
+    let lookahead = delay.min_delay();
+    assert!(lookahead > 0, "parallel engine needs a positive lookahead");
+    let shards = workers.clamp(1, spec.partition.m());
+
+    // Shard layout: clusters → shards, then the per-shard member lists.
+    let shard_of_cluster = assign_clusters(&spec.partition.sizes(), shards);
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); shards];
+    let mut owner = vec![0u32; n];
+    let mut local_of = vec![0u32; n];
+    for i in 0..n {
+        let s = shard_of_cluster[spec.partition.cluster_of(ProcessId(i)).index()];
+        owner[i] = s as u32;
+        local_of[i] = members[s].len() as u32;
+        members[s].push(i as u32);
+    }
+    let owner = Arc::new(owner);
+    let local_of = Arc::new(local_of);
+    let topo = Arc::new(SmTopology::new(spec.partition.clone()));
+    // One bank shared by every shard: memories are per cluster and each
+    // cluster belongs to exactly one shard, so there is no contention —
+    // and the run-wide totals fall out at the end.
+    let bank = MemoryBank::for_partition(topo.partition());
+
+    let mut final_results: Vec<Option<(Result<Decision, Halt>, u64)>> = Vec::new();
+    final_results.resize_with(n, || None);
+    let mut final_counters = vec![CounterSnapshot::default(); n];
+    let mut trace = TraceRecorder::new(false);
+    let mut events_processed: u64 = 0;
+    let mut end_time: u64 = 0;
+
+    std::thread::scope(|scope| {
+        let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+        let mut cmds: Vec<mpsc::Sender<Cmd>> = Vec::with_capacity(shards);
+        let spec_ref = &spec;
+        for (id, members) in members.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
+            cmds.push(cmd_tx);
+            let reply_tx = reply_tx.clone();
+            let (topo, owner, local_of) =
+                (Arc::clone(&topo), Arc::clone(&owner), Arc::clone(&local_of));
+            let (bank, delay) = (bank.clone(), delay.clone());
+            scope.spawn(move || {
+                let mut st = ShardState {
+                    id,
+                    n,
+                    machines: members
+                        .iter()
+                        .map(|&g| {
+                            Machine::build(
+                                &spec_ref.body,
+                                g as usize,
+                                &topo,
+                                &spec_ref.proposals,
+                                spec_ref.config,
+                            )
+                        })
+                        .collect(),
+                    procs: members
+                        .iter()
+                        .map(|&g| {
+                            ProcState::for_process(
+                                spec_ref.seed,
+                                ProcessId(g as usize),
+                                &spec_ref.crash_plan,
+                            )
+                        })
+                        .collect(),
+                    members,
+                    owner,
+                    local_of,
+                    topo,
+                    memory: bank,
+                    costs: spec_ref.costs,
+                    common_coin: Arc::clone(&spec_ref.common_coin),
+                    observer: spec_ref.observer.clone(),
+                    trace: TraceRecorder::new(false),
+                    heap: BinaryHeap::new(),
+                    counters: SendCounters::default(),
+                    delay,
+                    seed: spec_ref.seed,
+                    epoch: Vec::new(),
+                    outgoing: fresh_buffers(shards),
+                    end_time: 0,
+                };
+                // This shard's timed crashes go straight onto its heap.
+                for (pid, trig) in spec_ref.crash_plan.iter() {
+                    if st.owner[pid.index()] as usize == id {
+                        if let CrashTrigger::AtTime(t) = trig {
+                            st.heap.push(Keyed {
+                                at: t.ticks(),
+                                key: EventKey::crash(pid),
+                                ev: SPending::Crash {
+                                    pid: pid.index() as u32,
+                                },
+                            });
+                        }
+                    }
+                }
+                shard_main(st, cmd_rx, reply_tx);
+            });
+        }
+        drop(reply_tx);
+
+        // Per-shard coordinator state.
+        let mut pending_in: Vec<Vec<Shipped>> = Vec::new();
+        pending_in.resize_with(shards, Vec::new);
+        let mut next_at: Vec<Option<u64>> = vec![None; shards];
+
+        let absorb = |rep: StepReport,
+                      pending_in: &mut Vec<Vec<Shipped>>,
+                      next_at: &mut Vec<Option<u64>>,
+                      events_processed: &mut u64,
+                      end_time: &mut u64| {
+            for (dest, batch) in rep.outgoing.into_iter().enumerate() {
+                pending_in[dest].extend(batch);
+            }
+            next_at[rep.shard] = rep.next_at;
+            *events_processed += rep.processed;
+            *end_time = (*end_time).max(rep.end_time);
+        };
+
+        for _ in 0..shards {
+            match reply_rx.recv().expect("shard alive") {
+                Reply::Started(rep) => absorb(
+                    rep,
+                    &mut pending_in,
+                    &mut next_at,
+                    &mut events_processed,
+                    &mut end_time,
+                ),
+                _ => unreachable!("first reply is Started"),
+            }
+        }
+
+        // Epoch loop.
+        while events_processed < spec.max_events {
+            // Earliest pending event anywhere: local heaps or the
+            // barrier buffers about to be routed.
+            let t_next = next_at
+                .iter()
+                .flatten()
+                .copied()
+                .chain(pending_in.iter().flatten().map(|s| match s {
+                    Shipped::One { at, .. } | Shipped::Broadcast { at, .. } => *at,
+                }))
+                .min();
+            let Some(t0) = t_next else {
+                break; // quiescent
+            };
+            let t_end = t0.saturating_add(lookahead);
+            for (s, cmd) in cmds.iter().enumerate() {
+                let incoming = std::mem::take(&mut pending_in[s]);
+                cmd.send(Cmd::Prepare { incoming, t_end }).expect("shard");
+            }
+            let mut total: u64 = 0;
+            for _ in 0..shards {
+                match reply_rx.recv().expect("shard alive") {
+                    Reply::Prepared { batch } => total += batch,
+                    _ => unreachable!("epoch phase: Prepared"),
+                }
+            }
+            let remaining = spec.max_events - events_processed;
+            let limits: Vec<u64> = if total <= remaining {
+                vec![u64::MAX; shards]
+            } else {
+                // The budget binds inside this epoch: cut it at the
+                // globally `remaining`-th event in (time, key) order.
+                for cmd in &cmds {
+                    cmd.send(Cmd::Keys).expect("shard");
+                }
+                let mut all: Vec<(u64, EventKey, usize)> = Vec::with_capacity(total as usize);
+                for _ in 0..shards {
+                    match reply_rx.recv().expect("shard alive") {
+                        Reply::Keys { shard, keys } => {
+                            all.extend(keys.into_iter().map(|(at, key)| (at, key, shard)));
+                        }
+                        _ => unreachable!("epoch phase: Keys"),
+                    }
+                }
+                all.sort_unstable();
+                let mut limits = vec![0u64; shards];
+                for &(_, _, s) in all.iter().take(remaining as usize) {
+                    limits[s] += 1;
+                }
+                limits
+            };
+            for (s, cmd) in cmds.iter().enumerate() {
+                cmd.send(Cmd::Run { limit: limits[s] }).expect("shard");
+            }
+            for _ in 0..shards {
+                match reply_rx.recv().expect("shard alive") {
+                    Reply::Ran(rep) => absorb(
+                        rep,
+                        &mut pending_in,
+                        &mut next_at,
+                        &mut events_processed,
+                        &mut end_time,
+                    ),
+                    _ => unreachable!("epoch phase: Ran"),
+                }
+            }
+        }
+
+        // Quiescent or budget exhausted: stop the stragglers.
+        for cmd in &cmds {
+            cmd.send(Cmd::Finish).expect("shard");
+        }
+        for _ in 0..shards {
+            match reply_rx.recv().expect("shard alive") {
+                Reply::Finished(res) => {
+                    for (g, result, clock) in res.results {
+                        final_results[g as usize] = Some((result, clock));
+                    }
+                    for (g, c) in res.counters {
+                        final_counters[g as usize] = c;
+                    }
+                    trace.merge(res.trace);
+                }
+                _ => unreachable!("final phase: Finished"),
+            }
+        }
+    });
+
+    let results: Vec<(Result<Decision, Halt>, u64)> = final_results
+        .into_iter()
+        .map(|r| r.expect("every process reported"))
+        .collect();
+    let end_time = end_time.max(results.iter().map(|(_, c)| *c).max().unwrap_or(0));
+    RawOutcome {
+        results,
+        counters: final_counters,
+        trace_hash: trace.hash(),
+        trace_events: Vec::new(),
+        events_processed,
+        end_time,
+        sm_objects: bank.total_objects(),
+        sm_proposes: bank.total_proposes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Sim;
+    use ofa_core::{Algorithm, Bit};
+    use ofa_scenario::{Backend, CrashPlan, DelayModel, Engine, Outcome, Scenario};
+    use ofa_topology::{Partition, ProcessId};
+
+    /// Every observable except `engine_used` (which legitimately records
+    /// different engines / worker counts) must match.
+    fn assert_same_run(a: &Outcome, b: &Outcome) {
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.halts, b.halts);
+        assert_eq!(a.crashed, b.crashed);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.per_process, b.per_process);
+        assert_eq!(a.trace_hash, b.trace_hash);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.latest_decision_time, b.latest_decision_time);
+        assert_eq!(a.sm_proposes, b.sm_proposes);
+        assert_eq!(a.sm_objects, b.sm_objects);
+    }
+
+    #[test]
+    fn parallel_matches_event_driven_on_sampled_delays() {
+        for seed in 0..4 {
+            let scenario = Scenario::new(Partition::even(12, 4), Algorithm::LocalCoin)
+                .proposals_split(5)
+                .seed(seed);
+            let seq = Sim.run(&scenario.clone().event_driven());
+            let par = Sim.run(&scenario.parallel(3));
+            assert_eq!(par.engine_used, Some(Engine::ParallelEvent { workers: 3 }));
+            assert_same_run(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_on_the_broadcast_batch_path() {
+        // Constant delay: broadcasts cross the barrier as one descriptor
+        // per shard and expand per member — outcomes must still be
+        // bit-identical to the sequential single-entry expansion.
+        let scenario = Scenario::new(Partition::even(18, 6), Algorithm::CommonCoin)
+            .proposals_split(7)
+            .delay(DelayModel::Constant(800))
+            .seed(2);
+        let seq = Sim.run(&scenario.clone().event_driven());
+        let par = Sim.run(&scenario.parallel(4));
+        assert_eq!(par.engine_used, Some(Engine::ParallelEvent { workers: 4 }));
+        assert_same_run(&seq, &par);
+    }
+
+    #[test]
+    fn parallel_is_deterministic_across_worker_counts() {
+        let part = Partition::even(10, 5);
+        let queues = (0..10)
+            .map(|i| vec![ofa_core::Payload::from_bytes(format!("c{i}").as_bytes()).expect("fits")])
+            .collect::<Vec<_>>();
+        let scenario = Scenario::new(part, Algorithm::CommonCoin)
+            .replicated_log(Algorithm::CommonCoin, 2, queues)
+            .seed(11);
+        let two = Sim.run(&scenario.clone().parallel(2));
+        let five = Sim.run(&scenario.clone().parallel(5));
+        let again = Sim.run(&scenario.parallel(5));
+        assert_eq!(two.engine_used, Some(Engine::ParallelEvent { workers: 2 }));
+        assert_eq!(five.engine_used, Some(Engine::ParallelEvent { workers: 5 }));
+        assert_same_run(&two, &five);
+        assert_same_run(&five, &again);
+    }
+
+    #[test]
+    fn parallel_matches_under_crashes_and_budget_cut() {
+        use ofa_scenario::VirtualTime;
+        let plan = CrashPlan::new()
+            .crash_at_step(ProcessId(1), 6)
+            .crash_at_round(ProcessId(4), 2)
+            .crash_at_time(ProcessId(2), VirtualTime::from_ticks(1_500));
+        // A tight event budget exercises the epoch-cut path: the
+        // parallel engine must stop after exactly the same event prefix.
+        for max_events in [50u64, 500, 5_000] {
+            let scenario = Scenario::new(Partition::even(9, 3), Algorithm::LocalCoin)
+                .proposals_split(4)
+                .crashes(plan.clone())
+                .max_events(max_events)
+                .seed(9);
+            let seq = Sim.run(&scenario.clone().event_driven());
+            let par = Sim.run(&scenario.parallel(3));
+            assert_same_run(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn unparallelizable_scenarios_fall_back_observably() {
+        // One cluster => one shard: nothing to parallelize.
+        let single = Sim.run(
+            &Scenario::new(Partition::single_cluster(6), Algorithm::LocalCoin)
+                .proposals_split(3)
+                .parallel(4),
+        );
+        assert_eq!(single.engine_used, Some(Engine::EventDriven));
+        // Zero minimum delay: no conservative lookahead window.
+        let zero = Sim.run(
+            &Scenario::new(Partition::even(6, 3), Algorithm::LocalCoin)
+                .proposals_split(3)
+                .delay(DelayModel::Uniform { lo: 0, hi: 40 })
+                .parallel(4),
+        );
+        assert_eq!(zero.engine_used, Some(Engine::EventDriven));
+        // Trace retention: only the sequential engines reproduce order.
+        let trace = Sim.run(
+            &Scenario::new(Partition::even(6, 3), Algorithm::LocalCoin)
+                .proposals_split(3)
+                .keep_trace()
+                .parallel(4),
+        );
+        assert_eq!(trace.engine_used, Some(Engine::EventDriven));
+        assert!(trace.events.is_some());
+    }
+
+    #[test]
+    fn headline_crash_pattern_on_the_parallel_engine() {
+        // Fig 1 right, 6 of 7 crashed: the lone majority-cluster
+        // survivor still decides — across shards.
+        let mut plan = CrashPlan::new();
+        for i in [0usize, 1, 3, 4, 5, 6] {
+            plan = plan.crash_at_start(ProcessId(i));
+        }
+        let scenario = Scenario::new(Partition::fig1_right(), Algorithm::LocalCoin)
+            .proposals_split(2)
+            .crashes(plan)
+            .seed(3);
+        let seq = Sim.run(&scenario.clone().event_driven());
+        let par = Sim.run(&scenario.parallel(3));
+        assert_eq!(par.engine_used, Some(Engine::ParallelEvent { workers: 3 }));
+        assert!(par.all_correct_decided);
+        assert_eq!(par.deciders(), 1);
+        assert_eq!(par.crashed.len(), 6);
+        assert_same_run(&seq, &par);
+    }
+
+    #[test]
+    fn observers_fire_on_the_parallel_engine() {
+        use ofa_core::InvariantChecker;
+        use std::sync::Arc;
+        let checker = Arc::new(InvariantChecker::new());
+        let out = Sim.run(
+            &Scenario::new(Partition::even(10, 2), Algorithm::LocalCoin)
+                .proposals_split(5)
+                .observer(checker.clone())
+                .seed(11)
+                .parallel(2),
+        );
+        assert_eq!(out.engine_used, Some(Engine::ParallelEvent { workers: 2 }));
+        assert!(out.all_correct_decided);
+        checker.assert_clean();
+        assert_eq!(checker.decisions().len(), 10);
+    }
+
+    #[test]
+    fn proposal_bit_column_must_match_n() {
+        // Same contract as the other engines.
+        let scenario = Scenario::new(Partition::even(4, 2), Algorithm::LocalCoin)
+            .proposals(vec![Bit::One; 4])
+            .parallel(2);
+        assert!(Sim.run(&scenario).all_correct_decided);
+    }
+}

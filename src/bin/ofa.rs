@@ -6,6 +6,7 @@
 //! ofa --sizes 2,2 --crash p3@r2        # crash p3 when it enters round 2
 //! ofa --sizes 2,2 --runtime            # real threads instead of the simulator
 //! ofa --sizes 1,4,2 --engine threads    # pin the reference thread conductor
+//! ofa --sizes 40,40,40 --engine par     # cluster-sharded parallel engine
 //! ofa --sizes 1,4,2 --json             # unified Outcome as JSON
 //! ofa --help
 //! ```
@@ -33,9 +34,12 @@ OPTIONS:
     --max-rounds R     round budget [default: 512]
     --trace            print the full event trace (simulator only)
     --engine E         simulator process engine: event (single-threaded
-                       event-driven state machines; scales to n >> 10^4)
-                       or threads (the reference conductor — pin this to
-                       reproduce pre-flip runs) [default: event]
+                       event-driven state machines; scales to n >> 10^4),
+                       par or par=N (cluster-sharded parallel event engine
+                       on N workers, N omitted = one per core; identical
+                       outcomes to event, bit for bit), or threads (the
+                       reference conductor — pin this to reproduce
+                       pre-flip runs) [default: event]
     --runtime          execute on real threads instead of the simulator
                        (--engine does not apply)
     --json             print the unified Outcome as JSON (suppresses the
@@ -128,7 +132,18 @@ fn parse_args() -> Result<Options, String> {
                 opts.engine = match value(&mut i)?.as_str() {
                     "threads" => Engine::Threads,
                     "event" | "event-driven" => Engine::EventDriven,
-                    other => return Err(format!("unknown engine {other:?} (use threads|event)")),
+                    "par" | "parallel" => Engine::parallel(),
+                    spec if spec.starts_with("par=") => {
+                        let workers = spec["par=".len()..]
+                            .parse::<u64>()
+                            .map_err(|e| format!("bad worker count in {spec:?}: {e}"))?;
+                        Engine::ParallelEvent { workers }
+                    }
+                    other => {
+                        return Err(format!(
+                            "unknown engine {other:?} (use threads|event|par|par=N)"
+                        ))
+                    }
                 };
             }
             "--runtime" => opts.runtime = true,
@@ -244,8 +259,14 @@ fn main() {
     if opts.runtime {
         println!("— real-thread run: {:?} —", out.elapsed);
     } else {
+        let engine = match out.engine_used {
+            Some(Engine::Threads) => " [threads]",
+            Some(Engine::EventDriven) => " [event]",
+            Some(Engine::ParallelEvent { .. }) => " [par]",
+            None => "",
+        };
         println!(
-            "— simulated run: {} events, end {} —",
+            "— simulated run{engine}: {} events, end {} —",
             out.events_processed, out.end_time
         );
     }

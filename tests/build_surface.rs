@@ -50,8 +50,11 @@ fn facade_reexports_resolve() {
     // prelude (constructing real threads is exercised in cross_substrate).
     let _ = std::any::type_name::<Threads>();
 
-    // The simulator's engine knob is part of the prelude surface.
+    // The simulator's engine knob is part of the prelude surface —
+    // including the cluster-sharded parallel engine.
     let _: Engine = Engine::EventDriven;
+    let _: Engine = Engine::parallel();
+    let _: Engine = Engine::ParallelEvent { workers: 4 };
 
     // smr (ofa-smr)
     let cmd = one_for_all::smr::Command::put("k", "v");

@@ -1,13 +1,15 @@
-//! The event-driven engine is a drop-in replacement for the thread
+//! The event-driven engines are drop-in replacements for the thread
 //! conductor: for any declarative [`Scenario`] — random partition ×
 //! **body kind (binary algorithm, multivalued workload, replicated
 //! log)** × failure pattern × delay model × cost model × coin × seed —
-//! both engines must produce the **same** [`Outcome`]: per-process
-//! decisions, halts, crash sets, agreement, counters, event counts, and
-//! the replay trace hash, bit for bit.
+//! all three engines (`Threads` × `EventDriven` × `ParallelEvent`) must
+//! produce the **same** [`Outcome`]: per-process decisions, halts, crash
+//! sets, agreement, counters, event counts, and the replay trace hash,
+//! bit for bit. The parallel engine must additionally be invariant under
+//! the worker count.
 //!
 //! This is the contract that lets every existing test, experiment, and
-//! scenario corpus move to the scalable engine without re-validation —
+//! scenario corpus move to the scalable engines without re-validation —
 //! and what justified flipping `Scenario`'s default engine to
 //! [`Engine::EventDriven`].
 
@@ -156,22 +158,37 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// The acceptance corpus: >= 50 random seeded scenarios, each run on
-    /// both engines, must match on every observable — not just the
+    /// all three engines, must match on every observable — not just the
     /// safety predicates but the entire outcome including the replay
-    /// hash, which pins the two executions to the same event sequence.
+    /// hash. The hash is an order-independent multiset hash (so shard
+    /// partials can merge), pinning the executions to the same multiset
+    /// of timestamped events; the *order* is pinned indirectly, because
+    /// any reordering that changes some process's delivery sequence also
+    /// changes that process's behavior — and with it the per-process
+    /// counters, decisions, and clocks asserted below.
     #[test]
-    fn both_engines_produce_identical_outcomes(scenario in scenario_strategy()) {
+    fn all_three_engines_produce_identical_outcomes(scenario in scenario_strategy()) {
         // The E9 ablation preset (amplification without cluster
         // pre-agreement) deliberately breaks WA1, so agreement may
         // genuinely fail there — the multi-instance bodies hit this far
         // more often than single-shot consensus does.
         let config_is_sound = scenario.config.cluster_preagree || !scenario.config.amplify;
+        let m = scenario.partition.m();
         let threads = Sim.run(&scenario.clone().engine(Engine::Threads));
+        let par = Sim.run(&scenario.clone().parallel(3));
         let event = Sim.run(&scenario.engine(Engine::EventDriven));
-        // The engine actually used is recorded, not guessed (every body
-        // in this corpus is declarative, so no fallback may occur).
+        // The engine actually used is recorded, not guessed: every body
+        // in this corpus is declarative and every delay model has a
+        // positive minimum, so the only parallel fallback is the shard
+        // count (single-cluster partitions have nothing to shard).
         prop_assert_eq!(threads.engine_used, Some(Engine::Threads));
         prop_assert_eq!(event.engine_used, Some(Engine::EventDriven));
+        let expected_par = if m >= 2 {
+            Engine::ParallelEvent { workers: 3.min(m as u64) }
+        } else {
+            Engine::EventDriven
+        };
+        prop_assert_eq!(par.engine_used, Some(expected_par));
         // The acceptance predicates…
         prop_assert_eq!(
             threads.decisions.iter().map(|d| d.map(|d| d.value)).collect::<Vec<_>>(),
@@ -180,25 +197,47 @@ proptest! {
         );
         prop_assert_eq!(threads.agreement_holds(), event.agreement_holds());
         prop_assert_eq!(threads.deciders(), event.deciders());
-        // …and the full execution fingerprint.
-        prop_assert_eq!(&threads.decisions, &event.decisions);
-        prop_assert_eq!(&threads.halts, &event.halts);
-        prop_assert_eq!(&threads.crashed, &event.crashed);
-        prop_assert_eq!(threads.all_correct_decided, event.all_correct_decided);
-        prop_assert_eq!(threads.counters, event.counters);
-        prop_assert_eq!(&threads.per_process, &event.per_process);
-        prop_assert_eq!(threads.trace_hash, event.trace_hash);
-        prop_assert!(threads.trace_hash.is_some());
-        prop_assert_eq!(threads.events_processed, event.events_processed);
-        prop_assert_eq!(threads.end_time, event.end_time);
-        prop_assert_eq!(threads.latest_decision_time, event.latest_decision_time);
-        prop_assert_eq!(threads.sm_proposes, event.sm_proposes);
-        prop_assert_eq!(threads.sm_objects, event.sm_objects);
+        // …and the full execution fingerprint, pairwise across engines.
+        for other in [&event, &par] {
+            prop_assert_eq!(&threads.decisions, &other.decisions);
+            prop_assert_eq!(&threads.halts, &other.halts);
+            prop_assert_eq!(&threads.crashed, &other.crashed);
+            prop_assert_eq!(threads.all_correct_decided, other.all_correct_decided);
+            prop_assert_eq!(threads.counters, other.counters);
+            prop_assert_eq!(&threads.per_process, &other.per_process);
+            prop_assert_eq!(threads.trace_hash, other.trace_hash);
+            prop_assert!(threads.trace_hash.is_some());
+            prop_assert_eq!(threads.events_processed, other.events_processed);
+            prop_assert_eq!(threads.end_time, other.end_time);
+            prop_assert_eq!(threads.latest_decision_time, other.latest_decision_time);
+            prop_assert_eq!(threads.sm_proposes, other.sm_proposes);
+            prop_assert_eq!(threads.sm_objects, other.sm_objects);
+        }
         // Under sound configurations, whatever happened happened safely
         // (the ablation preset exists precisely to violate this).
         if config_is_sound {
             prop_assert!(threads.agreement_holds());
         }
+    }
+
+    /// The parallel engine is a function of the scenario alone, not of
+    /// the pool size: any two worker counts (and repeated runs) produce
+    /// identical outcomes on every field except the recorded engine.
+    #[test]
+    fn parallel_engine_is_invariant_under_worker_count(scenario in scenario_strategy()) {
+        let two = Sim.run(&scenario.clone().parallel(2));
+        let many = Sim.run(&scenario.clone().parallel(7));
+        let again = Sim.run(&scenario.parallel(7));
+        prop_assert_eq!(&two.decisions, &many.decisions);
+        prop_assert_eq!(&two.halts, &many.halts);
+        prop_assert_eq!(two.counters, many.counters);
+        prop_assert_eq!(&two.per_process, &many.per_process);
+        prop_assert_eq!(two.trace_hash, many.trace_hash);
+        prop_assert_eq!(two.events_processed, many.events_processed);
+        prop_assert_eq!(two.end_time, many.end_time);
+        prop_assert_eq!(many.trace_hash, again.trace_hash);
+        prop_assert_eq!(&many.decisions, &again.decisions);
+        prop_assert_eq!(many.engine_used, again.engine_used);
     }
 
     /// The engine knob and the workload bodies survive serde, and a
