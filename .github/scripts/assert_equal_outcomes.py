@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Assert two `ofa --json` outcome documents agree on every
+deterministic field. Used by the checkpoint-smoke gate to prove that a
+run paused at a snapshot and resumed from the saved file reproduces the
+straight-through execution bit for bit.
+
+Usage: assert_equal_outcomes.py STRAIGHT.json RESUMED.json
+"""
+import json
+import sys
+
+# Deterministic observables: everything except wall-clock timings
+# (elapsed_us, latest_decision_us) and the backend/engine labels.
+KEYS = (
+    "trace_hash",
+    "events_processed",
+    "end_time",
+    "decisions",
+    "counters",
+    "per_process",
+    "halts",
+    "crashed",
+    "all_correct_decided",
+    "agreement_holds",
+    "latest_decision_time",
+    "sm_proposes",
+    "sm_objects",
+)
+
+
+def main() -> int:
+    straight_path, resumed_path = sys.argv[1], sys.argv[2]
+    with open(straight_path) as f:
+        straight = json.load(f)
+    with open(resumed_path) as f:
+        resumed = json.load(f)
+    bad = [k for k in KEYS if straight.get(k) != resumed.get(k)]
+    for k in bad:
+        print(f"MISMATCH {k}: {straight.get(k)!r} != {resumed.get(k)!r}")
+    if bad:
+        return 1
+    print(
+        "resumed run reproduces the straight-through run: "
+        f"trace_hash={straight['trace_hash']} "
+        f"events={straight['events_processed']} end={straight['end_time']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

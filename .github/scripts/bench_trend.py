@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Compare the current run's BENCH_*.json against the previous CI run's
+artifact of the same name and append a throughput trend table to the job
+summary. Rows whose events/s dropped more than THRESHOLD emit a warning
+annotation; the step never fails the job — trends inform, gates enforce.
+
+Usage: bench_trend.py CURRENT.json ARTIFACT_NAME
+
+Environment: GITHUB_TOKEN, GITHUB_REPOSITORY, GITHUB_RUN_ID (set by the
+workflow), GITHUB_STEP_SUMMARY (set by the runner).
+"""
+import io
+import json
+import os
+import sys
+import urllib.request
+import zipfile
+
+THRESHOLD = 0.15
+
+
+def api(url: str, token: str, raw: bool = False):
+    req = urllib.request.Request(url)
+    req.add_header("Authorization", f"Bearer {token}")
+    req.add_header("X-GitHub-Api-Version", "2022-11-28")
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        data = resp.read()
+    return data if raw else json.loads(data)
+
+
+def previous_artifact(repo: str, name: str, run_id: str, token: str):
+    """The newest non-expired artifact of this name from a *different*
+    workflow run (the current run may have uploaded one already)."""
+    url = (
+        f"https://api.github.com/repos/{repo}/actions/artifacts"
+        f"?name={name}&per_page=20"
+    )
+    listing = api(url, token)
+    for art in listing.get("artifacts", []):
+        run = art.get("workflow_run") or {}
+        if str(run.get("id")) != run_id and not art.get("expired"):
+            return art
+    return None
+
+
+def load_artifact_json(art, token: str):
+    blob = api(art["archive_download_url"], token, raw=True)
+    with zipfile.ZipFile(io.BytesIO(blob)) as z:
+        name = next(n for n in z.namelist() if n.endswith(".json"))
+        return json.loads(z.read(name))
+
+
+def main() -> int:
+    cur_path, artifact_name = sys.argv[1], sys.argv[2]
+    token = os.environ.get("GITHUB_TOKEN", "")
+    repo = os.environ.get("GITHUB_REPOSITORY", "")
+    run_id = os.environ.get("GITHUB_RUN_ID", "")
+    with open(cur_path) as f:
+        cur = json.load(f)
+    if not (token and repo):
+        print("no GITHUB_TOKEN/GITHUB_REPOSITORY; skipping bench trend")
+        return 0
+    try:
+        art = previous_artifact(repo, artifact_name, run_id, token)
+        if art is None:
+            print(f"no previous {artifact_name!r} artifact; baseline starts here")
+            return 0
+        old = load_artifact_json(art, token)
+    except Exception as e:  # advisory step: degrade to a notice, never fail
+        print(f"::notice::bench trend unavailable: {e}")
+        return 0
+
+    prev_run = (art.get("workflow_run") or {}).get("id", "?")
+    lines = [
+        f"### Bench trend: `{artifact_name}` vs run {prev_run}",
+        "",
+        "| experiment | n | metric | previous | current | change |",
+        "|---|---|---|---|---|---|",
+    ]
+    regressions = []
+    for exp in cur.get("experiments", []):
+        old_exp = next(
+            (o for o in old.get("experiments", []) if o.get("id") == exp.get("id")),
+            None,
+        )
+        if not old_exp or old_exp.get("columns") != exp.get("columns"):
+            continue
+        cols = exp["columns"]
+        eps_cols = [i for i, c in enumerate(cols) if "ev" in c and "/s" in c]
+        old_rows = {row[0]: row for row in old_exp.get("rows", [])}
+        for row in exp.get("rows", []):
+            prev_row = old_rows.get(row[0])
+            if not prev_row:
+                continue
+            for i in eps_cols:
+                try:
+                    before, after = float(prev_row[i]), float(row[i])
+                except ValueError:
+                    continue  # '—' placeholder cells
+                if before <= 0:
+                    continue
+                change = after / before - 1.0
+                lines.append(
+                    f"| {exp['id']} | {row[0]} | {cols[i]} "
+                    f"| {before:.3g} | {after:.3g} | {change:+.1%} |"
+                )
+                if change < -THRESHOLD:
+                    regressions.append(
+                        f"{exp['id']} n={row[0]} {cols[i]}: "
+                        f"{before:.3g} -> {after:.3g} ({change:+.1%})"
+                    )
+
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as f:
+            f.write("\n".join(lines) + "\n")
+    for r in regressions:
+        print(f"::warning::events/s regression > {THRESHOLD:.0%}: {r}")
+    if not regressions:
+        print("no events/s regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,8 @@
 //! cargo run --release -p ofa-bench --bin experiments --csv e6        # CSV out
 //! cargo run --release -p ofa-bench --bin experiments e1 --quick      # 1 trial/cell
 //! cargo run --release -p ofa-bench --bin experiments smrscale --quick --out BENCH_smr.json
+//! cargo run --release -p ofa-bench --bin experiments escale --quick \
+//!     --budget-secs 90 --state-dir .ofa-checkpoints --out BENCH_escale.json
 //! ```
 //!
 //! `--quick` runs each requested experiment with a single trial per
@@ -13,9 +15,62 @@
 //! seconds. `--out <path>` additionally writes the tables as
 //! machine-readable JSON (`{"experiments": [{id, title, columns, rows}]}`)
 //! — the CI scale gates archive these as per-run build artifacts.
+//!
+//! `--budget-secs <s>` runs the ESCALE sweep resumably: cells execute as
+//! checkpointed legs, and when the wall-clock budget expires the
+//! in-flight snapshot is saved under `--state-dir` (default
+//! `.ofa-checkpoints`) and the process exits with code **3**. Re-running
+//! with the same state dir resumes bit-for-bit; a run that finishes the
+//! whole sweep exits 0 with rows whose deterministic columns equal a
+//! monolithic run's.
 
 use ofa_bench::Scale;
 use ofa_metrics::Table;
+
+fn print_tables(tables: &[(String, Table)], banner: bool, csv: bool, markdown: bool) {
+    for (id, table) in tables {
+        if banner {
+            println!("── {id} ──");
+        }
+        if csv {
+            println!("{}", table.to_csv());
+        } else if markdown {
+            println!("{}", table.to_markdown());
+        } else {
+            println!("{table}");
+        }
+    }
+}
+
+/// Writes the `--out` JSON document. `paused` is present only for
+/// resumable runs, recording whether the sweep stopped at its budget.
+fn write_out(path: &str, tables: &[(String, Table)], quick: bool, paused: Option<bool>) {
+    let entries: Vec<serde::Value> = tables
+        .iter()
+        .map(|(id, table)| {
+            let mut map = match serde::Serialize::to_value(table) {
+                serde::Value::Map(m) => m,
+                other => unreachable!("tables serialize as maps, got {other:?}"),
+            };
+            map.insert(0, ("id".to_string(), serde::Value::Str(id.clone())));
+            serde::Value::Map(map)
+        })
+        .collect();
+    let mut doc = vec![
+        ("quick".to_string(), serde::Value::Bool(quick)),
+        ("experiments".to_string(), serde::Value::Seq(entries)),
+    ];
+    if let Some(paused) = paused {
+        doc.insert(1, ("paused".to_string(), serde::Value::Bool(paused)));
+    }
+    let json = serde_json::to_string(&serde::Value::Map(doc))
+        .expect("tables contain no non-finite floats");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {path}");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +82,8 @@ fn main() {
         Scale::Full
     };
     let mut out_path: Option<String> = None;
+    let mut budget_secs: Option<u64> = None;
+    let mut state_dir: String = ".ofa-checkpoints".to_string();
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -42,13 +99,67 @@ fn main() {
                     }
                 }
             }
+            "--budget-secs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(secs) => budget_secs = Some(secs),
+                    None => {
+                        eprintln!("--budget-secs requires a number of seconds");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--state-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => state_dir = dir.clone(),
+                    None => {
+                        eprintln!("--state-dir requires a directory path");
+                        std::process::exit(2);
+                    }
+                }
+            }
             flag if flag.starts_with("--") => {
-                eprintln!("unknown flag: {flag} (expected --csv, --markdown, --quick, --out)");
+                eprintln!(
+                    "unknown flag: {flag} (expected --csv, --markdown, --quick, --out, \
+                     --budget-secs, --state-dir)"
+                );
                 std::process::exit(2);
             }
             id => ids.push(id.to_string()),
         }
         i += 1;
+    }
+
+    if let Some(secs) = budget_secs {
+        // Only ESCALE runs resumably today: SMRSCALE (and PARSCALE's
+        // baseline comparison) verify their logs through a run observer,
+        // which checkpointing deliberately refuses to capture.
+        if ids.len() != 1 || !ids[0].eq_ignore_ascii_case("escale") {
+            eprintln!("--budget-secs currently supports exactly one experiment: escale");
+            std::process::exit(2);
+        }
+        let dir = std::path::PathBuf::from(&state_dir);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(secs);
+        let sizes: &[usize] = match scale {
+            Scale::Full => &ofa_bench::experiments::escale::SIZES,
+            Scale::Quick => &ofa_bench::experiments::escale::QUICK_SIZES,
+        };
+        let (_rows, table, paused) =
+            ofa_bench::experiments::escale::run_resumable(sizes, &dir, deadline);
+        let tables = vec![("ESCALE".to_string(), table)];
+        print_tables(&tables, false, csv, markdown);
+        if let Some(path) = &out_path {
+            write_out(path, &tables, scale == Scale::Quick, Some(paused));
+        }
+        if paused {
+            eprintln!(
+                "budget of {secs}s expired; checkpoint state saved under {}",
+                dir.display()
+            );
+            std::process::exit(3);
+        }
+        return;
     }
 
     let tables: Vec<(String, Table)> = if ids.is_empty() {
@@ -77,43 +188,9 @@ fn main() {
         out
     };
 
-    for (id, table) in &tables {
-        if ids.is_empty() {
-            println!("── {id} ──");
-        }
-        if csv {
-            println!("{}", table.to_csv());
-        } else if markdown {
-            println!("{}", table.to_markdown());
-        } else {
-            println!("{table}");
-        }
-    }
+    print_tables(&tables, ids.is_empty(), csv, markdown);
 
     if let Some(path) = out_path {
-        let entries: Vec<serde::Value> = tables
-            .iter()
-            .map(|(id, table)| {
-                let mut map = match serde::Serialize::to_value(table) {
-                    serde::Value::Map(m) => m,
-                    other => unreachable!("tables serialize as maps, got {other:?}"),
-                };
-                map.insert(0, ("id".to_string(), serde::Value::Str(id.clone())));
-                serde::Value::Map(map)
-            })
-            .collect();
-        let doc = serde::Value::Map(vec![
-            (
-                "quick".to_string(),
-                serde::Value::Bool(scale == Scale::Quick),
-            ),
-            ("experiments".to_string(), serde::Value::Seq(entries)),
-        ]);
-        let json = serde_json::to_string(&doc).expect("tables contain no non-finite floats");
-        if let Err(e) = std::fs::write(&path, json) {
-            eprintln!("failed to write {path}: {e}");
-            std::process::exit(1);
-        }
-        eprintln!("wrote {path}");
+        write_out(&path, &tables, scale == Scale::Quick, None);
     }
 }

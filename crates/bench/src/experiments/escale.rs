@@ -18,9 +18,11 @@
 
 use ofa_core::{Algorithm, Bit};
 use ofa_metrics::{fmt_f64, Table};
-use ofa_scenario::{Backend, CostModel, DelayModel, Engine, Scenario};
+use ofa_scenario::{Backend, CostModel, DelayModel, Engine, Scenario, VirtualTime};
 use ofa_sim::Sim;
 use ofa_topology::Partition;
+use std::path::Path;
+use std::time::Instant;
 
 /// System sizes of the full sweep. The largest cells are minutes, not
 /// seconds — the sweep is quadratic in `n` by construction (`3n²`
@@ -106,6 +108,111 @@ pub fn run(sizes: &[usize]) -> (Vec<ScaleRow>, Table) {
     (rows, table)
 }
 
+/// Same columns as [`run`], assembled from done-file entries and
+/// freshly finished cells alike.
+fn sweep_row(table: &mut Table, rows: &mut Vec<ScaleRow>, n: usize, entry: (u64, u64, f64)) {
+    let (events, end_ticks, wall_secs) = entry;
+    let events_per_sec = events as f64 / wall_secs.max(f64::EPSILON);
+    rows.push(ScaleRow {
+        n,
+        events,
+        wall_secs,
+        events_per_sec,
+    });
+    table.row([
+        n.to_string(),
+        events.to_string(),
+        VirtualTime::from_ticks(end_ticks).to_string(),
+        fmt_f64(wall_secs, 2),
+        format!("{events_per_sec:.2e}"),
+    ]);
+}
+
+/// Resumable variant of [`run`] for the time-budgeted CI gate. Each cell
+/// runs as a chain of checkpointed legs ([`crate::resumable::run_cell`]);
+/// when `deadline` passes mid-cell the in-flight snapshot plus a done
+/// file of completed rows are left under `dir` and the function returns
+/// `paused = true`, so the next invocation (the next scheduled CI run,
+/// after restoring `dir`) picks up exactly where this one stopped. The
+/// deterministic columns (`n`, `events`, virtual end) of every finished
+/// row are identical to a monolithic [`run`]; only wall-clock columns
+/// reflect the accumulated leg time.
+///
+/// # Panics
+///
+/// Same protocol assertions as [`run`], plus on unwritable state files.
+pub fn run_resumable(
+    sizes: &[usize],
+    dir: &Path,
+    deadline: Instant,
+) -> (Vec<ScaleRow>, Table, bool) {
+    let done_file = dir.join("escale_done.txt");
+    // Lines of "n events end_ticks wall_secs" for cells finished by
+    // earlier invocations of this sweep.
+    let mut done: Vec<(usize, u64, u64, f64)> = std::fs::read_to_string(&done_file)
+        .map(|text| {
+            text.lines()
+                .filter_map(|line| {
+                    let mut it = line.split_whitespace();
+                    Some((
+                        it.next()?.parse().ok()?,
+                        it.next()?.parse().ok()?,
+                        it.next()?.parse().ok()?,
+                        it.next()?.parse().ok()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut table = Table::new(
+        "ESCALE: event-driven engine scale sweep — full ben_or_hybrid, m=n/100 clusters, \
+         unanimous proposals, single thread",
+        &["n", "events", "virtual end", "wall [s]", "events/s"],
+    );
+    let mut rows = Vec::new();
+    let mut paused = false;
+    for &n in sizes {
+        let entry = if let Some(&(_, events, end, wall)) = done.iter().find(|d| d.0 == n) {
+            (events, end, wall)
+        } else {
+            let cell = crate::resumable::run_cell(
+                dir,
+                &format!("escale_{n}"),
+                &scenario(n),
+                1_000,
+                deadline,
+            );
+            let Some(out) = cell.outcome else {
+                paused = true;
+                break;
+            };
+            assert!(
+                out.all_correct_decided && out.agreement_holds(),
+                "escale n={n}: engine failed to decide"
+            );
+            assert_eq!(out.deciders(), n, "escale n={n}: missing deciders");
+            assert_eq!(
+                out.max_decision_round, 1,
+                "escale n={n}: unanimity must decide in round 1"
+            );
+            let entry = (out.events_processed, out.end_time.ticks(), cell.wall_secs);
+            done.push((n, entry.0, entry.1, entry.2));
+            std::fs::create_dir_all(dir).expect("checkpoint state dir is writable");
+            let text: String = done
+                .iter()
+                .map(|(n, e, end, w)| format!("{n} {e} {end} {w}\n"))
+                .collect();
+            std::fs::write(&done_file, text).expect("done file is writable");
+            entry
+        };
+        sweep_row(&mut table, &mut rows, n, entry);
+    }
+    if !paused {
+        let _ = std::fs::remove_file(&done_file);
+    }
+    (rows, table, paused)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +224,31 @@ mod tests {
         assert_eq!(rows[0].events, 3 * 200 * 200);
         assert_eq!(rows[1].events, 3 * 400 * 400);
         assert!(rows.iter().all(|r| r.events_per_sec > 0.0));
+    }
+
+    #[test]
+    fn resumable_sweep_matches_the_monolithic_rows() {
+        let dir = std::env::temp_dir().join(format!("ofa-escale-resumable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mono, _) = run(&[200, 300]);
+        // A budget that expired before the sweep started: the first cell
+        // pauses after one leg and the sweep reports no finished rows.
+        let expired = Instant::now() - std::time::Duration::from_secs(1);
+        let (rows, _, paused) = run_resumable(&[200, 300], &dir, expired);
+        assert!(paused, "expired budget must pause");
+        assert!(rows.is_empty());
+        // The next invocation, given time, completes the sweep with the
+        // same deterministic columns as the monolithic run.
+        let generous = Instant::now() + std::time::Duration::from_secs(600);
+        let (rows, table, paused) = run_resumable(&[200, 300], &dir, generous);
+        assert!(!paused);
+        assert_eq!(table.len(), 2);
+        assert_eq!(rows.len(), mono.len());
+        for (a, b) in mono.iter().zip(rows.iter()) {
+            assert_eq!(a.n, b.n);
+            assert_eq!(a.events, b.events);
+        }
+        assert!(!dir.join("escale_done.txt").exists(), "state cleans up");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -42,6 +42,8 @@ pub mod experiments {
     pub mod smrscale;
 }
 
+pub mod resumable;
+
 use ofa_metrics::Table;
 
 /// Every experiment id, in presentation order. The single source of

@@ -1,0 +1,138 @@
+//! Wall-clock-budgeted, resumable experiment cells.
+//!
+//! A CI scale gate has a time budget per run, but the interesting cells
+//! keep growing. Instead of shrinking the workload to fit the budget,
+//! a gate can run a cell as a chain of checkpointed *legs*: when the
+//! budget expires mid-cell, the in-flight [`Snapshot`] is written to a
+//! state directory (which CI carries to the next scheduled run as an
+//! artifact/cache), and the next invocation resumes it bit-for-bit —
+//! the finished cell's deterministic columns (events, virtual end,
+//! trace hash) are identical to a monolithic run's, with only the
+//! wall-clock column accumulated across legs.
+
+use ofa_scenario::{Outcome, Scenario, Snapshot, VirtualTime};
+use ofa_sim::{RunOutcome, Sim};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// The result of driving one cell against a deadline.
+pub struct CellResult {
+    /// The finished outcome, or `None` if the deadline expired and the
+    /// cell's checkpoint was saved instead.
+    pub outcome: Option<Outcome>,
+    /// Wall-clock seconds spent on this cell so far, *accumulated
+    /// across legs* (prior invocations' time is carried in the state
+    /// directory alongside the snapshot).
+    pub wall_secs: f64,
+}
+
+fn snap_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{key}.snap.json"))
+}
+
+fn wall_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{key}.wall"))
+}
+
+/// Runs one cell in legs of virtual time until it finishes or
+/// `deadline` passes. The first leg spans `leg_ticks`; each subsequent
+/// leg doubles. A checkpoint costs O(total machine state) to build and
+/// restore — for a consensus machine that is O(n) per process, O(n²)
+/// per snapshot — so fixed-length legs would spend far more wall clock
+/// pausing than simulating; doubling keeps the pause count logarithmic
+/// in the run's virtual length while staying responsive to short
+/// budgets early on. State (snapshot + accumulated wall clock) lives
+/// under `dir`, keyed by `key`; a finished cell removes its state files
+/// so a later sweep starts fresh.
+pub fn run_cell(
+    dir: &Path,
+    key: &str,
+    scenario: &Scenario,
+    leg_ticks: u64,
+    deadline: Instant,
+) -> CellResult {
+    assert!(leg_ticks > 0, "legs must advance virtual time");
+    let snap_file = snap_path(dir, key);
+    let wall_file = wall_path(dir, key);
+    let prior_wall: f64 = std::fs::read_to_string(&wall_file)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0.0);
+    let started = Instant::now();
+    let mut span = leg_ticks;
+    let mut pending = match std::fs::read_to_string(&snap_file) {
+        Ok(text) => {
+            let snap: Snapshot = serde_json::from_str(&text).expect("checkpoint artifact decodes");
+            let cut = snap.at.ticks().saturating_add(span);
+            Sim.resume_until(&snap, VirtualTime::from_ticks(cut))
+        }
+        Err(_) => Sim.run_until(scenario, VirtualTime::from_ticks(span)),
+    };
+    loop {
+        match pending {
+            RunOutcome::Done(out) => {
+                let _ = std::fs::remove_file(&snap_file);
+                let _ = std::fs::remove_file(&wall_file);
+                return CellResult {
+                    outcome: Some(out),
+                    wall_secs: prior_wall + started.elapsed().as_secs_f64(),
+                };
+            }
+            RunOutcome::Paused(snap) => {
+                let spent = prior_wall + started.elapsed().as_secs_f64();
+                if Instant::now() >= deadline {
+                    std::fs::create_dir_all(dir).expect("checkpoint state dir is writable");
+                    let json = serde_json::to_string(&*snap).expect("snapshot serializes");
+                    std::fs::write(&snap_file, json).expect("snapshot file is writable");
+                    std::fs::write(&wall_file, format!("{spent}")).expect("wall file is writable");
+                    return CellResult {
+                        outcome: None,
+                        wall_secs: spent,
+                    };
+                }
+                span = span.saturating_mul(2);
+                let cut = snap.at.ticks().saturating_add(span);
+                pending = Sim.resume_until(&snap, VirtualTime::from_ticks(cut));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::escale;
+    use ofa_scenario::Backend;
+    use std::time::Duration;
+
+    #[test]
+    fn a_cell_split_across_invocations_matches_a_monolithic_run() {
+        let dir = std::env::temp_dir().join(format!("ofa-resumable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let scenario = escale::scenario(200);
+        let straight = Sim.run(&scenario);
+
+        // A deadline already in the past: the first leg runs, then the
+        // cell pauses and saves — simulating a budget-expired CI run.
+        let past = Instant::now() - Duration::from_secs(1);
+        let first = run_cell(&dir, "cell", &scenario, 1_000, past);
+        assert!(first.outcome.is_none(), "past deadline must pause");
+        assert!(snap_path(&dir, "cell").exists());
+
+        // The "next scheduled run": a generous deadline finishes it.
+        let later = Instant::now() + Duration::from_secs(600);
+        let second = run_cell(&dir, "cell", &scenario, 1_000, later);
+        let out = second.outcome.expect("second invocation finishes");
+        assert_eq!(straight.trace_hash, out.trace_hash);
+        assert_eq!(straight.events_processed, out.events_processed);
+        assert_eq!(straight.end_time, out.end_time);
+        assert_eq!(straight.decisions, out.decisions);
+        assert!(
+            second.wall_secs >= first.wall_secs,
+            "wall clock accumulates across legs"
+        );
+        assert!(!snap_path(&dir, "cell").exists(), "finished cells clean up");
+        assert!(!wall_path(&dir, "cell").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

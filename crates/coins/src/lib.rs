@@ -96,6 +96,23 @@ impl SeededLocalCoin {
     pub fn flip_count(&self) -> u64 {
         self.flips
     }
+
+    /// The coin's raw state — generator words plus flip count — for
+    /// checkpointing a run mid-flight.
+    pub fn state(&self) -> ([u64; 4], u64) {
+        (self.rng.state(), self.flips)
+    }
+
+    /// Rebuilds a coin from a captured [`state`], resuming its stream
+    /// exactly where it left off.
+    ///
+    /// [`state`]: SeededLocalCoin::state
+    pub fn from_state(rng: [u64; 4], flips: u64) -> Self {
+        SeededLocalCoin {
+            rng: StdRng::from_state(rng),
+            flips,
+        }
+    }
 }
 
 impl LocalCoin for SeededLocalCoin {

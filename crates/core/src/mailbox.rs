@@ -54,7 +54,7 @@ pub enum MailboxItem {
 
 /// An application payload received via [`MsgKind::App`], stashed by the
 /// mailbox for the layer above binary consensus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct AppMsg {
     /// The sending process.
     pub from: ProcessId,
@@ -68,7 +68,7 @@ pub struct AppMsg {
 
 /// A remembered `DECIDE(value)`; `served` tracks whether the instance
 /// ever consumed it, so pruning can tell a used entry from a stale one.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 struct DecideEntry {
     value: Bit,
     served: bool,
@@ -394,6 +394,58 @@ impl Mailbox {
     /// Number of messages currently buffered for future slots.
     pub fn buffered(&self) -> usize {
         self.future.values().map(VecDeque::len).sum()
+    }
+}
+
+/// Mailboxes serialize their complete buffered state — future-slot phase
+/// queues, sticky decides, the app stash, the hygiene position, and the
+/// staleness counters — so checkpointed runs resume with identical
+/// routing behaviour.
+impl serde::Serialize for Mailbox {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (
+                "future".to_string(),
+                serde::Value::Seq(self.future.iter().map(|(k, q)| (k, q).to_value()).collect()),
+            ),
+            (
+                "decides".to_string(),
+                serde::Value::Seq(
+                    self.decides
+                        .iter()
+                        .map(|(i, e)| (i, e).to_value())
+                        .collect(),
+                ),
+            ),
+            (
+                "apps".to_string(),
+                serde::Value::Seq(self.apps.values().map(serde::Serialize::to_value).collect()),
+            ),
+            ("position".to_string(), self.position.to_value()),
+            ("stale_dropped".to_string(), self.stale_dropped.to_value()),
+            ("stale_reported".to_string(), self.stale_reported.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for Mailbox {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::msg(format!("Mailbox: missing field {name}")))
+        };
+        let future: Vec<((u64, u64, Phase), VecDeque<Msg>)> =
+            serde::Deserialize::from_value(field("future")?)?;
+        let decides: Vec<(u64, DecideEntry)> = serde::Deserialize::from_value(field("decides")?)?;
+        let apps: Vec<AppMsg> = serde::Deserialize::from_value(field("apps")?)?;
+        Ok(Mailbox {
+            future: future.into_iter().collect(),
+            decides: decides.into_iter().collect(),
+            apps: apps.into_iter().map(|a| ((a.instance, a.seq), a)).collect(),
+            position: serde::Deserialize::from_value(field("position")?)?,
+            stale_dropped: serde::Deserialize::from_value(field("stale_dropped")?)?,
+            stale_reported: serde::Deserialize::from_value(field("stale_reported")?)?,
+        })
     }
 }
 

@@ -11,7 +11,9 @@ use std::fmt;
 
 /// The phase of a round. Algorithm 2 runs two phases per round; Algorithm 3
 /// runs a single phase (represented as [`Phase::One`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum Phase {
     /// First phase: champion a value.
     One,
@@ -42,7 +44,7 @@ impl fmt::Display for Phase {
 /// (multivalued consensus, replicated logs) can run many binary consensus
 /// instances over one channel without collisions. Single-shot consensus
 /// uses instance 0.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum MsgKind {
     /// A phase message `(r, ph, est)` of the `msg_exchange` pattern.
     ///
@@ -123,7 +125,7 @@ impl fmt::Display for MsgKind {
 
 /// A delivered message: payload plus sender identity (the receiver needs
 /// the sender to apply the "one for all" cluster amplification).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct Msg {
     /// The sending process.
     pub from: ProcessId,

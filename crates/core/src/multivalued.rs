@@ -49,6 +49,7 @@ use crate::{
     Mailbox, MsgKind, ObsEvent, Payload, ProtocolConfig,
 };
 use ofa_topology::ProcessId;
+use serde::Serialize as _;
 
 /// Binary-instance ids used by one multivalued instance `j`:
 /// `j * INSTANCE_STRIDE + s` for stage `s >= 1`; the `APP` dissemination
@@ -131,6 +132,28 @@ impl ProposalStore {
         } else {
             None
         }
+    }
+
+    /// Serializes the store for a checkpoint: known proposals plus the
+    /// relay ledger (`base` is recomputed from the owning layer's index).
+    pub(crate) fn snapshot(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("have".to_string(), self.have.to_value()),
+            ("relayed".to_string(), self.relayed.to_value()),
+        ])
+    }
+
+    /// Rebuilds a store from a [`ProposalStore::snapshot`] value.
+    pub(crate) fn from_snapshot(base: u64, v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::msg(format!("ProposalStore: missing field {name}")))
+        };
+        Ok(ProposalStore {
+            base,
+            have: serde::Deserialize::from_value(field("have")?)?,
+            relayed: serde::Deserialize::from_value(field("relayed")?)?,
+        })
     }
 }
 
@@ -258,6 +281,12 @@ impl LogDigest {
     /// The digest value.
     pub fn value(&self) -> u64 {
         self.0
+    }
+
+    /// Rebuilds a digest from a previously captured [`LogDigest::value`] —
+    /// checkpointed log runs resume the rolling hash mid-stream.
+    pub fn from_raw(value: u64) -> Self {
+        LogDigest(value)
     }
 }
 

@@ -7,6 +7,7 @@ use crate::{
 };
 use ofa_sharedmem::{CodableValue, Slot};
 use ofa_topology::ProcessId;
+use serde::Serialize as _;
 use std::sync::Arc;
 
 /// The slot-phase index Algorithm 3 uses for its single per-round object
@@ -156,6 +157,53 @@ impl ConsensusSm {
     /// `true` once a terminal [`Progress`] has been returned.
     pub fn is_done(&self) -> bool {
         self.done
+    }
+
+    /// Serializes the machine's resumable wait state: instance, estimate,
+    /// round/phase cursor, supporter tallies, and the mailbox. The outbox
+    /// is omitted — it is provably empty at every suspension (each step
+    /// `take`s it into the returned [`Progress`]).
+    pub fn snapshot(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("instance".to_string(), self.instance.to_value()),
+            ("est".to_string(), self.est.to_value()),
+            ("round".to_string(), self.round.to_value()),
+            ("phase".to_string(), self.phase.to_value()),
+            ("tally".to_string(), self.tally.to_value()),
+            ("mailbox".to_string(), self.mailbox.to_value()),
+            ("done".to_string(), self.done.to_value()),
+        ])
+    }
+
+    /// Rebuilds a machine from a [`ConsensusSm::snapshot`] value. The
+    /// immutable construction context (algorithm, identity, topology,
+    /// config) is supplied by the caller — it lives in the scenario, not
+    /// the snapshot.
+    pub fn from_snapshot(
+        algorithm: Algorithm,
+        me: ProcessId,
+        topo: Arc<SmTopology>,
+        cfg: ProtocolConfig,
+        v: &serde::Value,
+    ) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::msg(format!("ConsensusSm: missing field {name}")))
+        };
+        Ok(ConsensusSm {
+            algorithm,
+            me,
+            topo,
+            cfg,
+            instance: serde::Deserialize::from_value(field("instance")?)?,
+            est: serde::Deserialize::from_value(field("est")?)?,
+            round: serde::Deserialize::from_value(field("round")?)?,
+            phase: serde::Deserialize::from_value(field("phase")?)?,
+            tally: serde::Deserialize::from_value(field("tally")?)?,
+            mailbox: serde::Deserialize::from_value(field("mailbox")?)?,
+            outbox: Vec::new(),
+            done: serde::Deserialize::from_value(field("done")?)?,
+        })
     }
 
     /// Hands a drained outbox buffer back to the machine so the next

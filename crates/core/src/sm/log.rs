@@ -4,6 +4,7 @@ use super::{MultivaluedSm, MvProgress, Outbox, Progress, SmCtx, SmTopology};
 use crate::multivalued::{log_body_decision, queue_proposal, LogDigest};
 use crate::{Algorithm, Halt, Mailbox, Msg, Payload, ProtocolConfig};
 use ofa_topology::ProcessId;
+use serde::Serialize as _;
 use std::sync::Arc;
 
 /// A replicated-log replica as a resumable state machine — the exact
@@ -61,6 +62,68 @@ impl LogSm {
     /// `true` once a terminal [`Progress`] has been returned.
     pub fn is_done(&self) -> bool {
         self.done
+    }
+
+    /// Serializes the replica's resumable wait state: slot cursor, the
+    /// rolling [`LogDigest`], and the running slot machine (if any). The
+    /// command queue and slot count are scenario inputs, and the outbox
+    /// is empty at every suspension, so neither is captured.
+    pub fn snapshot(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("slot".to_string(), self.slot.to_value()),
+            ("digest".to_string(), self.digest.value().to_value()),
+            (
+                "inner".to_string(),
+                match &self.inner {
+                    Some(inner) => inner.snapshot(),
+                    None => serde::Value::Null,
+                },
+            ),
+            ("done".to_string(), self.done.to_value()),
+        ])
+    }
+
+    /// Rebuilds a replica from a [`LogSm::snapshot`] value plus the
+    /// scenario-side construction context (including the proposal queue
+    /// and slot count, which the snapshot deliberately omits).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_snapshot(
+        algorithm: Algorithm,
+        me: ProcessId,
+        topo: Arc<SmTopology>,
+        cfg: ProtocolConfig,
+        queue: Vec<Payload>,
+        slots: u64,
+        v: &serde::Value,
+    ) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::msg(format!("LogSm: missing field {name}")))
+        };
+        let digest: u64 = serde::Deserialize::from_value(field("digest")?)?;
+        let inner = match field("inner")? {
+            serde::Value::Null => None,
+            snap => Some(MultivaluedSm::from_snapshot(
+                algorithm,
+                me,
+                Arc::clone(&topo),
+                cfg,
+                snap,
+            )?),
+        };
+        Ok(LogSm {
+            algorithm,
+            me,
+            topo,
+            cfg,
+            slots,
+            queue,
+            slot: serde::Deserialize::from_value(field("slot")?)?,
+            digest: LogDigest::from_raw(digest),
+            inner,
+            outbox: Vec::new(),
+            done: serde::Deserialize::from_value(field("done")?)?,
+        })
     }
 
     /// Hands a drained outbox buffer back for reuse, routing it to the

@@ -4,6 +4,7 @@ use super::{broadcast_into, ConsensusSm, Outbox, Progress, SmCtx, SmTopology};
 use crate::multivalued::{stage_budget, MvDecision, ProposalStore, INSTANCE_STRIDE};
 use crate::{Algorithm, Bit, Halt, Mailbox, Msg, MsgKind, ObsEvent, Payload, ProtocolConfig};
 use ofa_topology::ProcessId;
+use serde::Serialize as _;
 use std::sync::Arc;
 
 /// `Poll`-style progress of a [`MultivaluedSm`] — like [`Progress`] but
@@ -143,6 +144,82 @@ impl MultivaluedSm {
     /// This machine's process identity.
     pub fn me(&self) -> ProcessId {
         self.me
+    }
+
+    /// Serializes the machine's resumable wait state — stage cursor,
+    /// proposal store, and the current internal state (tagged by
+    /// variant, with a running stage captured via
+    /// [`ConsensusSm::snapshot`]). The outbox is omitted: empty at every
+    /// suspension.
+    pub fn snapshot(&self) -> serde::Value {
+        let state = match &self.state {
+            MvState::Stage(sm) => serde::Value::Map(vec![("Stage".to_string(), sm.snapshot())]),
+            MvState::AwaitProposal(mb, k) => serde::Value::Map(vec![(
+                "AwaitProposal".to_string(),
+                serde::Value::Seq(vec![mb.to_value(), k.to_value()]),
+            )]),
+            MvState::Finished(mb) => {
+                serde::Value::Map(vec![("Finished".to_string(), mb.to_value())])
+            }
+        };
+        serde::Value::Map(vec![
+            ("mv_index".to_string(), self.mv_index.to_value()),
+            ("store".to_string(), self.store.snapshot()),
+            ("stage".to_string(), self.stage.to_value()),
+            ("state".to_string(), state),
+            ("done".to_string(), self.done.to_value()),
+        ])
+    }
+
+    /// Rebuilds a machine from a [`MultivaluedSm::snapshot`] value; the
+    /// construction context comes from the scenario, and the derived
+    /// fields (`base`, `budget`) are recomputed like in
+    /// [`MultivaluedSm::with_mailbox`].
+    pub fn from_snapshot(
+        algorithm: Algorithm,
+        me: ProcessId,
+        topo: Arc<SmTopology>,
+        cfg: ProtocolConfig,
+        v: &serde::Value,
+    ) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::msg(format!("MultivaluedSm: missing field {name}")))
+        };
+        let n = topo.n();
+        let mv_index: u64 = serde::Deserialize::from_value(field("mv_index")?)?;
+        let base = mv_index * INSTANCE_STRIDE;
+        let sv = field("state")?;
+        let state = if let Some(stage) = sv.get("Stage") {
+            MvState::Stage(Box::new(ConsensusSm::from_snapshot(
+                algorithm,
+                me,
+                Arc::clone(&topo),
+                cfg,
+                stage,
+            )?))
+        } else if let Some(wait) = sv.get("AwaitProposal") {
+            let (mb, k): (Mailbox, ProcessId) = serde::Deserialize::from_value(wait)?;
+            MvState::AwaitProposal(mb, k)
+        } else if let Some(mb) = sv.get("Finished") {
+            MvState::Finished(serde::Deserialize::from_value(mb)?)
+        } else {
+            return Err(serde::Error::msg("MultivaluedSm: unknown state variant"));
+        };
+        Ok(MultivaluedSm {
+            algorithm,
+            me,
+            topo,
+            cfg,
+            mv_index,
+            base,
+            budget: stage_budget(&cfg, n),
+            store: ProposalStore::from_snapshot(base, field("store")?)?,
+            stage: serde::Deserialize::from_value(field("stage")?)?,
+            state,
+            outbox: Vec::new(),
+            done: serde::Deserialize::from_value(field("done")?)?,
+        })
     }
 
     /// Hands a drained outbox buffer back for reuse (see

@@ -1,6 +1,6 @@
 //! The execution-substrate abstraction.
 
-use crate::{Outcome, Scenario};
+use crate::{Outcome, Scenario, Snapshot};
 
 /// An execution substrate that can run any [`Scenario`] to completion.
 ///
@@ -24,4 +24,21 @@ pub trait Backend {
     /// Panics if the scenario is internally inconsistent (e.g. proposal
     /// count ≠ `n`) or protocol code panics (a bug, not a modeled fault).
     fn run(&self, scenario: &Scenario) -> Outcome;
+
+    /// Resumes a checkpointed execution to completion. The contract is
+    /// bit-for-bit continuation: the resumed run's deterministic outcome
+    /// fields (decisions, counters, `end_time`, trace hash) equal a
+    /// straight-through run of the snapshot's scenario.
+    ///
+    /// Default: not supported. Checkpoint-capable backends (`ofa-sim`'s
+    /// `Sim`) override this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend cannot resume snapshots, or the snapshot is
+    /// malformed.
+    fn run_from(&self, snapshot: &Snapshot) -> Outcome {
+        let _ = snapshot;
+        panic!("backend {:?} cannot resume snapshots", self.name());
+    }
 }

@@ -93,6 +93,13 @@ impl CrashPlan {
         self
     }
 
+    /// Inserts (or overwrites) the trigger for `p` in place — the
+    /// non-builder form, for merging plans (e.g. a divergent-replay
+    /// spec's extra crashes onto a checkpoint's original plan).
+    pub fn insert(&mut self, p: ProcessId, trigger: CrashTrigger) {
+        self.triggers.insert(p, trigger);
+    }
+
     /// The trigger for `p`, if any.
     pub fn trigger(&self, p: ProcessId) -> Option<CrashTrigger> {
         self.triggers.get(&p).copied()

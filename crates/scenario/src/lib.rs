@@ -47,6 +47,7 @@ mod delay;
 mod outcome;
 #[allow(clippy::module_inception)]
 mod scenario;
+mod snapshot;
 mod sweep;
 mod time;
 mod trace;
@@ -57,6 +58,7 @@ pub use crash::{CrashPlan, CrashTrigger};
 pub use delay::{CostModel, DelayModel};
 pub use outcome::{BackendKind, Outcome};
 pub use scenario::{CoinSpec, Engine, Scenario};
+pub use snapshot::{DivergeSpec, Snapshot, SNAPSHOT_VERSION};
 pub use sweep::{default_workers, Sweep, SweepReport, SweepRun, SweepView};
 pub use time::VirtualTime;
 pub use trace::{TimedEvent, TraceEvent, TraceRecorder};

@@ -151,6 +151,18 @@ impl TraceRecorder {
         }
     }
 
+    /// Rebuilds a recorder mid-stream from a checkpointed accumulator
+    /// (`hash`, `count`). Retained-event mode is not resumable — events
+    /// before the checkpoint are gone — so the recorder is hash-only.
+    pub fn resume(hash: u64, count: u64) -> Self {
+        TraceRecorder {
+            hash,
+            count,
+            keep: false,
+            events: Vec::new(),
+        }
+    }
+
     /// Records one event.
     pub fn record(&mut self, at: VirtualTime, event: TraceEvent) {
         // Per-event fingerprint: FNV-1a lifted from bytes to whole words

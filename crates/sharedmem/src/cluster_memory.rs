@@ -144,6 +144,38 @@ impl ClusterMemory {
         self.objects.lock().len()
     }
 
+    /// The decided contents of this memory in canonical (sorted) order,
+    /// plus the propose counter — everything a checkpoint needs. Every
+    /// materialized object in a quiescent deterministic run is decided
+    /// (propose decides immediately), so undecided objects are skipped:
+    /// they are indistinguishable from never-materialized ones.
+    pub fn checkpoint(&self) -> (Vec<(Slot, u64)>, u64) {
+        let objects = self.objects.lock();
+        let mut decided: Vec<(Slot, u64)> = objects
+            .iter()
+            .filter_map(|(slot, obj)| obj.decided().map(|w| (*slot, w.0)))
+            .collect();
+        decided.sort_unstable();
+        (decided, self.propose_count())
+    }
+
+    /// Rebuilds a memory from a [`ClusterMemory::checkpoint`]: each slot
+    /// is re-decided directly (without charging the propose counter) and
+    /// the counter is restored to its captured value.
+    pub fn restore(decided: &[(Slot, u64)], proposes: u64) -> Self {
+        let mem = ClusterMemory::new();
+        {
+            let mut objects = mem.objects.lock();
+            for &(slot, word) in decided {
+                let obj: Arc<CasConsensus<RawWord>> = Arc::default();
+                obj.propose(RawWord(word));
+                objects.insert(slot, obj);
+            }
+        }
+        mem.proposes.store(proposes, Ordering::Relaxed);
+        mem
+    }
+
     fn object(&self, slot: Slot) -> Arc<CasConsensus<RawWord>> {
         let mut objects = self.objects.lock();
         Arc::clone(objects.entry(slot).or_default())
@@ -237,6 +269,21 @@ impl MemoryBank {
     /// Total consensus objects materialized across all memories.
     pub fn total_objects(&self) -> usize {
         self.memories.iter().map(|m| m.object_count()).sum()
+    }
+
+    /// Per-cluster [`ClusterMemory::checkpoint`]s, in cluster order.
+    pub fn checkpoint(&self) -> Vec<(Vec<(Slot, u64)>, u64)> {
+        self.memories.iter().map(|m| m.checkpoint()).collect()
+    }
+
+    /// Rebuilds a bank from a [`MemoryBank::checkpoint`].
+    pub fn restore(clusters: &[(Vec<(Slot, u64)>, u64)]) -> Self {
+        MemoryBank {
+            memories: clusters
+                .iter()
+                .map(|(decided, proposes)| Arc::new(ClusterMemory::restore(decided, *proposes)))
+                .collect(),
+        }
     }
 }
 

@@ -1,10 +1,15 @@
 //! The [`Sim`] backend: deterministic execution of any
 //! [`ofa_scenario::Scenario`].
 
-use crate::conductor::{conduct, RunSpec, TimedScheduler};
-use crate::engine::conduct_event_driven;
-use crate::par::conduct_parallel;
-use ofa_scenario::{default_workers, Backend, BackendKind, Engine, Outcome, Scenario, VirtualTime};
+use crate::checkpoint::EngineSnap;
+use crate::conductor::{conduct, RawOutcome, RunSpec, TimedScheduler};
+use crate::engine::{conduct_event_driven, conduct_event_driven_leg, LegResult};
+use crate::par::{conduct_parallel, conduct_parallel_leg};
+use ofa_scenario::{
+    default_workers, Backend, BackendKind, CoinSpec, DivergeSpec, Engine, Outcome, Scenario,
+    Snapshot, VirtualTime, SNAPSHOT_VERSION,
+};
+use serde::{Deserialize as _, Serialize as _};
 use std::time::Instant;
 
 /// The deterministic discrete-event backend.
@@ -38,6 +43,71 @@ use std::time::Instant;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Sim;
 
+/// How a time-budgeted [`Sim::run_until`] / [`Sim::resume_until`] leg
+/// ended.
+// `Done` is the overwhelmingly common case and every caller consumes it
+// immediately; boxing it would tax the straight-through path to slim an
+// enum that lives for one `match`.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// The run reached quiescence (or its event budget) before the cut
+    /// and completed normally.
+    Done(Outcome),
+    /// The run paused at the virtual-time cut; the snapshot resumes it
+    /// bit-for-bit (serialize it, ship it, [`Sim::resume`] it).
+    Paused(Box<Snapshot>),
+}
+
+impl Sim {
+    /// Runs `scenario` until the virtual-time cut `stop_at`: every event
+    /// scheduled strictly before the cut is processed, none at or after
+    /// it. If the run finishes first, this is exactly [`Backend::run`].
+    ///
+    /// The returned [`Snapshot`] resumes **bit-for-bit** on either event
+    /// engine: the final `Outcome`'s deterministic fields (decisions,
+    /// counters, `events_processed`, `end_time`, trace hash) equal the
+    /// straight-through run's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario cannot checkpoint: a custom (blocking)
+    /// body or an explicit [`Engine::Threads`] request, a retained trace
+    /// ([`Scenario::keep_trace`]), an observer, or a [`CoinSpec::Custom`]
+    /// coin (snapshots must serialize; custom coins cannot).
+    pub fn run_until(&self, scenario: &Scenario, stop_at: VirtualTime) -> RunOutcome {
+        run_leg(scenario, None, Some(stop_at))
+    }
+
+    /// Resumes a checkpoint to completion (same as [`Backend::run_from`]).
+    pub fn resume(&self, snapshot: &Snapshot) -> Outcome {
+        expect_done(resume_leg(snapshot, &snapshot.scenario, None))
+    }
+
+    /// Resumes a checkpoint up to a further cut — chained legs: a run
+    /// can be carried across any number of pause/resume hops (each CI
+    /// gate invocation runs one leg) and still end bit-identical.
+    pub fn resume_until(&self, snapshot: &Snapshot, stop_at: VirtualTime) -> RunOutcome {
+        resume_leg(snapshot, &snapshot.scenario, Some(stop_at))
+    }
+
+    /// Resumes a checkpoint with a mutated tail: everything before the
+    /// cut is history (identical to the original run); the
+    /// [`DivergeSpec`] rewrites what happens after — extra crashes, a
+    /// different delay seed, a common-coin override.
+    pub fn diverge(&self, snapshot: &Snapshot, spec: &DivergeSpec) -> Outcome {
+        let diverged = spec.apply(&snapshot.scenario);
+        expect_done(resume_leg(snapshot, &diverged, None))
+    }
+}
+
+fn expect_done(run: RunOutcome) -> Outcome {
+    match run {
+        RunOutcome::Done(out) => out,
+        RunOutcome::Paused(_) => unreachable!("no cut was requested"),
+    }
+}
+
 impl Backend for Sim {
     fn name(&self) -> &'static str {
         "sim"
@@ -45,6 +115,10 @@ impl Backend for Sim {
 
     fn run(&self, scenario: &Scenario) -> Outcome {
         run_scenario(scenario)
+    }
+
+    fn run_from(&self, snapshot: &Snapshot) -> Outcome {
+        self.resume(snapshot)
     }
 }
 
@@ -56,12 +130,18 @@ impl Backend for Sim {
 /// * [`Engine::ParallelEvent`] degrades to [`Engine::EventDriven`] when
 ///   parallelism cannot help or cannot be exact: fewer than two shards
 ///   (auto workers resolve to the host parallelism, capped by the
-///   cluster count `m`), a zero [`ofa_scenario::DelayModel::min_delay`]
-///   (no conservative lookahead), or a retained trace
-///   ([`Scenario::keep_trace`] — only the sequential engines reproduce
-///   event *order*; the hash needs no order and is always computed).
+///   cluster count `m`), more shards than the host has cores (epoch
+///   barriers on an oversubscribed box cost more than they buy — the
+///   `parscale` single-core regression), a zero
+///   [`ofa_scenario::DelayModel::min_delay`] (no conservative
+///   lookahead), or a retained trace ([`Scenario::keep_trace`] — only
+///   the sequential engines reproduce event *order*; the hash needs no
+///   order and is always computed).
 /// * Otherwise the requested engine runs, with `ParallelEvent` carrying
 ///   the resolved shard count.
+///
+/// Every fallback is observable in [`Outcome::engine_used`], never
+/// silent.
 fn resolve_engine(scenario: &Scenario) -> Engine {
     if !scenario.body.has_state_machine() {
         return Engine::Threads;
@@ -69,22 +149,59 @@ fn resolve_engine(scenario: &Scenario) -> Engine {
     match scenario.engine {
         Engine::Threads => Engine::Threads,
         Engine::EventDriven => Engine::EventDriven,
-        Engine::ParallelEvent { workers } => {
-            let requested = if workers == 0 {
-                default_workers()
-            } else {
-                workers as usize
-            };
-            let shards = requested.min(scenario.partition.m());
-            if shards < 2 || scenario.delay.min_delay() == 0 || scenario.keep_trace {
-                Engine::EventDriven
-            } else {
-                Engine::ParallelEvent {
-                    workers: shards as u64,
-                }
-            }
+        Engine::ParallelEvent { workers } => resolve_parallel(scenario, workers, available_cores()),
+    }
+}
+
+/// The `ParallelEvent` arm of [`resolve_engine`], with the host core
+/// count passed in so the guard is a pure, testable function.
+fn resolve_parallel(scenario: &Scenario, workers: u64, cores: usize) -> Engine {
+    let requested = if workers == 0 {
+        default_workers()
+    } else {
+        workers as usize
+    };
+    let shards = requested.min(scenario.partition.m());
+    if shards < 2 || shards > cores || scenario.delay.min_delay() == 0 || scenario.keep_trace {
+        Engine::EventDriven
+    } else {
+        Engine::ParallelEvent {
+            workers: shards as u64,
         }
     }
+}
+
+/// Process-wide override for [`available_cores`]; `0` = no override.
+static CORES_OVERRIDE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Overrides the core count [`resolve_engine`]'s parallel-engine guard
+/// sees. `0` clears the override. The determinism contract does not
+/// depend on the host's parallelism — this exists so equivalence tests
+/// can exercise the parallel engine on small CI boxes, and is hidden
+/// because the guard is a perf heuristic, not a correctness knob.
+#[doc(hidden)]
+pub fn override_available_cores(cores: usize) {
+    CORES_OVERRIDE.store(cores, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The host's scheduling parallelism — the ceiling above which extra
+/// shards only add barrier synchronization cost (measured 0.93× vs the
+/// sequential event engine at `n = 10⁴` on one core). Overridable via
+/// [`override_available_cores`] or the `OFA_CORES` environment variable
+/// (useful to pin CI benchmark runs to a known shard plan).
+pub(crate) fn available_cores() -> usize {
+    let forced = CORES_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Some(v) = std::env::var("OFA_CORES")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+    {
+        return v;
+    }
+    std::thread::available_parallelism().map_or(1, |c| c.get())
 }
 
 /// Executes `scenario` under the timed scheduler and shapes the raw
@@ -122,7 +239,11 @@ pub(crate) fn run_scenario(scenario: &Scenario) -> Outcome {
             conduct_parallel(spec, &scenario.delay, workers as usize)
         }
     };
+    finish_outcome(engine, raw, started)
+}
 
+/// Shapes a raw engine result into the unified [`Outcome`].
+fn finish_outcome(engine: Engine, raw: RawOutcome, started: Instant) -> Outcome {
     let latest_decision_ticks = raw
         .results
         .iter()
@@ -156,6 +277,98 @@ pub(crate) fn run_scenario(scenario: &Scenario) -> Outcome {
     out
 }
 
+/// Resolves the engine for a checkpoint-capable leg and rejects what
+/// snapshots cannot capture.
+fn checkpoint_engine(scenario: &Scenario) -> Engine {
+    assert!(
+        scenario.body.has_state_machine(),
+        "checkpointing requires a declarative body (custom bodies are blocking code)"
+    );
+    assert!(
+        !scenario.keep_trace,
+        "checkpointing cannot retain an ordered trace (the multiset hash is always kept)"
+    );
+    assert!(
+        scenario.observer.is_none(),
+        "checkpointing does not capture observer state"
+    );
+    assert!(
+        !matches!(scenario.coin, CoinSpec::Custom(_)),
+        "checkpointing requires a serializable coin spec"
+    );
+    match resolve_engine(scenario) {
+        Engine::Threads => panic!("the thread engine cannot checkpoint; use an event engine"),
+        engine => engine,
+    }
+}
+
+/// Runs one leg — fresh or resumed, to completion or to a cut — and
+/// shapes the result.
+fn run_leg(
+    scenario: &Scenario,
+    resume: Option<&EngineSnap>,
+    stop_at: Option<VirtualTime>,
+) -> RunOutcome {
+    scenario.assert_valid();
+    let started = Instant::now();
+    let engine = checkpoint_engine(scenario);
+    let spec = RunSpec {
+        partition: scenario.partition.clone(),
+        body: scenario.body.clone(),
+        config: scenario.config,
+        proposals: scenario.proposals.clone(),
+        seed: scenario.seed,
+        costs: scenario.costs,
+        crash_plan: scenario.crashes.clone(),
+        common_coin: scenario.build_coin(),
+        observer: None,
+        keep_trace: false,
+        max_events: scenario.max_events,
+    };
+    let cut = stop_at.map(|t| t.ticks());
+    let leg = match engine {
+        Engine::EventDriven => {
+            let mut scheduler = TimedScheduler::new(scenario.seed, scenario.delay.clone());
+            conduct_event_driven_leg(spec, &mut scheduler, resume, cut)
+        }
+        Engine::ParallelEvent { workers } => {
+            conduct_parallel_leg(spec, &scenario.delay, workers as usize, resume, cut)
+        }
+        Engine::Threads => unreachable!("checkpoint_engine rejects the thread engine"),
+    };
+    match leg {
+        LegResult::Done(raw) => RunOutcome::Done(finish_outcome(engine, raw, started)),
+        LegResult::Paused(snap) => RunOutcome::Paused(Box::new(Snapshot {
+            version: SNAPSHOT_VERSION,
+            scenario: scenario.clone(),
+            at: VirtualTime::from_ticks(snap.at),
+            engine_state: snap.to_value(),
+        })),
+    }
+}
+
+/// Decodes a snapshot's engine state and continues it under `scenario`
+/// (the snapshot's own scenario, or a diverged rewrite of it).
+fn resume_leg(
+    snapshot: &Snapshot,
+    scenario: &Scenario,
+    stop_at: Option<VirtualTime>,
+) -> RunOutcome {
+    assert!(
+        snapshot.version_matches(),
+        "snapshot format version {} (this build reads {SNAPSHOT_VERSION})",
+        snapshot.version
+    );
+    let snap =
+        EngineSnap::from_value(&snapshot.engine_state).expect("snapshot engine state must decode");
+    assert_eq!(
+        snap.at,
+        snapshot.at.ticks(),
+        "snapshot cut time disagrees with its engine state"
+    );
+    run_leg(scenario, Some(&snap), stop_at)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +376,36 @@ mod tests {
     use ofa_scenario::CrashPlan;
     use ofa_topology::{Partition, ProcessId, ProcessSet};
     use std::sync::Arc;
+
+    #[test]
+    fn parallel_guard_respects_the_core_count() {
+        // Satellite of the `parscale` single-core regression: more
+        // shards than cores degrades to the sequential event engine,
+        // observably, while a big-enough box keeps the request.
+        let scenario = Scenario::new(Partition::even(12, 4), Algorithm::LocalCoin)
+            .proposals_split(5)
+            .parallel(4);
+        assert_eq!(
+            resolve_parallel(&scenario, 4, 1),
+            Engine::EventDriven,
+            "4 shards on 1 core must fall back"
+        );
+        assert_eq!(
+            resolve_parallel(&scenario, 4, 2),
+            Engine::EventDriven,
+            "4 shards on 2 cores must fall back"
+        );
+        assert_eq!(
+            resolve_parallel(&scenario, 4, 4),
+            Engine::ParallelEvent { workers: 4 },
+            "4 shards on 4 cores run as requested"
+        );
+        assert_eq!(
+            resolve_parallel(&scenario, 9, 64),
+            Engine::ParallelEvent { workers: 4 },
+            "shards cap at the cluster count"
+        );
+    }
 
     #[test]
     fn unanimous_one_cluster_decides_fast() {

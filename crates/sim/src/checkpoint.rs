@@ -1,0 +1,504 @@
+//! The canonical checkpoint format shared by every event engine.
+//!
+//! A checkpoint freezes a run at a virtual-time cut `T`: every event
+//! scheduled strictly before `T` has been processed, none at `>= T` has.
+//! [`EngineSnap`] is the *engine-independent* encoding of everything
+//! live at that cut — per-process machine snapshots, process accounting
+//! (clocks, steps, coin streams, metric counters), shared-memory
+//! contents, per-sender PRF send counters, the trace-hash accumulator,
+//! and the pending event set in canonical [`CanonEvent`] form. Both the
+//! single-threaded event engine and the cluster-sharded parallel engine
+//! capture into and restore from this one shape, which is what lets a
+//! sequential run resume a parallel checkpoint and vice versa.
+//!
+//! Two normalizations make the encoding canonical:
+//!
+//! * **Events are sorted** by `(time, sender, counter, destination)` —
+//!   the same total order the schedulers dispatch in — so the byte
+//!   encoding is independent of heap iteration order and shard count.
+//!   Batched broadcasts stay batched: one [`CanonEvent::Broadcast`]
+//!   descriptor (destinations `0..n` implied, destination `g` holding
+//!   sender-counter `k0 + g`), deduplicated across the per-shard copies
+//!   the parallel engine keeps.
+//! * **Timed crashes are excluded.** They are a pure function of the
+//!   scenario's crash plan, so the resume path re-seeds `AtTime`
+//!   triggers with `at >= T` from the *resume* scenario — which is
+//!   exactly what lets a divergent replay swap the tail's failure
+//!   pattern.
+
+use ofa_core::{Decision, Halt, MsgKind};
+use ofa_metrics::CounterSnapshot;
+use ofa_sharedmem::Slot;
+use serde::{Deserialize, Serialize};
+
+/// One pending delivery, in the engine-independent form. Times and
+/// ordering keys were fixed when the message was sent (they are
+/// functions of the sender's local history), so restoring re-draws no
+/// randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CanonEvent {
+    /// A point-to-point delivery.
+    One {
+        /// Delivery time.
+        at: u64,
+        /// Sender index.
+        from: u32,
+        /// The sender's send-op counter for this message (the tie-break
+        /// key component).
+        k: u64,
+        /// Destination index.
+        to: u32,
+        /// The message.
+        msg: MsgKind,
+    },
+    /// A batched uniform broadcast: destinations `0..n` implied,
+    /// destination `g` holds sender-counter `k0 + g`.
+    Broadcast {
+        /// Shared delivery time of every destination.
+        at: u64,
+        /// Sender index.
+        from: u32,
+        /// The sender's counter for destination 0.
+        k0: u64,
+        /// The message.
+        msg: MsgKind,
+    },
+}
+
+impl CanonEvent {
+    /// The canonical dispatch order: `(time, sender, counter,
+    /// destination)` — every pending event is a delivery (class 1), so
+    /// this is exactly the schedulers' `(at, EventKey)` order.
+    pub(crate) fn sort_key(&self) -> (u64, u32, u64, u32) {
+        match *self {
+            CanonEvent::One {
+                at, from, k, to, ..
+            } => (at, from, k, to),
+            CanonEvent::Broadcast { at, from, k0, .. } => (at, from, k0, 0),
+        }
+    }
+}
+
+impl Serialize for CanonEvent {
+    fn to_value(&self) -> serde::Value {
+        match *self {
+            CanonEvent::One {
+                at,
+                from,
+                k,
+                to,
+                msg,
+            } => serde::Value::Map(vec![(
+                "One".to_string(),
+                serde::Value::Map(vec![
+                    ("at".to_string(), at.to_value()),
+                    ("from".to_string(), from.to_value()),
+                    ("k".to_string(), k.to_value()),
+                    ("to".to_string(), to.to_value()),
+                    ("msg".to_string(), msg.to_value()),
+                ]),
+            )]),
+            CanonEvent::Broadcast { at, from, k0, msg } => serde::Value::Map(vec![(
+                "Broadcast".to_string(),
+                serde::Value::Map(vec![
+                    ("at".to_string(), at.to_value()),
+                    ("from".to_string(), from.to_value()),
+                    ("k0".to_string(), k0.to_value()),
+                    ("msg".to_string(), msg.to_value()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl Deserialize for CanonEvent {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if let Some(o) = v.get("One") {
+            let field = |name: &str| {
+                o.get(name)
+                    .ok_or_else(|| serde::Error::msg(format!("CanonEvent::One: missing {name:?}")))
+            };
+            return Ok(CanonEvent::One {
+                at: Deserialize::from_value(field("at")?)?,
+                from: Deserialize::from_value(field("from")?)?,
+                k: Deserialize::from_value(field("k")?)?,
+                to: Deserialize::from_value(field("to")?)?,
+                msg: Deserialize::from_value(field("msg")?)?,
+            });
+        }
+        if let Some(b) = v.get("Broadcast") {
+            let field = |name: &str| {
+                b.get(name).ok_or_else(|| {
+                    serde::Error::msg(format!("CanonEvent::Broadcast: missing {name:?}"))
+                })
+            };
+            return Ok(CanonEvent::Broadcast {
+                at: Deserialize::from_value(field("at")?)?,
+                from: Deserialize::from_value(field("from")?)?,
+                k0: Deserialize::from_value(field("k0")?)?,
+                msg: Deserialize::from_value(field("msg")?)?,
+            });
+        }
+        Err(serde::Error::msg("CanonEvent: expected One or Broadcast"))
+    }
+}
+
+/// One process's accounting state at the cut.
+#[derive(Debug, Clone)]
+pub(crate) struct ProcSnap {
+    /// The process-local virtual clock.
+    pub(crate) clock: u64,
+    /// Environment calls taken (the `AtStep` crash countdown).
+    pub(crate) steps: u64,
+    /// `true` once this process crashed itself.
+    pub(crate) crashed_self: bool,
+    /// The seeded local-coin xoshiro state.
+    pub(crate) coin_rng: [u64; 4],
+    /// Local-coin flips taken so far.
+    pub(crate) coin_flips: u64,
+    /// Metric counters accumulated so far.
+    pub(crate) counters: CounterSnapshot,
+    /// Terminal result and final clock, if the process already finished.
+    pub(crate) finished: Option<(Result<Decision, Halt>, u64)>,
+}
+
+impl Serialize for ProcSnap {
+    fn to_value(&self) -> serde::Value {
+        let finished = match &self.finished {
+            None => serde::Value::Null,
+            Some((res, clock)) => {
+                let (tag, inner) = match res {
+                    Ok(d) => ("ok", d.to_value()),
+                    Err(h) => ("halt", h.to_value()),
+                };
+                serde::Value::Map(vec![
+                    (tag.to_string(), inner),
+                    ("clock".to_string(), clock.to_value()),
+                ])
+            }
+        };
+        serde::Value::Map(vec![
+            ("clock".to_string(), self.clock.to_value()),
+            ("steps".to_string(), self.steps.to_value()),
+            ("crashed_self".to_string(), self.crashed_self.to_value()),
+            ("coin_rng".to_string(), self.coin_rng.to_vec().to_value()),
+            ("coin_flips".to_string(), self.coin_flips.to_value()),
+            ("counters".to_string(), self.counters.to_value()),
+            ("finished".to_string(), finished),
+        ])
+    }
+}
+
+impl Deserialize for ProcSnap {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::msg(format!("ProcSnap: missing field {name:?}")))
+        };
+        let rng: Vec<u64> = Deserialize::from_value(field("coin_rng")?)?;
+        let coin_rng: [u64; 4] = rng
+            .try_into()
+            .map_err(|_| serde::Error::msg("ProcSnap: coin_rng must have 4 words"))?;
+        let finished = match field("finished")? {
+            serde::Value::Null => None,
+            f => {
+                let clock = Deserialize::from_value(
+                    f.get("clock")
+                        .ok_or_else(|| serde::Error::msg("ProcSnap: finished missing clock"))?,
+                )?;
+                let res = if let Some(d) = f.get("ok") {
+                    Ok(Deserialize::from_value(d)?)
+                } else if let Some(h) = f.get("halt") {
+                    Err(Deserialize::from_value(h)?)
+                } else {
+                    return Err(serde::Error::msg("ProcSnap: finished needs ok or halt"));
+                };
+                Some((res, clock))
+            }
+        };
+        Ok(ProcSnap {
+            clock: Deserialize::from_value(field("clock")?)?,
+            steps: Deserialize::from_value(field("steps")?)?,
+            crashed_self: Deserialize::from_value(field("crashed_self")?)?,
+            coin_rng,
+            coin_flips: Deserialize::from_value(field("coin_flips")?)?,
+            counters: Deserialize::from_value(field("counters")?)?,
+            finished,
+        })
+    }
+}
+
+/// The complete engine state at a virtual-time cut, in canonical
+/// engine-independent form. This is the payload behind
+/// [`ofa_scenario::Snapshot::engine_state`].
+#[derive(Debug, Clone)]
+pub(crate) struct EngineSnap {
+    /// The cut time `T`.
+    pub(crate) at: u64,
+    /// Events dispatched so far (the `max_events` budget position).
+    pub(crate) events_processed: u64,
+    /// Max event timestamp dispatched so far.
+    pub(crate) end_time: u64,
+    /// The multiset trace-hash accumulator.
+    pub(crate) trace_hash: u64,
+    /// Trace records hashed so far.
+    pub(crate) trace_count: u64,
+    /// Per-sender PRF send counters (index = process).
+    pub(crate) send_counters: Vec<u64>,
+    /// Per-process machine snapshots; `Null` for finished processes
+    /// (they are never dispatched again).
+    pub(crate) machines: Vec<serde::Value>,
+    /// Per-process accounting.
+    pub(crate) procs: Vec<ProcSnap>,
+    /// Per-cluster shared memory: decided `(slot, word)` pairs plus the
+    /// propose count.
+    pub(crate) memory: Vec<(Vec<(Slot, u64)>, u64)>,
+    /// Pending deliveries in canonical sorted order; timed crashes are
+    /// re-seeded from the resume scenario, not stored.
+    pub(crate) events: Vec<CanonEvent>,
+}
+
+impl EngineSnap {
+    /// Sorts the pending events into canonical dispatch order and
+    /// collapses the per-shard copies of each batched broadcast (the
+    /// parallel engine keeps one descriptor per shard for the same
+    /// logical broadcast; `(from, k0)` identifies it globally).
+    pub(crate) fn normalize(&mut self) {
+        self.events.sort_unstable_by_key(CanonEvent::sort_key);
+        self.events.dedup_by(|a, b| {
+            matches!(
+                (*a, *b),
+                (
+                    CanonEvent::Broadcast { from: fa, k0: ka, .. },
+                    CanonEvent::Broadcast { from: fb, k0: kb, .. },
+                ) if fa == fb && ka == kb
+            )
+        });
+    }
+}
+
+/// Slots carry no serde impls (`ofa-sharedmem` is serialization-free),
+/// so each decided cell flattens to `[instance, round, phase, word]`.
+fn slot_cell_to_value(slot: &Slot, word: u64) -> serde::Value {
+    serde::Value::Seq(vec![
+        slot.instance.to_value(),
+        slot.round.to_value(),
+        serde::Value::U64(u64::from(slot.phase)),
+        word.to_value(),
+    ])
+}
+
+fn slot_cell_from_value(v: &serde::Value) -> Result<(Slot, u64), serde::Error> {
+    let (instance, round, phase, word): (u64, u64, u8, u64) = Deserialize::from_value(v)?;
+    Ok((
+        Slot {
+            instance,
+            round,
+            phase,
+        },
+        word,
+    ))
+}
+
+impl Serialize for EngineSnap {
+    fn to_value(&self) -> serde::Value {
+        let memory = serde::Value::Seq(
+            self.memory
+                .iter()
+                .map(|(decided, proposes)| {
+                    serde::Value::Map(vec![
+                        (
+                            "decided".to_string(),
+                            serde::Value::Seq(
+                                decided
+                                    .iter()
+                                    .map(|(slot, word)| slot_cell_to_value(slot, *word))
+                                    .collect(),
+                            ),
+                        ),
+                        ("proposes".to_string(), proposes.to_value()),
+                    ])
+                })
+                .collect(),
+        );
+        serde::Value::Map(vec![
+            ("at".to_string(), self.at.to_value()),
+            (
+                "events_processed".to_string(),
+                self.events_processed.to_value(),
+            ),
+            ("end_time".to_string(), self.end_time.to_value()),
+            ("trace_hash".to_string(), self.trace_hash.to_value()),
+            ("trace_count".to_string(), self.trace_count.to_value()),
+            ("send_counters".to_string(), self.send_counters.to_value()),
+            (
+                "machines".to_string(),
+                serde::Value::Seq(self.machines.clone()),
+            ),
+            ("procs".to_string(), self.procs.to_value()),
+            ("memory".to_string(), memory),
+            ("events".to_string(), self.events.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for EngineSnap {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::msg(format!("EngineSnap: missing field {name:?}")))
+        };
+        let machines = match field("machines")? {
+            serde::Value::Seq(items) => items.clone(),
+            _ => return Err(serde::Error::msg("EngineSnap: machines must be a sequence")),
+        };
+        let memory = match field("memory")? {
+            serde::Value::Seq(clusters) => clusters
+                .iter()
+                .map(|c| {
+                    let decided = match c.get("decided") {
+                        Some(serde::Value::Seq(cells)) => cells
+                            .iter()
+                            .map(slot_cell_from_value)
+                            .collect::<Result<Vec<_>, _>>()?,
+                        _ => return Err(serde::Error::msg("EngineSnap: cluster missing decided")),
+                    };
+                    let proposes =
+                        Deserialize::from_value(c.get("proposes").ok_or_else(|| {
+                            serde::Error::msg("EngineSnap: cluster missing proposes")
+                        })?)?;
+                    Ok((decided, proposes))
+                })
+                .collect::<Result<Vec<_>, serde::Error>>()?,
+            _ => return Err(serde::Error::msg("EngineSnap: memory must be a sequence")),
+        };
+        Ok(EngineSnap {
+            at: Deserialize::from_value(field("at")?)?,
+            events_processed: Deserialize::from_value(field("events_processed")?)?,
+            end_time: Deserialize::from_value(field("end_time")?)?,
+            trace_hash: Deserialize::from_value(field("trace_hash")?)?,
+            trace_count: Deserialize::from_value(field("trace_count")?)?,
+            send_counters: Deserialize::from_value(field("send_counters")?)?,
+            machines,
+            procs: Deserialize::from_value(field("procs")?)?,
+            memory,
+            events: Deserialize::from_value(field("events")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_msg() -> MsgKind {
+        // Any MsgKind works; the codec treats it opaquely.
+        MsgKind::Decide {
+            instance: 0,
+            value: ofa_core::Bit::One,
+        }
+    }
+
+    #[test]
+    fn canon_events_sort_and_dedupe_like_the_schedulers() {
+        let msg = sample_msg();
+        let mut snap = EngineSnap {
+            at: 10,
+            events_processed: 0,
+            end_time: 0,
+            trace_hash: 0,
+            trace_count: 0,
+            send_counters: vec![],
+            machines: vec![],
+            procs: vec![],
+            memory: vec![],
+            events: vec![
+                CanonEvent::Broadcast {
+                    at: 20,
+                    from: 1,
+                    k0: 4,
+                    msg,
+                },
+                CanonEvent::One {
+                    at: 15,
+                    from: 2,
+                    k: 0,
+                    to: 1,
+                    msg,
+                },
+                // The same broadcast as seen from another shard.
+                CanonEvent::Broadcast {
+                    at: 20,
+                    from: 1,
+                    k0: 4,
+                    msg,
+                },
+                CanonEvent::One {
+                    at: 15,
+                    from: 0,
+                    k: 7,
+                    to: 2,
+                    msg,
+                },
+            ],
+        };
+        snap.normalize();
+        assert_eq!(snap.events.len(), 3, "shard copies collapse");
+        assert_eq!(
+            snap.events
+                .iter()
+                .map(CanonEvent::sort_key)
+                .collect::<Vec<_>>(),
+            vec![(15, 0, 7, 2), (15, 2, 0, 1), (20, 1, 4, 0)],
+        );
+    }
+
+    #[test]
+    fn engine_snap_round_trips() {
+        let msg = sample_msg();
+        let snap = EngineSnap {
+            at: 1_000,
+            events_processed: 42,
+            end_time: 990,
+            trace_hash: 0xDEAD_BEEF,
+            trace_count: 42,
+            send_counters: vec![3, 0, 9],
+            machines: vec![serde::Value::Null, serde::Value::U64(1), serde::Value::Null],
+            procs: vec![ProcSnap {
+                clock: 980,
+                steps: 17,
+                crashed_self: false,
+                coin_rng: [1, 2, 3, 4],
+                coin_flips: 5,
+                counters: CounterSnapshot::default(),
+                finished: Some((Err(Halt::Crashed), 980)),
+            }],
+            memory: vec![(
+                vec![(
+                    Slot {
+                        instance: 0,
+                        round: 2,
+                        phase: 1,
+                    },
+                    77,
+                )],
+                4,
+            )],
+            events: vec![CanonEvent::One {
+                at: 1_005,
+                from: 0,
+                k: 3,
+                to: 2,
+                msg,
+            }],
+        };
+        let copy = EngineSnap::from_value(&snap.to_value()).expect("round trip");
+        assert_eq!(copy.at, snap.at);
+        assert_eq!(copy.send_counters, snap.send_counters);
+        assert_eq!(copy.procs[0].coin_rng, [1, 2, 3, 4]);
+        assert_eq!(copy.procs[0].finished, Some((Err(Halt::Crashed), 980)));
+        assert_eq!(copy.memory, snap.memory);
+        assert_eq!(copy.events, snap.events);
+        assert_eq!(copy.machines.len(), 3);
+    }
+}

@@ -194,6 +194,16 @@ impl SendCounters {
         self.0[i] += by;
         k
     }
+
+    /// The raw per-sender counters (index = process), for checkpointing.
+    pub(crate) fn values(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Rebuilds counters from a checkpointed [`SendCounters::values`].
+    pub(crate) fn from_values(values: Vec<u64>) -> Self {
+        SendCounters(values)
+    }
 }
 
 /// The production scheduler: delivery time = send time + the keyed delay
@@ -217,6 +227,103 @@ impl TimedScheduler {
             delay,
             counters: SendCounters::default(),
             draining: None,
+        }
+    }
+
+    /// The timestamp of the next event [`Scheduler::pop`] would release,
+    /// without releasing it. Used to pause a run at a virtual-time cut:
+    /// a mid-expansion broadcast reports the shared delivery time of its
+    /// remaining destinations.
+    pub(crate) fn next_at(&self) -> Option<u64> {
+        if let Some(b) = &self.draining {
+            return Some(b.at);
+        }
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// The per-sender send counters, for checkpointing.
+    pub(crate) fn counter_values(&self) -> &[u64] {
+        self.counters.values()
+    }
+
+    /// Exports every pending delivery in the canonical engine-independent
+    /// checkpoint form (unsorted — the checkpoint codec sorts). Timed
+    /// crashes are *excluded*: they are re-derived from the resume
+    /// scenario's crash plan, which is what lets a divergent replay swap
+    /// the failure pattern of the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a broadcast is mid-expansion — checkpoint cuts land on
+    /// time boundaries, and every destination of a broadcast shares one
+    /// delivery time, so an active drain means the caller cut mid-time.
+    pub(crate) fn checkpoint_events(&self) -> Vec<crate::checkpoint::CanonEvent> {
+        assert!(
+            self.draining.is_none(),
+            "checkpoint cut mid-broadcast (cuts must land on time boundaries)"
+        );
+        self.heap
+            .iter()
+            .filter_map(|entry| match &entry.ev {
+                Pending::One(SchedEvent::Deliver { to, from, msg, at }) => {
+                    Some(crate::checkpoint::CanonEvent::One {
+                        at: *at,
+                        from: from.index() as u32,
+                        k: entry.key.k,
+                        to: to.index() as u32,
+                        msg: *msg,
+                    })
+                }
+                Pending::One(SchedEvent::Crash { .. }) => None,
+                Pending::Broadcast { from, msg, at, .. } => {
+                    Some(crate::checkpoint::CanonEvent::Broadcast {
+                        at: *at,
+                        from: from.index() as u32,
+                        k0: entry.key.k,
+                        msg: *msg,
+                    })
+                }
+            })
+            .collect()
+    }
+
+    /// Restores checkpointed state: pending deliveries re-enter the heap
+    /// under their original keys and timestamps (no delay randomness is
+    /// re-drawn), and the send counters resume mid-stream. Broadcasts
+    /// fan back out to all `n` processes, like the entry they were
+    /// captured from.
+    pub(crate) fn restore(
+        &mut self,
+        events: &[crate::checkpoint::CanonEvent],
+        counters: Vec<u64>,
+        n: u32,
+    ) {
+        self.counters = SendCounters::from_values(counters);
+        for ev in events {
+            match *ev {
+                crate::checkpoint::CanonEvent::One {
+                    at,
+                    from,
+                    k,
+                    to,
+                    msg,
+                } => {
+                    let (from, to) = (ProcessId(from as usize), ProcessId(to as usize));
+                    self.heap.push(HeapEntry {
+                        at,
+                        key: EventKey::deliver(from, k, to),
+                        ev: Pending::One(SchedEvent::Deliver { to, from, msg, at }),
+                    });
+                }
+                crate::checkpoint::CanonEvent::Broadcast { at, from, k0, msg } => {
+                    let from = ProcessId(from as usize);
+                    self.heap.push(HeapEntry {
+                        at,
+                        key: EventKey::deliver(from, k0, ProcessId(0)),
+                        ev: Pending::Broadcast { from, msg, at, n },
+                    });
+                }
+            }
         }
     }
 }

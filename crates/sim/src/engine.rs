@@ -23,7 +23,8 @@
 //! `escale` experiment) and replicated KV runs reach `n >= 5 000` (the
 //! `smrscale` experiment).
 
-use crate::conductor::{RawOutcome, RunSpec, SchedEvent, Scheduler};
+use crate::checkpoint::{EngineSnap, ProcSnap};
+use crate::conductor::{RawOutcome, RunSpec, SchedEvent, Scheduler, TimedScheduler};
 use ofa_coins::{CommonCoin, LocalCoin, SeededLocalCoin};
 use ofa_core::sm::{
     ConsensusSm, LogSm, MultivaluedSm, MvProgress, OutItem, Progress, SmCtx, SmTopology,
@@ -129,6 +130,63 @@ impl Machine {
             Machine::Log(sm) => sm.recycle_outbox(buf),
         }
     }
+
+    /// Serializes the machine's resumable state (wait state, tallies,
+    /// mailboxes, stage position) for a checkpoint. Outboxes are always
+    /// empty at suspension points (every step `mem::take`s them into its
+    /// `Progress`), so they are not captured.
+    pub(crate) fn snapshot(&self) -> serde::Value {
+        let (tag, inner) = match self {
+            Machine::Consensus(sm) => ("Consensus", sm.snapshot()),
+            Machine::Multivalued(sm) => ("Multivalued", sm.snapshot()),
+            Machine::Log(sm) => ("Log", sm.snapshot()),
+        };
+        serde::Value::Map(vec![(tag.to_string(), inner)])
+    }
+
+    /// Rebuilds process `i`'s machine from a [`Machine::snapshot`] value.
+    /// The scenario supplies everything a snapshot omits as derivable
+    /// (algorithm, topology, config, command queues).
+    pub(crate) fn from_snapshot(
+        body: &Body,
+        i: usize,
+        topo: &Arc<SmTopology>,
+        config: ProtocolConfig,
+        v: &serde::Value,
+    ) -> Result<Machine, serde::Error> {
+        let variant = |tag: &str| {
+            v.get(tag)
+                .ok_or_else(|| serde::Error::msg(format!("machine snapshot: expected {tag}")))
+        };
+        match body {
+            Body::Algo(algorithm) => Ok(Machine::Consensus(ConsensusSm::from_snapshot(
+                *algorithm,
+                ProcessId(i),
+                Arc::clone(topo),
+                config,
+                variant("Consensus")?,
+            )?)),
+            Body::Multivalued(mv) => Ok(Machine::Multivalued(MultivaluedSm::from_snapshot(
+                mv.algorithm,
+                ProcessId(i),
+                Arc::clone(topo),
+                config,
+                variant("Multivalued")?,
+            )?)),
+            Body::ReplicatedLog(smr) => Ok(Machine::Log(LogSm::from_snapshot(
+                smr.algorithm,
+                ProcessId(i),
+                Arc::clone(topo),
+                config,
+                smr.queues[i].clone(),
+                smr.slots,
+                variant("Log")?,
+            )?)),
+            Body::Custom(_) => {
+                panic!("the event-driven engines run declarative bodies only")
+            }
+        }
+    }
 }
 
 /// [`MvProgress`] → [`Progress`] for a multivalued *body*: terminal
@@ -176,6 +234,42 @@ impl ProcState {
             crash_at_step,
             crash_at_round,
             finished: None,
+        }
+    }
+
+    /// Captures this process's accounting for a checkpoint.
+    pub(crate) fn snapshot(&self) -> ProcSnap {
+        let (coin_rng, coin_flips) = self.local_coin.state();
+        ProcSnap {
+            clock: self.clock,
+            steps: self.steps,
+            crashed_self: self.crashed_self,
+            coin_rng,
+            coin_flips,
+            counters: self.counters,
+            finished: self.finished,
+        }
+    }
+
+    /// Rebuilds a process from a checkpoint. Crash triggers are
+    /// re-derived from the *resume* plan (not stored), so a divergent
+    /// replay's extra step/round triggers apply to still-running
+    /// processes.
+    pub(crate) fn restore(snap: &ProcSnap, pid: ProcessId, crash_plan: &CrashPlan) -> Self {
+        let (crash_at_step, crash_at_round) = match crash_plan.trigger(pid) {
+            Some(CrashTrigger::AtStep(k)) => (Some(k), None),
+            Some(CrashTrigger::AtRound(r)) => (None, Some(r)),
+            _ => (None, None),
+        };
+        ProcState {
+            clock: snap.clock,
+            steps: snap.steps,
+            crashed_self: snap.crashed_self,
+            local_coin: SeededLocalCoin::from_state(snap.coin_rng, snap.coin_flips),
+            counters: snap.counters,
+            crash_at_step,
+            crash_at_round,
+            finished: snap.finished,
         }
     }
 
@@ -462,13 +556,45 @@ impl<S: Scheduler> Engine<'_, S> {
     }
 }
 
+/// How a [`conduct_event_driven_leg`] ended: ran to completion, or
+/// paused at the requested virtual-time cut with the full engine state
+/// captured.
+pub(crate) enum LegResult {
+    Done(RawOutcome),
+    Paused(Box<EngineSnap>),
+}
+
 /// Runs a spec on the event-driven engine under the given scheduler.
 ///
 /// # Panics
 ///
 /// Panics if the spec's body is [`Body::Custom`] — custom bodies are
 /// blocking code; route them to the thread conductor.
-pub(crate) fn conduct_event_driven<S: Scheduler>(spec: RunSpec, scheduler: &mut S) -> RawOutcome {
+pub(crate) fn conduct_event_driven(spec: RunSpec, scheduler: &mut TimedScheduler) -> RawOutcome {
+    match conduct_event_driven_leg(spec, scheduler, None, None) {
+        LegResult::Done(out) => out,
+        LegResult::Paused(_) => unreachable!("no cut was requested"),
+    }
+}
+
+/// Runs one *leg* of an event-driven execution: optionally starting from
+/// a checkpoint (`resume`), optionally pausing at a virtual-time cut
+/// (`stop_at`). The cut contract: every event scheduled strictly before
+/// `stop_at` is processed, none at `>= stop_at` is. A leg that reaches
+/// quiescence (or the event budget) before the cut completes normally —
+/// exactly like the straight-through run.
+///
+/// # Panics
+///
+/// Panics if the spec's body is [`Body::Custom`], or if a resume
+/// snapshot's shape does not match the spec (wrong process count,
+/// undecodable machine state).
+pub(crate) fn conduct_event_driven_leg(
+    spec: RunSpec,
+    scheduler: &mut TimedScheduler,
+    resume: Option<&EngineSnap>,
+    stop_at: Option<u64>,
+) -> LegResult {
     let n = spec.partition.n();
     assert_eq!(
         spec.proposals.len(),
@@ -479,42 +605,119 @@ pub(crate) fn conduct_event_driven<S: Scheduler>(spec: RunSpec, scheduler: &mut 
 
     let topo = Arc::new(SmTopology::new(spec.partition.clone()));
     let config: ProtocolConfig = spec.config;
-    let machines: Vec<Machine> = (0..n)
-        .map(|i| Machine::build(&spec.body, i, &topo, &spec.proposals, config))
-        .collect();
+    let machines: Vec<Machine> = match resume {
+        None => (0..n)
+            .map(|i| Machine::build(&spec.body, i, &topo, &spec.proposals, config))
+            .collect(),
+        Some(snap) => {
+            assert_eq!(snap.machines.len(), n, "snapshot is for a different n");
+            (0..n)
+                .map(|i| match &snap.machines[i] {
+                    // Finished processes are never dispatched again; a
+                    // fresh machine is a placeholder, not state.
+                    serde::Value::Null => {
+                        Machine::build(&spec.body, i, &topo, &spec.proposals, config)
+                    }
+                    v => Machine::from_snapshot(&spec.body, i, &topo, config, v)
+                        .expect("resume: machine snapshot decodes"),
+                })
+                .collect()
+        }
+    };
     let mut engine = Engine {
         machines,
-        procs: (0..n)
-            .map(|i| ProcState::for_process(spec.seed, ProcessId(i), &spec.crash_plan))
-            .collect(),
+        procs: match resume {
+            None => (0..n)
+                .map(|i| ProcState::for_process(spec.seed, ProcessId(i), &spec.crash_plan))
+                .collect(),
+            Some(snap) => (0..n)
+                .map(|i| ProcState::restore(&snap.procs[i], ProcessId(i), &spec.crash_plan))
+                .collect(),
+        },
         partition: spec.partition,
-        memory: MemoryBank::for_partition(topo.partition()),
+        memory: match resume {
+            None => MemoryBank::for_partition(topo.partition()),
+            Some(snap) => MemoryBank::restore(&snap.memory),
+        },
         costs: spec.costs,
         crash_plan: spec.crash_plan,
         common_coin: spec.common_coin,
         observer: spec.observer,
-        trace: TraceRecorder::new(spec.keep_trace),
+        trace: match resume {
+            None => TraceRecorder::new(spec.keep_trace),
+            Some(snap) => TraceRecorder::resume(snap.trace_hash, snap.trace_count),
+        },
         scheduler,
         n,
     };
 
-    // Schedule the timed crashes up front.
-    for (pid, trig) in engine.crash_plan.iter() {
-        if let CrashTrigger::AtTime(t) = trig {
-            engine.scheduler.push_crash(pid, t.ticks());
+    if let Some(snap) = resume {
+        // Pending deliveries re-enter the heap under their captured keys
+        // and timestamps; send counters resume mid-stream.
+        engine
+            .scheduler
+            .restore(&snap.events, snap.send_counters.clone(), n as u32);
+        // Timed crashes are not stored: re-seed the cut's future from
+        // the *resume* plan (this is what lets a diverge swap the tail's
+        // failure pattern). Triggers before the cut already happened.
+        for (pid, trig) in engine.crash_plan.iter() {
+            if let CrashTrigger::AtTime(t) = trig {
+                if t.ticks() >= snap.at {
+                    engine.scheduler.push_crash(pid, t.ticks());
+                }
+            }
+        }
+    } else {
+        // Schedule the timed crashes up front.
+        for (pid, trig) in engine.crash_plan.iter() {
+            if let CrashTrigger::AtTime(t) = trig {
+                engine.scheduler.push_crash(pid, t.ticks());
+            }
+        }
+
+        // Initial steps, in process order (each drains its sends before
+        // the next process starts, like the conductor's initial bursts).
+        for i in 0..n {
+            engine.dispatch(i, Input::Start);
         }
     }
 
-    // Initial steps, in process order (each drains its sends before the
-    // next process starts, like the conductor's initial bursts).
-    for i in 0..n {
-        engine.dispatch(i, Input::Start);
-    }
-
     // Main event loop.
-    let mut events_processed: u64 = 0;
-    let mut end_time: u64 = 0;
+    let mut events_processed: u64 = resume.map_or(0, |s| s.events_processed);
+    let mut end_time: u64 = resume.map_or(0, |s| s.end_time);
     while events_processed < spec.max_events {
+        if let Some(cut) = stop_at {
+            match engine.scheduler.next_at() {
+                Some(next) if next >= cut => {
+                    let mut snap = EngineSnap {
+                        at: cut,
+                        events_processed,
+                        end_time,
+                        trace_hash: engine.trace.hash(),
+                        trace_count: engine.trace.count(),
+                        send_counters: engine.scheduler.counter_values().to_vec(),
+                        machines: engine
+                            .machines
+                            .iter()
+                            .zip(&engine.procs)
+                            .map(|(m, p)| {
+                                if p.finished.is_some() {
+                                    serde::Value::Null
+                                } else {
+                                    m.snapshot()
+                                }
+                            })
+                            .collect(),
+                        procs: engine.procs.iter().map(ProcState::snapshot).collect(),
+                        memory: engine.memory.checkpoint(),
+                        events: engine.scheduler.checkpoint_events(),
+                    };
+                    snap.normalize();
+                    return LegResult::Paused(Box::new(snap));
+                }
+                _ => {}
+            }
+        }
         let Some(ev) = engine.scheduler.pop() else {
             break;
         };
@@ -567,7 +770,7 @@ pub(crate) fn conduct_event_driven<S: Scheduler>(spec: RunSpec, scheduler: &mut 
     let counters = engine.procs.iter().map(|s| s.counters).collect();
     let trace_hash = engine.trace.hash();
     let end_time = end_time.max(results.iter().map(|(_, c)| *c).max().unwrap_or(0));
-    RawOutcome {
+    LegResult::Done(RawOutcome {
         results,
         counters,
         trace_hash,
@@ -576,7 +779,7 @@ pub(crate) fn conduct_event_driven<S: Scheduler>(spec: RunSpec, scheduler: &mut 
         end_time,
         sm_objects: engine.memory.total_objects(),
         sm_proposes: engine.memory.total_proposes(),
-    }
+    })
 }
 
 #[cfg(test)]

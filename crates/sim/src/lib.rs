@@ -72,12 +72,15 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod checkpoint;
 mod conductor;
 mod engine;
 mod explorer;
 mod par;
 
-pub use backend::Sim;
+#[doc(hidden)]
+pub use backend::override_available_cores;
+pub use backend::{RunOutcome, Sim};
 pub use explorer::{ExploreReport, Explorer};
 
 // The substrate-neutral scenario vocabulary used to live in this crate;

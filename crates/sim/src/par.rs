@@ -62,8 +62,9 @@
 //! observers belong on a sequential engine; see the
 //! [`Engine`](ofa_scenario::Engine) docs.
 
+use crate::checkpoint::{CanonEvent, EngineSnap, ProcSnap};
 use crate::conductor::{EventKey, Keyed, RawOutcome, RunSpec, SendCounters};
-use crate::engine::{Input, Machine, ProcState};
+use crate::engine::{Input, LegResult, Machine, ProcState};
 use ofa_core::sm::{OutItem, Progress, SmTopology};
 use ofa_core::{Decision, Halt, Msg, MsgKind};
 use ofa_metrics::CounterSnapshot;
@@ -129,6 +130,9 @@ enum Cmd {
     Run { limit: u64 },
     /// Halt stragglers and report results; reply [`Reply::Finished`].
     Finish,
+    /// Capture the shard's full state for a pause-time checkpoint and
+    /// terminate; reply [`Reply::Checkpointed`].
+    Checkpoint,
 }
 
 /// One shard's post-step report: barrier-bound sends plus progress.
@@ -150,6 +154,28 @@ struct ShardResult {
     trace: TraceRecorder,
 }
 
+/// One shard's contribution to a pause-time checkpoint: its slice of the
+/// canonical [`EngineSnap`], keyed by global process index so the
+/// coordinator can merge slices into the engine-independent whole.
+struct ShardSnap {
+    /// `(global index, machine snapshot)` per member; `Null` for
+    /// finished processes.
+    machines: Vec<(u32, serde::Value)>,
+    /// `(global index, process accounting)` per member.
+    procs: Vec<(u32, ProcSnap)>,
+    /// This shard's per-sender counter vector. Only members' entries
+    /// ever advance here, so merging shards element-wise by `max`
+    /// reconstructs the global vector.
+    counters: Vec<u64>,
+    /// Pending deliveries on the local heap (timed crashes excluded;
+    /// broadcast descriptors are per-shard copies the coordinator
+    /// dedupes).
+    events: Vec<CanonEvent>,
+    /// The shard recorder's multiset hash and record count.
+    trace_hash: u64,
+    trace_count: u64,
+}
+
 enum Reply {
     Started(StepReport),
     Prepared {
@@ -161,6 +187,7 @@ enum Reply {
     },
     Ran(StepReport),
     Finished(Box<ShardResult>),
+    Checkpointed(Box<ShardSnap>),
 }
 
 /// Everything one shard owns.
@@ -190,6 +217,9 @@ struct ShardState {
     /// Barrier-bound sends, indexed by destination shard.
     outgoing: Vec<Vec<Shipped>>,
     end_time: u64,
+    /// `true` when restored from a checkpoint: machines already took
+    /// their initial steps in the original leg, so `start` skips them.
+    resumed: bool,
 }
 
 impl ShardState {
@@ -340,10 +370,14 @@ impl ShardState {
     }
 
     /// Initial steps for the shard's processes, ascending — the global
-    /// start order restricted to this shard.
+    /// start order restricted to this shard. A resumed shard skips the
+    /// dispatches (they happened in the original leg) but still reports,
+    /// so the coordinator learns the restored heap's earliest event.
     fn start(&mut self) -> StepReport {
-        for li in 0..self.machines.len() {
-            self.dispatch(li, Input::Start);
+        if !self.resumed {
+            for li in 0..self.machines.len() {
+                self.dispatch(li, Input::Start);
+            }
         }
         self.report(0)
     }
@@ -462,6 +496,65 @@ impl ShardState {
         }
     }
 
+    /// Captures this shard's slice of a pause-time checkpoint. The
+    /// coordinator only asks at an epoch barrier, so the epoch batch and
+    /// barrier buffers are empty and every pending event sits on the
+    /// local heap.
+    fn checkpoint(self) -> Box<ShardSnap> {
+        debug_assert!(self.epoch.is_empty(), "checkpoint mid-epoch");
+        debug_assert!(
+            self.outgoing.iter().all(Vec::is_empty),
+            "checkpoint with unrouted barrier sends"
+        );
+        let machines = self
+            .members
+            .iter()
+            .zip(self.machines.iter().zip(self.procs.iter()))
+            .map(|(&g, (m, p))| {
+                let v = if p.finished.is_some() {
+                    serde::Value::Null
+                } else {
+                    m.snapshot()
+                };
+                (g, v)
+            })
+            .collect();
+        let procs = self
+            .members
+            .iter()
+            .zip(self.procs.iter())
+            .map(|(&g, p)| (g, p.snapshot()))
+            .collect();
+        let events = self
+            .heap
+            .iter()
+            .filter_map(|e| match e.ev {
+                SPending::Deliver { to, from, msg } => Some(CanonEvent::One {
+                    at: e.at,
+                    from,
+                    k: e.key.k,
+                    to,
+                    msg,
+                }),
+                SPending::Broadcast { from, k0, msg } => Some(CanonEvent::Broadcast {
+                    at: e.at,
+                    from,
+                    k0,
+                    msg,
+                }),
+                SPending::Crash { .. } => None,
+            })
+            .collect();
+        Box::new(ShardSnap {
+            machines,
+            procs,
+            counters: self.counters.values().to_vec(),
+            events,
+            trace_hash: self.trace.hash(),
+            trace_count: self.trace.count(),
+        })
+    }
+
     /// Stops the stragglers (ascending member order — the global final
     /// baton round restricted to this shard) and packages the results.
     fn finish_run(mut self) -> Box<ShardResult> {
@@ -516,6 +609,10 @@ fn shard_main(mut st: ShardState, rx: mpsc::Receiver<Cmd>, tx: mpsc::Sender<Repl
                 let _ = tx.send(Reply::Finished(st.finish_run()));
                 return;
             }
+            Cmd::Checkpoint => {
+                let _ = tx.send(Reply::Checkpointed(st.checkpoint()));
+                return;
+            }
         };
         if tx.send(reply).is_err() {
             return;
@@ -548,6 +645,29 @@ fn assign_clusters(sizes: &[usize], shards: usize) -> Vec<usize> {
 /// body, `workers >= 2` after capping by the cluster count, a non-zero
 /// [`DelayModel::min_delay`] lookahead, and no trace retention.
 pub(crate) fn conduct_parallel(spec: RunSpec, delay: &DelayModel, workers: usize) -> RawOutcome {
+    match conduct_parallel_leg(spec, delay, workers, None, None) {
+        LegResult::Done(out) => out,
+        LegResult::Paused(_) => unreachable!("no cut was requested"),
+    }
+}
+
+/// Runs one *leg* on the parallel engine: optionally restored from a
+/// canonical checkpoint, optionally pausing at a virtual-time cut.
+///
+/// Pausing composes with the epoch barrier: the epoch window is clamped
+/// to `[t0, min(t0 + lookahead, stop_at))`, so no shard ever processes
+/// an event at or beyond the cut, and the pause lands on a barrier where
+/// the epoch batches and barrier buffers are empty — every pending event
+/// sits on some shard's heap, ready to export. The captured
+/// [`EngineSnap`] is the same canonical form the sequential engine
+/// writes, so legs can hop between engines and worker counts freely.
+pub(crate) fn conduct_parallel_leg(
+    spec: RunSpec,
+    delay: &DelayModel,
+    workers: usize,
+    resume: Option<&EngineSnap>,
+    stop_at: Option<u64>,
+) -> LegResult {
     let n = spec.partition.n();
     assert_eq!(
         spec.proposals.len(),
@@ -576,14 +696,21 @@ pub(crate) fn conduct_parallel(spec: RunSpec, delay: &DelayModel, workers: usize
     // One bank shared by every shard: memories are per cluster and each
     // cluster belongs to exactly one shard, so there is no contention —
     // and the run-wide totals fall out at the end.
-    let bank = MemoryBank::for_partition(topo.partition());
+    let bank = match resume {
+        None => MemoryBank::for_partition(topo.partition()),
+        Some(snap) => MemoryBank::restore(&snap.memory),
+    };
 
     let mut final_results: Vec<Option<(Result<Decision, Halt>, u64)>> = Vec::new();
     final_results.resize_with(n, || None);
     let mut final_counters = vec![CounterSnapshot::default(); n];
-    let mut trace = TraceRecorder::new(false);
-    let mut events_processed: u64 = 0;
-    let mut end_time: u64 = 0;
+    let mut trace = match resume {
+        None => TraceRecorder::new(false),
+        Some(snap) => TraceRecorder::resume(snap.trace_hash, snap.trace_count),
+    };
+    let mut events_processed: u64 = resume.map_or(0, |s| s.events_processed);
+    let mut end_time: u64 = resume.map_or(0, |s| s.end_time);
+    let mut paused: Option<EngineSnap> = None;
 
     std::thread::scope(|scope| {
         let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
@@ -602,24 +729,48 @@ pub(crate) fn conduct_parallel(spec: RunSpec, delay: &DelayModel, workers: usize
                     n,
                     machines: members
                         .iter()
-                        .map(|&g| {
-                            Machine::build(
+                        .map(|&g| match resume {
+                            None => Machine::build(
                                 &spec_ref.body,
                                 g as usize,
                                 &topo,
                                 &spec_ref.proposals,
                                 spec_ref.config,
-                            )
+                            ),
+                            Some(snap) => match &snap.machines[g as usize] {
+                                // Finished processes are never dispatched
+                                // again; a fresh machine is a placeholder.
+                                serde::Value::Null => Machine::build(
+                                    &spec_ref.body,
+                                    g as usize,
+                                    &topo,
+                                    &spec_ref.proposals,
+                                    spec_ref.config,
+                                ),
+                                v => Machine::from_snapshot(
+                                    &spec_ref.body,
+                                    g as usize,
+                                    &topo,
+                                    spec_ref.config,
+                                    v,
+                                )
+                                .expect("resume: machine snapshot decodes"),
+                            },
                         })
                         .collect(),
                     procs: members
                         .iter()
-                        .map(|&g| {
-                            ProcState::for_process(
+                        .map(|&g| match resume {
+                            None => ProcState::for_process(
                                 spec_ref.seed,
                                 ProcessId(g as usize),
                                 &spec_ref.crash_plan,
-                            )
+                            ),
+                            Some(snap) => ProcState::restore(
+                                &snap.procs[g as usize],
+                                ProcessId(g as usize),
+                                &spec_ref.crash_plan,
+                            ),
                         })
                         .collect(),
                     members,
@@ -632,24 +783,76 @@ pub(crate) fn conduct_parallel(spec: RunSpec, delay: &DelayModel, workers: usize
                     observer: spec_ref.observer.clone(),
                     trace: TraceRecorder::new(false),
                     heap: BinaryHeap::new(),
-                    counters: SendCounters::default(),
+                    counters: match resume {
+                        None => SendCounters::default(),
+                        // Every shard gets the full counter vector; only
+                        // its members' entries advance here.
+                        Some(snap) => SendCounters::from_values(snap.send_counters.clone()),
+                    },
                     delay,
                     seed: spec_ref.seed,
                     epoch: Vec::new(),
                     outgoing: fresh_buffers(shards),
                     end_time: 0,
+                    resumed: resume.is_some(),
                 };
-                // This shard's timed crashes go straight onto its heap.
+                if let Some(snap) = resume {
+                    // Checkpointed deliveries re-enter under their
+                    // captured keys and times: point-to-point events go
+                    // to the destination's owner shard; each broadcast
+                    // descriptor is replicated to every shard (each
+                    // expands it over its own members, as during a run).
+                    for ev in &snap.events {
+                        match *ev {
+                            CanonEvent::One {
+                                at,
+                                from,
+                                k,
+                                to,
+                                msg,
+                            } => {
+                                if st.owner[to as usize] as usize == id {
+                                    st.heap.push(Keyed {
+                                        at,
+                                        key: EventKey::deliver(
+                                            ProcessId(from as usize),
+                                            k,
+                                            ProcessId(to as usize),
+                                        ),
+                                        ev: SPending::Deliver { to, from, msg },
+                                    });
+                                }
+                            }
+                            CanonEvent::Broadcast { at, from, k0, msg } => {
+                                st.heap.push(Keyed {
+                                    at,
+                                    key: EventKey::deliver(
+                                        ProcessId(from as usize),
+                                        k0,
+                                        ProcessId(0),
+                                    ),
+                                    ev: SPending::Broadcast { from, k0, msg },
+                                });
+                            }
+                        }
+                    }
+                }
+                // This shard's timed crashes go straight onto its heap;
+                // on resume only the cut's future is re-seeded (from the
+                // resume plan — a diverged tail swaps the pattern here).
+                let seeded_from = resume.map_or(0, |s| s.at);
                 for (pid, trig) in spec_ref.crash_plan.iter() {
                     if st.owner[pid.index()] as usize == id {
                         if let CrashTrigger::AtTime(t) = trig {
-                            st.heap.push(Keyed {
-                                at: t.ticks(),
-                                key: EventKey::crash(pid),
-                                ev: SPending::Crash {
-                                    pid: pid.index() as u32,
-                                },
-                            });
+                            if t.ticks() >= seeded_from {
+                                st.heap.push(Keyed {
+                                    at: t.ticks(),
+                                    key: EventKey::crash(pid),
+                                    ev: SPending::Crash {
+                                        pid: pid.index() as u32,
+                                    },
+                                });
+                            }
                         }
                     }
                 }
@@ -704,7 +907,82 @@ pub(crate) fn conduct_parallel(spec: RunSpec, delay: &DelayModel, workers: usize
             let Some(t0) = t_next else {
                 break; // quiescent
             };
-            let t_end = t0.saturating_add(lookahead);
+            if let Some(cutoff) = stop_at {
+                if t0 >= cutoff {
+                    // Pause at this barrier: every pending event is at
+                    // `>= cutoff`, none has been processed. Route the
+                    // barrier buffers onto the heaps (an empty epoch —
+                    // `t_end: 0` collects nothing), then drain each
+                    // shard's state into the canonical snapshot.
+                    for (s, cmd) in cmds.iter().enumerate() {
+                        let incoming = std::mem::take(&mut pending_in[s]);
+                        cmd.send(Cmd::Prepare { incoming, t_end: 0 })
+                            .expect("shard");
+                    }
+                    for _ in 0..shards {
+                        match reply_rx.recv().expect("shard alive") {
+                            Reply::Prepared { batch } => {
+                                debug_assert_eq!(batch, 0, "pause epoch collects nothing")
+                            }
+                            _ => unreachable!("pause phase: Prepared"),
+                        }
+                    }
+                    for cmd in &cmds {
+                        cmd.send(Cmd::Checkpoint).expect("shard");
+                    }
+                    let mut machines: Vec<serde::Value> = vec![serde::Value::Null; n];
+                    let mut procs: Vec<Option<ProcSnap>> = vec![None; n];
+                    let mut send_counters = vec![0u64; n];
+                    let mut events: Vec<CanonEvent> = Vec::new();
+                    for _ in 0..shards {
+                        match reply_rx.recv().expect("shard alive") {
+                            Reply::Checkpointed(ss) => {
+                                for (g, m) in ss.machines {
+                                    machines[g as usize] = m;
+                                }
+                                for (g, p) in ss.procs {
+                                    procs[g as usize] = Some(p);
+                                }
+                                // Each sender's counter advances only on
+                                // its owner shard: element-wise max over
+                                // the shards' vectors is the global one.
+                                for (i, c) in ss.counters.into_iter().enumerate() {
+                                    if i < n {
+                                        send_counters[i] = send_counters[i].max(c);
+                                    }
+                                }
+                                events.extend(ss.events);
+                                trace.merge(TraceRecorder::resume(ss.trace_hash, ss.trace_count));
+                            }
+                            _ => unreachable!("pause phase: Checkpointed"),
+                        }
+                    }
+                    paused = Some(EngineSnap {
+                        at: cutoff,
+                        events_processed,
+                        end_time,
+                        trace_hash: trace.hash(),
+                        trace_count: trace.count(),
+                        send_counters,
+                        machines,
+                        procs: procs
+                            .into_iter()
+                            .map(|p| p.expect("every process checkpointed"))
+                            .collect(),
+                        memory: bank.checkpoint(),
+                        events,
+                    });
+                    return;
+                }
+            }
+            let t_end = {
+                let mut te = t0.saturating_add(lookahead);
+                if let Some(cutoff) = stop_at {
+                    // Never let a shard touch an event at or past the cut.
+                    te = te.min(cutoff);
+                }
+                te
+            };
             for (s, cmd) in cmds.iter().enumerate() {
                 let incoming = std::mem::take(&mut pending_in[s]);
                 cmd.send(Cmd::Prepare { incoming, t_end }).expect("shard");
@@ -778,12 +1056,17 @@ pub(crate) fn conduct_parallel(spec: RunSpec, delay: &DelayModel, workers: usize
         }
     });
 
+    if let Some(mut snap) = paused {
+        snap.normalize();
+        return LegResult::Paused(Box::new(snap));
+    }
+
     let results: Vec<(Result<Decision, Halt>, u64)> = final_results
         .into_iter()
         .map(|r| r.expect("every process reported"))
         .collect();
     let end_time = end_time.max(results.iter().map(|(_, c)| *c).max().unwrap_or(0));
-    RawOutcome {
+    LegResult::Done(RawOutcome {
         results,
         counters: final_counters,
         trace_hash: trace.hash(),
@@ -792,7 +1075,7 @@ pub(crate) fn conduct_parallel(spec: RunSpec, delay: &DelayModel, workers: usize
         end_time,
         sm_objects: bank.total_objects(),
         sm_proposes: bank.total_proposes(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -801,6 +1084,14 @@ mod tests {
     use ofa_core::{Algorithm, Bit};
     use ofa_scenario::{Backend, CrashPlan, DelayModel, Engine, Outcome, Scenario};
     use ofa_topology::{Partition, ProcessId};
+
+    /// The core-count guard is a perf heuristic; on a small CI box it
+    /// would silently swap in the sequential engine and these
+    /// equivalence tests would exercise nothing. Pin a big count —
+    /// determinism never depends on the host's parallelism.
+    fn unlock_cores() {
+        crate::override_available_cores(64);
+    }
 
     /// Every observable except `engine_used` (which legitimately records
     /// different engines / worker counts) must match.
@@ -820,6 +1111,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_event_driven_on_sampled_delays() {
+        unlock_cores();
         for seed in 0..4 {
             let scenario = Scenario::new(Partition::even(12, 4), Algorithm::LocalCoin)
                 .proposals_split(5)
@@ -833,6 +1125,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_on_the_broadcast_batch_path() {
+        unlock_cores();
         // Constant delay: broadcasts cross the barrier as one descriptor
         // per shard and expand per member — outcomes must still be
         // bit-identical to the sequential single-entry expansion.
@@ -848,6 +1141,7 @@ mod tests {
 
     #[test]
     fn parallel_is_deterministic_across_worker_counts() {
+        unlock_cores();
         let part = Partition::even(10, 5);
         let queues = (0..10)
             .map(|i| vec![ofa_core::Payload::from_bytes(format!("c{i}").as_bytes()).expect("fits")])
@@ -866,6 +1160,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_under_crashes_and_budget_cut() {
+        unlock_cores();
         use ofa_scenario::VirtualTime;
         let plan = CrashPlan::new()
             .crash_at_step(ProcessId(1), 6)
@@ -887,6 +1182,7 @@ mod tests {
 
     #[test]
     fn unparallelizable_scenarios_fall_back_observably() {
+        unlock_cores();
         // One cluster => one shard: nothing to parallelize.
         let single = Sim.run(
             &Scenario::new(Partition::single_cluster(6), Algorithm::LocalCoin)
@@ -915,6 +1211,7 @@ mod tests {
 
     #[test]
     fn headline_crash_pattern_on_the_parallel_engine() {
+        unlock_cores();
         // Fig 1 right, 6 of 7 crashed: the lone majority-cluster
         // survivor still decides — across shards.
         let mut plan = CrashPlan::new();
@@ -936,6 +1233,7 @@ mod tests {
 
     #[test]
     fn observers_fire_on_the_parallel_engine() {
+        unlock_cores();
         use ofa_core::InvariantChecker;
         use std::sync::Arc;
         let checker = Arc::new(InvariantChecker::new());
@@ -954,6 +1252,7 @@ mod tests {
 
     #[test]
     fn proposal_bit_column_must_match_n() {
+        unlock_cores();
         // Same contract as the other engines.
         let scenario = Scenario::new(Partition::even(4, 2), Algorithm::LocalCoin)
             .proposals(vec![Bit::One; 4])

@@ -4,18 +4,31 @@
 //! ofa --sizes 1,4,2 --algorithm cc --ones 3 --seed 42
 //! ofa --sizes 3,2,2 --algorithm lc --crash p1@0 --crash p6@12 --trace
 //! ofa --sizes 2,2 --crash p3@r2        # crash p3 when it enters round 2
+//! ofa --sizes 2,2 --crash p1@t1500     # crash p1 at virtual time 1500
 //! ofa --sizes 2,2 --runtime            # real threads instead of the simulator
 //! ofa --sizes 1,4,2 --engine threads    # pin the reference thread conductor
 //! ofa --sizes 40,40,40 --engine par     # cluster-sharded parallel engine
 //! ofa --sizes 1,4,2 --json             # unified Outcome as JSON
+//! ofa --checkpoint-at 5000 --checkpoint-file run.snap.json   # pause, exit 3
+//! ofa --resume run.snap.json                                 # continue
+//! ofa --resume run.snap.json --diverge-crash p2@t9000        # what-if tail
+//! ofa --budget-secs 60 --checkpoint-file run.snap.json  # time-budgeted leg
 //! ofa --help
 //! ```
 //!
 //! The CLI builds one [`Scenario`] value and executes it on the selected
-//! [`Backend`] — the same description runs on either substrate.
+//! [`Backend`] — the same description runs on either substrate. With the
+//! checkpoint flags the run becomes *resumable*: a paused leg writes a
+//! [`Snapshot`] JSON file and exits with code 3; `--resume` continues it
+//! bit-for-bit (same decisions, counters, end time, and trace hash as a
+//! straight-through run), and the `--diverge-*` flags mutate the tail
+//! before resuming.
 
 use one_for_all::prelude::*;
+use one_for_all::scenario::{DivergeSpec, Snapshot, VirtualTime};
+use one_for_all::sim::RunOutcome;
 use std::process::exit;
+use std::time::{Duration, Instant};
 
 const HELP: &str = "\
 ofa — run one hybrid-model consensus execution
@@ -31,6 +44,7 @@ OPTIONS:
     --crash pI@K       crash process I (1-based) at env-call K (repeatable;
                        K=0 crashes before any step)
     --crash pI@rR      crash process I when it enters round R
+    --crash pI@tT      crash process I at virtual time T
     --max-rounds R     round budget [default: 512]
     --trace            print the full event trace (simulator only)
     --engine E         simulator process engine: event (single-threaded
@@ -45,6 +59,30 @@ OPTIONS:
     --json             print the unified Outcome as JSON (suppresses the
                        human-readable report)
     --help             show this message
+
+CHECKPOINT / RESUME (simulator event engines only):
+    --checkpoint-at T     pause at virtual time T: write the snapshot to
+                          --checkpoint-file and exit with code 3
+    --checkpoint-every T  leg length in virtual-time ticks for budgeted
+                          runs [default: 5000]
+    --checkpoint-file F   snapshot path [default: ofa.snapshot.json]
+    --budget-secs S       wall-clock budget: run legs of --checkpoint-every
+                          ticks until the budget expires, then write the
+                          snapshot and exit 3; a finished run exits
+                          normally. Resuming the snapshot continues the
+                          run bit-for-bit.
+    --resume F            resume from snapshot F (scenario flags are
+                          ignored — the snapshot embeds the scenario;
+                          --engine still switches the engine mid-run)
+    --diverge-seed S      resume with a different delay seed for the tail
+    --diverge-coin C      resume with a different common coin for the
+                          tail: seeded|alternating
+    --diverge-crash SPEC  add a crash to the tail (repeatable; pI@K,
+                          pI@rR, or pI@tT like --crash)
+
+EXIT CODES:
+    0  run finished, agreement holds      2  usage / IO error
+    1  run finished, agreement VIOLATED   3  paused at a checkpoint
 ";
 
 struct Options {
@@ -55,15 +93,24 @@ struct Options {
     crashes: Vec<(usize, CrashWhen)>,
     max_rounds: u64,
     trace: bool,
-    engine: Engine,
+    engine: Option<Engine>,
     runtime: bool,
     json: bool,
+    checkpoint_at: Option<u64>,
+    checkpoint_every: u64,
+    checkpoint_file: String,
+    budget_secs: Option<u64>,
+    resume: Option<String>,
+    diverge_seed: Option<u64>,
+    diverge_coin: Option<CoinSpec>,
+    diverge_crashes: Vec<(usize, CrashWhen)>,
 }
 
-/// A parsed `--crash` trigger.
+/// A parsed `--crash` / `--diverge-crash` trigger.
 enum CrashWhen {
     Step(u64),
     Round(u64),
+    Time(u64),
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -75,9 +122,17 @@ fn parse_args() -> Result<Options, String> {
         crashes: Vec::new(),
         max_rounds: 512,
         trace: false,
-        engine: Engine::default(),
+        engine: None,
         runtime: false,
         json: false,
+        checkpoint_at: None,
+        checkpoint_every: 5_000,
+        checkpoint_file: "ofa.snapshot.json".to_string(),
+        budget_secs: None,
+        resume: None,
+        diverge_seed: None,
+        diverge_coin: None,
+        diverge_crashes: Vec::new(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -129,7 +184,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--trace" => opts.trace = true,
             "--engine" => {
-                opts.engine = match value(&mut i)?.as_str() {
+                opts.engine = Some(match value(&mut i)?.as_str() {
                     "threads" => Engine::Threads,
                     "event" | "event-driven" => Engine::EventDriven,
                     "par" | "parallel" => Engine::parallel(),
@@ -144,23 +199,83 @@ fn parse_args() -> Result<Options, String> {
                             "unknown engine {other:?} (use threads|event|par|par=N)"
                         ))
                     }
-                };
+                });
             }
             "--runtime" => opts.runtime = true,
             "--json" => opts.json = true,
+            "--checkpoint-at" => {
+                opts.checkpoint_at = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| e.to_string())?,
+                )
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = value(&mut i)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?;
+                if opts.checkpoint_every == 0 {
+                    return Err("--checkpoint-every must be positive".into());
+                }
+            }
+            "--checkpoint-file" => opts.checkpoint_file = value(&mut i)?,
+            "--budget-secs" => {
+                opts.budget_secs = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| e.to_string())?,
+                )
+            }
+            "--resume" => opts.resume = Some(value(&mut i)?),
+            "--diverge-seed" => {
+                opts.diverge_seed = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| e.to_string())?,
+                )
+            }
+            "--diverge-coin" => {
+                opts.diverge_coin = Some(match value(&mut i)?.as_str() {
+                    "seeded" => CoinSpec::Seeded,
+                    "alternating" => CoinSpec::Alternating,
+                    other => {
+                        return Err(format!("unknown coin {other:?} (use seeded|alternating)"))
+                    }
+                });
+            }
+            "--diverge-crash" => {
+                let spec = value(&mut i)?;
+                opts.diverge_crashes.push(parse_crash(&spec)?);
+            }
             other => return Err(format!("unknown option {other:?} (try --help)")),
         }
         i += 1;
     }
+    let checkpointing = opts.checkpoint_at.is_some() || opts.budget_secs.is_some();
+    if (checkpointing || opts.resume.is_some()) && opts.runtime {
+        return Err("checkpoint/resume runs on the simulator, not --runtime".into());
+    }
+    if (checkpointing || opts.resume.is_some()) && opts.trace {
+        return Err("checkpointing cannot retain an ordered trace (drop --trace)".into());
+    }
+    if checkpointing && matches!(opts.engine, Some(Engine::Threads)) {
+        return Err("the thread engine cannot checkpoint; use --engine event or par".into());
+    }
+    let diverging = opts.diverge_seed.is_some()
+        || opts.diverge_coin.is_some()
+        || !opts.diverge_crashes.is_empty();
+    if diverging && opts.resume.is_none() {
+        return Err("--diverge-* flags require --resume".into());
+    }
     Ok(opts)
 }
 
-/// Parses `pI@K` (step trigger) or `pI@rR` (round trigger) into a 0-based
-/// process index plus trigger.
+/// Parses `pI@K` (step trigger), `pI@rR` (round trigger), or `pI@tT`
+/// (virtual-time trigger) into a 0-based process index plus trigger.
 fn parse_crash(spec: &str) -> Result<(usize, CrashWhen), String> {
     let (proc_part, when_part) = spec
         .split_once('@')
-        .ok_or_else(|| format!("bad crash spec {spec:?}, expected pI@K or pI@rR"))?;
+        .ok_or_else(|| format!("bad crash spec {spec:?}, expected pI@K, pI@rR, or pI@tT"))?;
     let pid: usize = proc_part
         .trim_start_matches('p')
         .parse()
@@ -173,6 +288,11 @@ fn parse_crash(spec: &str) -> Result<(usize, CrashWhen), String> {
             .parse()
             .map_err(|e: std::num::ParseIntError| e.to_string())?;
         CrashWhen::Round(round)
+    } else if let Some(time_part) = when_part.strip_prefix('t') {
+        let at: u64 = time_part
+            .parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string())?;
+        CrashWhen::Time(at)
     } else {
         let step: u64 = when_part
             .parse()
@@ -180,6 +300,18 @@ fn parse_crash(spec: &str) -> Result<(usize, CrashWhen), String> {
         CrashWhen::Step(step)
     };
     Ok((pid - 1, when))
+}
+
+fn build_plan(entries: &[(usize, CrashWhen)]) -> CrashPlan {
+    let mut plan = CrashPlan::new();
+    for (p, when) in entries {
+        plan = match when {
+            CrashWhen::Step(k) => plan.crash_at_step(ProcessId(*p), *k),
+            CrashWhen::Round(r) => plan.crash_at_round(ProcessId(*p), *r),
+            CrashWhen::Time(t) => plan.crash_at_time(ProcessId(*p), VirtualTime::from_ticks(*t)),
+        };
+    }
+    plan
 }
 
 fn main() {
@@ -190,6 +322,12 @@ fn main() {
             exit(2);
         }
     };
+
+    if let Some(path) = &opts.resume {
+        run_resumed(&opts, path);
+        return;
+    }
+
     let partition = match Partition::from_sizes(&opts.sizes) {
         Ok(p) => p,
         Err(e) => {
@@ -200,19 +338,14 @@ fn main() {
     let n = partition.n();
     let ones = opts.ones.unwrap_or(n / 2).min(n);
 
-    let mut plan = CrashPlan::new();
-    for (p, when) in &opts.crashes {
-        plan = match when {
-            CrashWhen::Step(k) => plan.crash_at_step(ProcessId(*p), *k),
-            CrashWhen::Round(r) => plan.crash_at_round(ProcessId(*p), *r),
-        };
-    }
     let mut scenario = Scenario::new(partition.clone(), opts.algorithm)
         .proposals_split(ones)
         .config(ProtocolConfig::paper().with_max_rounds(opts.max_rounds))
-        .crashes(plan)
-        .engine(opts.engine)
+        .crashes(build_plan(&opts.crashes))
         .seed(opts.seed);
+    if let Some(engine) = opts.engine {
+        scenario = scenario.engine(engine);
+    }
     if opts.trace && !opts.runtime {
         scenario = scenario.keep_trace();
     }
@@ -229,15 +362,133 @@ fn main() {
             match when {
                 CrashWhen::Step(k) => println!("crash: p{} at step {k}", p + 1),
                 CrashWhen::Round(r) => println!("crash: p{} at round {r}", p + 1),
+                CrashWhen::Time(t) => println!("crash: p{} at time {t}", p + 1),
             }
         }
     }
 
-    let backend: &dyn Backend = if opts.runtime { &Threads } else { &Sim };
-    let out = backend.run(&scenario);
+    if opts.checkpoint_at.is_some() || opts.budget_secs.is_some() {
+        let first = opts.checkpoint_at.unwrap_or(opts.checkpoint_every);
+        run_legs(
+            Sim.run_until(&scenario, VirtualTime::from_ticks(first)),
+            &opts,
+        );
+        return;
+    }
 
+    let backend: &dyn Backend = if opts.runtime { &Threads } else { &Sim };
+    report(&backend.run(&scenario), &opts);
+}
+
+/// Loads a snapshot, applies any `--diverge-*` tail mutations, and
+/// continues the run — straight to completion, to a `--checkpoint-at`
+/// cut, or under a `--budget-secs` wall-clock budget.
+fn run_resumed(opts: &Options, path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {path}: {e}");
+            exit(2);
+        }
+    };
+    let mut snap: Snapshot = match serde_json::from_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: decoding snapshot {path}: {e}");
+            exit(2);
+        }
+    };
+    let spec = DivergeSpec {
+        seed: opts.diverge_seed,
+        coin: opts.diverge_coin.clone(),
+        extra_crashes: build_plan(&opts.diverge_crashes),
+    };
+    snap.scenario = spec.apply(&snap.scenario);
+    if let Some(engine) = opts.engine {
+        snap.scenario = snap.scenario.engine(engine);
+    }
+    if !opts.json {
+        println!("resumed: {path} at t={}", snap.at.ticks());
+    }
+    let resumed_at = snap.at.ticks();
+    if opts.checkpoint_at.is_some() || opts.budget_secs.is_some() {
+        let first = opts
+            .checkpoint_at
+            .unwrap_or(resumed_at + opts.checkpoint_every);
+        run_legs(
+            Sim.resume_until(&snap, VirtualTime::from_ticks(first)),
+            opts,
+        );
+    } else {
+        report(&Sim.resume(&snap), opts);
+    }
+}
+
+/// Drives a checkpointed run leg by leg. A single `--checkpoint-at` cut
+/// pauses unconditionally; under `--budget-secs` the run advances by
+/// `--checkpoint-every` ticks per leg until the wall-clock budget
+/// expires. A pause writes the snapshot and exits 3.
+fn run_legs(mut pending: RunOutcome, opts: &Options) {
+    let deadline = opts
+        .budget_secs
+        .map(|secs| Instant::now() + Duration::from_secs(secs));
+    loop {
+        match pending {
+            RunOutcome::Done(out) => {
+                report(&out, opts);
+                return;
+            }
+            RunOutcome::Paused(snap) => {
+                let expired = match (opts.checkpoint_at, deadline) {
+                    // A fixed cut always pauses there.
+                    (Some(_), _) => true,
+                    (None, Some(deadline)) => Instant::now() >= deadline,
+                    (None, None) => true,
+                };
+                if expired {
+                    save_snapshot(&snap, opts);
+                    exit(3);
+                }
+                let next = snap.at.ticks() + opts.checkpoint_every;
+                pending = Sim.resume_until(&snap, VirtualTime::from_ticks(next));
+            }
+        }
+    }
+}
+
+fn save_snapshot(snap: &Snapshot, opts: &Options) {
+    let json = match serde_json::to_string(snap) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: serializing snapshot: {e}");
+            exit(2);
+        }
+    };
+    if let Err(e) = std::fs::write(&opts.checkpoint_file, json) {
+        eprintln!("error: writing {}: {e}", opts.checkpoint_file);
+        exit(2);
+    }
     if opts.json {
-        match serde_json::to_string(&out) {
+        println!(
+            "{{\"paused_at\":{},\"checkpoint\":{:?}}}",
+            snap.at.ticks(),
+            opts.checkpoint_file
+        );
+    } else {
+        println!(
+            "paused at t={} — snapshot written to {} (resume with --resume)",
+            snap.at.ticks(),
+            opts.checkpoint_file
+        );
+    }
+}
+
+/// Prints the outcome (JSON or human-readable) and exits 1 on an
+/// agreement violation.
+fn report(out: &Outcome, opts: &Options) {
+    let n = out.decisions.len();
+    if opts.json {
+        match serde_json::to_string(out) {
             Ok(json) => println!("{json}"),
             Err(e) => {
                 eprintln!("error: serializing outcome: {e}");

@@ -1,0 +1,238 @@
+//! Checkpoint/restore is exact on the equivalence corpus: pausing a run
+//! at **every** epoch boundary and chaining the legs back together must
+//! reproduce the straight-through execution bit for bit — same
+//! decisions, halts, crash sets, counters, per-process accounting,
+//! multiset trace hash, event count, and `end_time` — on both event
+//! engines, with snapshots surviving JSON serde and hopping between
+//! engines mid-run. This is the contract that lets a CI scale gate stop
+//! at a time budget, upload its [`Snapshot`], and let the next scheduled
+//! run pick up where it left off without changing the result.
+
+use one_for_all::prelude::{Backend, CrashPlan, Engine, Outcome, Scenario, Sim};
+use one_for_all::scenario::{DelayModel, DivergeSpec, Snapshot, VirtualTime};
+use one_for_all::sim::RunOutcome;
+use one_for_all::topology::{Partition, ProcessId};
+use proptest::prelude::*;
+
+mod common;
+use common::scenario_strategy;
+
+/// Pin the parallel-engine core guard open (it is a perf heuristic, not
+/// a correctness knob) so this suite exercises the parallel engine even
+/// on a single-core CI box.
+fn unlock_cores() {
+    one_for_all::sim::override_available_cores(64);
+}
+
+/// Every deterministic observable must match; only wall-clock timing is
+/// allowed to differ between a straight run and a chain of resumed legs.
+fn assert_same_outcome(label: &str, a: &Outcome, b: &Outcome) {
+    prop_assert_eq!(&a.decisions, &b.decisions, "{}: decisions", label);
+    prop_assert_eq!(&a.halts, &b.halts, "{}: halts", label);
+    prop_assert_eq!(&a.crashed, &b.crashed, "{}: crashed", label);
+    prop_assert_eq!(
+        a.all_correct_decided,
+        b.all_correct_decided,
+        "{}: all_correct_decided",
+        label
+    );
+    prop_assert_eq!(a.counters, b.counters, "{}: counters", label);
+    prop_assert_eq!(&a.per_process, &b.per_process, "{}: per_process", label);
+    prop_assert_eq!(a.trace_hash, b.trace_hash, "{}: trace_hash", label);
+    prop_assert_eq!(
+        a.events_processed,
+        b.events_processed,
+        "{}: events_processed",
+        label
+    );
+    prop_assert_eq!(a.end_time, b.end_time, "{}: end_time", label);
+    prop_assert_eq!(
+        a.latest_decision_time,
+        b.latest_decision_time,
+        "{}: latest_decision_time",
+        label
+    );
+    prop_assert_eq!(a.sm_proposes, b.sm_proposes, "{}: sm_proposes", label);
+    prop_assert_eq!(a.sm_objects, b.sm_objects, "{}: sm_objects", label);
+    prop_assert_eq!(a.engine_used, b.engine_used, "{}: engine_used", label);
+}
+
+/// Runs `scenario` as a chain of single-epoch legs — pause at every
+/// multiple of the delay model's minimum (the parallel engine's epoch
+/// length), resume, repeat — and returns the final outcome plus the
+/// first and last snapshots captured along the way.
+fn run_stepped(
+    scenario: &Scenario,
+) -> (Outcome, Option<Box<Snapshot>>, Option<Box<Snapshot>>, u64) {
+    let step = scenario.delay.min_delay();
+    prop_assert!(step > 0, "corpus delay models have a positive minimum");
+    let mut cut = step;
+    let mut first: Option<Box<Snapshot>> = None;
+    let mut last: Option<Box<Snapshot>> = None;
+    let mut legs: u64 = 0;
+    let mut pending = Sim.run_until(scenario, VirtualTime::from_ticks(cut));
+    loop {
+        legs += 1;
+        prop_assert!(legs < 100_000, "stepped run did not converge");
+        match pending {
+            RunOutcome::Done(out) => return (out, first, last, legs),
+            RunOutcome::Paused(snap) => {
+                prop_assert_eq!(snap.at.ticks(), cut, "pause lands on the requested cut");
+                if first.is_none() {
+                    first = Some(snap.clone());
+                }
+                last = Some(snap.clone());
+                cut += step;
+                pending = Sim.resume_until(&snap, VirtualTime::from_ticks(cut));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole property, on the same 64-scenario corpus that proved
+    /// engine equivalence: checkpointing at every epoch and resuming
+    /// changes nothing. Additionally, resuming straight to completion
+    /// from the first and from the last checkpoint (what a CI gate does
+    /// with an uploaded artifact — via [`Backend::run_from`]) matches
+    /// too, and the first snapshot survives a JSON round trip.
+    #[test]
+    fn every_epoch_checkpoint_resumes_bit_for_bit(scenario in scenario_strategy()) {
+        unlock_cores();
+        for engine in [Engine::EventDriven, Engine::ParallelEvent { workers: 3 }] {
+            let scenario = scenario.clone().engine(engine);
+            let straight = Sim.run(&scenario);
+            let (stepped, first, last, _) = run_stepped(&scenario);
+            assert_same_outcome("stepped chain", &straight, &stepped);
+            // Runs short enough to finish inside the first epoch never
+            // pause; otherwise every checkpoint must resume exactly.
+            for (label, snap) in [("first", &first), ("last", &last)] {
+                if let Some(snap) = snap {
+                    assert_same_outcome(label, &straight, &Sim.run_from(snap));
+                }
+            }
+            if let Some(snap) = &first {
+                let json = serde_json::to_string(&**snap).expect("snapshot serializes");
+                let copy: Snapshot = serde_json::from_str(&json).expect("snapshot deserializes");
+                prop_assert_eq!(copy.at, snap.at);
+                assert_same_outcome("serde round trip", &straight, &Sim.resume(&copy));
+            }
+        }
+    }
+
+    /// Snapshots are engine-independent: a checkpoint taken on the
+    /// sequential event engine resumes on the parallel engine (and vice
+    /// versa) to the same outcome, modulo the recorded engine.
+    #[test]
+    fn snapshots_hop_between_engines(scenario in scenario_strategy()) {
+        unlock_cores();
+        let seq = scenario.clone().engine(Engine::EventDriven);
+        let straight = Sim.run(&seq);
+        let cut = VirtualTime::from_ticks(2 * scenario.delay.min_delay());
+        for (from, to) in [
+            (Engine::EventDriven, Engine::ParallelEvent { workers: 3 }),
+            (Engine::ParallelEvent { workers: 3 }, Engine::EventDriven),
+        ] {
+            match Sim.run_until(&scenario.clone().engine(from), cut) {
+                RunOutcome::Done(out) => {
+                    // Finished before the cut: nothing to hop (engines
+                    // may differ, so only the deterministic core fields
+                    // are compared).
+                    prop_assert_eq!(&straight.decisions, &out.decisions);
+                    prop_assert_eq!(straight.trace_hash, out.trace_hash);
+                    prop_assert_eq!(straight.end_time, out.end_time);
+                }
+                RunOutcome::Paused(mut snap) => {
+                    snap.scenario = snap.scenario.clone().engine(to);
+                    let hopped = Sim.resume(&snap);
+                    // `engine_used` legitimately differs across the hop.
+                    prop_assert_eq!(&straight.decisions, &hopped.decisions);
+                    prop_assert_eq!(&straight.per_process, &hopped.per_process);
+                    prop_assert_eq!(straight.counters, hopped.counters);
+                    prop_assert_eq!(straight.trace_hash, hopped.trace_hash);
+                    prop_assert_eq!(straight.events_processed, hopped.events_processed);
+                    prop_assert_eq!(straight.end_time, hopped.end_time);
+                }
+            }
+        }
+    }
+}
+
+/// An event budget composes with checkpointing: a stepped run hits the
+/// same budget cut as a straight run.
+#[test]
+fn budget_cut_is_identical_across_legs() {
+    unlock_cores();
+    for max_events in [40u64, 400] {
+        let scenario = Scenario::new(Partition::even(9, 3), Algorithm::LocalCoin)
+            .proposals_split(4)
+            .max_events(max_events)
+            .seed(5)
+            .engine(Engine::EventDriven);
+        let straight = Sim.run(&scenario);
+        let (stepped, _, _, _) = run_stepped(&scenario);
+        assert_eq!(straight.trace_hash, stepped.trace_hash);
+        assert_eq!(straight.events_processed, stepped.events_processed);
+        assert_eq!(straight.end_time, stepped.end_time);
+    }
+}
+
+use one_for_all::consensus::Algorithm;
+
+/// Diverging with an empty spec is exactly a resume; diverging with an
+/// extra post-cut crash equals a straight run whose crash plan carried
+/// that trigger from the start (pre-cut history is unaffected by a
+/// time-based trigger that fires later).
+#[test]
+fn diverge_rewrites_only_the_tail() {
+    unlock_cores();
+    let scenario = Scenario::new(Partition::even(8, 2), Algorithm::CommonCoin)
+        .proposals_split(3)
+        .delay(DelayModel::Constant(500))
+        .seed(17)
+        .engine(Engine::EventDriven);
+    let cut = VirtualTime::from_ticks(800);
+    let snap = match Sim.run_until(&scenario, cut) {
+        RunOutcome::Paused(snap) => snap,
+        RunOutcome::Done(_) => panic!("run must still be in flight at the cut"),
+    };
+
+    // Empty spec: identical to the straight-through run.
+    let straight = Sim.run(&scenario);
+    let replay = Sim.diverge(&snap, &DivergeSpec::new());
+    assert_eq!(straight.trace_hash, replay.trace_hash);
+    assert_eq!(straight.decisions, replay.decisions);
+    assert_eq!(straight.end_time, replay.end_time);
+
+    // Post-cut crash: equals the straight run that always had it. The
+    // trigger sits just past the cut, well before the earliest decision
+    // (~t=1566 for this seed), so it fires while the protocol is still
+    // in flight.
+    let crash_at = VirtualTime::from_ticks(1_000);
+    let spec = DivergeSpec::new().crashes(CrashPlan::new().crash_at_time(ProcessId(1), crash_at));
+    let diverged = Sim.diverge(&snap, &spec);
+    let with_crash = Sim.run(
+        &scenario.clone().crashes(
+            scenario
+                .crashes
+                .clone()
+                .crash_at_time(ProcessId(1), crash_at),
+        ),
+    );
+    assert!(diverged.crashed.contains(ProcessId(1)));
+    assert_eq!(with_crash.trace_hash, diverged.trace_hash);
+    assert_eq!(with_crash.decisions, diverged.decisions);
+    assert_eq!(with_crash.per_process, diverged.per_process);
+    assert_eq!(with_crash.end_time, diverged.end_time);
+
+    // Seed and coin overrides are deterministic: the same divergence
+    // twice is the same world.
+    let spec = DivergeSpec::new().seed(999);
+    let once = Sim.diverge(&snap, &spec);
+    let twice = Sim.diverge(&snap, &spec);
+    assert_eq!(once.trace_hash, twice.trace_hash);
+    assert_eq!(once.decisions, twice.decisions);
+    assert_eq!(once.end_time, twice.end_time);
+}

@@ -13,145 +13,18 @@
 //! and what justified flipping `Scenario`'s default engine to
 //! [`Engine::EventDriven`].
 
-use one_for_all::consensus::{Algorithm, Bit, Payload, ProtocolConfig};
-use one_for_all::prelude::{Backend, CoinSpec, CrashPlan, Engine, Scenario, Sim};
-use one_for_all::scenario::{Body, CostModel, DelayModel, MvWorkload, SmrWorkload, VirtualTime};
-use one_for_all::topology::{Partition, ProcessId};
+use one_for_all::prelude::{Backend, Engine, Scenario, Sim};
 use proptest::prelude::*;
 
-/// Strategy: a valid partition of up to 7 processes (compacted ids).
-fn partition_strategy() -> impl Strategy<Value = Partition> {
-    (1usize..=7)
-        .prop_flat_map(|n| proptest::collection::vec(0usize..n.min(3), n))
-        .prop_map(|raw| {
-            let mut ids = raw;
-            let mut seen = Vec::new();
-            for &x in &ids {
-                if !seen.contains(&x) {
-                    seen.push(x);
-                }
-            }
-            for x in &mut ids {
-                *x = seen.iter().position(|d| d == x).unwrap();
-            }
-            Partition::from_assignment(&ids).expect("compacted assignment is valid")
-        })
-}
+mod common;
+use common::scenario_strategy;
 
-/// Strategy: a crash plan over `n` processes mixing all trigger kinds.
-fn crash_plan_strategy(n: usize) -> impl Strategy<Value = CrashPlan> {
-    proptest::collection::vec((0usize..n, 0u8..3, 0u64..40), 0..n.max(1)).prop_map(move |entries| {
-        let mut plan = CrashPlan::new();
-        for (p, kind, x) in entries {
-            let p = ProcessId(p);
-            plan = match kind {
-                0 => plan.crash_at_step(p, x),
-                1 => plan.crash_at_round(p, 1 + x % 8),
-                _ => plan.crash_at_time(p, VirtualTime::from_ticks(x * 250)),
-            };
-        }
-        plan
-    })
-}
-
-/// Strategy: a declarative scenario spanning all three body kinds
-/// (binary algorithm, multivalued workload, replicated log — the new
-/// machines must match too), both algorithms, every delay-model shape
-/// (constant delay exercises the event engine's broadcast batching),
-/// every protocol-config preset (paper, pure message passing, and the
-/// WA1-breaking E9 ablation — the machines' non-amplified and
-/// no-preagree paths must match too), zero and non-zero send costs, coin
-/// overrides, and mixed proposals.
-fn scenario_strategy() -> impl Strategy<Value = Scenario> {
-    partition_strategy()
-        .prop_flat_map(|partition| {
-            let n = partition.n();
-            (
-                Just(partition),
-                proptest::collection::vec(any::<bool>(), n),
-                0u64..10_000,
-                any::<bool>(),
-                crash_plan_strategy(n),
-                (0u8..3, 0u8..3, 0u8..3), // delay model, coin spec, config preset
-                (0u64..3, 1u64..6),       // send cost (0 => broadcasts batch), sm op cost
-                (0u8..3, 1u64..4),        // body kind, log slots
-            )
-        })
-        .prop_map(
-            |(
-                partition,
-                bits,
-                seed,
-                common,
-                crashes,
-                (delay_kind, coin_kind, cfg),
-                (send, sm),
-                (body_kind, slots),
-            )| {
-                let n = partition.n();
-                let proposals: Vec<Bit> = bits.into_iter().map(Bit::from).collect();
-                let algorithm = if common {
-                    Algorithm::CommonCoin
-                } else {
-                    Algorithm::LocalCoin
-                };
-                let delay = match delay_kind {
-                    0 => DelayModel::Constant(700),
-                    1 => DelayModel::Uniform { lo: 200, hi: 900 },
-                    _ => DelayModel::Laggard {
-                        slow: vec![ProcessId(0)],
-                        factor: 7,
-                        base: Box::new(DelayModel::Uniform { lo: 300, hi: 800 }),
-                    },
-                };
-                let coin = match coin_kind {
-                    0 => CoinSpec::Seeded,
-                    1 => CoinSpec::Alternating,
-                    _ => CoinSpec::Scripted(vec![false, true, true]),
-                };
-                let config = match cfg {
-                    0 => ProtocolConfig::paper(),
-                    1 => ProtocolConfig::pure_message_passing(),
-                    _ => ProtocolConfig::ablation_no_preagree(),
-                };
-                let payload = |tag: &str, i: usize| {
-                    Payload::from_bytes(format!("{tag}{i}s{}", seed % 97).as_bytes())
-                        .expect("fits the payload limit")
-                };
-                let body = match body_kind {
-                    0 => Body::Algo(algorithm),
-                    1 => Body::Multivalued(MvWorkload {
-                        algorithm,
-                        proposals: (0..n).map(|i| payload("mv", i)).collect(),
-                    }),
-                    _ => Body::ReplicatedLog(SmrWorkload {
-                        algorithm,
-                        slots,
-                        // Mixed queue lengths, including an empty queue
-                        // (proposes empty payloads) when n > 1.
-                        queues: (0..n)
-                            .map(|i| (0..i % 3).map(|j| payload("q", i * 10 + j)).collect())
-                            .collect(),
-                    }),
-                };
-                let mut scenario = Scenario::new(partition, algorithm)
-                    .config(config)
-                    .proposals(proposals)
-                    .seed(seed)
-                    .delay(delay)
-                    .crashes(crashes)
-                    .coin(coin)
-                    .costs(CostModel {
-                        send_cost: send,
-                        recv_cost: 1,
-                        sm_op_cost: sm,
-                        coin_cost: 1,
-                    })
-                    .max_rounds(24);
-                scenario.body = body;
-                scenario
-            },
-        )
+/// The parallel-engine core guard is a perf heuristic (more shards than
+/// cores falls back to `EventDriven`); pin a big count so this suite
+/// exercises the parallel engine even on a single-core CI box — the
+/// determinism contract never depends on the host's parallelism.
+fn unlock_cores() {
+    one_for_all::sim::override_available_cores(64);
 }
 
 proptest! {
@@ -168,6 +41,7 @@ proptest! {
     /// counters, decisions, and clocks asserted below.
     #[test]
     fn all_three_engines_produce_identical_outcomes(scenario in scenario_strategy()) {
+        unlock_cores();
         // The E9 ablation preset (amplification without cluster
         // pre-agreement) deliberately breaks WA1, so agreement may
         // genuinely fail there — the multi-instance bodies hit this far
@@ -225,6 +99,7 @@ proptest! {
     /// identical outcomes on every field except the recorded engine.
     #[test]
     fn parallel_engine_is_invariant_under_worker_count(scenario in scenario_strategy()) {
+        unlock_cores();
         let two = Sim.run(&scenario.clone().parallel(2));
         let many = Sim.run(&scenario.clone().parallel(7));
         let again = Sim.run(&scenario.parallel(7));

@@ -86,6 +86,20 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// Exposes the raw xoshiro256++ state, for checkpointing.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured [`state`].
+        ///
+        /// [`state`]: StdRng::state
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;

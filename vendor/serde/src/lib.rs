@@ -10,7 +10,7 @@
 //! expects. See `vendor/` in the repository root for why these shims
 //! exist (the build environment cannot reach crates.io).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 
 pub use serde_derive::{Deserialize, Serialize};
@@ -241,6 +241,21 @@ impl<T: Serialize> Serialize for Vec<T> {
 }
 
 impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::msg("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
             Value::Seq(items) => items.iter().map(T::from_value).collect(),

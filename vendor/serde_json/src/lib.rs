@@ -250,12 +250,22 @@ impl Parser<'_> {
                     self.i += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 code point.
-                    let rest = std::str::from_utf8(&self.s[self.i..])
+                    // Consume the longest run of unescaped bytes in one
+                    // step, validating UTF-8 once per run rather than
+                    // per character (per-char `from_utf8` of the whole
+                    // tail is quadratic on large documents). A run can
+                    // never split a multi-byte sequence: `"` and `\` are
+                    // ASCII and never appear as continuation bytes.
+                    let start = self.i;
+                    while let Some(&b) = self.s.get(self.i) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.i += 1;
+                    }
+                    let run = std::str::from_utf8(&self.s[start..self.i])
                         .map_err(|_| Error::msg("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.i += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }
