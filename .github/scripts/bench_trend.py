@@ -18,6 +18,30 @@ import zipfile
 
 THRESHOLD = 0.15
 
+# Column headers that are measured outputs, not sweep axes. Rows are
+# matched across runs by their *axis* cells — for ESCALE that is just
+# `n`, for PARSCALE `(n, workers)`, for NETSCALE `(n, loss ppm,
+# churn ppm)` (every cell shares the same n, so the first column alone
+# would collide).
+METRIC_MARKERS = (
+    "[s]",
+    "/s",
+    "speedup",
+    "events",
+    "virtual end",
+    "decision t",
+    "rounds",
+    "deciders",
+)
+
+
+def axis_key(cols, row):
+    return tuple(
+        cell
+        for col, cell in zip(cols, row)
+        if not any(m in col for m in METRIC_MARKERS)
+    )
+
 
 def api(url: str, token: str, raw: bool = False):
     req = urllib.request.Request(url)
@@ -74,7 +98,7 @@ def main() -> int:
     lines = [
         f"### Bench trend: `{artifact_name}` vs run {prev_run}",
         "",
-        "| experiment | n | metric | previous | current | change |",
+        "| experiment | cell | metric | previous | current | change |",
         "|---|---|---|---|---|---|",
     ]
     regressions = []
@@ -87,11 +111,13 @@ def main() -> int:
             continue
         cols = exp["columns"]
         eps_cols = [i for i, c in enumerate(cols) if "ev" in c and "/s" in c]
-        old_rows = {row[0]: row for row in old_exp.get("rows", [])}
+        old_rows = {axis_key(cols, row): row for row in old_exp.get("rows", [])}
         for row in exp.get("rows", []):
-            prev_row = old_rows.get(row[0])
+            key = axis_key(cols, row)
+            prev_row = old_rows.get(key)
             if not prev_row:
                 continue
+            label = "/".join(key)
             for i in eps_cols:
                 try:
                     before, after = float(prev_row[i]), float(row[i])
@@ -101,12 +127,12 @@ def main() -> int:
                     continue
                 change = after / before - 1.0
                 lines.append(
-                    f"| {exp['id']} | {row[0]} | {cols[i]} "
+                    f"| {exp['id']} | {label} | {cols[i]} "
                     f"| {before:.3g} | {after:.3g} | {change:+.1%} |"
                 )
                 if change < -THRESHOLD:
                     regressions.append(
-                        f"{exp['id']} n={row[0]} {cols[i]}: "
+                        f"{exp['id']} {label} {cols[i]}: "
                         f"{before:.3g} -> {after:.3g} ({change:+.1%})"
                     )
 

@@ -16,8 +16,9 @@
 //! machine-readable JSON (`{"experiments": [{id, title, columns, rows}]}`)
 //! — the CI scale gates archive these as per-run build artifacts.
 //!
-//! `--budget-secs <s>` runs the ESCALE sweep resumably: cells execute as
-//! checkpointed legs, and when the wall-clock budget expires the
+//! `--budget-secs <s>` runs the ESCALE or NETSCALE sweep resumably:
+//! cells execute as checkpointed legs, and when the wall-clock budget
+//! expires the
 //! in-flight snapshot is saved under `--state-dir` (default
 //! `.ofa-checkpoints`) and the process exits with code **3**. Re-running
 //! with the same state dir resumes bit-for-bit; a run that finishes the
@@ -132,22 +133,37 @@ fn main() {
     }
 
     if let Some(secs) = budget_secs {
-        // Only ESCALE runs resumably today: SMRSCALE (and PARSCALE's
-        // baseline comparison) verify their logs through a run observer,
-        // which checkpointing deliberately refuses to capture.
-        if ids.len() != 1 || !ids[0].eq_ignore_ascii_case("escale") {
-            eprintln!("--budget-secs currently supports exactly one experiment: escale");
+        // Only the ESCALE and NETSCALE sweeps run resumably today:
+        // SMRSCALE (and PARSCALE's baseline comparison) verify their
+        // logs through a run observer, which checkpointing deliberately
+        // refuses to capture.
+        let id = ids.first().map(|s| s.to_ascii_lowercase());
+        if ids.len() != 1 || !matches!(id.as_deref(), Some("escale" | "netscale")) {
+            eprintln!(
+                "--budget-secs currently supports exactly one experiment: escale or netscale"
+            );
             std::process::exit(2);
         }
         let dir = std::path::PathBuf::from(&state_dir);
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(secs);
-        let sizes: &[usize] = match scale {
-            Scale::Full => &ofa_bench::experiments::escale::SIZES,
-            Scale::Quick => &ofa_bench::experiments::escale::QUICK_SIZES,
+        let (id, table, paused) = if id.as_deref() == Some("escale") {
+            use ofa_bench::experiments::escale;
+            let sizes: &[usize] = match scale {
+                Scale::Full => &escale::SIZES,
+                Scale::Quick => &escale::QUICK_SIZES,
+            };
+            let (_rows, table, paused) = escale::run_resumable(sizes, &dir, deadline);
+            ("ESCALE", table, paused)
+        } else {
+            use ofa_bench::experiments::netscale;
+            let (n, cells): (usize, &[(u32, u32)]) = match scale {
+                Scale::Full => (netscale::FULL_N, &netscale::CELLS),
+                Scale::Quick => (netscale::QUICK_N, &netscale::QUICK_CELLS),
+            };
+            let (_rows, table, paused) = netscale::run_resumable(n, cells, &dir, deadline);
+            ("NETSCALE", table, paused)
         };
-        let (_rows, table, paused) =
-            ofa_bench::experiments::escale::run_resumable(sizes, &dir, deadline);
-        let tables = vec![("ESCALE".to_string(), table)];
+        let tables = vec![(id.to_string(), table)];
         print_tables(&tables, false, csv, markdown);
         if let Some(path) = &out_path {
             write_out(path, &tables, scale == Scale::Quick, Some(paused));
@@ -179,7 +195,7 @@ fn main() {
                 None => {
                     eprintln!(
                         "unknown experiment id: {id} \
-                         (expected e1..e10, escale, smrscale, or parscale)"
+                         (expected e1..e10, escale, smrscale, parscale, or netscale)"
                     );
                     std::process::exit(2);
                 }

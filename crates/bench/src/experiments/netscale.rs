@@ -1,0 +1,331 @@
+//! NETSCALE — consensus under a lossy, churning network at `n = 10⁴`.
+//!
+//! The network-model subsystem makes message loss, duplication, and
+//! churn (leave + rejoin) first-class scenario axes. This experiment
+//! measures what they cost: full `ben_or_hybrid` with *split* proposals
+//! (so the protocol genuinely has to converge instead of taking the
+//! unanimity fast path) at cluster scale, sweeping
+//!
+//! * the **loss rate** (0 → 10 000 ppm = 1 % of all messages dropped,
+//!   each fate an independent PRF decision per link and message), and
+//! * the **churn rate** (0 → 1 % of processes leave mid-protocol and
+//!   rejoin with a fresh mailbox a few delays later),
+//!
+//! and reporting decision rounds, decision latency (virtual time of the
+//! last decision), deciders, and scheduler throughput per cell. Constant
+//! network delay keeps the broadcast batching path hot, so the sweep
+//! also exercises the batched lazy-survivor scan at `3n²`-message scale.
+//!
+//! Every cell is an ordinary declarative scenario: deterministic,
+//! replayable, checkpointable — the resumable variant below is what the
+//! time-budgeted CI gate runs.
+
+use ofa_core::Algorithm;
+use ofa_metrics::{fmt_f64, Table};
+use ofa_scenario::{Backend, ChurnPlan, CostModel, DelayModel, Engine, Scenario, VirtualTime};
+use ofa_sim::Sim;
+use ofa_topology::{Partition, ProcessId};
+use std::path::Path;
+use std::time::Instant;
+
+/// The full sweep's system size (the paper's cluster-scale regime).
+pub const FULL_N: usize = 10_000;
+
+/// The CI smoke size: same axes, seconds per cell.
+pub const QUICK_N: usize = 2_000;
+
+/// One sweep cell: `(loss_ppm, churn_ppm)`. Loss and churn are swept
+/// separately against the shared lossless baseline, so a row's movement
+/// is attributable to one axis.
+pub const CELLS: [(u32, u32); 6] = [
+    (0, 0),
+    (100, 0),
+    (1_000, 0),
+    (10_000, 0),
+    (0, 1_000),
+    (0, 10_000),
+];
+
+/// The CI smoke cells: baseline, 1 % loss, 1 % churn.
+pub const QUICK_CELLS: [(u32, u32); 3] = [(0, 0), (10_000, 0), (0, 10_000)];
+
+/// One row of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct NetRow {
+    /// System size.
+    pub n: usize,
+    /// Message loss rate, ppm.
+    pub loss_ppm: u32,
+    /// Fraction of processes churning, ppm.
+    pub churn_ppm: u32,
+    /// Deepest deciding round.
+    pub rounds: u64,
+    /// Virtual time of the last decision.
+    pub decision_time: u64,
+    /// Processes that decided.
+    pub deciders: usize,
+    /// Scheduler events processed.
+    pub events: u64,
+    /// Wall-clock seconds for the run.
+    pub wall_secs: f64,
+}
+
+/// The scenario one cell runs (exposed so the CI gate and tests time
+/// exactly what the table reports). `churn_ppm` of the `n` processes —
+/// spread evenly across the id space, so across clusters — leave at
+/// staggered times mid-protocol and rejoin three delays later.
+pub fn scenario(n: usize, loss_ppm: u32, churn_ppm: u32) -> Scenario {
+    let m = (n / 100).max(1);
+    let mut churn = ChurnPlan::new();
+    let count = (n as u64 * u64::from(churn_ppm) / 1_000_000) as usize;
+    if let Some(stride) = n.checked_div(count) {
+        for j in 0..count {
+            let leave = 1_500 + (j as u64 % 4) * 500;
+            churn = churn.leave_rejoin(
+                ProcessId(j * stride),
+                VirtualTime::from_ticks(leave),
+                VirtualTime::from_ticks(leave + 3_000),
+            );
+        }
+    }
+    Scenario::new(Partition::even(n, m), Algorithm::CommonCoin)
+        .proposals_split(n / 2)
+        .seed(42)
+        .delay(DelayModel::Constant(1_000))
+        .loss_ppm(loss_ppm)
+        .churn(churn)
+        .costs(CostModel {
+            send_cost: 0,
+            recv_cost: 1,
+            sm_op_cost: 10,
+            coin_cost: 1,
+        })
+        .max_rounds(64)
+        .max_events(u64::MAX)
+        .engine(Engine::EventDriven)
+}
+
+const TITLE: &str = "NETSCALE: consensus under loss and churn — full ben_or_hybrid, split \
+                     proposals, m=n/100 clusters, constant delay, single thread";
+const COLUMNS: [&str; 9] = [
+    "n",
+    "loss ppm",
+    "churn ppm",
+    "rounds",
+    "decision t",
+    "deciders",
+    "events",
+    "wall [s]",
+    "events/s",
+];
+
+/// Checks the invariants a cell must satisfy regardless of loss/churn
+/// rates: safety always, and liveness for everyone who never churned.
+fn assert_cell(out: &ofa_scenario::Outcome, n: usize, loss_ppm: u32, churn_ppm: u32) {
+    assert!(
+        out.agreement_holds(),
+        "netscale n={n} loss={loss_ppm} churn={churn_ppm}: agreement violated"
+    );
+    let churned = (n as u64 * u64::from(churn_ppm) / 1_000_000) as usize;
+    assert!(
+        out.deciders() >= n - churned,
+        "netscale n={n} loss={loss_ppm} churn={churn_ppm}: only {} of {} stable \
+         processes decided",
+        out.deciders(),
+        n - churned
+    );
+}
+
+fn sweep_row(table: &mut Table, rows: &mut Vec<NetRow>, row: NetRow) {
+    let events_per_sec = row.events as f64 / row.wall_secs.max(f64::EPSILON);
+    table.row([
+        row.n.to_string(),
+        row.loss_ppm.to_string(),
+        row.churn_ppm.to_string(),
+        row.rounds.to_string(),
+        VirtualTime::from_ticks(row.decision_time).to_string(),
+        row.deciders.to_string(),
+        row.events.to_string(),
+        fmt_f64(row.wall_secs, 2),
+        format!("{events_per_sec:.2e}"),
+    ]);
+    rows.push(row);
+}
+
+/// Runs the sweep at size `n` over `cells`; returns the rows (for
+/// assertions) and the table.
+///
+/// # Panics
+///
+/// Panics if any cell violates agreement or loses a decider that never
+/// churned — the rates swept here are well inside the protocol's fault
+/// budget, so anything else is an engine regression.
+pub fn run(n: usize, cells: &[(u32, u32)]) -> (Vec<NetRow>, Table) {
+    let mut table = Table::new(TITLE, &COLUMNS);
+    let mut rows = Vec::new();
+    for &(loss_ppm, churn_ppm) in cells {
+        let out = Sim.run(&scenario(n, loss_ppm, churn_ppm));
+        assert_cell(&out, n, loss_ppm, churn_ppm);
+        sweep_row(
+            &mut table,
+            &mut rows,
+            NetRow {
+                n,
+                loss_ppm,
+                churn_ppm,
+                rounds: out.max_decision_round,
+                decision_time: out.latest_decision_time.ticks(),
+                deciders: out.deciders(),
+                events: out.events_processed,
+                wall_secs: out.elapsed.as_secs_f64(),
+            },
+        );
+    }
+    (rows, table)
+}
+
+/// Resumable variant of [`run`] for the time-budgeted CI gate — same
+/// protocol as [`crate::experiments::escale::run_resumable`]: cells run
+/// as chains of checkpointed legs, finished rows persist in a done file
+/// under `dir`, and an expired `deadline` returns `paused = true` with
+/// the in-flight snapshot saved for the next invocation. Deterministic
+/// columns of finished rows are identical to a monolithic [`run`].
+///
+/// # Panics
+///
+/// Same protocol assertions as [`run`], plus on unwritable state files.
+pub fn run_resumable(
+    n: usize,
+    cells: &[(u32, u32)],
+    dir: &Path,
+    deadline: Instant,
+) -> (Vec<NetRow>, Table, bool) {
+    let done_file = dir.join("netscale_done.txt");
+    // Lines of "loss churn rounds decision_t deciders events wall_secs"
+    // for cells finished by earlier invocations of this sweep.
+    let mut done: Vec<(u32, u32, u64, u64, usize, u64, f64)> = std::fs::read_to_string(&done_file)
+        .map(|text| {
+            text.lines()
+                .filter_map(|line| {
+                    let mut it = line.split_whitespace();
+                    Some((
+                        it.next()?.parse().ok()?,
+                        it.next()?.parse().ok()?,
+                        it.next()?.parse().ok()?,
+                        it.next()?.parse().ok()?,
+                        it.next()?.parse().ok()?,
+                        it.next()?.parse().ok()?,
+                        it.next()?.parse().ok()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut table = Table::new(TITLE, &COLUMNS);
+    let mut rows = Vec::new();
+    let mut paused = false;
+    for &(loss_ppm, churn_ppm) in cells {
+        let row = if let Some(&(_, _, rounds, decision_time, deciders, events, wall_secs)) =
+            done.iter().find(|d| d.0 == loss_ppm && d.1 == churn_ppm)
+        {
+            NetRow {
+                n,
+                loss_ppm,
+                churn_ppm,
+                rounds,
+                decision_time,
+                deciders,
+                events,
+                wall_secs,
+            }
+        } else {
+            let cell = crate::resumable::run_cell(
+                dir,
+                &format!("netscale_{loss_ppm}_{churn_ppm}"),
+                &scenario(n, loss_ppm, churn_ppm),
+                1_000,
+                deadline,
+            );
+            let Some(out) = cell.outcome else {
+                paused = true;
+                break;
+            };
+            assert_cell(&out, n, loss_ppm, churn_ppm);
+            let row = NetRow {
+                n,
+                loss_ppm,
+                churn_ppm,
+                rounds: out.max_decision_round,
+                decision_time: out.latest_decision_time.ticks(),
+                deciders: out.deciders(),
+                events: out.events_processed,
+                wall_secs: cell.wall_secs,
+            };
+            done.push((
+                loss_ppm,
+                churn_ppm,
+                row.rounds,
+                row.decision_time,
+                row.deciders,
+                row.events,
+                row.wall_secs,
+            ));
+            std::fs::create_dir_all(dir).expect("checkpoint state dir is writable");
+            let text: String = done
+                .iter()
+                .map(|(l, c, r, t, d, e, w)| format!("{l} {c} {r} {t} {d} {e} {w}\n"))
+                .collect();
+            std::fs::write(&done_file, text).expect("done file is writable");
+            row
+        };
+        sweep_row(&mut table, &mut rows, row);
+    }
+    if !paused {
+        let _ = std::fs::remove_file(&done_file);
+    }
+    (rows, table, paused)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cells_hold_safety_under_loss_and_churn() {
+        let (rows, table) = run(400, &[(0, 0), (10_000, 0), (0, 10_000)]);
+        assert_eq!(table.len(), 3);
+        // The baseline is lossless and churn-free; the loss cell drops
+        // messages (strictly fewer deliveries than the baseline's); the
+        // churn cell actually churned processes.
+        assert!(rows[1].events < rows[0].events, "loss must drop deliveries");
+        assert_eq!(rows[2].churn_ppm, 10_000);
+        assert!(rows.iter().all(|r| r.deciders > 0));
+    }
+
+    #[test]
+    fn resumable_sweep_matches_the_monolithic_rows() {
+        let dir =
+            std::env::temp_dir().join(format!("ofa-netscale-resumable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cells = [(10_000u32, 0u32), (0, 10_000)];
+        let (mono, _) = run(300, &cells);
+        let expired = Instant::now() - std::time::Duration::from_secs(1);
+        let (rows, _, paused) = run_resumable(300, &cells, &dir, expired);
+        assert!(paused, "expired budget must pause");
+        assert!(rows.is_empty());
+        let generous = Instant::now() + std::time::Duration::from_secs(600);
+        let (rows, table, paused) = run_resumable(300, &cells, &dir, generous);
+        assert!(!paused);
+        assert_eq!(table.len(), 2);
+        for (a, b) in mono.iter().zip(rows.iter()) {
+            assert_eq!(a.loss_ppm, b.loss_ppm);
+            assert_eq!(a.churn_ppm, b.churn_ppm);
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.decision_time, b.decision_time);
+            assert_eq!(a.deciders, b.deciders);
+            assert_eq!(a.events, b.events);
+        }
+        assert!(!dir.join("netscale_done.txt").exists(), "state cleans up");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

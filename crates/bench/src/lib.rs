@@ -21,11 +21,12 @@
 //! | ESCALE | event-driven engine runs full consensus at `n = 10⁴–5·10⁴` in seconds–minutes |
 //! | SMRSCALE | replicated KV (multivalued/SMR stack) commits logs at `n >= 5 000` replicas |
 //! | PARSCALE | cluster-sharded parallel engine vs single-threaded: identical runs, measured speedup |
+//! | NETSCALE | consensus at `n = 10⁴` under message loss and churn: rounds and decision latency vs rate |
 
 #![warn(missing_docs)]
 
 /// The experiment modules, E1 through E10 plus the ESCALE / SMRSCALE /
-/// PARSCALE engine sweeps.
+/// PARSCALE / NETSCALE engine sweeps.
 pub mod experiments {
     pub mod e1;
     pub mod e10;
@@ -38,6 +39,7 @@ pub mod experiments {
     pub mod e8;
     pub mod e9;
     pub mod escale;
+    pub mod netscale;
     pub mod parscale;
     pub mod smrscale;
 }
@@ -49,8 +51,9 @@ use ofa_metrics::Table;
 /// Every experiment id, in presentation order. The single source of
 /// truth for "all experiments" — `run_all`, the `experiments` binary's
 /// `--quick` path, and CI smoke loops all iterate this.
-pub const ALL_IDS: [&str; 13] = [
+pub const ALL_IDS: [&str; 14] = [
     "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "ESCALE", "SMRSCALE", "PARSCALE",
+    "NETSCALE",
 ];
 
 /// Runs every experiment at its default scale, returning `(id, table)`
@@ -113,6 +116,10 @@ pub fn run_one_scaled(id: &str, scale: Scale) -> Option<Table> {
         "parscale" => match scale {
             Scale::Full => parscale::run(&parscale::SIZES).1,
             Scale::Quick => parscale::run(&parscale::QUICK_SIZES).1,
+        },
+        "netscale" => match scale {
+            Scale::Full => netscale::run(netscale::FULL_N, &netscale::CELLS).1,
+            Scale::Quick => netscale::run(netscale::QUICK_N, &netscale::QUICK_CELLS).1,
         },
         _ => return None,
     })

@@ -1,0 +1,238 @@
+//! Churn: scheduled leaves and rejoins.
+//!
+//! A [`crate::CrashPlan`] models the paper's crash faults — premature,
+//! permanent halts. Real deployments also *churn*: a process leaves
+//! (indistinguishable from a crash to its peers) and later rejoins with
+//! a fresh runtime state. [`ChurnPlan`] schedules both halves at virtual
+//! times: at `leave` the process crashes exactly like a
+//! [`crate::CrashTrigger::AtTime`] trigger; at `rejoin` (if any) it
+//! restarts its protocol machine from its original proposal with a fresh
+//! mailbox, a rejoin-domain local-coin stream, and its accumulated
+//! metric counters, then re-enters dissemination.
+//!
+//! Each process has at most one leave and one optional rejoin, so a
+//! rejoined process is always on its second incarnation — which is what
+//! lets checkpoints re-seed churn events from the plan (like timed
+//! crashes) instead of storing incarnation state.
+
+use crate::VirtualTime;
+use ofa_topology::{ProcessId, ProcessSet};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One process's scheduled departure, and optionally its return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// When the process leaves (crashes).
+    pub leave: VirtualTime,
+    /// When it rejoins, if ever. Must be strictly after `leave`.
+    pub rejoin: Option<VirtualTime>,
+}
+
+/// The churn pattern of one run: which processes leave, and when (if
+/// ever) they come back.
+///
+/// # Examples
+///
+/// ```
+/// use ofa_scenario::{ChurnPlan, VirtualTime};
+/// use ofa_topology::ProcessId;
+///
+/// let plan = ChurnPlan::new()
+///     .leave(ProcessId(2), VirtualTime::from_ticks(3_000))
+///     .leave_rejoin(
+///         ProcessId(5),
+///         VirtualTime::from_ticks(1_000),
+///         VirtualTime::from_ticks(4_000),
+///     );
+/// assert_eq!(plan.len(), 2);
+/// assert!(plan.event(ProcessId(5)).unwrap().rejoin.is_some());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChurnPlan {
+    events: HashMap<ProcessId, ChurnEvent>,
+}
+
+impl ChurnPlan {
+    /// No churn.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `p` to leave at `t` and never return — equivalent to a
+    /// timed crash, but kept in the churn plan (the two plans must name
+    /// disjoint processes).
+    pub fn leave(mut self, p: ProcessId, t: VirtualTime) -> Self {
+        self.events.insert(
+            p,
+            ChurnEvent {
+                leave: t,
+                rejoin: None,
+            },
+        );
+        self
+    }
+
+    /// Schedules `p` to leave at `leave` and rejoin at `rejoin`.
+    pub fn leave_rejoin(mut self, p: ProcessId, leave: VirtualTime, rejoin: VirtualTime) -> Self {
+        self.events.insert(
+            p,
+            ChurnEvent {
+                leave,
+                rejoin: Some(rejoin),
+            },
+        );
+        self
+    }
+
+    /// Inserts (or overwrites) the churn event for `p` in place.
+    pub fn insert(&mut self, p: ProcessId, event: ChurnEvent) {
+        self.events.insert(p, event);
+    }
+
+    /// The churn event for `p`, if any.
+    pub fn event(&self, p: ProcessId) -> Option<ChurnEvent> {
+        self.events.get(&p).copied()
+    }
+
+    /// Number of churning processes.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if no churn is planned.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The churning processes, as a set over universe `n`.
+    pub fn planned_set(&self, n: usize) -> ProcessSet {
+        ProcessSet::from_indices(n, self.events.keys().map(|p| p.index()))
+    }
+
+    /// Iterates over `(process, event)` pairs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, ChurnEvent)> + '_ {
+        self.events.iter().map(|(p, e)| (*p, *e))
+    }
+
+    /// Checks internal consistency against a universe of `n` processes
+    /// and a crash plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event names a process index `>= n`, a rejoin is not
+    /// strictly after its leave, or a process appears in both the churn
+    /// and the crash plan (their failure semantics would race).
+    pub fn assert_valid(&self, n: usize, crashes: &crate::CrashPlan) {
+        for (p, e) in self.iter() {
+            assert!(
+                p.index() < n,
+                "churn event names process index {} but n={n}",
+                p.index()
+            );
+            if let Some(r) = e.rejoin {
+                assert!(
+                    r > e.leave,
+                    "process {} rejoins at {} but leaves at {} (rejoin must be later)",
+                    p.index(),
+                    r.ticks(),
+                    e.leave.ticks()
+                );
+            }
+            assert!(
+                crashes.trigger(p).is_none(),
+                "process {} appears in both the churn plan and the crash plan",
+                p.index()
+            );
+        }
+    }
+}
+
+/// Serialized as a process-index-sorted list of `[index, event]` pairs —
+/// same canonical shape as [`crate::CrashPlan`].
+impl Serialize for ChurnPlan {
+    fn to_value(&self) -> serde::Value {
+        let mut entries: Vec<(ProcessId, ChurnEvent)> = self.iter().collect();
+        entries.sort_by_key(|(p, _)| *p);
+        serde::Value::Seq(
+            entries
+                .into_iter()
+                .map(|(p, e)| {
+                    serde::Value::Seq(vec![serde::Value::U64(p.index() as u64), e.to_value()])
+                })
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for ChurnPlan {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let entries: Vec<(usize, ChurnEvent)> = Deserialize::from_value(v)?;
+        let mut plan = ChurnPlan::new();
+        for (i, e) in entries {
+            plan.events.insert(ProcessId(i), e);
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CrashPlan;
+
+    #[test]
+    fn builders_accumulate_and_overwrite() {
+        let plan = ChurnPlan::new()
+            .leave(ProcessId(1), VirtualTime::from_ticks(500))
+            .leave_rejoin(
+                ProcessId(1),
+                VirtualTime::from_ticks(700),
+                VirtualTime::from_ticks(900),
+            );
+        assert_eq!(plan.len(), 1, "later entries overwrite");
+        let e = plan.event(ProcessId(1)).unwrap();
+        assert_eq!(e.leave.ticks(), 700);
+        assert_eq!(e.rejoin.unwrap().ticks(), 900);
+        assert!(plan.planned_set(3).contains(ProcessId(1)));
+    }
+
+    #[test]
+    fn serde_is_canonical_and_round_trips() {
+        let plan = ChurnPlan::new()
+            .leave(ProcessId(3), VirtualTime::from_ticks(100))
+            .leave_rejoin(
+                ProcessId(0),
+                VirtualTime::from_ticks(50),
+                VirtualTime::from_ticks(120),
+            );
+        let json = serde_json::to_string(&plan).unwrap();
+        // Sorted by process index regardless of insertion order.
+        assert!(
+            json.find("[0,").unwrap() < json.find("[3,").unwrap(),
+            "{json}"
+        );
+        let copy: ChurnPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(copy, plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "rejoin must be later")]
+    fn rejoin_before_leave_is_rejected() {
+        ChurnPlan::new()
+            .leave_rejoin(
+                ProcessId(0),
+                VirtualTime::from_ticks(500),
+                VirtualTime::from_ticks(500),
+            )
+            .assert_valid(2, &CrashPlan::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "both the churn plan and the crash plan")]
+    fn overlap_with_crash_plan_is_rejected() {
+        ChurnPlan::new()
+            .leave(ProcessId(0), VirtualTime::from_ticks(500))
+            .assert_valid(2, &CrashPlan::new().crash_at_start(ProcessId(0)));
+    }
+}

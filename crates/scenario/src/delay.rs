@@ -86,8 +86,10 @@ pub enum DelayModel {
 /// from the same master seed.
 const DELAY_DOMAIN_SEP: u64 = 0x5DEE_CE66_D1CE_5EED;
 
-/// SplitMix64-style mix of the delay PRF inputs into one RNG seed.
-fn mix_delay_seed(seed: u64, from: ProcessId, to: ProcessId, k: u64) -> u64 {
+/// SplitMix64-style mix of the delay PRF inputs into one RNG seed. Also
+/// the mixer behind the network model's loss/duplication fate PRF, which
+/// feeds it domain-separated master seeds.
+pub(crate) fn mix_delay_seed(seed: u64, from: ProcessId, to: ProcessId, k: u64) -> u64 {
     let mut z = seed ^ DELAY_DOMAIN_SEP;
     for w in [from.index() as u64, to.index() as u64, k] {
         z = z

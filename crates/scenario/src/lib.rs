@@ -42,8 +42,10 @@
 
 mod backend;
 mod body;
+mod churn;
 mod crash;
 mod delay;
+mod network;
 mod outcome;
 #[allow(clippy::module_inception)]
 mod scenario;
@@ -54,8 +56,10 @@ mod trace;
 
 pub use backend::Backend;
 pub use body::{Body, MvWorkload, ProcessBody, SmrWorkload};
+pub use churn::{ChurnEvent, ChurnPlan};
 pub use crash::{CrashPlan, CrashTrigger};
 pub use delay::{CostModel, DelayModel};
+pub use network::{Fate, LatencyDist, LinkClasses, LinkOverride, NetIndex, NetworkModel};
 pub use outcome::{BackendKind, Outcome};
 pub use scenario::{CoinSpec, Engine, Scenario};
 pub use snapshot::{DivergeSpec, Snapshot, SNAPSHOT_VERSION};

@@ -1,6 +1,6 @@
 //! The declarative description of one consensus execution.
 
-use crate::{Body, CostModel, CrashPlan, DelayModel, ProcessBody};
+use crate::{Body, ChurnPlan, CostModel, CrashPlan, DelayModel, NetworkModel, ProcessBody};
 use ofa_coins::{
     AlternatingCoin, CommonCoin, ConstantCoin, ScriptedCoin, SeededCommonCoin, COIN_DOMAIN_SEP,
 };
@@ -267,12 +267,15 @@ pub struct Scenario {
     pub proposals: Vec<Bit>,
     /// Master seed for all randomness (delays, local coins, common coin).
     pub seed: u64,
-    /// Message transit-time model (virtual-time backends only).
-    pub delay: DelayModel,
+    /// The network model: link-class latencies, jitter, loss,
+    /// duplication (virtual-time backends only).
+    pub network: NetworkModel,
     /// Per-operation cost model (virtual-time backends only).
     pub costs: CostModel,
     /// The failure pattern.
     pub crashes: CrashPlan,
+    /// The churn pattern: scheduled leaves and rejoins.
+    pub churn: ChurnPlan,
     /// The common-coin source.
     pub coin: CoinSpec,
     /// Retain the full event trace (backends that record one).
@@ -301,9 +304,10 @@ impl Scenario {
             config: ProtocolConfig::paper().with_max_rounds(512),
             proposals: (0..n).map(|i| Bit::from(i % 2 == 1)).collect(),
             seed: 0,
-            delay: DelayModel::default_network(),
+            network: NetworkModel::default(),
             costs: CostModel::default(),
             crashes: CrashPlan::new(),
+            churn: ChurnPlan::new(),
             coin: CoinSpec::Seeded,
             keep_trace: false,
             max_events: 5_000_000,
@@ -391,9 +395,38 @@ impl Scenario {
         self
     }
 
-    /// Sets the message delay model.
+    /// Sets the message delay model — shorthand for a flat, lossless
+    /// [`NetworkModel`] over `delay` (byte-compatible with the
+    /// pre-network-model behavior).
     pub fn delay(mut self, delay: DelayModel) -> Self {
-        self.delay = delay;
+        self.network = NetworkModel::flat(delay);
+        self
+    }
+
+    /// Sets the full network model (link classes, jitter, loss,
+    /// duplication).
+    pub fn network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Sets the per-message loss rate in parts per million, keeping the
+    /// current latency classes.
+    pub fn loss_ppm(mut self, ppm: u32) -> Self {
+        self.network.loss_ppm = ppm;
+        self
+    }
+
+    /// Sets the per-message duplication rate in parts per million,
+    /// keeping the current latency classes.
+    pub fn dup_ppm(mut self, ppm: u32) -> Self {
+        self.network.dup_ppm = ppm;
+        self
+    }
+
+    /// Sets the churn pattern (scheduled leaves and rejoins).
+    pub fn churn(mut self, plan: ChurnPlan) -> Self {
+        self.churn = plan;
         self
     }
 
@@ -535,7 +568,11 @@ impl Scenario {
                 check_delay(base, n);
             }
         }
-        check_delay(&self.delay, n);
+        if let crate::LinkClasses::Flat(delay) = &self.network.classes {
+            check_delay(delay, n);
+        }
+        self.network.assert_valid(n);
+        self.churn.assert_valid(n, &self.crashes);
     }
 }
 
@@ -560,9 +597,10 @@ impl Serialize for Scenario {
             ("config".to_string(), self.config.to_value()),
             ("proposals".to_string(), self.proposals.to_value()),
             ("seed".to_string(), serde::Value::U64(self.seed)),
-            ("delay".to_string(), self.delay.to_value()),
+            ("network".to_string(), self.network.to_value()),
             ("costs".to_string(), self.costs.to_value()),
             ("crashes".to_string(), self.crashes.to_value()),
+            ("churn".to_string(), self.churn.to_value()),
             ("coin".to_string(), self.coin.to_value()),
             (
                 "keep_trace".to_string(),
@@ -587,9 +625,21 @@ impl Deserialize for Scenario {
             config: Deserialize::from_value(field("config")?)?,
             proposals: Deserialize::from_value(field("proposals")?)?,
             seed: Deserialize::from_value(field("seed")?)?,
-            delay: Deserialize::from_value(field("delay")?)?,
+            // Pre-network-model scenarios stored a bare DelayModel under
+            // "delay"; NetworkModel::from_value lifts that shape to the
+            // equivalent flat lossless network, so both keys replay
+            // byte-for-byte.
+            network: match v.get("network") {
+                Some(net) => Deserialize::from_value(net)?,
+                None => Deserialize::from_value(field("delay")?)?,
+            },
             costs: Deserialize::from_value(field("costs")?)?,
             crashes: Deserialize::from_value(field("crashes")?)?,
+            // Absent in scenarios stored before churn existed.
+            churn: match v.get("churn") {
+                Some(c) => Deserialize::from_value(c)?,
+                None => ChurnPlan::new(),
+            },
             coin: Deserialize::from_value(field("coin")?)?,
             keep_trace: Deserialize::from_value(field("keep_trace")?)?,
             max_events: Deserialize::from_value(field("max_events")?)?,
@@ -675,6 +725,51 @@ mod tests {
         assert_ne!(bare, json);
         let auto: Scenario = serde_json::from_str(&bare).unwrap();
         assert_eq!(auto.engine, Engine::parallel());
+    }
+
+    #[test]
+    fn scenarios_stored_before_the_network_model_still_deserialize() {
+        // A pre-network-model corpus entry stored a bare DelayModel
+        // under the "delay" key and had no "churn" field.
+        let sc = Scenario::new(Partition::single_cluster(2), Algorithm::LocalCoin)
+            .delay(DelayModel::Uniform { lo: 10, hi: 40 });
+        let json = serde_json::to_string(&sc).unwrap();
+        let legacy = json
+            .replace(
+                "\"network\":{\"classes\":{\"Flat\":{\"Uniform\":{\"lo\":10,\"hi\":40}}},\"loss_ppm\":0,\"dup_ppm\":0}",
+                "\"delay\":{\"Uniform\":{\"lo\":10,\"hi\":40}}",
+            )
+            .replace(",\"churn\":[]", "");
+        assert_ne!(legacy, json, "both fields must have been rewritten");
+        let old: Scenario = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(old.network, sc.network, "delay key lifts to a flat network");
+        assert!(old.churn.is_empty(), "absent churn = none");
+    }
+
+    #[test]
+    fn churn_and_network_knobs_round_trip() {
+        let sc = Scenario::new(Partition::even(4, 2), Algorithm::LocalCoin)
+            .loss_ppm(1_000)
+            .dup_ppm(50)
+            .churn(ChurnPlan::new().leave_rejoin(
+                ProcessId(1),
+                crate::VirtualTime::from_ticks(500),
+                crate::VirtualTime::from_ticks(900),
+            ));
+        sc.assert_valid();
+        let json = serde_json::to_string(&sc).unwrap();
+        let copy: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(copy.network, sc.network);
+        assert_eq!(copy.churn, sc.churn);
+    }
+
+    #[test]
+    #[should_panic(expected = "both the churn plan and the crash plan")]
+    fn churn_crash_overlap_is_rejected() {
+        Scenario::new(Partition::single_cluster(3), Algorithm::LocalCoin)
+            .crashes(CrashPlan::new().crash_at_start(ProcessId(1)))
+            .churn(ChurnPlan::new().leave(ProcessId(1), crate::VirtualTime::from_ticks(100)))
+            .assert_valid();
     }
 
     #[test]

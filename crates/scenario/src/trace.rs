@@ -89,6 +89,11 @@ pub enum TraceEvent {
         /// The process.
         who: ProcessId,
     },
+    /// `who` rejoined after a churn leave, restarting with fresh state.
+    Rejoin {
+        /// The process.
+        who: ProcessId,
+    },
 }
 
 /// A recorded event with its virtual timestamp.
@@ -126,6 +131,7 @@ impl fmt::Display for TimedEvent {
             TraceEvent::Decided { who, decision } => write!(f, "{who} {decision}"),
             TraceEvent::Halted { who, halt } => write!(f, "{who} halted: {halt}"),
             TraceEvent::Crash { who } => write!(f, "{who} CRASHES"),
+            TraceEvent::Rejoin { who } => write!(f, "{who} REJOINS"),
         }
     }
 }
@@ -244,6 +250,7 @@ fn discriminant_code(e: &TraceEvent) -> u64 {
         TraceEvent::Decided { .. } => 6,
         TraceEvent::Halted { .. } => 7,
         TraceEvent::Crash { .. } => 8,
+        TraceEvent::Rejoin { .. } => 9,
     }
 }
 
@@ -326,7 +333,7 @@ fn encode_words(e: &TraceEvent) -> ([u64; 5], usize) {
             words[..2].copy_from_slice(&[who.index() as u64, matches!(halt, Halt::Crashed) as u64]);
             2
         }
-        TraceEvent::Crash { who } => {
+        TraceEvent::Crash { who } | TraceEvent::Rejoin { who } => {
             words[0] = who.index() as u64;
             1
         }

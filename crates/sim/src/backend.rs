@@ -133,7 +133,7 @@ impl Backend for Sim {
 ///   cluster count `m`), more shards than the host has cores (epoch
 ///   barriers on an oversubscribed box cost more than they buy — the
 ///   `parscale` single-core regression), a zero
-///   [`ofa_scenario::DelayModel::min_delay`] (no conservative
+///   [`ofa_scenario::NetworkModel::min_delay`] (no conservative
 ///   lookahead), or a retained trace ([`Scenario::keep_trace`] — only
 ///   the sequential engines reproduce event *order*; the hash needs no
 ///   order and is always computed).
@@ -162,7 +162,7 @@ fn resolve_parallel(scenario: &Scenario, workers: u64, cores: usize) -> Engine {
         workers as usize
     };
     let shards = requested.min(scenario.partition.m());
-    if shards < 2 || shards > cores || scenario.delay.min_delay() == 0 || scenario.keep_trace {
+    if shards < 2 || shards > cores || scenario.network.min_delay() == 0 || scenario.keep_trace {
         Engine::EventDriven
     } else {
         Engine::ParallelEvent {
@@ -221,23 +221,23 @@ pub(crate) fn run_scenario(scenario: &Scenario) -> Outcome {
         seed: scenario.seed,
         costs: scenario.costs,
         crash_plan: scenario.crashes.clone(),
+        churn: scenario.churn.clone(),
         common_coin: scenario.build_coin(),
         observer: scenario.observer.clone(),
         keep_trace: scenario.keep_trace,
         max_events: scenario.max_events,
     };
+    let net = scenario.network.compile(&scenario.partition);
     let raw = match engine {
         Engine::Threads => {
-            let mut scheduler = TimedScheduler::new(scenario.seed, scenario.delay.clone());
+            let mut scheduler = TimedScheduler::new(scenario.seed, net);
             conduct(spec, &mut scheduler)
         }
         Engine::EventDriven => {
-            let mut scheduler = TimedScheduler::new(scenario.seed, scenario.delay.clone());
+            let mut scheduler = TimedScheduler::new(scenario.seed, net);
             conduct_event_driven(spec, &mut scheduler)
         }
-        Engine::ParallelEvent { workers } => {
-            conduct_parallel(spec, &scenario.delay, workers as usize)
-        }
+        Engine::ParallelEvent { workers } => conduct_parallel(spec, &net, workers as usize),
     };
     finish_outcome(engine, raw, started)
 }
@@ -320,19 +320,21 @@ fn run_leg(
         seed: scenario.seed,
         costs: scenario.costs,
         crash_plan: scenario.crashes.clone(),
+        churn: scenario.churn.clone(),
         common_coin: scenario.build_coin(),
         observer: None,
         keep_trace: false,
         max_events: scenario.max_events,
     };
+    let net = scenario.network.compile(&scenario.partition);
     let cut = stop_at.map(|t| t.ticks());
     let leg = match engine {
         Engine::EventDriven => {
-            let mut scheduler = TimedScheduler::new(scenario.seed, scenario.delay.clone());
+            let mut scheduler = TimedScheduler::new(scenario.seed, net);
             conduct_event_driven_leg(spec, &mut scheduler, resume, cut)
         }
         Engine::ParallelEvent { workers } => {
-            conduct_parallel_leg(spec, &scenario.delay, workers as usize, resume, cut)
+            conduct_parallel_leg(spec, &net, workers as usize, resume, cut)
         }
         Engine::Threads => unreachable!("checkpoint_engine rejects the thread engine"),
     };

@@ -15,7 +15,8 @@
 //! (`ofa-sharedmem` consensus objects).
 
 use crate::{
-    Body, CostModel, CrashPlan, CrashTrigger, DelayModel, TraceEvent, TraceRecorder, VirtualTime,
+    Body, ChurnPlan, CostModel, CrashPlan, CrashTrigger, Fate, NetIndex, TraceEvent, TraceRecorder,
+    VirtualTime,
 };
 use ofa_coins::{CommonCoin, LocalCoin, SeededLocalCoin};
 use ofa_core::{Bit, Decision, Env, Halt, Msg, MsgKind, ObsEvent, Observer, ProtocolConfig};
@@ -48,6 +49,13 @@ pub(crate) enum SchedEvent {
         /// Crash time (ticks).
         at: u64,
     },
+    /// Restart a churned process with fresh state.
+    Rejoin {
+        /// The returning process.
+        pid: ProcessId,
+        /// Rejoin time (ticks).
+        at: u64,
+    },
 }
 
 /// Orders pending deliveries and timed crashes. The production scheduler
@@ -67,6 +75,12 @@ pub(crate) trait Scheduler {
     }
     /// Registers a timed crash.
     fn push_crash(&mut self, pid: ProcessId, at: u64);
+    /// Registers a churn rejoin. Only schedulers driving churn-capable
+    /// engines need this; the default rejects it loudly.
+    fn push_rejoin(&mut self, pid: ProcessId, at: u64) {
+        let _ = at;
+        panic!("this scheduler does not support churn rejoins (process {pid})");
+    }
     /// Releases the next event, or `None` when quiescent.
     fn pop(&mut self) -> Option<SchedEvent>;
 }
@@ -112,6 +126,19 @@ impl EventKey {
             class: 0,
             from: pid.index() as u32,
             k: 0,
+            to: pid.index() as u32,
+        }
+    }
+
+    /// Rejoins share the crash class (they are lifecycle events of one
+    /// process, ordered before deliveries at the same instant) but use
+    /// `k = 1`: a process's rejoin is strictly later than its own leave,
+    /// and `k` keeps the key distinct from any crash key.
+    pub(crate) fn rejoin(pid: ProcessId) -> Self {
+        EventKey {
+            class: 0,
+            from: pid.index() as u32,
+            k: 1,
             to: pid.index() as u32,
         }
     }
@@ -167,12 +194,19 @@ impl<E> Ord for Keyed<E> {
 type HeapEntry = Keyed<Pending>;
 
 /// A popped [`Pending::Broadcast`] being expanded destination by
-/// destination.
+/// destination. Invariant under loss: `next` always indexes a
+/// destination whose send-time fate is *not* [`Fate::Lost`] (lost
+/// destinations are skipped eagerly when the drain advances), so
+/// [`TimedScheduler::next_at`] never promises an event the next
+/// [`Scheduler::pop`] would not release.
 #[derive(Debug)]
 struct Draining {
     from: ProcessId,
     msg: MsgKind,
     at: u64,
+    /// The sender's counter for destination 0 (destination `j` holds
+    /// `k0 + j`), needed to evaluate per-destination fates mid-drain.
+    k0: u64,
     next: u32,
     n: u32,
 }
@@ -207,26 +241,57 @@ impl SendCounters {
 }
 
 /// The production scheduler: delivery time = send time + the keyed delay
-/// of [`DelayModel::delay_of`]; ties broken by [`EventKey`]. Both are
-/// pure functions of the sender's local history, which is what makes the
-/// single-threaded engines and the sharded parallel engine agree on one
-/// global event order.
+/// of the compiled [`NetIndex`]; ties broken by [`EventKey`]. Loss,
+/// duplication, and delay are all pure functions of the sender's local
+/// history, which is what makes the single-threaded engines and the
+/// sharded parallel engine agree on one global event order.
 pub(crate) struct TimedScheduler {
     heap: BinaryHeap<HeapEntry>,
     seed: u64,
-    delay: DelayModel,
+    net: NetIndex,
     counters: SendCounters,
     draining: Option<Draining>,
 }
 
 impl TimedScheduler {
-    pub(crate) fn new(seed: u64, delay: DelayModel) -> Self {
+    pub(crate) fn new(seed: u64, net: NetIndex) -> Self {
         TimedScheduler {
             heap: BinaryHeap::new(),
             seed,
-            delay,
+            net,
             counters: SendCounters::default(),
             draining: None,
+        }
+    }
+
+    /// First destination `>= start` of a batched broadcast whose
+    /// send-time fate is not [`Fate::Lost`]. With loss disabled (the
+    /// common case) this returns `Some(start)` without sampling.
+    fn next_survivor(&self, from: ProcessId, k0: u64, start: u32, n: u32) -> Option<u32> {
+        (start..n).find(|&j| {
+            self.net
+                .fate_of(self.seed, from, ProcessId(j as usize), k0 + u64::from(j))
+                != Fate::Lost
+        })
+    }
+
+    /// If `(from, to, k)` was fated [`Fate::Dup`], schedules the second
+    /// copy. The extra delay is a fresh link-class sample, so it is at
+    /// least the class floor — which keeps duplicates at or beyond the
+    /// parallel engine's `min_delay` lookahead horizon.
+    fn maybe_push_dup(&mut self, from: ProcessId, to: ProcessId, k: u64, msg: MsgKind, at: u64) {
+        if self.net.fate_of(self.seed, from, to, k) == Fate::Dup {
+            let at2 = at + self.net.dup_extra_of(self.seed, from, to, k);
+            self.heap.push(HeapEntry {
+                at: at2,
+                key: EventKey::deliver(from, k, to),
+                ev: Pending::One(SchedEvent::Deliver {
+                    to,
+                    from,
+                    msg,
+                    at: at2,
+                }),
+            });
         }
     }
 
@@ -248,9 +313,9 @@ impl TimedScheduler {
 
     /// Exports every pending delivery in the canonical engine-independent
     /// checkpoint form (unsorted — the checkpoint codec sorts). Timed
-    /// crashes are *excluded*: they are re-derived from the resume
-    /// scenario's crash plan, which is what lets a divergent replay swap
-    /// the failure pattern of the tail.
+    /// crashes and churn rejoins are *excluded*: they are re-derived
+    /// from the resume scenario's crash and churn plans, which is what
+    /// lets a divergent replay swap the failure pattern of the tail.
     ///
     /// # Panics
     ///
@@ -274,7 +339,8 @@ impl TimedScheduler {
                         msg: *msg,
                     })
                 }
-                Pending::One(SchedEvent::Crash { .. }) => None,
+                Pending::One(SchedEvent::Crash { .. })
+                | Pending::One(SchedEvent::Rejoin { .. }) => None,
                 Pending::Broadcast { from, msg, at, .. } => {
                     Some(crate::checkpoint::CanonEvent::Broadcast {
                         at: *at,
@@ -317,6 +383,13 @@ impl TimedScheduler {
                 }
                 crate::checkpoint::CanonEvent::Broadcast { at, from, k0, msg } => {
                     let from = ProcessId(from as usize);
+                    // Re-check survivorship under the restoring seed: a
+                    // divergent resume may change per-destination fates,
+                    // and the heap invariant is that every enqueued
+                    // broadcast delivers to at least one destination.
+                    if self.next_survivor(from, k0, 0, n).is_none() {
+                        continue;
+                    }
                     self.heap.push(HeapEntry {
                         at,
                         key: EventKey::deliver(from, k0, ProcessId(0)),
@@ -331,25 +404,41 @@ impl TimedScheduler {
 impl Scheduler for TimedScheduler {
     fn push_send(&mut self, from: ProcessId, to: ProcessId, msg: MsgKind, sent_at: u64) {
         let k = self.counters.take(from, 1);
-        let at = sent_at + self.delay.delay_of(self.seed, from, to, k);
-        self.heap.push(HeapEntry {
-            at,
-            key: EventKey::deliver(from, k, to),
-            ev: Pending::One(SchedEvent::Deliver { to, from, msg, at }),
-        });
+        match self.net.fate_of(self.seed, from, to, k) {
+            // Lost messages still consume the counter (the fate is part
+            // of the message's identity) but schedule nothing.
+            Fate::Lost => {}
+            fate => {
+                let at = sent_at + self.net.delay_of(self.seed, from, to, k);
+                self.heap.push(HeapEntry {
+                    at,
+                    key: EventKey::deliver(from, k, to),
+                    ev: Pending::One(SchedEvent::Deliver { to, from, msg, at }),
+                });
+                if fate == Fate::Dup {
+                    self.maybe_push_dup(from, to, k, msg, at);
+                }
+            }
+        }
     }
 
     fn push_broadcast(&mut self, from: ProcessId, msg: MsgKind, sent_at: u64, n: usize) {
         if n == 0 {
             return;
         }
-        if let DelayModel::Constant(d) = &self.delay {
+        if let Some(d) = self.net.constant_broadcast_delay() {
             // Every destination shares one delivery time, so the whole
             // broadcast is a single heap entry occupying `n` consecutive
             // sender-counter values (see `Pending::Broadcast` for why the
-            // expansion order is exact).
+            // expansion order is exact). Under loss, a broadcast whose
+            // every destination is fated lost is never enqueued at all —
+            // that keeps `next_at` honest (the heap never holds an entry
+            // that would release no event).
             let at = sent_at + d;
             let k = self.counters.take(from, n as u64);
+            if self.next_survivor(from, k, 0, n as u32).is_none() {
+                return;
+            }
             self.heap.push(HeapEntry {
                 at,
                 key: EventKey::deliver(from, k, ProcessId(0)),
@@ -378,39 +467,49 @@ impl Scheduler for TimedScheduler {
         });
     }
 
+    fn push_rejoin(&mut self, pid: ProcessId, at: u64) {
+        self.heap.push(HeapEntry {
+            at,
+            key: EventKey::rejoin(pid),
+            ev: Pending::One(SchedEvent::Rejoin { pid, at }),
+        });
+    }
+
     fn pop(&mut self) -> Option<SchedEvent> {
-        if let Some(b) = &mut self.draining {
-            let to = ProcessId(b.next as usize);
-            b.next += 1;
-            let ev = SchedEvent::Deliver {
-                to,
-                from: b.from,
-                msg: b.msg,
-                at: b.at,
-            };
-            if b.next == b.n {
-                self.draining = None;
+        if let Some(b) = &self.draining {
+            let (from, msg, at, k0, j, n) = (b.from, b.msg, b.at, b.k0, b.next, b.n);
+            let to = ProcessId(j as usize);
+            let k = k0 + u64::from(j);
+            // Advance to the next *surviving* destination (or finish),
+            // preserving the `Draining` invariant for `next_at`.
+            match self.next_survivor(from, k0, j + 1, n) {
+                Some(nj) => self.draining.as_mut().expect("drain active").next = nj,
+                None => self.draining = None,
             }
-            return Some(ev);
+            self.maybe_push_dup(from, to, k, msg, at);
+            return Some(SchedEvent::Deliver { to, from, msg, at });
         }
-        match self.heap.pop()?.ev {
+        let entry = self.heap.pop()?;
+        match entry.ev {
             Pending::One(ev) => Some(ev),
             Pending::Broadcast { from, msg, at, n } => {
-                if n > 1 {
+                let k0 = entry.key.k;
+                let first = self
+                    .next_survivor(from, k0, 0, n)
+                    .expect("broadcasts with no surviving destination are never enqueued");
+                if let Some(nj) = self.next_survivor(from, k0, first + 1, n) {
                     self.draining = Some(Draining {
                         from,
                         msg,
                         at,
-                        next: 1,
+                        k0,
+                        next: nj,
                         n,
                     });
                 }
-                Some(SchedEvent::Deliver {
-                    to: ProcessId(0),
-                    from,
-                    msg,
-                    at,
-                })
+                let to = ProcessId(first as usize);
+                self.maybe_push_dup(from, to, k0 + u64::from(first), msg, at);
+                Some(SchedEvent::Deliver { to, from, msg, at })
             }
         }
     }
@@ -651,6 +750,63 @@ struct Seat {
     finished: Option<(Result<Decision, Halt>, u64)>,
 }
 
+/// Domain separator folded into the master seed for the local-coin
+/// stream of a rejoined process: a second incarnation must not replay
+/// its first incarnation's coin flips. Shared by all engines.
+const REJOIN_COIN_DOMAIN: u64 = 0x8E01_12EC_015E_ED01;
+
+/// The local-coin seed used by every engine for rejoined incarnations.
+pub(crate) fn rejoin_coin_seed(seed: u64) -> u64 {
+    seed ^ REJOIN_COIN_DOMAIN
+}
+
+/// Spawns one process thread, parked until its first baton. `init_clock`
+/// is 0 at run start; a rejoined incarnation starts at the rejoin time
+/// (or the clock its first incarnation crashed at, whichever is later),
+/// exactly like the event-driven engines.
+fn spawn_seat(
+    i: usize,
+    init_clock: u64,
+    coin_seed: u64,
+    shared: &Arc<Shared>,
+    body: &Body,
+    config: ProtocolConfig,
+    proposal: Bit,
+) -> Seat {
+    let (go_tx, go_rx) = mpsc::sync_channel::<()>(0);
+    let (yield_tx, yield_rx) = mpsc::channel::<YieldMsg>();
+    let shared_cl = Arc::clone(shared);
+    let body = body.clone();
+    let join = std::thread::Builder::new()
+        .name(format!("sim-p{}", i + 1))
+        .spawn(move || {
+            let mut env = SimEnv {
+                me: ProcessId(i),
+                shared: shared_cl,
+                go_rx,
+                yield_tx,
+                clock: init_clock,
+                steps: 0,
+                crashed_self: false,
+                local_coin: SeededLocalCoin::for_process(coin_seed, ProcessId(i)),
+            };
+            // Wait for the first baton; if the conductor vanished, exit.
+            if env.go_rx.recv().is_err() {
+                return;
+            }
+            let result = body.run(&mut env, proposal, &config);
+            let clock = env.clock;
+            let _ = env.yield_tx.send(YieldMsg::Finished { result, clock });
+        })
+        .expect("spawn simulated process thread");
+    Seat {
+        go_tx,
+        yield_rx,
+        join: Some(join),
+        finished: None,
+    }
+}
+
 /// Everything needed to run one simulated execution.
 pub(crate) struct RunSpec {
     pub partition: Partition,
@@ -660,6 +816,7 @@ pub(crate) struct RunSpec {
     pub seed: u64,
     pub costs: CostModel,
     pub crash_plan: CrashPlan,
+    pub churn: ChurnPlan,
     pub common_coin: Arc<dyn CommonCoin>,
     pub observer: Option<Arc<dyn Observer>>,
     pub keep_trace: bool,
@@ -712,45 +869,27 @@ pub(crate) fn conduct<S: Scheduler>(spec: RunSpec, scheduler: &mut S) -> RawOutc
             scheduler.push_crash(pid, t.ticks());
         }
     }
+    // Churn leaves are crashes (identical semantics to the peers);
+    // rejoins restart the process with a fresh seat.
+    for (pid, e) in spec.churn.iter() {
+        scheduler.push_crash(pid, e.leave.ticks());
+        if let Some(r) = e.rejoin {
+            scheduler.push_rejoin(pid, r.ticks());
+        }
+    }
 
     // Spawn one thread per process; each waits for its first baton.
     let mut seats: Vec<Seat> = Vec::with_capacity(n);
     for i in 0..n {
-        let (go_tx, go_rx) = mpsc::sync_channel::<()>(0);
-        let (yield_tx, yield_rx) = mpsc::channel::<YieldMsg>();
-        let shared_cl = Arc::clone(&shared);
-        let body = spec.body.clone();
-        let config = spec.config;
-        let proposal = spec.proposals[i];
-        let seed = spec.seed;
-        let join = std::thread::Builder::new()
-            .name(format!("sim-p{}", i + 1))
-            .spawn(move || {
-                let mut env = SimEnv {
-                    me: ProcessId(i),
-                    shared: shared_cl,
-                    go_rx,
-                    yield_tx,
-                    clock: 0,
-                    steps: 0,
-                    crashed_self: false,
-                    local_coin: SeededLocalCoin::for_process(seed, ProcessId(i)),
-                };
-                // Wait for the first baton; if the conductor vanished, exit.
-                if env.go_rx.recv().is_err() {
-                    return;
-                }
-                let result = body.run(&mut env, proposal, &config);
-                let clock = env.clock;
-                let _ = env.yield_tx.send(YieldMsg::Finished { result, clock });
-            })
-            .expect("spawn simulated process thread");
-        seats.push(Seat {
-            go_tx,
-            yield_rx,
-            join: Some(join),
-            finished: None,
-        });
+        seats.push(spawn_seat(
+            i,
+            0,
+            spec.seed,
+            &shared,
+            &spec.body,
+            spec.config,
+            spec.proposals[i],
+        ));
     }
 
     let run_burst = |seats: &mut Vec<Seat>, shared: &Arc<Shared>, pid: usize| {
@@ -842,6 +981,37 @@ pub(crate) fn conduct<S: Scheduler>(spec: RunSpec, scheduler: &mut S) -> RawOutc
                     .lock()
                     .record(VirtualTime::from_ticks(at), TraceEvent::Crash { who: pid });
                 shared.wake_time[i].fetch_max(at, Ordering::SeqCst);
+                run_burst(&mut seats, &shared, i);
+                drain_outbox(&shared, scheduler);
+            }
+            SchedEvent::Rejoin { pid, at } => {
+                end_time = end_time.max(at);
+                let i = pid.index();
+                // A process that decided before its scheduled leave
+                // ignored the leave; it ignores the rejoin too.
+                if !matches!(seats[i].finished, Some((Err(Halt::Crashed), _))) {
+                    continue;
+                }
+                shared
+                    .trace
+                    .lock()
+                    .record(VirtualTime::from_ticks(at), TraceEvent::Rejoin { who: pid });
+                let crash_clock = seats[i].finished.as_ref().map(|(_, c)| *c).unwrap_or(0);
+                let clock = crash_clock.max(at);
+                shared.crashed[i].store(false, Ordering::SeqCst);
+                shared.queues[i].lock().clear();
+                shared.wake_time[i].store(clock, Ordering::SeqCst);
+                // Fresh seat: new mailbox, rejoin-domain coin stream,
+                // original proposal; metric counters (Arc) persist.
+                seats[i] = spawn_seat(
+                    i,
+                    clock,
+                    rejoin_coin_seed(spec.seed),
+                    &shared,
+                    &spec.body,
+                    spec.config,
+                    spec.proposals[i],
+                );
                 run_burst(&mut seats, &shared, i);
                 drain_outbox(&shared, scheduler);
             }

@@ -24,7 +24,9 @@
 //! `smrscale` experiment).
 
 use crate::checkpoint::{EngineSnap, ProcSnap};
-use crate::conductor::{RawOutcome, RunSpec, SchedEvent, Scheduler, TimedScheduler};
+use crate::conductor::{
+    rejoin_coin_seed, RawOutcome, RunSpec, SchedEvent, Scheduler, TimedScheduler,
+};
 use ofa_coins::{CommonCoin, LocalCoin, SeededLocalCoin};
 use ofa_core::sm::{
     ConsensusSm, LogSm, MultivaluedSm, MvProgress, OutItem, Progress, SmCtx, SmTopology,
@@ -288,6 +290,21 @@ impl ProcState {
         self.clock = self.clock.max(at);
     }
 
+    /// Resets runtime state for a churn rejoin: the second incarnation
+    /// starts with a fresh step count and the rejoin-domain coin stream,
+    /// its clock at the rejoin time (or the clock the first incarnation
+    /// crashed at, whichever is later — matching the conductor's fresh
+    /// seat). Metric counters persist across incarnations; churned
+    /// processes never carry crash triggers (the plans are disjoint).
+    pub(crate) fn rejoin(&mut self, coin_seed: u64, pid: ProcessId, at: u64) {
+        let crash_clock = self.finished.as_ref().map(|(_, c)| *c).unwrap_or(0);
+        self.clock = crash_clock.max(at);
+        self.steps = 0;
+        self.crashed_self = false;
+        self.local_coin = SeededLocalCoin::for_process(coin_seed, pid);
+        self.finished = None;
+    }
+
     /// Records the terminal trace event and stores the result — what the
     /// conductor does when a process thread reports `Finished`. Shared by
     /// both event-driven engines.
@@ -496,6 +513,13 @@ struct Engine<'a, S: Scheduler> {
     trace: TraceRecorder,
     scheduler: &'a mut S,
     n: usize,
+    // Rejoin inputs: a churned process restarts from its original
+    // proposal with a freshly built machine.
+    topo: Arc<SmTopology>,
+    body: Body,
+    proposals: Vec<Bit>,
+    config: ProtocolConfig,
+    seed: u64,
 }
 
 impl<S: Scheduler> Engine<'_, S> {
@@ -649,6 +673,11 @@ pub(crate) fn conduct_event_driven_leg(
         },
         scheduler,
         n,
+        topo,
+        body: spec.body,
+        proposals: spec.proposals,
+        config,
+        seed: spec.seed,
     };
 
     if let Some(snap) = resume {
@@ -667,11 +696,31 @@ pub(crate) fn conduct_event_driven_leg(
                 }
             }
         }
+        // Churn is re-seeded the same way. A rejoin after the cut whose
+        // leave was *before* the cut still fires: the leave is already
+        // in the trace, the rejoin is not.
+        for (pid, e) in spec.churn.iter() {
+            if e.leave.ticks() >= snap.at {
+                engine.scheduler.push_crash(pid, e.leave.ticks());
+            }
+            if let Some(r) = e.rejoin {
+                if r.ticks() >= snap.at {
+                    engine.scheduler.push_rejoin(pid, r.ticks());
+                }
+            }
+        }
     } else {
         // Schedule the timed crashes up front.
         for (pid, trig) in engine.crash_plan.iter() {
             if let CrashTrigger::AtTime(t) = trig {
                 engine.scheduler.push_crash(pid, t.ticks());
+            }
+        }
+        // Churn leaves are crashes; rejoins restart the process.
+        for (pid, e) in spec.churn.iter() {
+            engine.scheduler.push_crash(pid, e.leave.ticks());
+            if let Some(r) = e.rejoin {
+                engine.scheduler.push_rejoin(pid, r.ticks());
             }
         }
 
@@ -750,6 +799,30 @@ pub(crate) fn conduct_event_driven_leg(
                     .record(VirtualTime::from_ticks(at), TraceEvent::Crash { who: pid });
                 engine.procs[i].on_crash_event(at);
                 engine.dispatch(i, Input::End(Halt::Crashed));
+            }
+            SchedEvent::Rejoin { pid, at } => {
+                end_time = end_time.max(at);
+                let i = pid.index();
+                // A process that decided before its scheduled leave
+                // ignored the leave; it ignores the rejoin too.
+                if !matches!(engine.procs[i].finished, Some((Err(Halt::Crashed), _))) {
+                    continue;
+                }
+                engine
+                    .trace
+                    .record(VirtualTime::from_ticks(at), TraceEvent::Rejoin { who: pid });
+                // Fresh machine (fresh mailbox, original proposal),
+                // reset runtime state, rejoin-domain coin stream —
+                // exactly the conductor's fresh seat.
+                engine.machines[i] = Machine::build(
+                    &engine.body,
+                    i,
+                    &engine.topo,
+                    &engine.proposals,
+                    engine.config,
+                );
+                engine.procs[i].rejoin(rejoin_coin_seed(engine.seed), pid, at);
+                engine.dispatch(i, Input::Start);
             }
         }
     }

@@ -189,6 +189,7 @@ impl Explorer {
             seed: self.seed,
             costs: crate::CostModel::default(),
             crash_plan: self.crash_plan.clone(),
+            churn: crate::ChurnPlan::new(),
             common_coin: Arc::new(SeededCommonCoin::new(self.seed)),
             observer: Some(checker.clone()),
             keep_trace: false,

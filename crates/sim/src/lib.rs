@@ -87,7 +87,8 @@ pub use explorer::{ExploreReport, Explorer};
 // it now lives in `ofa-scenario` and is re-exported here so existing
 // `ofa_sim::{CrashPlan, …}` imports keep working.
 pub use ofa_scenario::{
-    Backend, Body, CoinSpec, CostModel, CrashPlan, CrashTrigger, DelayModel, Engine, Outcome,
+    Backend, Body, ChurnEvent, ChurnPlan, CoinSpec, CostModel, CrashPlan, CrashTrigger, DelayModel,
+    Engine, Fate, LatencyDist, LinkClasses, LinkOverride, NetIndex, NetworkModel, Outcome,
     ProcessBody, Scenario, Sweep, SweepReport, SweepRun, SweepView, TimedEvent, TraceEvent,
     TraceRecorder, VirtualTime,
 };

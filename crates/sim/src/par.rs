@@ -15,9 +15,11 @@
 //! Everything order-sensitive in a run was made a *pure function of the
 //! scenario* in this engine's companion refactor:
 //!
-//! * **Delays** come from [`ofa_scenario::DelayModel::delay_of`], keyed
-//!   by `(seed, sender, destination, sender-counter)` — no shared RNG
-//!   stream to race on.
+//! * **Delays, loss, and duplication** come from the compiled
+//!   [`ofa_scenario::NetworkModel`] ([`NetIndex`]), keyed by
+//!   `(seed, sender, destination, sender-counter)` — no shared RNG
+//!   stream to race on, and message fates resolve identically wherever
+//!   they are evaluated.
 //! * **Tie-breaks** come from the deterministic
 //!   [`EventKey`](crate::conductor) total order — no registration
 //!   sequence numbers.
@@ -36,7 +38,7 @@
 //!
 //! # The epoch barrier
 //!
-//! Every message takes at least [`DelayModel::min_delay`] ticks, so an
+//! Every message takes at least [`NetIndex::min_delay`] ticks, so an
 //! event processed at virtual time `t` can only schedule deliveries at
 //! `t + min_delay` or later (send timestamps never precede the event
 //! being dispatched). With the epoch `[T, T + min_delay)`, the event set
@@ -63,12 +65,12 @@
 //! [`Engine`](ofa_scenario::Engine) docs.
 
 use crate::checkpoint::{CanonEvent, EngineSnap, ProcSnap};
-use crate::conductor::{EventKey, Keyed, RawOutcome, RunSpec, SendCounters};
+use crate::conductor::{rejoin_coin_seed, EventKey, Keyed, RawOutcome, RunSpec, SendCounters};
 use crate::engine::{Input, LegResult, Machine, ProcState};
 use ofa_core::sm::{OutItem, Progress, SmTopology};
-use ofa_core::{Decision, Halt, Msg, MsgKind};
+use ofa_core::{Bit, Decision, Halt, Msg, MsgKind};
 use ofa_metrics::CounterSnapshot;
-use ofa_scenario::{CrashTrigger, DelayModel, TraceEvent, TraceRecorder, VirtualTime};
+use ofa_scenario::{Body, CrashTrigger, Fate, NetIndex, TraceEvent, TraceRecorder, VirtualTime};
 use ofa_sharedmem::MemoryBank;
 use ofa_topology::ProcessId;
 use std::cmp::Reverse;
@@ -104,6 +106,7 @@ enum SPending {
     Deliver { to: u32, from: u32, msg: MsgKind },
     Broadcast { from: u32, k0: u64, msg: MsgKind },
     Crash { pid: u32 },
+    Rejoin { pid: u32 },
 }
 
 /// A shard-heap slot: the sequential scheduler's earliest-first
@@ -210,8 +213,13 @@ struct ShardState {
     trace: TraceRecorder,
     heap: BinaryHeap<SEntry>,
     counters: SendCounters,
-    delay: DelayModel,
+    net: NetIndex,
     seed: u64,
+    // Rejoin inputs: a churned member restarts from its original
+    // proposal with a freshly built machine.
+    body: Body,
+    proposals: Vec<Bit>,
+    config: ofa_core::ProtocolConfig,
     /// The current epoch's events, in `(time, key)` order.
     epoch: Vec<SEntry>,
     /// Barrier-bound sends, indexed by destination shard.
@@ -230,13 +238,27 @@ impl ShardState {
         match item {
             OutItem::One(o) => {
                 let k = self.counters.take(from, 1);
-                let at = o.sent_at + self.delay.delay_of(self.seed, from, o.to, k);
-                self.route_one(from, o.to, k, at, o.msg);
+                match self.net.fate_of(self.seed, from, o.to, k) {
+                    // Lost messages consume the counter but route nothing.
+                    Fate::Lost => {}
+                    fate => {
+                        let at = o.sent_at + self.net.delay_of(self.seed, from, o.to, k);
+                        self.route_one(from, o.to, k, at, o.msg);
+                        if fate == Fate::Dup {
+                            // The copy shares the key (same at2 on every
+                            // engine: the extra delay is a fresh sample of
+                            // the link class, so it is >= the lookahead).
+                            let at2 = at + self.net.dup_extra_of(self.seed, from, o.to, k);
+                            self.route_one(from, o.to, k, at2, o.msg);
+                        }
+                    }
+                }
             }
             OutItem::Broadcast { msg, sent_at } => {
-                if let DelayModel::Constant(d) = &self.delay {
+                if let Some(d) = self.net.constant_broadcast_delay() {
                     // Batched end to end: one local heap entry plus one
-                    // descriptor per *other shard*.
+                    // descriptor per *other shard*. Per-destination fates
+                    // resolve lazily wherever the descriptor expands.
                     let at = sent_at + d;
                     let k0 = self.counters.take(from, self.n as u64);
                     let from_u = from.index() as u32;
@@ -263,12 +285,39 @@ impl ShardState {
                     for j in 0..self.n {
                         let to = ProcessId(j);
                         let k = self.counters.take(from, 1);
-                        let at = sent_at + self.delay.delay_of(self.seed, from, to, k);
-                        self.route_one(from, to, k, at, msg);
+                        match self.net.fate_of(self.seed, from, to, k) {
+                            Fate::Lost => {}
+                            fate => {
+                                let at = sent_at + self.net.delay_of(self.seed, from, to, k);
+                                self.route_one(from, to, k, at, msg);
+                                if fate == Fate::Dup {
+                                    let at2 = at + self.net.dup_extra_of(self.seed, from, to, k);
+                                    self.route_one(from, to, k, at2, msg);
+                                }
+                            }
+                        }
                     }
                 }
             }
         }
+    }
+
+    /// How many of this shard's members a batched broadcast actually
+    /// reaches (its non-lost destinations here). With loss disabled this
+    /// is every member, without sampling.
+    fn shard_survivors(&self, from: u32, k0: u64) -> u64 {
+        if self.net.loss_ppm() == 0 {
+            return self.members.len() as u64;
+        }
+        let from = ProcessId(from as usize);
+        self.members
+            .iter()
+            .filter(|&&g| {
+                self.net
+                    .fate_of(self.seed, from, ProcessId(g as usize), k0 + u64::from(g))
+                    != Fate::Lost
+            })
+            .count() as u64
     }
 
     fn route_one(&mut self, from: ProcessId, to: ProcessId, k: u64, at: u64, msg: MsgKind) {
@@ -369,6 +418,30 @@ impl ShardState {
         self.dispatch(li, Input::End(Halt::Crashed));
     }
 
+    /// Restarts a churned member — identical to the sequential engines:
+    /// fresh machine (fresh mailbox, original proposal), reset runtime
+    /// state, rejoin-domain coin stream; metric counters persist.
+    fn rejoin(&mut self, pid: u32, at: u64) {
+        let li = self.local_of[pid as usize] as usize;
+        // A process that decided before its scheduled leave ignored the
+        // leave; it ignores the rejoin too.
+        if !matches!(self.procs[li].finished, Some((Err(Halt::Crashed), _))) {
+            return;
+        }
+        let who = ProcessId(pid as usize);
+        self.trace
+            .record(VirtualTime::from_ticks(at), TraceEvent::Rejoin { who });
+        self.machines[li] = Machine::build(
+            &self.body,
+            pid as usize,
+            &self.topo,
+            &self.proposals,
+            self.config,
+        );
+        self.procs[li].rejoin(rejoin_coin_seed(self.seed), who, at);
+        self.dispatch(li, Input::Start);
+    }
+
     /// Initial steps for the shard's processes, ascending — the global
     /// start order restricted to this shard. A resumed shard skips the
     /// dispatches (they happened in the original leg) but still reports,
@@ -394,7 +467,10 @@ impl ShardState {
             }
             let e = self.heap.pop().expect("peeked");
             count += match e.ev {
-                SPending::Broadcast { .. } => self.members.len() as u64,
+                // A batched broadcast delivers only to its non-lost
+                // members — lost destinations are never events, matching
+                // the sequential scheduler's survivor-only expansion.
+                SPending::Broadcast { from, k0, .. } => self.shard_survivors(from, k0),
                 _ => 1,
             };
             self.epoch.push(e);
@@ -410,11 +486,13 @@ impl ShardState {
             match e.ev {
                 SPending::Broadcast { from, k0, .. } => {
                     let from = ProcessId(from as usize);
-                    keys.extend(self.members.iter().map(|&g| {
-                        (
-                            e.at,
-                            EventKey::deliver(from, k0 + g as u64, ProcessId(g as usize)),
-                        )
+                    keys.extend(self.members.iter().filter_map(|&g| {
+                        let k = k0 + u64::from(g);
+                        let to = ProcessId(g as usize);
+                        // Lost destinations are not events; only the
+                        // surviving expansions compete for the budget.
+                        (self.net.fate_of(self.seed, from, to, k) != Fate::Lost)
+                            .then(|| (e.at, EventKey::deliver(from, k, to)))
                     }));
                 }
                 _ => keys.push((e.at, e.key)),
@@ -447,14 +525,44 @@ impl ShardState {
                     self.end_time = self.end_time.max(e.at);
                     self.crash(pid, e.at);
                 }
-                SPending::Broadcast { from, k0: _, msg } => {
+                SPending::Rejoin { pid } => {
+                    if processed == limit {
+                        break 'events;
+                    }
+                    processed += 1;
+                    self.end_time = self.end_time.max(e.at);
+                    self.rejoin(pid, e.at);
+                }
+                SPending::Broadcast { from, k0, msg } => {
+                    let from_p = ProcessId(from as usize);
                     for mi in 0..self.members.len() {
+                        let g = self.members[mi];
+                        let k = k0 + u64::from(g);
+                        let to = ProcessId(g as usize);
+                        let fate = self.net.fate_of(self.seed, from_p, to, k);
+                        if fate == Fate::Lost {
+                            // Not an event: uncounted, no budget consumed.
+                            continue;
+                        }
                         if processed == limit {
                             break 'events;
                         }
                         processed += 1;
                         self.end_time = self.end_time.max(e.at);
-                        self.deliver(self.members[mi], from, msg, e.at);
+                        if fate == Fate::Dup {
+                            // Same copy the sequential scheduler pushes
+                            // when it expands this destination: key
+                            // reused, fresh link-class extra delay (>=
+                            // the lookahead, so it lands in a later
+                            // epoch's collection window).
+                            let at2 = e.at + self.net.dup_extra_of(self.seed, from_p, to, k);
+                            self.heap.push(Keyed {
+                                at: at2,
+                                key: EventKey::deliver(from_p, k, to),
+                                ev: SPending::Deliver { to: g, from, msg },
+                            });
+                        }
+                        self.deliver(g, from, msg, e.at);
                     }
                 }
             }
@@ -536,13 +644,18 @@ impl ShardState {
                     to,
                     msg,
                 }),
-                SPending::Broadcast { from, k0, msg } => Some(CanonEvent::Broadcast {
-                    at: e.at,
-                    from,
-                    k0,
-                    msg,
-                }),
-                SPending::Crash { .. } => None,
+                // A descriptor none of whose local members survive is
+                // omitted: the sequential scheduler only enqueues (and so
+                // only checkpoints) broadcasts with at least one
+                // survivor, and some owning shard exports the rest.
+                SPending::Broadcast { from, k0, msg } => (self.shard_survivors(from, k0) > 0)
+                    .then_some(CanonEvent::Broadcast {
+                        at: e.at,
+                        from,
+                        k0,
+                        msg,
+                    }),
+                SPending::Crash { .. } | SPending::Rejoin { .. } => None,
             })
             .collect();
         Box::new(ShardSnap {
@@ -643,9 +756,9 @@ fn assign_clusters(sizes: &[usize], shards: usize) -> Vec<usize> {
 ///
 /// The caller (the backend's engine resolution) guarantees a declarative
 /// body, `workers >= 2` after capping by the cluster count, a non-zero
-/// [`DelayModel::min_delay`] lookahead, and no trace retention.
-pub(crate) fn conduct_parallel(spec: RunSpec, delay: &DelayModel, workers: usize) -> RawOutcome {
-    match conduct_parallel_leg(spec, delay, workers, None, None) {
+/// [`NetIndex::min_delay`] lookahead, and no trace retention.
+pub(crate) fn conduct_parallel(spec: RunSpec, net: &NetIndex, workers: usize) -> RawOutcome {
+    match conduct_parallel_leg(spec, net, workers, None, None) {
         LegResult::Done(out) => out,
         LegResult::Paused(_) => unreachable!("no cut was requested"),
     }
@@ -663,7 +776,7 @@ pub(crate) fn conduct_parallel(spec: RunSpec, delay: &DelayModel, workers: usize
 /// writes, so legs can hop between engines and worker counts freely.
 pub(crate) fn conduct_parallel_leg(
     spec: RunSpec,
-    delay: &DelayModel,
+    net: &NetIndex,
     workers: usize,
     resume: Option<&EngineSnap>,
     stop_at: Option<u64>,
@@ -675,7 +788,7 @@ pub(crate) fn conduct_parallel_leg(
         "need one proposal per process (got {} for n={n})",
         spec.proposals.len()
     );
-    let lookahead = delay.min_delay();
+    let lookahead = net.min_delay();
     assert!(lookahead > 0, "parallel engine needs a positive lookahead");
     let shards = workers.clamp(1, spec.partition.m());
 
@@ -722,7 +835,7 @@ pub(crate) fn conduct_parallel_leg(
             let reply_tx = reply_tx.clone();
             let (topo, owner, local_of) =
                 (Arc::clone(&topo), Arc::clone(&owner), Arc::clone(&local_of));
-            let (bank, delay) = (bank.clone(), delay.clone());
+            let (bank, net) = (bank.clone(), net.clone());
             scope.spawn(move || {
                 let mut st = ShardState {
                     id,
@@ -789,8 +902,11 @@ pub(crate) fn conduct_parallel_leg(
                         // its members' entries advance here.
                         Some(snap) => SendCounters::from_values(snap.send_counters.clone()),
                     },
-                    delay,
+                    net,
                     seed: spec_ref.seed,
+                    body: spec_ref.body.clone(),
+                    proposals: spec_ref.proposals.clone(),
+                    config: spec_ref.config,
                     epoch: Vec::new(),
                     outgoing: fresh_buffers(shards),
                     end_time: 0,
@@ -849,6 +965,33 @@ pub(crate) fn conduct_parallel_leg(
                                     at: t.ticks(),
                                     key: EventKey::crash(pid),
                                     ev: SPending::Crash {
+                                        pid: pid.index() as u32,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+                // Churn leaves are crashes; rejoins restart the member.
+                // Same re-seeding rule on resume — a rejoin after the
+                // cut fires even when its leave is already history.
+                for (pid, e) in spec_ref.churn.iter() {
+                    if st.owner[pid.index()] as usize == id {
+                        if e.leave.ticks() >= seeded_from {
+                            st.heap.push(Keyed {
+                                at: e.leave.ticks(),
+                                key: EventKey::crash(pid),
+                                ev: SPending::Crash {
+                                    pid: pid.index() as u32,
+                                },
+                            });
+                        }
+                        if let Some(r) = e.rejoin {
+                            if r.ticks() >= seeded_from {
+                                st.heap.push(Keyed {
+                                    at: r.ticks(),
+                                    key: EventKey::rejoin(pid),
+                                    ev: SPending::Rejoin {
                                         pid: pid.index() as u32,
                                     },
                                 });

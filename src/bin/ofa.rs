@@ -45,6 +45,15 @@ OPTIONS:
                        K=0 crashes before any step)
     --crash pI@rR      crash process I when it enters round R
     --crash pI@tT      crash process I at virtual time T
+    --loss P           drop each message with probability P ppm (parts per
+                       million, 0..=1000000) — deterministic per (seed,
+                       link, message) [default: 0]
+    --dup P            duplicate each delivered message with probability P
+                       ppm; the copy arrives after an extra link delay
+                       [default: 0]
+    --churn pI@tT+rR   process I leaves (crashes) at virtual time T and
+                       rejoins at virtual time R with a fresh mailbox
+                       (repeatable; omit +rR for a leave without rejoin)
     --max-rounds R     round budget [default: 512]
     --trace            print the full event trace (simulator only)
     --engine E         simulator process engine: event (single-threaded
@@ -91,6 +100,9 @@ struct Options {
     ones: Option<usize>,
     seed: u64,
     crashes: Vec<(usize, CrashWhen)>,
+    loss_ppm: u32,
+    dup_ppm: u32,
+    churn: Vec<(usize, u64, Option<u64>)>,
     max_rounds: u64,
     trace: bool,
     engine: Option<Engine>,
@@ -120,6 +132,9 @@ fn parse_args() -> Result<Options, String> {
         ones: None,
         seed: 0,
         crashes: Vec::new(),
+        loss_ppm: 0,
+        dup_ppm: 0,
+        churn: Vec::new(),
         max_rounds: 512,
         trace: false,
         engine: None,
@@ -181,6 +196,16 @@ fn parse_args() -> Result<Options, String> {
             "--crash" => {
                 let spec = value(&mut i)?;
                 opts.crashes.push(parse_crash(&spec)?);
+            }
+            "--loss" => {
+                opts.loss_ppm = parse_ppm(&value(&mut i)?, "--loss")?;
+            }
+            "--dup" => {
+                opts.dup_ppm = parse_ppm(&value(&mut i)?, "--dup")?;
+            }
+            "--churn" => {
+                let spec = value(&mut i)?;
+                opts.churn.push(parse_churn(&spec)?);
             }
             "--trace" => opts.trace = true,
             "--engine" => {
@@ -255,6 +280,9 @@ fn parse_args() -> Result<Options, String> {
     if (checkpointing || opts.resume.is_some()) && opts.runtime {
         return Err("checkpoint/resume runs on the simulator, not --runtime".into());
     }
+    if opts.runtime && (opts.loss_ppm > 0 || opts.dup_ppm > 0 || !opts.churn.is_empty()) {
+        return Err("--loss/--dup/--churn model the simulated network, not --runtime".into());
+    }
     if (checkpointing || opts.resume.is_some()) && opts.trace {
         return Err("checkpointing cannot retain an ordered trace (drop --trace)".into());
     }
@@ -302,6 +330,62 @@ fn parse_crash(spec: &str) -> Result<(usize, CrashWhen), String> {
     Ok((pid - 1, when))
 }
 
+/// Parses a parts-per-million rate (`0..=1_000_000`).
+fn parse_ppm(raw: &str, flag: &str) -> Result<u32, String> {
+    let ppm: u32 = raw
+        .parse()
+        .map_err(|e: std::num::ParseIntError| format!("bad {flag} value {raw:?}: {e}"))?;
+    if ppm > 1_000_000 {
+        return Err(format!("{flag} is parts per million (max 1000000)"));
+    }
+    Ok(ppm)
+}
+
+/// Parses `pI@tT+rR` (leave at time T, rejoin at time R) or `pI@tT`
+/// (leave only) into a 0-based process index plus tick times.
+fn parse_churn(spec: &str) -> Result<(usize, u64, Option<u64>), String> {
+    let bad = || format!("bad churn spec {spec:?}, expected pI@tT+rR or pI@tT");
+    let (proc_part, when_part) = spec.split_once('@').ok_or_else(bad)?;
+    let pid: usize = proc_part
+        .trim_start_matches('p')
+        .parse()
+        .map_err(|e: std::num::ParseIntError| e.to_string())?;
+    if pid == 0 {
+        return Err("process numbering is 1-based".into());
+    }
+    let when_part = when_part.strip_prefix('t').ok_or_else(bad)?;
+    let (leave_part, rejoin_part) = match when_part.split_once('+') {
+        Some((l, r)) => (l, Some(r.strip_prefix('r').ok_or_else(bad)?)),
+        None => (when_part, None),
+    };
+    let leave: u64 = leave_part
+        .parse()
+        .map_err(|e: std::num::ParseIntError| e.to_string())?;
+    let rejoin = rejoin_part
+        .map(|r| r.parse::<u64>().map_err(|e| e.to_string()))
+        .transpose()?;
+    if let Some(r) = rejoin {
+        if r <= leave {
+            return Err(format!(
+                "churn rejoin time {r} must be after leave time {leave}"
+            ));
+        }
+    }
+    Ok((pid - 1, leave, rejoin))
+}
+
+fn build_churn(entries: &[(usize, u64, Option<u64>)]) -> ChurnPlan {
+    let mut plan = ChurnPlan::new();
+    for &(p, leave, rejoin) in entries {
+        let leave = VirtualTime::from_ticks(leave);
+        plan = match rejoin {
+            Some(r) => plan.leave_rejoin(ProcessId(p), leave, VirtualTime::from_ticks(r)),
+            None => plan.leave(ProcessId(p), leave),
+        };
+    }
+    plan
+}
+
 fn build_plan(entries: &[(usize, CrashWhen)]) -> CrashPlan {
     let mut plan = CrashPlan::new();
     for (p, when) in entries {
@@ -342,6 +426,9 @@ fn main() {
         .proposals_split(ones)
         .config(ProtocolConfig::paper().with_max_rounds(opts.max_rounds))
         .crashes(build_plan(&opts.crashes))
+        .loss_ppm(opts.loss_ppm)
+        .dup_ppm(opts.dup_ppm)
+        .churn(build_churn(&opts.churn))
         .seed(opts.seed);
     if let Some(engine) = opts.engine {
         scenario = scenario.engine(engine);
@@ -363,6 +450,18 @@ fn main() {
                 CrashWhen::Step(k) => println!("crash: p{} at step {k}", p + 1),
                 CrashWhen::Round(r) => println!("crash: p{} at round {r}", p + 1),
                 CrashWhen::Time(t) => println!("crash: p{} at time {t}", p + 1),
+            }
+        }
+        if opts.loss_ppm > 0 || opts.dup_ppm > 0 {
+            println!(
+                "network: loss {} ppm | dup {} ppm",
+                opts.loss_ppm, opts.dup_ppm
+            );
+        }
+        for &(p, leave, rejoin) in &opts.churn {
+            match rejoin {
+                Some(r) => println!("churn: p{} leaves at t{leave}, rejoins at t{r}", p + 1),
+                None => println!("churn: p{} leaves at t{leave}", p + 1),
             }
         }
     }

@@ -69,7 +69,8 @@ pub mod prelude {
     pub use ofa_core::{Algorithm, Bit, Decision, Halt, ProtocolConfig};
     pub use ofa_runtime::Threads;
     pub use ofa_scenario::{
-        Backend, CoinSpec, CrashPlan, CrashTrigger, Engine, Outcome, Scenario, Sweep,
+        Backend, ChurnPlan, CoinSpec, CrashPlan, CrashTrigger, Engine, NetworkModel, Outcome,
+        Scenario, Sweep,
     };
     pub use ofa_sim::Sim;
     pub use ofa_topology::{ClusterId, Partition, ProcessId, ProcessSet};

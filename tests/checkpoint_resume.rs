@@ -64,7 +64,7 @@ fn assert_same_outcome(label: &str, a: &Outcome, b: &Outcome) {
 fn run_stepped(
     scenario: &Scenario,
 ) -> (Outcome, Option<Box<Snapshot>>, Option<Box<Snapshot>>, u64) {
-    let step = scenario.delay.min_delay();
+    let step = scenario.network.min_delay();
     prop_assert!(step > 0, "corpus delay models have a positive minimum");
     let mut cut = step;
     let mut first: Option<Box<Snapshot>> = None;
@@ -130,7 +130,7 @@ proptest! {
         unlock_cores();
         let seq = scenario.clone().engine(Engine::EventDriven);
         let straight = Sim.run(&seq);
-        let cut = VirtualTime::from_ticks(2 * scenario.delay.min_delay());
+        let cut = VirtualTime::from_ticks(2 * scenario.network.min_delay());
         for (from, to) in [
             (Engine::EventDriven, Engine::ParallelEvent { workers: 3 }),
             (Engine::ParallelEvent { workers: 3 }, Engine::EventDriven),
@@ -180,6 +180,50 @@ fn budget_cut_is_identical_across_legs() {
 }
 
 use one_for_all::consensus::Algorithm;
+use one_for_all::prelude::ChurnPlan;
+
+/// A churn scenario (leave + rejoin, with message loss and duplication)
+/// checkpoints and resumes bit for bit on both event engines — including
+/// when the cut falls *between* a leave and its rejoin, so the resumed
+/// leg must fire a rejoin whose leave is pre-cut history.
+#[test]
+fn churn_scenario_checkpoints_between_leave_and_rejoin() {
+    unlock_cores();
+    for engine in [Engine::EventDriven, Engine::ParallelEvent { workers: 3 }] {
+        let scenario = Scenario::new(Partition::even(9, 3), Algorithm::CommonCoin)
+            .proposals_split(4)
+            .delay(DelayModel::Constant(500))
+            .loss_ppm(30_000)
+            .dup_ppm(10_000)
+            .churn(
+                ChurnPlan::new()
+                    .leave_rejoin(
+                        ProcessId(2),
+                        VirtualTime::from_ticks(900),
+                        VirtualTime::from_ticks(2_600),
+                    )
+                    .leave(ProcessId(7), VirtualTime::from_ticks(1_400)),
+            )
+            .seed(23)
+            .engine(engine);
+        let straight = Sim.run(&scenario);
+        // p7 left for good; p2 rejoined and is no longer down at the end.
+        assert!(straight.crashed.contains(ProcessId(7)));
+        assert!(!straight.crashed.contains(ProcessId(2)));
+        // Cut between p3's leave (t=900) and its rejoin (t=2600).
+        let snap = match Sim.run_until(&scenario, VirtualTime::from_ticks(1_500)) {
+            RunOutcome::Paused(snap) => snap,
+            RunOutcome::Done(_) => panic!("run must still be in flight at the cut"),
+        };
+        let resumed = Sim.resume(&snap);
+        assert_eq!(straight.trace_hash, resumed.trace_hash);
+        assert_eq!(straight.decisions, resumed.decisions);
+        assert_eq!(straight.per_process, resumed.per_process);
+        assert_eq!(straight.counters, resumed.counters);
+        assert_eq!(straight.events_processed, resumed.events_processed);
+        assert_eq!(straight.end_time, resumed.end_time);
+    }
+}
 
 /// Diverging with an empty spec is exactly a resume; diverging with an
 /// extra post-cut crash equals a straight run whose crash plan carried

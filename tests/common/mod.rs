@@ -6,8 +6,10 @@
 #![allow(dead_code)]
 
 use one_for_all::consensus::{Algorithm, Bit, Payload, ProtocolConfig};
-use one_for_all::prelude::{CoinSpec, CrashPlan, Scenario};
-use one_for_all::scenario::{Body, CostModel, DelayModel, MvWorkload, SmrWorkload, VirtualTime};
+use one_for_all::prelude::{ChurnPlan, CoinSpec, CrashPlan, NetworkModel, Scenario};
+use one_for_all::scenario::{
+    Body, CostModel, DelayModel, LatencyDist, MvWorkload, SmrWorkload, VirtualTime,
+};
 use one_for_all::topology::{Partition, ProcessId};
 use proptest::prelude::*;
 
@@ -50,7 +52,11 @@ pub fn crash_plan_strategy(n: usize) -> impl Strategy<Value = CrashPlan> {
 /// (binary algorithm, multivalued workload, replicated log — the new
 /// machines must match too), both algorithms, every delay-model shape
 /// (constant delay exercises the event engine's broadcast batching),
-/// every protocol-config preset (paper, pure message passing, and the
+/// every network-model shape (flat legacy, flat with loss/duplication,
+/// clustered link classes with lognormal jitter, and asymmetric per-pair
+/// overrides — the fate-aware scheduler paths must match too), churn
+/// (scheduled leaves and rejoins with fresh mailboxes), every
+/// protocol-config preset (paper, pure message passing, and the
 /// WA1-breaking E9 ablation — the machines' non-amplified and
 /// no-preagree paths must match too), zero and non-zero send costs, coin
 /// overrides, and mixed proposals.
@@ -67,6 +73,9 @@ pub fn scenario_strategy() -> impl Strategy<Value = Scenario> {
                 (0u8..3, 0u8..3, 0u8..3), // delay model, coin spec, config preset
                 (0u64..3, 1u64..6),       // send cost (0 => broadcasts batch), sm op cost
                 (0u8..3, 1u64..4),        // body kind, log slots
+                (0u8..4, 0u8..3),         // network shape, loss/dup rate preset
+                // churn entries: (process, leave units, rejoin?, rejoin units)
+                proptest::collection::vec((0usize..n, 1u64..8, any::<bool>(), 1u64..8), 0..3),
             )
         })
         .prop_map(
@@ -79,6 +88,8 @@ pub fn scenario_strategy() -> impl Strategy<Value = Scenario> {
                 (delay_kind, coin_kind, cfg),
                 (send, sm),
                 (body_kind, slots),
+                (net_kind, rate_kind),
+                churn_entries,
             )| {
                 let n = partition.n();
                 let proposals: Vec<Bit> = bits.into_iter().map(Bit::from).collect();
@@ -126,11 +137,66 @@ pub fn scenario_strategy() -> impl Strategy<Value = Scenario> {
                             .collect(),
                     }),
                 };
+                // Network shape: 0 keeps the pre-network-model flat
+                // corpus verbatim (no loss/dup), the rest layer rates,
+                // cluster-aware classes, and a directed asymmetric
+                // override on top.
+                let (loss, dup) = match rate_kind {
+                    0 => (0, 0),
+                    1 => (20_000, 0),
+                    _ => (50_000, 30_000),
+                };
+                let network = match net_kind {
+                    0 | 1 => NetworkModel::flat(delay),
+                    2 => NetworkModel::clustered(
+                        LatencyDist::Constant(300),
+                        LatencyDist::LogNormal {
+                            median: 900,
+                            sigma_milli: 700,
+                            floor: 400,
+                            cap: 2500,
+                        },
+                    ),
+                    _ => NetworkModel::clustered(
+                        LatencyDist::Uniform { lo: 250, hi: 600 },
+                        LatencyDist::Constant(1000),
+                    )
+                    .with_link(
+                        ProcessId(0),
+                        ProcessId(n - 1),
+                        LatencyDist::Uniform { lo: 1200, hi: 1800 },
+                    ),
+                };
+                let network = if net_kind == 0 {
+                    network
+                } else {
+                    network.with_loss_ppm(loss).with_dup_ppm(dup)
+                };
+                // Churn rides on processes the crash plan leaves alone
+                // (a process may not appear in both plans).
+                let mut churn = ChurnPlan::new();
+                for (p, lu, has_rejoin, ru) in churn_entries {
+                    let p = ProcessId(p);
+                    if crashes.trigger(p).is_some() {
+                        continue;
+                    }
+                    let leave = VirtualTime::from_ticks(500 + lu * 400);
+                    churn = if has_rejoin {
+                        churn.leave_rejoin(
+                            p,
+                            leave,
+                            VirtualTime::from_ticks(leave.ticks() + ru * 500),
+                        )
+                    } else {
+                        churn.leave(p, leave)
+                    };
+                }
                 let mut scenario = Scenario::new(partition, algorithm)
                     .config(config)
                     .proposals(proposals)
                     .seed(seed)
-                    .delay(delay)
+                    .network(network)
+                    .churn(churn)
                     .crashes(crashes)
                     .coin(coin)
                     .costs(CostModel {

@@ -1,7 +1,10 @@
 //! The event-driven engines are drop-in replacements for the thread
 //! conductor: for any declarative [`Scenario`] — random partition ×
 //! **body kind (binary algorithm, multivalued workload, replicated
-//! log)** × failure pattern × delay model × cost model × coin × seed —
+//! log)** × failure pattern × **network model (flat or clustered link
+//! classes, lognormal jitter, asymmetric overrides, probabilistic loss
+//! and duplication)** × **churn (leaves and rejoins)** × cost model ×
+//! coin × seed —
 //! all three engines (`Threads` × `EventDriven` × `ParallelEvent`) must
 //! produce the **same** [`Outcome`]: per-process decisions, halts, crash
 //! sets, agreement, counters, event counts, and the replay trace hash,

@@ -1,0 +1,69 @@
+//! The network model is a superset of the old `DelayModel` field: a
+//! scenario JSON stored *before* `NetworkModel` existed (bare
+//! `DelayModel` under a `"delay"` key, no `"churn"` field) must still
+//! deserialize — lifting into the equivalent flat, lossless network —
+//! and must replay the pre-network-model execution **bit for bit**.
+//!
+//! The fixture in `tests/fixtures/pre_network_model_scenario.json` and
+//! the expected trace hash below were produced by the actual
+//! pre-network-model code (the tree before this subsystem landed), not
+//! reconstructed by hand: that code serialized the scenario and ran it
+//! on all three engines, which agreed on `trace_hash 1e282490f6326d3c`,
+//! `events 176`, `end t=4838`. Any drift in the flat delay stream, the
+//! counter discipline, or the serde lift breaks this test.
+
+use one_for_all::prelude::{Backend, Engine, NetworkModel, Scenario, Sim};
+use one_for_all::scenario::DelayModel;
+use one_for_all::topology::ProcessId;
+
+const FIXTURE: &str = include_str!("fixtures/pre_network_model_scenario.json");
+const EXPECTED_HASH: u64 = 0x1e28_2490_f632_6d3c;
+const EXPECTED_EVENTS: u64 = 176;
+const EXPECTED_END: u64 = 4838;
+
+#[test]
+fn pre_network_model_json_lifts_into_a_flat_network() {
+    // The fixture is genuinely legacy-shaped.
+    assert!(FIXTURE.contains("\"delay\""));
+    assert!(!FIXTURE.contains("\"network\""));
+    assert!(!FIXTURE.contains("\"churn\""));
+
+    let scenario: Scenario = serde_json::from_str(FIXTURE).expect("legacy JSON deserializes");
+    let expected = NetworkModel::flat(DelayModel::Laggard {
+        slow: vec![ProcessId(4)],
+        factor: 3,
+        base: Box::new(DelayModel::Uniform { lo: 200, hi: 900 }),
+    });
+    assert_eq!(scenario.network, expected, "bare DelayModel lifts to flat");
+    assert_eq!(scenario.network.loss_ppm, 0);
+    assert_eq!(scenario.network.dup_ppm, 0);
+    assert!(scenario.churn.is_empty());
+
+    // Re-serializing writes the current shape, which round-trips.
+    let json = serde_json::to_string(&scenario).expect("scenario serializes");
+    assert!(json.contains("\"network\""));
+    let copy: Scenario = serde_json::from_str(&json).expect("current shape deserializes");
+    assert_eq!(copy.network, scenario.network);
+    assert_eq!(copy.crashes, scenario.crashes);
+}
+
+#[test]
+fn pre_network_model_fixture_replays_bit_for_bit_on_every_engine() {
+    one_for_all::sim::override_available_cores(64);
+    let scenario: Scenario = serde_json::from_str(FIXTURE).expect("legacy JSON deserializes");
+    for engine in [
+        Engine::Threads,
+        Engine::EventDriven,
+        Engine::ParallelEvent { workers: 3 },
+    ] {
+        let out = Sim.run(&scenario.clone().engine(engine));
+        assert_eq!(
+            out.trace_hash,
+            Some(EXPECTED_HASH),
+            "{engine:?}: trace hash drifted from the pre-network-model execution"
+        );
+        assert_eq!(out.events_processed, EXPECTED_EVENTS, "{engine:?}: events");
+        assert_eq!(out.end_time.ticks(), EXPECTED_END, "{engine:?}: end time");
+        assert!(out.agreement_holds());
+    }
+}

@@ -110,7 +110,8 @@ proptest! {
         prop_assert_eq!(copy.proposals, scenario.proposals);
         prop_assert_eq!(copy.seed, scenario.seed);
         prop_assert_eq!(copy.crashes, scenario.crashes);
-        prop_assert_eq!(copy.delay, scenario.delay);
+        prop_assert_eq!(copy.network, scenario.network);
+        prop_assert_eq!(copy.churn, scenario.churn);
         prop_assert_eq!(copy.costs, scenario.costs);
         prop_assert_eq!(copy.config, scenario.config);
     }

@@ -230,6 +230,76 @@ pub mod distributions {
     /// Marker kept for signature compatibility with `rand::distributions`.
     #[derive(Debug, Clone, Copy, Default)]
     pub struct Standard;
+
+    /// Bernoulli trial decided by a single random word against a
+    /// parts-per-million threshold — a pure integer compare, so the
+    /// outcome is identical on every platform and needs no float math.
+    /// `ppm = 0` is always `false`, `ppm >= 1_000_000` always `true`.
+    pub fn bernoulli_ppm(word: u64, ppm: u32) -> bool {
+        if ppm >= 1_000_000 {
+            return true;
+        }
+        // threshold = ppm / 10^6 of the 2^64 word space, computed in u128
+        // so the scaling itself is exact.
+        let threshold = (u128::from(ppm) << 64) / 1_000_000;
+        u128::from(word) < threshold
+    }
+
+    /// Approximate standard normal deviate via Irwin–Hall: the sum of 12
+    /// uniform `[0,1)` samples minus 6 has mean 0, variance 1, and support
+    /// `[-6, 6]`. Only IEEE-exact additions are involved, so the result is
+    /// bit-identical on every platform (unlike `ln`/`cos`-based methods,
+    /// whose libm implementations differ).
+    pub fn std_normal_irwin_hall<R: super::Rng + ?Sized>(rng: &mut R) -> f64 {
+        let mut sum = 0.0f64;
+        for _ in 0..12 {
+            sum += (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        }
+        sum - 6.0
+    }
+
+    /// Platform-deterministic `2^x`: integer exponent assembly plus a
+    /// fixed-coefficient Taylor polynomial for the fractional part. Uses
+    /// only IEEE-exact `f64` operations (`+`, `*`, bit assembly), never
+    /// libm, so every platform computes the same bits. Accuracy is ~1e-5
+    /// relative — ample for sampling jitter distributions.
+    pub fn exp2_deterministic(x: f64) -> f64 {
+        let n = x.floor();
+        let f = x - n;
+        // Taylor coefficients of 2^f = e^(f ln 2), fixed literals.
+        let p = 1.0
+            + f * (core::f64::consts::LN_2
+                + f * (0.240_226_506_959_100_7
+                    + f * (0.055_504_108_664_821_58
+                        + f * (0.009_618_129_107_628_477
+                            + f * (0.001_333_355_814_642_844_3
+                                + f * 0.000_154_035_303_933_816_1)))));
+        let n = n as i64;
+        if n < -1_022 {
+            return 0.0;
+        }
+        if n > 1_023 {
+            return f64::MAX;
+        }
+        // 2^n as a bit pattern: biased exponent, zero mantissa.
+        let pow2n = f64::from_bits(((n + 1_023) as u64) << 52);
+        pow2n * p
+    }
+
+    /// A lognormal-style positive sample: `median × 2^(σ·z)` with `z`
+    /// drawn from [`std_normal_irwin_hall`] and `σ` given in thousandths
+    /// (`sigma_milli = 1_000` ⇒ one base-2 order of magnitude per
+    /// standard deviation). Built entirely from platform-exact float
+    /// operations; the result truncates (saturating) to integer ticks.
+    pub fn log_normal_ticks<R: super::Rng + ?Sized>(
+        rng: &mut R,
+        median: u64,
+        sigma_milli: u32,
+    ) -> u64 {
+        let z = std_normal_irwin_hall(rng);
+        let sigma = sigma_milli as f64 * 0.001;
+        (median as f64 * exp2_deterministic(sigma * z)) as u64
+    }
 }
 
 #[cfg(test)]
@@ -273,5 +343,58 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let heads = (0..100_000).filter(|_| rng.gen_bool(0.5)).count();
         assert!((45_000..55_000).contains(&heads), "heads={heads}");
+    }
+
+    #[test]
+    fn bernoulli_ppm_extremes_and_rate() {
+        use super::distributions::bernoulli_ppm;
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1_000 {
+            let w = rng.next_u64();
+            assert!(!bernoulli_ppm(w, 0));
+            assert!(bernoulli_ppm(w, 1_000_000));
+        }
+        // 10% in ppm over many words lands near 10%.
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..100_000)
+            .filter(|_| bernoulli_ppm(rng.next_u64(), 100_000))
+            .count();
+        assert!((8_000..12_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn exp2_deterministic_matches_exact_powers() {
+        use super::distributions::exp2_deterministic;
+        // Integer exponents have a zero fractional part, so the
+        // polynomial contributes exactly 1 and the result is exact.
+        assert_eq!(exp2_deterministic(0.0), 1.0);
+        assert_eq!(exp2_deterministic(3.0), 8.0);
+        assert_eq!(exp2_deterministic(-2.0), 0.25);
+        // Fractional values approximate to ~1e-5 relative.
+        let half = exp2_deterministic(0.5);
+        assert!((half - std::f64::consts::SQRT_2).abs() < 1e-4, "{half}");
+        // Deep underflow and overflow saturate instead of misbehaving.
+        assert_eq!(exp2_deterministic(-2_000.0), 0.0);
+        assert_eq!(exp2_deterministic(2_000.0), f64::MAX);
+    }
+
+    #[test]
+    fn log_normal_ticks_is_centered_and_deterministic() {
+        use super::distributions::log_normal_ticks;
+        let mut a = StdRng::seed_from_u64(6);
+        let mut b = StdRng::seed_from_u64(6);
+        let mut below = 0usize;
+        for _ in 0..10_000 {
+            let s = log_normal_ticks(&mut a, 1_000, 500);
+            assert_eq!(s, log_normal_ticks(&mut b, 1_000, 500), "same stream");
+            if s < 1_000 {
+                below += 1;
+            }
+        }
+        // z is symmetric around 0, so ~half the mass sits below the median.
+        assert!((4_000..6_000).contains(&below), "below={below}");
+        // Zero sigma degenerates to the median exactly.
+        let mut c = StdRng::seed_from_u64(7);
+        assert_eq!(log_normal_ticks(&mut c, 777, 0), 777);
     }
 }
