@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
 """Compare the current run's BENCH_*.json against the previous CI run's
 artifact of the same name and append a throughput trend table to the job
-summary. Rows whose events/s dropped more than THRESHOLD emit a warning
-annotation; the step never fails the job — trends inform, gates enforce.
+summary. Trended metrics: events/s and commit throughput (higher is
+better), and p99 service latency (lower is better). Rows that moved more
+than THRESHOLD in the bad direction emit a warning annotation; the step
+never fails the job — trends inform, gates enforce.
 
 Usage: bench_trend.py CURRENT.json ARTIFACT_NAME
 
@@ -22,7 +24,7 @@ THRESHOLD = 0.15
 # matched across runs by their *axis* cells — for ESCALE that is just
 # `n`, for PARSCALE `(n, workers)`, for NETSCALE `(n, loss ppm,
 # churn ppm)` (every cell shares the same n, so the first column alone
-# would collide).
+# would collide). The second group is SERVE's service-metric columns.
 METRIC_MARKERS = (
     "[s]",
     "/s",
@@ -32,6 +34,13 @@ METRIC_MARKERS = (
     "decision t",
     "rounds",
     "deciders",
+    "offered",
+    "committed",
+    "shed",
+    "queue",
+    "p50",
+    "p99",
+    "thr",
 )
 
 
@@ -41,6 +50,17 @@ def axis_key(cols, row):
         for col, cell in zip(cols, row)
         if not any(m in col for m in METRIC_MARKERS)
     )
+
+
+def trended(col):
+    """(watch this column?, lower-is-better?) — events/s and commit
+    throughput regress when they drop; p99 latency regresses when it
+    climbs."""
+    if ("ev" in col and "/s" in col) or "thr" in col:
+        return True, False
+    if "p99" in col:
+        return True, True
+    return False, False
 
 
 def api(url: str, token: str, raw: bool = False):
@@ -110,7 +130,12 @@ def main() -> int:
         if not old_exp or old_exp.get("columns") != exp.get("columns"):
             continue
         cols = exp["columns"]
-        eps_cols = [i for i, c in enumerate(cols) if "ev" in c and "/s" in c]
+        watch = [
+            (i, lower_better)
+            for i, c in enumerate(cols)
+            for keep, lower_better in (trended(c),)
+            if keep
+        ]
         old_rows = {axis_key(cols, row): row for row in old_exp.get("rows", [])}
         for row in exp.get("rows", []):
             key = axis_key(cols, row)
@@ -118,7 +143,7 @@ def main() -> int:
             if not prev_row:
                 continue
             label = "/".join(key)
-            for i in eps_cols:
+            for i, lower_better in watch:
                 try:
                     before, after = float(prev_row[i]), float(row[i])
                 except ValueError:
@@ -130,7 +155,8 @@ def main() -> int:
                     f"| {exp['id']} | {label} | {cols[i]} "
                     f"| {before:.3g} | {after:.3g} | {change:+.1%} |"
                 )
-                if change < -THRESHOLD:
+                worse = change > THRESHOLD if lower_better else change < -THRESHOLD
+                if worse:
                     regressions.append(
                         f"{exp['id']} {label} {cols[i]}: "
                         f"{before:.3g} -> {after:.3g} ({change:+.1%})"
@@ -141,9 +167,9 @@ def main() -> int:
         with open(summary, "a") as f:
             f.write("\n".join(lines) + "\n")
     for r in regressions:
-        print(f"::warning::events/s regression > {THRESHOLD:.0%}: {r}")
+        print(f"::warning::bench regression > {THRESHOLD:.0%}: {r}")
     if not regressions:
-        print("no events/s regressions beyond the threshold")
+        print("no bench regressions beyond the threshold")
     return 0
 
 

@@ -16,7 +16,8 @@
 //! machine-readable JSON (`{"experiments": [{id, title, columns, rows}]}`)
 //! — the CI scale gates archive these as per-run build artifacts.
 //!
-//! `--budget-secs <s>` runs the ESCALE or NETSCALE sweep resumably:
+//! `--budget-secs <s>` runs the ESCALE, NETSCALE, or SERVE sweep
+//! resumably:
 //! cells execute as checkpointed legs, and when the wall-clock budget
 //! expires the
 //! in-flight snapshot is saved under `--state-dir` (default
@@ -133,35 +134,50 @@ fn main() {
     }
 
     if let Some(secs) = budget_secs {
-        // Only the ESCALE and NETSCALE sweeps run resumably today:
-        // SMRSCALE (and PARSCALE's baseline comparison) verify their
-        // logs through a run observer, which checkpointing deliberately
-        // refuses to capture.
+        // Only the ESCALE, NETSCALE, and SERVE sweeps run resumably
+        // today: SMRSCALE (and PARSCALE's baseline comparison) verify
+        // their logs through a run observer, which checkpointing
+        // deliberately refuses to capture. SERVE's service metrics ride
+        // the snapshot itself (in-flight queues, latency histograms), so
+        // it needs no observer.
         let id = ids.first().map(|s| s.to_ascii_lowercase());
-        if ids.len() != 1 || !matches!(id.as_deref(), Some("escale" | "netscale")) {
+        if ids.len() != 1 || !matches!(id.as_deref(), Some("escale" | "netscale" | "serve")) {
             eprintln!(
-                "--budget-secs currently supports exactly one experiment: escale or netscale"
+                "--budget-secs currently supports exactly one experiment: escale, netscale, \
+                 or serve"
             );
             std::process::exit(2);
         }
         let dir = std::path::PathBuf::from(&state_dir);
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(secs);
-        let (id, table, paused) = if id.as_deref() == Some("escale") {
-            use ofa_bench::experiments::escale;
-            let sizes: &[usize] = match scale {
-                Scale::Full => &escale::SIZES,
-                Scale::Quick => &escale::QUICK_SIZES,
-            };
-            let (_rows, table, paused) = escale::run_resumable(sizes, &dir, deadline);
-            ("ESCALE", table, paused)
-        } else {
-            use ofa_bench::experiments::netscale;
-            let (n, cells): (usize, &[(u32, u32)]) = match scale {
-                Scale::Full => (netscale::FULL_N, &netscale::CELLS),
-                Scale::Quick => (netscale::QUICK_N, &netscale::QUICK_CELLS),
-            };
-            let (_rows, table, paused) = netscale::run_resumable(n, cells, &dir, deadline);
-            ("NETSCALE", table, paused)
+        let (id, table, paused) = match id.as_deref() {
+            Some("escale") => {
+                use ofa_bench::experiments::escale;
+                let sizes: &[usize] = match scale {
+                    Scale::Full => &escale::SIZES,
+                    Scale::Quick => &escale::QUICK_SIZES,
+                };
+                let (_rows, table, paused) = escale::run_resumable(sizes, &dir, deadline);
+                ("ESCALE", table, paused)
+            }
+            Some("netscale") => {
+                use ofa_bench::experiments::netscale;
+                let (n, cells): (usize, &[(u32, u32)]) = match scale {
+                    Scale::Full => (netscale::FULL_N, &netscale::CELLS),
+                    Scale::Quick => (netscale::QUICK_N, &netscale::QUICK_CELLS),
+                };
+                let (_rows, table, paused) = netscale::run_resumable(n, cells, &dir, deadline);
+                ("NETSCALE", table, paused)
+            }
+            _ => {
+                use ofa_bench::experiments::serve;
+                let (n, cells): (usize, &[(u32, u32)]) = match scale {
+                    Scale::Full => (serve::FULL_N, &serve::CELLS),
+                    Scale::Quick => (serve::QUICK_N, &serve::QUICK_CELLS),
+                };
+                let (_rows, table, paused) = serve::run_resumable(n, cells, &dir, deadline);
+                ("SERVE", table, paused)
+            }
         };
         let tables = vec![(id.to_string(), table)];
         print_tables(&tables, false, csv, markdown);
@@ -195,7 +211,7 @@ fn main() {
                 None => {
                     eprintln!(
                         "unknown experiment id: {id} \
-                         (expected e1..e10, escale, smrscale, parscale, or netscale)"
+                         (expected e1..e10, escale, smrscale, parscale, netscale, or serve)"
                     );
                     std::process::exit(2);
                 }

@@ -22,11 +22,12 @@
 //! | SMRSCALE | replicated KV (multivalued/SMR stack) commits logs at `n >= 5 000` replicas |
 //! | PARSCALE | cluster-sharded parallel engine vs single-threaded: identical runs, measured speedup |
 //! | NETSCALE | consensus at `n = 10⁴` under message loss and churn: rounds and decision latency vs rate |
+//! | SERVE | client traffic over the replicated KV at `n = 10⁴`: throughput, p50/p99 latency, sheds vs loss/churn |
 
 #![warn(missing_docs)]
 
 /// The experiment modules, E1 through E10 plus the ESCALE / SMRSCALE /
-/// PARSCALE / NETSCALE engine sweeps.
+/// PARSCALE / NETSCALE / SERVE engine sweeps.
 pub mod experiments {
     pub mod e1;
     pub mod e10;
@@ -41,6 +42,7 @@ pub mod experiments {
     pub mod escale;
     pub mod netscale;
     pub mod parscale;
+    pub mod serve;
     pub mod smrscale;
 }
 
@@ -51,9 +53,9 @@ use ofa_metrics::Table;
 /// Every experiment id, in presentation order. The single source of
 /// truth for "all experiments" — `run_all`, the `experiments` binary's
 /// `--quick` path, and CI smoke loops all iterate this.
-pub const ALL_IDS: [&str; 14] = [
+pub const ALL_IDS: [&str; 15] = [
     "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "ESCALE", "SMRSCALE", "PARSCALE",
-    "NETSCALE",
+    "NETSCALE", "SERVE",
 ];
 
 /// Runs every experiment at its default scale, returning `(id, table)`
@@ -120,6 +122,10 @@ pub fn run_one_scaled(id: &str, scale: Scale) -> Option<Table> {
         "netscale" => match scale {
             Scale::Full => netscale::run(netscale::FULL_N, &netscale::CELLS).1,
             Scale::Quick => netscale::run(netscale::QUICK_N, &netscale::QUICK_CELLS).1,
+        },
+        "serve" => match scale {
+            Scale::Full => serve::run(serve::FULL_N, &serve::CELLS).1,
+            Scale::Quick => serve::run(serve::QUICK_N, &serve::QUICK_CELLS).1,
         },
         _ => return None,
     })

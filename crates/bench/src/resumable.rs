@@ -41,9 +41,15 @@ fn wall_path(dir: &Path, key: &str) -> PathBuf {
 /// per snapshot — so fixed-length legs would spend far more wall clock
 /// pausing than simulating; doubling keeps the pause count logarithmic
 /// in the run's virtual length while staying responsive to short
-/// budgets early on. State (snapshot + accumulated wall clock) lives
-/// under `dir`, keyed by `key`; a finished cell removes its state files
-/// so a later sweep starts fresh.
+/// budgets early on. The doubling carries *across invocations*: a
+/// resumed cell starts its first leg at the virtual time already
+/// covered (not back at `leg_ticks`), so the total pause count stays
+/// logarithmic in the cell's length rather than logarithmic *per leg* —
+/// re-paying the early small spans on every CI run would make the
+/// snapshot cycle, not the simulation, the dominant cost at SMR scale.
+/// State (snapshot + accumulated wall clock) lives under `dir`, keyed
+/// by `key`; a finished cell removes its state files so a later sweep
+/// starts fresh.
 pub fn run_cell(
     dir: &Path,
     key: &str,
@@ -63,6 +69,7 @@ pub fn run_cell(
     let mut pending = match std::fs::read_to_string(&snap_file) {
         Ok(text) => {
             let snap: Snapshot = serde_json::from_str(&text).expect("checkpoint artifact decodes");
+            span = span.max(snap.at.ticks());
             let cut = snap.at.ticks().saturating_add(span);
             Sim.resume_until(&snap, VirtualTime::from_ticks(cut))
         }

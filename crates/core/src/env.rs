@@ -50,6 +50,40 @@ pub trait Env {
     /// checking). Default: ignored.
     fn observe(&mut self, _event: ObsEvent) {}
 
+    /// This process's current virtual clock in ticks. Virtual-time
+    /// substrates return the process-local clock (bit-identical across
+    /// engines); substrates without a modeled clock keep the default
+    /// `0`, which is why traffic-driven workloads are rejected there.
+    fn now(&self) -> u64 {
+        0
+    }
+
+    /// The scenario's master randomness seed, for workload-level PRFs
+    /// (e.g. [`crate::traffic::traffic_word`]). Default: `0`.
+    fn seed(&self) -> u64 {
+        0
+    }
+
+    /// Reports the process's accumulated client-service statistics —
+    /// emitted once per body incarnation, at its terminal progress
+    /// point. Substrates fold the stats into the run outcome; the
+    /// default discards them.
+    fn service_stats(&mut self, _stats: &ofa_metrics::ServiceStats) {}
+
+    /// Whether this process serves client traffic in a traffic-driven
+    /// replicated log. Default `true`; virtual-time substrates return
+    /// `false` for processes scheduled to churn. The multivalued
+    /// reduction decides whichever copy of a proposer's `APP` payload a
+    /// process holds, so a proposer's batch descriptor must be identical
+    /// every time it is broadcast for a given slot — and a restarted
+    /// incarnation cannot reproduce its first incarnation's
+    /// clock-dependent batches. Churn-planned replicas therefore propose
+    /// empty filler slots in *both* incarnations; their clients are
+    /// treated as failed over and unserved.
+    fn serves_traffic(&self) -> bool {
+        true
+    }
+
     /// The `broadcast(msg)` macro-operation of §II-A: sends `msg` to every
     /// process **including the sender**, in index order.
     ///

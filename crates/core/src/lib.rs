@@ -60,6 +60,7 @@ mod observer;
 mod pattern;
 mod payload;
 pub mod sm;
+pub mod traffic;
 mod value;
 
 pub use baselines::{ben_or_classic, common_coin_classic};
@@ -77,6 +78,7 @@ pub use multivalued::{
 pub use observer::{FanoutObserver, InvariantChecker, Observer};
 pub use pattern::{credited_set, msg_exchange, Exchange, RecClass, RecSet, Supporters};
 pub use payload::{Payload, MAX_PAYLOAD};
+pub use traffic::{ArrivalProcess, TrafficSpec, TrafficState};
 pub use value::{fmt_est, Bit, Est};
 
 /// The kind of algorithm to run — used by substrates and the experiment

@@ -336,6 +336,16 @@ pub fn queue_proposal(queue: &[Payload], slot: u64) -> Payload {
 /// [`ObsEvent::MvDecided`], which is how log collectors reconstruct the
 /// committed sequence.
 ///
+/// With `traffic`, the pre-seeded queue is replaced by a live
+/// [`crate::TrafficState`]: each slot boundary pulls the arrivals due by
+/// [`Env::now`] into the bounded proposer queue and proposes a batch
+/// descriptor ([`crate::traffic::encode_batch`]); a slot committing this
+/// replica's own descriptor pops the covered commands and records their
+/// submit→commit latencies. The accumulated service statistics are
+/// reported through [`Env::service_stats`] exactly once per body
+/// incarnation, at the terminal point — decided *or* halted — mirroring
+/// [`crate::sm::LogSm`] step for step.
+///
 /// # Errors
 ///
 /// Propagates the reduction's [`Halt`].
@@ -345,15 +355,39 @@ pub fn run_replicated_log(
     slots: u64,
     algorithm: Algorithm,
     cfg: &ProtocolConfig,
+    traffic: Option<&crate::TrafficSpec>,
 ) -> Result<Decision, Halt> {
     let mut mailbox = Mailbox::new();
     let mut digest = LogDigest::new();
-    for slot in 0..slots {
-        let proposal = queue_proposal(queue, slot);
-        let mv = multivalued_propose(env, &mut mailbox, slot, proposal, algorithm, cfg)?;
-        digest.absorb(&mv);
+    // Processes that do not serve traffic ([`Env::serves_traffic`] —
+    // churn-planned replicas) propose empty filler slots instead: their
+    // clock-dependent batches could not be re-broadcast identically by a
+    // restarted incarnation, which the reduction's agreement requires.
+    let mut state = traffic.filter(|_| env.serves_traffic()).map(|spec| {
+        let n = env.partition().n() as u32;
+        crate::TrafficState::new(spec, env.seed(), env.me().index() as u32, n)
+    });
+    let result = (|| {
+        for slot in 0..slots {
+            let proposal = match &mut state {
+                Some(t) => {
+                    t.pull(env.now());
+                    t.next_batch()
+                }
+                None => queue_proposal(queue, slot),
+            };
+            let mv = multivalued_propose(env, &mut mailbox, slot, proposal, algorithm, cfg)?;
+            if let Some(t) = &mut state {
+                t.on_committed(&mv.payload, env.now());
+            }
+            digest.absorb(&mv);
+        }
+        Ok(log_body_decision(&digest, slots))
+    })();
+    if let Some(t) = &state {
+        env.service_stats(t.stats());
     }
-    Ok(log_body_decision(&digest, slots))
+    result
 }
 
 /// Runs one multivalued instance on `env` (blocking reference) and

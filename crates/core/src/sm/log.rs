@@ -2,6 +2,7 @@
 
 use super::{MultivaluedSm, MvProgress, Outbox, Progress, SmCtx, SmTopology};
 use crate::multivalued::{log_body_decision, queue_proposal, LogDigest};
+use crate::traffic::{TrafficSpec, TrafficState};
 use crate::{Algorithm, Halt, Mailbox, Msg, Payload, ProtocolConfig};
 use ofa_topology::ProcessId;
 use serde::Serialize as _;
@@ -31,11 +32,17 @@ pub struct LogSm {
     inner: Option<MultivaluedSm>,
     outbox: Outbox,
     done: bool,
+    /// Live client traffic, replacing the pre-seeded queue: each slot
+    /// boundary pulls due arrivals and proposes a batch descriptor; the
+    /// accumulated service stats are emitted once, at the terminal
+    /// progress — exactly like [`crate::run_replicated_log`].
+    traffic: Option<TrafficState>,
 }
 
 impl LogSm {
     /// Creates a replica for `me` committing `slots` log slots, proposing
-    /// from `queue` (cycled; an empty queue proposes empty payloads).
+    /// from `queue` (cycled; an empty queue proposes empty payloads) —
+    /// or, with `traffic`, from the live arrival-driven proposer queue.
     pub fn new(
         algorithm: Algorithm,
         me: ProcessId,
@@ -43,6 +50,7 @@ impl LogSm {
         queue: Vec<Payload>,
         slots: u64,
         cfg: ProtocolConfig,
+        traffic: Option<TrafficState>,
     ) -> Self {
         LogSm {
             algorithm,
@@ -56,6 +64,7 @@ impl LogSm {
             inner: None,
             outbox: Vec::new(),
             done: false,
+            traffic,
         }
     }
 
@@ -80,12 +89,20 @@ impl LogSm {
                 },
             ),
             ("done".to_string(), self.done.to_value()),
+            (
+                "traffic".to_string(),
+                match &self.traffic {
+                    Some(t) => t.snapshot(),
+                    None => serde::Value::Null,
+                },
+            ),
         ])
     }
 
     /// Rebuilds a replica from a [`LogSm::snapshot`] value plus the
-    /// scenario-side construction context (including the proposal queue
-    /// and slot count, which the snapshot deliberately omits).
+    /// scenario-side construction context (including the proposal queue,
+    /// slot count, and traffic spec + seed, which the snapshot
+    /// deliberately omits).
     #[allow(clippy::too_many_arguments)]
     pub fn from_snapshot(
         algorithm: Algorithm,
@@ -94,6 +111,8 @@ impl LogSm {
         cfg: ProtocolConfig,
         queue: Vec<Payload>,
         slots: u64,
+        traffic_spec: Option<&TrafficSpec>,
+        seed: u64,
         v: &serde::Value,
     ) -> Result<Self, serde::Error> {
         let field = |name: &str| {
@@ -111,6 +130,21 @@ impl LogSm {
                 snap,
             )?),
         };
+        let traffic = match traffic_spec {
+            None => None,
+            Some(spec) => {
+                let me_u = me.index() as u32;
+                match v.get("traffic") {
+                    Some(serde::Value::Null) | None => {
+                        // Pre-traffic snapshot of a traffic scenario can
+                        // only mean a fresh incarnation.
+                        let n = topo.partition().n() as u32;
+                        Some(TrafficState::new(spec, seed, me_u, n))
+                    }
+                    Some(snap) => Some(TrafficState::from_snapshot(spec, seed, me_u, snap)?),
+                }
+            }
+        };
         Ok(LogSm {
             algorithm,
             me,
@@ -123,6 +157,7 @@ impl LogSm {
             inner,
             outbox: Vec::new(),
             done: serde::Deserialize::from_value(field("done")?)?,
+            traffic,
         })
     }
 
@@ -149,7 +184,7 @@ impl LogSm {
             "start() must be the first step"
         );
         if self.slots == 0 {
-            return self.finish_decided();
+            return self.finish_decided(ctx);
         }
         self.open_slot(Mailbox::new(), ctx)
     }
@@ -175,18 +210,28 @@ impl LogSm {
             match inner.halt(halt, ctx) {
                 MvProgress::Halted(h, out) => {
                     self.absorb_out(out);
-                    return self.finish_halt(h);
+                    return self.finish_halt(h, ctx);
                 }
                 other => unreachable!("halt() is terminal, got {other:?}"),
             }
         }
-        self.finish_halt(halt)
+        self.finish_halt(halt, ctx)
     }
 
     /// Starts the multivalued instance of the current slot and runs its
     /// progress (and any follow-on slots it completes) to suspension.
     fn open_slot<C: SmCtx + ?Sized>(&mut self, mailbox: Mailbox, ctx: &mut C) -> Progress {
-        let proposal = queue_proposal(&self.queue, self.slot);
+        let proposal = match &mut self.traffic {
+            Some(t) => {
+                // The slot boundary is the batching deadline: pull every
+                // arrival due by now, then propose the next batch (or the
+                // empty filler) — same two calls, same clock, as the
+                // blocking reference.
+                t.pull(ctx.now());
+                t.next_batch()
+            }
+            None => queue_proposal(&self.queue, self.slot),
+        };
         let mut inner = MultivaluedSm::with_mailbox(
             self.algorithm,
             self.me,
@@ -216,15 +261,18 @@ impl LogSm {
             }
             MvProgress::Halted(h, out) => {
                 self.absorb_out(out);
-                self.finish_halt(h)
+                self.finish_halt(h, ctx)
             }
             MvProgress::Decided(mv, out) => {
                 self.absorb_out(out);
+                if let Some(t) = &mut self.traffic {
+                    t.on_committed(&mv.payload, ctx.now());
+                }
                 self.digest.absorb(&mv);
                 self.slot += 1;
                 let inner = self.inner.take().expect("slot machine present");
                 if self.slot == self.slots {
-                    return self.finish_decided();
+                    return self.finish_decided(ctx);
                 }
                 // The shared mailbox carries buffered future-slot traffic
                 // into the next instance, like the blocking loop.
@@ -241,16 +289,26 @@ impl LogSm {
         }
     }
 
-    fn finish_decided(&mut self) -> Progress {
+    /// The once-per-incarnation service report, fired from both terminal
+    /// paths — the event-driven mirror of the blocking wrapper's emit.
+    fn emit_service<C: SmCtx + ?Sized>(&mut self, ctx: &mut C) {
+        if let Some(t) = &self.traffic {
+            ctx.service_stats(t.stats());
+        }
+    }
+
+    fn finish_decided<C: SmCtx + ?Sized>(&mut self, ctx: &mut C) -> Progress {
         self.done = true;
+        self.emit_service(ctx);
         Progress::Decided(
             log_body_decision(&self.digest, self.slots),
             std::mem::take(&mut self.outbox),
         )
     }
 
-    fn finish_halt(&mut self, halt: Halt) -> Progress {
+    fn finish_halt<C: SmCtx + ?Sized>(&mut self, halt: Halt, ctx: &mut C) -> Progress {
         self.done = true;
+        self.emit_service(ctx);
         Progress::Halted(halt, std::mem::take(&mut self.outbox))
     }
 }
@@ -277,6 +335,7 @@ mod tests {
             vec![payload("a")],
             0,
             ProtocolConfig::paper(),
+            None,
         );
         let mut ctx = TestCtx::new(Bit::Zero);
         let Progress::Decided(d, outbox) = sm.start(&mut ctx) else {
@@ -298,6 +357,7 @@ mod tests {
             vec![payload("cmd-a"), payload("cmd-b")],
             slots,
             ProtocolConfig::paper(),
+            None,
         );
         let mut ctx = TestCtx::new(Bit::Zero);
         let mut queue: Vec<Msg> = Vec::new();

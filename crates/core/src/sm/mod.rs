@@ -118,6 +118,18 @@ pub trait SmCtx {
     /// Notes one invocation of the `broadcast` macro-operation (the sends
     /// themselves still go through [`SmCtx::send`]). Default: ignored.
     fn note_broadcast(&mut self) {}
+
+    /// This process's current virtual clock in ticks (0 where time is
+    /// not modeled) — the reference point traffic-driven workloads
+    /// compare PRF arrival times against.
+    fn now(&self) -> u64 {
+        0
+    }
+
+    /// Reports the machine's accumulated client-service statistics —
+    /// emitted once, at the machine's terminal progress point. Engines
+    /// fold the stats into the run outcome; the default discards them.
+    fn service_stats(&mut self, _stats: &ofa_metrics::ServiceStats) {}
 }
 
 /// One outgoing message produced by a step.

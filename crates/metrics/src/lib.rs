@@ -1,13 +1,17 @@
 //! Counters, summary statistics, and table rendering for the `one-for-all`
 //! experiment harness.
 //!
-//! Three building blocks:
+//! Four building blocks:
 //!
 //! * [`Counters`] / [`CounterSnapshot`] — lock-free per-process event
 //!   counters (messages, consensus-object invocations, coin flips, rounds)
 //!   backing the paper's structural comparisons,
 //! * [`Summary`] / [`Histogram`] — statistics over samples such as decision
 //!   rounds and virtual-time latencies,
+//! * [`LatencyHistogram`] / [`ServiceStats`] — the client-service metrics
+//!   layer: deterministic fixed-bucket submit→commit latency (p50/p99
+//!   without floats on the hot path), commit throughput over virtual time,
+//!   and queue-depth/backpressure gauges,
 //! * [`Table`] — the uniform output format of every experiment: rendered as
 //!   text by the `experiments` binary, asserted on in tests, exported as
 //!   CSV/Markdown for EXPERIMENTS.md.
@@ -28,9 +32,11 @@
 #![warn(missing_debug_implementations)]
 
 mod counters;
+mod service;
 mod stats;
 mod table;
 
 pub use counters::{CounterSnapshot, Counters};
+pub use service::{LatencyHistogram, ServiceStats};
 pub use stats::{Histogram, Summary};
 pub use table::{fmt_f64, fmt_ratio, Table};

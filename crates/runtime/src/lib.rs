@@ -243,6 +243,14 @@ impl Backend for Threads {
 /// Executes `scenario` on real threads and assembles the unified outcome.
 fn run_scenario(scenario: &Scenario) -> Outcome {
     scenario.assert_valid();
+    if let ofa_scenario::Body::ReplicatedLog(smr) = &scenario.body {
+        assert!(
+            smr.traffic.is_none(),
+            "the real-thread runtime has no virtual clock: traffic-driven \
+             workloads (arrival processes, latency histograms) need a \
+             virtual-time backend — run this scenario on `Sim`"
+        );
+    }
     let n = scenario.partition.n();
     let mut senders = Vec::with_capacity(n);
     let mut receivers = Vec::with_capacity(n);
@@ -500,5 +508,30 @@ mod tests {
         );
         assert!(out.crashed.contains(ProcessId(0)), "timed crash must fire");
         assert_eq!(out.deciders(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no virtual clock")]
+    fn traffic_workloads_are_rejected() {
+        // Arrival processes are pure functions of virtual time; real
+        // threads have none, so the backend refuses rather than serving
+        // a silently different (wall-clock) workload.
+        use ofa_core::{ArrivalProcess, TrafficSpec};
+        let _ = Threads.run(
+            &Scenario::new(Partition::even(4, 2), Algorithm::LocalCoin).replicated_log_traffic(
+                Algorithm::LocalCoin,
+                2,
+                TrafficSpec {
+                    arrival: ArrivalProcess::Periodic {
+                        period: 100,
+                        phase: 0,
+                    },
+                    clients: 4,
+                    queue_cap: 8,
+                    batch_max: 4,
+                    batch_min: 0,
+                },
+            ),
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! What each process executes: a paper algorithm, a multivalued/SMR
 //! workload, or a custom protocol.
 
-use ofa_core::{Algorithm, Bit, Decision, Env, Halt, Payload, ProtocolConfig};
+use ofa_core::{Algorithm, Bit, Decision, Env, Halt, Payload, ProtocolConfig, TrafficSpec};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -57,7 +57,7 @@ pub struct MvWorkload {
 /// reconstruct the decided command sequence. The reported per-process
 /// [`Decision`] is [`ofa_core::log_body_decision`]: parity of the
 /// whole-log digest, round = slot count.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SmrWorkload {
     /// The binary algorithm driving each slot's reduction.
     pub algorithm: Algorithm,
@@ -65,6 +65,52 @@ pub struct SmrWorkload {
     pub slots: u64,
     /// One command queue (of payload-encoded commands) per process.
     pub queues: Vec<Vec<Payload>>,
+    /// Optional client-traffic spec: when set, proposals come from a
+    /// per-process [`ofa_core::TrafficState`] (arrival process + bounded
+    /// proposer queue + batching) instead of the pre-seeded `queues`, and
+    /// the run reports client-service statistics. `None` preserves the
+    /// classic pre-seeded workload.
+    pub traffic: Option<TrafficSpec>,
+}
+
+impl Serialize for SmrWorkload {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("algorithm".to_string(), self.algorithm.to_value()),
+            ("slots".to_string(), self.slots.to_value()),
+            ("queues".to_string(), self.queues.to_value()),
+        ];
+        if let Some(t) = &self.traffic {
+            entries.push(("traffic".to_string(), t.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for SmrWorkload {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        // `traffic` is optional in serialized form: workloads saved before
+        // the traffic layer existed deserialize with `None`.
+        let traffic = match v.get("traffic") {
+            None | Some(serde::Value::Null) => None,
+            Some(t) => Some(Deserialize::from_value(t)?),
+        };
+        Ok(SmrWorkload {
+            algorithm: Deserialize::from_value(
+                v.get("algorithm")
+                    .ok_or_else(|| serde::Error::msg("SmrWorkload: missing `algorithm`"))?,
+            )?,
+            slots: Deserialize::from_value(
+                v.get("slots")
+                    .ok_or_else(|| serde::Error::msg("SmrWorkload: missing `slots`"))?,
+            )?,
+            queues: Deserialize::from_value(
+                v.get("queues")
+                    .ok_or_else(|| serde::Error::msg("SmrWorkload: missing `queues`"))?,
+            )?,
+            traffic,
+        })
+    }
 }
 
 /// What each process executes.
@@ -101,8 +147,16 @@ impl Body {
                 ofa_core::run_multivalued_body(env, mine, mv.algorithm, config)
             }
             Body::ReplicatedLog(smr) => {
-                let queue = &smr.queues[env.me().index()];
-                ofa_core::run_replicated_log(env, queue, smr.slots, smr.algorithm, config)
+                static EMPTY: Vec<Payload> = Vec::new();
+                let queue = smr.queues.get(env.me().index()).unwrap_or(&EMPTY);
+                ofa_core::run_replicated_log(
+                    env,
+                    queue,
+                    smr.slots,
+                    smr.algorithm,
+                    config,
+                    smr.traffic.as_ref(),
+                )
             }
             Body::Custom(b) => b.run(env, proposal, config),
         }
@@ -226,8 +280,36 @@ mod tests {
             algorithm: Algorithm::CommonCoin,
             slots: 3,
             queues: vec![vec![payload("x")], vec![]],
+            traffic: None,
         });
         assert_eq!(Body::from_value(&smr.to_value()).unwrap(), smr);
+
+        // pre-traffic serialized form (no `traffic` entry) still loads
+        let Body::ReplicatedLog(inner) = &smr else {
+            unreachable!()
+        };
+        let mut v = inner.to_value();
+        if let serde::Value::Map(entries) = &mut v {
+            entries.retain(|(k, _)| k != "traffic");
+        }
+        assert_eq!(SmrWorkload::from_value(&v).unwrap(), *inner);
+
+        let traffic = Body::ReplicatedLog(SmrWorkload {
+            algorithm: Algorithm::CommonCoin,
+            slots: 2,
+            queues: vec![],
+            traffic: Some(TrafficSpec {
+                arrival: ofa_core::ArrivalProcess::Periodic {
+                    period: 10,
+                    phase: 0,
+                },
+                clients: 4,
+                queue_cap: 8,
+                batch_max: 4,
+                batch_min: 0,
+            }),
+        });
+        assert_eq!(Body::from_value(&traffic.to_value()).unwrap(), traffic);
     }
 
     #[test]

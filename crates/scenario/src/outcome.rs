@@ -2,7 +2,7 @@
 
 use crate::{Engine, TimedEvent, VirtualTime};
 use ofa_core::{Bit, Decision, Halt};
-use ofa_metrics::CounterSnapshot;
+use ofa_metrics::{CounterSnapshot, ServiceStats};
 use ofa_topology::{ProcessId, ProcessSet};
 use serde::Serialize;
 use std::time::Duration;
@@ -61,6 +61,11 @@ pub struct Outcome {
     pub sm_objects: usize,
     /// Total propose invocations across all cluster memories.
     pub sm_proposes: u64,
+    /// Client-service statistics merged over all processes — all-zero
+    /// (see [`ServiceStats::is_empty`]) unless the scenario drove a
+    /// traffic-fed replicated log
+    /// ([`crate::Scenario::replicated_log_traffic`]).
+    pub service: ServiceStats,
     /// Virtual clock of the last process to decide (virtual-time backends).
     pub latest_decision_time: VirtualTime,
     /// Largest virtual timestamp seen (virtual-time backends).
@@ -135,6 +140,7 @@ impl Outcome {
             per_process,
             sm_objects,
             sm_proposes,
+            service: ServiceStats::new(),
             latest_decision_time: VirtualTime::ZERO,
             end_time: VirtualTime::ZERO,
             events_processed: 0,
@@ -211,6 +217,32 @@ impl Serialize for Outcome {
             (
                 "sm_proposes".to_string(),
                 serde::Value::U64(self.sm_proposes),
+            ),
+            (
+                "service".to_string(),
+                if self.service.is_empty() {
+                    serde::Value::Null
+                } else {
+                    // The raw stats plus report-time derivations: fixed
+                    // percentiles from the deterministic histogram and
+                    // throughput over the run's virtual-time span.
+                    let serde::Value::Map(mut entries) = self.service.to_value() else {
+                        unreachable!("ServiceStats serializes as a map");
+                    };
+                    for p in [50u32, 90, 99] {
+                        entries.push((
+                            format!("latency_p{p}"),
+                            serde::Value::U64(self.service.latency.percentile(p)),
+                        ));
+                    }
+                    entries.push((
+                        "throughput_per_kilotick".to_string(),
+                        serde::Value::F64(
+                            self.service.throughput_per_kilotick(self.end_time.ticks()),
+                        ),
+                    ));
+                    serde::Value::Map(entries)
+                },
             ),
             (
                 "latest_decision_time".to_string(),

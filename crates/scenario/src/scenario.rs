@@ -351,6 +351,34 @@ impl Scenario {
             algorithm,
             slots,
             queues,
+            traffic: None,
+        });
+        self
+    }
+
+    /// Replaces the body with a *traffic-driven* replicated-log workload:
+    /// `slots` multivalued instances whose proposals come from simulated
+    /// clients per `traffic` (arrival process, bounded proposer queues,
+    /// batch-fill-or-go batching) instead of pre-seeded queues. The run
+    /// reports client-service statistics ([`crate::Outcome::service`]).
+    /// Virtual-time backends only — the real-thread runtime has no
+    /// modeled clock and rejects traffic scenarios.
+    ///
+    /// Composes with a churn plan, but churn-planned replicas serve no
+    /// clients (they propose empty filler slots in both incarnations —
+    /// see [`ofa_core::Env::serves_traffic`] for why agreement demands
+    /// it); their clients are counted as failed over, not shed.
+    pub fn replicated_log_traffic(
+        mut self,
+        algorithm: Algorithm,
+        slots: u64,
+        traffic: ofa_core::TrafficSpec,
+    ) -> Self {
+        self.body = Body::ReplicatedLog(crate::SmrWorkload {
+            algorithm,
+            slots,
+            queues: Vec::new(),
+            traffic: Some(traffic),
         });
         self
     }
@@ -541,12 +569,28 @@ impl Scenario {
                 "need one multivalued proposal per process (got {} for n={n})",
                 mv.proposals.len()
             ),
-            Body::ReplicatedLog(smr) => assert_eq!(
-                smr.queues.len(),
-                n,
-                "need one command queue per process (got {} for n={n})",
-                smr.queues.len()
-            ),
+            Body::ReplicatedLog(smr) => {
+                if let Some(spec) = &smr.traffic {
+                    spec.assert_valid();
+                    // Traffic-driven workloads synthesize proposals from
+                    // client arrivals; pre-seeded queues are either absent
+                    // or full-length (ignored slots would silently change
+                    // the workload's meaning otherwise).
+                    assert!(
+                        smr.queues.is_empty(),
+                        "a traffic-driven replicated log must not also pre-seed \
+                         command queues (got {} queues)",
+                        smr.queues.len()
+                    );
+                } else {
+                    assert_eq!(
+                        smr.queues.len(),
+                        n,
+                        "need one command queue per process (got {} for n={n})",
+                        smr.queues.len()
+                    );
+                }
+            }
             Body::Algo(_) | Body::Custom(_) => {}
         }
         for (p, trigger) in self.crashes.iter() {
@@ -770,6 +814,53 @@ mod tests {
             .crashes(CrashPlan::new().crash_at_start(ProcessId(1)))
             .churn(ChurnPlan::new().leave(ProcessId(1), crate::VirtualTime::from_ticks(100)))
             .assert_valid();
+    }
+
+    #[test]
+    fn traffic_workload_round_trips_and_validates() {
+        let spec = ofa_core::TrafficSpec {
+            arrival: ofa_core::ArrivalProcess::Poisson { mean_gap: 40 },
+            clients: 16,
+            queue_cap: 64,
+            batch_max: 8,
+            batch_min: 0,
+        };
+        let sc = Scenario::new(Partition::even(4, 2), Algorithm::LocalCoin).replicated_log_traffic(
+            Algorithm::LocalCoin,
+            5,
+            spec,
+        );
+        sc.assert_valid();
+        let json = serde_json::to_string(&sc).unwrap();
+        let copy: Scenario = serde_json::from_str(&json).unwrap();
+        match &copy.body {
+            Body::ReplicatedLog(smr) => assert_eq!(smr.traffic.as_ref(), Some(&spec)),
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not also pre-seed")]
+    fn traffic_plus_preseeded_queues_is_rejected() {
+        let mut sc = Scenario::new(Partition::single_cluster(2), Algorithm::LocalCoin)
+            .replicated_log_traffic(
+                Algorithm::LocalCoin,
+                2,
+                ofa_core::TrafficSpec {
+                    arrival: ofa_core::ArrivalProcess::Periodic {
+                        period: 5,
+                        phase: 0,
+                    },
+                    clients: 2,
+                    queue_cap: 4,
+                    batch_max: 2,
+                    batch_min: 0,
+                },
+            );
+        if let Body::ReplicatedLog(smr) = &mut sc.body {
+            smr.queues = vec![vec![], vec![]];
+        }
+        sc.assert_valid();
     }
 
     #[test]

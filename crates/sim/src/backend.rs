@@ -264,6 +264,7 @@ fn finish_outcome(engine: Engine, raw: RawOutcome, started: Instant) -> Outcome 
     // engine) is observable here, not silent. `ParallelEvent` carries
     // the resolved shard count.
     out.engine_used = Some(engine);
+    out.service = raw.service;
     out.latest_decision_time = VirtualTime::from_ticks(latest_decision_ticks);
     out.end_time = VirtualTime::from_ticks(raw.end_time);
     out.events_processed = raw.events_processed;

@@ -27,7 +27,7 @@
 //!   pattern.
 
 use ofa_core::{Decision, Halt, MsgKind};
-use ofa_metrics::CounterSnapshot;
+use ofa_metrics::{CounterSnapshot, ServiceStats};
 use ofa_sharedmem::Slot;
 use serde::{Deserialize, Serialize};
 
@@ -158,6 +158,10 @@ pub(crate) struct ProcSnap {
     pub(crate) coin_flips: u64,
     /// Metric counters accumulated so far.
     pub(crate) counters: CounterSnapshot,
+    /// Client-service statistics emitted so far (traffic-driven
+    /// replicated logs only; empty — and omitted from the encoding —
+    /// otherwise).
+    pub(crate) service: ServiceStats,
     /// Terminal result and final clock, if the process already finished.
     pub(crate) finished: Option<(Result<Decision, Halt>, u64)>,
 }
@@ -177,7 +181,7 @@ impl Serialize for ProcSnap {
                 ])
             }
         };
-        serde::Value::Map(vec![
+        let mut entries = vec![
             ("clock".to_string(), self.clock.to_value()),
             ("steps".to_string(), self.steps.to_value()),
             ("crashed_self".to_string(), self.crashed_self.to_value()),
@@ -185,7 +189,13 @@ impl Serialize for ProcSnap {
             ("coin_flips".to_string(), self.coin_flips.to_value()),
             ("counters".to_string(), self.counters.to_value()),
             ("finished".to_string(), finished),
-        ])
+        ];
+        // Empty stats encode as absence, which keeps pre-traffic
+        // checkpoints byte-identical (and loadable both ways).
+        if self.service != ServiceStats::default() {
+            entries.push(("service".to_string(), self.service.to_value()));
+        }
+        serde::Value::Map(entries)
     }
 }
 
@@ -223,6 +233,10 @@ impl Deserialize for ProcSnap {
             coin_rng,
             coin_flips: Deserialize::from_value(field("coin_flips")?)?,
             counters: Deserialize::from_value(field("counters")?)?,
+            service: match v.get("service") {
+                None | Some(serde::Value::Null) => ServiceStats::default(),
+                Some(s) => Deserialize::from_value(s)?,
+            },
             finished,
         })
     }
@@ -471,6 +485,7 @@ mod tests {
                 coin_rng: [1, 2, 3, 4],
                 coin_flips: 5,
                 counters: CounterSnapshot::default(),
+                service: ServiceStats::default(),
                 finished: Some((Err(Halt::Crashed), 980)),
             }],
             memory: vec![(

@@ -20,7 +20,7 @@ use crate::{
 };
 use ofa_coins::{CommonCoin, LocalCoin, SeededLocalCoin};
 use ofa_core::{Bit, Decision, Env, Halt, Msg, MsgKind, ObsEvent, Observer, ProtocolConfig};
-use ofa_metrics::Counters;
+use ofa_metrics::{Counters, ServiceStats};
 use ofa_sharedmem::{MemoryBank, Slot};
 use ofa_topology::{Partition, ProcessId};
 use parking_lot::Mutex;
@@ -535,10 +535,24 @@ pub(crate) struct Shared {
     wake_time: Vec<AtomicU64>,
     memory: MemoryBank,
     counters: Vec<Arc<Counters>>,
+    /// Per-process client-service statistics, merged in by each body
+    /// incarnation's terminal [`Env::service_stats`] emission. Like
+    /// `counters`, persists across churn rejoins (fresh seats share it).
+    service: Vec<Mutex<ServiceStats>>,
+    /// The run's master seed, surfaced via [`Env::seed`] for
+    /// workload-level PRFs. Rejoined incarnations see the *master* seed
+    /// (their local-coin stream uses [`rejoin_coin_seed`] separately).
+    seed: u64,
     common_coin: Arc<dyn CommonCoin>,
     observer: Option<Arc<dyn Observer>>,
     trace: Mutex<TraceRecorder>,
     crash_plan: CrashPlan,
+    /// `true` per process iff it appears in the churn plan — surfaced as
+    /// `!`[`Env::serves_traffic`]: churn-planned replicas propose empty
+    /// filler slots in both incarnations (a restarted proposer could not
+    /// re-broadcast its clock-dependent batches identically, which the
+    /// multivalued reduction's agreement requires).
+    churn_planned: Vec<bool>,
 }
 
 /// What a process thread reports when it hands the baton back.
@@ -740,6 +754,22 @@ impl Env for SimEnv {
             obs.on_event(self.me, &event);
         }
     }
+
+    fn now(&self) -> u64 {
+        self.clock
+    }
+
+    fn seed(&self) -> u64 {
+        self.shared.seed
+    }
+
+    fn service_stats(&mut self, stats: &ServiceStats) {
+        self.shared.service[self.me.index()].lock().merge(stats);
+    }
+
+    fn serves_traffic(&self) -> bool {
+        !self.shared.churn_planned[self.me.index()]
+    }
 }
 
 /// Per-process conductor-side handle.
@@ -828,6 +858,9 @@ pub(crate) struct RunSpec {
 pub(crate) struct RawOutcome {
     pub results: Vec<(Result<Decision, Halt>, u64)>,
     pub counters: Vec<ofa_metrics::CounterSnapshot>,
+    /// Run-wide client-service statistics (traffic-driven replicated
+    /// logs only; empty otherwise), merged over processes in index order.
+    pub service: ServiceStats,
     pub trace_hash: u64,
     pub trace_events: Vec<crate::TimedEvent>,
     pub events_processed: u64,
@@ -857,10 +890,15 @@ pub(crate) fn conduct<S: Scheduler>(spec: RunSpec, scheduler: &mut S) -> RawOutc
         wake_time: (0..n).map(|_| AtomicU64::new(0)).collect(),
         memory: MemoryBank::for_partition(&spec.partition),
         counters: (0..n).map(|_| Arc::new(Counters::new())).collect(),
+        service: (0..n).map(|_| Mutex::new(ServiceStats::new())).collect(),
+        seed: spec.seed,
         common_coin: Arc::clone(&spec.common_coin),
         observer: spec.observer.clone(),
         trace: Mutex::new(TraceRecorder::new(spec.keep_trace)),
         crash_plan: spec.crash_plan.clone(),
+        churn_planned: (0..n)
+            .map(|i| spec.churn.event(ProcessId(i)).is_some())
+            .collect(),
     });
 
     // Schedule the timed crashes up front.
@@ -1035,12 +1073,17 @@ pub(crate) fn conduct<S: Scheduler>(spec: RunSpec, scheduler: &mut S) -> RawOutc
     }
 
     let counters = shared.counters.iter().map(|c| c.snapshot()).collect();
+    let mut service = ServiceStats::new();
+    for s in &shared.service {
+        service.merge(&s.lock());
+    }
     let trace = std::mem::replace(&mut *shared.trace.lock(), TraceRecorder::new(false));
     let trace_hash = trace.hash();
     let end_time = end_time.max(results.iter().map(|(_, c)| *c).max().unwrap_or(0));
     RawOutcome {
         results,
         counters,
+        service,
         trace_hash,
         trace_events: trace.into_events(),
         events_processed,

@@ -31,10 +31,11 @@ use ofa_coins::{CommonCoin, LocalCoin, SeededLocalCoin};
 use ofa_core::sm::{
     ConsensusSm, LogSm, MultivaluedSm, MvProgress, OutItem, Progress, SmCtx, SmTopology,
 };
+use ofa_core::TrafficState;
 use ofa_core::{
     mv_body_decision, Bit, Decision, Halt, Msg, MsgKind, ObsEvent, Observer, ProtocolConfig,
 };
-use ofa_metrics::CounterSnapshot;
+use ofa_metrics::{CounterSnapshot, ServiceStats};
 use ofa_scenario::{
     Body, CostModel, CrashPlan, CrashTrigger, TraceEvent, TraceRecorder, VirtualTime,
 };
@@ -45,6 +46,11 @@ use std::sync::Arc;
 /// One process's machine, shaped by the scenario body. The multivalued
 /// variant adapts [`MvProgress`] to [`Progress`] via
 /// [`mv_body_decision`], exactly like the blocking body wrapper.
+// A run's machine population is homogeneous — every element of the
+// machines vec is the same variant — so boxing `LogSm` (which carries
+// the traffic queue inline) would buy nothing for mixed workloads and
+// cost a pointer chase per step on SMR runs.
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum Machine {
     Consensus(ConsensusSm),
     Multivalued(MultivaluedSm),
@@ -60,12 +66,19 @@ impl Machine {
     ///
     /// Panics on [`Body::Custom`] — custom bodies are blocking code;
     /// route them to the thread conductor.
+    /// `serves_traffic` mirrors [`ofa_core::Env::serves_traffic`]: pass
+    /// `false` for churn-planned processes so both of their incarnations
+    /// propose empty filler slots instead of clock-dependent batches (a
+    /// restarted proposer could not re-broadcast its first incarnation's
+    /// batches identically, which the reduction's agreement requires).
     pub(crate) fn build(
         body: &Body,
         i: usize,
         topo: &Arc<SmTopology>,
         proposals: &[Bit],
         config: ProtocolConfig,
+        seed: u64,
+        serves_traffic: bool,
     ) -> Machine {
         match body {
             Body::Algo(algorithm) => Machine::Consensus(ConsensusSm::new(
@@ -84,14 +97,20 @@ impl Machine {
                 mv.proposals[i],
                 config,
             )),
-            Body::ReplicatedLog(smr) => Machine::Log(LogSm::new(
-                smr.algorithm,
-                ProcessId(i),
-                Arc::clone(topo),
-                smr.queues[i].clone(),
-                smr.slots,
-                config,
-            )),
+            Body::ReplicatedLog(smr) => {
+                let traffic = smr.traffic.as_ref().filter(|_| serves_traffic).map(|spec| {
+                    TrafficState::new(spec, seed, i as u32, topo.partition().n() as u32)
+                });
+                Machine::Log(LogSm::new(
+                    smr.algorithm,
+                    ProcessId(i),
+                    Arc::clone(topo),
+                    smr.queues.get(i).cloned().unwrap_or_default(),
+                    smr.slots,
+                    config,
+                    traffic,
+                ))
+            }
             Body::Custom(_) => {
                 panic!("the event-driven engines run declarative bodies only")
             }
@@ -154,6 +173,8 @@ impl Machine {
         i: usize,
         topo: &Arc<SmTopology>,
         config: ProtocolConfig,
+        seed: u64,
+        serves_traffic: bool,
         v: &serde::Value,
     ) -> Result<Machine, serde::Error> {
         let variant = |tag: &str| {
@@ -180,8 +201,10 @@ impl Machine {
                 ProcessId(i),
                 Arc::clone(topo),
                 config,
-                smr.queues[i].clone(),
+                smr.queues.get(i).cloned().unwrap_or_default(),
                 smr.slots,
+                smr.traffic.as_ref().filter(|_| serves_traffic),
+                seed,
                 variant("Log")?,
             )?)),
             Body::Custom(_) => {
@@ -214,6 +237,11 @@ pub(crate) struct ProcState {
     /// thread, so the snapshot type doubles as the accumulator on the
     /// hot path.
     pub(crate) counters: CounterSnapshot,
+    /// Client-service statistics emitted by the machine's terminal step
+    /// (traffic-driven replicated logs only; empty otherwise). Like
+    /// `counters`, persists across churn incarnations — the second
+    /// incarnation's emission merges in.
+    pub(crate) service: ServiceStats,
     crash_at_step: Option<u64>,
     crash_at_round: Option<u64>,
     pub(crate) finished: Option<(Result<Decision, Halt>, u64)>,
@@ -233,6 +261,7 @@ impl ProcState {
             crashed_self: false,
             local_coin: SeededLocalCoin::for_process(seed, pid),
             counters: CounterSnapshot::default(),
+            service: ServiceStats::new(),
             crash_at_step,
             crash_at_round,
             finished: None,
@@ -249,6 +278,7 @@ impl ProcState {
             coin_rng,
             coin_flips,
             counters: self.counters,
+            service: self.service.clone(),
             finished: self.finished,
         }
     }
@@ -269,6 +299,7 @@ impl ProcState {
             crashed_self: snap.crashed_self,
             local_coin: SeededLocalCoin::from_state(snap.coin_rng, snap.coin_flips),
             counters: snap.counters,
+            service: snap.service.clone(),
             crash_at_step,
             crash_at_round,
             finished: snap.finished,
@@ -345,6 +376,7 @@ impl ProcState {
             crashed_self: &mut self.crashed_self,
             local_coin: &mut self.local_coin,
             counters: &mut self.counters,
+            service: &mut self.service,
             memory,
             common_coin,
             observer,
@@ -373,6 +405,7 @@ pub(crate) struct EventCtx<'a> {
     crashed_self: &'a mut bool,
     local_coin: &'a mut SeededLocalCoin,
     counters: &'a mut CounterSnapshot,
+    service: &'a mut ServiceStats,
     memory: &'a ClusterMemory,
     common_coin: &'a dyn CommonCoin,
     observer: Option<&'a dyn Observer>,
@@ -497,6 +530,14 @@ impl SmCtx for EventCtx<'_> {
 
     fn note_broadcast(&mut self) {
         self.counters.broadcasts += 1;
+    }
+
+    fn now(&self) -> u64 {
+        *self.clock
+    }
+
+    fn service_stats(&mut self, stats: &ServiceStats) {
+        self.service.merge(stats);
     }
 }
 
@@ -629,9 +670,20 @@ pub(crate) fn conduct_event_driven_leg(
 
     let topo = Arc::new(SmTopology::new(spec.partition.clone()));
     let config: ProtocolConfig = spec.config;
+    let serves = |i: usize| spec.churn.event(ProcessId(i)).is_none();
     let machines: Vec<Machine> = match resume {
         None => (0..n)
-            .map(|i| Machine::build(&spec.body, i, &topo, &spec.proposals, config))
+            .map(|i| {
+                Machine::build(
+                    &spec.body,
+                    i,
+                    &topo,
+                    &spec.proposals,
+                    config,
+                    spec.seed,
+                    serves(i),
+                )
+            })
             .collect(),
         Some(snap) => {
             assert_eq!(snap.machines.len(), n, "snapshot is for a different n");
@@ -639,11 +691,25 @@ pub(crate) fn conduct_event_driven_leg(
                 .map(|i| match &snap.machines[i] {
                     // Finished processes are never dispatched again; a
                     // fresh machine is a placeholder, not state.
-                    serde::Value::Null => {
-                        Machine::build(&spec.body, i, &topo, &spec.proposals, config)
-                    }
-                    v => Machine::from_snapshot(&spec.body, i, &topo, config, v)
-                        .expect("resume: machine snapshot decodes"),
+                    serde::Value::Null => Machine::build(
+                        &spec.body,
+                        i,
+                        &topo,
+                        &spec.proposals,
+                        config,
+                        spec.seed,
+                        serves(i),
+                    ),
+                    v => Machine::from_snapshot(
+                        &spec.body,
+                        i,
+                        &topo,
+                        config,
+                        spec.seed,
+                        serves(i),
+                        v,
+                    )
+                    .expect("resume: machine snapshot decodes"),
                 })
                 .collect()
         }
@@ -813,13 +879,16 @@ pub(crate) fn conduct_event_driven_leg(
                     .record(VirtualTime::from_ticks(at), TraceEvent::Rejoin { who: pid });
                 // Fresh machine (fresh mailbox, original proposal),
                 // reset runtime state, rejoin-domain coin stream —
-                // exactly the conductor's fresh seat.
+                // exactly the conductor's fresh seat. Only churn-planned
+                // processes rejoin, and those never serve traffic.
                 engine.machines[i] = Machine::build(
                     &engine.body,
                     i,
                     &engine.topo,
                     &engine.proposals,
                     engine.config,
+                    engine.seed,
+                    false,
                 );
                 engine.procs[i].rejoin(rejoin_coin_seed(engine.seed), pid, at);
                 engine.dispatch(i, Input::Start);
@@ -841,11 +910,16 @@ pub(crate) fn conduct_event_driven_leg(
         .map(|s| s.finished.take().expect("all machines have terminated"))
         .collect();
     let counters = engine.procs.iter().map(|s| s.counters).collect();
+    let mut service = ServiceStats::new();
+    for s in &engine.procs {
+        service.merge(&s.service);
+    }
     let trace_hash = engine.trace.hash();
     let end_time = end_time.max(results.iter().map(|(_, c)| *c).max().unwrap_or(0));
     LegResult::Done(RawOutcome {
         results,
         counters,
+        service,
         trace_hash,
         trace_events: engine.trace.into_events(),
         events_processed,

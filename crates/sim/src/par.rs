@@ -69,7 +69,7 @@ use crate::conductor::{rejoin_coin_seed, EventKey, Keyed, RawOutcome, RunSpec, S
 use crate::engine::{Input, LegResult, Machine, ProcState};
 use ofa_core::sm::{OutItem, Progress, SmTopology};
 use ofa_core::{Bit, Decision, Halt, Msg, MsgKind};
-use ofa_metrics::CounterSnapshot;
+use ofa_metrics::{CounterSnapshot, ServiceStats};
 use ofa_scenario::{Body, CrashTrigger, Fate, NetIndex, TraceEvent, TraceRecorder, VirtualTime};
 use ofa_sharedmem::MemoryBank;
 use ofa_topology::ProcessId;
@@ -154,6 +154,9 @@ struct ShardResult {
     /// `(global process index, result, final clock)` per member.
     results: Vec<(u32, Result<Decision, Halt>, u64)>,
     counters: Vec<(u32, CounterSnapshot)>,
+    /// This shard's members' client-service statistics, pre-merged (the
+    /// run-wide merge is order-independent, so shard totals compose).
+    service: ServiceStats,
     trace: TraceRecorder,
 }
 
@@ -431,12 +434,15 @@ impl ShardState {
         let who = ProcessId(pid as usize);
         self.trace
             .record(VirtualTime::from_ticks(at), TraceEvent::Rejoin { who });
+        // Only churn-planned processes rejoin; those never serve traffic.
         self.machines[li] = Machine::build(
             &self.body,
             pid as usize,
             &self.topo,
             &self.proposals,
             self.config,
+            self.seed,
+            false,
         );
         self.procs[li].rejoin(rejoin_coin_seed(self.seed), who, at);
         self.dispatch(li, Input::Start);
@@ -691,9 +697,14 @@ impl ShardState {
             .zip(self.procs.iter())
             .map(|(&g, p)| (g, p.counters))
             .collect();
+        let mut service = ServiceStats::new();
+        for p in &self.procs {
+            service.merge(&p.service);
+        }
         Box::new(ShardResult {
             results,
             counters,
+            service,
             trace: self.trace,
         })
     }
@@ -817,6 +828,7 @@ pub(crate) fn conduct_parallel_leg(
     let mut final_results: Vec<Option<(Result<Decision, Halt>, u64)>> = Vec::new();
     final_results.resize_with(n, || None);
     let mut final_counters = vec![CounterSnapshot::default(); n];
+    let mut final_service = ServiceStats::new();
     let mut trace = match resume {
         None => TraceRecorder::new(false),
         Some(snap) => TraceRecorder::resume(snap.trace_hash, snap.trace_count),
@@ -842,33 +854,42 @@ pub(crate) fn conduct_parallel_leg(
                     n,
                     machines: members
                         .iter()
-                        .map(|&g| match resume {
-                            None => Machine::build(
-                                &spec_ref.body,
-                                g as usize,
-                                &topo,
-                                &spec_ref.proposals,
-                                spec_ref.config,
-                            ),
-                            Some(snap) => match &snap.machines[g as usize] {
-                                // Finished processes are never dispatched
-                                // again; a fresh machine is a placeholder.
-                                serde::Value::Null => Machine::build(
+                        .map(|&g| {
+                            let serves = spec_ref.churn.event(ProcessId(g as usize)).is_none();
+                            match resume {
+                                None => Machine::build(
                                     &spec_ref.body,
                                     g as usize,
                                     &topo,
                                     &spec_ref.proposals,
                                     spec_ref.config,
+                                    spec_ref.seed,
+                                    serves,
                                 ),
-                                v => Machine::from_snapshot(
-                                    &spec_ref.body,
-                                    g as usize,
-                                    &topo,
-                                    spec_ref.config,
-                                    v,
-                                )
-                                .expect("resume: machine snapshot decodes"),
-                            },
+                                Some(snap) => match &snap.machines[g as usize] {
+                                    // Finished processes are never dispatched
+                                    // again; a fresh machine is a placeholder.
+                                    serde::Value::Null => Machine::build(
+                                        &spec_ref.body,
+                                        g as usize,
+                                        &topo,
+                                        &spec_ref.proposals,
+                                        spec_ref.config,
+                                        spec_ref.seed,
+                                        serves,
+                                    ),
+                                    v => Machine::from_snapshot(
+                                        &spec_ref.body,
+                                        g as usize,
+                                        &topo,
+                                        spec_ref.config,
+                                        spec_ref.seed,
+                                        serves,
+                                        v,
+                                    )
+                                    .expect("resume: machine snapshot decodes"),
+                                },
+                            }
                         })
                         .collect(),
                     procs: members
@@ -1192,6 +1213,10 @@ pub(crate) fn conduct_parallel_leg(
                     for (g, c) in res.counters {
                         final_counters[g as usize] = c;
                     }
+                    // Shard replies arrive in real-time order, but the
+                    // service merge is commutative (sums and maxima), so
+                    // the total is still deterministic.
+                    final_service.merge(&res.service);
                     trace.merge(res.trace);
                 }
                 _ => unreachable!("final phase: Finished"),
@@ -1212,6 +1237,7 @@ pub(crate) fn conduct_parallel_leg(
     LegResult::Done(RawOutcome {
         results,
         counters: final_counters,
+        service: final_service,
         trace_hash: trace.hash(),
         trace_events: Vec::new(),
         events_processed,

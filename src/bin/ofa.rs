@@ -8,6 +8,7 @@
 //! ofa --sizes 2,2 --runtime            # real threads instead of the simulator
 //! ofa --sizes 1,4,2 --engine threads    # pin the reference thread conductor
 //! ofa --sizes 40,40,40 --engine par     # cluster-sharded parallel engine
+//! ofa --sizes 10,10,10 --serve poisson:200 --clients 64   # client traffic
 //! ofa --sizes 1,4,2 --json             # unified Outcome as JSON
 //! ofa --checkpoint-at 5000 --checkpoint-file run.snap.json   # pause, exit 3
 //! ofa --resume run.snap.json                                 # continue
@@ -24,6 +25,7 @@
 //! straight-through run), and the `--diverge-*` flags mutate the tail
 //! before resuming.
 
+use one_for_all::consensus::{ArrivalProcess, TrafficSpec};
 use one_for_all::prelude::*;
 use one_for_all::scenario::{DivergeSpec, Snapshot, VirtualTime};
 use one_for_all::sim::RunOutcome;
@@ -69,6 +71,27 @@ OPTIONS:
                        human-readable report)
     --help             show this message
 
+SERVING TRAFFIC (simulator only; replaces the single-shot consensus body
+with a traffic-driven replicated log):
+    --serve ARRIVAL    clients submit commands per ARRIVAL, in ticks of
+                       virtual time: periodic:P[:PHASE] (one command every
+                       P ticks), poisson:MEAN_GAP (exponential gaps),
+                       bursty:N:P[:PHASE] (N commands every P ticks), or
+                       closed:LO:HI (closed loop — each client waits for
+                       its commit, then thinks for LO..=HI ticks). Every
+                       arrival is a pure function of (seed, client, k), so
+                       any engine and worker count serves the identical
+                       workload.
+    --clients N        number of clients; client c submits to replica
+                       c mod n [default: n]
+    --slots N          log slots (consensus instances) to run [default: 8]
+    --queue-cap N      bounded proposer queue depth — arrivals that find
+                       it full are shed and counted [default: 64]
+    --batch-max N      max commands batched into one proposal [default: 16]
+    --batch-min N      min queued commands before a non-empty proposal;
+                       below it the proposer passes (fill-or-timeout)
+                       [default: 0]
+
 CHECKPOINT / RESUME (simulator event engines only):
     --checkpoint-at T     pause at virtual time T: write the snapshot to
                           --checkpoint-file and exit with code 3
@@ -104,6 +127,12 @@ struct Options {
     dup_ppm: u32,
     churn: Vec<(usize, u64, Option<u64>)>,
     max_rounds: u64,
+    serve: Option<ArrivalProcess>,
+    clients: u64,
+    slots: u64,
+    queue_cap: u32,
+    batch_max: u32,
+    batch_min: u32,
     trace: bool,
     engine: Option<Engine>,
     runtime: bool,
@@ -136,6 +165,12 @@ fn parse_args() -> Result<Options, String> {
         dup_ppm: 0,
         churn: Vec::new(),
         max_rounds: 512,
+        serve: None,
+        clients: 0,
+        slots: 8,
+        queue_cap: 64,
+        batch_max: 16,
+        batch_min: 0,
         trace: false,
         engine: None,
         runtime: false,
@@ -206,6 +241,34 @@ fn parse_args() -> Result<Options, String> {
             "--churn" => {
                 let spec = value(&mut i)?;
                 opts.churn.push(parse_churn(&spec)?);
+            }
+            "--serve" => {
+                opts.serve = Some(parse_arrival(&value(&mut i)?)?);
+            }
+            "--clients" => {
+                opts.clients = value(&mut i)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?
+            }
+            "--slots" => {
+                opts.slots = value(&mut i)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?
+            }
+            "--queue-cap" => {
+                opts.queue_cap = value(&mut i)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?
+            }
+            "--batch-max" => {
+                opts.batch_max = value(&mut i)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?
+            }
+            "--batch-min" => {
+                opts.batch_min = value(&mut i)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?
             }
             "--trace" => opts.trace = true,
             "--engine" => {
@@ -283,6 +346,18 @@ fn parse_args() -> Result<Options, String> {
     if opts.runtime && (opts.loss_ppm > 0 || opts.dup_ppm > 0 || !opts.churn.is_empty()) {
         return Err("--loss/--dup/--churn model the simulated network, not --runtime".into());
     }
+    if opts.serve.is_some() && opts.runtime {
+        return Err("--serve needs the simulator's virtual clock, not --runtime".into());
+    }
+    if opts.serve.is_none()
+        && (opts.clients > 0
+            || opts.slots != 8
+            || opts.queue_cap != 64
+            || opts.batch_max != 16
+            || opts.batch_min != 0)
+    {
+        return Err("--clients/--slots/--queue-cap/--batch-* require --serve".into());
+    }
     if (checkpointing || opts.resume.is_some()) && opts.trace {
         return Err("checkpointing cannot retain an ordered trace (drop --trace)".into());
     }
@@ -328,6 +403,47 @@ fn parse_crash(spec: &str) -> Result<(usize, CrashWhen), String> {
         CrashWhen::Step(step)
     };
     Ok((pid - 1, when))
+}
+
+/// Parses a `--serve` arrival spec: `periodic:P[:PHASE]`,
+/// `poisson:MEAN_GAP`, `bursty:N:P[:PHASE]`, or `closed:LO:HI`.
+fn parse_arrival(spec: &str) -> Result<ArrivalProcess, String> {
+    let num = |s: &str| {
+        s.parse::<u64>()
+            .map_err(|e| format!("bad number {s:?} in --serve {spec:?}: {e}"))
+    };
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["periodic", p] => Ok(ArrivalProcess::Periodic {
+            period: num(p)?,
+            phase: 0,
+        }),
+        ["periodic", p, ph] => Ok(ArrivalProcess::Periodic {
+            period: num(p)?,
+            phase: num(ph)?,
+        }),
+        ["poisson", gap] => Ok(ArrivalProcess::Poisson {
+            mean_gap: num(gap)?,
+        }),
+        ["bursty", b, p] => Ok(ArrivalProcess::Bursty {
+            burst: num(b)?,
+            period: num(p)?,
+            phase: 0,
+        }),
+        ["bursty", b, p, ph] => Ok(ArrivalProcess::Bursty {
+            burst: num(b)?,
+            period: num(p)?,
+            phase: num(ph)?,
+        }),
+        ["closed", lo, hi] => Ok(ArrivalProcess::ClosedLoop {
+            think_lo: num(lo)?,
+            think_hi: num(hi)?,
+        }),
+        _ => Err(format!(
+            "bad --serve spec {spec:?} (use periodic:P[:PHASE], poisson:MEAN_GAP, \
+             bursty:N:P[:PHASE], or closed:LO:HI)"
+        )),
+    }
 }
 
 /// Parses a parts-per-million rate (`0..=1_000_000`).
@@ -430,6 +546,23 @@ fn main() {
         .dup_ppm(opts.dup_ppm)
         .churn(build_churn(&opts.churn))
         .seed(opts.seed);
+    if let Some(arrival) = opts.serve {
+        scenario = scenario.replicated_log_traffic(
+            opts.algorithm,
+            opts.slots,
+            TrafficSpec {
+                arrival,
+                clients: if opts.clients == 0 {
+                    n as u64
+                } else {
+                    opts.clients
+                },
+                queue_cap: opts.queue_cap,
+                batch_max: opts.batch_max,
+                batch_min: opts.batch_min,
+            },
+        );
+    }
     if let Some(engine) = opts.engine {
         scenario = scenario.engine(engine);
     }
@@ -463,6 +596,20 @@ fn main() {
                 Some(r) => println!("churn: p{} leaves at t{leave}, rejoins at t{r}", p + 1),
                 None => println!("churn: p{} leaves at t{leave}", p + 1),
             }
+        }
+        if let Some(arrival) = &opts.serve {
+            println!(
+                "serving: {arrival:?} | {} clients | {} slots | queue cap {} | batch {}..={}",
+                if opts.clients == 0 {
+                    n as u64
+                } else {
+                    opts.clients
+                },
+                opts.slots,
+                opts.queue_cap,
+                opts.batch_min,
+                opts.batch_max,
+            );
         }
     }
 
@@ -635,6 +782,20 @@ fn report(out: &Outcome, opts: &Options) {
         println!(
             "  messages {} | cluster proposes {}",
             out.counters.messages_sent, out.counters.cluster_proposes
+        );
+    }
+    let s = &out.service;
+    if !s.is_empty() {
+        println!(
+            "  served: {} submitted | {} committed | {} shed | {} batches | max queue {}",
+            s.submitted, s.committed, s.shed, s.batches, s.max_queue_depth
+        );
+        println!(
+            "  latency p50 {} | p90 {} | p99 {} ticks | throughput {:.2} cmds/kilotick",
+            s.latency.percentile(50),
+            s.latency.percentile(90),
+            s.latency.percentile(99),
+            s.throughput_per_kilotick(out.end_time.ticks()),
         );
     }
     summarize(out.agreement_holds(), out.deciders(), n);

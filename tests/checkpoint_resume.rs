@@ -55,6 +55,9 @@ fn assert_same_outcome(label: &str, a: &Outcome, b: &Outcome) {
     prop_assert_eq!(a.sm_proposes, b.sm_proposes, "{}: sm_proposes", label);
     prop_assert_eq!(a.sm_objects, b.sm_objects, "{}: sm_objects", label);
     prop_assert_eq!(a.engine_used, b.engine_used, "{}: engine_used", label);
+    // Service metrics ride the snapshot too: in-flight proposer queues
+    // and partially-filled latency histograms must survive the cut.
+    prop_assert_eq!(&a.service, &b.service, "{}: service", label);
 }
 
 /// Runs `scenario` as a chain of single-epoch legs — pause at every
@@ -279,4 +282,59 @@ fn diverge_rewrites_only_the_tail() {
     assert_eq!(once.trace_hash, twice.trace_hash);
     assert_eq!(once.decisions, twice.decisions);
     assert_eq!(once.end_time, twice.end_time);
+}
+
+use one_for_all::consensus::{ArrivalProcess, TrafficSpec};
+
+/// A traffic-driven replicated log checkpoints **mid-burst** and resumes
+/// bit for bit on both event engines: bursts of 6 commands against a
+/// batch cap of 2 keep proposer queues non-empty across cuts, and
+/// commits land throughout the run, so stepping at every epoch is
+/// guaranteed to cut through states with queued in-flight commands and a
+/// partially-filled latency histogram — all of which must ride the
+/// snapshot (including through JSON) without changing the final service
+/// stats.
+#[test]
+fn traffic_checkpoint_mid_burst_resumes_bit_for_bit() {
+    unlock_cores();
+    let spec = TrafficSpec {
+        arrival: ArrivalProcess::Bursty {
+            burst: 6,
+            period: 2_000,
+            phase: 100,
+        },
+        clients: 9,
+        queue_cap: 8,
+        batch_max: 2,
+        batch_min: 0,
+    };
+    for engine in [Engine::EventDriven, Engine::ParallelEvent { workers: 3 }] {
+        let scenario = Scenario::new(Partition::even(9, 3), Algorithm::LocalCoin)
+            .replicated_log_traffic(Algorithm::LocalCoin, 6, spec)
+            .delay(DelayModel::Constant(500))
+            .seed(29)
+            .engine(engine);
+        let straight = Sim.run(&scenario);
+        // The workload is non-trivial: commands queued beyond one batch
+        // (the mid-burst state a cut must capture), commits measured.
+        assert!(straight.service.submitted > 0, "{:?}", straight.service);
+        assert!(straight.service.committed > 0, "{:?}", straight.service);
+        assert!(
+            straight.service.max_queue_depth > 2,
+            "bursts must outrun the batch cap: {:?}",
+            straight.service
+        );
+        assert!(!straight.service.latency.is_empty());
+        // Pause at every epoch boundary and chain the legs.
+        let (stepped, first, _, legs) = run_stepped(&scenario);
+        assert!(legs > 2, "the run must span several epochs");
+        assert_same_outcome("mid-burst stepped chain", &straight, &stepped);
+        // A single snapshot also survives JSON — queued commands, per-
+        // client think-time state, and histogram buckets all serialize.
+        let snap = first.expect("the run pauses at least once");
+        let json = serde_json::to_string(&*snap).expect("snapshot serializes");
+        let copy: Snapshot = serde_json::from_str(&json).expect("snapshot deserializes");
+        let resumed = Sim.resume(&copy);
+        assert_same_outcome("mid-burst serde resume", &straight, &resumed);
+    }
 }

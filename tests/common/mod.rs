@@ -5,7 +5,9 @@
 //! corpus the straight-through contract was proven on.
 #![allow(dead_code)]
 
-use one_for_all::consensus::{Algorithm, Bit, Payload, ProtocolConfig};
+use one_for_all::consensus::{
+    Algorithm, ArrivalProcess, Bit, Payload, ProtocolConfig, TrafficSpec,
+};
 use one_for_all::prelude::{ChurnPlan, CoinSpec, CrashPlan, NetworkModel, Scenario};
 use one_for_all::scenario::{
     Body, CostModel, DelayModel, LatencyDist, MvWorkload, SmrWorkload, VirtualTime,
@@ -72,8 +74,10 @@ pub fn scenario_strategy() -> impl Strategy<Value = Scenario> {
                 crash_plan_strategy(n),
                 (0u8..3, 0u8..3, 0u8..3), // delay model, coin spec, config preset
                 (0u64..3, 1u64..6),       // send cost (0 => broadcasts batch), sm op cost
-                (0u8..3, 1u64..4),        // body kind, log slots
-                (0u8..4, 0u8..3),         // network shape, loss/dup rate preset
+                // body kind, log slots, traffic kind (0 = pre-seeded
+                // queues), backpressure preset
+                (0u8..3, 1u64..4, 0u8..5, 0u8..3),
+                (0u8..4, 0u8..3), // network shape, loss/dup rate preset
                 // churn entries: (process, leave units, rejoin?, rejoin units)
                 proptest::collection::vec((0usize..n, 1u64..8, any::<bool>(), 1u64..8), 0..3),
             )
@@ -87,7 +91,7 @@ pub fn scenario_strategy() -> impl Strategy<Value = Scenario> {
                 crashes,
                 (delay_kind, coin_kind, cfg),
                 (send, sm),
-                (body_kind, slots),
+                (body_kind, slots, traffic_kind, bp_kind),
                 (net_kind, rate_kind),
                 churn_entries,
             )| {
@@ -127,15 +131,63 @@ pub fn scenario_strategy() -> impl Strategy<Value = Scenario> {
                         algorithm,
                         proposals: (0..n).map(|i| payload("mv", i)).collect(),
                     }),
-                    _ => Body::ReplicatedLog(SmrWorkload {
-                        algorithm,
-                        slots,
-                        // Mixed queue lengths, including an empty queue
-                        // (proposes empty payloads) when n > 1.
-                        queues: (0..n)
-                            .map(|i| (0..i % 3).map(|j| payload("q", i * 10 + j)).collect())
-                            .collect(),
-                    }),
+                    _ => {
+                        // Traffic and pre-seeded queues are mutually
+                        // exclusive; traffic kind 0 keeps the original
+                        // pre-seeded corpus verbatim.
+                        let traffic = match traffic_kind {
+                            0 => None,
+                            k => {
+                                let arrival = match k {
+                                    1 => ArrivalProcess::Periodic {
+                                        period: 130,
+                                        phase: seed % 70,
+                                    },
+                                    2 => ArrivalProcess::Poisson { mean_gap: 160 },
+                                    3 => ArrivalProcess::Bursty {
+                                        burst: 4,
+                                        period: 600,
+                                        phase: 50,
+                                    },
+                                    _ => ArrivalProcess::ClosedLoop {
+                                        think_lo: 90,
+                                        think_hi: 400,
+                                    },
+                                };
+                                // Backpressure presets from shed-heavy to
+                                // roomy — overflow counting, batch fill,
+                                // and the high-water gauge must all match
+                                // across engines.
+                                let (queue_cap, batch_max) = match bp_kind {
+                                    0 => (2, 1),
+                                    1 => (8, 4),
+                                    _ => (64, 16),
+                                };
+                                Some(TrafficSpec {
+                                    arrival,
+                                    clients: n as u64 * 2,
+                                    queue_cap,
+                                    batch_max,
+                                    batch_min: 0,
+                                })
+                            }
+                        };
+                        let queues = if traffic.is_some() {
+                            Vec::new()
+                        } else {
+                            // Mixed queue lengths, including an empty
+                            // queue (proposes empty payloads) when n > 1.
+                            (0..n)
+                                .map(|i| (0..i % 3).map(|j| payload("q", i * 10 + j)).collect())
+                                .collect()
+                        };
+                        Body::ReplicatedLog(SmrWorkload {
+                            algorithm,
+                            slots,
+                            queues,
+                            traffic,
+                        })
+                    }
                 };
                 // Network shape: 0 keeps the pre-network-model flat
                 // corpus verbatim (no loss/dup), the rest layer rates,
