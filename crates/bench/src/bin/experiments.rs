@@ -16,8 +16,8 @@
 //! machine-readable JSON (`{"experiments": [{id, title, columns, rows}]}`)
 //! — the CI scale gates archive these as per-run build artifacts.
 //!
-//! `--budget-secs <s>` runs the ESCALE, NETSCALE, or SERVE sweep
-//! resumably:
+//! `--budget-secs <s>` runs the ESCALE, NETSCALE, SERVE, or EXPLORE
+//! sweep resumably:
 //! cells execute as checkpointed legs, and when the wall-clock budget
 //! expires the
 //! in-flight snapshot is saved under `--state-dir` (default
@@ -134,17 +134,23 @@ fn main() {
     }
 
     if let Some(secs) = budget_secs {
-        // Only the ESCALE, NETSCALE, and SERVE sweeps run resumably
-        // today: SMRSCALE (and PARSCALE's baseline comparison) verify
-        // their logs through a run observer, which checkpointing
+        // Only the ESCALE, NETSCALE, SERVE, and EXPLORE sweeps run
+        // resumably today: SMRSCALE (and PARSCALE's baseline comparison)
+        // verify their logs through a run observer, which checkpointing
         // deliberately refuses to capture. SERVE's service metrics ride
         // the snapshot itself (in-flight queues, latency histograms), so
-        // it needs no observer.
+        // it needs no observer; EXPLORE checkpoints its own search state
+        // at generation boundaries.
         let id = ids.first().map(|s| s.to_ascii_lowercase());
-        if ids.len() != 1 || !matches!(id.as_deref(), Some("escale" | "netscale" | "serve")) {
+        if ids.len() != 1
+            || !matches!(
+                id.as_deref(),
+                Some("escale" | "netscale" | "serve" | "explore")
+            )
+        {
             eprintln!(
                 "--budget-secs currently supports exactly one experiment: escale, netscale, \
-                 or serve"
+                 serve, or explore"
             );
             std::process::exit(2);
         }
@@ -169,7 +175,7 @@ fn main() {
                 let (_rows, table, paused) = netscale::run_resumable(n, cells, &dir, deadline);
                 ("NETSCALE", table, paused)
             }
-            _ => {
+            Some("serve") => {
                 use ofa_bench::experiments::serve;
                 let (n, cells): (usize, &[(u32, u32)]) = match scale {
                     Scale::Full => (serve::FULL_N, &serve::CELLS),
@@ -177,6 +183,15 @@ fn main() {
                 };
                 let (_rows, table, paused) = serve::run_resumable(n, cells, &dir, deadline);
                 ("SERVE", table, paused)
+            }
+            _ => {
+                use ofa_bench::experiments::explore;
+                let params = match scale {
+                    Scale::Full => &explore::FULL,
+                    Scale::Quick => &explore::QUICK,
+                };
+                let (_rows, table, paused) = explore::run_resumable(params, &dir, deadline);
+                ("EXPLORE", table, paused)
             }
         };
         let tables = vec![(id.to_string(), table)];
@@ -211,7 +226,8 @@ fn main() {
                 None => {
                     eprintln!(
                         "unknown experiment id: {id} \
-                         (expected e1..e10, escale, smrscale, parscale, netscale, or serve)"
+                         (expected e1..e10, escale, smrscale, parscale, netscale, serve, \
+                         or explore)"
                     );
                     std::process::exit(2);
                 }

@@ -6,7 +6,7 @@
 //! (so the protocol genuinely has to converge instead of taking the
 //! unanimity fast path) at cluster scale, sweeping
 //!
-//! * the **loss rate** (0 → 10 000 ppm = 1 % of all messages dropped,
+//! * the **loss rate** (0 → 50 000 ppm = 5 % of all messages dropped,
 //!   each fate an independent PRF decision per link and message), and
 //! * the **churn rate** (0 → 1 % of processes leave mid-protocol and
 //!   rejoin with a fresh mailbox a few delays later),
@@ -36,15 +36,28 @@ pub const QUICK_N: usize = 2_000;
 
 /// One sweep cell: `(loss_ppm, churn_ppm)`. Loss and churn are swept
 /// separately against the shared lossless baseline, so a row's movement
-/// is attributable to one axis.
-pub const CELLS: [(u32, u32); 6] = [
+/// is attributable to one axis. The loss axis is fine-grained through
+/// the 0–5 % regime: up to [`LIVENESS_LOSS_PPM`] every stable process
+/// must still decide (asserted); above it the sweep *measures* where
+/// liveness starts degrading instead of asserting it away — that
+/// knee is the loss-aware-liveness datum this experiment exists for.
+pub const CELLS: [(u32, u32); 9] = [
     (0, 0),
     (100, 0),
     (1_000, 0),
+    (5_000, 0),
     (10_000, 0),
+    (25_000, 0),
+    (50_000, 0),
     (0, 1_000),
     (0, 10_000),
 ];
+
+/// The highest loss rate at which the sweep still *asserts* full
+/// liveness (every never-churned process decides within the round cap).
+/// Above 1 % loss the protocol still decides in these runs, but the
+/// guarantee is empirical, not asserted — the table records it.
+pub const LIVENESS_LOSS_PPM: u32 = 10_000;
 
 /// The CI smoke cells: baseline, 1 % loss, 1 % churn.
 pub const QUICK_CELLS: [(u32, u32); 3] = [(0, 0), (10_000, 0), (0, 10_000)];
@@ -119,21 +132,32 @@ const COLUMNS: [&str; 9] = [
     "events/s",
 ];
 
-/// Checks the invariants a cell must satisfy regardless of loss/churn
-/// rates: safety always, and liveness for everyone who never churned.
+/// Checks the invariants a cell must satisfy: safety always, at every
+/// rate — lost messages may stall a decision but can never split it.
+/// Liveness (every never-churned process decides) is asserted only up
+/// to [`LIVENESS_LOSS_PPM`]; beyond that the sweep reports deciders
+/// rather than demanding them, and only requires that *someone* decided
+/// so every row carries a meaningful round/latency datum.
 fn assert_cell(out: &ofa_scenario::Outcome, n: usize, loss_ppm: u32, churn_ppm: u32) {
     assert!(
         out.agreement_holds(),
         "netscale n={n} loss={loss_ppm} churn={churn_ppm}: agreement violated"
     );
     let churned = (n as u64 * u64::from(churn_ppm) / 1_000_000) as usize;
-    assert!(
-        out.deciders() >= n - churned,
-        "netscale n={n} loss={loss_ppm} churn={churn_ppm}: only {} of {} stable \
-         processes decided",
-        out.deciders(),
-        n - churned
-    );
+    if loss_ppm <= LIVENESS_LOSS_PPM {
+        assert!(
+            out.deciders() >= n - churned,
+            "netscale n={n} loss={loss_ppm} churn={churn_ppm}: only {} of {} stable \
+             processes decided",
+            out.deciders(),
+            n - churned
+        );
+    } else {
+        assert!(
+            out.deciders() > 0,
+            "netscale n={n} loss={loss_ppm} churn={churn_ppm}: nobody decided"
+        );
+    }
 }
 
 fn sweep_row(table: &mut Table, rows: &mut Vec<NetRow>, row: NetRow) {
@@ -157,9 +181,10 @@ fn sweep_row(table: &mut Table, rows: &mut Vec<NetRow>, row: NetRow) {
 ///
 /// # Panics
 ///
-/// Panics if any cell violates agreement or loses a decider that never
-/// churned — the rates swept here are well inside the protocol's fault
-/// budget, so anything else is an engine regression.
+/// Panics if any cell violates agreement, if a cell at or below
+/// [`LIVENESS_LOSS_PPM`] loses a decider that never churned (those
+/// rates are well inside the protocol's fault budget, so anything else
+/// is an engine regression), or if a high-loss cell decides nowhere.
 pub fn run(n: usize, cells: &[(u32, u32)]) -> (Vec<NetRow>, Table) {
     let mut table = Table::new(TITLE, &COLUMNS);
     let mut rows = Vec::new();
@@ -300,6 +325,16 @@ mod tests {
         assert!(rows[1].events < rows[0].events, "loss must drop deliveries");
         assert_eq!(rows[2].churn_ppm, 10_000);
         assert!(rows.iter().all(|r| r.deciders > 0));
+    }
+
+    #[test]
+    fn high_loss_cells_hold_safety_past_the_liveness_line() {
+        let (rows, table) = run(400, &[(25_000, 0), (50_000, 0)]);
+        assert_eq!(table.len(), 2);
+        // Past LIVENESS_LOSS_PPM the sweep only measures liveness — but
+        // safety held (run asserts it) and the rows carry real decisions.
+        assert!(rows.iter().all(|r| r.loss_ppm > LIVENESS_LOSS_PPM));
+        assert!(rows.iter().all(|r| r.deciders > 0 && r.rounds >= 1));
     }
 
     #[test]

@@ -23,11 +23,13 @@
 //! | PARSCALE | cluster-sharded parallel engine vs single-threaded: identical runs, measured speedup |
 //! | NETSCALE | consensus at `n = 10⁴` under message loss and churn: rounds and decision latency vs rate |
 //! | SERVE | client traffic over the replicated KV at `n = 10⁴`: throughput, p50/p99 latency, sheds vs loss/churn |
+//! | EXPLORE | adversarial schedule search at `n = 10³`: fixed-seed guided mutation, deterministic trajectory, no safety violation found |
 
 #![warn(missing_docs)]
 
 /// The experiment modules, E1 through E10 plus the ESCALE / SMRSCALE /
-/// PARSCALE / NETSCALE / SERVE engine sweeps.
+/// PARSCALE / NETSCALE / SERVE engine sweeps and the EXPLORE
+/// adversarial-search workload.
 pub mod experiments {
     pub mod e1;
     pub mod e10;
@@ -40,6 +42,7 @@ pub mod experiments {
     pub mod e8;
     pub mod e9;
     pub mod escale;
+    pub mod explore;
     pub mod netscale;
     pub mod parscale;
     pub mod serve;
@@ -53,9 +56,9 @@ use ofa_metrics::Table;
 /// Every experiment id, in presentation order. The single source of
 /// truth for "all experiments" — `run_all`, the `experiments` binary's
 /// `--quick` path, and CI smoke loops all iterate this.
-pub const ALL_IDS: [&str; 15] = [
+pub const ALL_IDS: [&str; 16] = [
     "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "ESCALE", "SMRSCALE", "PARSCALE",
-    "NETSCALE", "SERVE",
+    "NETSCALE", "SERVE", "EXPLORE",
 ];
 
 /// Runs every experiment at its default scale, returning `(id, table)`
@@ -126,6 +129,10 @@ pub fn run_one_scaled(id: &str, scale: Scale) -> Option<Table> {
         "serve" => match scale {
             Scale::Full => serve::run(serve::FULL_N, &serve::CELLS).1,
             Scale::Quick => serve::run(serve::QUICK_N, &serve::QUICK_CELLS).1,
+        },
+        "explore" => match scale {
+            Scale::Full => explore::run(&explore::FULL).1,
+            Scale::Quick => explore::run(&explore::QUICK).1,
         },
         _ => return None,
     })

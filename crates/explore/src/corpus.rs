@@ -1,0 +1,200 @@
+//! The regression corpus: explorer-found schedules, committed as JSON.
+//!
+//! A corpus entry is a self-contained record of one bad schedule — the
+//! full [`Scenario`], the [`Fitness`] that earned it a place, the
+//! [`PinnedOutcome`] a replay must reproduce bit-for-bit (trace hash
+//! included), and the provenance of the find (explorer seed, generation,
+//! slot) so `ofa explore --seed <s>` rediscovers it from scratch.
+//! Entries live in `tests/regressions/` and a harness replays each on
+//! every engine; a pin that stops matching is a behavior change that
+//! must be explained, not silently absorbed.
+
+use crate::Fitness;
+use ofa_core::Bit;
+use ofa_scenario::{Outcome, Scenario};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Where in the search an entry was found. Together with the base
+/// scenario and the explorer's deterministic candidate derivation, this
+/// is enough to regenerate the entry from nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// The explorer seed of the search that found it.
+    pub explorer_seed: u64,
+    /// The generation it was evaluated in.
+    pub generation: u64,
+    /// The population slot it occupied.
+    pub slot: u64,
+}
+
+/// The replay-relevant projection of an [`Outcome`], pinned at find
+/// time. Engines are bit-for-bit equivalent, so one pin covers all of
+/// them; any drift (a different trace hash, round count, decider set
+/// size…) fails the regression harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PinnedOutcome {
+    /// Whether agreement held (a `false` here is a preserved bug).
+    pub agreement_holds: bool,
+    /// The first decided value, if anyone decided.
+    pub decided_value: Option<Bit>,
+    /// How many processes decided.
+    pub deciders: u64,
+    /// How many processes ended crashed (incl. churn leaves).
+    pub crashed: u64,
+    /// The maximum decision round.
+    pub max_decision_round: u64,
+    /// Virtual time of the last decision, in ticks.
+    pub latest_decision_ticks: u64,
+    /// Largest virtual timestamp seen, in ticks.
+    pub end_time_ticks: u64,
+    /// Scheduler events processed.
+    pub events_processed: u64,
+    /// Replay hash of the full event stream.
+    pub trace_hash: Option<u64>,
+}
+
+impl PinnedOutcome {
+    /// Projects `outcome` onto the pinned fields.
+    pub fn of(outcome: &Outcome) -> PinnedOutcome {
+        PinnedOutcome {
+            agreement_holds: outcome.agreement_holds(),
+            decided_value: outcome.decided_value,
+            deciders: outcome.deciders() as u64,
+            crashed: outcome.crashed.len() as u64,
+            max_decision_round: outcome.max_decision_round,
+            latest_decision_ticks: outcome.latest_decision_time.ticks(),
+            end_time_ticks: outcome.end_time.ticks(),
+            events_processed: outcome.events_processed,
+            trace_hash: outcome.trace_hash,
+        }
+    }
+}
+
+/// One committed regression: a schedule plus the outcome it must keep
+/// producing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusEntry {
+    /// Stable name, also the file stem: `explore-s<seed>-g<gen>-p<slot>`.
+    pub name: String,
+    /// The full schedule — replayable on any engine as-is.
+    pub scenario: Scenario,
+    /// The badness that earned the entry its place.
+    pub fitness: Fitness,
+    /// The outcome every replay must reproduce.
+    pub pinned: PinnedOutcome,
+    /// Where the explorer found it.
+    pub found: Provenance,
+}
+
+impl CorpusEntry {
+    /// The file this entry is stored as inside a corpus directory.
+    pub fn file_name(&self) -> String {
+        format!("{}.json", self.name)
+    }
+}
+
+fn invalid(path: &Path, e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{}: {e}", path.display()),
+    )
+}
+
+/// Writes each entry to `dir` as `<name>.json` (creating `dir` as
+/// needed) and returns how many files were written. Existing files with
+/// the same names are overwritten — names embed seed/generation/slot,
+/// so a rerun of the same search rewrites identical bytes.
+pub fn write_corpus(dir: &Path, entries: &[CorpusEntry]) -> io::Result<usize> {
+    std::fs::create_dir_all(dir)?;
+    for entry in entries {
+        let path = dir.join(entry.file_name());
+        let json = serde_json::to_string(entry).map_err(|e| invalid(&path, e))?;
+        std::fs::write(&path, json + "\n")?;
+    }
+    Ok(entries.len())
+}
+
+/// Loads every `*.json` entry in `dir`, sorted by file name so the
+/// result is independent of directory iteration order. A missing
+/// directory is an empty corpus, not an error; an unparsable file is.
+pub fn load_corpus(dir: &Path) -> io::Result<Vec<CorpusEntry>> {
+    let mut paths: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        res => res?
+            .map(|entry| entry.map(|e| e.path()))
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect(),
+    };
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(&path)?;
+            serde_json::from_str(&text).map_err(|e| invalid(&path, e))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofa_core::Algorithm;
+    use ofa_scenario::{Backend, CrashPlan, Scenario};
+    use ofa_sim::Sim;
+    use ofa_topology::{Partition, ProcessId};
+
+    fn sample_entry() -> CorpusEntry {
+        let scenario = Scenario::new(Partition::even(8, 2), Algorithm::CommonCoin)
+            .proposals_split(3)
+            .seed(11)
+            .crashes(CrashPlan::new().crash_at_step(ProcessId(2), 4));
+        let outcome = Sim.run(&scenario);
+        CorpusEntry {
+            name: "explore-s1-g2-p3".to_string(),
+            fitness: Fitness::of(8, &outcome),
+            pinned: PinnedOutcome::of(&outcome),
+            scenario,
+            found: Provenance {
+                explorer_seed: 1,
+                generation: 2,
+                slot: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn pinned_outcome_is_stable_under_replay() {
+        let entry = sample_entry();
+        let replay = Sim.run(&entry.scenario);
+        assert_eq!(PinnedOutcome::of(&replay), entry.pinned);
+        assert!(
+            entry.pinned.trace_hash.is_some(),
+            "sim runs carry a trace hash"
+        );
+    }
+
+    #[test]
+    fn corpus_round_trips_through_a_directory() {
+        let dir = std::env::temp_dir().join(format!("ofa-corpus-{}", std::process::id()));
+        let entry = sample_entry();
+        write_corpus(&dir, std::slice::from_ref(&entry)).unwrap();
+        let loaded = load_corpus(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(
+            serde_json::to_string(&loaded[0]).unwrap(),
+            serde_json::to_string(&entry).unwrap()
+        );
+        assert_eq!(loaded[0].file_name(), "explore-s1-g2-p3.json");
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_corpus() {
+        let dir = std::env::temp_dir().join("ofa-corpus-definitely-missing");
+        assert!(load_corpus(&dir).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Fitness: how *bad* an executed schedule turned out to be.
+
+use ofa_scenario::Outcome;
+use serde::{Deserialize, Serialize};
+
+/// The badness of one executed schedule, ordered lexicographically —
+/// the explorer maximizes it. Field order is the severity order:
+///
+/// 1. [`Fitness::violation`] — agreement broke. Any violating schedule
+///    outranks every non-violating one; this is a found bug, full stop.
+/// 2. [`Fitness::undecided`] — processes that stayed correct (never
+///    crashed or left) yet failed to decide within the round/event
+///    budget: a liveness miss, the paper's probabilistic-termination
+///    claim failing empirically.
+/// 3. [`Fitness::max_round`] — the latest deciding round: rounds-to-
+///    decide, the paper's headline expected-constant metric.
+/// 4. [`Fitness::stretch`] — the latest decision's virtual time, which
+///    separates schedules that tie on rounds but differ in wall-clock
+///    stretch (delay/loss-induced retransmission chains).
+///
+/// Two schedules compare exactly like their `Fitness` values compare,
+/// so selection is a pure function of the evaluated outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Fitness {
+    /// `true` iff two processes decided different values.
+    pub violation: bool,
+    /// Correct-but-stuck processes: neither decided nor crashed/left.
+    pub undecided: u64,
+    /// The maximum decision round among deciders.
+    pub max_round: u64,
+    /// The latest decision's virtual time, in ticks.
+    pub stretch: u64,
+}
+
+impl Fitness {
+    /// Scores `outcome` for a universe of `n` processes.
+    pub fn of(n: usize, outcome: &Outcome) -> Fitness {
+        Fitness {
+            violation: !outcome.agreement_holds(),
+            undecided: (n as u64)
+                .saturating_sub(outcome.deciders() as u64)
+                .saturating_sub(outcome.crashed.len() as u64),
+            max_round: outcome.max_decision_round,
+            stretch: outcome.latest_decision_time.ticks(),
+        }
+    }
+}
+
+/// Which schedules are worth committing to the regression corpus.
+///
+/// A violating schedule always qualifies (that is a found bug); a
+/// non-violating one qualifies if it clears *any* enabled threshold.
+/// With no thresholds set, only violations are recorded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorpusFilter {
+    /// Record schedules whose `max_round` reaches this.
+    pub min_rounds: Option<u64>,
+    /// Record schedules with at least this many correct-but-stuck
+    /// processes.
+    pub min_undecided: Option<u64>,
+}
+
+impl CorpusFilter {
+    /// `true` iff `f` is corpus-worthy under this filter.
+    pub fn admits(&self, f: &Fitness) -> bool {
+        if f.violation {
+            return true;
+        }
+        let rounds_hit = self.min_rounds.is_some_and(|r| f.max_round >= r);
+        let stuck_hit = self.min_undecided.is_some_and(|u| f.undecided >= u);
+        rounds_hit || stuck_hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_ranks_violations_above_everything() {
+        let violating = Fitness {
+            violation: true,
+            ..Fitness::default()
+        };
+        let slow = Fitness {
+            violation: false,
+            undecided: 10,
+            max_round: 500,
+            stretch: u64::MAX,
+        };
+        assert!(violating > slow);
+        // Liveness misses outrank slow-but-complete runs…
+        let stuck = Fitness {
+            undecided: 1,
+            ..Fitness::default()
+        };
+        let rounds = Fitness {
+            max_round: 100,
+            ..Fitness::default()
+        };
+        assert!(stuck > rounds);
+        // …and rounds break ties before stretch.
+        let s1 = Fitness {
+            max_round: 5,
+            stretch: 1,
+            ..Fitness::default()
+        };
+        let s2 = Fitness {
+            max_round: 4,
+            stretch: 1_000_000,
+            ..Fitness::default()
+        };
+        assert!(s1 > s2);
+    }
+
+    #[test]
+    fn filter_admits_violations_unconditionally() {
+        let strict = CorpusFilter {
+            min_rounds: Some(1_000),
+            min_undecided: Some(1_000),
+        };
+        let violating = Fitness {
+            violation: true,
+            ..Fitness::default()
+        };
+        assert!(strict.admits(&violating));
+        let tame = Fitness {
+            max_round: 3,
+            ..Fitness::default()
+        };
+        assert!(!strict.admits(&tame));
+        // No thresholds: only violations pass.
+        assert!(!CorpusFilter::default().admits(&tame));
+        let loose = CorpusFilter {
+            min_rounds: Some(3),
+            min_undecided: None,
+        };
+        assert!(loose.admits(&tame));
+    }
+}

@@ -1,0 +1,337 @@
+//! Schedule mutation operators: one small, validity-preserving step in
+//! the space `CrashPlan × ChurnPlan × delay seed × loss/dup ppm ×
+//! CoinSpec`.
+//!
+//! Every operator draws all its randomness from the caller's RNG and
+//! touches nothing else, so a mutated candidate is a pure function of
+//! `(parent, rng state)` — the property the explorer's replay contract
+//! rests on. Plans are iterated in process-index order (never raw
+//! `HashMap` order) for the same reason.
+
+use ofa_core::Bit;
+use ofa_scenario::{CoinSpec, CrashTrigger, PoissonChurn, Scenario, VirtualTime};
+use ofa_topology::ProcessId;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+/// Bounds on how far mutation may push a schedule. The defaults keep
+/// candidates in the regime the paper's claims cover (minority crash
+/// faults, sub-saturation loss) so the search hunts *interesting*
+/// pathology, not trivially-dead universes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Most processes a candidate may crash.
+    pub max_crashes: usize,
+    /// Most processes a candidate may churn (explicit events).
+    pub max_churn: usize,
+    /// Cap on mutated message-loss rates, in parts per million.
+    pub max_loss_ppm: u32,
+    /// Cap on mutated duplication rates, in parts per million.
+    pub max_dup_ppm: u32,
+    /// Cap on mutated Poisson churn arrival rates, in ppm per process;
+    /// `0` disables the Poisson-rate operator.
+    pub max_poisson_ppm: u32,
+    /// Virtual-time window for mutated crash/churn times.
+    pub horizon_ticks: u64,
+    /// Whether the coin-override operator is enabled.
+    pub allow_coin: bool,
+}
+
+impl Limits {
+    /// Default bounds for a universe of `n` processes: up to a minority
+    /// of crashes plus a handful of churn events, loss up to 5%,
+    /// duplication up to 1%, and times within a 100k-tick window.
+    pub fn for_n(n: usize) -> Limits {
+        Limits {
+            max_crashes: (n.saturating_sub(1)) / 2,
+            max_churn: (n / 10).clamp(1, 64),
+            max_loss_ppm: 50_000,
+            max_dup_ppm: 10_000,
+            max_poisson_ppm: 2_000,
+            horizon_ticks: 100_000,
+            allow_coin: true,
+        }
+    }
+}
+
+/// Applies one randomly chosen operator to a copy of `parent` and
+/// returns the mutated candidate. Operators that do not apply (nothing
+/// to remove, plan already at its cap) are redrawn a few times; if
+/// nothing applies the delay-seed perturbation — always applicable —
+/// is used, so the function is total.
+pub fn mutate(parent: &Scenario, rng: &mut StdRng, limits: &Limits) -> Scenario {
+    let mut sc = parent.clone();
+    sc.observer = None;
+    for _ in 0..8 {
+        let op = rng.gen_range(0u64..10);
+        if apply(&mut sc, op, rng, limits) {
+            return sc;
+        }
+    }
+    sc.seed = rng.next_u64();
+    sc
+}
+
+/// Picks a process free of both failure plans, or `None` after a
+/// bounded number of draws (a crowded universe).
+fn free_process(sc: &Scenario, rng: &mut StdRng) -> Option<ProcessId> {
+    let n = sc.partition.n();
+    for _ in 0..16 {
+        let p = ProcessId(rng.gen_range(0..n));
+        if sc.crashes.trigger(p).is_none() && sc.churn.event(p).is_none() {
+            return Some(p);
+        }
+    }
+    None
+}
+
+/// The processes of a plan in index order — deterministic selection
+/// regardless of `HashMap` iteration order.
+fn sorted_crashed(sc: &Scenario) -> Vec<ProcessId> {
+    let mut v: Vec<ProcessId> = sc.crashes.iter().map(|(p, _)| p).collect();
+    v.sort();
+    v
+}
+
+fn sorted_churned(sc: &Scenario) -> Vec<ProcessId> {
+    let mut v: Vec<ProcessId> = sc.churn.iter().map(|(p, _)| p).collect();
+    v.sort();
+    v
+}
+
+fn random_trigger(rng: &mut StdRng, limits: &Limits) -> CrashTrigger {
+    match rng.gen_range(0u64..3) {
+        0 => CrashTrigger::AtTime(VirtualTime::from_ticks(
+            rng.gen_range(0..limits.horizon_ticks.max(1)),
+        )),
+        1 => CrashTrigger::AtStep(rng.gen_range(0..64)),
+        _ => CrashTrigger::AtRound(rng.gen_range(1..=8)),
+    }
+}
+
+/// One churn event within the horizon; three in four get a rejoin.
+fn random_churn(rng: &mut StdRng, limits: &Limits) -> (VirtualTime, Option<VirtualTime>) {
+    let horizon = limits.horizon_ticks.max(2);
+    let leave = rng.gen_range(0..horizon);
+    let rejoin = (rng.gen_range(0u64..4) > 0)
+        .then(|| VirtualTime::from_ticks(leave + 1 + rng.gen_range(0..horizon / 2)));
+    (VirtualTime::from_ticks(leave), rejoin)
+}
+
+/// Applies operator `op`; `false` means it did not apply and the caller
+/// should redraw.
+fn apply(sc: &mut Scenario, op: u64, rng: &mut StdRng, limits: &Limits) -> bool {
+    match op {
+        // Add a crash.
+        0 => {
+            if sc.crashes.len() >= limits.max_crashes {
+                return false;
+            }
+            let Some(p) = free_process(sc, rng) else {
+                return false;
+            };
+            sc.crashes.insert(p, random_trigger(rng, limits));
+            true
+        }
+        // Remove a crash.
+        1 => {
+            let crashed = sorted_crashed(sc);
+            if crashed.is_empty() {
+                return false;
+            }
+            let p = crashed[rng.gen_range(0..crashed.len())];
+            sc.crashes.remove(p);
+            true
+        }
+        // Move a crash: same process, rerolled trigger.
+        2 => {
+            let crashed = sorted_crashed(sc);
+            if crashed.is_empty() {
+                return false;
+            }
+            let p = crashed[rng.gen_range(0..crashed.len())];
+            sc.crashes.insert(p, random_trigger(rng, limits));
+            true
+        }
+        // Add a churn event.
+        3 => {
+            if sc.churn.len() >= limits.max_churn {
+                return false;
+            }
+            let Some(p) = free_process(sc, rng) else {
+                return false;
+            };
+            let (leave, rejoin) = random_churn(rng, limits);
+            sc.churn
+                .insert(p, ofa_scenario::ChurnEvent { leave, rejoin });
+            true
+        }
+        // Shift a churn event: same process, rerolled times.
+        4 => {
+            let churned = sorted_churned(sc);
+            if churned.is_empty() {
+                return false;
+            }
+            let p = churned[rng.gen_range(0..churned.len())];
+            let (leave, rejoin) = random_churn(rng, limits);
+            sc.churn
+                .insert(p, ofa_scenario::ChurnEvent { leave, rejoin });
+            true
+        }
+        // Remove a churn event.
+        5 => {
+            let churned = sorted_churned(sc);
+            if churned.is_empty() {
+                return false;
+            }
+            let p = churned[rng.gen_range(0..churned.len())];
+            sc.churn.remove(p);
+            true
+        }
+        // Set the Poisson churn arrival rate.
+        6 => {
+            if limits.max_poisson_ppm == 0 {
+                return false;
+            }
+            let rate_ppm = rng.gen_range(0..=limits.max_poisson_ppm as u64) as u32;
+            sc.churn = sc.churn.clone().poisson_spec(PoissonChurn {
+                rate_ppm,
+                mean_down_ticks: 1 + rng.gen_range(0..limits.horizon_ticks.max(2) / 4),
+                horizon_ticks: limits.horizon_ticks.max(1),
+            });
+            true
+        }
+        // Perturb the master seed (delay/fate/coin streams).
+        7 => {
+            sc.seed = rng.next_u64();
+            true
+        }
+        // Step the loss (or duplication) rate.
+        8 => {
+            let (cap, dup) = if rng.gen_range(0u64..4) == 0 {
+                (limits.max_dup_ppm, true)
+            } else {
+                (limits.max_loss_ppm, false)
+            };
+            if cap == 0 {
+                return false;
+            }
+            let current = if dup {
+                sc.network.dup_ppm
+            } else {
+                sc.network.loss_ppm
+            };
+            let delta = rng.gen_range(1..=10_000u64) as u32;
+            let next = if rng.gen_range(0u64..2) == 0 {
+                current.saturating_add(delta).min(cap)
+            } else {
+                current.saturating_sub(delta)
+            };
+            if next == current {
+                return false;
+            }
+            if dup {
+                sc.network.dup_ppm = next;
+            } else {
+                sc.network.loss_ppm = next;
+            }
+            true
+        }
+        // Flip the coin override.
+        _ => {
+            if !limits.allow_coin {
+                return false;
+            }
+            let next = match rng.gen_range(0u64..5) {
+                0 => CoinSpec::Seeded,
+                1 => CoinSpec::Constant(Bit::Zero),
+                2 => CoinSpec::Constant(Bit::One),
+                3 => CoinSpec::Alternating,
+                _ => CoinSpec::Scripted((0..8).map(|_| rng.gen_range(0u64..2) == 1).collect()),
+            };
+            if next == sc.coin {
+                return false;
+            }
+            sc.coin = next;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofa_core::Algorithm;
+    use ofa_topology::Partition;
+    use rand::SeedableRng;
+
+    fn base() -> Scenario {
+        Scenario::new(Partition::even(12, 4), Algorithm::CommonCoin).proposals_split(5)
+    }
+
+    #[test]
+    fn mutation_is_deterministic_and_always_valid() {
+        let limits = Limits::for_n(12);
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut sc_a = base();
+        let mut sc_b = base();
+        for step in 0..500 {
+            sc_a = mutate(&sc_a, &mut a, &limits);
+            sc_b = mutate(&sc_b, &mut b, &limits);
+            sc_a.assert_valid();
+            assert_eq!(
+                serde_json::to_string(&sc_a).unwrap(),
+                serde_json::to_string(&sc_b).unwrap(),
+                "step {step}: same RNG stream, same candidate"
+            );
+        }
+    }
+
+    #[test]
+    fn mutation_respects_limits() {
+        let limits = Limits {
+            max_crashes: 2,
+            max_churn: 1,
+            max_loss_ppm: 5_000,
+            max_dup_ppm: 0,
+            max_poisson_ppm: 0,
+            horizon_ticks: 10_000,
+            allow_coin: false,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sc = base();
+        for _ in 0..500 {
+            sc = mutate(&sc, &mut rng, &limits);
+        }
+        assert!(sc.crashes.len() <= 2);
+        assert!(sc.churn.len() <= 1);
+        assert!(sc.network.loss_ppm <= 5_000);
+        assert_eq!(sc.network.dup_ppm, 0);
+        assert!(sc.churn.poisson_arrivals().is_none());
+        assert_eq!(sc.coin, CoinSpec::Seeded);
+    }
+
+    #[test]
+    fn every_operator_eventually_fires() {
+        // Over many draws from permissive limits, the plans and knobs
+        // all move away from their defaults at least once.
+        let limits = Limits::for_n(12);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut saw_crash = false;
+        let mut saw_churn = false;
+        let mut saw_loss = false;
+        let mut saw_coin = false;
+        let mut saw_seed = false;
+        let mut sc = base();
+        for _ in 0..300 {
+            sc = mutate(&sc, &mut rng, &limits);
+            saw_crash |= !sc.crashes.is_empty();
+            saw_churn |= !sc.churn.is_empty();
+            saw_loss |= sc.network.loss_ppm > 0;
+            saw_coin |= sc.coin != CoinSpec::Seeded;
+            saw_seed |= sc.seed != 0;
+        }
+        assert!(saw_crash && saw_churn && saw_loss && saw_coin && saw_seed);
+    }
+}

@@ -100,6 +100,13 @@ impl CrashPlan {
         self.triggers.insert(p, trigger);
     }
 
+    /// Removes the trigger for `p` in place, returning it if any — the
+    /// inverse of [`CrashPlan::insert`], for schedule mutation (the
+    /// adversarial explorer's remove-a-crash operator).
+    pub fn remove(&mut self, p: ProcessId) -> Option<CrashTrigger> {
+        self.triggers.remove(&p)
+    }
+
     /// The trigger for `p`, if any.
     pub fn trigger(&self, p: ProcessId) -> Option<CrashTrigger> {
         self.triggers.get(&p).copied()

@@ -56,7 +56,7 @@ mod trace;
 
 pub use backend::Backend;
 pub use body::{Body, MvWorkload, ProcessBody, SmrWorkload};
-pub use churn::{ChurnEvent, ChurnPlan};
+pub use churn::{ChurnEvent, ChurnPlan, PoissonChurn};
 pub use crash::{CrashPlan, CrashTrigger};
 pub use delay::{CostModel, DelayModel};
 pub use network::{Fate, LatencyDist, LinkClasses, LinkOverride, NetIndex, NetworkModel};

@@ -221,7 +221,12 @@ pub(crate) fn run_scenario(scenario: &Scenario) -> Outcome {
         seed: scenario.seed,
         costs: scenario.costs,
         crash_plan: scenario.crashes.clone(),
-        churn: scenario.churn.clone(),
+        // Poisson churn arrivals expand into explicit events here, once,
+        // before any engine sees the plan — the expansion is a pure PRF
+        // of the scenario seed, so resumes re-derive it identically.
+        churn: scenario
+            .churn
+            .resolve(scenario.seed, scenario.partition.n(), &scenario.crashes),
         common_coin: scenario.build_coin(),
         observer: scenario.observer.clone(),
         keep_trace: scenario.keep_trace,
@@ -321,7 +326,11 @@ fn run_leg(
         seed: scenario.seed,
         costs: scenario.costs,
         crash_plan: scenario.crashes.clone(),
-        churn: scenario.churn.clone(),
+        // Same Poisson expansion as the straight-through path: a leg
+        // resumed from a snapshot re-derives the identical explicit plan.
+        churn: scenario
+            .churn
+            .resolve(scenario.seed, scenario.partition.n(), &scenario.crashes),
         common_coin: scenario.build_coin(),
         observer: None,
         keep_trace: false,

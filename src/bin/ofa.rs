@@ -14,6 +14,7 @@
 //! ofa --resume run.snap.json                                 # continue
 //! ofa --resume run.snap.json --diverge-crash p2@t9000        # what-if tail
 //! ofa --budget-secs 60 --checkpoint-file run.snap.json  # time-budgeted leg
+//! ofa explore --seed 1 --budget-secs 30   # hunt for worst-case schedules
 //! ofa --help
 //! ```
 //!
@@ -26,6 +27,10 @@
 //! before resuming.
 
 use one_for_all::consensus::{ArrivalProcess, TrafficSpec};
+use one_for_all::explore::{
+    write_corpus, CorpusFilter, ExploreConfig, Explorer, Fitness, Limits, SearchState,
+    EVENTS_PER_SEC,
+};
 use one_for_all::prelude::*;
 use one_for_all::scenario::{DivergeSpec, Snapshot, VirtualTime};
 use one_for_all::sim::RunOutcome;
@@ -56,6 +61,15 @@ OPTIONS:
     --churn pI@tT+rR   process I leaves (crashes) at virtual time T and
                        rejoins at virtual time R with a fresh mailbox
                        (repeatable; omit +rR for a leave without rejoin)
+    --churn-poisson PPM[:DOWN[:HORIZON]]
+                       Poisson churn arrivals: every process not named by
+                       --churn/--crash leaves at rate PPM per million
+                       ticks and rejoins after an exponential downtime of
+                       mean DOWN ticks (0 = leave forever) [default:
+                       10000]; first leaves at/after HORIZON ticks are
+                       discarded [default: 100000]. Arrivals are a pure
+                       PRF of (seed, process) — identical on every
+                       engine and across checkpoint resumes
     --max-rounds R     round budget [default: 512]
     --trace            print the full event trace (simulator only)
     --engine E         simulator process engine: event (single-threaded
@@ -112,9 +126,75 @@ CHECKPOINT / RESUME (simulator event engines only):
     --diverge-crash SPEC  add a crash to the tail (repeatable; pI@K,
                           pI@rR, or pI@tT like --crash)
 
+SUBCOMMANDS:
+    explore            adversarial schedule search (ofa explore --help)
+
 EXIT CODES:
     0  run finished, agreement holds      2  usage / IO error
     1  run finished, agreement VIOLATED   3  paused at a checkpoint
+";
+
+const EXPLORE_HELP: &str = "\
+ofa explore — guided search for worst-case schedules
+
+Searches crash plans, churn plans, delay seeds, loss/duplication rates,
+and common-coin overrides for the schedules that hurt the most: agreement
+violations first, then stuck-but-correct processes, then rounds-to-
+decide, then virtual-time stretch. The whole trajectory is a pure
+function of --seed: candidates derive from a PRF of (seed, generation,
+slot), evaluation results are collected by slot index, and the budget is
+counted in simulated events — the same search replays bit-for-bit on any
+machine and worker count.
+
+USAGE:
+    ofa explore [OPTIONS]
+
+SEARCH:
+    --seed S           explorer seed — the whole search replays from it
+                       [default: 0]
+    --budget-secs B    stop once B x 2,000,000 simulated events are spent
+                       (checked at generation boundaries; deterministic,
+                       unlike wall clock)
+    --generations G    hard cap on generations [default if no budget: 32]
+    --population P     candidates per generation [default: 16]
+    --workers W        evaluation threads; 0 = one per core [default: 0]
+
+BASE SCHEDULE (the unmutated starting point):
+    --sizes a,b,c      cluster sizes [default: 1,4,2]
+    --algorithm lc|cc  consensus algorithm [default: cc]
+    --ones K           first K processes propose 1 [default: n/2]
+    --max-rounds R     round budget per run [default: 64]
+    --loss P           starting loss rate, ppm [default: 0]
+    --dup P            starting duplication rate, ppm [default: 0]
+
+MUTATION LIMITS:
+    --max-loss P       cap on mutated loss rates, ppm [default: 50000]
+    --max-dup P        cap on mutated duplication rates, ppm [default: 10000]
+    --max-poisson P    cap on mutated Poisson churn rates, ppm; 0 disables
+                       the operator [default: 2000]
+    --horizon T        virtual-time window for mutated crash/churn times
+                       [default: 100000]
+
+CORPUS (agreement violations always qualify):
+    --min-rounds R     also record schedules reaching round R
+    --min-undecided U  also record schedules leaving U correct processes
+                       stuck
+    --emit-corpus DIR  write qualifying schedules to DIR as JSON entries
+                       (schedule + pinned outcome + provenance)
+
+OUTPUT / RESUMABILITY:
+    --log FILE         write the search log (one JSON record per
+                       generation) — byte-identical across replays
+    --state FILE       resumable search state: loaded if present, written
+                       on a --wall-secs pause
+    --wall-secs S      wall-clock safety stop for CI gates: pause at a
+                       generation boundary after S seconds, save --state,
+                       exit 3 (the trajectory prefix stays exact)
+    --json             print the final summary as JSON
+
+EXIT CODES:
+    0  search finished, no violation found   2  usage / IO error
+    1  search found an agreement VIOLATION   3  paused on --wall-secs
 ";
 
 struct Options {
@@ -126,6 +206,7 @@ struct Options {
     loss_ppm: u32,
     dup_ppm: u32,
     churn: Vec<(usize, u64, Option<u64>)>,
+    churn_poisson: Option<PoissonChurn>,
     max_rounds: u64,
     serve: Option<ArrivalProcess>,
     clients: u64,
@@ -164,6 +245,7 @@ fn parse_args() -> Result<Options, String> {
         loss_ppm: 0,
         dup_ppm: 0,
         churn: Vec::new(),
+        churn_poisson: None,
         max_rounds: 512,
         serve: None,
         clients: 0,
@@ -241,6 +323,9 @@ fn parse_args() -> Result<Options, String> {
             "--churn" => {
                 let spec = value(&mut i)?;
                 opts.churn.push(parse_churn(&spec)?);
+            }
+            "--churn-poisson" => {
+                opts.churn_poisson = Some(parse_churn_poisson(&value(&mut i)?)?);
             }
             "--serve" => {
                 opts.serve = Some(parse_arrival(&value(&mut i)?)?);
@@ -343,7 +428,12 @@ fn parse_args() -> Result<Options, String> {
     if (checkpointing || opts.resume.is_some()) && opts.runtime {
         return Err("checkpoint/resume runs on the simulator, not --runtime".into());
     }
-    if opts.runtime && (opts.loss_ppm > 0 || opts.dup_ppm > 0 || !opts.churn.is_empty()) {
+    if opts.runtime
+        && (opts.loss_ppm > 0
+            || opts.dup_ppm > 0
+            || !opts.churn.is_empty()
+            || opts.churn_poisson.is_some())
+    {
         return Err("--loss/--dup/--churn model the simulated network, not --runtime".into());
     }
     if opts.serve.is_some() && opts.runtime {
@@ -490,7 +580,38 @@ fn parse_churn(spec: &str) -> Result<(usize, u64, Option<u64>), String> {
     Ok((pid - 1, leave, rejoin))
 }
 
-fn build_churn(entries: &[(usize, u64, Option<u64>)]) -> ChurnPlan {
+/// Parses a `--churn-poisson` spec: `PPM[:DOWN[:HORIZON]]`.
+fn parse_churn_poisson(spec: &str) -> Result<PoissonChurn, String> {
+    let num = |s: &str| {
+        s.parse::<u64>()
+            .map_err(|e| format!("bad number {s:?} in --churn-poisson {spec:?}: {e}"))
+    };
+    let parts: Vec<&str> = spec.split(':').collect();
+    let (rate, down, horizon) = match parts.as_slice() {
+        [rate] => (rate, None, None),
+        [rate, down] => (rate, Some(down), None),
+        [rate, down, horizon] => (rate, Some(down), Some(horizon)),
+        _ => {
+            return Err(format!(
+                "bad --churn-poisson spec {spec:?} (use PPM[:DOWN[:HORIZON]])"
+            ))
+        }
+    };
+    let rate_ppm = parse_ppm(rate, "--churn-poisson")?;
+    Ok(PoissonChurn {
+        rate_ppm,
+        mean_down_ticks: down
+            .map(|s| num(s))
+            .transpose()?
+            .unwrap_or(PoissonChurn::DEFAULT_MEAN_DOWN),
+        horizon_ticks: horizon
+            .map(|s| num(s))
+            .transpose()?
+            .unwrap_or(PoissonChurn::DEFAULT_HORIZON),
+    })
+}
+
+fn build_churn(entries: &[(usize, u64, Option<u64>)], poisson: Option<PoissonChurn>) -> ChurnPlan {
     let mut plan = ChurnPlan::new();
     for &(p, leave, rejoin) in entries {
         let leave = VirtualTime::from_ticks(leave);
@@ -499,7 +620,10 @@ fn build_churn(entries: &[(usize, u64, Option<u64>)]) -> ChurnPlan {
             None => plan.leave(ProcessId(p), leave),
         };
     }
-    plan
+    match poisson {
+        Some(spec) => plan.poisson_spec(spec),
+        None => plan,
+    }
 }
 
 fn build_plan(entries: &[(usize, CrashWhen)]) -> CrashPlan {
@@ -515,6 +639,11 @@ fn build_plan(entries: &[(usize, CrashWhen)]) -> CrashPlan {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "explore") {
+        explore_main(&args[1..]);
+        return;
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {
@@ -544,7 +673,7 @@ fn main() {
         .crashes(build_plan(&opts.crashes))
         .loss_ppm(opts.loss_ppm)
         .dup_ppm(opts.dup_ppm)
-        .churn(build_churn(&opts.churn))
+        .churn(build_churn(&opts.churn, opts.churn_poisson))
         .seed(opts.seed);
     if let Some(arrival) = opts.serve {
         scenario = scenario.replicated_log_traffic(
@@ -597,6 +726,12 @@ fn main() {
                 None => println!("churn: p{} leaves at t{leave}", p + 1),
             }
         }
+        if let Some(spec) = &opts.churn_poisson {
+            println!(
+                "churn: poisson arrivals at {} ppm | mean downtime {} | horizon {}",
+                spec.rate_ppm, spec.mean_down_ticks, spec.horizon_ticks
+            );
+        }
         if let Some(arrival) = &opts.serve {
             println!(
                 "serving: {arrival:?} | {} clients | {} slots | queue cap {} | batch {}..={}",
@@ -624,6 +759,348 @@ fn main() {
 
     let backend: &dyn Backend = if opts.runtime { &Threads } else { &Sim };
     report(&backend.run(&scenario), &opts);
+}
+
+/// `ofa explore` options.
+struct ExploreOpts {
+    seed: u64,
+    budget_secs: Option<u64>,
+    generations: Option<u64>,
+    population: usize,
+    workers: usize,
+    sizes: Vec<usize>,
+    algorithm: Algorithm,
+    ones: Option<usize>,
+    max_rounds: u64,
+    loss_ppm: u32,
+    dup_ppm: u32,
+    max_loss: Option<u32>,
+    max_dup: Option<u32>,
+    max_poisson: Option<u32>,
+    horizon: Option<u64>,
+    min_rounds: Option<u64>,
+    min_undecided: Option<u64>,
+    emit_corpus: Option<String>,
+    log: Option<String>,
+    state: Option<String>,
+    wall_secs: Option<u64>,
+    json: bool,
+}
+
+fn parse_explore_args(args: &[String]) -> Result<ExploreOpts, String> {
+    let mut opts = ExploreOpts {
+        seed: 0,
+        budget_secs: None,
+        generations: None,
+        population: 16,
+        workers: 0,
+        sizes: vec![1, 4, 2],
+        algorithm: Algorithm::CommonCoin,
+        ones: None,
+        max_rounds: 64,
+        loss_ppm: 0,
+        dup_ppm: 0,
+        max_loss: None,
+        max_dup: None,
+        max_poisson: None,
+        horizon: None,
+        min_rounds: None,
+        min_undecided: None,
+        emit_corpus: None,
+        log: None,
+        state: None,
+        wall_secs: None,
+        json: false,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+    };
+    let num = |s: String| s.parse::<u64>().map_err(|e| e.to_string());
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                print!("{EXPLORE_HELP}");
+                exit(0);
+            }
+            "--seed" => opts.seed = num(value(&mut i)?)?,
+            "--budget-secs" => opts.budget_secs = Some(num(value(&mut i)?)?),
+            "--generations" => opts.generations = Some(num(value(&mut i)?)?),
+            "--population" => {
+                opts.population = num(value(&mut i)?)? as usize;
+                if opts.population == 0 {
+                    return Err("--population must be positive".into());
+                }
+            }
+            "--workers" => opts.workers = num(value(&mut i)?)? as usize,
+            "--sizes" => {
+                opts.sizes = value(&mut i)?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().map_err(|e| e.to_string()))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--algorithm" => {
+                opts.algorithm = match value(&mut i)?.as_str() {
+                    "lc" | "local" => Algorithm::LocalCoin,
+                    "cc" | "common" => Algorithm::CommonCoin,
+                    other => return Err(format!("unknown algorithm {other:?} (use lc|cc)")),
+                };
+            }
+            "--ones" => opts.ones = Some(num(value(&mut i)?)? as usize),
+            "--max-rounds" => opts.max_rounds = num(value(&mut i)?)?,
+            "--loss" => opts.loss_ppm = parse_ppm(&value(&mut i)?, "--loss")?,
+            "--dup" => opts.dup_ppm = parse_ppm(&value(&mut i)?, "--dup")?,
+            "--max-loss" => opts.max_loss = Some(parse_ppm(&value(&mut i)?, "--max-loss")?),
+            "--max-dup" => opts.max_dup = Some(parse_ppm(&value(&mut i)?, "--max-dup")?),
+            "--max-poisson" => {
+                opts.max_poisson = Some(parse_ppm(&value(&mut i)?, "--max-poisson")?)
+            }
+            "--horizon" => {
+                opts.horizon = Some(num(value(&mut i)?)?);
+                if opts.horizon == Some(0) {
+                    return Err("--horizon must be positive".into());
+                }
+            }
+            "--min-rounds" => opts.min_rounds = Some(num(value(&mut i)?)?),
+            "--min-undecided" => opts.min_undecided = Some(num(value(&mut i)?)?),
+            "--emit-corpus" => opts.emit_corpus = Some(value(&mut i)?),
+            "--log" => opts.log = Some(value(&mut i)?),
+            "--state" => opts.state = Some(value(&mut i)?),
+            "--wall-secs" => opts.wall_secs = Some(num(value(&mut i)?)?),
+            "--json" => opts.json = true,
+            other => return Err(format!("unknown option {other:?} (try ofa explore --help)")),
+        }
+        i += 1;
+    }
+    if opts.wall_secs.is_some() && opts.state.is_none() {
+        return Err("--wall-secs pauses into a state file; add --state FILE".into());
+    }
+    Ok(opts)
+}
+
+/// Runs `ofa explore`: build the base schedule and the search config,
+/// run (or resume) the explorer, then write the log/corpus/state and
+/// report. Exit codes: 0 finished clean, 1 finished having found an
+/// agreement violation, 3 paused on `--wall-secs`.
+fn explore_main(args: &[String]) {
+    let opts = match parse_explore_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{EXPLORE_HELP}");
+            exit(2);
+        }
+    };
+    let partition = match Partition::from_sizes(&opts.sizes) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: invalid --sizes: {e}");
+            exit(2);
+        }
+    };
+    let n = partition.n();
+    let ones = opts.ones.unwrap_or(n / 2).min(n);
+    // No event cap: mutated schedules always terminate via the round
+    // budget, and the default 5M-event guard would silently truncate
+    // cluster-scale runs into "nobody decided" fitness noise.
+    let base = Scenario::new(partition, opts.algorithm)
+        .proposals_split(ones)
+        .config(ProtocolConfig::paper().with_max_rounds(opts.max_rounds))
+        .loss_ppm(opts.loss_ppm)
+        .dup_ppm(opts.dup_ppm)
+        .max_events(u64::MAX);
+
+    let mut limits = Limits::for_n(n);
+    if let Some(v) = opts.max_loss {
+        limits.max_loss_ppm = v;
+    }
+    if let Some(v) = opts.max_dup {
+        limits.max_dup_ppm = v;
+    }
+    if let Some(v) = opts.max_poisson {
+        limits.max_poisson_ppm = v;
+    }
+    if let Some(v) = opts.horizon {
+        limits.horizon_ticks = v;
+    }
+    let config = ExploreConfig {
+        seed: opts.seed,
+        population: opts.population,
+        workers: opts.workers,
+        generations: opts.generations,
+        event_budget: opts.budget_secs.map(|b| b * EVENTS_PER_SEC),
+        base,
+        limits,
+        filter: CorpusFilter {
+            min_rounds: opts.min_rounds,
+            min_undecided: opts.min_undecided,
+        },
+    };
+
+    let mut explorer = match &opts.state {
+        Some(path) if std::path::Path::new(path).exists() => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: reading {path}: {e}");
+                    exit(2);
+                }
+            };
+            let state: SearchState = match serde_json::from_str(&text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: decoding search state {path}: {e}");
+                    exit(2);
+                }
+            };
+            if !opts.json {
+                eprintln!("resumed: {path} at generation {}", state.generation);
+            }
+            Explorer::resume(config, state)
+        }
+        _ => Explorer::new(config),
+    };
+
+    let deadline = opts
+        .wall_secs
+        .map(|secs| Instant::now() + Duration::from_secs(secs));
+    let finished = loop {
+        if explorer.finished() {
+            break true;
+        }
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                break false;
+            }
+        }
+        let rec = explorer.step();
+        if !opts.json {
+            eprintln!(
+                "gen {:>3}: best {:?}{}",
+                rec.generation,
+                rec.best,
+                if rec.improved { "  <- improved" } else { "" }
+            );
+        }
+    };
+
+    // The search log is the full per-generation history so far —
+    // byte-identical however the run was paused and resumed.
+    if let Some(path) = &opts.log {
+        let mut log = String::new();
+        for rec in &explorer.state().history {
+            match serde_json::to_string(rec) {
+                Ok(line) => {
+                    log.push_str(&line);
+                    log.push('\n');
+                }
+                Err(e) => {
+                    eprintln!("error: serializing search log: {e}");
+                    exit(2);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, log) {
+            eprintln!("error: writing {path}: {e}");
+            exit(2);
+        }
+    }
+
+    if !finished {
+        let path = opts.state.as_deref().expect("--wall-secs requires --state");
+        match serde_json::to_string(explorer.state()) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("error: writing {path}: {e}");
+                    exit(2);
+                }
+            }
+            Err(e) => {
+                eprintln!("error: serializing search state: {e}");
+                exit(2);
+            }
+        }
+        if opts.json {
+            println!(
+                "{{\"paused_at_generation\":{},\"state\":{:?}}}",
+                explorer.state().generation,
+                path
+            );
+        } else {
+            println!(
+                "paused at generation {} — state written to {path} (rerun to resume)",
+                explorer.state().generation
+            );
+        }
+        exit(3);
+    }
+
+    if let Some(dir) = &opts.emit_corpus {
+        match write_corpus(std::path::Path::new(dir), explorer.corpus()) {
+            Ok(count) => {
+                if !opts.json {
+                    eprintln!("corpus: {count} entries written to {dir}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: writing corpus to {dir}: {e}");
+                exit(2);
+            }
+        }
+    }
+
+    let state = explorer.state();
+    let best = explorer
+        .best()
+        .expect("a finished search evaluated something");
+    if opts.json {
+        let summary = serde_json::to_string(state).unwrap_or_else(|e| {
+            eprintln!("error: serializing summary: {e}");
+            exit(2);
+        });
+        println!("{summary}");
+    } else {
+        println!(
+            "explored {} generations x {} candidates | {} simulated events",
+            state.generation,
+            explorer.config().population,
+            state.events_spent
+        );
+        println!(
+            "baseline: {}",
+            fitness_text(&state.baseline.unwrap_or_default())
+        );
+        println!(
+            "worst (gen {} slot {}): {}",
+            best.found.generation,
+            best.found.slot,
+            fitness_text(&best.fitness)
+        );
+        match serde_json::to_string(&best.scenario) {
+            Ok(json) => println!("worst schedule: {json}"),
+            Err(e) => {
+                eprintln!("error: serializing schedule: {e}");
+                exit(2);
+            }
+        }
+        println!("corpus: {} entries held", state.corpus.len());
+    }
+    if best.fitness.violation {
+        if !opts.json {
+            println!("\nagreement: VIOLATED by the worst schedule — found a bug");
+        }
+        exit(1);
+    }
+}
+
+/// One-line human rendering of a [`Fitness`].
+fn fitness_text(f: &Fitness) -> String {
+    format!(
+        "violation {} | undecided {} | rounds {} | stretch {} ticks",
+        f.violation, f.undecided, f.max_round, f.stretch
+    )
 }
 
 /// Loads a snapshot, applies any `--diverge-*` tail mutations, and

@@ -16,6 +16,7 @@
 //! | [`coins`] | `ofa-coins` | local/common/adversarial coins |
 //! | [`scenario`] | `ofa-scenario` | `Scenario` values, `Backend` trait, unified `Outcome`, `Sweep`, [`scenario::Engine`] knob |
 //! | [`sim`] | `ofa-sim` | deterministic backend (`Sim`): thread-conductor + event-driven engines, explorer |
+//! | [`explore`] | `ofa-explore` | adversarial schedule explorer + regression corpus |
 //! | [`runtime`] | `ofa-runtime` | real-thread backend (`Threads`) |
 //! | [`mm`] | `ofa-mm` | the m&m comparison model |
 //! | [`smr`] | `ofa-smr` | multivalued consensus, replicated KV |
@@ -55,6 +56,7 @@
 
 pub use ofa_coins as coins;
 pub use ofa_core as consensus;
+pub use ofa_explore as explore;
 pub use ofa_metrics as metrics;
 pub use ofa_mm as mm;
 pub use ofa_runtime as runtime;
@@ -70,7 +72,7 @@ pub mod prelude {
     pub use ofa_runtime::Threads;
     pub use ofa_scenario::{
         Backend, ChurnPlan, CoinSpec, CrashPlan, CrashTrigger, Engine, NetworkModel, Outcome,
-        Scenario, Sweep,
+        PoissonChurn, Scenario, Sweep,
     };
     pub use ofa_sim::Sim;
     pub use ofa_topology::{ClusterId, Partition, ProcessId, ProcessSet};

@@ -8,7 +8,7 @@
 use one_for_all::consensus::{
     Algorithm, ArrivalProcess, Bit, Payload, ProtocolConfig, TrafficSpec,
 };
-use one_for_all::prelude::{ChurnPlan, CoinSpec, CrashPlan, NetworkModel, Scenario};
+use one_for_all::prelude::{ChurnPlan, CoinSpec, CrashPlan, NetworkModel, PoissonChurn, Scenario};
 use one_for_all::scenario::{
     Body, CostModel, DelayModel, LatencyDist, MvWorkload, SmrWorkload, VirtualTime,
 };
@@ -77,7 +77,8 @@ pub fn scenario_strategy() -> impl Strategy<Value = Scenario> {
                 // body kind, log slots, traffic kind (0 = pre-seeded
                 // queues), backpressure preset
                 (0u8..3, 1u64..4, 0u8..5, 0u8..3),
-                (0u8..4, 0u8..3), // network shape, loss/dup rate preset
+                // network shape, loss/dup rate preset, Poisson churn preset
+                (0u8..4, 0u8..3, 0u8..3),
                 // churn entries: (process, leave units, rejoin?, rejoin units)
                 proptest::collection::vec((0usize..n, 1u64..8, any::<bool>(), 1u64..8), 0..3),
             )
@@ -92,7 +93,7 @@ pub fn scenario_strategy() -> impl Strategy<Value = Scenario> {
                 (delay_kind, coin_kind, cfg),
                 (send, sm),
                 (body_kind, slots, traffic_kind, bp_kind),
-                (net_kind, rate_kind),
+                (net_kind, rate_kind, poisson_kind),
                 churn_entries,
             )| {
                 let n = partition.n();
@@ -243,6 +244,18 @@ pub fn scenario_strategy() -> impl Strategy<Value = Scenario> {
                         churn.leave(p, leave)
                     };
                 }
+                // Poisson arrivals ride on top of (and skip processes
+                // named by) the explicit plans — the rates are high
+                // enough that small systems actually churn.
+                churn = match poisson_kind {
+                    0 => churn,
+                    1 => churn.poisson(40_000),
+                    _ => churn.poisson_spec(PoissonChurn {
+                        rate_ppm: 120_000,
+                        mean_down_ticks: 1_200,
+                        horizon_ticks: 6_000,
+                    }),
+                };
                 let mut scenario = Scenario::new(partition, algorithm)
                     .config(config)
                     .proposals(proposals)

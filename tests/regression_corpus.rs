@@ -1,0 +1,123 @@
+//! Replays the committed regression corpus (`tests/regressions/*.json`).
+//!
+//! Every entry is a schedule the adversarial explorer flagged as
+//! unusually bad — slow to decide, leaving correct processes stuck, or
+//! (should one ever be found) violating agreement — together with the
+//! [`PinnedOutcome`] recorded at find time. This harness replays each
+//! schedule on all three engines (`Threads`, `EventDriven`,
+//! `ParallelEvent`) and requires the outcome to match the pin bit for
+//! bit, trace hash included: a mismatch is a behavior change that must
+//! be explained and the pin consciously regenerated, never silently
+//! absorbed.
+//!
+//! Cluster-scale entries (`n ≥ 10³`) cost simulated megaevents per
+//! engine, so their replay is `#[ignore]`d under the default (debug)
+//! test profile; the CI `regression-corpus` gate runs
+//! `cargo test --release --test regression_corpus -- --include-ignored`
+//! to cover the whole corpus on every engine. Small entries replay
+//! everywhere, debug included.
+
+use one_for_all::explore::{load_corpus, CorpusEntry, PinnedOutcome};
+use one_for_all::prelude::{Backend, Engine, Scenario, Sim};
+use std::path::{Path, PathBuf};
+
+/// Entries at or below this system size replay in the default (debug)
+/// test profile; larger ones only under `--include-ignored` (release).
+const SMALL_N: usize = 64;
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/regressions")
+}
+
+/// The parallel engine's core guard is a perf heuristic; pin a big
+/// count so the suite exercises it even on a single-core box.
+fn unlock_cores() {
+    one_for_all::sim::override_available_cores(64);
+}
+
+fn engines() -> [Engine; 3] {
+    [
+        Engine::Threads,
+        Engine::EventDriven,
+        Engine::ParallelEvent { workers: 3 },
+    ]
+}
+
+fn replay(entry: &CorpusEntry, engine: Engine) {
+    let scenario: Scenario = entry.scenario.clone().engine(engine);
+    let outcome = Sim.run(&scenario);
+    assert_eq!(
+        PinnedOutcome::of(&outcome),
+        entry.pinned,
+        "regression {} drifted on {engine:?} (found by explorer seed {} at g{} p{})",
+        entry.name,
+        entry.found.explorer_seed,
+        entry.found.generation,
+        entry.found.slot,
+    );
+}
+
+#[test]
+fn corpus_loads_and_is_well_formed() {
+    let entries = load_corpus(&corpus_dir()).expect("corpus directory parses");
+    assert!(
+        !entries.is_empty(),
+        "the committed corpus must not be empty"
+    );
+    let at_scale = entries
+        .iter()
+        .filter(|e| e.scenario.partition.n() >= 1_000)
+        .count();
+    assert!(
+        at_scale >= 3,
+        "the corpus pins at least three cluster-scale (n >= 10^3) schedules, found {at_scale}"
+    );
+    for entry in &entries {
+        entry.scenario.assert_valid();
+        assert!(
+            entry.pinned.trace_hash.is_some(),
+            "{}: corpus pins must include a trace hash",
+            entry.name
+        );
+        // No committed entry records a safety violation today; if the
+        // explorer ever finds one, this assertion is the place that
+        // forces the find to be triaged as an engine bug first.
+        assert!(
+            !entry.fitness.violation && entry.pinned.agreement_holds,
+            "{}: corpus records an agreement violation — fix the engine, \
+             then pin the corrected outcome",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn small_entries_replay_pinned_on_all_engines() {
+    unlock_cores();
+    let entries = load_corpus(&corpus_dir()).expect("corpus directory parses");
+    let small: Vec<&CorpusEntry> = entries
+        .iter()
+        .filter(|e| e.scenario.partition.n() <= SMALL_N)
+        .collect();
+    assert!(!small.is_empty(), "the corpus carries small tier-1 entries");
+    for entry in small {
+        for engine in engines() {
+            replay(entry, engine);
+        }
+    }
+}
+
+#[test]
+#[ignore = "cluster-scale replays; run with --release -- --include-ignored (CI regression-corpus gate)"]
+fn full_corpus_replays_pinned_on_all_engines() {
+    unlock_cores();
+    let entries = load_corpus(&corpus_dir()).expect("corpus directory parses");
+    for entry in &entries {
+        if entry.scenario.partition.n() <= SMALL_N {
+            continue; // covered by the always-on test above
+        }
+        for engine in engines() {
+            replay(entry, engine);
+        }
+    }
+}

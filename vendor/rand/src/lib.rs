@@ -286,6 +286,43 @@ pub mod distributions {
         pow2n * p
     }
 
+    /// Platform-deterministic `log2(x)` for finite positive `x`: the
+    /// exponent comes straight from the bit pattern and the mantissa's
+    /// log via an atanh series over `t = (m−1)/(m+1)` (|t| ≤ 1/3, so the
+    /// truncated tail is < 1e-7 relative). Only IEEE-exact operations —
+    /// `+`, `*`, `/`, bit extraction — are involved, never libm, so
+    /// every platform computes the same bits. The dual of
+    /// [`exp2_deterministic`].
+    pub fn log2_deterministic(x: f64) -> f64 {
+        debug_assert!(x > 0.0 && x.is_finite(), "log2: x={x} out of domain");
+        let bits = x.to_bits();
+        let e = (((bits >> 52) & 0x7FF) as i64) - 1_023;
+        // Re-bias the mantissa into [1, 2).
+        let m = f64::from_bits((bits & 0x000F_FFFF_FFFF_FFFF) | (1_023u64 << 52));
+        let t = (m - 1.0) / (m + 1.0);
+        let t2 = t * t;
+        // atanh(t) = t + t³/3 + t⁵/5 + … ; log2(m) = 2·atanh(t)/ln 2.
+        let s = t
+            * (1.0
+                + t2 * (1.0 / 3.0
+                    + t2 * (1.0 / 5.0 + t2 * (1.0 / 7.0 + t2 * (1.0 / 9.0 + t2 * (1.0 / 11.0))))));
+        e as f64 + s * (2.0 / core::f64::consts::LN_2)
+    }
+
+    /// An exponential sample with the given `mean`, in integer ticks
+    /// (truncating). Inverse-CDF over a `(0, 1]` uniform (the `+1`
+    /// excludes zero so the log stays finite) built entirely from
+    /// platform-exact float operations via [`log2_deterministic`] —
+    /// bit-identical on every platform. `mean = 0` degenerates to `0`.
+    pub fn exponential_ticks<R: super::Rng + ?Sized>(rng: &mut R, mean: u64) -> u64 {
+        if mean == 0 {
+            return 0;
+        }
+        let u = ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+        let exp1 = -log2_deterministic(u) * core::f64::consts::LN_2;
+        (mean as f64 * exp1) as u64
+    }
+
     /// A lognormal-style positive sample: `median × 2^(σ·z)` with `z`
     /// drawn from [`std_normal_irwin_hall`] and `σ` given in thousandths
     /// (`sigma_milli = 1_000` ⇒ one base-2 order of magnitude per
@@ -376,6 +413,39 @@ mod tests {
         // Deep underflow and overflow saturate instead of misbehaving.
         assert_eq!(exp2_deterministic(-2_000.0), 0.0);
         assert_eq!(exp2_deterministic(2_000.0), f64::MAX);
+    }
+
+    #[test]
+    fn log2_deterministic_matches_exact_powers() {
+        use super::distributions::{exp2_deterministic, log2_deterministic};
+        assert_eq!(log2_deterministic(1.0), 0.0);
+        assert_eq!(log2_deterministic(8.0), 3.0);
+        assert_eq!(log2_deterministic(0.25), -2.0);
+        // Fractional arguments approximate tightly and invert exp2.
+        for x in [-3.7f64, -0.2, 0.5, 1.9, 10.3] {
+            let y = log2_deterministic(exp2_deterministic(x));
+            assert!((y - x).abs() < 1e-4, "x={x} round-tripped to {y}");
+        }
+    }
+
+    #[test]
+    fn exponential_ticks_is_deterministic_with_the_right_mean() {
+        use super::distributions::exponential_ticks;
+        let mut a = StdRng::seed_from_u64(8);
+        let mut b = StdRng::seed_from_u64(8);
+        let mut sum = 0u64;
+        const N: u64 = 100_000;
+        for _ in 0..N {
+            let s = exponential_ticks(&mut a, 1_000);
+            assert_eq!(s, exponential_ticks(&mut b, 1_000), "same stream");
+            sum += s;
+        }
+        // Sample mean lands near the requested mean (±5%).
+        let mean = sum / N;
+        assert!((950..1_050).contains(&mean), "mean={mean}");
+        // Zero mean degenerates without touching the log's domain edge.
+        let mut c = StdRng::seed_from_u64(9);
+        assert_eq!(exponential_ticks(&mut c, 0), 0);
     }
 
     #[test]
